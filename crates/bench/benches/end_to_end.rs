@@ -1,0 +1,38 @@
+//! Macro-benchmark: one complete (small) server simulation per scheme —
+//! the unit of work the Figure 8 grid repeats 54 times at paper scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ss_server::config::{MaterializeMode, Scheme, ServerConfig};
+use ss_server::vdr::vdr_config_for;
+use std::hint::black_box;
+
+fn striping_cfg() -> ServerConfig {
+    ServerConfig::small_test(8, 7)
+}
+
+fn vdr_cfg() -> ServerConfig {
+    let mut c = ServerConfig::small_test(8, 7);
+    c.scheme = Scheme::Vdr {
+        vdr: vdr_config_for(&c),
+    };
+    c.materialize = MaterializeMode::AfterFull;
+    c
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+
+    g.bench_function("striping_small_30min", |b| {
+        b.iter(|| black_box(ss_server::run(&striping_cfg()).expect("valid config")))
+    });
+
+    g.bench_function("vdr_small_30min", |b| {
+        b.iter(|| black_box(ss_server::run(&vdr_cfg()).expect("valid config")))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Micro-benchmark: discrete-event engine throughput (schedule + dispatch).
+//!
+//! The §4 simulation fires one tick per 0.6048 s of simulated time; a
+//! 16-hour Figure 8 cell is ~95 000 events, and the full grid runs tens of
+//! such cells, so event dispatch is squarely on the hot path.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ss_sim::{Context, Model, Simulation};
+use ss_types::{SimDuration, SimTime};
+use std::hint::black_box;
+
+/// A model that reschedules itself `remaining` times.
+struct SelfTick {
+    remaining: u64,
+}
+
+impl Model for SelfTick {
+    type Event = ();
+    fn handle(&mut self, _: (), ctx: &mut Context<'_, ()>) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.schedule_in(SimDuration::from_micros(604_800), ());
+        }
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+
+    g.bench_function("chain_100k_events", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = Simulation::new(SelfTick { remaining: 100_000 });
+                sim.schedule_at(SimTime::ZERO, ());
+                sim
+            },
+            |mut sim| {
+                sim.run();
+                black_box(sim.events_handled())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("fifo_burst_10k", |b| {
+        // 10 000 simultaneous events exercising the tie-break path.
+        b.iter_batched(
+            || {
+                let mut sim = Simulation::new(SelfTick { remaining: 0 });
+                for _ in 0..10_000 {
+                    sim.schedule_at(SimTime::from_secs(1), ());
+                }
+                sim
+            },
+            |mut sim| {
+                sim.run();
+                black_box(sim.now())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Micro-benchmark: placement arithmetic.
+//!
+//! `fragments_per_disk` runs once per placement/eviction (O(D·M)
+//! analytic); the brute-force equivalent is O(n·M) and serves as the
+//! baseline the analytic form is justified against.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ss_core::media::{MediaType, ObjectSpec};
+use ss_core::placement::{PlacementMap, StripingConfig, StripingLayout};
+use ss_types::ObjectId;
+use std::hint::black_box;
+
+fn table3_layout() -> StripingLayout {
+    StripingLayout::new(ObjectId(0), 137, 5, 3000, 1000, 5)
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let mut g = c.benchmark_group("placement");
+
+    g.bench_function("fragments_per_disk_analytic", |b| {
+        let l = table3_layout();
+        b.iter(|| black_box(l.fragments_per_disk()))
+    });
+
+    g.bench_function("fragments_per_disk_brute", |b| {
+        let l = table3_layout();
+        b.iter(|| {
+            let mut counts = vec![0u32; l.disks as usize];
+            for i in 0..l.subobjects {
+                for j in 0..l.degree {
+                    counts[l.fragment_disk(i, j).index()] += 1;
+                }
+            }
+            black_box(counts)
+        })
+    });
+
+    g.bench_function("fragment_disk_lookup", |b| {
+        let l = table3_layout();
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % 3000;
+            black_box(l.fragment_disk(i, (i % 5) % l.degree))
+        })
+    });
+
+    g.bench_function("place_evict_cycle_table3_object", |b| {
+        let spec = ObjectSpec::new(ObjectId(0), MediaType::table3(), 3000);
+        b.iter_batched(
+            || PlacementMap::new(StripingConfig::table3(), 3000, 1).expect("map"),
+            |mut map| {
+                map.place(&spec).expect("fits");
+                map.remove(ObjectId(0)).expect("resident");
+                black_box(map.resident_count())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_placement);
+criterion_main!(benches);

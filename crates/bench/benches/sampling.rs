@@ -1,0 +1,47 @@
+//! Micro-benchmark: workload sampling — the alias table draw (one per
+//! request) and the distribution construction (once per run).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ss_sim::{AliasTable, DeterministicRng, TruncatedGeometric, Zipf};
+use std::hint::black_box;
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sampling");
+
+    g.bench_function("alias_sample_2000", |b| {
+        let weights: Vec<f64> = (1..=2000).map(|i| 1.0 / i as f64).collect();
+        let t = AliasTable::new(&weights);
+        let mut rng = DeterministicRng::seed_from_u64(1);
+        b.iter(|| black_box(t.sample(&mut rng)))
+    });
+
+    g.bench_function("geometric_sample", |b| {
+        let d = TruncatedGeometric::with_mean(2000, 20.0);
+        let mut rng = DeterministicRng::seed_from_u64(1);
+        b.iter(|| black_box(d.sample(&mut rng)))
+    });
+
+    g.bench_function("geometric_build_2000", |b| {
+        // Bisection for p plus alias construction.
+        b.iter(|| black_box(TruncatedGeometric::with_mean(2000, 43.5).p()))
+    });
+
+    g.bench_function("zipf_build_2000", |b| {
+        b.iter(|| black_box(Zipf::new(2000, 0.73).pmf(0)))
+    });
+
+    g.bench_function("rng_next_u64", |b| {
+        let mut rng = DeterministicRng::seed_from_u64(7);
+        b.iter(|| black_box(rng.next_u64_raw()))
+    });
+
+    g.bench_function("rng_bounded_lemire", |b| {
+        let mut rng = DeterministicRng::seed_from_u64(7);
+        b.iter(|| black_box(rng.next_below(2000)))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_sampling);
+criterion_main!(benches);

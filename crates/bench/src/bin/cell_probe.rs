@@ -1,0 +1,12 @@
+//! Ad-hoc probe used while calibrating the simulators.
+fn main() {
+    let mut cfgs = ss_server::experiment::mixed_media_configs(64, 7);
+    let c = &mut cfgs[0];
+    c.warmup = ss_types::SimDuration::from_secs(3600);
+    c.measure = ss_types::SimDuration::from_secs(2 * 3600);
+    let r = ss_server::run(c).unwrap();
+    println!(
+        "mixed fragmented: {:.1}/hr, peak buffers {}, coalesces {}, latency {:.1}s",
+        r.displays_per_hour, r.peak_buffer_fragments, r.coalesces, r.mean_latency_s
+    );
+}

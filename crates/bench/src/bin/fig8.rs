@@ -1,0 +1,60 @@
+//! Regenerates **Figure 8** (a, b, c): system throughput (displays per
+//! hour) as a function of the number of display stations (1–256), for
+//! simple striping vs. virtual data replication, under the three access
+//! distributions of §4.1 (truncated geometric with means 10, 20, 43.5).
+//!
+//! Emits `fig8.csv` (all runs) and prints one aligned series per
+//! (distribution, scheme).
+
+use ss_bench::HarnessOpts;
+use ss_server::experiment::{fig8_configs, run_batch, FIG8_MEANS, FIG8_STATIONS};
+use ss_server::metrics::{format_table, to_csv};
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let mut configs = fig8_configs(opts.seed);
+    if opts.quick {
+        for c in &mut configs {
+            c.warmup = ss_types::SimDuration::from_secs(3600);
+            c.measure = ss_types::SimDuration::from_secs(2 * 3600);
+        }
+    }
+    eprintln!(
+        "running {} simulations on {} threads ...",
+        configs.len(),
+        opts.threads
+    );
+    let t0 = std::time::Instant::now();
+    let reports = run_batch(configs, opts.threads);
+    eprintln!("done in {:.1}s", t0.elapsed().as_secs_f64());
+
+    opts.write_artifact("fig8.csv", &to_csv(&reports));
+    println!("{}", format_table(&reports));
+
+    // Print the three sub-figures as series, like the paper's graphs.
+    for (fig, &mean) in ["8a", "8b", "8c"].iter().zip(FIG8_MEANS.iter()) {
+        println!("Figure {fig}: geometric mean {mean} (displays/hour)");
+        println!("{:>9} {:>12} {:>12} {:>12}", "stations", "striping", "vdr", "ratio");
+        for &n in &FIG8_STATIONS {
+            let tag = format!("geom({mean:?})");
+            let s = reports
+                .iter()
+                .find(|r| r.scheme == "striping" && r.stations == n && r.popularity == tag)
+                .expect("striping cell");
+            let v = reports
+                .iter()
+                .find(|r| r.scheme == "vdr" && r.stations == n && r.popularity == tag)
+                .expect("vdr cell");
+            let ratio = if v.displays_per_hour > 0.0 {
+                s.displays_per_hour / v.displays_per_hour
+            } else {
+                f64::INFINITY
+            };
+            println!(
+                "{:>9} {:>12.1} {:>12.1} {:>12.2}",
+                n, s.displays_per_hour, v.displays_per_hour, ratio
+            );
+        }
+        println!();
+    }
+}

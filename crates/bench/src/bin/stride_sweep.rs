@@ -1,0 +1,79 @@
+//! Regenerates the §3.2.2 stride analysis two ways:
+//!
+//! 1. **Analytically** — for a range of strides on the Table 3 farm:
+//!    `gcd(D,k)`, skew-freedom, the number of distinct disks an object's
+//!    display touches (the paper's 28-vs-100 example appears too), and the
+//!    worst-case conflict wait (one rotation period for small `k`, a whole
+//!    display for `k = D`).
+//! 2. **By simulation** — end-to-end throughput and startup latency of the
+//!    paper workload at each stride (k = D reproduces the latency disaster
+//!    the paper warns about: a conflicting request waits for the entire
+//!    display ahead of it).
+
+use ss_bench::HarnessOpts;
+use ss_core::stride::{analyze, disks_touched, worst_case_wait_intervals};
+use ss_server::experiment::{run_batch, stride_sweep_configs};
+use ss_server::metrics::format_table;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let mut report = String::new();
+
+    // --- analytic table -------------------------------------------------
+    report.push_str("Stride analysis on the Table 3 farm (D = 1000, M = 5, n = 3000)\n");
+    report.push_str(&format!(
+        "{:>6} {:>8} {:>10} {:>14} {:>22}\n",
+        "k", "gcd", "skew-free", "disks touched", "worst conflict wait"
+    ));
+    for &k in &[1u32, 2, 3, 5, 7, 10, 50, 200, 1000] {
+        let r = analyze(1000, k, 5, 3000);
+        let wait = worst_case_wait_intervals(1000, k, 3000);
+        report.push_str(&format!(
+            "{k:>6} {:>8} {:>10} {:>14} {:>18} ivls\n",
+            r.gcd, r.skew_free, r.disks_touched, wait
+        ));
+    }
+    report.push_str(&format!(
+        "\npaper example (D=100, M=4, 25 subobjects): k=1 touches {} disks, k=4 touches {}.\n",
+        disks_touched(100, 1, 4, 25),
+        disks_touched(100, 4, 4, 25),
+    ));
+
+    // --- simulation sweep ------------------------------------------------
+    let strides: &[u32] = if opts.quick {
+        &[1, 5, 1000]
+    } else {
+        &[1, 2, 5, 10, 200, 1000]
+    };
+    let mut configs = stride_sweep_configs(strides, 64, 20.0, opts.seed);
+    if opts.quick {
+        for c in &mut configs {
+            c.warmup = ss_types::SimDuration::from_secs(3600);
+            c.measure = ss_types::SimDuration::from_secs(2 * 3600);
+        }
+    }
+    eprintln!("running {} stride simulations ...", configs.len());
+    let reports = run_batch(configs, opts.threads);
+    report.push_str("\nEnd-to-end at 64 stations, geometric mean 20 (one row per stride, in the\norder listed above):\n");
+    report.push_str(&format_table(&reports));
+    for (k, r) in strides.iter().zip(&reports) {
+        report.push_str(&format!(
+            "k={k:>5}: {:>8.1} displays/hour, mean latency {:>8.1} s, max latency {:>9.1} s, residents {:>3}\n",
+            r.displays_per_hour, r.mean_latency_s, r.max_latency_s, r.unique_residents
+        ));
+    }
+    report.push_str(
+        "\nreading the sweep (Section 3.2.2's three regimes):\n\
+         * balanced strides (gcd(D,k) = 1, or gcd | M, e.g. k = 1, 2, 5): full\n\
+           throughput, latency bounded by one rotation;\n\
+         * skewed strides (gcd does not divide M, e.g. k = 10, 200): an object's\n\
+           fragments can only reach M of every gcd disks, so storage capacity\n\
+           and throughput collapse — the paper's divisibility rule violated;\n\
+         * k = D (stationary, = virtual replication's layout): storage is fine\n\
+           but every conflicting request waits for an entire preceding display\n\
+           (mean latency in the thousands of seconds) instead of <= one\n\
+           rotation — the paper's argument for small strides.\n",
+    );
+    println!("{report}");
+    opts.write_artifact("stride_sweep.txt", &report);
+}

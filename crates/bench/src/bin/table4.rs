@@ -1,0 +1,51 @@
+//! Regenerates **Table 4**: percentage improvement in throughput (displays
+//! per hour) of simple striping over virtual data replication, at 16 / 64 /
+//! 128 / 256 display stations under the three access distributions.
+//!
+//! Runs the same grid as `fig8` (restricted to the Table 4 station counts)
+//! and prints the table in the paper's shape; also emits `table4.csv` and
+//! `table4.json`.
+
+use ss_bench::HarnessOpts;
+use ss_server::config::ServerConfig;
+use ss_server::experiment::{format_table4, run_batch, table4, FIG8_MEANS, TABLE4_STATIONS};
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let mut configs = Vec::new();
+    for &mean in &FIG8_MEANS {
+        for &stations in &TABLE4_STATIONS {
+            configs.push(ServerConfig::paper_striping(stations, mean, opts.seed));
+            configs.push(ServerConfig::paper_vdr(stations, mean, opts.seed));
+        }
+    }
+    if opts.quick {
+        for c in &mut configs {
+            c.warmup = ss_types::SimDuration::from_secs(3600);
+            c.measure = ss_types::SimDuration::from_secs(2 * 3600);
+        }
+    }
+    eprintln!("running {} simulations ...", configs.len());
+    let reports = run_batch(configs, opts.threads);
+    let rows = table4(&reports);
+
+    println!("Table 4: % improvement in throughput with simple striping vs VDR\n");
+    println!("{}", format_table4(&rows));
+    println!("(paper reference:  16 |  5.10% |   2.15% | 114.75%)");
+    println!("(                  64 | 11.06% | 131.86% | 508.79%)");
+    println!("(                 128 | 52.67% | 350.73% | 469.94%)");
+    println!("(                 256 | 126.10% | 602.49% | 413.10%)");
+
+    let mut csv = String::from("stations,geom10_pct,geom20_pct,geom43_5_pct\n");
+    for r in &rows {
+        csv.push_str(&format!(
+            "{},{:.2},{:.2},{:.2}\n",
+            r.stations, r.improvement_pct[0], r.improvement_pct[1], r.improvement_pct[2]
+        ));
+    }
+    opts.write_artifact("table4.csv", &csv);
+    opts.write_artifact(
+        "table4.json",
+        &serde_json::to_string_pretty(&rows).expect("serialize"),
+    );
+}

@@ -1,0 +1,121 @@
+//! # ss-bench
+//!
+//! Benchmark harnesses regenerating every table and figure of the paper,
+//! plus Criterion micro-benchmarks of the hot paths.
+//!
+//! Each `[[bin]]` target regenerates one artifact (run with
+//! `cargo run --release -p ss-bench --bin <name>`):
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `fig8` | Figure 8 (a,b,c): throughput vs stations, striping vs VDR |
+//! | `table4` | Table 4: % improvement of striping over VDR |
+//! | `fragment_size` | §3.1 numbers: effective bandwidth / waste / startup latency vs fragment size |
+//! | `stride_sweep` | §3.2.2: stride ablation (k = 1 … D) |
+//! | `timing_model` | Figure 2 quantities: T_switch masking and buffer sizing |
+//! | `coalescing` | Figure 6: fragmented delivery + dynamic coalescing trace |
+//! | `low_bandwidth` | Figure 7 / §3.2.3: pairing schedule and rounding waste |
+//! | `mixed_media` | staggered vs simple striping under a media mix |
+//! | `ablation_materialize` | pipelined vs full materialization |
+//! | `ablation_fragmentation` | contiguous vs time-fragmented admission |
+//!
+//! This library hosts the small amount of shared harness code (CLI
+//! parsing and output handling) the binaries use.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Common harness options parsed from the command line: `--seed N`,
+/// `--out DIR`, `--quick` (shrunken configuration for smoke-testing),
+/// `--threads N`.
+#[derive(Debug, Clone)]
+pub struct HarnessOpts {
+    /// RNG seed for the runs.
+    pub seed: u64,
+    /// Directory to drop CSV/JSON artifacts into (default: `bench-out`).
+    pub out: PathBuf,
+    /// Run a reduced-size configuration (CI smoke mode).
+    pub quick: bool,
+    /// Worker threads for batch runs.
+    pub threads: usize,
+}
+
+impl Default for HarnessOpts {
+    fn default() -> Self {
+        HarnessOpts {
+            seed: 1994,
+            out: PathBuf::from("bench-out"),
+            quick: false,
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        }
+    }
+}
+
+impl HarnessOpts {
+    /// Parses `std::env::args`, panicking with a usage message on bad
+    /// input.
+    pub fn from_args() -> Self {
+        let mut opts = HarnessOpts::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--seed" => {
+                    opts.seed = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--seed takes an integer");
+                }
+                "--out" => {
+                    opts.out = PathBuf::from(args.next().expect("--out takes a path"));
+                }
+                "--quick" => opts.quick = true,
+                "--threads" => {
+                    opts.threads = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--threads takes an integer");
+                }
+                other => panic!(
+                    "unknown argument {other}; usage: [--seed N] [--out DIR] [--quick] [--threads N]"
+                ),
+            }
+        }
+        opts
+    }
+
+    /// Writes `contents` to `<out>/<name>`, creating the directory, and
+    /// echoes the path.
+    pub fn write_artifact(&self, name: &str, contents: &str) {
+        std::fs::create_dir_all(&self.out).expect("create output directory");
+        let path = self.out.join(name);
+        let mut f = std::fs::File::create(&path).expect("create artifact");
+        f.write_all(contents.as_bytes()).expect("write artifact");
+        println!("wrote {}", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let o = HarnessOpts::default();
+        assert_eq!(o.seed, 1994);
+        assert!(!o.quick);
+        assert!(o.threads >= 1);
+    }
+
+    #[test]
+    fn artifacts_are_written() {
+        let dir = std::env::temp_dir().join(format!("ss-bench-test-{}", std::process::id()));
+        let opts = HarnessOpts {
+            out: dir.clone(),
+            ..HarnessOpts::default()
+        };
+        opts.write_artifact("x.csv", "a,b\n1,2\n");
+        let read = std::fs::read_to_string(dir.join("x.csv")).unwrap();
+        assert_eq!(read, "a,b\n1,2\n");
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

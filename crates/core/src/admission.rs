@@ -1,0 +1,572 @@
+//! Interval-granularity admission control over the virtual-disk frame.
+//!
+//! Because an admitted display occupies a fixed set of `M` virtual disks
+//! (see [`crate::frame`]), the entire scheduling state is one number per
+//! virtual disk: the first interval at which it is free again. Admission is
+//! then:
+//!
+//! * **Contiguous** — the `M` virtual disks currently over the physical
+//!   disks holding `X_0` must all be free *now*. This is the base scheme
+//!   of §3.1/§3.2, and the only one the paper's §4 simulation uses.
+//! * **Fragmented** — §3.2.1: any `M` free virtual disks will do, provided
+//!   each can *reach* its fragment's physical start position no later than
+//!   the virtual disk serving fragment 0 reaches `X_{0.0}` (fragments read
+//!   early are buffered; fragment 0 is always pipelined directly, matching
+//!   Algorithm 1's `w_offset = z_i − z_0 − i ≥ 0`). The grant reports the
+//!   total buffer bill.
+
+use crate::frame::VirtualFrame;
+use serde::{Deserialize, Serialize};
+use ss_types::{Error, ObjectId, Result};
+
+/// How aggressively admission may assemble a display from free disks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdmissionPolicy {
+    /// Only the `M` aligned virtual disks, all free at the current
+    /// interval.
+    Contiguous,
+    /// Use any free virtual disks, buffering early-read fragments, as long
+    /// as the *total* backlog stays within `max_buffer_fragments` fragments
+    /// of memory (§3.2.1) and delivery can begin within
+    /// `max_delay_intervals` of the request.
+    Fragmented {
+        /// Upper bound on Σ wᵢ, the total number of fragment-sized buffers
+        /// the display may hold at once.
+        max_buffer_fragments: u64,
+        /// Upper bound on `delivery_start − now`; plans starting later are
+        /// rejected so the caller can retry (or queue) instead of
+        /// committing disks far into the future.
+        max_delay_intervals: u64,
+    },
+}
+
+/// A successful admission: which virtual disks serve the display and when.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdmissionGrant {
+    /// The admitted object.
+    pub object: ObjectId,
+    /// `z_i`: the virtual disk serving fragment `i`.
+    pub virtual_disks: Vec<u32>,
+    /// `T_i`: the interval at which `z_i` begins reading fragment `i` of
+    /// subobject 0 (aligned with the data).
+    pub read_start: Vec<u64>,
+    /// The interval at which synchronized delivery of subobject 0 begins
+    /// (`max T_i`; equals every `T_i` for a contiguous grant).
+    pub delivery_start: u64,
+    /// One past the last interval during which any granted disk reads.
+    pub end_interval: u64,
+    /// Total buffer bill: Σ (delivery_start − T_i) fragment-sized buffers.
+    pub buffer_fragments: u64,
+}
+
+impl AdmissionGrant {
+    /// The startup latency in intervals relative to `now`.
+    pub fn latency_intervals(&self, now: u64) -> u64 {
+        self.delivery_start - now
+    }
+}
+
+/// The per-virtual-disk schedule: one `free_from` interval per virtual
+/// disk.
+///
+/// ```
+/// use ss_core::admission::{AdmissionPolicy, IntervalScheduler};
+/// use ss_core::frame::VirtualFrame;
+/// use ss_types::ObjectId;
+///
+/// let mut s = IntervalScheduler::new(VirtualFrame::new(12, 1));
+/// let grant = s
+///     .try_admit(0, ObjectId(0), 4, 3, 13, AdmissionPolicy::Contiguous)
+///     .unwrap();
+/// assert_eq!(grant.virtual_disks, vec![4, 5, 6]);
+/// assert_eq!(grant.buffer_fragments, 0);
+/// // A conflicting display is rejected until those disks free.
+/// assert!(s.try_admit(0, ObjectId(1), 5, 3, 13, AdmissionPolicy::Contiguous).is_err());
+/// assert!(s.try_admit(13, ObjectId(1), 5, 3, 13, AdmissionPolicy::Contiguous).is_ok());
+/// ```
+#[derive(Debug, Clone)]
+pub struct IntervalScheduler {
+    frame: VirtualFrame,
+    /// `free_from[v]`: the first interval at which virtual disk `v` has no
+    /// remaining committed reads.
+    free_from: Vec<u64>,
+}
+
+impl IntervalScheduler {
+    /// An all-idle scheduler over `frame`.
+    pub fn new(frame: VirtualFrame) -> Self {
+        IntervalScheduler {
+            free_from: vec![0; frame.disks() as usize],
+            frame,
+        }
+    }
+
+    /// The frame this scheduler operates in.
+    pub fn frame(&self) -> &VirtualFrame {
+        &self.frame
+    }
+
+    /// Number of virtual disks free at interval `t`.
+    pub fn free_count(&self, t: u64) -> u32 {
+        self.free_from.iter().filter(|&&f| f <= t).count() as u32
+    }
+
+    /// True iff virtual disk `v` is free at interval `t`.
+    pub fn is_free(&self, v: u32, t: u64) -> bool {
+        self.free_from[v as usize] <= t
+    }
+
+    /// The committed-busy horizon of virtual disk `v`.
+    pub fn free_from(&self, v: u32) -> u64 {
+        self.free_from[v as usize]
+    }
+
+    /// Overrides the committed-busy horizon of virtual disk `v`. Used by
+    /// the dynamic-coalescing planner (shortening a handing-over disk,
+    /// extending the taker) and by tests constructing occupancy patterns.
+    pub fn set_free_from(&mut self, v: u32, free_from: u64) {
+        self.free_from[v as usize] = free_from;
+    }
+
+    /// Attempts to admit a display of `object` at interval `now`: first
+    /// subobject starting on physical disk `start_disk`, `degree` fragments
+    /// per subobject, `subobjects` stripes. On success the granted virtual
+    /// disks are committed through their reading windows.
+    pub fn try_admit(
+        &mut self,
+        now: u64,
+        object: ObjectId,
+        start_disk: u32,
+        degree: u32,
+        subobjects: u32,
+        policy: AdmissionPolicy,
+    ) -> Result<AdmissionGrant> {
+        assert!(degree >= 1 && degree <= self.frame.disks());
+        assert!(subobjects >= 1);
+        let grant = match policy {
+            AdmissionPolicy::Contiguous => {
+                self.plan_contiguous(now, object, start_disk, degree, subobjects)
+            }
+            AdmissionPolicy::Fragmented {
+                max_buffer_fragments,
+                max_delay_intervals,
+            } => self.plan_fragmented(
+                now,
+                object,
+                start_disk,
+                degree,
+                subobjects,
+                max_buffer_fragments,
+                max_delay_intervals,
+            ),
+        }?;
+        for (idx, &v) in grant.virtual_disks.iter().enumerate() {
+            let end = grant.read_start[idx] + u64::from(subobjects);
+            debug_assert!(self.free_from[v as usize] <= grant.read_start[idx]);
+            self.free_from[v as usize] = end;
+        }
+        Ok(grant)
+    }
+
+    fn plan_contiguous(
+        &self,
+        now: u64,
+        object: ObjectId,
+        start_disk: u32,
+        degree: u32,
+        subobjects: u32,
+    ) -> Result<AdmissionGrant> {
+        let d = self.frame.disks();
+        let mut vs = Vec::with_capacity(degree as usize);
+        let mut free = 0u32;
+        for i in 0..degree {
+            let p = (start_disk + i) % d;
+            let v = self.frame.virtual_of(p, now);
+            if self.is_free(v, now) {
+                free += 1;
+            }
+            vs.push(v);
+        }
+        if free < degree {
+            return Err(Error::AdmissionRejected {
+                object,
+                needed: degree,
+                free,
+            });
+        }
+        Ok(AdmissionGrant {
+            object,
+            read_start: vec![now; degree as usize],
+            virtual_disks: vs,
+            delivery_start: now,
+            end_interval: now + u64::from(subobjects),
+            buffer_fragments: 0,
+        })
+    }
+
+    /// Fragmented planning: choose, among all candidate assignments, the
+    /// one with the earliest delivery start (smallest `T_0`), breaking
+    /// ties toward the smallest buffer bill.
+    #[allow(clippy::too_many_arguments)]
+    fn plan_fragmented(
+        &self,
+        now: u64,
+        object: ObjectId,
+        start_disk: u32,
+        degree: u32,
+        subobjects: u32,
+        max_buffer: u64,
+        max_delay: u64,
+    ) -> Result<AdmissionGrant> {
+        let d = self.frame.disks();
+        // Every feasible read start satisfies T_i <= T_0 <= now + max_delay,
+        // so all candidates live inside the delay window: enumerate it
+        // directly — O(M x max_delay) instead of scanning all D disks with
+        // a modular solve each (the hot path of mixed-media admission).
+        let window_end = now + max_delay;
+        let mut arrivals: Vec<Vec<(u64, u32)>> = Vec::with_capacity(degree as usize);
+        for i in 0..degree {
+            let p = (start_disk + i) % d;
+            let mut cands: Vec<(u64, u32)> = Vec::new();
+            if self.frame.stride() == 0 {
+                // Stationary frame: only the disk itself, from the moment
+                // it frees.
+                let t = now.max(self.free_from[p as usize]);
+                if t <= window_end {
+                    cands.push((t, p));
+                }
+            } else {
+                for t in now..=window_end {
+                    let v = self.frame.virtual_of(p, t);
+                    // The disk must be done with prior commitments before
+                    // it starts reading for us.
+                    if self.free_from[v as usize] <= t {
+                        cands.push((t, v));
+                    }
+                }
+            }
+            if cands.is_empty() {
+                return Err(Error::AdmissionRejected {
+                    object,
+                    needed: degree,
+                    free: self.free_count(now),
+                });
+            }
+            arrivals.push(cands);
+        }
+        // Candidate delivery starts are the arrival times available for
+        // fragment 0; try them in increasing order (they are generated
+        // sorted by t).
+        let t0_candidates: &[(u64, u32)] = &arrivals[0];
+        'outer: for &(t0, z0) in t0_candidates {
+            let mut chosen = vec![(t0, z0)];
+            let mut used = vec![false; d as usize];
+            used[z0 as usize] = true;
+            let mut buffer = 0u64;
+            for frag_arrivals in arrivals.iter().skip(1) {
+                // Latest arrival ≤ t0 on an unused disk minimizes buffering.
+                let best = frag_arrivals
+                    .iter()
+                    .rev()
+                    .find(|&&(t, v)| t <= t0 && !used[v as usize]);
+                match best {
+                    Some(&(t, v)) => {
+                        used[v as usize] = true;
+                        buffer += t0 - t;
+                        chosen.push((t, v));
+                    }
+                    None => continue 'outer,
+                }
+            }
+            if buffer > max_buffer {
+                continue;
+            }
+            let (read_start, virtual_disks): (Vec<u64>, Vec<u32>) =
+                chosen.into_iter().unzip();
+            let end_interval = read_start.iter().map(|&t| t + u64::from(subobjects)).max()
+                .expect("degree >= 1");
+            return Ok(AdmissionGrant {
+                object,
+                virtual_disks,
+                read_start,
+                delivery_start: t0,
+                end_interval,
+                buffer_fragments: buffer,
+            });
+        }
+        Err(Error::AdmissionRejected {
+            object,
+            needed: degree,
+            free: self.free_count(now),
+        })
+    }
+
+    /// Fraction of virtual-disk capacity committed at interval `t`.
+    pub fn utilization(&self, t: u64) -> f64 {
+        1.0 - f64::from(self.free_count(t)) / f64::from(self.frame.disks())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched(d: u32, k: u32) -> IntervalScheduler {
+        IntervalScheduler::new(VirtualFrame::new(d, k))
+    }
+
+    #[test]
+    fn contiguous_admission_on_idle_farm() {
+        let mut s = sched(12, 1);
+        let g = s
+            .try_admit(0, ObjectId(0), 4, 3, 13, AdmissionPolicy::Contiguous)
+            .unwrap();
+        assert_eq!(g.virtual_disks, vec![4, 5, 6]);
+        assert_eq!(g.delivery_start, 0);
+        assert_eq!(g.end_interval, 13);
+        assert_eq!(g.buffer_fragments, 0);
+        assert_eq!(g.latency_intervals(0), 0);
+        assert_eq!(s.free_count(0), 9);
+        // The three virtual disks are busy through interval 12.
+        assert!(!s.is_free(4, 12));
+        assert!(s.is_free(4, 13));
+    }
+
+    #[test]
+    fn contiguous_conflict_is_rejected() {
+        let mut s = sched(12, 1);
+        s.try_admit(0, ObjectId(0), 4, 3, 13, AdmissionPolicy::Contiguous)
+            .unwrap();
+        // Object starting at disk 5 overlaps virtual disks 5,6.
+        let err = s
+            .try_admit(0, ObjectId(1), 5, 3, 13, AdmissionPolicy::Contiguous)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            Error::AdmissionRejected {
+                needed: 3,
+                free: 1,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn contiguous_admission_respects_rotation() {
+        // At t=3 with k=1, the virtual disks over physical 4..6 are 1..3.
+        let mut s = sched(12, 1);
+        let g = s
+            .try_admit(3, ObjectId(0), 4, 3, 13, AdmissionPolicy::Contiguous)
+            .unwrap();
+        assert_eq!(g.virtual_disks, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn figure6_fragmented_admission() {
+        // Figure 6: D = 8, k = 1, X with M = 2 starting on disk 0.
+        // Virtual disks 2..5 are busy; 1 and 6 are free. Disk 1 is in
+        // position for X0.1 now; the free slot over disk 6 reaches disk 0
+        // at interval 2 and reads X0.0 directly. Fragment 1 is buffered
+        // two intervals; delivery starts at interval 2.
+        let mut s = sched(8, 1);
+        for v in 2..=5 {
+            s.free_from[v as usize] = 1000; // long-running other displays
+        }
+        s.free_from[0] = 1000;
+        s.free_from[7] = 1000;
+        let g = s
+            .try_admit(
+                0,
+                ObjectId(0),
+                0,
+                2,
+                10,
+                AdmissionPolicy::Fragmented {
+                    max_buffer_fragments: 16,
+                    max_delay_intervals: 8,
+                },
+            )
+            .unwrap();
+        assert_eq!(g.virtual_disks, vec![6, 1]);
+        assert_eq!(g.read_start, vec![2, 0]);
+        assert_eq!(g.delivery_start, 2);
+        assert_eq!(g.buffer_fragments, 2);
+        assert_eq!(g.end_interval, 12);
+        // Contiguous admission would have been rejected outright.
+        let mut s2 = sched(8, 1);
+        for v in [0, 2, 3, 4, 5, 7] {
+            s2.free_from[v as usize] = 1000;
+        }
+        assert!(s2
+            .try_admit(0, ObjectId(0), 0, 2, 10, AdmissionPolicy::Contiguous)
+            .is_err());
+    }
+
+    #[test]
+    fn fragmented_respects_buffer_cap() {
+        let mut s = sched(8, 1);
+        for v in [0, 2, 3, 4, 5, 7] {
+            s.free_from[v as usize] = 1000;
+        }
+        // The Figure 6 grant needs 2 buffers; cap at 1 and it must fail.
+        let err = s
+            .try_admit(
+                0,
+                ObjectId(0),
+                0,
+                2,
+                10,
+                AdmissionPolicy::Fragmented {
+                    max_buffer_fragments: 1,
+                    max_delay_intervals: 8,
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::AdmissionRejected { .. }));
+    }
+
+    #[test]
+    fn fragmented_prefers_aligned_disks_when_free() {
+        // On an idle farm the fragmented planner finds the zero-buffer,
+        // zero-latency contiguous assignment.
+        let mut s = sched(12, 1);
+        let g = s
+            .try_admit(
+                5,
+                ObjectId(0),
+                4,
+                3,
+                13,
+                AdmissionPolicy::Fragmented {
+                    max_buffer_fragments: 100,
+                    max_delay_intervals: 100,
+                },
+            )
+            .unwrap();
+        assert_eq!(g.delivery_start, 5);
+        assert_eq!(g.buffer_fragments, 0);
+        assert_eq!(g.latency_intervals(5), 0);
+    }
+
+    #[test]
+    fn fragmented_uses_busy_then_free_disks() {
+        // A virtual disk busy until interval 3 can still take a fragment
+        // whose alignment time is >= 3.
+        let mut s = sched(8, 1);
+        // All disks blocked for a long time except v=6 (free) and v=1
+        // (free from interval 3).
+        for v in 0..8 {
+            s.free_from[v as usize] = 1000;
+        }
+        s.free_from[6] = 0;
+        s.free_from[1] = 3;
+        // Object M=2 at disk 0. Fragment 0 (disk 0): v=6 aligns at t=2
+        // (free) or v=1 at t=7 (first alignment after it frees at 3).
+        // Fragment 1 (disk 1): v=6 at t=3, v=1 at t=8. Taking t0=2 leaves
+        // no partner ≤ 2, so the planner settles on t0=7 with v=1 reading
+        // fragment 0 and v=6 reading fragment 1 at t=3 (4 buffers).
+        let g = s
+            .try_admit(
+                0,
+                ObjectId(0),
+                0,
+                2,
+                10,
+                AdmissionPolicy::Fragmented {
+                    max_buffer_fragments: 100,
+                    max_delay_intervals: 100,
+                },
+            )
+            .unwrap();
+        assert_eq!(g.virtual_disks, vec![1, 6]);
+        assert_eq!(g.read_start, vec![7, 3]);
+        assert_eq!(g.delivery_start, 7);
+        assert_eq!(g.buffer_fragments, 4);
+    }
+
+    #[test]
+    fn fragmented_waits_for_busy_disk_to_free() {
+        // Same farm, object starting at disk 3: v=6 reaches disk 3 at t=5
+        // (fragment 0) and v=1 reaches disk 4 at t=3, right when it frees
+        // — a 2-buffer plan delivering at interval 5.
+        let mut s = sched(8, 1);
+        for v in 0..8 {
+            s.free_from[v as usize] = 1000;
+        }
+        s.free_from[6] = 0;
+        s.free_from[1] = 3;
+        let g = s
+            .try_admit(
+                0,
+                ObjectId(1),
+                3,
+                2,
+                10,
+                AdmissionPolicy::Fragmented {
+                    max_buffer_fragments: 100,
+                    max_delay_intervals: 100,
+                },
+            )
+            .unwrap();
+        assert_eq!(g.virtual_disks, vec![6, 1]);
+        assert_eq!(g.read_start, vec![5, 3]);
+        assert_eq!(g.buffer_fragments, 2);
+    }
+
+    #[test]
+    fn grants_never_double_book() {
+        // Stress: admit many displays and verify no virtual disk is ever
+        // committed to two overlapping reading windows.
+        let mut s = sched(20, 1);
+        let mut windows: Vec<(u32, u64, u64)> = Vec::new(); // (v, start, end)
+        let mut id = 0u32;
+        for t in 0..40u64 {
+            for start in [0u32, 5, 10, 15] {
+                if let Ok(g) = s.try_admit(
+                    t,
+                    ObjectId(id),
+                    start,
+                    3,
+                    7,
+                    AdmissionPolicy::Fragmented {
+                        max_buffer_fragments: 8,
+                        max_delay_intervals: 4,
+                    },
+                ) {
+                    for (i, &v) in g.virtual_disks.iter().enumerate() {
+                        windows.push((v, g.read_start[i], g.read_start[i] + 7));
+                    }
+                    id += 1;
+                }
+            }
+        }
+        assert!(id > 4, "expected several admissions, got {id}");
+        for a in 0..windows.len() {
+            for b in (a + 1)..windows.len() {
+                let (va, sa, ea) = windows[a];
+                let (vb, sb, eb) = windows[b];
+                if va == vb {
+                    assert!(ea <= sb || eb <= sa, "overlap on v{va}: {windows:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stationary_frame_contiguous_only_same_disks() {
+        // k = D (virtual replication): virtual == physical forever.
+        let mut s = sched(10, 10);
+        let g = s
+            .try_admit(0, ObjectId(0), 2, 4, 50, AdmissionPolicy::Contiguous)
+            .unwrap();
+        assert_eq!(g.virtual_disks, vec![2, 3, 4, 5]);
+        // The same disks stay busy for the whole 50 intervals; a second
+        // request for the same object start must wait.
+        assert!(s
+            .try_admit(10, ObjectId(1), 2, 4, 50, AdmissionPolicy::Contiguous)
+            .is_err());
+        assert!(s
+            .try_admit(50, ObjectId(1), 2, 4, 50, AdmissionPolicy::Contiguous)
+            .is_ok());
+    }
+}

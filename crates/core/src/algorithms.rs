@@ -1,0 +1,410 @@
+//! Executable transcriptions of the paper's two delivery algorithms
+//! (§3.2.1).
+//!
+//! Each *virtual disk* serving a display runs one process. Per time
+//! interval the process may **initiate a read** (fragment from disk into a
+//! buffer) and/or **initiate an output** (a buffered or direct fragment to
+//! the network). The paper gives:
+//!
+//! * **Algorithm 1** (`simple_combined_algorithm`) — time-fragmented
+//!   delivery *without* coalescing: fragment `i` is buffered for
+//!   `w_offset = z_i − z_0 − i` intervals before delivery, so all fragments
+//!   of a subobject leave in the same interval even though they were read
+//!   in different ones.
+//! * **Algorithm 2** (`write_thread`) — the delivery half of **dynamic
+//!   coalescing**: when intervening disks free up, a virtual disk is
+//!   reassigned a new fragment number `i'`; it first drains its backlog of
+//!   buffered fragments, then observes a quiet period of
+//!   `skip_write = z_i' − z_i − i' + i` intervals, then resumes normal
+//!   delivery under the new index.
+//!
+//! The integration test for Figure 6 replays the paper's 8-disk example
+//! step by step against these state machines.
+
+use serde::{Deserialize, Serialize};
+
+/// One interval's actions for a virtual-disk process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct IntervalActions {
+    /// `initiate_read(X_{sub.frag})`: fragment read from disk this
+    /// interval.
+    pub read: Option<FragmentRef>,
+    /// `initiate_output(X_{sub.frag})`: fragment delivered to the network
+    /// this interval.
+    pub output: Option<FragmentRef>,
+}
+
+/// A `(subobject, fragment)` pair within one object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FragmentRef {
+    /// Subobject (stripe) index.
+    pub sub: u32,
+    /// Fragment index within the subobject.
+    pub frag: u32,
+}
+
+impl FragmentRef {
+    /// Convenience constructor.
+    pub fn new(sub: u32, frag: u32) -> Self {
+        FragmentRef { sub, frag }
+    }
+}
+
+/// Algorithm 1: `simple_combined_algorithm(X, n, p, i)` — one virtual
+/// disk's combined read/output schedule with a fixed buffering offset and
+/// no coalescing.
+///
+/// The process runs for `n + w_offset` local intervals: it reads
+/// `X_{t,i}` while `t < n` and outputs `X_{t−w_offset, i}` once
+/// `t ≥ w_offset`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimpleCombined {
+    n: u32,
+    frag: u32,
+    w_offset: u32,
+    t: u32,
+    buffered: u32,
+}
+
+impl SimpleCombined {
+    /// Creates the process for fragment index `frag` of an object with `n`
+    /// subobjects, buffering each fragment `w_offset` intervals
+    /// (`w_offset = z_i − z_0 − i`, zero for a contiguous display).
+    pub fn new(n: u32, frag: u32, w_offset: u32) -> Self {
+        SimpleCombined {
+            n,
+            frag,
+            w_offset,
+            t: 0,
+            buffered: 0,
+        }
+    }
+
+    /// Number of fragments currently held in buffers.
+    pub fn buffered(&self) -> u32 {
+        self.buffered
+    }
+
+    /// True when the process has delivered everything.
+    pub fn is_done(&self) -> bool {
+        self.t >= self.n + self.w_offset
+    }
+
+    /// Executes one local time interval (one iteration of lines 4–7),
+    /// returning the actions taken. Returns `None` once complete.
+    pub fn tick(&mut self) -> Option<IntervalActions> {
+        if self.is_done() {
+            return None;
+        }
+        let mut act = IntervalActions::default();
+        if self.t < self.n {
+            act.read = Some(FragmentRef::new(self.t, self.frag));
+            self.buffered += 1;
+        }
+        if self.t >= self.w_offset {
+            act.output = Some(FragmentRef::new(self.t - self.w_offset, self.frag));
+            self.buffered -= 1;
+        }
+        self.t += 1;
+        Some(act)
+    }
+}
+
+/// A coalesce order for Algorithm 2: "you are now fragment `new_frag`,
+/// served by virtual disk `z_new` (was `z_old`)".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoalesceRequest {
+    /// The new fragment index `i'`.
+    pub new_frag: u32,
+    /// `z_{i'} − z_i − i' + i`, the paper's `skip_write` (length of the
+    /// quiet period after the backlog drains). Supplied by the scheduler,
+    /// which knows the virtual-disk indices.
+    pub skip_write: u32,
+}
+
+/// Algorithm 2: `write_thread(X, n, p, i)` — the delivery half of a
+/// virtual disk supporting dynamic coalescing.
+///
+/// States: normal delivery → (coalesce request) → backlog drain
+/// (`w_coalesce`) → quiet period (`w_coalesce2`) → normal delivery under
+/// the new fragment index.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WriteThread {
+    n: u32,
+    frag: u32,
+    w_offset: u32,
+    r_offset: i64,
+    t: u32,
+    backlog: u32,
+    skip_write: u32,
+    w_coalesce: bool,
+    w_coalesce2: bool,
+    pending: Option<CoalesceRequest>,
+    active: Option<CoalesceRequest>,
+}
+
+impl WriteThread {
+    /// Creates the delivery thread for fragment `frag` with buffering
+    /// offset `w_offset`.
+    pub fn new(n: u32, frag: u32, w_offset: u32) -> Self {
+        WriteThread {
+            n,
+            frag,
+            w_offset,
+            r_offset: 0,
+            t: 0,
+            backlog: 0,
+            skip_write: 0,
+            w_coalesce: false,
+            w_coalesce2: false,
+            pending: None,
+            active: None,
+        }
+    }
+
+    /// The fragment index this thread currently delivers.
+    pub fn frag(&self) -> u32 {
+        self.frag
+    }
+
+    /// True while a coalesce (backlog drain or quiet period) is in
+    /// progress.
+    pub fn coalescing(&self) -> bool {
+        self.w_coalesce || self.w_coalesce2
+    }
+
+    /// Submits a coalesce request. Per the paper, "a new coalesce request
+    /// can only arrive after a previous coalescing has completed"; a
+    /// request during an active coalesce is rejected.
+    pub fn request_coalesce(&mut self, req: CoalesceRequest) -> ss_types::Result<()> {
+        if self.coalescing() || self.pending.is_some() || self.active.is_some() {
+            return Err(ss_types::Error::InvalidState {
+                reason: "coalesce already in progress".into(),
+            });
+        }
+        self.pending = Some(req);
+        Ok(())
+    }
+
+    /// True when the thread has delivered everything.
+    pub fn is_done(&self) -> bool {
+        self.t >= self.n + self.w_offset
+    }
+
+    /// Executes one local interval (one iteration of lines 5–24),
+    /// returning the fragment output this interval, if any.
+    pub fn tick(&mut self) -> Option<FragmentRef> {
+        if self.is_done() {
+            return None;
+        }
+        // Lines 6–11: poll coalesce_request(). The paper's algorithm
+        // assumes steady-state delivery; a request arriving during the
+        // initial fill (t < w_offset, nothing delivered yet) is held until
+        // the fill completes.
+        if self.t >= self.w_offset {
+            self.poll_coalesce();
+        }
+        self.step_output()
+    }
+
+    fn poll_coalesce(&mut self) {
+        if let Some(req) = self.pending.take() {
+            self.skip_write = req.skip_write;
+            // backlog = w_offset − r_offset (buffered fragments to drain).
+            self.backlog = u32::try_from(i64::from(self.w_offset) - self.r_offset)
+                .expect("negative backlog");
+            self.r_offset += i64::from(req.new_frag) - i64::from(self.frag);
+            if self.backlog == 0 {
+                // Nothing buffered (the paper's algorithm assumes backlog
+                // ≥ 1; an empty backlog jumps straight to the quiet phase).
+                self.frag = req.new_frag;
+                self.w_coalesce2 = self.skip_write > 0;
+            } else {
+                self.w_coalesce = true;
+                // Park the new index; it takes effect when the backlog is
+                // drained (line 17 `i = i'`).
+                self.active = Some(req);
+            }
+        }
+    }
+
+    fn step_output(&mut self) -> Option<FragmentRef> {
+        let mut out = None;
+        if self.w_coalesce {
+            // Lines 12–19: drain one buffered fragment.
+            self.backlog -= 1;
+            out = Some(FragmentRef::new(self.t - self.w_offset, self.frag));
+            if self.backlog == 0 {
+                self.w_coalesce = false;
+                let req = self.active.take().expect("active coalesce");
+                self.frag = req.new_frag; // line 17
+                self.w_coalesce2 = self.skip_write > 0;
+            }
+        } else if self.w_coalesce2 {
+            // Lines 20–22: quiet period.
+            self.skip_write -= 1;
+            if self.skip_write == 0 {
+                self.w_coalesce2 = false;
+            }
+        } else if self.t >= self.w_offset {
+            // Line 23: normal operation.
+            out = Some(FragmentRef::new(self.t - self.w_offset, self.frag));
+        }
+        self.t += 1;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_combined_without_buffering_streams_directly() {
+        // Contiguous display: w_offset = 0 ⇒ read and output the same
+        // subobject each interval.
+        let mut p = SimpleCombined::new(3, 1, 0);
+        let acts: Vec<IntervalActions> = std::iter::from_fn(|| p.tick()).collect();
+        assert_eq!(acts.len(), 3);
+        for (t, a) in acts.iter().enumerate() {
+            assert_eq!(a.read, Some(FragmentRef::new(t as u32, 1)));
+            assert_eq!(a.output, Some(FragmentRef::new(t as u32, 1)));
+        }
+        assert!(p.is_done());
+    }
+
+    #[test]
+    fn simple_combined_buffers_then_drains() {
+        // w_offset = 2: reads lead outputs by two intervals; the tail two
+        // intervals only output.
+        let mut p = SimpleCombined::new(4, 0, 2);
+        let acts: Vec<IntervalActions> = std::iter::from_fn(|| p.tick()).collect();
+        assert_eq!(acts.len(), 6);
+        // Interval 0,1: read only.
+        assert_eq!(acts[0].read, Some(FragmentRef::new(0, 0)));
+        assert_eq!(acts[0].output, None);
+        assert_eq!(acts[1].output, None);
+        // Interval 2: read X2, output X0.
+        assert_eq!(acts[2].read, Some(FragmentRef::new(2, 0)));
+        assert_eq!(acts[2].output, Some(FragmentRef::new(0, 0)));
+        // Interval 4,5: output only.
+        assert_eq!(acts[4].read, None);
+        assert_eq!(acts[4].output, Some(FragmentRef::new(2, 0)));
+        assert_eq!(acts[5].output, Some(FragmentRef::new(3, 0)));
+    }
+
+    #[test]
+    fn simple_combined_buffer_occupancy_is_bounded_by_w_offset() {
+        let mut p = SimpleCombined::new(10, 0, 3);
+        let mut max_buf = 0;
+        while p.tick().is_some() {
+            max_buf = max_buf.max(p.buffered());
+        }
+        assert_eq!(max_buf, 3);
+        assert_eq!(p.buffered(), 0);
+    }
+
+    #[test]
+    fn every_fragment_is_output_exactly_once_in_order() {
+        for w in [0u32, 1, 2, 5] {
+            let mut p = SimpleCombined::new(20, 2, w);
+            let outs: Vec<FragmentRef> = std::iter::from_fn(|| p.tick())
+                .filter_map(|a| a.output)
+                .collect();
+            assert_eq!(outs.len(), 20, "w_offset={w}");
+            for (i, o) in outs.iter().enumerate() {
+                assert_eq!(*o, FragmentRef::new(i as u32, 2));
+            }
+        }
+    }
+
+    #[test]
+    fn write_thread_without_coalesce_matches_simple() {
+        let mut wt = WriteThread::new(5, 1, 2);
+        let outs: Vec<Option<FragmentRef>> = std::iter::from_fn(|| {
+            if wt.is_done() {
+                None
+            } else {
+                Some(wt.tick())
+            }
+        })
+        .collect();
+        assert_eq!(outs.len(), 7);
+        assert_eq!(outs[0], None);
+        assert_eq!(outs[1], None);
+        for (t, out) in outs.iter().enumerate().take(7).skip(2) {
+            assert_eq!(*out, Some(FragmentRef::new(t as u32 - 2, 1)));
+        }
+    }
+
+    #[test]
+    fn write_thread_coalesce_drains_backlog_then_goes_quiet() {
+        // Fragment 1 buffered w_offset = 2 intervals. At local t = 4 a
+        // coalesce arrives: same fragment index, new (closer) virtual disk
+        // with skip_write = 2.
+        let mut wt = WriteThread::new(10, 1, 2);
+        let mut outputs = Vec::new();
+        for t in 0..14u32 {
+            if t == 4 {
+                wt.request_coalesce(CoalesceRequest {
+                    new_frag: 1,
+                    skip_write: 2,
+                })
+                .unwrap();
+            }
+            if wt.is_done() {
+                break;
+            }
+            outputs.push((t, wt.tick()));
+        }
+        // t=0,1: nothing (filling); t=2,3: X0,X1; t=4,5: backlog X2,X3;
+        // t=6,7: quiet; t=8..: resume X6,X7,... under r_offset shift —
+        // the read thread skipped ahead, so delivery continues seamlessly
+        // from the coalesced position.
+        assert_eq!(outputs[2].1, Some(FragmentRef::new(0, 1)));
+        assert_eq!(outputs[4].1, Some(FragmentRef::new(2, 1)));
+        assert_eq!(outputs[5].1, Some(FragmentRef::new(3, 1)));
+        assert!(wt.coalescing() || outputs[6].1.is_none());
+        assert_eq!(outputs[6].1, None);
+        assert_eq!(outputs[7].1, None);
+        assert_eq!(outputs[8].1, Some(FragmentRef::new(6, 1)));
+    }
+
+    #[test]
+    fn write_thread_rejects_overlapping_coalesce() {
+        let mut wt = WriteThread::new(10, 0, 3);
+        for _ in 0..4 {
+            wt.tick();
+        }
+        wt.request_coalesce(CoalesceRequest {
+            new_frag: 0,
+            skip_write: 2,
+        })
+        .unwrap();
+        wt.tick(); // starts draining
+        assert!(wt.coalescing());
+        let err = wt.request_coalesce(CoalesceRequest {
+            new_frag: 0,
+            skip_write: 1,
+        });
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn write_thread_frag_index_updates_after_drain() {
+        let mut wt = WriteThread::new(10, 2, 2);
+        for _ in 0..3 {
+            wt.tick();
+        }
+        wt.request_coalesce(CoalesceRequest {
+            new_frag: 0,
+            skip_write: 0,
+        })
+        .unwrap();
+        // Drain the 2-fragment backlog.
+        wt.tick();
+        wt.tick();
+        assert_eq!(wt.frag(), 0);
+        assert!(!wt.coalescing()); // skip_write = 0 ⇒ no quiet period
+    }
+}

@@ -1,0 +1,306 @@
+//! System-side **dynamic coalescing** (§3.2.1, Figure 6's second act).
+//!
+//! A time-fragmented display reads fragment `i` with a virtual disk that
+//! runs `wᵢ = T₀ − Tᵢ` intervals ahead of delivery, buffering `wᵢ`
+//! fragments forever. When intervening disks free up, the system can hand
+//! fragment `i` over to a *closer* virtual disk: the old disk finishes the
+//! subobjects it already owes, the new disk picks up from the handover
+//! point with a smaller (ideally zero) offset, and the buffer bill drops.
+//! The per-disk protocol of the handover is the paper's Algorithm 2
+//! ([`crate::algorithms::WriteThread`]); this module plans and commits the
+//! handovers against the [`IntervalScheduler`]'s occupancy.
+
+use crate::admission::{AdmissionGrant, IntervalScheduler};
+use serde::{Deserialize, Serialize};
+use ss_types::ObjectId;
+
+/// The live scheduling state of one (possibly fragmented) display.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActiveFragmentedDisplay {
+    /// The displayed object.
+    pub object: ObjectId,
+    /// Physical disk of `X_{0.0}`.
+    pub start_disk: u32,
+    /// Degree of declustering.
+    pub degree: u32,
+    /// Number of subobjects.
+    pub subobjects: u32,
+    /// Current virtual disk per fragment (mutated by coalescing).
+    pub virtual_disks: Vec<u32>,
+    /// Current read-start base per fragment: fragment `i` of subobject
+    /// `s` is read at interval `read_start[i] + s` (mutated by
+    /// coalescing — a handover *raises* the lagging fragment's base).
+    pub read_start: Vec<u64>,
+    /// Delivery base: subobject `s` is output at `delivery_start + s`
+    /// (never changes; the viewer must not notice the coalesce).
+    pub delivery_start: u64,
+}
+
+impl ActiveFragmentedDisplay {
+    /// Builds the live state from a fresh grant.
+    pub fn from_grant(grant: &AdmissionGrant, start_disk: u32, subobjects: u32) -> Self {
+        ActiveFragmentedDisplay {
+            object: grant.object,
+            start_disk,
+            degree: grant.virtual_disks.len() as u32,
+            subobjects,
+            virtual_disks: grant.virtual_disks.clone(),
+            read_start: grant.read_start.clone(),
+            delivery_start: grant.delivery_start,
+        }
+    }
+
+    /// Per-fragment buffering offsets `wᵢ = T₀ − Tᵢ`.
+    pub fn offsets(&self) -> Vec<u64> {
+        self.read_start
+            .iter()
+            .map(|&t| self.delivery_start - t)
+            .collect()
+    }
+
+    /// The display's current total buffer bill (fragments).
+    pub fn buffer_total(&self) -> u64 {
+        self.offsets().iter().sum()
+    }
+
+    /// One past the last delivery interval.
+    pub fn delivery_end(&self) -> u64 {
+        self.delivery_start + u64::from(self.subobjects)
+    }
+}
+
+/// A planned handover of one fragment to a closer virtual disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoalescePlan {
+    /// The fragment index being handed over.
+    pub frag: u32,
+    /// The virtual disk currently serving it.
+    pub old_disk: u32,
+    /// The virtual disk taking over.
+    pub new_disk: u32,
+    /// First subobject the new disk reads.
+    pub handover_sub: u32,
+    /// The new read base `T'ᵢ` (new disk reads subobject `s` at
+    /// `T'ᵢ + s`).
+    pub new_read_start: u64,
+    /// Buffer fragments saved once the old disk's backlog drains:
+    /// `old offset − new offset`.
+    pub buffer_saving: u64,
+}
+
+impl IntervalScheduler {
+    /// Looks for the best handover of one fragment of `display` at
+    /// interval `now`: the plan that minimises the remaining offset
+    /// (ties: lowest fragment index). Returns `None` when the display is
+    /// already fully coalesced or no suitable free disk exists.
+    ///
+    /// A fragment is only eligible if its old disk carries no *later*
+    /// commitment (the scalar occupancy can then be shortened safely).
+    pub fn plan_coalesce(
+        &self,
+        display: &ActiveFragmentedDisplay,
+        now: u64,
+    ) -> Option<CoalescePlan> {
+        let disks = self.frame().disks();
+        let k = self.frame().stride();
+        if k == 0 {
+            return None; // stationary frame: nothing rotates, nothing coalesces
+        }
+        let n = u64::from(display.subobjects);
+        let mut best: Option<CoalescePlan> = None;
+        for (i, (&z_old, &t_old)) in display
+            .virtual_disks
+            .iter()
+            .zip(&display.read_start)
+            .enumerate()
+        {
+            let offset = display.delivery_start - t_old;
+            if offset == 0 {
+                continue; // already pipelined directly
+            }
+            // The old disk must have exactly this display's tail committed.
+            if self.free_from(z_old) != t_old + n {
+                continue;
+            }
+            let p = (display.start_disk + i as u32) % disks;
+            // Try new bases from tightest (delivery_start ⇒ zero offset)
+            // downwards; the first feasible is the best for this fragment.
+            for t_new in (t_old + 1..=display.delivery_start).rev() {
+                // The disk reading fragment i of subobject s at interval
+                // t_new + s sits over physical disk p + s·k + i there, so
+                // its virtual index is fixed: virtual_of(p, t_new).
+                let z_new = self.frame().virtual_of(p, t_new);
+                if display.virtual_disks.contains(&z_new) {
+                    continue; // already working for this display
+                }
+                // Handover point: the coalesce takes effect this
+                // interval — the old disk's read for `now` is cancelled
+                // and the new disk reads that subobject when it aligns
+                // (paper timing: the Figure 6 handover at interval 5 has
+                // the new disk read X5.1 directly at interval 7). The new
+                // disk must also have freed by its first read.
+                let s_min = now
+                    .saturating_sub(t_old)
+                    .max(self.free_from(z_new).saturating_sub(t_new));
+                if s_min >= n {
+                    continue; // nothing left for the new disk to read
+                }
+                let saving = offset - (display.delivery_start - t_new);
+                if saving == 0 {
+                    continue;
+                }
+                let plan = CoalescePlan {
+                    frag: i as u32,
+                    old_disk: z_old,
+                    new_disk: z_new,
+                    handover_sub: u32::try_from(s_min).expect("subobject fits u32"),
+                    new_read_start: t_new,
+                    buffer_saving: saving,
+                };
+                let better = match &best {
+                    None => true,
+                    Some(b) => plan.buffer_saving > b.buffer_saving,
+                };
+                if better {
+                    best = Some(plan);
+                }
+                break; // lower t_new only saves less for this fragment
+            }
+        }
+        best
+    }
+
+    /// Commits `plan`: shortens the old disk's occupancy to the handover
+    /// point and books the new disk through the remaining reads, updating
+    /// `display`'s live state. Panics if the plan no longer matches the
+    /// occupancy (plans must be applied at the interval they were made).
+    pub fn apply_coalesce(&mut self, display: &mut ActiveFragmentedDisplay, plan: &CoalescePlan) {
+        let i = plan.frag as usize;
+        let n = u64::from(display.subobjects);
+        assert_eq!(display.virtual_disks[i], plan.old_disk, "stale plan");
+        let t_old = display.read_start[i];
+        assert_eq!(
+            self.free_from(plan.old_disk),
+            t_old + n,
+            "old disk gained a later commitment"
+        );
+        assert!(
+            self.free_from(plan.new_disk) <= plan.new_read_start + u64::from(plan.handover_sub),
+            "new disk is no longer free"
+        );
+        // Old disk reads subobjects [.., handover_sub) and then frees.
+        self.set_free_from(plan.old_disk, t_old + u64::from(plan.handover_sub));
+        // New disk reads [handover_sub, n).
+        self.set_free_from(plan.new_disk, plan.new_read_start + n);
+        display.virtual_disks[i] = plan.new_disk;
+        display.read_start[i] = plan.new_read_start;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admission::AdmissionPolicy;
+    use crate::frame::VirtualFrame;
+
+    /// The Figure 6 farm: D = 8, k = 1, background displays on all but
+    /// the slots over disks 1 and 6; X (M = 2) admitted fragmented.
+    fn figure6() -> (IntervalScheduler, ActiveFragmentedDisplay) {
+        let mut sched = IntervalScheduler::new(VirtualFrame::new(8, 1));
+        for v in [0u32, 2, 3, 4, 5, 7] {
+            // The two slots *between* X's disks (virtual 7 and 0, walking
+            // 6 → 7 → 0 → 1) are the paper's "intervening busy disks";
+            // they complete at interval 5. The rest run long.
+            let len = if v == 7 || v == 0 { 5 } else { 1000 };
+            sched
+                .try_admit(0, ObjectId(100 + v), v, 1, len, AdmissionPolicy::Contiguous)
+                .unwrap();
+        }
+        let grant = sched
+            .try_admit(
+                0,
+                ObjectId(0),
+                0,
+                2,
+                10,
+                AdmissionPolicy::Fragmented {
+                    max_buffer_fragments: 16,
+                    max_delay_intervals: 8,
+                },
+            )
+            .unwrap();
+        let display = ActiveFragmentedDisplay::from_grant(&grant, 0, 10);
+        (sched, display)
+    }
+
+    #[test]
+    fn figure6_state_before_coalescing() {
+        let (_, d) = figure6();
+        assert_eq!(d.virtual_disks, vec![6, 1]);
+        assert_eq!(d.read_start, vec![2, 0]);
+        assert_eq!(d.offsets(), vec![0, 2]);
+        assert_eq!(d.buffer_total(), 2);
+        assert_eq!(d.delivery_end(), 12);
+    }
+
+    #[test]
+    fn coalesce_after_neighbours_free() {
+        let (mut sched, mut d) = figure6();
+        // Before interval 5 the intervening disks (2, 3) are busy: no
+        // beneficial plan may use them...
+        let early = sched.plan_coalesce(&d, 1);
+        if let Some(p) = &early {
+            assert!(p.new_disk != 2 && p.new_disk != 3, "{early:?}");
+        }
+        // At interval 5 the two intervening virtual disks free. Fragment
+        // 1 (offset 2, served by v1) hands over to v7 — making X's disks
+        // the adjacent pair (6, 7), exactly the paper's outcome.
+        let plan = sched.plan_coalesce(&d, 5).expect("a handover exists");
+        assert_eq!(plan.frag, 1);
+        assert_eq!(plan.old_disk, 1);
+        assert_eq!(plan.new_disk, 7);
+        assert_eq!(plan.buffer_saving, 2); // down to direct pipelining
+        assert_eq!(plan.new_read_start, d.delivery_start);
+        // The paper's timeline: the new disk's first direct read is
+        // X5.1 at interval 7 (= 2 + 5).
+        assert_eq!(plan.handover_sub, 5);
+        sched.apply_coalesce(&mut d, &plan);
+        assert_eq!(d.offsets(), vec![0, 0]);
+        assert_eq!(d.buffer_total(), 0);
+        // Old disk freed early: it read subobjects 0..5 and lets go.
+        assert_eq!(sched.free_from(plan.old_disk), 5);
+        // New disk committed through the display's end.
+        assert_eq!(sched.free_from(plan.new_disk), 12);
+        // Nothing further to coalesce.
+        assert!(sched.plan_coalesce(&d, 6).is_none());
+    }
+
+    #[test]
+    fn coalesce_respects_later_commitments_on_old_disk() {
+        let (mut sched, d) = figure6();
+        // Give the old disk (v1) a later commitment right after X ends.
+        sched.set_free_from(1, 20);
+        assert!(sched.plan_coalesce(&d, 5).is_none());
+    }
+
+    #[test]
+    fn contiguous_displays_have_nothing_to_coalesce() {
+        let mut sched = IntervalScheduler::new(VirtualFrame::new(8, 1));
+        let grant = sched
+            .try_admit(0, ObjectId(0), 0, 3, 10, AdmissionPolicy::Contiguous)
+            .unwrap();
+        let d = ActiveFragmentedDisplay::from_grant(&grant, 0, 10);
+        assert_eq!(d.buffer_total(), 0);
+        assert!(sched.plan_coalesce(&d, 3).is_none());
+    }
+
+    #[test]
+    fn stationary_frame_never_coalesces() {
+        let mut sched = IntervalScheduler::new(VirtualFrame::new(8, 8));
+        let grant = sched
+            .try_admit(0, ObjectId(0), 0, 2, 10, AdmissionPolicy::Contiguous)
+            .unwrap();
+        let d = ActiveFragmentedDisplay::from_grant(&grant, 0, 10);
+        assert!(sched.plan_coalesce(&d, 1).is_none());
+    }
+}

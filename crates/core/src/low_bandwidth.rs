@@ -1,0 +1,414 @@
+//! Low-bandwidth objects (§3.2.3): logical sub-disk scheduling.
+//!
+//! Objects with `B_display < B_disk` (audio, slow-scan video) waste disk
+//! bandwidth if each is given a whole disk per interval: a 30 mbps object
+//! on 20 mbps disks needs ⌈30/20⌉ = 2 disks and squanders 25 % of them.
+//! The paper's remedy splits each physical disk into `L` **logical disks**
+//! of `B_disk / L` bandwidth each, reads the paired subobjects back to
+//! back within one interval, and bridges the gaps with one extra buffer
+//! per object (the Figure 7 timetable).
+//!
+//! [`logical_fit`] quantifies the waste with and without logical disks;
+//! [`PairingSchedule`] generates the Figure 7 read/transmit timetable and
+//! checks its continuity.
+
+use serde::{Deserialize, Serialize};
+use ss_types::Bandwidth;
+
+/// How well an object of rate `display` fits integral allocation units of
+/// rate `unit`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FitReport {
+    /// Units allocated (`⌈display/unit⌉`).
+    pub units: u64,
+    /// Bandwidth allocated.
+    pub allocated: Bandwidth,
+    /// Fraction of the allocated bandwidth wasted by rounding up.
+    pub wasted: f64,
+}
+
+/// Computes the rounding waste when `display` is served by integral units
+/// of `unit` bandwidth.
+pub fn fit(display: Bandwidth, unit: Bandwidth) -> FitReport {
+    let units = display.div_ceil(unit);
+    let allocated = unit * units;
+    let wasted = 1.0 - display.as_mbps_f64() / allocated.as_mbps_f64();
+    FitReport {
+        units,
+        allocated,
+        wasted,
+    }
+}
+
+/// Computes the fit when each physical disk of rate `b_disk` is split into
+/// `slots` logical disks (§3.2.3's scheme with `slots = 2` halves).
+pub fn logical_fit(display: Bandwidth, b_disk: Bandwidth, slots: u64) -> FitReport {
+    assert!(slots >= 1);
+    fit(display, b_disk / slots)
+}
+
+/// One slot's action in the Figure 7 timetable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SlotAction {
+    /// Read subobject `sub` of object `obj` from disk (pipelining the
+    /// first half straight to the network).
+    ReadAndTransmit {
+        /// Which of the paired objects (0 or 1).
+        obj: u8,
+        /// Subobject index read.
+        sub: u32,
+    },
+    /// Transmit the second half of `(obj, sub)` from the buffer while the
+    /// *other* object is being read.
+    TransmitBuffered {
+        /// Which of the paired objects (0 or 1).
+        obj: u8,
+        /// Subobject whose buffered half is transmitted.
+        sub: u32,
+    },
+}
+
+/// The Figure 7 timetable for two paired half-bandwidth objects sharing
+/// one disk stream: each time interval is split into two halves; object 0
+/// is read in the first half, object 1 in the second, and each object's
+/// buffered half bridges into the neighbouring half-interval.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PairingSchedule {
+    /// `half_intervals[h]` lists the actions in half-interval `h`
+    /// (half-interval `2t` and `2t+1` make up time interval `t`).
+    pub half_intervals: Vec<Vec<SlotAction>>,
+}
+
+impl PairingSchedule {
+    /// Builds the schedule for two objects of `n` subobjects each.
+    pub fn pair(n: u32) -> Self {
+        let mut halves: Vec<Vec<SlotAction>> = Vec::with_capacity(2 * n as usize + 1);
+        for t in 0..n {
+            // First half of interval t: read X_t (transmit X_t's first
+            // half directly) and transmit Y_{t-1}'s buffered second half.
+            let mut first = vec![SlotAction::ReadAndTransmit { obj: 0, sub: t }];
+            if t > 0 {
+                first.push(SlotAction::TransmitBuffered { obj: 1, sub: t - 1 });
+            }
+            halves.push(first);
+            // Second half: read Y_t and transmit X_t's buffered half.
+            halves.push(vec![
+                SlotAction::ReadAndTransmit { obj: 1, sub: t },
+                SlotAction::TransmitBuffered { obj: 0, sub: t },
+            ]);
+        }
+        // Trailing half-interval: drain Y's last buffered half.
+        if n > 0 {
+            halves.push(vec![SlotAction::TransmitBuffered { obj: 1, sub: n - 1 }]);
+        }
+        PairingSchedule {
+            half_intervals: halves,
+        }
+    }
+
+    /// Verifies delivery continuity: once an object's first transmission
+    /// happens, it transmits something in **every** subsequent
+    /// half-interval until its data runs out (the §3.2.3 requirement that
+    /// "the data in subobject `X_i` needs to be delivered during the
+    /// entire time interval"). Returns the number of half-intervals each
+    /// object transmitted.
+    pub fn verify_continuity(&self) -> Result<[u32; 2], String> {
+        let mut counts = [0u32; 2];
+        for obj in 0..2u8 {
+            let transmitting: Vec<bool> = self
+                .half_intervals
+                .iter()
+                .map(|acts| {
+                    acts.iter().any(|a| match a {
+                        SlotAction::ReadAndTransmit { obj: o, .. } => *o == obj,
+                        SlotAction::TransmitBuffered { obj: o, .. } => *o == obj,
+                    })
+                })
+                .collect();
+            let first = transmitting.iter().position(|&b| b);
+            let last = transmitting.iter().rposition(|&b| b);
+            if let (Some(f), Some(l)) = (first, last) {
+                for (h, &on) in transmitting.iter().enumerate().take(l + 1).skip(f) {
+                    if !on {
+                        return Err(format!("object {obj} silent in half-interval {h}"));
+                    }
+                }
+                counts[obj as usize] = (l - f + 1) as u32;
+            }
+        }
+        Ok(counts)
+    }
+
+    /// Maximum number of buffered half-subobjects held at once (the extra
+    /// memory bill of the scheme). For the two-object pairing this is one
+    /// half-subobject per object.
+    pub fn max_buffered_halves(&self) -> u32 {
+        // By construction: X buffers its second half during each second
+        // half-interval; Y buffers during each first half-interval. At any
+        // instant at most one half per object is pending.
+        2
+    }
+}
+
+/// Generalisation of the pairing to `L ≥ 2` objects sharing one disk
+/// stream: each time interval is split into `L` slices; object `g` is
+/// read in slice `g` and its remaining `L−1` slices' worth of data is
+/// buffered and transmitted while the other objects are read. Each object
+/// effectively owns a logical disk of `B_disk / L`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GroupSchedule {
+    /// Number of objects sharing the disk (`L`).
+    pub group: u32,
+    /// `slices[s]` lists the actions in slice `s` (slice `L·t + g` is
+    /// slice `g` of interval `t`).
+    pub slices: Vec<Vec<SlotAction>>,
+}
+
+impl GroupSchedule {
+    /// Builds the schedule for `group` objects of `n` subobjects each.
+    /// Panics unless `group ≥ 2` (a single object needs no sharing).
+    pub fn new(group: u32, n: u32) -> Self {
+        assert!(group >= 2, "grouping needs at least two objects");
+        let l = group as usize;
+        let mut slices: Vec<Vec<SlotAction>> = Vec::with_capacity(l * n as usize + l);
+        for t in 0..n {
+            for g in 0..l {
+                let mut acts = vec![SlotAction::ReadAndTransmit {
+                    obj: g as u8,
+                    sub: t,
+                }];
+                // Every *other* object transmits a buffered slice of its
+                // most recent subobject.
+                for other in 0..l {
+                    if other == g {
+                        continue;
+                    }
+                    // Object `other` has data buffered once it has been
+                    // read at least once: subobject t if other < g
+                    // (read earlier this interval), else t−1.
+                    let sub = if other < g {
+                        Some(t)
+                    } else {
+                        t.checked_sub(1)
+                    };
+                    if let Some(sub) = sub {
+                        acts.push(SlotAction::TransmitBuffered {
+                            obj: other as u8,
+                            sub,
+                        });
+                    }
+                }
+                slices.push(acts);
+            }
+        }
+        // Drain: object g's last read (slice L(n−1)+g) covers delivery
+        // through slice Ln+g−1, so drain slice j (global index Ln+j)
+        // carries exactly the objects with index > j.
+        if n > 0 {
+            for j in 0..l.saturating_sub(1) {
+                let acts: Vec<SlotAction> = ((j + 1)..l)
+                    .map(|other| SlotAction::TransmitBuffered {
+                        obj: other as u8,
+                        sub: n - 1,
+                    })
+                    .collect();
+                slices.push(acts);
+            }
+        }
+        GroupSchedule {
+            group,
+            slices,
+        }
+    }
+
+    /// Verifies that, once an object starts transmitting, it transmits in
+    /// every slice until its data runs out, and that every subobject of
+    /// every object is read exactly once. Returns per-object transmit
+    /// slice counts.
+    pub fn verify_continuity(&self) -> std::result::Result<Vec<u32>, String> {
+        let l = self.group as usize;
+        let mut counts = vec![0u32; l];
+        for obj in 0..l as u8 {
+            let on: Vec<bool> = self
+                .slices
+                .iter()
+                .map(|acts| {
+                    acts.iter().any(|a| match a {
+                        SlotAction::ReadAndTransmit { obj: o, .. }
+                        | SlotAction::TransmitBuffered { obj: o, .. } => *o == obj,
+                    })
+                })
+                .collect();
+            let (first, last) = match (on.iter().position(|&b| b), on.iter().rposition(|&b| b)) {
+                (Some(f), Some(lst)) => (f, lst),
+                _ => continue,
+            };
+            for (s, &flag) in on.iter().enumerate().take(last + 1).skip(first) {
+                if !flag {
+                    return Err(format!("object {obj} silent in slice {s}"));
+                }
+            }
+            counts[obj as usize] = (last - first + 1) as u32;
+        }
+        // Exactly one read per (object, subobject).
+        let mut reads = std::collections::HashMap::new();
+        for acts in &self.slices {
+            for a in acts {
+                if let SlotAction::ReadAndTransmit { obj, sub } = a {
+                    *reads.entry((*obj, *sub)).or_insert(0u32) += 1;
+                }
+            }
+        }
+        for (&(obj, sub), &c) in &reads {
+            if c != 1 {
+                return Err(format!("object {obj} subobject {sub} read {c} times"));
+            }
+        }
+        Ok(counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_30mbps_wastes_25_percent() {
+        // §3.2.3: "an object requiring 30 mbps when B_disk = 20 would
+        // waste 25 percent of the bandwidth of the two disks used".
+        let r = fit(Bandwidth::mbps(30), Bandwidth::mbps(20));
+        assert_eq!(r.units, 2);
+        assert_eq!(r.allocated, Bandwidth::mbps(40));
+        assert!((r.wasted - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn half_disks_fit_3_halves_exactly() {
+        // §3.2.3: "an object that has B_display = 3/2 B_disk can be
+        // exactly accommodated with no loss due to rounding up".
+        let r = logical_fit(Bandwidth::mbps(30), Bandwidth::mbps(20), 2);
+        assert_eq!(r.units, 3);
+        assert_eq!(r.allocated, Bandwidth::mbps(30));
+        assert!(r.wasted.abs() < 1e-12);
+    }
+
+    #[test]
+    fn logical_split_never_increases_waste() {
+        for mbps in [5u64, 10, 15, 25, 30, 45, 55, 70, 90, 110] {
+            let whole = fit(Bandwidth::mbps(mbps), Bandwidth::mbps(20));
+            let halves = logical_fit(Bandwidth::mbps(mbps), Bandwidth::mbps(20), 2);
+            assert!(
+                halves.wasted <= whole.wasted + 1e-12,
+                "{mbps} mbps: {} vs {}",
+                halves.wasted,
+                whole.wasted
+            );
+        }
+    }
+
+    #[test]
+    fn figure7_first_interval_matches_paper() {
+        // Figure 7, disk 0, interval 0: first half "Read X0 / Xmit X0a";
+        // second half "Read Y0 / Xmit X0b / Xmit Y0a".
+        let s = PairingSchedule::pair(3);
+        assert_eq!(
+            s.half_intervals[0],
+            vec![SlotAction::ReadAndTransmit { obj: 0, sub: 0 }]
+        );
+        assert_eq!(
+            s.half_intervals[1],
+            vec![
+                SlotAction::ReadAndTransmit { obj: 1, sub: 0 },
+                SlotAction::TransmitBuffered { obj: 0, sub: 0 },
+            ]
+        );
+        // Interval 1 first half: Read X1 / Xmit X1a / Xmit Y0b.
+        assert_eq!(
+            s.half_intervals[2],
+            vec![
+                SlotAction::ReadAndTransmit { obj: 0, sub: 1 },
+                SlotAction::TransmitBuffered { obj: 1, sub: 0 },
+            ]
+        );
+    }
+
+    #[test]
+    fn pairing_delivery_is_continuous() {
+        let s = PairingSchedule::pair(10);
+        let counts = s.verify_continuity().unwrap();
+        // X transmits from half 0 through half 19 (20 halves = 10
+        // intervals); Y from half 1 through half 20.
+        assert_eq!(counts, [20, 20]);
+    }
+
+    #[test]
+    fn pairing_buffer_bill_is_one_half_per_object() {
+        let s = PairingSchedule::pair(5);
+        assert_eq!(s.max_buffered_halves(), 2);
+    }
+
+    #[test]
+    fn every_subobject_read_exactly_once() {
+        let n = 7u32;
+        let s = PairingSchedule::pair(n);
+        for obj in 0..2u8 {
+            let mut reads: Vec<u32> = s
+                .half_intervals
+                .iter()
+                .flatten()
+                .filter_map(|a| match a {
+                    SlotAction::ReadAndTransmit { obj: o, sub } if *o == obj => Some(*sub),
+                    _ => None,
+                })
+                .collect();
+            reads.sort_unstable();
+            assert_eq!(reads, (0..n).collect::<Vec<_>>(), "object {obj}");
+        }
+    }
+
+    #[test]
+    fn group_of_two_matches_pairing_shape() {
+        let g = GroupSchedule::new(2, 4);
+        let counts = g.verify_continuity().unwrap();
+        // Each object transmits in 2n consecutive slices, same as the
+        // dedicated pairing.
+        assert_eq!(counts, vec![8, 8]);
+    }
+
+    #[test]
+    fn group_of_four_quarters_the_disk() {
+        // Four objects with B_display = B_disk/4 share one disk: quarter
+        // slices, continuous delivery for each.
+        let g = GroupSchedule::new(4, 6);
+        let counts = g.verify_continuity().unwrap();
+        for (obj, &c) in counts.iter().enumerate() {
+            assert_eq!(c, 24, "object {obj}");
+        }
+        // 6 intervals × 4 slices + 3 drain slices.
+        assert_eq!(g.slices.len(), 27);
+    }
+
+    #[test]
+    fn quarter_disk_fit_is_exact_for_multiples() {
+        // 5 mbps objects on 20 mbps disks: whole disks waste 75 %;
+        // quarter logical disks waste nothing.
+        let whole = fit(Bandwidth::mbps(5), Bandwidth::mbps(20));
+        assert!((whole.wasted - 0.75).abs() < 1e-12);
+        let quarters = logical_fit(Bandwidth::mbps(5), Bandwidth::mbps(20), 4);
+        assert_eq!(quarters.units, 1);
+        assert!(quarters.wasted.abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn group_of_one_is_rejected() {
+        GroupSchedule::new(1, 5);
+    }
+
+    #[test]
+    fn empty_pairing_is_empty() {
+        let s = PairingSchedule::pair(0);
+        assert!(s.half_intervals.is_empty());
+        assert_eq!(s.verify_continuity().unwrap(), [0, 0]);
+    }
+}

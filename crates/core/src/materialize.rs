@@ -1,0 +1,218 @@
+//! Materialization write plans (§3.2.4): moving an object from tertiary
+//! store onto the staggered disk layout without wasting either device's
+//! bandwidth.
+//!
+//! The tertiary device streams slower than a display consumes
+//! (`B_tertiary < B_display`), so each time interval it produces only a
+//! few fragments' worth of data. If the tape is recorded in
+//! **fragment-delivery order** (`X_{0.0}, X_{0.1}, …` — exactly the order
+//! the disks need them), the writer simply walks the tape forward, writing
+//! each produced fragment to its home disk: zero repositioning, full
+//! streaming bandwidth. A tape recorded in plain display order with a
+//! different fragment grouping would force a reposition whenever the
+//! write target jumps — the paper's "wasteful work".
+
+use crate::placement::StripingLayout;
+use serde::{Deserialize, Serialize};
+use ss_types::{Bandwidth, Bytes, DiskId, SimDuration};
+
+/// One fragment write in the plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduledWrite {
+    /// Interval (counting from materialization start) of the write.
+    pub interval: u64,
+    /// Destination disk.
+    pub disk: DiskId,
+    /// Subobject index.
+    pub sub: u32,
+    /// Fragment index within the subobject.
+    pub frag: u32,
+    /// Position of this fragment on the tape (monotone for a
+    /// fragment-ordered tape — the no-reposition property).
+    pub tape_position: u64,
+}
+
+/// The complete write plan of one materialization.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MaterializationPlan {
+    /// All writes, in execution order.
+    pub writes: Vec<ScheduledWrite>,
+    /// Whole fragments the device produces per interval.
+    pub fragments_per_interval: u64,
+    /// Total intervals the materialization occupies.
+    pub intervals: u64,
+}
+
+impl MaterializationPlan {
+    /// Plans a fragment-ordered materialization of `layout` with a device
+    /// of `b_tertiary` raw bandwidth, a global `interval` length, and the
+    /// given `fragment` size.
+    ///
+    /// Fractional per-interval production is handled by accumulating
+    /// credit: the device banks `B_t × interval` bytes per interval and a
+    /// fragment is written whenever a whole fragment of credit exists, so
+    /// the long-run write rate is exact (no systematic rounding loss).
+    pub fn fragment_ordered(
+        layout: &StripingLayout,
+        b_tertiary: Bandwidth,
+        interval: SimDuration,
+        fragment: Bytes,
+    ) -> Self {
+        assert!(!b_tertiary.is_zero(), "tertiary bandwidth must be positive");
+        let per_interval_bytes = b_tertiary.bytes_in(interval).as_u64();
+        assert!(
+            per_interval_bytes > 0,
+            "interval too short for any production"
+        );
+        let frag_bytes = fragment.as_u64();
+        let total = layout.total_fragments();
+        let mut writes = Vec::with_capacity(total as usize);
+        let mut credit: u64 = 0;
+        let mut interval_idx: u64 = 0;
+        let mut tape_position: u64 = 0;
+        'outer: for sub in 0..layout.subobjects {
+            for frag_idx in 0..layout.degree {
+                // Wait until a whole fragment of credit has accumulated.
+                while credit < frag_bytes {
+                    credit += per_interval_bytes;
+                    interval_idx += 1;
+                }
+                credit -= frag_bytes;
+                writes.push(ScheduledWrite {
+                    interval: interval_idx - 1,
+                    disk: layout.fragment_disk(sub, frag_idx),
+                    sub,
+                    frag: frag_idx,
+                    tape_position,
+                });
+                tape_position += 1;
+                if tape_position == total {
+                    break 'outer;
+                }
+            }
+        }
+        MaterializationPlan {
+            fragments_per_interval: per_interval_bytes / frag_bytes,
+            intervals: interval_idx,
+            writes,
+        }
+    }
+
+    /// The number of tape repositions the plan incurs: one for every
+    /// backwards (or skipping) move of the tape position. Zero for a
+    /// fragment-ordered tape — the §3.2.4 guarantee this module exists to
+    /// demonstrate.
+    pub fn repositions(&self) -> u64 {
+        self.writes
+            .windows(2)
+            .filter(|w| w[1].tape_position != w[0].tape_position + 1)
+            .count() as u64
+    }
+
+    /// The maximum number of distinct disks written in any one interval.
+    pub fn peak_disks_per_interval(&self) -> usize {
+        use std::collections::HashMap;
+        let mut per: HashMap<u64, Vec<DiskId>> = HashMap::new();
+        for w in &self.writes {
+            per.entry(w.interval).or_default().push(w.disk);
+        }
+        per.values()
+            .map(|disks| {
+                let mut d = disks.clone();
+                d.sort_unstable();
+                d.dedup();
+                d.len()
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Wall-clock duration of the materialization.
+    pub fn duration(&self, interval: SimDuration) -> SimDuration {
+        interval * self.intervals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_types::ObjectId;
+
+    /// The §3.2.4 example: B_display = 80 mbps, B_tertiary = 40 mbps,
+    /// B_disk = 20 mbps ⇒ M = 4, two fragments produced per interval.
+    fn example_layout() -> StripingLayout {
+        StripingLayout::new(ObjectId(0), 0, 4, 50, 100, 1)
+    }
+
+    fn plan() -> MaterializationPlan {
+        // interval = fragment/B_disk: 1.512 MB at 20 mbps = 0.6048 s;
+        // 40 mbps × 0.6048 s = 3.024 MB = exactly 2 fragments.
+        MaterializationPlan::fragment_ordered(
+            &example_layout(),
+            Bandwidth::mbps(40),
+            SimDuration::from_micros(604_800),
+            Bytes::new(1_512_000),
+        )
+    }
+
+    #[test]
+    fn paper_example_writes_two_fragments_per_cycle() {
+        let p = plan();
+        assert_eq!(p.fragments_per_interval, 2);
+        // 200 fragments at 2 per interval = 100 intervals.
+        assert_eq!(p.intervals, 100);
+        assert_eq!(p.writes.len(), 200);
+        // First cycle writes X0.0, X0.1; second cycle X0.2, X0.3; the
+        // subobject completes in two cycles (M / fragments_per_interval).
+        assert_eq!((p.writes[0].sub, p.writes[0].frag), (0, 0));
+        assert_eq!((p.writes[1].sub, p.writes[1].frag), (0, 1));
+        assert_eq!(p.writes[0].interval, 0);
+        assert_eq!(p.writes[2].interval, 1);
+        assert_eq!((p.writes[3].sub, p.writes[3].frag), (0, 3));
+    }
+
+    #[test]
+    fn fragment_ordered_tape_never_repositions() {
+        assert_eq!(plan().repositions(), 0);
+    }
+
+    #[test]
+    fn writes_follow_the_staggered_layout() {
+        let l = example_layout();
+        for w in &plan().writes {
+            assert_eq!(w.disk, l.fragment_disk(w.sub, w.frag));
+        }
+    }
+
+    #[test]
+    fn write_load_is_bounded_by_production() {
+        // At 2 fragments/interval no interval touches more than 2 disks.
+        assert_eq!(plan().peak_disks_per_interval(), 2);
+    }
+
+    #[test]
+    fn duration_matches_streaming_time() {
+        let p = plan();
+        // 200 fragments × 1.512 MB at 40 mbps = 60.48 s = 100 intervals.
+        let d = p.duration(SimDuration::from_micros(604_800));
+        assert_eq!(d, SimDuration::from_micros(60_480_000));
+    }
+
+    #[test]
+    fn fractional_production_banks_credit() {
+        // B_t = 30 mbps produces 1.5 fragments per interval: writes 1, 2,
+        // 1, 2, ... fragments per interval; the long-run rate is exact.
+        let l = StripingLayout::new(ObjectId(0), 3, 3, 40, 30, 1);
+        let p = MaterializationPlan::fragment_ordered(
+            &l,
+            Bandwidth::mbps(30),
+            SimDuration::from_micros(604_800),
+            Bytes::new(1_512_000),
+        );
+        assert_eq!(p.writes.len(), 120);
+        assert_eq!(p.repositions(), 0);
+        // 120 fragments / 1.5 per interval = 80 intervals.
+        assert_eq!(p.intervals, 80);
+        assert!(p.peak_disks_per_interval() <= 2);
+    }
+}

@@ -1,0 +1,605 @@
+//! Placement engines: mapping every fragment of every object onto
+//! `(disk, cylinder)` addresses.
+//!
+//! The staggered rule places fragment `j` of subobject `i` of an object
+//! whose first subobject starts on disk `s` at physical disk
+//! `(s + i·k + j) mod D`. Three classic layouts fall out of the stride:
+//!
+//! * `k = M` — **simple striping** (§3.1, Figure 1): consecutive
+//!   subobjects occupy disjoint, physically adjacent clusters.
+//! * `1 ≤ k < M` — **staggered striping** proper (§3.2, Figures 4 and 5):
+//!   consecutive subobjects overlap, shifted by `k`.
+//! * `k ≡ 0 (mod D)` — the stationary layout underlying **virtual data
+//!   replication**: every subobject lands on the same `M` disks.
+//!
+//! [`StripingLayout`] is the pure address arithmetic; [`PlacementMap`]
+//! additionally tracks per-disk cylinder allocation so residency decisions
+//! respect storage capacity.
+
+use crate::media::ObjectSpec;
+use serde::{Deserialize, Serialize};
+use ss_disk::{CylinderAllocator, CylinderRange};
+use ss_types::{Bandwidth, Bytes, DiskId, Error, ObjectId, Result};
+use std::collections::HashMap;
+
+/// System-wide placement parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StripingConfig {
+    /// Number of disks `D`.
+    pub disks: u32,
+    /// The stride `k` (distance between first fragments of consecutive
+    /// subobjects). `k % D == 0` gives the stationary layout.
+    pub stride: u32,
+    /// Global fragment size (the same for every media type; §3.2).
+    pub fragment: Bytes,
+    /// Effective per-disk bandwidth `B_disk` used to derive degrees of
+    /// declustering.
+    pub b_disk: Bandwidth,
+}
+
+impl StripingConfig {
+    /// The §4 simulation configuration: `D = 1000`, `k = 5` (simple
+    /// striping: the stride equals the degree of the single media type),
+    /// one-cylinder fragments of 1.512 MB, `B_disk = 20 mbps`.
+    pub fn table3() -> Self {
+        StripingConfig {
+            disks: 1000,
+            stride: 5,
+            fragment: Bytes::new(1_512_000),
+            b_disk: Bandwidth::mbps(20),
+        }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.disks == 0 {
+            return Err(Error::InvalidConfig {
+                reason: "no disks".into(),
+            });
+        }
+        if self.fragment.is_zero() {
+            return Err(Error::InvalidConfig {
+                reason: "zero fragment size".into(),
+            });
+        }
+        if self.b_disk.is_zero() {
+            return Err(Error::InvalidConfig {
+                reason: "zero disk bandwidth".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The disk/cylinder address of one fragment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FragmentAddr {
+    /// The drive holding the fragment.
+    pub disk: DiskId,
+    /// The first cylinder of the fragment on that drive.
+    pub cylinder: u32,
+}
+
+/// Pure address arithmetic for one placed object.
+///
+/// ```
+/// use ss_core::placement::StripingLayout;
+/// use ss_types::{DiskId, ObjectId};
+///
+/// // Figure 4: 8 disks, stride 1, M = 3, starting on disk 0.
+/// let x = StripingLayout::new(ObjectId(0), 0, 3, 8, 8, 1);
+/// assert_eq!(x.fragment_disk(0, 0), DiskId(0));
+/// assert_eq!(x.fragment_disk(1, 0), DiskId(1)); // shifted by the stride
+/// assert_eq!(x.fragment_disk(7, 1), DiskId(0)); // wraps around the farm
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StripingLayout {
+    /// The object this layout describes.
+    pub object: ObjectId,
+    /// Disk of fragment `X_{0.0}`.
+    pub start_disk: u32,
+    /// Degree of declustering `M`.
+    pub degree: u32,
+    /// Number of subobjects `n`.
+    pub subobjects: u32,
+    /// Total disks `D`.
+    pub disks: u32,
+    /// Stride `k` (already reduced mod `D`).
+    pub stride: u32,
+}
+
+impl StripingLayout {
+    /// Builds the layout. Panics if the degree exceeds the farm size.
+    pub fn new(
+        object: ObjectId,
+        start_disk: u32,
+        degree: u32,
+        subobjects: u32,
+        disks: u32,
+        stride: u32,
+    ) -> Self {
+        assert!(degree >= 1 && degree <= disks, "degree {degree} vs {disks} disks");
+        assert!(start_disk < disks);
+        StripingLayout {
+            object,
+            start_disk,
+            degree,
+            subobjects,
+            disks,
+            stride: stride % disks,
+        }
+    }
+
+    /// The physical disk holding fragment `X_{sub.frag}`:
+    /// `(start + sub·k + frag) mod D`.
+    pub fn fragment_disk(&self, sub: u32, frag: u32) -> DiskId {
+        debug_assert!(sub < self.subobjects, "subobject {sub} out of range");
+        debug_assert!(frag < self.degree, "fragment {frag} out of range");
+        let d = u64::from(self.disks);
+        let pos =
+            (u64::from(self.start_disk) + u64::from(sub) * u64::from(self.stride) + u64::from(frag))
+                % d;
+        DiskId(pos as u32)
+    }
+
+    /// The disk holding the first fragment of subobject `sub`.
+    pub fn subobject_start_disk(&self, sub: u32) -> DiskId {
+        self.fragment_disk(sub, 0)
+    }
+
+    /// How many fragments of this object land on each disk (length-`D`
+    /// vector), computed analytically in `O(D·M)` using the periodicity of
+    /// `i·k mod D`.
+    pub fn fragments_per_disk(&self) -> Vec<u32> {
+        let d = u64::from(self.disks);
+        let k = u64::from(self.stride);
+        let n = u64::from(self.subobjects);
+        let mut counts = vec![0u32; self.disks as usize];
+        if k == 0 {
+            // Stationary: every subobject on the same M disks.
+            for j in 0..self.degree {
+                let disk = ((u64::from(self.start_disk) + u64::from(j)) % d) as usize;
+                counts[disk] = self.subobjects;
+            }
+            return counts;
+        }
+        let g = crate::frame::gcd(k, d);
+        let period = d / g; // i·k mod D cycles with this period
+        let full_cycles = n / period;
+        let remainder = n % period;
+        // For each disk, for each fragment index j, count subobjects i with
+        // (start + i·k + j) ≡ disk (mod D).
+        for (disk, slot) in counts.iter_mut().enumerate() {
+            let mut c = 0u64;
+            for j in 0..u64::from(self.degree) {
+                // Need i·k ≡ disk − start − j (mod D).
+                let rho = (disk as u64 + 2 * d - u64::from(self.start_disk) % d - j % d) % d;
+                if !rho.is_multiple_of(g) {
+                    continue;
+                }
+                // Solutions i ≡ i0 (mod period); count those < n.
+                let i0 = smallest_solution(k, d, rho);
+                c += full_cycles + u64::from(i0 < remainder);
+            }
+            *slot = u32::try_from(c).expect("fragment count overflow");
+        }
+        counts
+    }
+
+    /// Total fragments of the object.
+    pub fn total_fragments(&self) -> u64 {
+        u64::from(self.subobjects) * u64::from(self.degree)
+    }
+}
+
+/// Smallest `i ≥ 0` with `i·k ≡ rho (mod d)`; caller guarantees
+/// `gcd(k,d) | rho`.
+fn smallest_solution(k: u64, d: u64, rho: u64) -> u64 {
+    let g = crate::frame::gcd(k, d);
+    let (k1, d1, r1) = (k / g, d / g, rho / g);
+    if d1 <= 1 {
+        return 0;
+    }
+    // i ≡ r1 · k1⁻¹ (mod d1); k1 and d1 are coprime, so the inverse
+    // exists (extended Euclid).
+    let (mut old_r, mut r) = (k1 as i128, d1 as i128);
+    let (mut old_s, mut s) = (1i128, 0i128);
+    while r != 0 {
+        let q = old_r / r;
+        (old_r, r) = (r, old_r - q * r);
+        (old_s, s) = (s, old_s - q * s);
+    }
+    let m = d1 as i128;
+    let inv = ((old_s % m + m) % m) as u64;
+    (r1 % d1) * inv % d1
+}
+
+/// One object's placement: address arithmetic plus the cylinder ranges it
+/// occupies on each disk.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlacedObject {
+    /// The address arithmetic.
+    pub layout: StripingLayout,
+    /// Cylinder ranges occupied per disk (indexed by disk id; empty for
+    /// untouched disks).
+    pub ranges: Vec<Vec<CylinderRange>>,
+}
+
+impl PlacedObject {
+    /// Cylinders this object occupies on `disk`.
+    pub fn cylinders_on(&self, disk: DiskId) -> u32 {
+        self.ranges[disk.index()].iter().map(|r| r.len).sum()
+    }
+}
+
+/// A placement map over the whole farm: layouts plus capacity accounting.
+#[derive(Debug, Clone)]
+pub struct PlacementMap {
+    config: StripingConfig,
+    cylinders_per_fragment: u32,
+    allocators: Vec<CylinderAllocator>,
+    placed: HashMap<ObjectId, PlacedObject>,
+    next_start: u32,
+    /// First start of the current round-robin cycle; bumped by one when a
+    /// non-coprime stride wraps, so successive cycles cover *all* residues
+    /// instead of locking onto multiples of `gcd(D, k)`.
+    cycle_base: u32,
+}
+
+impl PlacementMap {
+    /// Creates an empty map over drives with `cylinders` cylinders each.
+    /// `cylinders_per_fragment` is how many cylinders one fragment spans
+    /// (1 in the Table 3 configuration, 2 for the §3.1 "two-cylinder
+    /// fragments" variant).
+    pub fn new(config: StripingConfig, cylinders: u32, cylinders_per_fragment: u32) -> Result<Self> {
+        config.validate()?;
+        if cylinders_per_fragment == 0 {
+            return Err(Error::InvalidConfig {
+                reason: "fragment must span at least one cylinder".into(),
+            });
+        }
+        let cyl_capacity = config.fragment / u64::from(cylinders_per_fragment);
+        let allocators = (0..config.disks)
+            .map(|d| CylinderAllocator::new(DiskId(d), cylinders, cyl_capacity))
+            .collect();
+        Ok(PlacementMap {
+            config,
+            cylinders_per_fragment,
+            allocators,
+            placed: HashMap::new(),
+            next_start: 0,
+            cycle_base: 0,
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &StripingConfig {
+        &self.config
+    }
+
+    /// Number of placed (resident) objects.
+    pub fn resident_count(&self) -> usize {
+        self.placed.len()
+    }
+
+    /// True iff `id` is placed.
+    pub fn is_resident(&self, id: ObjectId) -> bool {
+        self.placed.contains_key(&id)
+    }
+
+    /// The placement of `id`, if resident.
+    pub fn get(&self, id: ObjectId) -> Option<&PlacedObject> {
+        self.placed.get(&id)
+    }
+
+    /// Iterates over resident objects.
+    pub fn iter(&self) -> impl Iterator<Item = (&ObjectId, &PlacedObject)> {
+        self.placed.iter()
+    }
+
+    /// Places `spec` starting at the next round-robin start disk.
+    /// On capacity shortfall the map is left unchanged and an error
+    /// identifying the first full disk is returned.
+    ///
+    /// Start selection balances storage for every stride: a stationary
+    /// layout (`k ≡ 0 mod D`) packs objects side by side (VDR-style, each
+    /// object's `M` disks directly after the previous one's); a rotating
+    /// layout advances by the stride, and when the start cycles back to
+    /// its origin (non-coprime strides revisit only `D/gcd(D,k)`
+    /// positions) the cycle origin shifts by one so the next round covers
+    /// fresh residues.
+    pub fn place(&mut self, spec: &ObjectSpec) -> Result<&PlacedObject> {
+        let d = self.config.disks;
+        let k = self.config.stride % d;
+        let start = self.next_start;
+        let next = if k == 0 {
+            (start + spec.degree(self.config.b_disk)) % d
+        } else {
+            let wrapped = (start + k) % d;
+            if wrapped == self.cycle_base {
+                self.cycle_base = (self.cycle_base + 1) % d;
+                self.cycle_base
+            } else {
+                wrapped
+            }
+        };
+        self.place_at(spec, start).map(|_| ())?;
+        self.next_start = next;
+        Ok(&self.placed[&spec.id])
+    }
+
+    /// Places `spec` with `X_{0.0}` on `start_disk`.
+    pub fn place_at(&mut self, spec: &ObjectSpec, start_disk: u32) -> Result<&PlacedObject> {
+        if self.placed.contains_key(&spec.id) {
+            return Err(Error::InvalidState {
+                reason: format!("object {} is already placed", spec.id),
+            });
+        }
+        let degree = spec.degree(self.config.b_disk);
+        if degree > self.config.disks {
+            return Err(Error::BandwidthUnsatisfiable {
+                object: spec.id,
+                required: spec.media.display_bandwidth,
+                available: self.config.b_disk * u64::from(self.config.disks),
+            });
+        }
+        let layout = StripingLayout::new(
+            spec.id,
+            start_disk % self.config.disks,
+            degree,
+            spec.subobjects,
+            self.config.disks,
+            self.config.stride,
+        );
+        let per_disk = layout.fragments_per_disk();
+        // Feasibility check before mutating any allocator.
+        for (d, &frags) in per_disk.iter().enumerate() {
+            let need = frags * self.cylinders_per_fragment;
+            let have = self.allocators[d].free_cylinders();
+            if have < need {
+                return Err(Error::DiskFull {
+                    disk: DiskId(d as u32),
+                    requested: self.config.fragment * u64::from(frags),
+                    available: self.allocators[d].free_bytes(),
+                });
+            }
+        }
+        let mut ranges = vec![Vec::new(); self.config.disks as usize];
+        for (d, &frags) in per_disk.iter().enumerate() {
+            let need = frags * self.cylinders_per_fragment;
+            if need > 0 {
+                ranges[d] = self.allocators[d]
+                    .allocate(need)
+                    .expect("feasibility was checked");
+            }
+        }
+        self.placed
+            .insert(spec.id, PlacedObject { layout, ranges });
+        Ok(&self.placed[&spec.id])
+    }
+
+    /// Removes `id`, returning its cylinders to the free pools.
+    pub fn remove(&mut self, id: ObjectId) -> Result<()> {
+        let placed = self.placed.remove(&id).ok_or(Error::NotResident(id))?;
+        for (d, runs) in placed.ranges.into_iter().enumerate() {
+            for run in runs {
+                self.allocators[d].free(run);
+            }
+        }
+        Ok(())
+    }
+
+    /// Free cylinders per disk.
+    pub fn free_cylinders(&self) -> Vec<u32> {
+        self.allocators.iter().map(|a| a.free_cylinders()).collect()
+    }
+
+    /// Used cylinders per disk.
+    pub fn used_cylinders(&self) -> Vec<u32> {
+        self.allocators.iter().map(|a| a.used_cylinders()).collect()
+    }
+
+    /// The storage-balance ratio `max/mean` of per-disk usage (1.0 is
+    /// perfectly balanced; large values betray data skew).
+    pub fn skew_ratio(&self) -> f64 {
+        let used = self.used_cylinders();
+        let max = used.iter().copied().max().unwrap_or(0) as f64;
+        let mean = used.iter().map(|&u| u as f64).sum::<f64>() / used.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::media::MediaType;
+
+    fn spec(id: u32, mbps: u64, subobjects: u32) -> ObjectSpec {
+        ObjectSpec::new(
+            ObjectId(id),
+            MediaType::new(format!("m{mbps}"), Bandwidth::mbps(mbps)),
+            subobjects,
+        )
+    }
+
+    /// Figure 1: 9 disks, M = 3, simple striping (k = 3).
+    #[test]
+    fn figure1_simple_striping_layout() {
+        let l = StripingLayout::new(ObjectId(0), 0, 3, 6, 9, 3);
+        // Subobject 0 on cluster 0 = disks 0,1,2; subobject 1 on 3,4,5; ...
+        assert_eq!(l.fragment_disk(0, 0), DiskId(0));
+        assert_eq!(l.fragment_disk(0, 2), DiskId(2));
+        assert_eq!(l.fragment_disk(1, 0), DiskId(3));
+        assert_eq!(l.fragment_disk(2, 1), DiskId(7));
+        assert_eq!(l.fragment_disk(3, 0), DiskId(0)); // wraps to cluster 0
+    }
+
+    /// Figure 4: 8 disks, stride 1.
+    #[test]
+    fn figure4_staggered_layout() {
+        let l = StripingLayout::new(ObjectId(0), 0, 3, 8, 8, 1);
+        assert_eq!(l.fragment_disk(0, 0), DiskId(0));
+        assert_eq!(l.fragment_disk(1, 0), DiskId(1));
+        assert_eq!(l.fragment_disk(5, 2), DiskId(7));
+        assert_eq!(l.fragment_disk(7, 0), DiskId(7));
+        assert_eq!(l.fragment_disk(7, 1), DiskId(0)); // wraps
+    }
+
+    /// Figure 5: 12 disks, stride 1, X (M=3) starting at disk 4.
+    #[test]
+    fn figure5_object_x_positions() {
+        let x = StripingLayout::new(ObjectId(0), 4, 3, 13, 12, 1);
+        // Row "Subobject 0": X0.0 X0.1 X0.2 on disks 4,5,6.
+        assert_eq!(x.fragment_disk(0, 0), DiskId(4));
+        assert_eq!(x.fragment_disk(0, 2), DiskId(6));
+        // Row 8: X8.0 on disk 0 (4+8 = 12 ≡ 0).
+        assert_eq!(x.fragment_disk(8, 0), DiskId(0));
+        // Z (M=2) starts at disk 7: Z0.0, Z0.1 on 7,8.
+        let z = StripingLayout::new(ObjectId(1), 7, 2, 13, 12, 1);
+        assert_eq!(z.fragment_disk(0, 0), DiskId(7));
+        assert_eq!(z.fragment_disk(0, 1), DiskId(8));
+        // Y (M=4) starts at disk 0: Y4.2 on disk 6 (0+4·1+2).
+        let y = StripingLayout::new(ObjectId(2), 0, 4, 13, 12, 1);
+        assert_eq!(y.fragment_disk(4, 2), DiskId(6));
+    }
+
+    #[test]
+    fn fragments_per_disk_matches_brute_force() {
+        for (d, k, m, n, start) in [
+            (9u32, 3u32, 3u32, 17u32, 2u32),
+            (12, 1, 4, 50, 7),
+            (12, 4, 3, 29, 1),
+            (10, 10, 4, 33, 6),
+            (10, 0, 2, 5, 9),
+            (7, 5, 3, 100, 3),
+            (1000, 5, 5, 3000, 0),
+        ] {
+            let l = StripingLayout::new(ObjectId(0), start, m, n, d, k);
+            let analytic = l.fragments_per_disk();
+            let mut brute = vec![0u32; d as usize];
+            for i in 0..n {
+                for j in 0..m {
+                    brute[l.fragment_disk(i, j).index()] += 1;
+                }
+            }
+            assert_eq!(analytic, brute, "d={d} k={k} m={m} n={n} start={start}");
+        }
+    }
+
+    #[test]
+    fn table3_placement_is_perfectly_balanced() {
+        // D=1000, k=5, M=5, n=3000: each disk gets exactly 15 fragments.
+        let l = StripingLayout::new(ObjectId(0), 0, 5, 3000, 1000, 5);
+        let per = l.fragments_per_disk();
+        assert!(per.iter().all(|&c| c == 15), "skewed: {:?}", &per[..10]);
+        assert_eq!(l.total_fragments(), 15_000);
+    }
+
+    #[test]
+    fn stationary_layout_concentrates_on_m_disks() {
+        let l = StripingLayout::new(ObjectId(0), 3, 4, 100, 10, 10);
+        let per = l.fragments_per_disk();
+        for (d, &c) in per.iter().enumerate() {
+            if (3..7).contains(&d) {
+                assert_eq!(c, 100);
+            } else {
+                assert_eq!(c, 0);
+            }
+        }
+    }
+
+    fn map(disks: u32, stride: u32, cylinders: u32) -> PlacementMap {
+        let config = StripingConfig {
+            disks,
+            stride,
+            fragment: Bytes::new(1_512_000),
+            b_disk: Bandwidth::mbps(20),
+        };
+        PlacementMap::new(config, cylinders, 1).unwrap()
+    }
+
+    #[test]
+    fn place_and_remove_roundtrip() {
+        let mut m = map(12, 1, 100);
+        let s = spec(0, 60, 24); // M = 3
+        m.place_at(&s, 4).unwrap();
+        assert!(m.is_resident(ObjectId(0)));
+        assert_eq!(m.resident_count(), 1);
+        let used: u32 = m.used_cylinders().iter().sum();
+        assert_eq!(used, 72); // 24 subobjects × 3 fragments
+        m.remove(ObjectId(0)).unwrap();
+        assert_eq!(m.resident_count(), 0);
+        assert!(m.used_cylinders().iter().all(|&u| u == 0));
+    }
+
+    #[test]
+    fn double_place_and_missing_remove_fail() {
+        let mut m = map(12, 1, 100);
+        let s = spec(0, 60, 12);
+        m.place_at(&s, 0).unwrap();
+        assert!(matches!(
+            m.place_at(&s, 3),
+            Err(Error::InvalidState { .. })
+        ));
+        assert_eq!(m.remove(ObjectId(9)), Err(Error::NotResident(ObjectId(9))));
+    }
+
+    #[test]
+    fn capacity_check_is_atomic() {
+        // 12 disks × 10 cylinders = 120 fragments of space; an object
+        // needing 144 fragments must fail leaving the map untouched.
+        let mut m = map(12, 1, 10);
+        let s = spec(0, 60, 48); // 48 × 3 = 144 fragments
+        let before = m.free_cylinders();
+        assert!(matches!(m.place_at(&s, 0), Err(Error::DiskFull { .. })));
+        assert_eq!(m.free_cylinders(), before);
+    }
+
+    #[test]
+    fn round_robin_start_advances_by_stride() {
+        let mut m = map(12, 1, 1000);
+        let a = spec(0, 40, 6);
+        let b = spec(1, 40, 6);
+        m.place(&a).unwrap();
+        m.place(&b).unwrap();
+        assert_eq!(m.get(ObjectId(0)).unwrap().layout.start_disk, 0);
+        assert_eq!(m.get(ObjectId(1)).unwrap().layout.start_disk, 1);
+    }
+
+    #[test]
+    fn oversized_degree_is_rejected() {
+        let mut m = map(4, 1, 100);
+        let s = spec(0, 200, 10); // M = 10 > 4 disks
+        assert!(matches!(
+            m.place_at(&s, 0),
+            Err(Error::BandwidthUnsatisfiable { .. })
+        ));
+    }
+
+    #[test]
+    fn skew_ratio_balanced_vs_stationary() {
+        // Balanced: k=1.
+        let mut m = map(10, 1, 1000);
+        m.place_at(&spec(0, 40, 50), 0).unwrap(); // M=2, 100 fragments
+        assert!(m.skew_ratio() < 1.11, "ratio {}", m.skew_ratio());
+        // Stationary: k=10 ⇒ everything on 2 disks.
+        let mut m = map(10, 10, 1000);
+        m.place_at(&spec(0, 40, 50), 0).unwrap();
+        assert!(m.skew_ratio() > 4.0, "ratio {}", m.skew_ratio());
+    }
+
+    #[test]
+    fn placed_object_cylinder_accounting() {
+        let mut m = map(9, 3, 100);
+        m.place_at(&spec(0, 60, 9), 0).unwrap(); // M=3, simple striping
+        let p = m.get(ObjectId(0)).unwrap();
+        // 9 subobjects × 3 fragments over 9 disks = 3 per disk.
+        for d in 0..9 {
+            assert_eq!(p.cylinders_on(DiskId(d)), 3);
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! ASCII reproductions of the paper's layout figures.
+//!
+//! These renderers exist so that the examples (and the integration tests)
+//! can regenerate Figures 1, 3, 4 and 5 directly from the placement
+//! arithmetic — if the arithmetic drifts, the figures stop matching.
+
+use crate::admission::IntervalScheduler;
+use crate::placement::StripingLayout;
+use crate::schedule::DeliverySchedule;
+
+/// Renders a set of layouts as the paper's subobject-by-disk grid
+/// (Figures 1, 4, 5): one row per subobject index, one column per disk,
+/// each cell holding `"{name}{sub}.{frag}"` or blanks.
+///
+/// `names[i]` labels `layouts[i]`'s object (e.g. `"X"`).
+pub fn layout_grid(layouts: &[StripingLayout], names: &[&str], rows: u32) -> String {
+    assert_eq!(layouts.len(), names.len());
+    assert!(!layouts.is_empty());
+    let disks = layouts[0].disks;
+    assert!(
+        layouts.iter().all(|l| l.disks == disks),
+        "layouts must share the disk farm"
+    );
+    // Column width: widest possible label plus one space.
+    let width = layouts
+        .iter()
+        .zip(names)
+        .map(|(l, n)| {
+            n.len() + format!("{}.{}", rows.saturating_sub(1), l.degree - 1).len()
+        })
+        .max()
+        .unwrap()
+        .max(format!("Disk {}", disks - 1).len())
+        + 1;
+    let mut out = String::new();
+    // Header.
+    out.push_str(&" ".repeat(13));
+    for d in 0..disks {
+        out.push_str(&format!("{:<width$}", format!("Disk {d}")));
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out.push('\n');
+    for row in 0..rows {
+        let mut cells = vec![String::new(); disks as usize];
+        for (l, name) in layouts.iter().zip(names) {
+            if row < l.subobjects {
+                for frag in 0..l.degree {
+                    let disk = l.fragment_disk(row, frag).index();
+                    cells[disk] = format!("{name}{row}.{frag}");
+                }
+            }
+        }
+        out.push_str(&format!("Subobject {row:<3}"));
+        for c in &cells {
+            out.push_str(&format!("{c:<width$}"));
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// One cell of the Figure 3 cluster-schedule table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterCell {
+    /// The cluster reads the given subobject of the named display.
+    Read {
+        /// Display label (e.g. `"X"`).
+        name: String,
+        /// Subobject index read this interval.
+        sub: u32,
+    },
+    /// The cluster has no work this interval.
+    Idle,
+}
+
+/// Renders the Figure 3 style table: for `intervals` consecutive time
+/// intervals, which subobject each of `clusters` clusters reads.
+///
+/// `displays` lists `(name, start_cluster_at_t0, next_sub_at_t0,
+/// total_subobjects)` for each active display; each display advances one
+/// cluster (mod `clusters`) per interval — the simple-striping schedule.
+pub fn cluster_schedule(
+    clusters: u32,
+    intervals: u32,
+    displays: &[(&str, u32, u32, u32)],
+) -> Vec<Vec<ClusterCell>> {
+    let mut table = Vec::with_capacity(intervals as usize);
+    for t in 0..intervals {
+        let mut row = vec![ClusterCell::Idle; clusters as usize];
+        for &(name, start_cluster, next_sub, total) in displays {
+            let sub = next_sub + t;
+            if sub < total {
+                let cluster = ((start_cluster + t) % clusters) as usize;
+                assert!(
+                    matches!(row[cluster], ClusterCell::Idle),
+                    "two displays on cluster {cluster} at interval {t}"
+                );
+                row[cluster] = ClusterCell::Read {
+                    name: name.to_string(),
+                    sub,
+                };
+            }
+        }
+        table.push(row);
+    }
+    table
+}
+
+/// Formats a [`cluster_schedule`] table as text.
+pub fn format_cluster_schedule(table: &[Vec<ClusterCell>]) -> String {
+    let clusters = table.first().map_or(0, |r| r.len());
+    let mut out = String::new();
+    out.push_str("    ");
+    for c in 0..clusters {
+        out.push_str(&format!("{:<14}", format!("CLUSTER {c}")));
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out.push('\n');
+    for (t, row) in table.iter().enumerate() {
+        out.push_str(&format!("{:<4}", t + 1));
+        for cell in row {
+            let txt = match cell {
+                ClusterCell::Read { name, sub } => format!("read {name}({sub})"),
+                ClusterCell::Idle => "idle".to_string(),
+            };
+            out.push_str(&format!("{txt:<14}"));
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the Figure 6 style occupancy raster: one row per interval,
+/// one column per **physical** disk; `#` = committed to some display,
+/// `.` = free. Overlay labels mark the reads of specific displays (the
+/// figure's `X0.0`-style annotations, one character per display).
+///
+/// The scheduler's occupancy lives in the rotating virtual frame, so a
+/// physical disk `p` is busy at interval `t` iff the virtual disk over it
+/// is committed then.
+pub fn occupancy_raster(
+    scheduler: &IntervalScheduler,
+    from_interval: u64,
+    to_interval: u64,
+    overlays: &[(char, &DeliverySchedule)],
+) -> String {
+    assert!(from_interval <= to_interval);
+    let d = scheduler.frame().disks();
+    let mut out = String::new();
+    out.push_str("        ");
+    for p in 0..d {
+        out.push_str(&format!("{:>2}", p % 100));
+    }
+    out.push('\n');
+    for t in from_interval..=to_interval {
+        out.push_str(&format!("t={t:<5} "));
+        for p in 0..d {
+            let v = scheduler.frame().virtual_of(p, t);
+            let mut cell = if scheduler.is_free(v, t) { '.' } else { '#' };
+            for (label, sched) in overlays {
+                if sched.reads_at(t).any(|r| r.disk.0 == p) {
+                    cell = *label;
+                }
+            }
+            out.push(' ');
+            out.push(cell);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_types::ObjectId;
+
+    #[test]
+    fn figure1_grid_has_expected_cells() {
+        // Figure 1: 9 disks, X with M=3, simple striping (k=3).
+        let x = StripingLayout::new(ObjectId(0), 0, 3, 9, 9, 3);
+        let grid = layout_grid(&[x], &["X"], 4);
+        let lines: Vec<&str> = grid.lines().collect();
+        assert!(lines[0].contains("Disk 0") && lines[0].contains("Disk 8"));
+        // Subobject 0 occupies disks 0..2.
+        assert!(lines[1].starts_with("Subobject 0"));
+        assert!(lines[1].contains("X0.0") && lines[1].contains("X0.2"));
+        // Subobject 1 occupies disks 3..5: its row must NOT contain X1.0
+        // before column of disk 3 — check by relative order.
+        let row1 = lines[2];
+        let pos_x10 = row1.find("X1.0").unwrap();
+        let pos_header_d3 = lines[0].find("Disk 3").unwrap();
+        assert!(
+            (pos_x10 as i64 - pos_header_d3 as i64).abs() < 3,
+            "X1.0 not under Disk 3:\n{grid}"
+        );
+        // Row 3 wraps back to disk 0.
+        assert!(lines[4].contains("X3.0"));
+    }
+
+    #[test]
+    fn figure5_grid_reproduces_mixed_media_rows() {
+        // Figure 5: 12 disks, stride 1; Y (M=4) starts at 0, X (M=3) at 4,
+        // Z (M=2) at 7.
+        let y = StripingLayout::new(ObjectId(0), 0, 4, 13, 12, 1);
+        let x = StripingLayout::new(ObjectId(1), 4, 3, 13, 12, 1);
+        let z = StripingLayout::new(ObjectId(2), 7, 2, 13, 12, 1);
+        let grid = layout_grid(&[y, x, z], &["Y", "X", "Z"], 13);
+        let lines: Vec<&str> = grid.lines().collect();
+        // Row 0: Y0.0..Y0.3 X0.0..X0.2 Z0.0 Z0.1 — disks 0..8 filled,
+        // disks 9..11 blank.
+        let r0 = lines[1];
+        for cell in ["Y0.0", "Y0.3", "X0.0", "X0.2", "Z0.0", "Z0.1"] {
+            assert!(r0.contains(cell), "row 0 missing {cell}:\n{grid}");
+        }
+        // Row 4 (paper): Z4.1 on disk 0, Y4 on disks 4..7, X4 on 8..10,
+        // Z4.0 on disk 11.
+        let r4 = lines[5];
+        assert!(r4.contains("Z4.1"));
+        assert!(r4.contains("Y4.2"));
+        assert!(r4.contains("X4.0"));
+        assert!(r4.contains("Z4.0"));
+        let pos_z41 = r4.find("Z4.1").unwrap();
+        let pos_y40 = r4.find("Y4.0").unwrap();
+        assert!(pos_z41 < pos_y40, "Z4.1 should wrap to disk 0:\n{grid}");
+        // Row 12 (paper): Y12.0..3 X12.0..2 Z12.0..1 starting at disk 0.
+        let r12 = lines[13];
+        assert!(r12.contains("Y12.0") && r12.contains("Z12.1"));
+    }
+
+    #[test]
+    fn figure3_schedule_table() {
+        // Figure 3: 3 clusters, displays X (ends after i+2), Y, Z. At
+        // interval 1 (t=0 here): cluster 0 reads Z(k+1), cluster 1 reads
+        // X(i+1), cluster 2 reads Y(j+1). Using i=0,j=0,k=0 with X having
+        // only 3 subobjects total (X ends, leaving idle slots).
+        let table = cluster_schedule(
+            3,
+            6,
+            &[
+                ("X", 1, 1, 3), // next reads X(1) on cluster 1; X(2) is last
+                ("Y", 2, 1, 7),
+                ("Z", 0, 1, 7),
+            ],
+        );
+        // Interval 1.
+        assert_eq!(
+            table[0][0],
+            ClusterCell::Read {
+                name: "Z".into(),
+                sub: 1
+            }
+        );
+        assert_eq!(
+            table[0][1],
+            ClusterCell::Read {
+                name: "X".into(),
+                sub: 1
+            }
+        );
+        // Interval 2: X(2) on cluster 2.
+        assert_eq!(
+            table[1][2],
+            ClusterCell::Read {
+                name: "X".into(),
+                sub: 2
+            }
+        );
+        // Interval 3: X finished; cluster 0 idle (the paper's "disk
+        // cluster 0 does not read a subobject during time interval 3").
+        assert_eq!(table[2][0], ClusterCell::Idle);
+        // Intervals 4 and 5: clusters 1 and 2 idle respectively.
+        assert_eq!(table[3][1], ClusterCell::Idle);
+        assert_eq!(table[4][2], ClusterCell::Idle);
+        // Interval 6: cluster 0 idle again (periodicity).
+        assert_eq!(table[5][0], ClusterCell::Idle);
+        let txt = format_cluster_schedule(&table);
+        assert!(txt.contains("CLUSTER 0"));
+        assert!(txt.contains("read Z(1)"));
+        assert!(txt.contains("idle"));
+    }
+
+    #[test]
+    #[should_panic(expected = "two displays")]
+    fn schedule_detects_collisions() {
+        cluster_schedule(3, 2, &[("A", 0, 0, 9), ("B", 0, 0, 9)]);
+    }
+
+    #[test]
+    fn occupancy_raster_shows_rotation_and_overlays() {
+        use crate::admission::{AdmissionPolicy, IntervalScheduler};
+        use crate::frame::VirtualFrame;
+        let frame = VirtualFrame::new(8, 1);
+        let mut sched = IntervalScheduler::new(frame);
+        let layout = StripingLayout::new(ObjectId(0), 0, 2, 6, 8, 1);
+        let grant = sched
+            .try_admit(0, ObjectId(0), 0, 2, 6, AdmissionPolicy::Contiguous)
+            .unwrap();
+        let ds = DeliverySchedule::from_grant(&grant, &layout, &frame);
+        let raster = occupancy_raster(&sched, 0, 5, &[('X', &ds)]);
+        let lines: Vec<&str> = raster.lines().collect();
+        // Row t=0: X on disks 0,1; everything else free.
+        assert!(lines[1].starts_with("t=0"));
+        assert_eq!(lines[1].matches('X').count(), 2);
+        assert_eq!(lines[1].matches('.').count(), 6);
+        // Rotation: at t=3, X sits over disks 3,4 — i.e., the X cells
+        // move right one column per row.
+        let x_pos = |line: &str| line.find('X').unwrap();
+        assert!(x_pos(lines[2]) > x_pos(lines[1]));
+        assert!(x_pos(lines[3]) > x_pos(lines[2]));
+        // No '#': the only commitment is the overlaid display itself.
+        assert_eq!(raster.matches('#').count(), 0);
+    }
+}

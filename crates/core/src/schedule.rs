@@ -1,0 +1,267 @@
+//! Delivery schedules: materialising an [`AdmissionGrant`] into the full
+//! per-interval timeline of disk reads and network outputs, and machine-
+//! checking **hiccup-freedom** — the paper's central service guarantee.
+//!
+//! A schedule is hiccup-free iff, for every interval `delivery_start + j`
+//! (`j = 0 .. n−1`), *all* `M` fragments of subobject `j` are output in
+//! that interval, and every fragment read happens on the physical disk
+//! that actually stores it (the rotating frame must align with the data).
+
+use crate::admission::AdmissionGrant;
+use crate::algorithms::FragmentRef;
+use crate::frame::VirtualFrame;
+use crate::placement::StripingLayout;
+use serde::{Deserialize, Serialize};
+use ss_types::{DiskId, Error, Result};
+
+/// One scheduled disk read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduledRead {
+    /// Global interval of the read.
+    pub interval: u64,
+    /// The physical disk performing it.
+    pub disk: DiskId,
+    /// The virtual disk (process) it belongs to.
+    pub virtual_disk: u32,
+    /// The fragment read.
+    pub fragment: FragmentRef,
+}
+
+/// One scheduled network output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduledOutput {
+    /// Global interval of the output.
+    pub interval: u64,
+    /// The fragment delivered.
+    pub fragment: FragmentRef,
+    /// True if delivered straight from disk (pipelined); false if from a
+    /// buffer filled in an earlier interval.
+    pub from_buffer: bool,
+}
+
+/// The complete timeline of one display.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeliverySchedule {
+    /// The grant this schedule realises.
+    pub grant: AdmissionGrant,
+    /// Every read, ordered by interval.
+    pub reads: Vec<ScheduledRead>,
+    /// Every output, ordered by interval.
+    pub outputs: Vec<ScheduledOutput>,
+    degree: u32,
+    subobjects: u32,
+}
+
+impl DeliverySchedule {
+    /// Expands `grant` for an object laid out as `layout` under `frame`.
+    /// Panics if the grant's shape does not match the layout (caller
+    /// error).
+    pub fn from_grant(
+        grant: &AdmissionGrant,
+        layout: &StripingLayout,
+        frame: &VirtualFrame,
+    ) -> Self {
+        assert_eq!(
+            grant.virtual_disks.len(),
+            layout.degree as usize,
+            "grant degree must match layout"
+        );
+        let n = layout.subobjects;
+        let mut reads = Vec::with_capacity((n as usize) * layout.degree as usize);
+        let mut outputs = Vec::with_capacity(reads.capacity());
+        for (i, (&v, &t0)) in grant
+            .virtual_disks
+            .iter()
+            .zip(&grant.read_start)
+            .enumerate()
+        {
+            let frag = i as u32;
+            for j in 0..n {
+                let t = t0 + u64::from(j);
+                reads.push(ScheduledRead {
+                    interval: t,
+                    disk: DiskId(frame.physical(v, t)),
+                    virtual_disk: v,
+                    fragment: FragmentRef::new(j, frag),
+                });
+                let out_t = grant.delivery_start + u64::from(j);
+                outputs.push(ScheduledOutput {
+                    interval: out_t,
+                    fragment: FragmentRef::new(j, frag),
+                    from_buffer: out_t != t,
+                });
+            }
+        }
+        reads.sort_unstable_by_key(|r| (r.interval, r.fragment.frag));
+        outputs.sort_unstable_by_key(|o| (o.interval, o.fragment.frag));
+        DeliverySchedule {
+            grant: grant.clone(),
+            reads,
+            outputs,
+            degree: layout.degree,
+            subobjects: n,
+        }
+    }
+
+    /// Verifies hiccup-freedom against the layout:
+    ///
+    /// 1. every read's physical disk is the disk that stores the fragment;
+    /// 2. every interval `delivery_start + j` outputs all `M` fragments of
+    ///    subobject `j` and nothing else;
+    /// 3. no fragment is output before it is read.
+    pub fn verify(&self, layout: &StripingLayout) -> Result<()> {
+        let fail = |reason: String| Err(Error::InvalidState { reason });
+        // 1. Read alignment.
+        for r in &self.reads {
+            let stored = layout.fragment_disk(r.fragment.sub, r.fragment.frag);
+            if stored != r.disk {
+                return fail(format!(
+                    "misaligned read: X{}.{} stored on {stored}, read from {}",
+                    r.fragment.sub, r.fragment.frag, r.disk
+                ));
+            }
+        }
+        // 2. Synchronized complete delivery per interval.
+        for j in 0..self.subobjects {
+            let t = self.grant.delivery_start + u64::from(j);
+            let mut seen = vec![false; self.degree as usize];
+            for o in self.outputs.iter().filter(|o| o.interval == t) {
+                if o.fragment.sub != j {
+                    return fail(format!(
+                        "interval {t} outputs subobject {} during subobject {j}'s slot",
+                        o.fragment.sub
+                    ));
+                }
+                seen[o.fragment.frag as usize] = true;
+            }
+            if let Some(missing) = seen.iter().position(|&s| !s) {
+                return fail(format!(
+                    "hiccup: interval {t} misses fragment {missing} of subobject {j}"
+                ));
+            }
+        }
+        // 3. Causality: read-before-output.
+        for o in &self.outputs {
+            let read = self
+                .reads
+                .iter()
+                .find(|r| r.fragment == o.fragment)
+                .expect("every output has a read");
+            if read.interval > o.interval {
+                return fail(format!(
+                    "fragment X{}.{} output at {} before its read at {}",
+                    o.fragment.sub, o.fragment.frag, o.interval, read.interval
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The reads scheduled in `interval`.
+    pub fn reads_at(&self, interval: u64) -> impl Iterator<Item = &ScheduledRead> {
+        self.reads.iter().filter(move |r| r.interval == interval)
+    }
+
+    /// Peak number of buffered fragments over the display's lifetime
+    /// (equals the grant's buffer bill in steady state).
+    pub fn peak_buffered(&self) -> u64 {
+        // Fragment i is buffered from its read to its output; with
+        // constant per-fragment offsets the peak equals the sum of
+        // offsets once all processes are in steady state.
+        self.grant.buffer_fragments
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admission::{AdmissionPolicy, IntervalScheduler};
+    use ss_types::ObjectId;
+
+    fn setup(d: u32, k: u32) -> (IntervalScheduler, VirtualFrame) {
+        let frame = VirtualFrame::new(d, k);
+        (IntervalScheduler::new(frame), frame)
+    }
+
+    #[test]
+    fn contiguous_schedule_verifies() {
+        let (mut sched, frame) = setup(12, 1);
+        let layout = StripingLayout::new(ObjectId(0), 4, 3, 13, 12, 1);
+        let grant = sched
+            .try_admit(0, ObjectId(0), 4, 3, 13, AdmissionPolicy::Contiguous)
+            .unwrap();
+        let s = DeliverySchedule::from_grant(&grant, &layout, &frame);
+        s.verify(&layout).unwrap();
+        assert_eq!(s.reads.len(), 39);
+        assert_eq!(s.outputs.len(), 39);
+        // Contiguous: nothing comes from buffers.
+        assert!(s.outputs.iter().all(|o| !o.from_buffer));
+        assert_eq!(s.peak_buffered(), 0);
+        // First interval reads X0.* from disks 4,5,6.
+        let first: Vec<DiskId> = s.reads_at(0).map(|r| r.disk).collect();
+        assert_eq!(first, vec![DiskId(4), DiskId(5), DiskId(6)]);
+    }
+
+    #[test]
+    fn fragmented_schedule_verifies_with_buffering() {
+        // The Figure 6 scenario.
+        let (mut sched, frame) = setup(8, 1);
+        for v in [0u32, 2, 3, 4, 5, 7] {
+            sched
+                .try_admit(0, ObjectId(100 + v), v, 1, 1000, AdmissionPolicy::Contiguous)
+                .unwrap();
+        }
+        let layout = StripingLayout::new(ObjectId(0), 0, 2, 10, 8, 1);
+        let grant = sched
+            .try_admit(
+                0,
+                ObjectId(0),
+                0,
+                2,
+                10,
+                AdmissionPolicy::Fragmented {
+                    max_buffer_fragments: 16,
+                    max_delay_intervals: 8,
+                },
+            )
+            .unwrap();
+        let s = DeliverySchedule::from_grant(&grant, &layout, &frame);
+        s.verify(&layout).unwrap();
+        // Fragment 1 outputs all come from buffers; fragment 0 pipelines.
+        for o in &s.outputs {
+            assert_eq!(o.from_buffer, o.fragment.frag == 1, "{o:?}");
+        }
+        assert_eq!(s.peak_buffered(), 2);
+    }
+
+    #[test]
+    fn verify_catches_misaligned_layout() {
+        let (mut sched, frame) = setup(12, 1);
+        let grant = sched
+            .try_admit(0, ObjectId(0), 4, 3, 13, AdmissionPolicy::Contiguous)
+            .unwrap();
+        // Wrong layout: object actually starts on disk 5.
+        let wrong = StripingLayout::new(ObjectId(0), 5, 3, 13, 12, 1);
+        let s = DeliverySchedule::from_grant(&grant, &wrong, &frame);
+        assert!(s.verify(&wrong).is_err());
+    }
+
+    #[test]
+    fn schedules_work_for_simple_striping_stride() {
+        let (mut sched, frame) = setup(9, 3);
+        let layout = StripingLayout::new(ObjectId(0), 0, 3, 9, 9, 3);
+        let grant = sched
+            .try_admit(2, ObjectId(0), 0, 3, 9, AdmissionPolicy::Contiguous)
+            .unwrap();
+        let s = DeliverySchedule::from_grant(&grant, &layout, &frame);
+        s.verify(&layout).unwrap();
+        // At interval 2+j the display reads subobject j from cluster j mod 3.
+        for j in 0..9u32 {
+            let disks: Vec<u32> = s
+                .reads_at(2 + u64::from(j))
+                .map(|r| r.disk.0)
+                .collect();
+            assert_eq!(disks, vec![(3 * j) % 9, (3 * j + 1) % 9, (3 * j + 2) % 9]);
+        }
+    }
+}

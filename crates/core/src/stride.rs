@@ -1,0 +1,204 @@
+//! Stride analysis (§3.2.2): data skew, disk-footprint and startup-latency
+//! consequences of the stride choice `k`.
+//!
+//! The paper's rules, all implemented and tested here:
+//!
+//! * **Skew rule** — subobject start positions cycle through the residue
+//!   class of the start disk modulo `g = gcd(D, k)`; `g = 1` (in
+//!   particular `k = 1`, or any `k` coprime to `D`) guarantees no data
+//!   skew. Otherwise the object's data is confined to `D/g` start
+//!   positions and storage can skew.
+//! * **Footprint** — with fragments of fixed size, the number of distinct
+//!   disks employed to display an object of `n` subobjects is determined
+//!   by `D`, `k`, `M` and `n` (the paper's example: `D = 100`, `M = 4`,
+//!   25 subobjects, `k = 1` touches 28 disks; `k = M` touches all 100).
+//! * **Latency** — with `k = D` every subobject of `X` lands on the same
+//!   disks, so a conflicting request waits for the whole display time of
+//!   the object ahead of it; with small `k` it waits `O(S(C_i))`.
+
+use crate::frame::gcd;
+use serde::{Deserialize, Serialize};
+
+/// Summary of what a `(D, k)` choice implies for an object with `M`-way
+/// declustering and `n` subobjects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StrideReport {
+    /// `gcd(D, k)` — the skew granule.
+    pub gcd: u32,
+    /// Number of distinct start positions an object's subobjects cycle
+    /// through (`D / gcd`).
+    pub start_positions: u32,
+    /// True iff this `(D, k)` pair guarantees balanced storage for every
+    /// object start.
+    pub skew_free: bool,
+    /// Number of distinct disks employed to display the object.
+    pub disks_touched: u32,
+}
+
+/// Analyses the stride choice for an object with degree `m` and
+/// `subobjects` stripes on `d` disks with stride `k` (`k` taken modulo `d`,
+/// with `k = 0` meaning the stationary `k = D` layout).
+pub fn analyze(d: u32, k: u32, m: u32, subobjects: u32) -> StrideReport {
+    assert!(d > 0 && m > 0 && subobjects > 0);
+    assert!(m <= d, "degree {m} exceeds disk count {d}");
+    let k = k % d;
+    let g = if k == 0 { d } else { gcd(u64::from(d), u64::from(k)) as u32 };
+    let start_positions = d / g;
+    StrideReport {
+        gcd: g,
+        start_positions,
+        skew_free: g == 1,
+        disks_touched: disks_touched(d, k, m, subobjects),
+    }
+}
+
+/// The exact number of distinct disks employed to display an object of
+/// `subobjects` stripes, each declustered `m` ways, with stride `k` on `d`
+/// disks, starting anywhere. (Start-invariant by symmetry.)
+pub fn disks_touched(d: u32, k: u32, m: u32, subobjects: u32) -> u32 {
+    let k = k % d;
+    let d64 = u64::from(d);
+    // Subobject i occupies disks (i·k + j) mod D for j in 0..m.
+    // Union size: mark residues.
+    let mut touched = vec![false; d as usize];
+    let mut count = 0u32;
+    let mut start = 0u64;
+    for _ in 0..subobjects {
+        for j in 0..u64::from(m) {
+            let disk = ((start + j) % d64) as usize;
+            if !touched[disk] {
+                touched[disk] = true;
+                count += 1;
+            }
+        }
+        if count == d {
+            break; // saturated; further subobjects add nothing
+        }
+        start = (start + u64::from(k)) % d64;
+    }
+    count
+}
+
+/// The paper's worst-case startup-latency contrast (§3.2.2), in *time
+/// intervals*: with stride `k` on `d` disks, a new request whose first
+/// subobject's disks are busy with one conflicting display waits at most
+/// one full rotation period `D / gcd(D, k)` for the conflicting display to
+/// move off (small `k`), but with `k = D` (stationary) it waits the
+/// conflicting object's entire remaining display, `remaining_subobjects`
+/// intervals.
+pub fn worst_case_wait_intervals(d: u32, k: u32, remaining_subobjects: u32) -> u64 {
+    let k = k % d;
+    if k == 0 {
+        u64::from(remaining_subobjects)
+    } else {
+        u64::from(d) / gcd(u64::from(d), u64::from(k))
+    }
+}
+
+/// The subobject-size divisibility rule from §3.2.2: "the subobject size of
+/// every object in the system must be a multiple of the GCD of D … and k"
+/// — interpreted as: the per-object *degree* pattern must tile the `gcd`
+/// granule so that storage stays balanced. Returns true iff an object with
+/// degree `m` avoids skew under `(d, k)`: either the granule is 1, or the
+/// degree is a multiple of the granule.
+pub fn degree_avoids_skew(d: u32, k: u32, m: u32) -> bool {
+    let k = k % d;
+    let g = if k == 0 { d } else { gcd(u64::from(d), u64::from(k)) as u32 };
+    g == 1 || m.is_multiple_of(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_k1_touches_28_disks() {
+        // §3.2.2: D = 100, object of 100 cylinders with M = 4 (25
+        // subobjects); with k = 1 the object is spread across 28 disks.
+        assert_eq!(disks_touched(100, 1, 4, 25), 28);
+    }
+
+    #[test]
+    fn paper_example_k_eq_m_touches_all_disks() {
+        // With k = M = 4 (simple striping) the same object spreads over
+        // all 100 disks.
+        assert_eq!(disks_touched(100, 4, 4, 25), 100);
+    }
+
+    #[test]
+    fn k_eq_d_touches_exactly_m_disks() {
+        // §3.2.2: with k = D all subobjects land on the same M disks.
+        assert_eq!(disks_touched(10, 10, 4, 500), 4);
+        assert_eq!(disks_touched(10, 0, 4, 500), 4);
+    }
+
+    #[test]
+    fn footprint_general_formula_for_k1() {
+        // With k = 1 and no wraparound saturation, footprint = n + m − 1.
+        for (n, m) in [(5u32, 3u32), (10, 2), (20, 4)] {
+            assert_eq!(disks_touched(1000, 1, m, n), n + m - 1);
+        }
+    }
+
+    #[test]
+    fn footprint_saturates_at_d() {
+        assert_eq!(disks_touched(8, 1, 2, 1000), 8);
+        assert_eq!(disks_touched(8, 3, 2, 1000), 8);
+    }
+
+    #[test]
+    fn gcd_skew_rule() {
+        // k coprime to D ⇒ skew free.
+        assert!(analyze(1000, 1, 5, 3000).skew_free);
+        assert!(analyze(1000, 7, 5, 3000).skew_free);
+        // k = 5, D = 1000: g = 5, only 200 start positions.
+        let r = analyze(1000, 5, 5, 3000);
+        assert!(!r.skew_free);
+        assert_eq!(r.gcd, 5);
+        assert_eq!(r.start_positions, 200);
+        // k = D: g = D.
+        let r = analyze(10, 10, 4, 100);
+        assert_eq!(r.gcd, 10);
+        assert_eq!(r.start_positions, 1);
+    }
+
+    #[test]
+    fn degree_divisibility_rule() {
+        // Simple striping (k = M = 5, D = 1000): granule 5 divides the
+        // degree 5 ⇒ balanced.
+        assert!(degree_avoids_skew(1000, 5, 5));
+        // A degree-3 object under the same layout skews.
+        assert!(!degree_avoids_skew(1000, 5, 3));
+        // Stride 1 never skews.
+        assert!(degree_avoids_skew(1000, 1, 3));
+    }
+
+    #[test]
+    fn latency_contrast_small_k_vs_stationary() {
+        // §3.2.2's X-then-Y example: with k = 1, Y waits S(C_i)-scale time
+        // (bounded by one rotation); with k = D, Y waits X's whole
+        // remaining display (3000 intervals ≈ half an hour).
+        let small = worst_case_wait_intervals(1000, 1, 3000);
+        let stationary = worst_case_wait_intervals(1000, 1000, 3000);
+        assert_eq!(small, 1000);
+        assert_eq!(stationary, 3000);
+        // For the 10-disk example the contrast is starker.
+        assert_eq!(worst_case_wait_intervals(10, 1, 3000), 10);
+        assert_eq!(worst_case_wait_intervals(10, 10, 3000), 3000);
+    }
+
+    #[test]
+    fn analyze_report_consistency() {
+        let r = analyze(12, 4, 4, 9);
+        assert_eq!(r.gcd, 4);
+        assert_eq!(r.start_positions, 3);
+        // Starts cycle 0,4,8; with m=4 the union covers all 12 disks.
+        assert_eq!(r.disks_touched, 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn degree_larger_than_farm_panics() {
+        analyze(4, 1, 5, 10);
+    }
+}

@@ -1,0 +1,401 @@
+//! VCR features (§3.2.5): rewind, fast-forward, and fast-forward-with-scan.
+//!
+//! Plain rewind/fast-forward (no picture) is a *repositioning* problem:
+//! either wait for the display's current disk set to rotate to the target
+//! subobject's position, or — if suitably positioned disks are idle —
+//! re-admit there immediately. No hiccups are perceived because nothing is
+//! displayed while seeking.
+//!
+//! Fast-forward **with scanning** must display (a fraction of) the frames
+//! at high speed against a layout built for normal speed, so the paper
+//! stores a small **fast-forward replica** per object (e.g. every 16th
+//! frame, the typical VHS scan rate) and switches delivery to it.
+
+use crate::media::ObjectSpec;
+use serde::{Deserialize, Serialize};
+use ss_types::{Bandwidth, Bytes, ObjectId};
+
+/// How a seek (rewind/fast-forward without picture) will be serviced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SeekPlan {
+    /// Idle disks are aligned with the target position: switch now.
+    Immediate,
+    /// Keep the current disk set and wait for it to rotate into position
+    /// after this many intervals.
+    Rotate {
+        /// Intervals to wait before delivery resumes at the target.
+        wait_intervals: u64,
+    },
+}
+
+/// Plans a seek from `current_sub` (the subobject now being displayed) to
+/// `target_sub` for a display whose disks advance `stride` per interval on
+/// `d` disks. `idle_aligned` reports whether the caller found enough idle
+/// disks already positioned at the target (in which case the seek is
+/// immediate).
+///
+/// When rotating, the wait is the number of intervals until the current
+/// virtual-disk set reads the target subobject: the set reads subobject
+/// `current_sub + j` after `j` intervals, and positions repeat with period
+/// `D / gcd(D, k)`, so a backwards target is reached after wrapping.
+pub fn plan_seek(
+    d: u32,
+    stride: u32,
+    current_sub: u32,
+    target_sub: u32,
+    total_subobjects: u32,
+    idle_aligned: bool,
+) -> SeekPlan {
+    assert!(current_sub < total_subobjects && target_sub < total_subobjects);
+    if idle_aligned {
+        return SeekPlan::Immediate;
+    }
+    let k = u64::from(stride % d);
+    if k == 0 {
+        // Stationary layout (k = D): the display's disks hold every
+        // subobject, so any position is reachable at the next interval.
+        return SeekPlan::Rotate { wait_intervals: 0 };
+    }
+    if target_sub >= current_sub {
+        return SeekPlan::Rotate {
+            wait_intervals: u64::from(target_sub - current_sub),
+        };
+    }
+    // Rewind: the virtual-disk set passes the target's *position* once per
+    // rotation period, but the data at that position belongs to subobjects
+    // congruent to target modulo the period. Wait for the next pass.
+    let period = u64::from(d) / crate::frame::gcd(u64::from(d), k);
+    let back = u64::from(current_sub - target_sub);
+    let wait = (period - (back % period)) % period;
+    SeekPlan::Rotate {
+        wait_intervals: if wait == 0 && back != 0 { period } else { wait },
+    }
+}
+
+/// A fast-forward replica object: a decimated copy (every `decimation`-th
+/// frame) stored alongside the normal-speed object (§3.2.5).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FastForwardReplica {
+    /// The object this replica scans.
+    pub base: ObjectId,
+    /// The replica's own catalog entry (same media rate, fewer
+    /// subobjects).
+    pub spec: ObjectSpec,
+    /// Frame decimation factor (16 ≈ VHS scan).
+    pub decimation: u32,
+    /// Playback speed-up perceived by the viewer.
+    pub speedup: u32,
+}
+
+impl FastForwardReplica {
+    /// Derives the replica spec for `base`: same media type (the display
+    /// consumes at the same rate), `⌈n/decimation⌉` subobjects, registered
+    /// under `replica_id`.
+    pub fn derive(base: &ObjectSpec, replica_id: ObjectId, decimation: u32) -> Self {
+        assert!(decimation >= 2, "decimation must skip frames");
+        let subobjects = base.subobjects.div_ceil(decimation);
+        FastForwardReplica {
+            base: base.id,
+            spec: ObjectSpec::new(replica_id, base.media.clone(), subobjects.max(1)),
+            decimation,
+            speedup: decimation,
+        }
+    }
+
+    /// Storage cost of the replica relative to the base object.
+    pub fn relative_size(&self, base: &ObjectSpec, b_disk: Bandwidth, fragment: Bytes) -> f64 {
+        self.spec.size(b_disk, fragment).as_u64() as f64
+            / base.size(b_disk, fragment).as_u64() as f64
+    }
+
+    /// The subobject of the replica corresponding to normal-speed
+    /// subobject `sub` (where to enter the replica when the user presses
+    /// FF-scan).
+    pub fn entry_point(&self, sub: u32) -> u32 {
+        (sub / self.decimation).min(self.spec.subobjects - 1)
+    }
+
+    /// The normal-speed subobject to resume at when scanning stops at
+    /// replica subobject `replica_sub`.
+    pub fn resume_point(&self, replica_sub: u32, base: &ObjectSpec) -> u32 {
+        (replica_sub * self.decimation).min(base.subobjects - 1)
+    }
+}
+
+/// What a viewer's session is currently doing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlaybackState {
+    /// Normal-speed playback at the given subobject of the base object.
+    Playing {
+        /// Current base subobject.
+        sub: u32,
+    },
+    /// Fast-forward scanning at the given subobject of the replica.
+    Scanning {
+        /// Current replica subobject.
+        replica_sub: u32,
+    },
+    /// The session reached the end of the object.
+    Finished,
+}
+
+/// A viewer session combining normal playback, seeks, and replica-based
+/// fast-forward scanning (§3.2.5), with exact position bookkeeping.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VcrSession {
+    base: ObjectSpec,
+    replica: FastForwardReplica,
+    state: PlaybackState,
+}
+
+impl VcrSession {
+    /// Starts a session at the beginning of `base`, scanning through
+    /// `replica` when fast-forward is pressed.
+    pub fn new(base: ObjectSpec, replica: FastForwardReplica) -> Self {
+        assert_eq!(replica.base, base.id, "replica must belong to the base");
+        VcrSession {
+            base,
+            replica,
+            state: PlaybackState::Playing { sub: 0 },
+        }
+    }
+
+    /// The current state.
+    pub fn state(&self) -> PlaybackState {
+        self.state
+    }
+
+    /// The base-object position the viewer is (logically) at, regardless
+    /// of mode.
+    pub fn position(&self) -> u32 {
+        match self.state {
+            PlaybackState::Playing { sub } => sub,
+            PlaybackState::Scanning { replica_sub } => {
+                self.replica.resume_point(replica_sub, &self.base)
+            }
+            PlaybackState::Finished => self.base.subobjects - 1,
+        }
+    }
+
+    /// Advances one time interval: one subobject of whichever object is
+    /// being displayed. In scan mode one interval covers `decimation`
+    /// subobjects of the base.
+    pub fn tick(&mut self) {
+        self.state = match self.state {
+            PlaybackState::Playing { sub } => {
+                if sub + 1 >= self.base.subobjects {
+                    PlaybackState::Finished
+                } else {
+                    PlaybackState::Playing { sub: sub + 1 }
+                }
+            }
+            PlaybackState::Scanning { replica_sub } => {
+                if replica_sub + 1 >= self.replica.spec.subobjects {
+                    PlaybackState::Finished
+                } else {
+                    PlaybackState::Scanning {
+                        replica_sub: replica_sub + 1,
+                    }
+                }
+            }
+            PlaybackState::Finished => PlaybackState::Finished,
+        };
+    }
+
+    /// Presses fast-forward-with-scan: switches delivery to the replica at
+    /// the corresponding position. No-op when already scanning/finished.
+    pub fn press_scan(&mut self) {
+        if let PlaybackState::Playing { sub } = self.state {
+            self.state = PlaybackState::Scanning {
+                replica_sub: self.replica.entry_point(sub),
+            };
+        }
+    }
+
+    /// Releases fast-forward: resumes normal playback at the scanned-to
+    /// position. No-op unless scanning.
+    pub fn release_scan(&mut self) {
+        if let PlaybackState::Scanning { replica_sub } = self.state {
+            self.state = PlaybackState::Playing {
+                sub: self.replica.resume_point(replica_sub, &self.base),
+            };
+        }
+    }
+
+    /// Seeks (no picture) to `target`; the caller supplies the farm
+    /// geometry and whether aligned idle disks were found, and receives
+    /// the service plan. The session position updates immediately (the
+    /// viewer sees nothing during the seek, so no hiccup can occur).
+    pub fn seek(
+        &mut self,
+        target: u32,
+        d: u32,
+        stride: u32,
+        idle_aligned: bool,
+    ) -> SeekPlan {
+        let current = self.position();
+        let plan = plan_seek(d, stride, current, target, self.base.subobjects, idle_aligned);
+        self.state = PlaybackState::Playing { sub: target };
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::media::MediaType;
+
+    fn base() -> ObjectSpec {
+        ObjectSpec::new(ObjectId(7), MediaType::table3(), 3000)
+    }
+
+    #[test]
+    fn forward_seek_waits_delta_intervals() {
+        let p = plan_seek(12, 1, 10, 25, 100, false);
+        assert_eq!(p, SeekPlan::Rotate { wait_intervals: 15 });
+    }
+
+    #[test]
+    fn seek_to_current_is_free() {
+        assert_eq!(
+            plan_seek(12, 1, 10, 10, 100, false),
+            SeekPlan::Rotate { wait_intervals: 0 }
+        );
+    }
+
+    #[test]
+    fn idle_aligned_seek_is_immediate() {
+        assert_eq!(plan_seek(12, 1, 10, 90, 100, true), SeekPlan::Immediate);
+    }
+
+    #[test]
+    fn rewind_waits_for_next_rotation_pass() {
+        // D=12, k=1: period 12. Rewinding 5 subobjects waits 12−5 = 7
+        // intervals for the set to come around.
+        assert_eq!(
+            plan_seek(12, 1, 20, 15, 100, false),
+            SeekPlan::Rotate { wait_intervals: 7 }
+        );
+        // Rewinding exactly one period waits a full period.
+        assert_eq!(
+            plan_seek(12, 1, 20, 8, 100, false),
+            SeekPlan::Rotate { wait_intervals: 12 }
+        );
+    }
+
+    #[test]
+    fn rewind_on_stationary_layout_is_instant() {
+        // k = D: all subobjects on the same disks; any position is already
+        // aligned.
+        assert_eq!(
+            plan_seek(10, 10, 50, 3, 100, false),
+            SeekPlan::Rotate { wait_intervals: 0 }
+        );
+    }
+
+    #[test]
+    fn replica_is_one_sixteenth_of_base() {
+        let b = base();
+        let r = FastForwardReplica::derive(&b, ObjectId(1007), 16);
+        assert_eq!(r.spec.subobjects, 188); // ceil(3000/16)
+        let rel = r.relative_size(&b, Bandwidth::mbps(20), Bytes::new(1_512_000));
+        assert!((rel - 188.0 / 3000.0).abs() < 1e-9);
+        assert_eq!(r.speedup, 16);
+    }
+
+    #[test]
+    fn entry_and_resume_points_are_consistent() {
+        let b = base();
+        let r = FastForwardReplica::derive(&b, ObjectId(1007), 16);
+        let e = r.entry_point(1000);
+        assert_eq!(e, 62);
+        let back = r.resume_point(e, &b);
+        // Resuming lands within one decimation window of the origin.
+        assert!(back <= 1000 && 1000 - back < 16, "resume at {back}");
+        // Clamping at the ends.
+        assert_eq!(r.entry_point(2999), 187);
+        assert_eq!(r.resume_point(187, &b), 2992);
+    }
+
+    #[test]
+    #[should_panic(expected = "skip frames")]
+    fn decimation_one_is_rejected() {
+        FastForwardReplica::derive(&base(), ObjectId(1), 1);
+    }
+
+    fn session() -> VcrSession {
+        let b = base();
+        let r = FastForwardReplica::derive(&b, ObjectId(1007), 16);
+        VcrSession::new(b, r)
+    }
+
+    #[test]
+    fn session_playback_advances_and_finishes() {
+        let mut s = session();
+        assert_eq!(s.state(), PlaybackState::Playing { sub: 0 });
+        for _ in 0..100 {
+            s.tick();
+        }
+        assert_eq!(s.position(), 100);
+        // Run to the end.
+        while s.state() != PlaybackState::Finished {
+            s.tick();
+        }
+        assert_eq!(s.position(), 2999);
+    }
+
+    #[test]
+    fn scan_covers_sixteen_times_the_ground() {
+        let mut s = session();
+        for _ in 0..160 {
+            s.tick(); // play to subobject 160
+        }
+        s.press_scan();
+        assert_eq!(s.state(), PlaybackState::Scanning { replica_sub: 10 });
+        for _ in 0..5 {
+            s.tick(); // five intervals of scanning
+        }
+        s.release_scan();
+        // 5 scan intervals × decimation 16 = 80 subobjects skipped.
+        assert_eq!(s.state(), PlaybackState::Playing { sub: 240 });
+    }
+
+    #[test]
+    fn scan_presses_are_idempotent_and_safe_at_end() {
+        let mut s = session();
+        s.press_scan();
+        let st = s.state();
+        s.press_scan(); // no-op while scanning
+        assert_eq!(s.state(), st);
+        // Scan to the end of the replica.
+        while s.state() != PlaybackState::Finished {
+            s.tick();
+        }
+        s.press_scan();
+        s.release_scan();
+        assert_eq!(s.state(), PlaybackState::Finished);
+    }
+
+    #[test]
+    fn seek_updates_position_and_plans_service() {
+        let mut s = session();
+        for _ in 0..1200 {
+            s.tick();
+        }
+        let plan = s.seek(1500, 1000, 5, false);
+        assert_eq!(plan, SeekPlan::Rotate { wait_intervals: 300 });
+        assert_eq!(s.position(), 1500);
+        let plan = s.seek(100, 1000, 5, true);
+        assert_eq!(plan, SeekPlan::Immediate);
+        assert_eq!(s.position(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "must belong")]
+    fn foreign_replica_is_rejected() {
+        let b = base();
+        let other = ObjectSpec::new(ObjectId(99), MediaType::table3(), 100);
+        let r = FastForwardReplica::derive(&other, ObjectId(1), 16);
+        VcrSession::new(b, r);
+    }
+}

@@ -1,0 +1,277 @@
+//! Per-drive cylinder allocation.
+//!
+//! Placement engines carve each drive into cylinder-sized slots (one
+//! fragment per cylinder in the paper's configuration, two for the
+//! "2-cylinder fragment" variant). The allocator hands out the
+//! lowest-numbered free run first, which keeps an object's fragments on
+//! adjacent cylinders when space permits — the locality §3.2.2 credits the
+//! `k = D` layout with.
+
+use serde::{Deserialize, Serialize};
+use ss_types::{Bytes, DiskId, Error, Result};
+
+/// A contiguous run of cylinders `[start, start + len)` on one drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CylinderRange {
+    /// First cylinder of the run.
+    pub start: u32,
+    /// Number of cylinders.
+    pub len: u32,
+}
+
+impl CylinderRange {
+    /// One cylinder past the end of the run.
+    pub fn end(&self) -> u32 {
+        self.start + self.len
+    }
+
+    /// True iff `cyl` lies inside the run.
+    pub fn contains(&self, cyl: u32) -> bool {
+        (self.start..self.end()).contains(&cyl)
+    }
+}
+
+/// A first-fit free-list allocator over one drive's cylinders.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CylinderAllocator {
+    disk: DiskId,
+    cylinders: u32,
+    cylinder_capacity: Bytes,
+    /// Sorted, coalesced list of free runs.
+    free: Vec<CylinderRange>,
+}
+
+impl CylinderAllocator {
+    /// A fully-free allocator for a drive with `cylinders` cylinders.
+    pub fn new(disk: DiskId, cylinders: u32, cylinder_capacity: Bytes) -> Self {
+        CylinderAllocator {
+            disk,
+            cylinders,
+            cylinder_capacity,
+            free: vec![CylinderRange {
+                start: 0,
+                len: cylinders,
+            }],
+        }
+    }
+
+    /// The drive this allocator manages.
+    pub fn disk(&self) -> DiskId {
+        self.disk
+    }
+
+    /// Total cylinders on the drive.
+    pub fn cylinders(&self) -> u32 {
+        self.cylinders
+    }
+
+    /// Cylinders currently free.
+    pub fn free_cylinders(&self) -> u32 {
+        self.free.iter().map(|r| r.len).sum()
+    }
+
+    /// Cylinders currently allocated.
+    pub fn used_cylinders(&self) -> u32 {
+        self.cylinders - self.free_cylinders()
+    }
+
+    /// Bytes currently free.
+    pub fn free_bytes(&self) -> Bytes {
+        self.cylinder_capacity * u64::from(self.free_cylinders())
+    }
+
+    /// Allocates `n` cylinders, contiguously if possible (first-fit),
+    /// otherwise as multiple runs. Fails with [`Error::DiskFull`] without
+    /// changing state if fewer than `n` cylinders are free.
+    pub fn allocate(&mut self, n: u32) -> Result<Vec<CylinderRange>> {
+        if n == 0 {
+            return Ok(vec![]);
+        }
+        if self.free_cylinders() < n {
+            return Err(Error::DiskFull {
+                disk: self.disk,
+                requested: self.cylinder_capacity * u64::from(n),
+                available: self.free_bytes(),
+            });
+        }
+        // First-fit: prefer a single run that covers the whole request.
+        if let Some(idx) = self.free.iter().position(|r| r.len >= n) {
+            let run = &mut self.free[idx];
+            let got = CylinderRange {
+                start: run.start,
+                len: n,
+            };
+            run.start += n;
+            run.len -= n;
+            if run.len == 0 {
+                self.free.remove(idx);
+            }
+            return Ok(vec![got]);
+        }
+        // Otherwise take whole runs from the front until satisfied.
+        let mut out = Vec::new();
+        let mut need = n;
+        while need > 0 {
+            let mut run = self.free.remove(0);
+            if run.len > need {
+                out.push(CylinderRange {
+                    start: run.start,
+                    len: need,
+                });
+                run.start += need;
+                run.len -= need;
+                self.free.insert(0, run);
+                need = 0;
+            } else {
+                need -= run.len;
+                out.push(run);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Returns a run to the free list, coalescing with neighbours.
+    /// Panics on double-free or out-of-range frees (logic bugs).
+    pub fn free(&mut self, range: CylinderRange) {
+        assert!(range.len > 0, "freeing empty range");
+        assert!(
+            range.end() <= self.cylinders,
+            "range {range:?} beyond drive end {}",
+            self.cylinders
+        );
+        // Find insertion point keeping `free` sorted by start.
+        let pos = self
+            .free
+            .partition_point(|r| r.start < range.start);
+        // Overlap checks against neighbours = double-free detection.
+        if pos > 0 {
+            assert!(
+                self.free[pos - 1].end() <= range.start,
+                "double free: {range:?} overlaps {:?}",
+                self.free[pos - 1]
+            );
+        }
+        if pos < self.free.len() {
+            assert!(
+                range.end() <= self.free[pos].start,
+                "double free: {range:?} overlaps {:?}",
+                self.free[pos]
+            );
+        }
+        self.free.insert(pos, range);
+        // Coalesce with the successor, then the predecessor.
+        if pos + 1 < self.free.len() && self.free[pos].end() == self.free[pos + 1].start {
+            self.free[pos].len += self.free[pos + 1].len;
+            self.free.remove(pos + 1);
+        }
+        if pos > 0 && self.free[pos - 1].end() == self.free[pos].start {
+            self.free[pos - 1].len += self.free[pos].len;
+            self.free.remove(pos);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alloc() -> CylinderAllocator {
+        CylinderAllocator::new(DiskId(0), 100, Bytes::megabytes(1))
+    }
+
+    #[test]
+    fn fresh_allocator_is_fully_free() {
+        let a = alloc();
+        assert_eq!(a.free_cylinders(), 100);
+        assert_eq!(a.used_cylinders(), 0);
+        assert_eq!(a.free_bytes(), Bytes::megabytes(100));
+    }
+
+    #[test]
+    fn allocation_is_contiguous_and_low_first() {
+        let mut a = alloc();
+        let r = a.allocate(10).unwrap();
+        assert_eq!(r, vec![CylinderRange { start: 0, len: 10 }]);
+        let r2 = a.allocate(5).unwrap();
+        assert_eq!(r2, vec![CylinderRange { start: 10, len: 5 }]);
+        assert_eq!(a.used_cylinders(), 15);
+    }
+
+    #[test]
+    fn exhaustion_fails_cleanly() {
+        let mut a = alloc();
+        a.allocate(100).unwrap();
+        let err = a.allocate(1).unwrap_err();
+        match err {
+            Error::DiskFull {
+                disk, available, ..
+            } => {
+                assert_eq!(disk, DiskId(0));
+                assert_eq!(available, Bytes::ZERO);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // State unchanged by the failed allocation.
+        assert_eq!(a.free_cylinders(), 0);
+    }
+
+    #[test]
+    fn free_coalesces_both_sides() {
+        let mut a = alloc();
+        let r1 = a.allocate(10).unwrap()[0];
+        let r2 = a.allocate(10).unwrap()[0];
+        let r3 = a.allocate(10).unwrap()[0];
+        a.free(r1);
+        a.free(r3); // [20,30) coalesces with the tail [30,100)
+        assert_eq!(a.free.len(), 2); // [0,10) and [20,100)
+        a.free(r2); // merges everything back into one run
+        assert_eq!(a.free, vec![CylinderRange { start: 0, len: 100 }]);
+    }
+
+    #[test]
+    fn fragmented_allocation_spans_runs() {
+        let mut a = alloc();
+        let r1 = a.allocate(10).unwrap()[0]; // [0,10)
+        let _r2 = a.allocate(10).unwrap()[0]; // [10,20) stays allocated
+        let r3 = a.allocate(10).unwrap()[0]; // [20,30)
+        a.free(r1);
+        a.free(r3);
+        // Free space: [0,10) ∪ [20,30) ∪ [30,100) = [0,10) ∪ [20,100).
+        // Request 15: no single 15-run at the front? [20,100) has 80, so
+        // first-fit takes it contiguously.
+        let got = a.allocate(15).unwrap();
+        assert_eq!(got, vec![CylinderRange { start: 20, len: 15 }]);
+        // Now ask for more than any single run: free = [0,10) ∪ [35,100).
+        let got = a.allocate(70).unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0], CylinderRange { start: 0, len: 10 });
+        assert_eq!(got[1], CylinderRange { start: 35, len: 60 });
+        assert_eq!(a.free_cylinders(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut a = alloc();
+        let r = a.allocate(10).unwrap()[0];
+        a.free(r);
+        a.free(r);
+    }
+
+    #[test]
+    fn zero_allocation_is_noop() {
+        let mut a = alloc();
+        assert!(a.allocate(0).unwrap().is_empty());
+        assert_eq!(a.free_cylinders(), 100);
+    }
+
+    #[test]
+    fn range_contains() {
+        let r = CylinderRange { start: 5, len: 3 };
+        assert!(!r.contains(4));
+        assert!(r.contains(5));
+        assert!(r.contains(7));
+        assert!(!r.contains(8));
+        assert_eq!(r.end(), 8);
+    }
+}

@@ -1,0 +1,481 @@
+//! Server configuration: Table 3 plus scheme and measurement settings.
+
+use serde::{Deserialize, Serialize};
+use ss_core::admission::AdmissionPolicy;
+use ss_core::media::{MediaType, ObjectCatalog, ObjectSpec};
+use ss_types::ObjectId;
+use ss_disk::DiskParams;
+use ss_tertiary::TertiaryParams;
+use ss_types::{Bandwidth, Error, Result, SimDuration};
+use ss_vdr::VdrConfig;
+use ss_workload::Popularity;
+
+/// Which placement/scheduling scheme the server runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Scheme {
+    /// Striping with the given stride (`k = M` reproduces the paper's
+    /// "simple striping"; other strides give staggered striping proper)
+    /// and admission policy.
+    Striping {
+        /// Stride `k`.
+        stride: u32,
+        /// Contiguous or time-fragmented admission.
+        policy: AdmissionPolicy,
+        /// §3.1's "naive approach" switch: when set, every display
+        /// reserves an *aligned group* of this many disks regardless of
+        /// its true degree of declustering — the fixed clusters sized for
+        /// the highest-bandwidth media type that the paper argues waste
+        /// disk bandwidth under a media mix. `None` (staggered striping
+        /// proper) reserves exactly `M_X` disks per display.
+        cluster_round: Option<u32>,
+    },
+    /// The virtual-data-replication baseline.
+    Vdr {
+        /// Baseline policy knobs.
+        vdr: VdrConfig,
+    },
+}
+
+/// One entry of a heterogeneous database description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MixEntry {
+    /// The media type of these objects.
+    pub media: MediaType,
+    /// How many objects of this type the database holds.
+    pub count: u32,
+    /// Subobjects per object of this type.
+    pub subobjects: u32,
+}
+
+/// A heterogeneous database: several media types side by side (the §3.2
+/// scenario staggered striping was designed for).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MediaMix {
+    /// The database composition. Objects are numbered sequentially in
+    /// entry order (entry order therefore also sets popularity order for
+    /// rank-based distributions).
+    pub entries: Vec<MixEntry>,
+}
+
+impl MediaMix {
+    /// Total number of objects.
+    pub fn total_objects(&self) -> u32 {
+        self.entries.iter().map(|e| e.count).sum()
+    }
+
+    /// Builds the catalog with sequential ids in entry order.
+    pub fn catalog(&self) -> ObjectCatalog {
+        let mut objects = Vec::new();
+        let mut id = 0u32;
+        for e in &self.entries {
+            for _ in 0..e.count {
+                objects.push(ObjectSpec::new(ObjectId(id), e.media.clone(), e.subobjects));
+                id += 1;
+            }
+        }
+        ObjectCatalog::new(objects).expect("sequential ids are dense")
+    }
+
+    /// The §3.1 mixed example: objects Y at 120 mbps (M = 6) and Z at
+    /// 60 mbps (M = 3) in equal numbers, **interleaved** in id order so a
+    /// rank-based popularity distribution spreads demand over both types
+    /// instead of concentrating on whichever type is listed first.
+    pub fn section31_example(count_each: u32, subobjects: u32) -> Self {
+        let y = MediaType::new("Y-video-120", Bandwidth::mbps(120));
+        let z = MediaType::new("Z-video-60", Bandwidth::mbps(60));
+        let mut entries = Vec::with_capacity(2 * count_each as usize);
+        for _ in 0..count_each {
+            entries.push(MixEntry {
+                media: y.clone(),
+                count: 1,
+                subobjects,
+            });
+            entries.push(MixEntry {
+                media: z.clone(),
+                count: 1,
+                subobjects,
+            });
+        }
+        MediaMix { entries }
+    }
+}
+
+/// How requests arrive at the server.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalModel {
+    /// The paper's closed system: each station re-requests immediately
+    /// after its display completes (zero think time).
+    Closed,
+    /// Open system: Poisson arrivals at the given rate, independent of
+    /// completions (ablation; striping scheme only).
+    Open {
+        /// Mean arrivals per simulated hour.
+        rate_per_hour: f64,
+    },
+    /// Replay a pre-recorded request trace verbatim
+    /// (`(microseconds, object id)` pairs, sorted by time; striping
+    /// scheme only). The reproducible-regression workload.
+    Trace {
+        /// The recorded events.
+        events: Vec<(u64, u32)>,
+    },
+}
+
+/// How queued requests are ordered before each admission pass — the §5
+/// future-work question "How do we schedule multiple requests fairly?
+/// Should a small request have priority?", made concrete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum QueuePolicy {
+    /// First come, first served (with skips: a blocked request never
+    /// blocks a later request whose disks are free).
+    #[default]
+    Fcfs,
+    /// Requests for low-bandwidth objects (small degree of declustering)
+    /// go first — they fit into smaller holes.
+    SmallestFirst,
+    /// Requests for high-bandwidth objects go first — they starve under
+    /// the other policies when the farm fragments.
+    LargestFirst,
+}
+
+/// When a display of a tertiary-resident object may begin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MaterializeMode {
+    /// As soon as enough prefix is staged that the remainder arrives in
+    /// time (`t₀ = size·(1/B_t − 1/B_d)`). Available to the striping
+    /// scheme, whose farm has bandwidth to spare.
+    Pipelined,
+    /// Only after the object is fully disk resident. The only option for
+    /// VDR: the target cluster's full bandwidth equals one display, so it
+    /// cannot absorb the materialization write and a display at once.
+    AfterFull,
+}
+
+/// The complete simulation configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerConfig {
+    /// Number of disks `D`.
+    pub disks: u32,
+    /// Per-drive characteristics.
+    pub disk: DiskParams,
+    /// Cylinders per fragment (1 in Table 3).
+    pub cylinders_per_fragment: u32,
+    /// Tertiary device characteristics.
+    pub tertiary: TertiaryParams,
+    /// Number of objects in the database (2000 in Table 3).
+    pub objects: u32,
+    /// Subobjects per object (3000 in Table 3).
+    pub subobjects: u32,
+    /// The (single) media type of the database.
+    pub media: MediaType,
+    /// Optional heterogeneous database: when set, overrides
+    /// `objects`/`subobjects`/`media` with an explicit mix of media types
+    /// (only the striping scheme supports this; §4 evaluates a single
+    /// type, so the paper configs leave it `None`).
+    pub mix: Option<MediaMix>,
+    /// Number of display stations (the load parameter of Figure 8).
+    pub stations: u32,
+    /// Closed-loop (the paper) or open Poisson arrivals (ablation).
+    pub arrivals: ArrivalModel,
+    /// Ordering of the disk-admission queue (§5 future work; FCFS is the
+    /// paper's implicit choice).
+    pub queue: QueuePolicy,
+    /// Object-popularity distribution.
+    pub popularity: Popularity,
+    /// Station think time (zero in §4.1).
+    pub think_time: SimDuration,
+    /// Placement/scheduling scheme under test.
+    pub scheme: Scheme,
+    /// Display-start rule for tertiary-resident objects.
+    pub materialize: MaterializeMode,
+    /// Preload the disks with the most popular objects before the run
+    /// (the warm state the paper's steady-state measurements imply; a cold
+    /// start would spend 250+ simulated hours just filling the farm
+    /// through the 40 mbps tertiary).
+    pub preload: bool,
+    /// Simulated warm-up time excluded from the measurements.
+    pub warmup: SimDuration,
+    /// Simulated measurement window.
+    pub measure: SimDuration,
+    /// Expand and machine-verify every admission's full delivery
+    /// timeline against the placement (hiccup-freedom, read alignment,
+    /// causality). O(n·M) per admission — used by tests and debugging,
+    /// off for the large sweeps.
+    pub verify_delivery: bool,
+    /// Master RNG seed.
+    pub seed: u64,
+}
+
+impl ServerConfig {
+    /// The paper's configuration (Table 3), parameterised by station count
+    /// and popularity mean, running simple striping (`k = M = 5`).
+    pub fn paper_striping(stations: u32, mean: f64, seed: u64) -> Self {
+        ServerConfig {
+            disks: 1000,
+            disk: DiskParams::table3(),
+            cylinders_per_fragment: 1,
+            tertiary: TertiaryParams::table3(),
+            objects: 2000,
+            subobjects: 3000,
+            media: MediaType::table3(),
+            mix: None,
+            stations,
+            arrivals: ArrivalModel::Closed,
+            queue: QueuePolicy::Fcfs,
+            popularity: Popularity::TruncatedGeometric { mean },
+            think_time: SimDuration::ZERO,
+            scheme: Scheme::Striping {
+                stride: 5,
+                policy: AdmissionPolicy::Contiguous,
+                cluster_round: None,
+            },
+            materialize: MaterializeMode::Pipelined,
+            preload: true,
+            warmup: SimDuration::from_secs(4 * 3600),
+            measure: SimDuration::from_secs(12 * 3600),
+            verify_delivery: false,
+            seed,
+        }
+    }
+
+    /// The paper's configuration running the virtual-data-replication
+    /// baseline.
+    pub fn paper_vdr(stations: u32, mean: f64, seed: u64) -> Self {
+        ServerConfig {
+            scheme: Scheme::Vdr {
+                vdr: VdrConfig::table3(),
+            },
+            materialize: MaterializeMode::AfterFull,
+            ..Self::paper_striping(stations, mean, seed)
+        }
+    }
+
+    /// Builds the database catalog: the homogeneous Table 3 database, or
+    /// the configured media mix.
+    pub fn catalog(&self) -> ObjectCatalog {
+        match &self.mix {
+            None => ObjectCatalog::homogeneous(self.objects, self.media.clone(), self.subobjects),
+            Some(mix) => mix.catalog(),
+        }
+    }
+
+    /// Effective per-disk bandwidth with the configured fragment size.
+    pub fn b_disk(&self) -> Bandwidth {
+        self.disk.effective_bandwidth(self.fragment_size())
+    }
+
+    /// Fragment size in bytes.
+    pub fn fragment_size(&self) -> ss_types::Bytes {
+        self.disk.cylinder_capacity * u64::from(self.cylinders_per_fragment)
+    }
+
+    /// The degree of declustering `M` of the single media type.
+    pub fn degree(&self) -> u32 {
+        self.media.degree_of_declustering(self.b_disk())
+    }
+
+    /// The global time-interval length: the time one disk needs to
+    /// deliver one fragment at the effective rate,
+    /// `size(fragment) / B_disk`. Because the fragment size is global,
+    /// this is the same for every media type (§3.2) — for the Table 3
+    /// database it equals the display time of one subobject, 0.6048 s.
+    pub fn interval(&self) -> SimDuration {
+        self.fragment_size().transfer_time(self.b_disk())
+    }
+
+    /// Size of one object in bytes.
+    pub fn object_size(&self) -> ss_types::Bytes {
+        self.fragment_size() * u64::from(self.degree()) * u64::from(self.subobjects)
+    }
+
+    /// Display duration of one object.
+    pub fn display_time(&self) -> SimDuration {
+        self.interval() * u64::from(self.subobjects)
+    }
+
+    /// The number of whole objects the farm can hold.
+    pub fn farm_capacity_objects(&self) -> u32 {
+        let per_object = u64::from(self.subobjects)
+            * u64::from(self.degree())
+            * u64::from(self.cylinders_per_fragment);
+        let farm = u64::from(self.disks) * u64::from(self.disk.cylinders);
+        u32::try_from(farm / per_object).expect("absurd capacity")
+    }
+
+    /// Validates cross-parameter consistency.
+    pub fn validate(&self) -> Result<()> {
+        self.disk.validate()?;
+        self.tertiary.validate()?;
+        let bad = |reason: String| Err(Error::InvalidConfig { reason });
+        if self.disks == 0 || self.objects == 0 || self.subobjects == 0 {
+            return bad("disks, objects and subobjects must be positive".into());
+        }
+        if let Some(mix) = &self.mix {
+            if mix.total_objects() == 0 {
+                return bad("media mix holds no objects".into());
+            }
+        }
+        match &self.arrivals {
+            ArrivalModel::Closed => {}
+            ArrivalModel::Open { rate_per_hour } => {
+                if !(*rate_per_hour > 0.0 && rate_per_hour.is_finite()) {
+                    return bad(format!("invalid open arrival rate {rate_per_hour}"));
+                }
+                if matches!(self.scheme, Scheme::Vdr { .. }) {
+                    return bad("the VDR baseline runs the paper's closed workload only".into());
+                }
+            }
+            ArrivalModel::Trace { events } => {
+                if matches!(self.scheme, Scheme::Vdr { .. }) {
+                    return bad("the VDR baseline runs the paper's closed workload only".into());
+                }
+                for pair in events.windows(2) {
+                    if pair[1].0 < pair[0].0 {
+                        return bad("arrival trace is not sorted by time".into());
+                    }
+                }
+                let n_objects = self.mix.as_ref().map_or(self.objects, MediaMix::total_objects);
+                if events.iter().any(|&(_, obj)| obj >= n_objects) {
+                    return bad("arrival trace references an unknown object".into());
+                }
+            }
+        }
+        if self.stations == 0 {
+            return bad("need at least one station".into());
+        }
+        if self.cylinders_per_fragment == 0 {
+            return bad("fragment must span at least one cylinder".into());
+        }
+        if self.degree() > self.disks {
+            return bad(format!(
+                "media needs {} disks but the farm has {}",
+                self.degree(),
+                self.disks
+            ));
+        }
+        if let Some(mix) = &self.mix {
+            if mix.entries.is_empty() {
+                return bad("media mix has no entries".into());
+            }
+            if matches!(self.scheme, Scheme::Vdr { .. }) {
+                return bad("the VDR baseline only supports a homogeneous database".into());
+            }
+            let b_disk = self.b_disk();
+            for e in &mix.entries {
+                let m = e.media.degree_of_declustering(b_disk);
+                if m > self.disks {
+                    return bad(format!(
+                        "mix entry '{}' needs {m} disks but the farm has {}",
+                        e.media.name, self.disks
+                    ));
+                }
+                if let Scheme::Striping {
+                    cluster_round: Some(c),
+                    ..
+                } = self.scheme
+                {
+                    if m > c {
+                        return bad(format!(
+                            "mix entry '{}' needs {m} disks, larger than the {c}-disk clusters",
+                            e.media.name
+                        ));
+                    }
+                }
+            }
+        }
+        if let Scheme::Striping {
+            cluster_round: Some(c),
+            stride,
+            ..
+        } = self.scheme
+        {
+            if c == 0 || c > self.disks {
+                return bad(format!("cluster size {c} invalid for {} disks", self.disks));
+            }
+            if stride % self.disks != c % self.disks && stride != c {
+                return bad("cluster-rounded striping requires stride == cluster size".into());
+            }
+        }
+        if self.measure.is_zero() {
+            return bad("measurement window must be positive".into());
+        }
+        if let Scheme::Vdr { vdr } = &self.scheme {
+            if vdr.clusters == 0 {
+                return bad("VDR needs at least one cluster".into());
+            }
+            if self.materialize == MaterializeMode::Pipelined {
+                return bad(
+                    "VDR cannot pipeline materialization: a cluster's bandwidth \
+                     equals one display"
+                        .into(),
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// A small configuration for tests: 20 disks, 10 objects of 40
+    /// subobjects, 30-minute window.
+    pub fn small_test(stations: u32, seed: u64) -> Self {
+        let mut c = Self::paper_striping(stations, 2.0, seed);
+        c.disks = 20;
+        c.objects = 10;
+        c.subobjects = 40;
+        c.warmup = SimDuration::from_secs(300);
+        c.measure = SimDuration::from_secs(1800);
+        c.verify_delivery = true;
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_reproduces_table3_derived_values() {
+        let c = ServerConfig::paper_striping(64, 20.0, 1);
+        assert_eq!(c.degree(), 5);
+        let iv = c.interval().as_secs_f64();
+        assert!((iv - 0.6048).abs() < 1e-6, "interval {iv}");
+        let disp = c.display_time().as_secs_f64();
+        assert!((disp - 1814.4).abs() < 0.01, "display {disp}");
+        assert_eq!(c.object_size().as_u64(), 22_680_000_000);
+        // Farm capacity: exactly 200 objects (§4.1).
+        assert_eq!(c.farm_capacity_objects(), 200);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn vdr_config_validates() {
+        ServerConfig::paper_vdr(64, 20.0, 1).validate().unwrap();
+    }
+
+    #[test]
+    fn vdr_rejects_pipelined_materialization() {
+        let mut c = ServerConfig::paper_vdr(64, 20.0, 1);
+        c.materialize = MaterializeMode::Pipelined;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn degenerate_configs_are_rejected() {
+        let mut c = ServerConfig::paper_striping(0, 20.0, 1);
+        assert!(c.validate().is_err());
+        c = ServerConfig::paper_striping(1, 20.0, 1);
+        c.disks = 3; // fewer than M = 5
+        assert!(c.validate().is_err());
+        c = ServerConfig::paper_striping(1, 20.0, 1);
+        c.measure = SimDuration::ZERO;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn small_test_config_is_consistent() {
+        let c = ServerConfig::small_test(4, 9);
+        c.validate().unwrap();
+        // 20 disks × 3000 cylinders / (40 × 5) = 300 objects fit; the
+        // 10-object database is fully disk-residentable.
+        assert!(c.farm_capacity_objects() >= c.objects);
+    }
+}

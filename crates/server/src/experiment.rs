@@ -1,0 +1,497 @@
+//! Experiment harness: the parameter sweeps behind Figure 8, Table 4 and
+//! the ablations, with a multi-threaded runner and CSV/JSON emission.
+
+use crate::config::{MediaMix, Scheme, ServerConfig};
+use crate::metrics::RunReport;
+use crate::vdr::vdr_config_for;
+use crate::{run, MaterializeMode};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use ss_core::admission::AdmissionPolicy;
+
+/// The station counts of the Figure 8 x-axis.
+pub const FIG8_STATIONS: [u32; 9] = [1, 2, 4, 8, 16, 32, 64, 128, 256];
+
+/// The three popularity means of §4.1.
+pub const FIG8_MEANS: [f64; 3] = [10.0, 20.0, 43.5];
+
+/// The Table 4 station counts.
+pub const TABLE4_STATIONS: [u32; 4] = [16, 64, 128, 256];
+
+/// Runs a batch of configurations across `threads` worker threads,
+/// preserving input order in the output.
+pub fn run_batch(configs: Vec<ServerConfig>, threads: usize) -> Vec<RunReport> {
+    assert!(threads >= 1);
+    let n = configs.len();
+    let work: Vec<(usize, ServerConfig)> = configs.into_iter().enumerate().collect();
+    let queue = Mutex::new(work);
+    let results: Mutex<Vec<Option<RunReport>>> = Mutex::new(vec![None; n]);
+    crossbeam::scope(|s| {
+        for _ in 0..threads.min(n.max(1)) {
+            s.spawn(|_| loop {
+                let job = queue.lock().pop();
+                let Some((idx, cfg)) = job else { break };
+                let report = run(&cfg).expect("experiment config must be valid");
+                results.lock()[idx] = Some(report);
+            });
+        }
+    })
+    .expect("worker panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every job filled"))
+        .collect()
+}
+
+/// Generates the full Figure 8 grid: both schemes × three distributions ×
+/// the nine station counts.
+pub fn fig8_configs(seed: u64) -> Vec<ServerConfig> {
+    let mut out = Vec::new();
+    for &mean in &FIG8_MEANS {
+        for &stations in &FIG8_STATIONS {
+            out.push(ServerConfig::paper_striping(stations, mean, seed));
+            out.push(ServerConfig::paper_vdr(stations, mean, seed));
+        }
+    }
+    out
+}
+
+/// One row of Table 4: percentage improvement of striping over VDR.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table4Row {
+    /// Number of display stations.
+    pub stations: u32,
+    /// Improvement (%) per distribution mean, ordered as [`FIG8_MEANS`].
+    pub improvement_pct: Vec<f64>,
+}
+
+/// Computes Table 4 from a set of Figure 8 reports: for each (stations,
+/// mean) cell, `100 × (striping − vdr) / vdr` throughput.
+pub fn table4(reports: &[RunReport]) -> Vec<Table4Row> {
+    let find = |scheme: &str, stations: u32, mean: f64| -> Option<&RunReport> {
+        let tag = format!("geom({mean:?})");
+        reports
+            .iter()
+            .find(|r| r.scheme == scheme && r.stations == stations && r.popularity == tag)
+    };
+    TABLE4_STATIONS
+        .iter()
+        .map(|&stations| {
+            let improvement_pct = FIG8_MEANS
+                .iter()
+                .map(|&mean| {
+                    let s = find("striping", stations, mean);
+                    let v = find("vdr", stations, mean);
+                    match (s, v) {
+                        (Some(s), Some(v)) if v.displays_per_hour > 0.0 => {
+                            100.0 * (s.displays_per_hour - v.displays_per_hour)
+                                / v.displays_per_hour
+                        }
+                        _ => f64::NAN,
+                    }
+                })
+                .collect();
+            Table4Row {
+                stations,
+                improvement_pct,
+            }
+        })
+        .collect()
+}
+
+/// Formats Table 4 in the paper's shape.
+pub fn format_table4(rows: &[Table4Row]) -> String {
+    let mut out = String::new();
+    out.push_str("# Display |            Distribution of Access\n");
+    out.push_str("Stations  | 10 (highly skewed) | 20 (skewed) | 43.5 (uniform)\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{:<9} | {:>17.2}% | {:>10.2}% | {:>13.2}%\n",
+            r.stations, r.improvement_pct[0], r.improvement_pct[1], r.improvement_pct[2]
+        ));
+    }
+    out
+}
+
+/// Stride-sweep ablation configs (§3.2.2): staggered striping at the given
+/// strides, identical workload otherwise.
+pub fn stride_sweep_configs(strides: &[u32], stations: u32, mean: f64, seed: u64) -> Vec<ServerConfig> {
+    strides
+        .iter()
+        .map(|&k| {
+            let mut c = ServerConfig::paper_striping(stations, mean, seed);
+            c.scheme = Scheme::Striping {
+                stride: k,
+                policy: AdmissionPolicy::Contiguous,
+                cluster_round: None,
+            };
+            c
+        })
+        .collect()
+}
+
+/// Materialization-mode ablation: pipelined vs full-before-display, on the
+/// striping scheme with a cold (non-preloaded) cache to force fetches.
+pub fn materialize_ablation_configs(stations: u32, mean: f64, seed: u64) -> Vec<ServerConfig> {
+    [MaterializeMode::Pipelined, MaterializeMode::AfterFull]
+        .into_iter()
+        .map(|m| {
+            let mut c = ServerConfig::paper_striping(stations, mean, seed);
+            c.materialize = m;
+            c.preload = false;
+            c
+        })
+        .collect()
+}
+
+/// Admission-policy ablation: contiguous vs time-fragmented admission
+/// under a mixed-media workload is exercised separately (see the bench
+/// binaries); this helper just flips the policy on the paper workload.
+pub fn admission_ablation_configs(stations: u32, mean: f64, seed: u64) -> Vec<ServerConfig> {
+    [
+        AdmissionPolicy::Contiguous,
+        AdmissionPolicy::Fragmented {
+            max_buffer_fragments: 64,
+            max_delay_intervals: 16,
+        },
+    ]
+    .into_iter()
+    .map(|policy| {
+        let mut c = ServerConfig::paper_striping(stations, mean, seed);
+        c.scheme = Scheme::Striping {
+            stride: 5,
+            policy,
+            cluster_round: None,
+        };
+        c
+    })
+    .collect()
+}
+
+/// Mixed-media comparison (§3.1/§3.2): the same heterogeneous database
+/// (120 mbps and 60 mbps video, the paper's Y/Z example) served three
+/// ways:
+///
+/// 1. staggered striping (stride 1, exact `M_X` per display) with
+///    **time-fragmented admission** (Algorithm 1) — the paper's full
+///    proposal;
+/// 2. the same layout with contiguous-only admission — demonstrating the
+///    §3.2.1 *time fragmentation* penalty (free disks exist but are not
+///    adjacent, so high-degree displays starve);
+/// 3. the §3.1 naive fixed-cluster layout sized for the highest-bandwidth
+///    media type (6-disk clusters), which wastes half of every cluster
+///    serving a 60 mbps object.
+pub fn mixed_media_configs(stations: u32, seed: u64) -> Vec<ServerConfig> {
+    let base = |scheme: Scheme| {
+        let mut c = ServerConfig::paper_striping(stations, 20.0, seed);
+        c.mix = Some(MediaMix::section31_example(100, 3000));
+        c.objects = 200; // informational; catalog comes from the mix
+        c.scheme = scheme;
+        c
+    };
+    vec![
+        base(Scheme::Striping {
+            stride: 1,
+            policy: AdmissionPolicy::Fragmented {
+                max_buffer_fragments: 64,
+                // A granted disk idles between the grant and its aligned
+                // read start, so the delay cap trades admission
+                // flexibility against pre-reservation waste; one quarter
+                // of a rotation captures nearly all of the benefit when
+                // objects are long relative to the rotation period.
+                max_delay_intervals: 16,
+            },
+            cluster_round: None,
+        }),
+        base(Scheme::Striping {
+            stride: 1,
+            policy: AdmissionPolicy::Contiguous,
+            cluster_round: None,
+        }),
+        base(Scheme::Striping {
+            stride: 6,
+            policy: AdmissionPolicy::Contiguous,
+            cluster_round: Some(6),
+        }),
+    ]
+}
+
+/// Queue-policy ablation (§5 future work): the mixed-media staggered
+/// workload under FCFS, smallest-first and largest-first queueing.
+pub fn queue_policy_configs(stations: u32, seed: u64) -> Vec<ServerConfig> {
+    use crate::config::QueuePolicy;
+    [
+        QueuePolicy::Fcfs,
+        QueuePolicy::SmallestFirst,
+        QueuePolicy::LargestFirst,
+    ]
+    .into_iter()
+    .map(|q| {
+        let mut c = mixed_media_configs(stations, seed).remove(0);
+        c.queue = q;
+        c
+    })
+    .collect()
+}
+
+/// Fragment-size ablation (§3.1): the same database and workload with
+/// one- and two-cylinder fragments. Larger fragments raise the effective
+/// disk bandwidth (≈20 → ≈20.8 mbps on the Table 3 drive) but double the
+/// time interval, and with it every queueing quantum and worst-case
+/// startup delay. Object size is held constant by halving the subobject
+/// count.
+pub fn fragment_size_ablation_configs(stations: u32, mean: f64, seed: u64) -> Vec<ServerConfig> {
+    [1u32, 2]
+        .into_iter()
+        .map(|cpf| {
+            let mut c = ServerConfig::paper_striping(stations, mean, seed);
+            c.cylinders_per_fragment = cpf;
+            c.subobjects = 3000 / cpf;
+            c
+        })
+        .collect()
+}
+
+/// Mean/σ of a metric across seed replications.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Replicated {
+    /// Scheme label of the replicated cell.
+    pub scheme: String,
+    /// Station count of the cell.
+    pub stations: u32,
+    /// Popularity tag of the cell.
+    pub popularity: String,
+    /// Seeds used.
+    pub seeds: Vec<u64>,
+    /// Mean displays/hour across seeds.
+    pub mean_displays_per_hour: f64,
+    /// Sample standard deviation of displays/hour.
+    pub std_displays_per_hour: f64,
+    /// Mean startup latency (seconds) across seeds.
+    pub mean_latency_s: f64,
+}
+
+/// Runs every configuration under each seed and aggregates per
+/// configuration (mean ± σ). The base configs' own seeds are ignored.
+pub fn run_replicated(
+    configs: Vec<ServerConfig>,
+    seeds: &[u64],
+    threads: usize,
+) -> Vec<Replicated> {
+    assert!(!seeds.is_empty());
+    let mut jobs = Vec::with_capacity(configs.len() * seeds.len());
+    for c in &configs {
+        for &seed in seeds {
+            let mut c = c.clone();
+            c.seed = seed;
+            jobs.push(c);
+        }
+    }
+    let reports = run_batch(jobs, threads);
+    reports
+        .chunks(seeds.len())
+        .map(|chunk| {
+            let mut thr = ss_sim::Tally::new();
+            let mut lat = ss_sim::Tally::new();
+            for r in chunk {
+                thr.record(r.displays_per_hour);
+                lat.record(r.mean_latency_s);
+            }
+            Replicated {
+                scheme: chunk[0].scheme.clone(),
+                stations: chunk[0].stations,
+                popularity: chunk[0].popularity.clone(),
+                seeds: seeds.to_vec(),
+                mean_displays_per_hour: thr.mean(),
+                std_displays_per_hour: thr.std_dev(),
+                mean_latency_s: lat.mean(),
+            }
+        })
+        .collect()
+}
+
+/// A small-scale analogue of the paper's grid for fast smoke runs and
+/// tests: shrinks the farm and database while keeping the structural
+/// ratios (database ≈ 2.5 × farm capacity, R clusters, M = 5).
+pub fn small_grid_configs(stations: &[u32], mean: f64, seed: u64) -> Vec<ServerConfig> {
+    let mut out = Vec::new();
+    for &n in stations {
+        let mut s = ServerConfig::small_test(n, seed);
+        s.popularity = ss_workload::Popularity::TruncatedGeometric { mean };
+        s.objects = 150; // farm holds 60 (20×3000/(40×5×5))... recompute below
+        // Farm capacity: 20 disks × 3000 cyl / (40 subobj × 5 frags) = 300;
+        // use 750 objects for a 2.5× overcommit.
+        s.objects = 750;
+        out.push(s.clone());
+        let mut v = s;
+        v.scheme = Scheme::Vdr {
+            vdr: vdr_config_for(&v),
+        };
+        v.materialize = MaterializeMode::AfterFull;
+        out.push(v);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8_grid_has_54_cells() {
+        let cfgs = fig8_configs(1);
+        assert_eq!(cfgs.len(), 2 * 3 * 9);
+        assert!(cfgs.iter().all(|c| c.validate().is_ok()));
+    }
+
+    #[test]
+    fn batch_runner_preserves_order_and_parallelism() {
+        let cfgs = vec![
+            ServerConfig::small_test(1, 1),
+            ServerConfig::small_test(2, 1),
+            ServerConfig::small_test(4, 1),
+        ];
+        let seq = run_batch(cfgs.clone(), 1);
+        let par = run_batch(cfgs, 3);
+        assert_eq!(seq, par);
+        assert_eq!(seq[0].stations, 1);
+        assert_eq!(seq[2].stations, 4);
+    }
+
+    #[test]
+    fn table4_math() {
+        let mk = |scheme: &str, stations: u32, mean: f64, rate: f64| RunReport {
+            scheme: scheme.into(),
+            stations,
+            popularity: format!("geom({mean:?})"),
+            seed: 0,
+            displays_completed: 0,
+            displays_per_hour: rate,
+            mean_latency_s: 0.0,
+            p50_latency_s: 0.0,
+            p95_latency_s: 0.0,
+            max_latency_s: 0.0,
+            disk_utilization: 0.0,
+            tertiary_utilization: 0.0,
+            tertiary_fetches: 0,
+            unique_residents: 0,
+            mean_active_displays: 0.0,
+            peak_buffer_fragments: 0,
+            coalesces: 0,
+            measured_seconds: 0.0,
+        };
+        let mut reports = Vec::new();
+        for &n in &TABLE4_STATIONS {
+            for &m in &FIG8_MEANS {
+                reports.push(mk("striping", n, m, 200.0));
+                reports.push(mk("vdr", n, m, 100.0));
+            }
+        }
+        let rows = table4(&reports);
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            for &pct in &r.improvement_pct {
+                assert!((pct - 100.0).abs() < 1e-9);
+            }
+        }
+        let txt = format_table4(&rows);
+        assert!(txt.contains("100.00%"));
+        assert!(txt.contains("256"));
+    }
+
+    #[test]
+    fn mixed_media_staggered_beats_naive_clusters() {
+        // Shrunken farm, saturating load: the naive 6-disk-cluster layout
+        // wastes 3 of 6 disks on every 60 mbps display, so staggered
+        // striping must sustain clearly more displays per hour.
+        // Objects must be long relative to the rotation period (as in the
+        // paper: 3000 subobjects vs 1000 disks), otherwise the admission
+        // economics are distorted by startup effects.
+        let mut cfgs = mixed_media_configs(48, 7);
+        for c in &mut cfgs {
+            c.disks = 60;
+            c.mix = Some(crate::config::MediaMix::section31_example(20, 200));
+            c.popularity = ss_workload::Popularity::Uniform;
+            c.warmup = ss_types::SimDuration::from_secs(1200);
+            c.measure = ss_types::SimDuration::from_secs(2 * 3600);
+            c.validate().unwrap();
+        }
+        let r = run_batch(cfgs, 3);
+        let (fragmented, contiguous, naive) = (&r[0], &r[1], &r[2]);
+        // Time-fragmented admission must beat the naive clusters (it uses
+        // exactly M_X disks per display and scavenges non-adjacent free
+        // disks)...
+        assert!(
+            fragmented.displays_per_hour > 1.05 * naive.displays_per_hour,
+            "fragmented {} vs naive {}",
+            fragmented.displays_per_hour,
+            naive.displays_per_hour
+        );
+        // ...and must beat contiguous-only admission, which suffers the
+        // §3.2.1 time-fragmentation starvation under a media mix.
+        assert!(
+            fragmented.displays_per_hour >= contiguous.displays_per_hour,
+            "fragmented {} vs contiguous {}",
+            fragmented.displays_per_hour,
+            contiguous.displays_per_hour
+        );
+    }
+
+    #[test]
+    fn two_cylinder_fragments_change_the_derived_quantities() {
+        let cfgs = fragment_size_ablation_configs(4, 20.0, 1);
+        let (one, two) = (&cfgs[0], &cfgs[1]);
+        // Effective bandwidth rises with fragment size ...
+        assert!(two.b_disk() > one.b_disk());
+        // ... the interval roughly doubles ...
+        let ratio = two.interval().as_secs_f64() / one.interval().as_secs_f64();
+        assert!((1.85..2.0).contains(&ratio), "interval ratio {ratio}");
+        // ... the object size is unchanged ...
+        assert_eq!(one.object_size(), two.object_size());
+        // ... and the degree of declustering stays at 5 (20.8 mbps is
+        // still below 25).
+        assert_eq!(one.degree(), 5);
+        assert_eq!(two.degree(), 5);
+    }
+
+    #[test]
+    fn replicated_runs_aggregate_across_seeds() {
+        let configs = vec![ServerConfig::small_test(2, 0)];
+        let agg = run_replicated(configs, &[1, 2, 3], 3);
+        assert_eq!(agg.len(), 1);
+        let a = &agg[0];
+        assert_eq!(a.scheme, "striping");
+        assert_eq!(a.seeds, vec![1, 2, 3]);
+        // Throughput is positive and the spread is small but generally
+        // non-zero (different popularity draws).
+        assert!(a.mean_displays_per_hour > 0.0);
+        assert!(a.std_displays_per_hour >= 0.0);
+        assert!(a.std_displays_per_hour < a.mean_displays_per_hour);
+    }
+
+    #[test]
+    fn ablation_config_builders_validate() {
+        for c in stride_sweep_configs(&[1, 2, 5, 1000], 16, 20.0, 1) {
+            c.validate().unwrap();
+        }
+        for c in materialize_ablation_configs(16, 20.0, 1) {
+            c.validate().unwrap();
+        }
+        for c in admission_ablation_configs(16, 20.0, 1) {
+            c.validate().unwrap();
+        }
+        for c in mixed_media_configs(16, 1) {
+            c.validate().unwrap();
+        }
+        for c in fragment_size_ablation_configs(16, 20.0, 1) {
+            c.validate().unwrap();
+        }
+        for c in queue_policy_configs(16, 1) {
+            c.validate().unwrap();
+        }
+        for c in small_grid_configs(&[1, 4], 20.0, 1) {
+            c.validate().unwrap();
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Run reports: the measurements Figure 8 and Table 4 are built from.
+
+use serde::{Deserialize, Serialize};
+use ss_sim::{Counter, Histogram, Tally, TimeWeighted};
+use ss_types::{SimDuration, SimTime};
+
+/// Aggregated results of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Scheme label ("striping" / "vdr").
+    pub scheme: String,
+    /// Number of display stations.
+    pub stations: u32,
+    /// Popularity description (e.g. "geom(20)").
+    pub popularity: String,
+    /// RNG seed used.
+    pub seed: u64,
+    /// Displays completed during the measurement window.
+    pub displays_completed: u64,
+    /// The headline number of Figure 8: completed displays per simulated
+    /// hour.
+    pub displays_per_hour: f64,
+    /// Mean latency from request issue to display start, seconds.
+    pub mean_latency_s: f64,
+    /// Median latency, seconds (histogram estimate).
+    pub p50_latency_s: f64,
+    /// 95th-percentile latency, seconds (histogram estimate).
+    pub p95_latency_s: f64,
+    /// Max observed latency, seconds.
+    pub max_latency_s: f64,
+    /// Mean fraction of disk (or cluster) capacity committed.
+    pub disk_utilization: f64,
+    /// Tertiary device utilisation.
+    pub tertiary_utilization: f64,
+    /// Requests that had to touch the tertiary device.
+    pub tertiary_fetches: u64,
+    /// Distinct objects disk resident at the end of the run.
+    pub unique_residents: u64,
+    /// Mean number of concurrently active displays.
+    pub mean_active_displays: f64,
+    /// High-water mark of fragment-sized delivery buffers held by
+    /// time-fragmented displays (0 under contiguous admission; §3.2.1).
+    pub peak_buffer_fragments: u64,
+    /// Dynamic-coalescing handovers performed (fragment migrations onto
+    /// freed disks; §3.2.1 / Algorithm 2).
+    pub coalesces: u64,
+    /// Simulated seconds measured (after warm-up).
+    pub measured_seconds: f64,
+}
+
+/// The statistics a server accumulates while running; converted into a
+/// [`RunReport`] at the end.
+#[derive(Debug)]
+pub struct MetricsCollector {
+    /// Completed displays (measurement window only).
+    pub completions: Counter,
+    /// Request-issue → display-start latency, seconds.
+    pub latency: Tally,
+    /// Latency distribution (seconds; covers 0..86400 s, i.e. a full
+    /// simulated day — far beyond any sane startup delay).
+    pub latency_hist: Histogram,
+    /// Committed-capacity fraction over time.
+    pub utilization: TimeWeighted,
+    /// Concurrently active displays over time.
+    pub active: TimeWeighted,
+    /// Requests that required a tertiary fetch.
+    pub tertiary_fetches: u64,
+    /// Peak delivery-buffer occupancy (fragments).
+    pub peak_buffer_fragments: u64,
+    /// Dynamic-coalescing handovers performed.
+    pub coalesces: u64,
+    measure_start: SimTime,
+    in_measurement: bool,
+}
+
+impl MetricsCollector {
+    /// A collector that starts in the warm-up phase.
+    pub fn new() -> Self {
+        MetricsCollector {
+            completions: Counter::new(SimTime::ZERO),
+            latency: Tally::new(),
+            latency_hist: Histogram::new(86_400.0, 86_400),
+            utilization: TimeWeighted::new(SimTime::ZERO, 0.0),
+            active: TimeWeighted::new(SimTime::ZERO, 0.0),
+            tertiary_fetches: 0,
+            peak_buffer_fragments: 0,
+            coalesces: 0,
+            measure_start: SimTime::ZERO,
+            in_measurement: false,
+        }
+    }
+
+    /// Ends the warm-up: clears counters and starts the measurement
+    /// window at `now`.
+    pub fn start_measurement(&mut self, now: SimTime) {
+        self.completions.reset(now);
+        self.latency = Tally::new();
+        self.latency_hist = Histogram::new(86_400.0, 86_400);
+        self.utilization.reset(now);
+        self.active.reset(now);
+        self.tertiary_fetches = 0;
+        // The buffer peak is an architectural sizing number, not a rate:
+        // it deliberately survives the warm-up reset.
+        self.measure_start = now;
+        self.in_measurement = true;
+    }
+
+    /// True once the measurement window is active.
+    pub fn measuring(&self) -> bool {
+        self.in_measurement
+    }
+
+    /// Records a completed display.
+    pub fn record_completion(&mut self) {
+        self.completions.incr();
+    }
+
+    /// Records a request's startup latency.
+    pub fn record_latency(&mut self, waited: SimDuration) {
+        let secs = waited.as_secs_f64();
+        self.latency.record(secs);
+        self.latency_hist.record(secs.min(86_399.0));
+    }
+
+    /// Records a tertiary fetch.
+    pub fn record_tertiary_fetch(&mut self) {
+        if self.in_measurement {
+            self.tertiary_fetches += 1;
+        }
+    }
+
+    /// Builds the final report at `now`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn report(
+        &self,
+        now: SimTime,
+        scheme: &str,
+        stations: u32,
+        popularity: String,
+        seed: u64,
+        tertiary_utilization: f64,
+        unique_residents: u64,
+    ) -> RunReport {
+        RunReport {
+            scheme: scheme.to_string(),
+            stations,
+            popularity,
+            seed,
+            displays_completed: self.completions.count(),
+            displays_per_hour: self.completions.per_hour(now),
+            mean_latency_s: self.latency.mean(),
+            p50_latency_s: self.latency_hist.quantile(0.5).unwrap_or(0.0),
+            p95_latency_s: self.latency_hist.quantile(0.95).unwrap_or(0.0),
+            max_latency_s: self.latency.max().unwrap_or(0.0),
+            disk_utilization: self.utilization.mean(now),
+            tertiary_utilization,
+            tertiary_fetches: self.tertiary_fetches,
+            unique_residents,
+            mean_active_displays: self.active.mean(now),
+            peak_buffer_fragments: self.peak_buffer_fragments,
+            coalesces: self.coalesces,
+            measured_seconds: now.duration_since(self.measure_start).as_secs_f64(),
+        }
+    }
+}
+
+impl Default for MetricsCollector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Formats a slice of reports as an aligned text table (one row per run).
+pub fn format_table(reports: &[RunReport]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<10} {:>8} {:>12} {:>12} {:>10} {:>10} {:>9} {:>10}\n",
+        "scheme", "stations", "popularity", "disp/hour", "latency_s", "disk_util", "residents", "t_fetches"
+    ));
+    for r in reports {
+        out.push_str(&format!(
+            "{:<10} {:>8} {:>12} {:>12.1} {:>10.1} {:>10.3} {:>9} {:>10}\n",
+            r.scheme,
+            r.stations,
+            r.popularity,
+            r.displays_per_hour,
+            r.mean_latency_s,
+            r.disk_utilization,
+            r.unique_residents,
+            r.tertiary_fetches,
+        ));
+    }
+    out
+}
+
+/// Serialises reports as CSV.
+pub fn to_csv(reports: &[RunReport]) -> String {
+    let mut out = String::from(
+        "scheme,stations,popularity,seed,displays_completed,displays_per_hour,\
+         mean_latency_s,p50_latency_s,p95_latency_s,max_latency_s,\
+         disk_utilization,tertiary_utilization,\
+         tertiary_fetches,unique_residents,mean_active_displays,\
+         peak_buffer_fragments,coalesces,measured_seconds\n",
+    );
+    for r in reports {
+        out.push_str(&format!(
+            "{},{},{},{},{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.6},{:.6},{},{},{:.4},{},{},{:.1}\n",
+            r.scheme,
+            r.stations,
+            r.popularity,
+            r.seed,
+            r.displays_completed,
+            r.displays_per_hour,
+            r.mean_latency_s,
+            r.p50_latency_s,
+            r.p95_latency_s,
+            r.max_latency_s,
+            r.disk_utilization,
+            r.tertiary_utilization,
+            r.tertiary_fetches,
+            r.unique_residents,
+            r.mean_active_displays,
+            r.peak_buffer_fragments,
+            r.coalesces,
+            r.measured_seconds,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn collector_measures_only_after_warmup() {
+        let mut m = MetricsCollector::new();
+        m.record_completion();
+        m.record_completion();
+        m.record_tertiary_fetch(); // ignored during warm-up
+        m.start_measurement(t(3600));
+        assert_eq!(m.completions.count(), 0);
+        assert_eq!(m.tertiary_fetches, 0);
+        for _ in 0..100 {
+            m.record_completion();
+        }
+        m.record_tertiary_fetch();
+        let r = m.report(t(7200), "striping", 16, "geom(10)".into(), 7, 0.5, 42);
+        assert_eq!(r.displays_completed, 100);
+        assert_eq!(r.displays_per_hour, 100.0);
+        assert_eq!(r.tertiary_fetches, 1);
+        assert_eq!(r.unique_residents, 42);
+        assert_eq!(r.measured_seconds, 3600.0);
+    }
+
+    #[test]
+    fn latency_statistics() {
+        let mut m = MetricsCollector::new();
+        m.start_measurement(t(0));
+        m.record_latency(SimDuration::from_secs(1));
+        m.record_latency(SimDuration::from_secs(3));
+        let r = m.report(t(10), "vdr", 1, "uniform".into(), 0, 0.0, 0);
+        assert_eq!(r.mean_latency_s, 2.0);
+        assert_eq!(r.max_latency_s, 3.0);
+        assert!(r.p50_latency_s >= 1.0 && r.p50_latency_s <= 3.1);
+        assert!(r.p95_latency_s >= r.p50_latency_s);
+    }
+
+    #[test]
+    fn table_and_csv_render() {
+        let mut m = MetricsCollector::new();
+        m.start_measurement(t(0));
+        m.record_completion();
+        let r = m.report(t(3600), "striping", 8, "geom(20)".into(), 3, 0.1, 5);
+        let table = format_table(std::slice::from_ref(&r));
+        assert!(table.contains("striping"));
+        assert!(table.contains("geom(20)"));
+        let csv = to_csv(&[r]);
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.lines().nth(1).unwrap().starts_with("striping,8,geom(20),3,1,"));
+    }
+}

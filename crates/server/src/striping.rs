@@ -1,0 +1,835 @@
+//! The striping media server: the §4 simulation with simple striping
+//! (`k = M`) or staggered striping (any stride) as the placement scheme.
+//!
+//! The simulation advances in global time intervals (0.6048 s under
+//! Table 3). Each tick the server, in order:
+//!
+//! 1. completes displays whose last subobject has been delivered,
+//! 2. promotes finished materializations to displayable residency,
+//! 3. admits queued requests through the virtual-frame
+//!    [`IntervalScheduler`] (FIFO with skips: a blocked request does not
+//!    block later requests whose disks are free — the idle slots of
+//!    Figure 3 get used, exactly the paper's motivation),
+//! 4. lets thinking stations issue new requests (resident → disk queue;
+//!    absent → LFU eviction + tertiary fetch).
+//!
+//! Storage residency uses the exact cylinder accounting of
+//! [`PlacementMap`]; evictions follow the paper's "removes the least
+//! frequently accessed object" rule, restricted to objects not being
+//! displayed or fetched.
+
+use crate::config::{ArrivalModel, MaterializeMode, QueuePolicy, Scheme, ServerConfig};
+use crate::metrics::{MetricsCollector, RunReport};
+use ss_core::admission::{AdmissionPolicy, IntervalScheduler};
+use ss_core::buffers::BufferTracker;
+use ss_core::coalesce::ActiveFragmentedDisplay;
+use ss_core::frame::VirtualFrame;
+use ss_core::media::ObjectCatalog;
+use ss_core::placement::{PlacementMap, StripingConfig};
+use ss_sim::{Context, DeterministicRng, Model, Simulation};
+use ss_tertiary::TertiaryDevice;
+use ss_types::{Error, ObjectId, Result, SimDuration, SimTime, StationId};
+use ss_workload::{OpenArrivals, StationPool, StationState, TraceArrivals};
+use std::collections::HashMap;
+
+/// The server's event alphabet: one periodic interval tick.
+pub enum Event {
+    /// Advance one time interval.
+    Tick,
+}
+
+/// One admitted, running display. Open-system viewers have no station.
+#[derive(Debug, Clone)]
+struct ActiveDisplay {
+    station: Option<StationId>,
+    object: ObjectId,
+    ends: SimTime,
+    /// Fragment buffers currently held (fragmented admission only;
+    /// reduced by dynamic coalescing).
+    buffer_fragments: u64,
+    /// Live scheduling state, kept while the display still buffers so the
+    /// coalescing pass can migrate its lagging fragments.
+    fragmented: Option<ActiveFragmentedDisplay>,
+}
+
+/// A request waiting for disk admission. Closed-loop requests carry their
+/// station (whose pool records the issue time); open-system requests
+/// carry the issue time directly.
+#[derive(Debug, Clone, Copy)]
+struct Waiter {
+    station: Option<StationId>,
+    object: ObjectId,
+    issued: SimTime,
+}
+
+/// The striping server model (driven by [`ss_sim::Simulation`]).
+pub struct StripingModel {
+    config: ServerConfig,
+    interval: SimDuration,
+    b_disk: ss_types::Bandwidth,
+    /// §3.1 naive mode: reserve aligned groups of this many disks.
+    cluster_round: Option<u32>,
+    policy: AdmissionPolicy,
+    catalog: ObjectCatalog,
+    placement: PlacementMap,
+    scheduler: IntervalScheduler,
+    stations: StationPool,
+    tertiary: TertiaryDevice,
+    metrics: MetricsCollector,
+    /// FIFO of requests for displayable resident objects.
+    wait_disk: Vec<Waiter>,
+    /// Waiters per in-flight materialization.
+    wait_tertiary: HashMap<ObjectId, Vec<Waiter>>,
+    /// In-flight (or staged-but-not-yet-displayable) materializations:
+    /// object → instant it becomes displayable.
+    materializing: HashMap<ObjectId, SimTime>,
+    /// Objects awaiting their turn at the tertiary device. Jobs are
+    /// submitted one at a time, when the device is actually free, so
+    /// neither disk space nor eviction decisions are committed hours
+    /// before the transfer can begin.
+    fetch_queue: Vec<ObjectId>,
+    active: Vec<ActiveDisplay>,
+    active_per_object: HashMap<ObjectId, u32>,
+    freq: Vec<u64>,
+    /// Staggered initial activation times (see the VDR server: avoids the
+    /// lockstep artifact of identical display lengths).
+    activate_at: Vec<SimTime>,
+    /// Aligned start used by the next naive-mode placement.
+    next_naive_start: u32,
+    /// Delivery-buffer accounting (§3.2.1).
+    buffers: BufferTracker,
+    /// Open-system arrival stream (None in the closed/trace models).
+    open: Option<OpenArrivals>,
+    /// Trace-replay arrival stream (None in the closed/Poisson models).
+    trace: Option<TraceArrivals>,
+    /// The next open arrival not yet released into the queues.
+    next_arrival: Option<(SimTime, ObjectId)>,
+    measurement_started: bool,
+    deadline: SimTime,
+}
+
+impl StripingModel {
+    fn new(config: ServerConfig) -> Result<Self> {
+        let (stride, policy, cluster_round) = match config.scheme {
+            Scheme::Striping {
+                stride,
+                policy,
+                cluster_round,
+            } => (stride, policy, cluster_round),
+            _ => {
+                return Err(Error::InvalidConfig {
+                    reason: "StripingServer requires Scheme::Striping".into(),
+                })
+            }
+        };
+        let b_disk = config.b_disk();
+        let catalog = config.catalog();
+        let striping = StripingConfig {
+            disks: config.disks,
+            stride,
+            fragment: config.fragment_size(),
+            b_disk,
+        };
+        let mut placement =
+            PlacementMap::new(striping, config.disk.cylinders, config.cylinders_per_fragment)?;
+        if config.preload {
+            // Most-popular-first preload: ids ascend in popularity order
+            // for both geometric and Zipf samplers. Under cluster-rounding
+            // every start must be cluster-aligned, so the naive mode keeps
+            // its own aligned rotation.
+            let mut aligned_next = 0u32;
+            for spec in catalog.iter() {
+                let placed = match cluster_round {
+                    Some(c) => {
+                        let r = placement.place_at(spec, aligned_next);
+                        if r.is_ok() {
+                            aligned_next = (aligned_next + c) % config.disks;
+                        }
+                        r.map(|_| ())
+                    }
+                    None => placement.place(spec).map(|_| ()),
+                };
+                if placed.is_err() {
+                    break; // farm full
+                }
+            }
+        }
+        let rng = DeterministicRng::seed_from_u64(config.seed);
+        let sampler = config.popularity.sampler(catalog.len());
+        let stations = StationPool::new(
+            config.stations,
+            sampler.clone(),
+            config.think_time,
+            rng.derive("stations"),
+        );
+        let (open, trace) = match &config.arrivals {
+            ArrivalModel::Closed => (None, None),
+            ArrivalModel::Open { rate_per_hour } => (
+                Some(OpenArrivals::new(
+                    *rate_per_hour,
+                    sampler,
+                    rng.derive("arrivals"),
+                )),
+                None,
+            ),
+            ArrivalModel::Trace { events } => {
+                let events = events
+                    .iter()
+                    .map(|&(us, obj)| (SimTime::from_micros(us), ObjectId(obj)))
+                    .collect();
+                (
+                    None,
+                    Some(TraceArrivals::new(events).expect("validated trace")),
+                )
+            }
+        };
+        let scheduler = IntervalScheduler::new(VirtualFrame::new(config.disks, stride));
+        let tertiary = TertiaryDevice::new(config.tertiary.clone());
+        let deadline = SimTime::ZERO + config.warmup + config.measure;
+        let n_objects = catalog.len();
+        Ok(StripingModel {
+            interval: config.interval(),
+            b_disk,
+            cluster_round,
+            policy,
+            catalog,
+            placement,
+            scheduler,
+            stations,
+            tertiary,
+            metrics: MetricsCollector::new(),
+            wait_disk: Vec::new(),
+            wait_tertiary: HashMap::new(),
+            materializing: HashMap::new(),
+            fetch_queue: Vec::new(),
+            active: Vec::new(),
+            active_per_object: HashMap::new(),
+            freq: vec![0; n_objects],
+            activate_at: crate::vdr::stagger(&config),
+            next_naive_start: 0,
+            buffers: BufferTracker::new(config.fragment_size(), None),
+            open,
+            trace,
+            next_arrival: None,
+            measurement_started: false,
+            deadline,
+            config,
+        })
+    }
+
+    fn interval_index(&self, now: SimTime) -> u64 {
+        now.as_micros() / self.interval.as_micros()
+    }
+
+    /// True iff `object` is resident *and* displayable (fully placed, and
+    /// past its pipelined-start horizon if it is still materializing).
+    fn displayable(&self, object: ObjectId, now: SimTime) -> bool {
+        self.placement.is_resident(object)
+            && self
+                .materializing
+                .get(&object)
+                .is_none_or(|&ready| ready <= now)
+    }
+
+    fn complete_displays(&mut self, now: SimTime) {
+        let mut i = 0;
+        while i < self.active.len() {
+            if self.active[i].ends <= now {
+                let d = self.active.swap_remove(i);
+                if let Some(station) = d.station {
+                    self.stations.complete(station);
+                }
+                self.buffers.release(d.buffer_fragments);
+                if self.metrics.measuring() {
+                    self.metrics.record_completion();
+                }
+                let c = self
+                    .active_per_object
+                    .get_mut(&d.object)
+                    .expect("active object accounted");
+                *c -= 1;
+                if *c == 0 {
+                    self.active_per_object.remove(&d.object);
+                }
+            } else {
+                i += 1;
+            }
+        }
+        self.metrics.active.set(now, self.active.len() as f64);
+    }
+
+    fn promote_materializations(&mut self, now: SimTime) {
+        let ready: Vec<ObjectId> = self
+            .materializing
+            .iter()
+            .filter(|&(_, &t)| t <= now)
+            .map(|(&o, _)| o)
+            .collect();
+        for o in ready {
+            self.materializing.remove(&o);
+            if let Some(waiters) = self.wait_tertiary.remove(&o) {
+                self.wait_disk.extend(waiters);
+            }
+        }
+    }
+
+    /// Feeds the tertiary device: while it is free and fetches are queued,
+    /// reserve space for the head-of-queue object and submit it.
+    fn pump_fetches(&mut self, now: SimTime) {
+        while self.tertiary.busy_until() <= now {
+            let Some(&object) = self.fetch_queue.first() else {
+                return;
+            };
+            if self.wait_tertiary.get(&object).is_none_or(Vec::is_empty) {
+                // Everyone who wanted it gave up (cannot happen in the
+                // closed-loop model, but keep the queue self-cleaning).
+                self.fetch_queue.remove(0);
+                continue;
+            }
+            if !self.reserve_space(object) {
+                return; // all residents pinned; retry next interval
+            }
+            let spec = self.catalog.get(object).expect("catalog object").clone();
+            let schedule = self.tertiary.submit(
+                now,
+                object,
+                spec.size(self.b_disk, self.config.fragment_size()),
+                u64::from(spec.subobjects),
+                spec.media.display_bandwidth,
+            );
+            let ready = match self.config.materialize {
+                MaterializeMode::Pipelined => schedule.earliest_display,
+                MaterializeMode::AfterFull => schedule.done,
+            };
+            self.metrics.record_tertiary_fetch();
+            self.materializing.insert(object, ready);
+            self.fetch_queue.remove(0);
+        }
+    }
+
+    fn try_admissions(&mut self, now: SimTime) {
+        let t = self.interval_index(now);
+        let mut still_waiting = Vec::with_capacity(self.wait_disk.len());
+        let mut waiters = std::mem::take(&mut self.wait_disk);
+        match self.config.queue {
+            QueuePolicy::Fcfs => {}
+            QueuePolicy::SmallestFirst => {
+                let b_disk = self.b_disk;
+                waiters.sort_by_key(|w| {
+                    self.catalog.get(w.object).map_or(u32::MAX, |s| s.degree(b_disk))
+                });
+            }
+            QueuePolicy::LargestFirst => {
+                let b_disk = self.b_disk;
+                waiters.sort_by_key(|w| {
+                    std::cmp::Reverse(
+                        self.catalog.get(w.object).map_or(0, |s| s.degree(b_disk)),
+                    )
+                });
+            }
+        }
+        for w in waiters {
+            if !self.displayable(w.object, now) {
+                // Evicted while queued: re-fetch.
+                still_waiting.push(w);
+                continue;
+            }
+            let layout = self
+                .placement
+                .get(w.object)
+                .expect("displayable object is placed")
+                .layout;
+            let spec = self.catalog.get(w.object).expect("catalog object");
+            // §3.1 naive mode: round the reservation up to a whole
+            // aligned cluster; staggered striping reserves exactly M_X.
+            let (start_disk, degree) = match self.cluster_round {
+                Some(c) => (layout.start_disk - layout.start_disk % c, c),
+                None => (layout.start_disk, layout.degree),
+            };
+            let viewing = spec.display_time(self.b_disk, self.config.fragment_size());
+            match self.scheduler.try_admit(
+                t,
+                w.object,
+                start_disk,
+                degree,
+                spec.subobjects,
+                self.policy,
+            ) {
+                Ok(grant) => {
+                    // (Naive cluster-rounding reserves more disks than the
+                    // layout's degree, so the timeline check only applies
+                    // to exact-degree grants.)
+                    if self.config.verify_delivery && self.cluster_round.is_none() {
+                        let schedule = ss_core::schedule::DeliverySchedule::from_grant(
+                            &grant,
+                            &layout,
+                            self.scheduler.frame(),
+                        );
+                        schedule
+                            .verify(&layout)
+                            .expect("admitted display must be hiccup-free");
+                    }
+                    let start =
+                        SimTime::from_micros(grant.delivery_start * self.interval.as_micros());
+                    // The station is busy until viewing completes (>= the
+                    // disk occupancy when the media rate is not an exact
+                    // multiple of B_disk).
+                    let ends = start + viewing.max(self.interval * u64::from(spec.subobjects));
+                    let waited = match w.station {
+                        Some(station) => self.stations.start_display(station, now),
+                        None => now.duration_since(w.issued),
+                    };
+                    if self.metrics.measuring() {
+                        self.metrics
+                            .record_latency(waited + start.saturating_duration_since(now));
+                    }
+                    self.buffers
+                        .acquire(grant.buffer_fragments)
+                        .expect("unbounded tracker");
+                    self.metrics.peak_buffer_fragments =
+                        self.metrics.peak_buffer_fragments.max(self.buffers.peak());
+                    let fragmented = (grant.buffer_fragments > 0).then(|| {
+                        ActiveFragmentedDisplay::from_grant(
+                            &grant,
+                            layout.start_disk,
+                            spec.subobjects,
+                        )
+                    });
+                    self.active.push(ActiveDisplay {
+                        station: w.station,
+                        object: w.object,
+                        ends,
+                        buffer_fragments: grant.buffer_fragments,
+                        fragmented,
+                    });
+                    *self.active_per_object.entry(w.object).or_insert(0) += 1;
+                }
+                Err(_) => still_waiting.push(w),
+            }
+        }
+        self.wait_disk = still_waiting;
+        self.metrics.active.set(now, self.active.len() as f64);
+    }
+
+    /// Evicts least-frequently-accessed idle objects until `spec` fits,
+    /// then reserves space by placing it. Returns false if no progress is
+    /// possible right now.
+    fn reserve_space(&mut self, object: ObjectId) -> bool {
+        let spec = self.catalog.get(object).expect("catalog object").clone();
+        // After an eviction, place into the victim's slot: evicting the
+        // globally coldest object frees *its* disks, which need not
+        // overlap the round-robin position (under a stationary or skewed
+        // stride, retrying a fixed position would evict most of the farm
+        // before freeing the right disks).
+        let mut reuse_start: Option<u32> = None;
+        loop {
+            let placed = match (self.cluster_round, reuse_start) {
+                (Some(_), _) => self
+                    .placement
+                    .place_at(&spec, self.next_naive_start)
+                    .map(|_| ()),
+                (None, Some(start)) => self.placement.place_at(&spec, start).map(|_| ()),
+                (None, None) => self.placement.place(&spec).map(|_| ()),
+            };
+            match placed {
+                Ok(_) => return true,
+                Err(Error::DiskFull { .. }) => {
+                    // Evict the coldest object that is not displaying, not
+                    // materializing, and not awaited.
+                    let victim = self
+                        .placement
+                        .iter()
+                        .map(|(&o, _)| o)
+                        .filter(|o| {
+                            !self.active_per_object.contains_key(o)
+                                && !self.materializing.contains_key(o)
+                                && self.wait_disk.iter().all(|w| w.object != *o)
+                                && !self.wait_tertiary.contains_key(o)
+                        })
+                        .min_by_key(|o| self.freq[o.index()]);
+                    match victim {
+                        Some(v) => {
+                            let start =
+                                self.placement.get(v).expect("victim placed").layout.start_disk;
+                            if self.cluster_round.is_some() {
+                                // Take over the victim's aligned start.
+                                self.next_naive_start = start;
+                            }
+                            reuse_start = Some(start);
+                            self.placement.remove(v).expect("victim resident");
+                        }
+                        None => return false,
+                    }
+                }
+                Err(e) => panic!("unexpected placement failure: {e}"),
+            }
+        }
+    }
+
+    fn issue_requests(&mut self, now: SimTime) {
+        if self.trace.is_some() {
+            self.release_trace_arrivals(now);
+            return;
+        }
+        if self.open.is_some() {
+            self.release_open_arrivals(now);
+            return;
+        }
+        for s in 0..self.stations.len() {
+            let station = StationId(s as u32);
+            if now < self.activate_at[s] {
+                continue;
+            }
+            if matches!(self.stations.state(station), StationState::Thinking) {
+                let (_req, object) = self.stations.issue(station, now);
+                self.freq[object.index()] += 1;
+                self.route_request(
+                    Waiter {
+                        station: Some(station),
+                        object,
+                        issued: now,
+                    },
+                    now,
+                );
+            }
+        }
+    }
+
+    /// Releases every trace arrival with timestamp ≤ now.
+    fn release_trace_arrivals(&mut self, now: SimTime) {
+        loop {
+            let due = self.trace.as_mut().expect("trace mode").pop_due(now);
+            let Some((at, object)) = due else { return };
+            self.freq[object.index()] += 1;
+            self.route_request(
+                Waiter {
+                    station: None,
+                    object,
+                    issued: at,
+                },
+                now,
+            );
+        }
+    }
+
+    /// Releases every open-system arrival with timestamp ≤ now.
+    fn release_open_arrivals(&mut self, now: SimTime) {
+        let stream = self.open.as_mut().expect("open mode");
+        loop {
+            let (at, object) = match self.next_arrival.take() {
+                Some(a) => a,
+                None => {
+                    let (at, _req, object) = stream.next();
+                    (at, object)
+                }
+            };
+            if at > now {
+                self.next_arrival = Some((at, object));
+                return;
+            }
+            self.freq[object.index()] += 1;
+            let w = Waiter {
+                station: None,
+                object,
+                issued: at,
+            };
+            // Inline the routing (self.open is mutably borrowed above).
+            if self.placement.is_resident(object)
+                && self
+                    .materializing
+                    .get(&object)
+                    .is_none_or(|&ready| ready <= now)
+            {
+                self.wait_disk.push(w);
+            } else {
+                if !self.materializing.contains_key(&object)
+                    && !self.fetch_queue.contains(&object)
+                {
+                    self.fetch_queue.push(object);
+                }
+                self.wait_tertiary.entry(object).or_default().push(w);
+            }
+        }
+    }
+
+    fn route_request(&mut self, w: Waiter, now: SimTime) {
+        if self.displayable(w.object, now) {
+            self.wait_disk.push(w);
+        } else {
+            // Absent or still materializing: park the waiter on the
+            // object; enqueue a fetch if none is queued or in flight yet.
+            if !self.materializing.contains_key(&w.object)
+                && !self.fetch_queue.contains(&w.object)
+            {
+                self.fetch_queue.push(w.object);
+            }
+            self.wait_tertiary.entry(w.object).or_default().push(w);
+        }
+    }
+
+    /// Dynamic coalescing (§3.2.1, Algorithm 2 at system level): migrate
+    /// one lagging fragment per buffering display per interval onto freed
+    /// disks, releasing buffer memory.
+    fn coalesce_pass(&mut self, now: SimTime) {
+        let t = self.interval_index(now);
+        for d in &mut self.active {
+            let Some(frag_state) = d.fragmented.as_mut() else {
+                continue;
+            };
+            if let Some(plan) = self.scheduler.plan_coalesce(frag_state, t) {
+                self.scheduler.apply_coalesce(frag_state, &plan);
+                self.buffers.release(plan.buffer_saving);
+                d.buffer_fragments -= plan.buffer_saving;
+                self.metrics.coalesces += 1;
+                if frag_state.buffer_total() == 0 {
+                    d.fragmented = None; // fully pipelined now
+                }
+            }
+        }
+    }
+
+    fn tick(&mut self, now: SimTime) {
+        if !self.measurement_started && now.duration_since(SimTime::ZERO) >= self.config.warmup {
+            self.metrics.start_measurement(now);
+            self.measurement_started = true;
+        }
+        self.complete_displays(now);
+        self.promote_materializations(now);
+        self.try_admissions(now);
+        self.issue_requests(now);
+        // A newly-issued request may be admissible immediately (idle farm).
+        self.try_admissions(now);
+        self.coalesce_pass(now);
+        self.pump_fetches(now);
+        let t = self.interval_index(now);
+        self.metrics.utilization.set(now, self.scheduler.utilization(t));
+    }
+}
+
+impl Model for StripingModel {
+    type Event = Event;
+    fn handle(&mut self, _ev: Event, ctx: &mut Context<'_, Event>) {
+        let now = ctx.now();
+        self.tick(now);
+        if now >= self.deadline {
+            ctx.stop();
+        } else {
+            ctx.schedule_in(self.interval, Event::Tick);
+        }
+    }
+}
+
+/// The runnable striping server.
+pub struct StripingServer {
+    sim: Simulation<StripingModel>,
+}
+
+impl StripingServer {
+    /// Builds the server from a validated configuration.
+    pub fn new(config: ServerConfig) -> Result<Self> {
+        config.validate()?;
+        let model = StripingModel::new(config)?;
+        let mut sim = Simulation::new(model);
+        sim.schedule_at(SimTime::ZERO, Event::Tick);
+        Ok(StripingServer { sim })
+    }
+
+    /// Runs to the configured deadline and produces the report.
+    pub fn run(mut self) -> RunReport {
+        self.sim.run();
+        let now = self.sim.now();
+        let m = self.sim.model();
+        let popularity = format!("{:?}", m.config.popularity)
+            .replace("TruncatedGeometric { mean: ", "geom(")
+            .replace("Zipf { alpha: ", "zipf(")
+            .replace(" }", ")");
+        m.metrics.report(
+            now,
+            "striping",
+            m.config.stations,
+            popularity,
+            m.config.seed,
+            m.tertiary.utilization(now),
+            m.placement.resident_count() as u64,
+        )
+    }
+
+    /// Access to the model (tests).
+    pub fn model(&self) -> &StripingModel {
+        self.sim.model()
+    }
+
+    /// Advances one event (diagnostics); returns false when finished.
+    pub fn step(&mut self) -> bool {
+        self.sim.step()
+    }
+
+    /// Current simulation time (diagnostics).
+    pub fn now(&self) -> ss_types::SimTime {
+        self.sim.now()
+    }
+}
+
+impl StripingModel {
+    /// Number of displays currently running (tests/examples).
+    pub fn active_displays(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Number of requests queued for disk admission (tests/examples).
+    pub fn queued(&self) -> usize {
+        self.wait_disk.len()
+    }
+
+    /// Resident object count (tests/examples).
+    pub fn resident_count(&self) -> usize {
+        self.placement.resident_count()
+    }
+
+    /// The interval scheduler (read-only diagnostics).
+    pub fn scheduler(&self) -> &IntervalScheduler {
+        &self.scheduler
+    }
+
+    /// The catalog (read-only diagnostics).
+    pub fn catalog(&self) -> &ObjectCatalog {
+        &self.catalog
+    }
+
+    /// Current interval index at `now` (diagnostics).
+    pub fn interval_at(&self, now: SimTime) -> u64 {
+        self.interval_index(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Small farm: 20 disks, 10 objects × 40 subobjects, everything fits.
+    fn small(stations: u32) -> ServerConfig {
+        ServerConfig::small_test(stations, 42)
+    }
+
+    #[test]
+    fn single_station_loops_displays() {
+        let cfg = small(1);
+        // Display time: 40 subobjects × 0.6048 s = 24.192 s. With a fully
+        // resident database and one station, displays run back to back, so
+        // the 1800 s measurement window completes ≈ 74 of them.
+        let display_s = cfg.display_time().as_secs_f64();
+        assert!((display_s - 24.192).abs() < 1e-6);
+        let measure_s = cfg.measure.as_secs_f64();
+        let report = StripingServer::new(cfg).unwrap().run();
+        let expect = measure_s / display_s;
+        let got = report.displays_completed as f64;
+        assert!(
+            (got - expect).abs() <= 2.0,
+            "expected ≈{expect} displays, got {got}"
+        );
+        // Throughput ≈ 3600 / 24.192 ≈ 148.8 displays/hour.
+        assert!(
+            (report.displays_per_hour - 148.8).abs() < 6.0,
+            "rate {}",
+            report.displays_per_hour
+        );
+        assert!(
+            report.mean_latency_s < 1.0,
+            "latency {}",
+            report.mean_latency_s
+        );
+    }
+
+    #[test]
+    fn throughput_scales_with_stations_until_saturation() {
+        let r1 = StripingServer::new(small(1)).unwrap().run();
+        let r4 = StripingServer::new(small(4)).unwrap().run();
+        assert!(
+            r4.displays_per_hour > 2.5 * r1.displays_per_hour,
+            "1 station: {}, 4 stations: {}",
+            r1.displays_per_hour,
+            r4.displays_per_hour
+        );
+    }
+
+    #[test]
+    fn determinism_same_seed_same_report() {
+        let a = StripingServer::new(small(4)).unwrap().run();
+        let b = StripingServer::new(small(4)).unwrap().run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut c2 = small(4);
+        c2.seed = 43;
+        let a = StripingServer::new(small(4)).unwrap().run();
+        let b = StripingServer::new(c2).unwrap().run();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn cold_start_fetches_from_tertiary() {
+        let mut cfg = small(2);
+        cfg.preload = false;
+        // Make objects small enough that materialization fits the window:
+        // 40 subobjects × 5 × 1.512 MB = 302 MB → 60 s at 40 mbps.
+        let report = StripingServer::new(cfg).unwrap().run();
+        assert!(report.displays_completed > 0, "no displays completed");
+        assert!(report.unique_residents > 0);
+    }
+
+    #[test]
+    fn open_arrivals_mode_services_poisson_stream() {
+        // Arrivals at twice the single-viewer rate: the farm absorbs them
+        // all (capacity is 4 concurrent on this farm), so completions per
+        // hour track the arrival rate and latency stays near zero.
+        let mut cfg = small(1);
+        cfg.arrivals = crate::config::ArrivalModel::Open {
+            rate_per_hour: 300.0,
+        };
+        let r = StripingServer::new(cfg).unwrap().run();
+        assert!(
+            (r.displays_per_hour - 300.0).abs() < 45.0,
+            "rate {}",
+            r.displays_per_hour
+        );
+        assert!(r.mean_latency_s < 10.0, "latency {}", r.mean_latency_s);
+    }
+
+    #[test]
+    fn open_arrivals_overload_queues() {
+        // Offered load far above the farm ceiling (4 concurrent /
+        // 24.192 s = 595/hour): completions cap at the ceiling and
+        // waiting time explodes.
+        let mut cfg = small(1);
+        cfg.arrivals = crate::config::ArrivalModel::Open {
+            rate_per_hour: 1200.0,
+        };
+        let r = StripingServer::new(cfg).unwrap().run();
+        assert!(
+            r.displays_per_hour < 640.0,
+            "rate {}",
+            r.displays_per_hour
+        );
+        assert!(r.mean_latency_s > 60.0, "latency {}", r.mean_latency_s);
+    }
+
+    #[test]
+    fn open_mode_rejected_for_vdr() {
+        let mut cfg = ServerConfig::paper_vdr(4, 10.0, 1);
+        cfg.arrivals = crate::config::ArrivalModel::Open {
+            rate_per_hour: 10.0,
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn wrong_scheme_is_rejected() {
+        let cfg = ServerConfig::paper_vdr(4, 10.0, 1);
+        assert!(matches!(
+            StripingServer::new(cfg),
+            Err(Error::InvalidConfig { .. })
+        ));
+    }
+}

@@ -1,0 +1,516 @@
+//! The virtual-data-replication media server (the §4 baseline).
+//!
+//! Requests for an object go to an idle cluster holding a replica. When
+//! every replica is busy, the policy may create another replica (disk-to-
+//! disk when an idle source exists, otherwise from tertiary), evicting the
+//! least-frequently-accessed victim. An object absent from disk is
+//! materialized from tertiary into an evictable cluster; the display
+//! starts only after full materialization, because one cluster's bandwidth
+//! is exactly one display (see [`crate::config::MaterializeMode`]).
+
+use crate::config::{Scheme, ServerConfig};
+use crate::metrics::{MetricsCollector, RunReport};
+use ss_sim::{Context, DeterministicRng, Model, Simulation};
+use ss_tertiary::TertiaryDevice;
+use ss_types::{ClusterId, Error, ObjectId, Result, SimTime, StationId};
+use ss_vdr::{ClusterFarm, CopyPlan, VdrConfig};
+use ss_workload::{StationPool, StationState};
+use std::collections::HashMap;
+
+/// The server's event alphabet: one periodic interval tick.
+pub enum Event {
+    /// Advance one time interval.
+    Tick,
+}
+
+/// A queued request. (Issue time lives in the station pool.)
+#[derive(Debug, Clone, Copy)]
+struct Waiter {
+    station: StationId,
+    object: ObjectId,
+}
+
+// The VDR baseline intentionally runs only the paper's closed workload;
+// `ServerConfig::validate` rejects `ArrivalModel::Open` for it.
+
+#[derive(Debug, Clone, Copy)]
+struct ActiveDisplay {
+    station: StationId,
+    ends: SimTime,
+}
+
+/// The VDR server model.
+pub struct VdrModel {
+    config: ServerConfig,
+    vdr: VdrConfig,
+    farm: ClusterFarm,
+    stations: StationPool,
+    tertiary: TertiaryDevice,
+    metrics: MetricsCollector,
+    waiters: Vec<Waiter>,
+    active: Vec<ActiveDisplay>,
+    /// Objects with a copy/materialization in flight (→ completion time).
+    copies_in_flight: HashMap<ObjectId, SimTime>,
+    /// Objects awaiting the tertiary device (one submission at a time, so
+    /// clusters are not reserved hours before the transfer can begin).
+    fetch_queue: Vec<ObjectId>,
+    /// Per-station activation times: initial requests are staggered over
+    /// one display time so the closed loop does not start in lockstep
+    /// (identical display lengths would otherwise keep every station
+    /// synchronised forever — a measurement artifact, not a property of
+    /// the schemes).
+    activate_at: Vec<SimTime>,
+    measurement_started: bool,
+    deadline: SimTime,
+}
+
+impl VdrModel {
+    fn new(config: ServerConfig) -> Result<Self> {
+        let vdr = match &config.scheme {
+            Scheme::Vdr { vdr } => vdr.clone(),
+            _ => {
+                return Err(Error::InvalidConfig {
+                    reason: "VdrServer requires Scheme::Vdr".into(),
+                })
+            }
+        };
+        // Cross-check the cluster geometry against the farm.
+        let clusters_possible = config.disks / config.degree();
+        if vdr.clusters > clusters_possible {
+            return Err(Error::InvalidConfig {
+                reason: format!(
+                    "{} clusters of {} disks exceed the {}-disk farm",
+                    vdr.clusters,
+                    config.degree(),
+                    config.disks
+                ),
+            });
+        }
+        let per_cluster_capacity =
+            config.disk.cylinders / (config.subobjects * config.cylinders_per_fragment);
+        if vdr.objects_per_cluster > per_cluster_capacity {
+            return Err(Error::InvalidConfig {
+                reason: format!(
+                    "objects_per_cluster {} exceeds cluster capacity {}",
+                    vdr.objects_per_cluster, per_cluster_capacity
+                ),
+            });
+        }
+        let mut farm = ClusterFarm::new(vdr.clone());
+        if config.preload {
+            // Most-popular-first, dealt round-robin across clusters so the
+            // hottest objects land on distinct clusters (packing them into
+            // one cluster would serialise all their displays).
+            let slots = u64::from(vdr.clusters) * u64::from(vdr.objects_per_cluster);
+            let n = u32::try_from(slots.min(u64::from(config.objects))).expect("fits");
+            for obj in 0..n {
+                let c = obj % vdr.clusters;
+                farm.begin_copy(
+                    CopyPlan::FromTertiary {
+                        target: ClusterId(c),
+                    },
+                    ObjectId(obj),
+                    SimTime::ZERO,
+                    SimTime::ZERO,
+                )
+                .expect("preload into cluster with free slots");
+                farm.refresh(SimTime::ZERO);
+            }
+        }
+        let rng = DeterministicRng::seed_from_u64(config.seed);
+        let sampler = config.popularity.sampler(config.objects as usize);
+        let stations = StationPool::new(
+            config.stations,
+            sampler,
+            config.think_time,
+            rng.derive("stations"),
+        );
+        let tertiary = TertiaryDevice::new(config.tertiary.clone());
+        let deadline = SimTime::ZERO + config.warmup + config.measure;
+        Ok(VdrModel {
+            vdr,
+            farm,
+            stations,
+            tertiary,
+            metrics: MetricsCollector::new(),
+            waiters: Vec::new(),
+            active: Vec::new(),
+            copies_in_flight: HashMap::new(),
+            fetch_queue: Vec::new(),
+            activate_at: stagger(&config),
+            measurement_started: false,
+            deadline,
+            config,
+        })
+    }
+
+    fn complete_displays(&mut self, now: SimTime) {
+        let mut i = 0;
+        while i < self.active.len() {
+            if self.active[i].ends <= now {
+                let d = self.active.swap_remove(i);
+                self.stations.complete(d.station);
+                if self.metrics.measuring() {
+                    self.metrics.record_completion();
+                }
+            } else {
+                i += 1;
+            }
+        }
+        self.copies_in_flight.retain(|_, &mut done| done > now);
+        self.farm.refresh(now);
+        self.metrics.active.set(now, self.active.len() as f64);
+    }
+
+    /// One pass over the wait queue (FIFO with skips).
+    fn serve_waiters(&mut self, now: SimTime) {
+        let display_time = self.config.display_time();
+        let waiters = std::mem::take(&mut self.waiters);
+        let mut still = Vec::with_capacity(waiters.len());
+        // Queue length per object for the replication trigger.
+        let mut queue_len: HashMap<ObjectId, u32> = HashMap::new();
+        for w in &waiters {
+            *queue_len.entry(w.object).or_insert(0) += 1;
+        }
+        for w in waiters {
+            if let Some(cluster) = self.farm.find_idle_replica(w.object, now) {
+                let ends = now + display_time;
+                self.farm
+                    .start_display(cluster, w.object, now, ends)
+                    .expect("idle replica accepts display");
+                let waited = self.stations.start_display(w.station, now);
+                if self.metrics.measuring() {
+                    self.metrics.record_latency(waited);
+                }
+                self.active.push(ActiveDisplay {
+                    station: w.station,
+                    ends,
+                });
+                // Piggyback replication: if more requests for this object
+                // remain blocked, tee the display's stream into an idle
+                // target cluster — a replica for the price of the target
+                // alone. This is what keeps a hot object's replica count
+                // tracking its demand (replicas of hot objects are never
+                // idle, so plain disk-to-disk copies cannot run).
+                let blocked = queue_len.get(&w.object).map_or(0, |&n| n - 1);
+                if blocked >= 1 && !self.copies_in_flight.contains_key(&w.object) {
+                    if let Some(target) = self.farm.plan_piggyback(w.object, blocked, now) {
+                        self.farm
+                            .begin_stream_copy(target, w.object, now, ends)
+                            .expect("planned piggyback commits");
+                        self.copies_in_flight.insert(w.object, ends);
+                    }
+                }
+                if let Some(n) = queue_len.get_mut(&w.object) {
+                    *n -= 1;
+                }
+                continue;
+            }
+            // No idle replica: consider creating one, unless a copy of
+            // this object is already on its way. Disk-to-disk copies are
+            // attempted immediately; tertiary-sourced copies go through
+            // the fetch queue and are planned when the device frees.
+            if !self.copies_in_flight.contains_key(&w.object) {
+                let qlen = queue_len.get(&w.object).copied().unwrap_or(1);
+                if let Some(plan) = self.farm.plan_replica(w.object, qlen, now, false) {
+                    let until = now + display_time; // cluster-to-cluster copy
+                    self.farm
+                        .begin_copy(plan, w.object, now, until)
+                        .expect("planned copy commits");
+                    self.copies_in_flight.insert(w.object, until);
+                } else if !self.fetch_queue.contains(&w.object) {
+                    self.fetch_queue.push(w.object);
+                }
+            }
+            still.push(w);
+        }
+        self.waiters = still;
+        self.metrics.active.set(now, self.active.len() as f64);
+    }
+
+    /// Feeds the tertiary device: when it is free, plan and submit the
+    /// head-of-queue fetch. Objects nobody waits for any more are dropped.
+    fn pump_fetches(&mut self, now: SimTime) {
+        while self.tertiary.busy_until() <= now {
+            let Some(&object) = self.fetch_queue.first() else {
+                return;
+            };
+            let qlen = self.waiters.iter().filter(|w| w.object == object).count() as u32;
+            if qlen == 0 || self.copies_in_flight.contains_key(&object) {
+                self.fetch_queue.remove(0);
+                continue;
+            }
+            match self.farm.plan_replica(object, qlen, now, true) {
+                Some(plan) => {
+                    let display_time = self.config.display_time();
+                    let until = match plan {
+                        CopyPlan::FromDisk { .. } => now + display_time,
+                        CopyPlan::FromTertiary { .. } => {
+                            let schedule = self.tertiary.submit(
+                                now,
+                                object,
+                                self.config.object_size(),
+                                u64::from(self.config.subobjects),
+                                self.config.media.display_bandwidth,
+                            );
+                            self.metrics.record_tertiary_fetch();
+                            schedule.done
+                        }
+                    };
+                    self.farm
+                        .begin_copy(plan, object, now, until)
+                        .expect("planned copy commits");
+                    self.copies_in_flight.insert(object, until);
+                    self.fetch_queue.remove(0);
+                }
+                None => return, // no victim available; retry next interval
+            }
+        }
+    }
+
+    fn issue_requests(&mut self, now: SimTime) {
+        for s in 0..self.stations.len() {
+            let station = StationId(s as u32);
+            if now < self.activate_at[s] {
+                continue;
+            }
+            if matches!(self.stations.state(station), StationState::Thinking) {
+                let (_req, object) = self.stations.issue(station, now);
+                self.farm.record_access(object);
+                self.waiters.push(Waiter { station, object });
+            }
+        }
+    }
+
+    fn tick(&mut self, now: SimTime) {
+        if !self.measurement_started && now.duration_since(SimTime::ZERO) >= self.config.warmup {
+            self.metrics.start_measurement(now);
+            self.measurement_started = true;
+        }
+        self.complete_displays(now);
+        self.serve_waiters(now);
+        self.issue_requests(now);
+        self.serve_waiters(now);
+        self.pump_fetches(now);
+        let busy = f64::from(self.vdr.clusters - self.farm.idle_count(now));
+        self.metrics
+            .utilization
+            .set(now, busy / f64::from(self.vdr.clusters));
+    }
+}
+
+impl Model for VdrModel {
+    type Event = Event;
+    fn handle(&mut self, _ev: Event, ctx: &mut Context<'_, Event>) {
+        let now = ctx.now();
+        self.tick(now);
+        if now >= self.deadline {
+            ctx.stop();
+        } else {
+            ctx.schedule_in(self.config.interval(), Event::Tick);
+        }
+    }
+}
+
+/// The runnable VDR server.
+pub struct VdrServer {
+    sim: Simulation<VdrModel>,
+}
+
+impl VdrServer {
+    /// Builds the server from a validated configuration.
+    pub fn new(config: ServerConfig) -> Result<Self> {
+        config.validate()?;
+        let model = VdrModel::new(config)?;
+        let mut sim = Simulation::new(model);
+        sim.schedule_at(SimTime::ZERO, Event::Tick);
+        Ok(VdrServer { sim })
+    }
+
+    /// Like [`VdrServer::run`] but prints a state snapshot every 500
+    /// simulated intervals (calibration/debug aid).
+    pub fn run_debug(mut self) -> RunReport {
+        let mut next = 0u64;
+        loop {
+            if !self.sim.step() {
+                break;
+            }
+            let t = self.sim.now().as_micros() / 604_800;
+            if t >= next {
+                next = t + 500;
+                let m = self.sim.model();
+                eprintln!(
+                    "t={:8.0}s active={} waiters={} fetchq={} copies={} thinking={}",
+                    self.sim.now().as_secs_f64(),
+                    m.active.len(),
+                    m.waiters.len(),
+                    m.fetch_queue.len(),
+                    m.copies_in_flight.len(),
+                    m.stations.len() - m.stations.count_waiting() - m.stations.count_displaying(),
+                );
+            }
+        }
+        self.finish()
+    }
+
+    /// Runs to the configured deadline and produces the report.
+    pub fn run(mut self) -> RunReport {
+        self.sim.run();
+        self.finish()
+    }
+
+    fn finish(self) -> RunReport {
+        let now = self.sim.now();
+        let m = self.sim.model();
+        let popularity = format!("{:?}", m.config.popularity)
+            .replace("TruncatedGeometric { mean: ", "geom(")
+            .replace("Zipf { alpha: ", "zipf(")
+            .replace(" }", ")");
+        m.metrics.report(
+            now,
+            "vdr",
+            m.config.stations,
+            popularity,
+            m.config.seed,
+            m.tertiary.utilization(now),
+            m.farm.unique_residents() as u64,
+        )
+    }
+
+    /// Access to the model (tests).
+    pub fn model(&self) -> &VdrModel {
+        self.sim.model()
+    }
+}
+
+impl VdrModel {
+    /// Currently running displays (tests/examples).
+    pub fn active_displays(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Currently queued requests (tests/examples).
+    pub fn queued(&self) -> usize {
+        self.waiters.len()
+    }
+}
+
+/// Staggered activation times: station `s` of `N` wakes at
+/// `s/N × display_time`.
+pub(crate) fn stagger(config: &ServerConfig) -> Vec<SimTime> {
+    let display = config.display_time();
+    (0..config.stations)
+        .map(|s| {
+            SimTime::ZERO
+                + display * u64::from(s) / u64::from(config.stations)
+        })
+        .collect()
+}
+
+/// Builds a consistent VDR variant of any striping config: `R = D/M`
+/// clusters sized to the farm, capacity-derived objects-per-cluster.
+pub fn vdr_config_for(config: &ServerConfig) -> VdrConfig {
+    let clusters = config.disks / config.degree();
+    let objects_per_cluster =
+        (config.disk.cylinders / (config.subobjects * config.cylinders_per_fragment)).max(1);
+    VdrConfig {
+        clusters,
+        objects_per_cluster,
+        ..VdrConfig::table3()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MaterializeMode;
+
+    fn small(stations: u32) -> ServerConfig {
+        let mut c = ServerConfig::small_test(stations, 42);
+        c.scheme = Scheme::Vdr {
+            vdr: vdr_config_for(&c),
+        };
+        c.materialize = MaterializeMode::AfterFull;
+        c
+    }
+
+    #[test]
+    fn vdr_config_for_small_farm() {
+        let c = ServerConfig::small_test(1, 1);
+        let v = vdr_config_for(&c);
+        assert_eq!(v.clusters, 4); // 20 disks / M=5
+        assert_eq!(v.objects_per_cluster, 75); // 3000 cylinders / 40
+    }
+
+    #[test]
+    fn single_station_loops_displays() {
+        let report = VdrServer::new(small(1)).unwrap().run();
+        // Same back-to-back arithmetic as the striping test: ≈ 74
+        // displays in the 1800 s window at 24.192 s each.
+        let got = report.displays_completed as f64;
+        assert!((got - 74.0).abs() <= 3.0, "got {got}");
+        assert!(report.mean_latency_s < 1.0);
+    }
+
+    #[test]
+    fn vdr_caps_at_cluster_count() {
+        // 8 stations on 4 clusters: at most 4 concurrent displays, so
+        // throughput saturates at 4 / 24.192 s ≈ 595/hour.
+        let report = VdrServer::new(small(8)).unwrap().run();
+        assert!(
+            report.displays_per_hour < 640.0,
+            "rate {}",
+            report.displays_per_hour
+        );
+        // ... but well above the single-cluster rate. It does not reach
+        // the 595 ceiling inside this short window because disk-to-disk
+        // replication of the hot objects costs cluster-time (each copy
+        // occupies a source and a target for one display time) — the very
+        // overhead the paper charges against this baseline.
+        assert!(
+            report.displays_per_hour > 300.0,
+            "rate {}",
+            report.displays_per_hour
+        );
+    }
+
+    #[test]
+    fn determinism() {
+        let a = VdrServer::new(small(4)).unwrap().run();
+        let b = VdrServer::new(small(4)).unwrap().run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hot_object_gets_replicated() {
+        // A single-object hotspot: extreme skew drives every request at
+        // object 0; with 4 clusters the policy must replicate it.
+        let mut cfg = small(8);
+        cfg.popularity = ss_workload::Popularity::TruncatedGeometric { mean: 0.3 };
+        let server = VdrServer::new(cfg).unwrap();
+        let report = server.run();
+        // With replication, more than one display of the hot object can
+        // run concurrently, so throughput must exceed the single-cluster
+        // ceiling of 3600/24.192 ≈ 149/hour.
+        assert!(
+            report.displays_per_hour > 200.0,
+            "rate {}",
+            report.displays_per_hour
+        );
+    }
+
+    #[test]
+    fn wrong_scheme_is_rejected() {
+        let cfg = ServerConfig::small_test(2, 1);
+        assert!(matches!(VdrServer::new(cfg), Err(Error::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn oversized_cluster_count_rejected() {
+        let mut cfg = small(2);
+        if let Scheme::Vdr { vdr } = &mut cfg.scheme {
+            vdr.clusters = 999;
+        }
+        assert!(matches!(VdrModel::new(cfg), Err(Error::InvalidConfig { .. })));
+    }
+}

@@ -1,0 +1,393 @@
+//! Random distributions for the workload model.
+//!
+//! The paper (§4.1) models object popularity with a **truncated geometric**
+//! distribution whose mean is tuned to 10, 20 or 43.5 to produce working
+//! sets of roughly 100, 200 and 400 distinct objects out of a 2000-object
+//! database. [`TruncatedGeometric`] solves for the geometric parameter
+//! numerically and samples in O(1) through a Walker [`AliasTable`].
+//!
+//! [`Zipf`] and [`Exponential`] are provided for the ablation workloads
+//! (Zipf is the modern default for video-on-demand popularity; exponential
+//! inter-arrival times drive the open-system ablation).
+
+use crate::rng::DeterministicRng;
+
+/// Walker's alias method: O(n) construction, O(1) sampling from an arbitrary
+/// discrete distribution.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+    pmf: Vec<f64>,
+}
+
+impl AliasTable {
+    /// Builds a table from non-negative weights (not necessarily
+    /// normalised). Panics if the weights are empty, contain a negative or
+    /// non-finite value, or sum to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "empty weight vector");
+        let total: f64 = weights.iter().sum();
+        assert!(
+            total.is_finite() && total > 0.0,
+            "weights must sum to a positive finite value"
+        );
+        for &w in weights {
+            assert!(w.is_finite() && w >= 0.0, "invalid weight {w}");
+        }
+        let n = weights.len();
+        let pmf: Vec<f64> = weights.iter().map(|w| w / total).collect();
+        // Scaled probabilities; the classic two-worklist construction.
+        let mut scaled: Vec<f64> = pmf.iter().map(|p| p * n as f64).collect();
+        let mut small: Vec<usize> = Vec::with_capacity(n);
+        let mut large: Vec<usize> = Vec::with_capacity(n);
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        let mut prob = vec![1.0; n];
+        let mut alias: Vec<usize> = (0..n).collect();
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            prob[s] = scaled[s];
+            alias[s] = l;
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+            if scaled[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Whatever remains (numerical residue) gets probability 1.
+        for i in small.into_iter().chain(large) {
+            prob[i] = 1.0;
+        }
+        AliasTable { prob, alias, pmf }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True iff the table has no categories (never: construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// The normalised probability of category `i`.
+    pub fn pmf(&self, i: usize) -> f64 {
+        self.pmf[i]
+    }
+
+    /// Draws a category index.
+    pub fn sample(&self, rng: &mut DeterministicRng) -> usize {
+        let i = rng.index(self.prob.len());
+        if rng.next_f64() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+/// The paper's object-popularity model: a geometric distribution truncated
+/// to the database size `n`, i.e. `P(i) ∝ (1−p)^i` for `i ∈ [0, n)`,
+/// with `p` solved so the *truncated* mean matches a target.
+///
+/// ```
+/// use ss_sim::TruncatedGeometric;
+///
+/// // Table 3's skewed workload: mean rank 20 over 2000 objects.
+/// let d = TruncatedGeometric::with_mean(2000, 20.0);
+/// assert!((d.mean() - 20.0).abs() < 1e-6);
+/// // ~200 objects cover 99 % of the requests (the paper's working set).
+/// let ws = d.working_set(0.99);
+/// assert!((90..=240).contains(&ws));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TruncatedGeometric {
+    n: usize,
+    p: f64,
+    table: AliasTable,
+}
+
+impl TruncatedGeometric {
+    /// Builds the distribution over `n` categories with untruncated success
+    /// probability `p ∈ (0, 1)`.
+    pub fn with_p(n: usize, p: f64) -> Self {
+        assert!(n >= 1, "need at least one category");
+        assert!(p > 0.0 && p < 1.0, "p must be in (0,1), got {p}");
+        let q = 1.0 - p;
+        // Compute weights in log space to survive large n with small q^i.
+        let weights: Vec<f64> = (0..n).map(|i| q.powi(i as i32)).collect();
+        TruncatedGeometric {
+            n,
+            p,
+            table: AliasTable::new(&weights),
+        }
+    }
+
+    /// Builds the distribution over `n` categories with the given
+    /// **truncated mean** (the paper's 10 / 20 / 43.5), solving for `p` by
+    /// bisection. Panics if the mean is not achievable, i.e. not in
+    /// `(0, (n-1)/2)` — the upper end is the uniform-distribution mean.
+    pub fn with_mean(n: usize, mean: f64) -> Self {
+        assert!(n >= 2, "need at least two categories");
+        let uniform_mean = (n as f64 - 1.0) / 2.0;
+        assert!(
+            mean > 0.0 && mean < uniform_mean,
+            "target mean {mean} not in (0, {uniform_mean})"
+        );
+        // Truncated mean is continuous and decreasing in p; bisect on p.
+        let mut lo = 1e-12; // p -> 0: mean -> uniform_mean
+        let mut hi = 1.0 - 1e-12; // p -> 1: mean -> 0
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if Self::truncated_mean(n, mid) > mean {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Self::with_p(n, 0.5 * (lo + hi))
+    }
+
+    /// Closed-form mean of the geometric truncated to `[0, n)`.
+    fn truncated_mean(n: usize, p: f64) -> f64 {
+        let q = 1.0 - p;
+        let n_f = n as f64;
+        let qn = q.powf(n_f);
+        // E[X] = q/p - n * q^n / (1 - q^n)
+        q / p - n_f * qn / (1.0 - qn)
+    }
+
+    /// The number of categories.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The solved geometric parameter.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// The analytic mean of this (truncated) distribution.
+    pub fn mean(&self) -> f64 {
+        Self::truncated_mean(self.n, self.p)
+    }
+
+    /// The probability of category `i`.
+    pub fn pmf(&self, i: usize) -> f64 {
+        self.table.pmf(i)
+    }
+
+    /// The smallest number of top categories whose cumulative probability
+    /// reaches `q` (e.g. `working_set(0.99)` is the paper's "approximately
+    /// 100 / 200 / 400 unique objects referenced").
+    pub fn working_set(&self, q: f64) -> usize {
+        assert!((0.0..=1.0).contains(&q));
+        let mut cum = 0.0;
+        for i in 0..self.n {
+            cum += self.table.pmf(i);
+            if cum >= q {
+                return i + 1;
+            }
+        }
+        self.n
+    }
+
+    /// Draws a category.
+    pub fn sample(&self, rng: &mut DeterministicRng) -> usize {
+        self.table.sample(rng)
+    }
+}
+
+/// A Zipf(α) distribution over `n` ranks (rank 0 most popular), used for the
+/// modern-VoD ablation workloads.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    table: AliasTable,
+}
+
+impl Zipf {
+    /// Builds Zipf over `n` categories with exponent `alpha >= 0`
+    /// (`alpha = 0` is uniform).
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n >= 1);
+        assert!(alpha >= 0.0 && alpha.is_finite());
+        let weights: Vec<f64> = (1..=n).map(|r| (r as f64).powf(-alpha)).collect();
+        Zipf {
+            table: AliasTable::new(&weights),
+        }
+    }
+
+    /// The probability of rank `i`.
+    pub fn pmf(&self, i: usize) -> f64 {
+        self.table.pmf(i)
+    }
+
+    /// Draws a rank.
+    pub fn sample(&self, rng: &mut DeterministicRng) -> usize {
+        self.table.sample(rng)
+    }
+}
+
+/// An exponential distribution (inter-arrival times for the open-system
+/// ablation). Sampled by inversion.
+#[derive(Debug, Clone, Copy)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Builds with the given rate λ (> 0); the mean is 1/λ.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate > 0.0 && rate.is_finite(), "rate {rate}");
+        Exponential { rate }
+    }
+
+    /// The mean 1/λ.
+    pub fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    /// Draws a sample (in the same unit as 1/λ).
+    pub fn sample(&self, rng: &mut DeterministicRng) -> f64 {
+        // Inversion; 1 - u avoids ln(0).
+        -(1.0 - rng.next_f64()).ln() / self.rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> DeterministicRng {
+        DeterministicRng::seed_from_u64(20240701)
+    }
+
+    #[test]
+    fn alias_table_matches_pmf_empirically() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let t = AliasTable::new(&weights);
+        let mut counts = [0u32; 4];
+        let mut r = rng();
+        let n = 200_000;
+        for _ in 0..n {
+            counts[t.sample(&mut r)] += 1;
+        }
+        for i in 0..4 {
+            let emp = counts[i] as f64 / n as f64;
+            let want = weights[i] / 10.0;
+            assert!((emp - want).abs() < 0.01, "cat {i}: {emp} vs {want}");
+        }
+    }
+
+    #[test]
+    fn alias_table_handles_degenerate_point_mass() {
+        let t = AliasTable::new(&[0.0, 1.0, 0.0]);
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert_eq!(t.sample(&mut r), 1);
+        }
+        assert_eq!(t.pmf(1), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite")]
+    fn alias_table_rejects_zero_total() {
+        AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn truncated_geometric_hits_target_means() {
+        // The paper's three configurations over 2000 objects.
+        for &target in &[10.0, 20.0, 43.5] {
+            let d = TruncatedGeometric::with_mean(2000, target);
+            assert!(
+                (d.mean() - target).abs() < 1e-6,
+                "target {target}, got {}",
+                d.mean()
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_geometric_working_sets_match_paper_claim() {
+        // Paper: means 10 / 20 / 43.5 yield ~100 / ~200 / ~400 unique
+        // objects referenced. With P(working set) = 99%, a geometric's
+        // working set is ≈ 4.6 × mean.
+        let ws10 = TruncatedGeometric::with_mean(2000, 10.0).working_set(0.99);
+        let ws20 = TruncatedGeometric::with_mean(2000, 20.0).working_set(0.99);
+        let ws43 = TruncatedGeometric::with_mean(2000, 43.5).working_set(0.99);
+        assert!((40..=120).contains(&ws10), "ws10 = {ws10}");
+        assert!((90..=240).contains(&ws20), "ws20 = {ws20}");
+        assert!((180..=480).contains(&ws43), "ws43 = {ws43}");
+        assert!(ws10 < ws20 && ws20 < ws43);
+    }
+
+    #[test]
+    fn truncated_geometric_empirical_mean_converges() {
+        let d = TruncatedGeometric::with_mean(2000, 20.0);
+        let mut r = rng();
+        let n = 200_000;
+        let sum: u64 = (0..n).map(|_| d.sample(&mut r) as u64).sum();
+        let emp = sum as f64 / n as f64;
+        assert!((emp - 20.0).abs() < 0.3, "empirical mean {emp}");
+    }
+
+    #[test]
+    fn truncated_geometric_is_monotone_decreasing() {
+        let d = TruncatedGeometric::with_mean(100, 5.0);
+        for i in 1..100 {
+            assert!(d.pmf(i) <= d.pmf(i - 1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not in")]
+    fn truncated_geometric_rejects_unachievable_mean() {
+        // Uniform over 10 categories has mean 4.5; can't ask for 5.
+        TruncatedGeometric::with_mean(10, 5.0);
+    }
+
+    #[test]
+    fn zipf_alpha_zero_is_uniform() {
+        let z = Zipf::new(5, 0.0);
+        for i in 0..5 {
+            assert!((z.pmf(i) - 0.2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed_for_positive_alpha() {
+        let z = Zipf::new(100, 1.0);
+        assert!(z.pmf(0) > z.pmf(1));
+        assert!(z.pmf(0) / z.pmf(9) > 9.0); // 1/1 vs 1/10
+        let mut r = rng();
+        let mut top10 = 0u32;
+        let n = 50_000;
+        for _ in 0..n {
+            if z.sample(&mut r) < 10 {
+                top10 += 1;
+            }
+        }
+        // H(10)/H(100) ≈ 2.93/5.19 ≈ 0.56 of mass in top 10 ranks.
+        let frac = top10 as f64 / n as f64;
+        assert!((0.5..0.63).contains(&frac), "top-10 mass {frac}");
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let e = Exponential::new(0.5); // mean 2
+        let mut r = rng();
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| e.sample(&mut r)).sum();
+        let emp = sum / n as f64;
+        assert!((emp - 2.0).abs() < 0.05, "mean {emp}");
+        assert_eq!(e.mean(), 2.0);
+    }
+}

@@ -1,0 +1,382 @@
+//! The discrete-event simulation engine.
+//!
+//! A [`Simulation`] owns a *model* — the domain state plus an event handler —
+//! and drives it by popping events off a time-ordered queue. Two events
+//! scheduled for the same instant fire in the order they were scheduled
+//! (FIFO tie-breaking via a monotonic sequence number), which is what makes
+//! runs bit-for-bit reproducible.
+//!
+//! ```
+//! use ss_sim::engine::{Context, Model, Simulation};
+//! use ss_types::{SimDuration, SimTime};
+//!
+//! struct Ping {
+//!     count: u32,
+//! }
+//!
+//! enum Ev {
+//!     Tick,
+//! }
+//!
+//! impl Model for Ping {
+//!     type Event = Ev;
+//!     fn handle(&mut self, _ev: Ev, ctx: &mut Context<'_, Ev>) {
+//!         self.count += 1;
+//!         if self.count < 3 {
+//!             ctx.schedule_in(SimDuration::from_secs(1), Ev::Tick);
+//!         }
+//!     }
+//! }
+//!
+//! let mut sim = Simulation::new(Ping { count: 0 });
+//! sim.schedule_at(SimTime::ZERO, Ev::Tick);
+//! sim.run();
+//! assert_eq!(sim.model().count, 3);
+//! assert_eq!(sim.now(), SimTime::from_secs(2));
+//! ```
+
+use ss_types::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A simulation model: domain state plus the handler invoked for each event.
+pub trait Model {
+    /// The event alphabet of this model.
+    type Event;
+
+    /// Handles one event. `ctx` exposes the clock and lets the handler
+    /// schedule follow-up events.
+    fn handle(&mut self, event: Self::Event, ctx: &mut Context<'_, Self::Event>);
+}
+
+/// Handle given to [`Model::handle`] for reading the clock and scheduling
+/// new events. Events scheduled here are merged into the main queue when the
+/// handler returns.
+pub struct Context<'a, E> {
+    now: SimTime,
+    pending: &'a mut Vec<(SimTime, E)>,
+    stop: &'a mut bool,
+}
+
+impl<E> Context<'_, E> {
+    /// The current simulation time (the timestamp of the event being
+    /// handled).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` to fire at absolute time `at`. Panics if `at` is in
+    /// the past — a model must never rewind the clock.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {at} < {}",
+            self.now
+        );
+        self.pending.push((at, event));
+    }
+
+    /// Schedules `event` to fire `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.pending.push((self.now + delay, event));
+    }
+
+    /// Requests that the simulation stop after this handler returns, leaving
+    /// any queued events unprocessed. Used by models that detect their own
+    /// termination condition (e.g. "warm-up plus measurement window done").
+    pub fn stop(&mut self) {
+        *self.stop = true;
+    }
+}
+
+/// An event with its firing time and a FIFO tie-breaker.
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse both keys: BinaryHeap is a max-heap and we want the
+        // earliest (time, seq) first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The event loop: clock + queue + model.
+pub struct Simulation<M: Model> {
+    model: M,
+    now: SimTime,
+    queue: BinaryHeap<Scheduled<M::Event>>,
+    seq: u64,
+    events_handled: u64,
+    stopped: bool,
+    /// Scratch buffer reused across handler invocations.
+    pending: Vec<(SimTime, M::Event)>,
+}
+
+impl<M: Model> Simulation<M> {
+    /// Creates a simulation at time zero with an empty queue.
+    pub fn new(model: M) -> Self {
+        Simulation {
+            model,
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            events_handled: 0,
+            stopped: false,
+            pending: Vec::new(),
+        }
+    }
+
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events handled so far.
+    pub fn events_handled(&self) -> u64 {
+        self.events_handled
+    }
+
+    /// Shared access to the model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Exclusive access to the model (e.g. to inspect or tweak state between
+    /// phases).
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Consumes the simulation, returning the model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+
+    /// True once a handler called [`Context::stop`].
+    pub fn is_stopped(&self) -> bool {
+        self.stopped
+    }
+
+    /// Schedules `event` at absolute time `at` from outside a handler.
+    /// Panics if `at` is before the current time.
+    pub fn schedule_at(&mut self, at: SimTime, event: M::Event) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.push(at, event);
+    }
+
+    /// Schedules `event` `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: M::Event) {
+        self.push(self.now + delay, event);
+    }
+
+    fn push(&mut self, at: SimTime, event: M::Event) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled { at, seq, event });
+    }
+
+    /// Pops and handles the next event. Returns `false` if the queue was
+    /// empty or the simulation has been stopped.
+    pub fn step(&mut self) -> bool {
+        if self.stopped {
+            return false;
+        }
+        let Some(next) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(next.at >= self.now, "event queue went backwards");
+        self.now = next.at;
+        self.events_handled += 1;
+
+        let mut ctx = Context {
+            now: self.now,
+            pending: &mut self.pending,
+            stop: &mut self.stopped,
+        };
+        self.model.handle(next.event, &mut ctx);
+
+        for (at, ev) in self.pending.drain(..).collect::<Vec<_>>() {
+            let seq = self.seq;
+            self.seq += 1;
+            self.queue.push(Scheduled { at, seq, event: ev });
+        }
+        true
+    }
+
+    /// Runs until the queue drains or a handler stops the simulation.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs until the clock would pass `deadline` (events at exactly
+    /// `deadline` are handled), the queue drains, or a handler stops the
+    /// simulation. The clock is advanced to `deadline` if the queue drained
+    /// earlier, so repeated `run_until` calls see a monotonic clock.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while !self.stopped {
+            match self.queue.peek() {
+                Some(next) if next.at <= deadline => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        if self.now < deadline && !self.stopped {
+            self.now = deadline;
+        }
+    }
+
+    /// Runs at most `n` events.
+    pub fn run_steps(&mut self, n: u64) {
+        for _ in 0..n {
+            if !self.step() {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Records the order in which tagged events fire.
+    struct Recorder {
+        fired: Vec<(SimTime, u32)>,
+        respawn: bool,
+    }
+
+    struct Tag(u32);
+
+    impl Model for Recorder {
+        type Event = Tag;
+        fn handle(&mut self, ev: Tag, ctx: &mut Context<'_, Tag>) {
+            self.fired.push((ctx.now(), ev.0));
+            if self.respawn && ev.0 < 10 {
+                ctx.schedule_in(SimDuration::from_secs(1), Tag(ev.0 + 1));
+            }
+        }
+    }
+
+    fn recorder() -> Simulation<Recorder> {
+        Simulation::new(Recorder {
+            fired: vec![],
+            respawn: false,
+        })
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim = recorder();
+        sim.schedule_at(SimTime::from_secs(3), Tag(3));
+        sim.schedule_at(SimTime::from_secs(1), Tag(1));
+        sim.schedule_at(SimTime::from_secs(2), Tag(2));
+        sim.run();
+        let tags: Vec<u32> = sim.model().fired.iter().map(|&(_, t)| t).collect();
+        assert_eq!(tags, vec![1, 2, 3]);
+        assert_eq!(sim.now(), SimTime::from_secs(3));
+        assert_eq!(sim.events_handled(), 3);
+    }
+
+    #[test]
+    fn simultaneous_events_fire_fifo() {
+        let mut sim = recorder();
+        for i in 0..100 {
+            sim.schedule_at(SimTime::from_secs(5), Tag(i));
+        }
+        sim.run();
+        let tags: Vec<u32> = sim.model().fired.iter().map(|&(_, t)| t).collect();
+        assert_eq!(tags, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handler_scheduled_events_chain() {
+        let mut sim = Simulation::new(Recorder {
+            fired: vec![],
+            respawn: true,
+        });
+        sim.schedule_at(SimTime::ZERO, Tag(0));
+        sim.run();
+        assert_eq!(sim.model().fired.len(), 11);
+        assert_eq!(sim.now(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn run_until_is_inclusive_and_advances_clock() {
+        let mut sim = recorder();
+        sim.schedule_at(SimTime::from_secs(1), Tag(1));
+        sim.schedule_at(SimTime::from_secs(2), Tag(2));
+        sim.schedule_at(SimTime::from_secs(5), Tag(5));
+        sim.run_until(SimTime::from_secs(2));
+        assert_eq!(sim.model().fired.len(), 2);
+        assert_eq!(sim.now(), SimTime::from_secs(2));
+        // Queue drained before deadline: clock still reaches the deadline.
+        sim.run_until(SimTime::from_secs(10));
+        assert_eq!(sim.model().fired.len(), 3);
+        assert_eq!(sim.now(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn stop_discards_remaining_events() {
+        struct Stopper {
+            fired: u32,
+        }
+        impl Model for Stopper {
+            type Event = ();
+            fn handle(&mut self, _: (), ctx: &mut Context<'_, ()>) {
+                self.fired += 1;
+                if self.fired == 2 {
+                    ctx.stop();
+                }
+            }
+        }
+        let mut sim = Simulation::new(Stopper { fired: 0 });
+        for i in 0..5 {
+            sim.schedule_at(SimTime::from_secs(i), ());
+        }
+        sim.run();
+        assert_eq!(sim.model().fired, 2);
+        assert!(sim.is_stopped());
+        assert!(!sim.step());
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_past_panics() {
+        let mut sim = recorder();
+        sim.schedule_at(SimTime::from_secs(2), Tag(0));
+        sim.run();
+        sim.schedule_at(SimTime::from_secs(1), Tag(1));
+    }
+
+    #[test]
+    fn run_steps_bounds_work() {
+        let mut sim = recorder();
+        for i in 0..10 {
+            sim.schedule_at(SimTime::from_secs(i), Tag(i as u32));
+        }
+        sim.run_steps(4);
+        assert_eq!(sim.model().fired.len(), 4);
+        sim.run_steps(100);
+        assert_eq!(sim.model().fired.len(), 10);
+    }
+}

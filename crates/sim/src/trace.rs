@@ -1,0 +1,163 @@
+//! Bounded event tracing for simulations.
+//!
+//! A [`Trace`] is a fixed-capacity ring of timestamped events. It is cheap
+//! enough to leave compiled in (recording is O(1) and can be disabled at
+//! runtime), keeps the *most recent* events when full — the ones you want
+//! when a simulation misbehaves — and counts what it dropped so silence is
+//! never mistaken for inactivity.
+
+use ss_types::SimTime;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A bounded, timestamped event ring.
+#[derive(Debug, Clone)]
+pub struct Trace<E> {
+    ring: VecDeque<(SimTime, E)>,
+    capacity: usize,
+    enabled: bool,
+    dropped: u64,
+}
+
+impl<E> Trace<E> {
+    /// A trace holding at most `capacity` events, initially enabled.
+    /// Panics on zero capacity.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "zero-capacity trace");
+        Trace {
+            ring: VecDeque::with_capacity(capacity),
+            capacity,
+            enabled: true,
+            dropped: 0,
+        }
+    }
+
+    /// A disabled trace (recording is a no-op until enabled).
+    pub fn disabled(capacity: usize) -> Self {
+        let mut t = Self::new(capacity);
+        t.enabled = false;
+        t
+    }
+
+    /// Turns recording on or off.
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// True iff recording.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records `event` at `now` (dropping the oldest event when full).
+    pub fn record(&mut self, now: SimTime, event: E) {
+        if !self.enabled {
+            return;
+        }
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back((now, event));
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True iff nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates over retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &(SimTime, E)> {
+        self.ring.iter()
+    }
+
+    /// Clears retained events (the drop counter survives).
+    pub fn clear(&mut self) {
+        self.ring.clear();
+    }
+}
+
+impl<E: fmt::Display> Trace<E> {
+    /// Renders the retained events one per line: `t=...s  <event>`.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        if self.dropped > 0 {
+            out.push_str(&format!("... {} earlier events dropped ...\n", self.dropped));
+        }
+        for (t, e) in &self.ring {
+            out.push_str(&format!("{t}  {e}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn records_in_order_and_evicts_oldest() {
+        let mut tr = Trace::new(3);
+        for i in 0..5u32 {
+            tr.record(t(i as u64), i);
+        }
+        let kept: Vec<u32> = tr.iter().map(|&(_, e)| e).collect();
+        assert_eq!(kept, vec![2, 3, 4]);
+        assert_eq!(tr.dropped(), 2);
+        assert_eq!(tr.len(), 3);
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut tr = Trace::disabled(4);
+        tr.record(t(0), "x");
+        assert!(tr.is_empty());
+        tr.set_enabled(true);
+        tr.record(t(1), "y");
+        assert_eq!(tr.len(), 1);
+        assert!(tr.is_enabled());
+    }
+
+    #[test]
+    fn text_rendering_mentions_drops() {
+        let mut tr = Trace::new(2);
+        tr.record(t(1), "admit");
+        tr.record(t(2), "evict");
+        tr.record(t(3), "fetch");
+        let text = tr.to_text();
+        assert!(text.starts_with("... 1 earlier events dropped ..."));
+        assert!(text.contains("evict"));
+        assert!(text.contains("fetch"));
+        assert!(!text.contains("admit"));
+    }
+
+    #[test]
+    fn clear_keeps_drop_counter() {
+        let mut tr = Trace::new(1);
+        tr.record(t(0), 1);
+        tr.record(t(1), 2);
+        tr.clear();
+        assert!(tr.is_empty());
+        assert_eq!(tr.dropped(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-capacity")]
+    fn zero_capacity_panics() {
+        Trace::<u8>::new(0);
+    }
+}

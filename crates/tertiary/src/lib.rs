@@ -1,0 +1,32 @@
+//! # ss-tertiary
+//!
+//! The tertiary-storage substrate (§3.2.4 and §4.1).
+//!
+//! The database lives permanently on a tertiary device (a tape library in
+//! the paper's architecture); objects are **materialized** onto the disk
+//! farm on demand. The device is bandwidth-limited — 40 mbps in Table 3,
+//! *below* the 100 mbps display rate — and pays a large head-reposition
+//! penalty whenever it must seek, which makes the on-tape data layout
+//! matter:
+//!
+//! * [`TapeLayout::Sequential`] — the object is recorded in display order.
+//!   Because the disk layout is staggered, the device must reposition
+//!   between subobject writes, wasting a large fraction of its time
+//!   (the paper's "wasteful work").
+//! * [`TapeLayout::FragmentOrdered`] — fragments are recorded in exactly
+//!   the order the disks consume them (`X_0.0, X_0.1, X_1.0, …`), so the
+//!   device streams at full bandwidth after the initial positioning.
+//!
+//! [`TertiaryDevice`] is the single-server FIFO queue of Table 3
+//! ("Number of Tertiary Devices: 1"); [`JobSchedule`] reports, for each
+//! materialization, when it starts, when a *pipelined* display may begin
+//! without risk of hiccups, and when it completes.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod device;
+mod params;
+
+pub use device::{JobSchedule, TertiaryDevice};
+pub use params::{TapeLayout, TertiaryParams};

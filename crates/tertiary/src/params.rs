@@ -1,0 +1,192 @@
+//! Tertiary device parameters and the materialization timing model.
+
+use serde::{Deserialize, Serialize};
+use ss_types::{Bandwidth, Bytes, SimDuration};
+
+/// How an object's data is recorded on the tertiary medium (§3.2.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TapeLayout {
+    /// Display order. Mismatches the staggered disk layout, so the device
+    /// repositions once per subobject while materializing.
+    Sequential,
+    /// Disk-delivery order (`X_0.0, X_0.1, X_1.0, …`). Streams at full
+    /// bandwidth; the cost is that the recording is tied to the current
+    /// disk/tertiary bandwidth ratio (re-recording is needed if it changes).
+    FragmentOrdered,
+}
+
+/// Parameters of the tertiary storage device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TertiaryParams {
+    /// Raw streaming bandwidth (`B_tertiary`; 40 mbps in Table 3).
+    pub bandwidth: Bandwidth,
+    /// One-time positioning cost when a job reaches the head of the queue
+    /// (media exchange + initial seek).
+    pub initial_access: SimDuration,
+    /// Head-reposition cost paid between subobjects under
+    /// [`TapeLayout::Sequential`]. "Typically very high … may exceed the
+    /// duration of a time interval" (§3.2.4).
+    pub reposition: SimDuration,
+    /// On-tape data layout.
+    pub layout: TapeLayout,
+}
+
+impl TertiaryParams {
+    /// The Table 3 device: 40 mbps, fragment-ordered recording (the layout
+    /// §3.2.4 argues for, and the only one consistent with the paper's
+    /// simulation treating materialization as bandwidth-limited).
+    /// `initial_access` defaults to zero — Table 3 models the device purely
+    /// by its bandwidth — and `reposition` to one second, which only
+    /// matters if the layout is switched to [`TapeLayout::Sequential`].
+    pub fn table3() -> Self {
+        TertiaryParams {
+            bandwidth: Bandwidth::mbps(40),
+            initial_access: SimDuration::ZERO,
+            reposition: SimDuration::from_secs(1),
+            layout: TapeLayout::FragmentOrdered,
+        }
+    }
+
+    /// Validates parameter consistency.
+    pub fn validate(&self) -> ss_types::Result<()> {
+        if self.bandwidth.is_zero() {
+            return Err(ss_types::Error::InvalidConfig {
+                reason: "tertiary bandwidth is zero".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Time to materialize an object of `size` bytes split into
+    /// `subobjects` pieces, excluding queueing and the initial access:
+    /// the streaming transfer plus, under the sequential layout, one
+    /// reposition per subobject boundary.
+    pub fn materialize_duration(&self, size: Bytes, subobjects: u64) -> SimDuration {
+        let stream = size.transfer_time(self.bandwidth);
+        match self.layout {
+            TapeLayout::FragmentOrdered => stream,
+            TapeLayout::Sequential => {
+                stream + self.reposition * subobjects.saturating_sub(1)
+            }
+        }
+    }
+
+    /// The device's *effective* bandwidth while materializing an object
+    /// whose subobjects have the given size — degraded by repositioning
+    /// under the sequential layout, equal to the raw rate otherwise.
+    pub fn effective_bandwidth(&self, subobject: Bytes) -> Bandwidth {
+        match self.layout {
+            TapeLayout::FragmentOrdered => self.bandwidth,
+            TapeLayout::Sequential => {
+                let useful = subobject.transfer_time(self.bandwidth);
+                let cycle = useful + self.reposition;
+                let bps = subobject.as_bits() as u128 * 1_000_000 / cycle.as_micros() as u128;
+                Bandwidth::from_bits_per_sec(u64::try_from(bps).expect("overflow"))
+            }
+        }
+    }
+
+    /// The earliest a display may start after materialization begins such
+    /// that consumption never overtakes production (the *pipelined* start
+    /// offset): with production rate `B_t` and consumption rate
+    /// `B_display`, data position is safe for all time iff the display lags
+    /// by `t₀ = size·(1/B_t − 1/B_display)`, clamped at zero when the
+    /// device outruns the display.
+    pub fn pipelined_start_offset(
+        &self,
+        size: Bytes,
+        subobjects: u64,
+        display: Bandwidth,
+    ) -> SimDuration {
+        let produce = self.materialize_duration(size, subobjects);
+        let consume = size.transfer_time(display);
+        produce.checked_sub(consume).unwrap_or(SimDuration::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Table 3 object: 3000 subobjects × 5 fragments × 1.512 MB.
+    fn table3_object() -> (Bytes, u64) {
+        (Bytes::new(5 * 3000 * 1_512_000), 3000)
+    }
+
+    #[test]
+    fn table3_materialization_takes_4536_seconds() {
+        // 22.68 GB at 40 mbps = 4536 s.
+        let p = TertiaryParams::table3();
+        let (size, n) = table3_object();
+        let d = p.materialize_duration(size, n);
+        assert!((d.as_secs_f64() - 4536.0).abs() < 0.1, "{d}");
+    }
+
+    #[test]
+    fn pipelined_offset_is_produce_minus_consume() {
+        // Display time is 1814.4 s, so the pipelined start offset is
+        // 4536 − 1814.4 = 2721.6 s.
+        let p = TertiaryParams::table3();
+        let (size, n) = table3_object();
+        let t0 = p.pipelined_start_offset(size, n, Bandwidth::mbps(100));
+        assert!((t0.as_secs_f64() - 2721.6).abs() < 0.1, "{t0}");
+    }
+
+    #[test]
+    fn pipelined_offset_clamps_when_device_is_faster() {
+        let mut p = TertiaryParams::table3();
+        p.bandwidth = Bandwidth::mbps(200); // faster than the display
+        let (size, n) = table3_object();
+        assert_eq!(
+            p.pipelined_start_offset(size, n, Bandwidth::mbps(100)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn sequential_layout_pays_repositions() {
+        let mut p = TertiaryParams::table3();
+        p.layout = TapeLayout::Sequential;
+        let (size, n) = table3_object();
+        let d_seq = p.materialize_duration(size, n);
+        p.layout = TapeLayout::FragmentOrdered;
+        let d_ord = p.materialize_duration(size, n);
+        // 2999 repositions × 1 s.
+        assert_eq!(d_seq - d_ord, SimDuration::from_secs(2999));
+    }
+
+    #[test]
+    fn sequential_effective_bandwidth_degrades() {
+        let mut p = TertiaryParams::table3();
+        p.layout = TapeLayout::Sequential;
+        let subobject = Bytes::new(5 * 1_512_000); // 7.56 MB
+        // Useful time per subobject: 60.48 Mbit / 40 mbps = 1.512 s;
+        // cycle = 2.512 s; effective ≈ 40 × 1.512/2.512 ≈ 24.08 mbps.
+        let eff = p.effective_bandwidth(subobject).as_mbps_f64();
+        assert!((eff - 24.08).abs() < 0.05, "effective {eff}");
+        p.layout = TapeLayout::FragmentOrdered;
+        assert_eq!(p.effective_bandwidth(subobject), Bandwidth::mbps(40));
+    }
+
+    #[test]
+    fn reposition_dominance_matches_paper_warning() {
+        // §3.2.4: the reposition time "may exceed the duration of a time
+        // interval", making the device spend most of its time on wasteful
+        // work. With a 1 s reposition vs a 0.6048 s interval of useful
+        // data, the sequential effective bandwidth falls below half.
+        let mut p = TertiaryParams::table3();
+        p.layout = TapeLayout::Sequential;
+        // One interval of tertiary production at 40 mbps = 3.024 MB.
+        let produced_per_interval = Bytes::new(3_024_000);
+        let eff = p.effective_bandwidth(produced_per_interval);
+        assert!(eff < Bandwidth::mbps(20), "effective {eff}");
+    }
+
+    #[test]
+    fn validation() {
+        assert!(TertiaryParams::table3().validate().is_ok());
+        let mut p = TertiaryParams::table3();
+        p.bandwidth = Bandwidth::ZERO;
+        assert!(p.validate().is_err());
+    }
+}

@@ -1,0 +1,131 @@
+//! The workspace-wide error type.
+
+use crate::{Bandwidth, Bytes, DiskId, ObjectId};
+use std::fmt;
+
+/// Convenient result alias using [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by the placement engines, schedulers and managers.
+///
+/// These are *caller* errors or capacity conditions — internal invariant
+/// violations panic instead (they indicate bugs, not recoverable states).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A configuration value is inconsistent or out of range.
+    InvalidConfig {
+        /// Human-readable description of the offending parameter.
+        reason: String,
+    },
+    /// Disk storage is exhausted: the allocation needed `requested` bytes
+    /// but only `available` remain on `disk`.
+    DiskFull {
+        /// The disk that ran out of space.
+        disk: DiskId,
+        /// Bytes the allocation asked for.
+        requested: Bytes,
+        /// Bytes actually free.
+        available: Bytes,
+    },
+    /// The referenced object is not known to the catalog.
+    UnknownObject(ObjectId),
+    /// The referenced object is not currently disk resident.
+    NotResident(ObjectId),
+    /// An object's bandwidth requirement cannot be satisfied by the system
+    /// (e.g. needs more disks than exist).
+    BandwidthUnsatisfiable {
+        /// The object whose display was requested.
+        object: ObjectId,
+        /// Its display bandwidth requirement.
+        required: Bandwidth,
+        /// The aggregate bandwidth the system can devote to one display.
+        available: Bandwidth,
+    },
+    /// Admission failed: not enough free disks at the required positions in
+    /// the current time interval. The display may be retried later.
+    AdmissionRejected {
+        /// The object whose display was requested.
+        object: ObjectId,
+        /// Number of disks the display needs per interval.
+        needed: u32,
+        /// Number of suitably-positioned free disks found.
+        free: u32,
+    },
+    /// An operation arrived in a state that cannot accept it (e.g. a second
+    /// coalesce request while one is still in progress — Algorithm 2 forbids
+    /// this).
+    InvalidState {
+        /// Human-readable description of the conflict.
+        reason: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            Error::DiskFull {
+                disk,
+                requested,
+                available,
+            } => write!(
+                f,
+                "{disk} full: requested {requested}, only {available} available"
+            ),
+            Error::UnknownObject(o) => write!(f, "unknown object {o}"),
+            Error::NotResident(o) => write!(f, "object {o} is not disk resident"),
+            Error::BandwidthUnsatisfiable {
+                object,
+                required,
+                available,
+            } => write!(
+                f,
+                "object {object} requires {required} but at most {available} is available"
+            ),
+            Error::AdmissionRejected {
+                object,
+                needed,
+                free,
+            } => write!(
+                f,
+                "admission rejected for {object}: needs {needed} disks, {free} suitably free"
+            ),
+            Error::InvalidState { reason } => write!(f, "invalid state: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_usefully() {
+        let e = Error::DiskFull {
+            disk: DiskId(3),
+            requested: Bytes::megabytes(2),
+            available: Bytes::megabytes(1),
+        };
+        assert_eq!(
+            e.to_string(),
+            "disk3 full: requested 2.000MB, only 1.000MB available"
+        );
+        let e = Error::AdmissionRejected {
+            object: ObjectId(7),
+            needed: 5,
+            free: 2,
+        };
+        assert!(e.to_string().contains("needs 5 disks"));
+        let e = Error::UnknownObject(ObjectId(1));
+        assert_eq!(e.to_string(), "unknown object obj1");
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Error::NotResident(ObjectId(0)));
+    }
+}

@@ -1,0 +1,112 @@
+//! Entity identifiers.
+//!
+//! Each identifier is a distinct newtype so that a disk index can never be
+//! confused with an object index at a call site. All of them are plain
+//! dense indices (`u32`/`u64`), suitable for direct `Vec` indexing.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal, $repr:ty) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub $repr);
+
+        impl $name {
+            /// The raw index.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<$repr> for $name {
+            fn from(v: $repr) -> Self {
+                $name(v)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(v: usize) -> Self {
+                $name(v as $repr)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A multimedia object (movie, audio clip, ...) in the database.
+    ObjectId,
+    "obj",
+    u32
+);
+
+id_type!(
+    /// A physical disk drive, `0..D`.
+    DiskId,
+    "disk",
+    u32
+);
+
+id_type!(
+    /// A (physical or logical) disk cluster, `0..R`.
+    ClusterId,
+    "cluster",
+    u32
+);
+
+id_type!(
+    /// A display station (one end user's terminal).
+    StationId,
+    "station",
+    u32
+);
+
+id_type!(
+    /// A single display request issued by a station. Monotonic across a run.
+    RequestId,
+    "req",
+    u64
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_display_with_prefix() {
+        assert_eq!(ObjectId(3).to_string(), "obj3");
+        assert_eq!(DiskId(999).to_string(), "disk999");
+        assert_eq!(ClusterId(0).to_string(), "cluster0");
+        assert_eq!(StationId(12).to_string(), "station12");
+        assert_eq!(RequestId(7).to_string(), "req7");
+    }
+
+    #[test]
+    fn ids_index_and_convert() {
+        let d: DiskId = 5usize.into();
+        assert_eq!(d, DiskId(5));
+        assert_eq!(d.index(), 5);
+        let o: ObjectId = 9u32.into();
+        assert_eq!(o.index(), 9);
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let mut s = HashSet::new();
+        s.insert(DiskId(1));
+        s.insert(DiskId(1));
+        s.insert(DiskId(2));
+        assert_eq!(s.len(), 2);
+        assert!(DiskId(1) < DiskId(2));
+    }
+}

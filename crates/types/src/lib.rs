@@ -1,0 +1,27 @@
+//! # ss-types
+//!
+//! Shared vocabulary types for the staggered-striping workspace: physical
+//! units (time, data size, bandwidth), entity identifiers, and the common
+//! error type.
+//!
+//! Everything that participates in simulation *state* is integer-valued so
+//! that runs are exactly reproducible across platforms:
+//!
+//! * time is [`SimTime`] / [`SimDuration`] — `u64` **microseconds**;
+//! * data sizes are [`Bytes`] — `u64` bytes (decimal multiples, as the paper
+//!   uses: 1 megabyte = 10⁶ bytes);
+//! * bandwidths are [`Bandwidth`] — `u64` **bits per second** (the paper
+//!   quotes everything in megabits per second).
+//!
+//! Floating point is allowed only in *derived* statistics, never in state.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod error;
+mod ids;
+mod units;
+
+pub use error::{Error, Result};
+pub use ids::{ClusterId, DiskId, ObjectId, RequestId, StationId};
+pub use units::{Bandwidth, Bytes, SimDuration, SimTime};

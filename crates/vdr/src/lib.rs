@@ -1,0 +1,28 @@
+//! # ss-vdr
+//!
+//! The comparison baseline of §4: **virtual data replication** \[GS93\].
+//!
+//! The `D` disks are partitioned into `R = ⌊D/M⌋` *static* clusters; an
+//! object is declustered across the disks of exactly one cluster, so one
+//! cluster sustains exactly one display at a time. To keep a hot object's
+//! cluster from becoming the system bottleneck, the policy dynamically
+//! **replicates** frequently-accessed objects onto additional clusters
+//! and evicts the least-frequently-accessed objects when space runs out.
+//!
+//! The GS93 "Minimum Response Time" state machine is only cited by this
+//! paper, so the replication trigger here is the documented
+//! interpretation from DESIGN.md §5.4: replicate object `X` when a request
+//! for `X` finds every replica busy and the farm has an idle cluster that
+//! is empty or holds a strictly colder victim. Copies are sourced from an
+//! idle disk-resident replica when one exists (a cluster-to-cluster copy
+//! at the cluster's full bandwidth, occupying both clusters), otherwise
+//! from tertiary. Both knobs are public so the baseline can be tuned — the
+//! defaults are deliberately *favourable* to VDR, making the Figure 8
+//! comparison conservative.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod farm;
+
+pub use farm::{ClusterFarm, ClusterStatus, CopyPlan, CopySource, VdrConfig};

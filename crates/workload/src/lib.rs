@@ -1,0 +1,24 @@
+//! # ss-workload
+//!
+//! The workload substrate of §4.1: display stations, the closed-loop
+//! request model, and object-popularity distributions.
+//!
+//! The paper's model: each display station shows one object at a time; a
+//! station issues a request, waits (possibly queued) until the display
+//! completes, and immediately — zero think time — issues the next request,
+//! drawing objects from a truncated-geometric popularity distribution
+//! ("chosen in order to stress the system and compare striping with
+//! virtual data replication in the worst case scenario").
+//!
+//! [`Popularity`] also offers Zipf and uniform alternatives for the
+//! ablation experiments, and [`OpenArrivals`] provides Poisson arrivals
+//! for an open-system variant.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod popularity;
+mod stations;
+
+pub use popularity::{Popularity, PopularitySampler};
+pub use stations::{OpenArrivals, StationPool, StationState, TraceArrivals};

@@ -1,0 +1,92 @@
+//! A capacity planner built on the analytic models: given a desired
+//! concurrent-stream mix, compute the farm you must buy — disks, buffer
+//! memory, startup latency, and the tertiary ceiling — without running a
+//! simulation.
+//!
+//! Run with: `cargo run --example capacity_planner`
+
+use staggered_striping::core::low_bandwidth::logical_fit;
+use staggered_striping::disk::{min_buffer_memory, DiskParams};
+use staggered_striping::prelude::*;
+use staggered_striping::server::analysis::{miss_probability, striping_model};
+use staggered_striping::workload::Popularity;
+
+fn main() {
+    let disk = DiskParams::table3();
+    let fragment = disk.cylinder_capacity;
+    let b_disk = disk.effective_bandwidth(fragment);
+    let interval = fragment.transfer_time(b_disk);
+
+    // The service we want to run: concurrent streams by media type.
+    let wanted = [
+        ("HD feature film", Bandwidth::mbps(100), 120u32),
+        ("NTSC broadcast", Bandwidth::mbps(45), 60),
+        ("news clips (half-disk)", Bandwidth::mbps(10), 40),
+    ];
+
+    println!("capacity plan on Table-3-class disks ({b_disk} effective, {interval} intervals)\n");
+    println!(
+        "{:<24} {:>8} {:>8} {:>14}",
+        "media", "streams", "M_X", "disk-intervals"
+    );
+    let mut disk_demand = 0.0;
+    for (name, rate, streams) in wanted {
+        // Low-bandwidth media ride logical half-disks (§3.2.3).
+        let fit = logical_fit(rate, b_disk, 2);
+        let per_stream = fit.units as f64 / 2.0; // halves → physical disks
+        disk_demand += per_stream * f64::from(streams);
+        println!(
+            "{name:<24} {streams:>8} {:>8.1} {:>14.1}",
+            per_stream,
+            per_stream * f64::from(streams)
+        );
+    }
+    // Headroom: admission needs slack to keep startup latency low; plan
+    // at 85 % occupancy.
+    let disks_needed = (disk_demand / 0.85).ceil() as u32;
+    println!("\n=> {disks_needed} disks (at 85% planned occupancy; {disk_demand:.0} busy on average)");
+
+    // Storage: how many of the catalog's objects stay resident, and what
+    // that means for tertiary traffic.
+    let objects = 2000u32;
+    let subobjects = 3000u32;
+    let per_object_cylinders = u64::from(subobjects) * 5; // M=5 fragments
+    let capacity_objects =
+        (u64::from(disks_needed) * u64::from(disk.cylinders) / per_object_cylinders) as usize;
+    let popularity = Popularity::TruncatedGeometric { mean: 20.0 };
+    let q = miss_probability(&popularity, objects as usize, capacity_objects);
+    println!(
+        "storage: {} resident objects of {objects}; miss probability {:.4}%",
+        capacity_objects.min(objects as usize),
+        q * 100.0
+    );
+
+    // Memory: equation (1) per disk, plus the §5 average-case buffer.
+    let eq1 = min_buffer_memory(&disk, fragment, Bytes::kilobytes(4));
+    let avg_buf = disk.average_case_buffer(fragment);
+    println!(
+        "memory: {} per disk to mask T_switch (eq. 1); +{} to run at the\n\
+         average-case rate ({:.2} vs {:.2} mbps effective)",
+        eq1,
+        avg_buf,
+        disk.effective_bandwidth_average_case(fragment).as_mbps_f64(),
+        b_disk.as_mbps_f64()
+    );
+
+    // Startup latency: bounded by one rotation of the virtual frame.
+    let worst_wait = interval * u64::from(disks_needed);
+    println!(
+        "startup latency: <= one rotation = {worst_wait} at stride 1 (typically\n\
+         a few intervals at planned occupancy)"
+    );
+
+    // End-to-end sanity via the closed-form model at the implied load.
+    let mut cfg = ServerConfig::paper_striping(220, 20.0, 0);
+    cfg.disks = disks_needed;
+    let model = striping_model(&cfg, 220);
+    println!(
+        "\nmodel check at 220 stations: disk bound {:.0}/hr, tertiary bound {:.0}/hr,\n\
+         predicted {:.0} displays/hour",
+        model.disk_bound, model.tertiary_bound, model.predicted
+    );
+}

@@ -1,0 +1,45 @@
+//! Regenerates the paper's layout figures as ASCII tables directly from
+//! the placement arithmetic:
+//!
+//! * Figure 1 — simple striping, 9 disks, `M = 3`;
+//! * Figure 3 — the cluster schedule for three concurrent displays;
+//! * Figure 4 — staggered striping, 8 disks, stride 1;
+//! * Figure 5 — a mixed-media database (M = 2, 3, 4) on 12 disks.
+//!
+//! Run with: `cargo run --example layout_gallery`
+
+use staggered_striping::core::render::{cluster_schedule, format_cluster_schedule, layout_grid};
+use staggered_striping::prelude::*;
+
+fn main() {
+    println!("=== Figure 1: simple striping (9 disks, M = 3, k = M) ===\n");
+    let x = StripingLayout::new(ObjectId(0), 0, 3, 9, 9, 3);
+    println!("{}", layout_grid(&[x], &["X"], 4));
+
+    println!("=== Figure 3: cluster schedule, three displays (X ends early) ===\n");
+    let table = cluster_schedule(
+        3,
+        6,
+        &[
+            ("X", 1, 1, 3), // X(i+2) is X's last subobject
+            ("Y", 2, 1, 7),
+            ("Z", 0, 1, 7),
+        ],
+    );
+    println!("{}", format_cluster_schedule(&table));
+
+    println!("=== Figure 4: staggered striping (8 disks, M = 3, k = 1) ===\n");
+    let x = StripingLayout::new(ObjectId(0), 0, 3, 8, 8, 1);
+    println!("{}", layout_grid(&[x], &["X"], 8));
+
+    println!("=== Figure 5: mixed media on 12 disks (k = 1) ===");
+    println!("    Y: 80 mbps (M = 4) from disk 0; X: 60 mbps (M = 3) from disk 4;");
+    println!("    Z: 40 mbps (M = 2) from disk 7\n");
+    let y = StripingLayout::new(ObjectId(0), 0, 4, 13, 12, 1);
+    let x = StripingLayout::new(ObjectId(1), 4, 3, 13, 12, 1);
+    let z = StripingLayout::new(ObjectId(2), 7, 2, 13, 12, 1);
+    println!("{}", layout_grid(&[y, x, z], &["Y", "X", "Z"], 13));
+
+    println!("note: every row uses disjoint disks per subobject index, and each");
+    println!("display's disk set shifts right by the stride each time interval.");
+}

@@ -1,0 +1,57 @@
+//! A movie-on-demand server session: the paper's §4 scenario at reduced
+//! scale. Runs the same workload through simple striping and through the
+//! virtual-data-replication baseline and prints the comparison — the
+//! Figure 8 experiment in miniature.
+//!
+//! Run with: `cargo run --release --example movie_on_demand`
+
+use staggered_striping::prelude::*;
+use staggered_striping::server::experiment::run_batch;
+use staggered_striping::server::metrics::format_table;
+use staggered_striping::server::vdr::vdr_config_for;
+
+fn main() -> Result<()> {
+    // A 60-disk farm with 150 half-hour-ish movies, of which the farm can
+    // hold 120; 48 subscribers with skewed tastes.
+    let build = |stations: u32| -> Vec<ServerConfig> {
+        let mut striping = ServerConfig::paper_striping(stations, 8.0, 2026);
+        striping.disks = 60;
+        striping.objects = 150;
+        striping.subobjects = 600; // 6-minute objects: quick demo runs
+        striping.warmup = SimDuration::from_secs(1800);
+        striping.measure = SimDuration::from_secs(4 * 3600);
+        let mut vdr = striping.clone();
+        vdr.scheme = Scheme::Vdr {
+            vdr: vdr_config_for(&striping),
+        };
+        vdr.materialize = MaterializeMode::AfterFull;
+        vec![striping, vdr]
+    };
+
+    println!("movie-on-demand demo: 60 disks, 150 movies (farm holds 120),");
+    println!("geometric popularity (mean rank 8), 4 simulated hours measured\n");
+
+    let mut all = Vec::new();
+    for stations in [8u32, 24, 48] {
+        let configs = build(stations);
+        for c in &configs {
+            c.validate()?;
+        }
+        let reports = run_batch(configs, 2);
+        all.extend(reports);
+    }
+    println!("{}", format_table(&all));
+
+    for pair in all.chunks(2) {
+        let (s, v) = (&pair[0], &pair[1]);
+        let gain = 100.0 * (s.displays_per_hour - v.displays_per_hour) / v.displays_per_hour;
+        println!(
+            "{:>3} subscribers: striping {:>7.1}/hr vs VDR {:>7.1}/hr  (+{gain:.0}%)",
+            s.stations, s.displays_per_hour, v.displays_per_hour
+        );
+    }
+    println!("\nshape: striping reaches the farm's aggregate-bandwidth ceiling and");
+    println!("stays there; VDR trails it at every load because hot titles serialize");
+    println!("on their clusters and replica copies burn cluster time and disk space.");
+    Ok(())
+}

@@ -1,0 +1,87 @@
+//! VCR features (§3.2.5): rewind, fast-forward, and fast-forward-with-scan
+//! through a decimated replica object.
+//!
+//! Run with: `cargo run --example vcr_controls`
+
+use staggered_striping::core::vcr::{
+    plan_seek, FastForwardReplica, PlaybackState, SeekPlan, VcrSession,
+};
+use staggered_striping::prelude::*;
+
+fn main() {
+    let b_disk = Bandwidth::mbps(20);
+    let fragment = Bytes::new(1_512_000);
+    let movie = ObjectSpec::new(ObjectId(0), MediaType::table3(), 3000);
+    let interval = movie.interval(b_disk, fragment);
+    println!(
+        "movie: {} subobjects, one interval = {interval}, full display = {}",
+        movie.subobjects,
+        movie.display_time(b_disk, fragment)
+    );
+
+    // --- plain seeks (no picture) ---------------------------------------
+    println!("\nseeks on the Table 3 farm (D = 1000, k = 5), currently at subobject 1200:");
+    for (what, target, idle) in [
+        ("fast-forward +300", 1500u32, false),
+        ("fast-forward +300 (idle disks aligned)", 1500, true),
+        ("rewind -100", 1100, false),
+        ("jump to start", 0, false),
+    ] {
+        let plan = plan_seek(1000, 5, 1200, target, 3000, idle);
+        match plan {
+            SeekPlan::Immediate => println!("  {what:<40} -> switch immediately"),
+            SeekPlan::Rotate { wait_intervals } => println!(
+                "  {what:<40} -> wait {wait_intervals} intervals ({})",
+                interval * wait_intervals
+            ),
+        }
+    }
+
+    // --- fast-forward with scan ------------------------------------------
+    println!("\nfast-forward WITH SCAN uses a decimated replica (every 16th frame):");
+    let replica = FastForwardReplica::derive(&movie, ObjectId(1), 16);
+    println!(
+        "  replica: {} subobjects ({:.1}% of the movie's storage), {}x speedup",
+        replica.spec.subobjects,
+        replica.relative_size(&movie, b_disk, fragment) * 100.0,
+        replica.speedup
+    );
+    let pressed_at = 1200u32;
+    let entry = replica.entry_point(pressed_at);
+    println!("  scan pressed at subobject {pressed_at} -> replica enters at {entry}");
+    let stopped_at = entry + 20; // user scans for 20 replica subobjects
+    let resume = replica.resume_point(stopped_at, &movie);
+    println!(
+        "  scan stopped at replica subobject {stopped_at} -> normal playback resumes at {resume}"
+    );
+    println!(
+        "  perceived scan speed: {}x ({} movie subobjects covered in {} intervals)",
+        replica.speedup,
+        (stopped_at - entry) * replica.decimation,
+        stopped_at - entry
+    );
+
+    // --- a full session --------------------------------------------------
+    println!("\na complete viewer session (VcrSession):");
+    let mut session = VcrSession::new(movie.clone(), replica.clone());
+    for _ in 0..600 {
+        session.tick(); // six minutes of playback
+    }
+    println!("  after 600 intervals of playback: position {}", session.position());
+    session.press_scan();
+    for _ in 0..30 {
+        session.tick(); // 30 intervals of 16x scanning
+    }
+    session.release_scan();
+    println!(
+        "  after 30 intervals of 16x scan:   position {} ({:?})",
+        session.position(),
+        session.state()
+    );
+    let plan = session.seek(2500, 1000, 5, false);
+    println!("  seek to 2500: {plan:?}, now at {}", session.position());
+    while session.state() != PlaybackState::Finished {
+        session.tick();
+    }
+    println!("  played to the end: position {}", session.position());
+}

@@ -1,0 +1,157 @@
+//! Property tests for the virtual-disk frame and admission control — the
+//! correctness core of staggered striping.
+
+use proptest::prelude::*;
+use staggered_striping::core::admission::{AdmissionGrant, AdmissionPolicy, IntervalScheduler};
+use staggered_striping::prelude::*;
+
+/// A random farm plus a stream of admission attempts.
+fn farm_strategy() -> impl Strategy<Value = (u32, u32, Vec<(u32, u32, u32)>)> {
+    (4u32..40, 0u32..41).prop_flat_map(|(d, k)| {
+        let attempts = prop::collection::vec(
+            (0u32..d, 1u32..=d.min(6), 1u32..30),
+            1..40,
+        );
+        attempts.prop_map(move |a| (d, k, a))
+    })
+}
+
+/// Replays a set of grants against an independent occupancy matrix and
+/// asserts no (virtual disk, interval) cell is used twice and that every
+/// read is aligned with its data.
+fn check_grants(d: u32, k: u32, grants: &[(AdmissionGrant, u32, u32)]) {
+    let frame = VirtualFrame::new(d, k);
+    let horizon: u64 = grants
+        .iter()
+        .map(|(g, _, _)| g.end_interval)
+        .max()
+        .unwrap_or(0);
+    let mut used = vec![vec![false; (horizon + 1) as usize]; d as usize];
+    for (g, start_disk, subobjects) in grants {
+        assert_eq!(g.virtual_disks.len(), g.read_start.len());
+        for (i, (&v, &t0)) in g.virtual_disks.iter().zip(&g.read_start).enumerate() {
+            // Alignment (hiccup-freedom): when this virtual disk reads
+            // subobject j of fragment i, it must sit over the physical
+            // disk that stores that fragment.
+            for j in 0..*subobjects {
+                let t = t0 + u64::from(j);
+                let expect = (u64::from(*start_disk) + u64::from(j) * u64::from(k % d)
+                    + i as u64)
+                    % u64::from(d);
+                assert_eq!(
+                    u64::from(frame.physical(v, t)),
+                    expect,
+                    "misaligned read: D={d} k={k} v={v} j={j}"
+                );
+                // Exclusivity: no double-booked (disk, interval).
+                let cell = &mut used[v as usize][t as usize];
+                assert!(!*cell, "double booking: D={d} k={k} v={v} t={t}");
+                *cell = true;
+            }
+            // Buffering sanity: reads never start after delivery.
+            assert!(t0 <= g.delivery_start);
+        }
+        // Buffer bill matches the definition.
+        let bill: u64 = g.read_start.iter().map(|&t| g.delivery_start - t).sum();
+        assert_eq!(bill, g.buffer_fragments);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Contiguous admission: granted reads are aligned and exclusive.
+    #[test]
+    fn contiguous_grants_are_sound((d, k, attempts) in farm_strategy()) {
+        let mut sched = IntervalScheduler::new(VirtualFrame::new(d, k));
+        let mut grants = Vec::new();
+        for (idx, (start, m, n)) in attempts.iter().enumerate() {
+            let t = idx as u64; // one attempt per interval
+            if let Ok(g) = sched.try_admit(
+                t,
+                ObjectId(idx as u32),
+                *start,
+                *m,
+                *n,
+                AdmissionPolicy::Contiguous,
+            ) {
+                prop_assert_eq!(g.delivery_start, t);
+                prop_assert_eq!(g.buffer_fragments, 0);
+                grants.push((g, *start, *n));
+            }
+        }
+        check_grants(d, k, &grants);
+    }
+
+    /// Fragmented admission: ditto, plus the policy's caps are honoured.
+    #[test]
+    fn fragmented_grants_are_sound((d, k, attempts) in farm_strategy()) {
+        let policy = AdmissionPolicy::Fragmented {
+            max_buffer_fragments: 24,
+            max_delay_intervals: 10,
+        };
+        let mut sched = IntervalScheduler::new(VirtualFrame::new(d, k));
+        let mut grants = Vec::new();
+        for (idx, (start, m, n)) in attempts.iter().enumerate() {
+            let t = (idx as u64) * 2;
+            if let Ok(g) = sched.try_admit(t, ObjectId(idx as u32), *start, *m, *n, policy) {
+                prop_assert!(g.buffer_fragments <= 24);
+                prop_assert!(g.delivery_start <= t + 10);
+                prop_assert!(g.read_start.iter().all(|&r| r >= t));
+                grants.push((g, *start, *n));
+            }
+        }
+        check_grants(d, k, &grants);
+    }
+
+    /// The frame maps are mutually inverse for every (D, k, t).
+    #[test]
+    fn frame_inverse(d in 1u32..200, k in 0u32..400, t in 0u64..10_000) {
+        let f = VirtualFrame::new(d, k);
+        for v in 0..d {
+            prop_assert_eq!(f.virtual_of(f.physical(v, t), t), v);
+        }
+    }
+
+    /// `next_alignment` returns the earliest alignment and never lies.
+    #[test]
+    fn next_alignment_sound(d in 2u32..30, k in 0u32..30, v in 0u32..30, p in 0u32..30, t0 in 0u64..50) {
+        let v = v % d;
+        let p = p % d;
+        let f = VirtualFrame::new(d, k);
+        match f.next_alignment(v, p, t0) {
+            Some(t) => {
+                prop_assert!(t >= t0);
+                prop_assert_eq!(f.physical(v, t), p);
+                for earlier in t0..t {
+                    prop_assert_ne!(f.physical(v, earlier), p);
+                }
+            }
+            None => {
+                // Never aligned within two full rotations => truly unreachable.
+                for t in t0..t0 + 2 * u64::from(d) + 2 {
+                    prop_assert_ne!(f.physical(v, t), p);
+                }
+            }
+        }
+    }
+}
+
+/// Admission saturates exactly at the farm's capacity: on an idle farm,
+/// D/M simultaneous displays fit and one more is rejected.
+#[test]
+fn admission_saturates_at_capacity() {
+    let mut sched = IntervalScheduler::new(VirtualFrame::new(20, 5));
+    for i in 0..4 {
+        sched
+            .try_admit(0, ObjectId(i), i * 5, 5, 100, AdmissionPolicy::Contiguous)
+            .expect("fits");
+    }
+    assert!(sched
+        .try_admit(0, ObjectId(99), 0, 5, 100, AdmissionPolicy::Contiguous)
+        .is_err());
+    assert_eq!(sched.free_count(0), 0);
+    assert!((sched.utilization(0) - 1.0).abs() < 1e-12);
+    // After the displays end, everything frees.
+    assert_eq!(sched.free_count(100), 20);
+}

@@ -1,0 +1,91 @@
+//! Validates the closed-form models of `ss_server::analysis` against the
+//! simulators: predictions must bound (and at low load closely track)
+//! the measured throughput.
+
+use staggered_striping::prelude::*;
+use staggered_striping::server::analysis::{striping_model, vdr_upper_bound};
+use staggered_striping::server::vdr::vdr_config_for;
+
+fn small(stations: u32) -> ServerConfig {
+    let mut c = ServerConfig::small_test(stations, 17);
+    c.subobjects = 200;
+    c.measure = SimDuration::from_secs(2 * 3600);
+    c
+}
+
+/// Below saturation the striping simulator lands within a few percent of
+/// the analytic prediction (station-bound regime).
+#[test]
+fn striping_matches_model_below_saturation() {
+    for stations in [1u32, 2, 3] {
+        let cfg = small(stations);
+        let model = striping_model(&cfg, stations);
+        let r = ss_server::run(&cfg).unwrap();
+        let rel = (r.displays_per_hour - model.predicted).abs() / model.predicted;
+        assert!(
+            rel < 0.05,
+            "{stations} stations: sim {} vs model {}",
+            r.displays_per_hour,
+            model.predicted
+        );
+    }
+}
+
+/// At and above saturation the model is an upper bound the simulator
+/// approaches but never exceeds.
+#[test]
+fn striping_never_beats_the_model() {
+    for stations in [4u32, 8, 32] {
+        let cfg = small(stations);
+        let model = striping_model(&cfg, stations);
+        let r = ss_server::run(&cfg).unwrap();
+        assert!(
+            r.displays_per_hour <= model.predicted * 1.02,
+            "{stations} stations: sim {} vs model {}",
+            r.displays_per_hour,
+            model.predicted
+        );
+        // Saturated: the simulator should reach most of the bound.
+        if stations >= 8 {
+            assert!(
+                r.displays_per_hour >= model.predicted * 0.85,
+                "{stations} stations: sim {} too far below model {}",
+                r.displays_per_hour,
+                model.predicted
+            );
+        }
+    }
+}
+
+/// The VDR simulator stays at or below the replication-oracle bound (the
+/// bound assumes free, instant, perfectly-targeted replication).
+#[test]
+fn vdr_never_beats_the_oracle_bound() {
+    for stations in [2u32, 8, 16] {
+        let mut cfg = small(stations);
+        cfg.scheme = Scheme::Vdr {
+            vdr: vdr_config_for(&cfg),
+        };
+        cfg.materialize = MaterializeMode::AfterFull;
+        let bound = vdr_upper_bound(&cfg, stations);
+        let r = ss_server::run(&cfg).unwrap();
+        assert!(
+            r.displays_per_hour <= bound * 1.02,
+            "{stations} stations: sim {} vs oracle bound {bound}",
+            r.displays_per_hour
+        );
+    }
+}
+
+/// The paper-scale models reproduce the Figure 8 regimes: striping is
+/// disk-bound at 256 stations under skew, tertiary-aware under uniform.
+#[test]
+fn paper_scale_regimes() {
+    let skewed = striping_model(&ServerConfig::paper_striping(256, 10.0, 1), 256);
+    assert!(skewed.predicted <= skewed.disk_bound);
+    assert!(skewed.miss_probability < 1e-6);
+
+    let uniform = striping_model(&ServerConfig::paper_striping(256, 43.5, 1), 256);
+    assert!(uniform.miss_probability > skewed.miss_probability);
+    assert!(uniform.tertiary_bound.is_finite());
+}

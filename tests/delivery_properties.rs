@@ -1,0 +1,132 @@
+//! Property tests for the delivery state machines (Algorithms 1 and 2)
+//! and the low-bandwidth pairing schedule.
+
+use proptest::prelude::*;
+use staggered_striping::core::algorithms::{
+    CoalesceRequest, FragmentRef, SimpleCombined, WriteThread,
+};
+use staggered_striping::core::low_bandwidth::PairingSchedule;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Algorithm 1 delivers every fragment exactly once, in order, with
+    /// the buffer bounded by w_offset and drained at the end.
+    #[test]
+    fn algorithm1_delivers_everything(n in 1u32..200, frag in 0u32..8, w in 0u32..30) {
+        let mut p = SimpleCombined::new(n, frag, w);
+        let mut outputs = Vec::new();
+        let mut reads = Vec::new();
+        let mut max_buf = 0;
+        let mut ticks = 0u32;
+        while let Some(a) = p.tick() {
+            ticks += 1;
+            outputs.extend(a.output);
+            reads.extend(a.read);
+            max_buf = max_buf.max(p.buffered());
+        }
+        prop_assert_eq!(ticks, n + w);
+        prop_assert_eq!(outputs.len(), n as usize);
+        prop_assert_eq!(reads.len(), n as usize);
+        for (i, o) in outputs.iter().enumerate() {
+            prop_assert_eq!(*o, FragmentRef::new(i as u32, frag));
+        }
+        prop_assert!(max_buf <= w.max(1));
+        prop_assert_eq!(p.buffered(), 0);
+        prop_assert!(p.tick().is_none());
+    }
+
+    /// Algorithm 2 under a random single coalesce: never panics, the
+    /// output count is exactly reduced by the quiet period, outputs stay
+    /// strictly increasing in subobject index, and the fragment index
+    /// switches exactly once.
+    #[test]
+    fn algorithm2_single_coalesce_is_consistent(
+        n in 5u32..100,
+        w in 1u32..10,
+        at in 0u32..40,
+        new_frag in 0u32..6,
+        skip in 0u32..6,
+    ) {
+        let mut wt = WriteThread::new(n, 2, w);
+        let mut outputs: Vec<FragmentRef> = Vec::new();
+        let mut requested = false;
+        let mut t = 0u32;
+        while !wt.is_done() {
+            if t == at && !requested {
+                // A coalesce may arrive at any point during delivery.
+                requested = wt.request_coalesce(CoalesceRequest { new_frag, skip_write: skip }).is_ok();
+            }
+            outputs.extend(wt.tick());
+            t += 1;
+            prop_assert!(t <= n + w + 1, "runaway thread");
+        }
+        // Without a coalesce the thread outputs n fragments; each quiet
+        // interval consumes one output slot.
+        if requested {
+            let lost = outputs.len() as i64 - i64::from(n);
+            prop_assert!(lost <= 0 && lost >= -i64::from(skip) - 1,
+                "outputs {} of {} with skip {}", outputs.len(), n, skip);
+        } else {
+            prop_assert_eq!(outputs.len(), n as usize);
+        }
+        // Subobject indices strictly increase (delivery never rewinds).
+        for pair in outputs.windows(2) {
+            prop_assert!(pair[1].sub > pair[0].sub);
+        }
+        // Fragment index changes at most once, to the coalesce target.
+        let frags: Vec<u32> = outputs.iter().map(|o| o.frag).collect();
+        let switches = frags.windows(2).filter(|p| p[0] != p[1]).count();
+        prop_assert!(switches <= 1);
+        if switches == 1 {
+            prop_assert_eq!(*frags.last().unwrap(), new_frag);
+        }
+    }
+
+    /// The pairing schedule reads every subobject of both objects exactly
+    /// once and transmits continuously.
+    #[test]
+    fn pairing_schedule_sound(n in 0u32..100) {
+        let s = PairingSchedule::pair(n);
+        prop_assert_eq!(
+            s.half_intervals.len(),
+            if n == 0 { 0 } else { 2 * n as usize + 1 }
+        );
+        let counts = s.verify_continuity().unwrap();
+        if n > 0 {
+            prop_assert_eq!(counts, [2 * n, 2 * n]);
+        }
+    }
+}
+
+/// A coalesce request while one is active must be rejected (the paper's
+/// stated precondition), and a request after completion works again.
+#[test]
+fn algorithm2_back_to_back_coalesces() {
+    let mut wt = WriteThread::new(50, 1, 4);
+    for _ in 0..6 {
+        wt.tick();
+    }
+    wt.request_coalesce(CoalesceRequest {
+        new_frag: 0,
+        skip_write: 2,
+    })
+    .unwrap();
+    wt.tick(); // begins draining the 4-fragment backlog
+    assert!(wt
+        .request_coalesce(CoalesceRequest {
+            new_frag: 1,
+            skip_write: 1
+        })
+        .is_err());
+    // Finish the drain (3 more) and the quiet period (2).
+    for _ in 0..5 {
+        wt.tick();
+    }
+    assert!(!wt.coalescing());
+    wt.request_coalesce(CoalesceRequest {
+        new_frag: 1,
+        skip_write: 0,
+    })
+    .unwrap();
+}

@@ -1,0 +1,149 @@
+//! Integration tests replaying the paper's figures end to end across
+//! crates: placement arithmetic → rendering → admission → the delivery
+//! algorithms.
+
+use staggered_striping::core::admission::{AdmissionPolicy, IntervalScheduler};
+use staggered_striping::core::algorithms::{FragmentRef, SimpleCombined};
+use staggered_striping::core::render::{cluster_schedule, format_cluster_schedule, layout_grid, ClusterCell};
+use staggered_striping::prelude::*;
+
+/// Figure 1: the 9-disk simple-striping layout, cell by cell.
+#[test]
+fn figure1_cells() {
+    let x = StripingLayout::new(ObjectId(0), 0, 3, 9, 9, 3);
+    // Subobject i, fragment j on disk (3i + j) mod 9.
+    for i in 0..9u32 {
+        for j in 0..3u32 {
+            assert_eq!(x.fragment_disk(i, j), DiskId((3 * i + j) % 9));
+        }
+    }
+    let grid = layout_grid(&[x], &["X"], 3);
+    assert!(grid.contains("X0.0") && grid.contains("X2.2"));
+}
+
+/// Figure 3: the cluster schedule with X ending and idle slots appearing
+/// exactly where the paper shows them.
+#[test]
+fn figure3_idle_pattern() {
+    let table = cluster_schedule(3, 6, &[("X", 1, 1, 3), ("Y", 2, 1, 7), ("Z", 0, 1, 7)]);
+    // The paper: cluster 0 idle in intervals 3 and 6; cluster 1 idle in 4;
+    // cluster 2 idle in 5.
+    let idle = |interval: usize, cluster: usize| table[interval - 1][cluster] == ClusterCell::Idle;
+    assert!(idle(3, 0));
+    assert!(idle(6, 0));
+    assert!(idle(4, 1));
+    assert!(idle(5, 2));
+    // And every other cell is busy.
+    let busy_count = table
+        .iter()
+        .flatten()
+        .filter(|c| !matches!(c, ClusterCell::Idle))
+        .count();
+    assert_eq!(busy_count, 18 - 4);
+    let text = format_cluster_schedule(&table);
+    assert!(text.contains("read X(2)"));
+}
+
+/// Figure 5: the 12-disk mixed-media layout; checks the exact cells the
+/// paper's figure prints for rows 0, 4 and 8.
+#[test]
+fn figure5_rows() {
+    let y = StripingLayout::new(ObjectId(0), 0, 4, 13, 12, 1);
+    let x = StripingLayout::new(ObjectId(1), 4, 3, 13, 12, 1);
+    let z = StripingLayout::new(ObjectId(2), 7, 2, 13, 12, 1);
+    // Row 0: Y0.0-Y0.3 on 0-3, X0.0-X0.2 on 4-6, Z0.0-Z0.1 on 7-8.
+    assert_eq!(y.fragment_disk(0, 3), DiskId(3));
+    assert_eq!(x.fragment_disk(0, 0), DiskId(4));
+    assert_eq!(z.fragment_disk(0, 1), DiskId(8));
+    // Row 4 (paper): "Z4.1 | ... | Y4.0 Y4.1 Y4.2 Y4.3 X4.0 X4.1 X4.2 Z4.0"
+    assert_eq!(z.fragment_disk(4, 1), DiskId(0)); // wrapped
+    assert_eq!(y.fragment_disk(4, 0), DiskId(4));
+    assert_eq!(x.fragment_disk(4, 2), DiskId(10));
+    assert_eq!(z.fragment_disk(4, 0), DiskId(11));
+    // Row 8 (paper): X8.0 on disk 0.
+    assert_eq!(x.fragment_disk(8, 0), DiskId(0));
+    assert_eq!(y.fragment_disk(8, 1), DiskId(9));
+}
+
+/// Figure 6 end to end: fragmented admission on the 8-disk farm, then the
+/// Algorithm 1 processes delivering with the granted offsets — checking
+/// the paper's walkthrough events (X0.1 read at 0, buffered two intervals;
+/// X0.0 read and delivered at 2).
+#[test]
+fn figure6_end_to_end() {
+    let mut sched = IntervalScheduler::new(VirtualFrame::new(8, 1));
+    // Six long-running background displays leave only the slots over
+    // physical disks 1 and 6 free at interval 0.
+    for v in [0u32, 2, 3, 4, 5, 7] {
+        sched
+            .try_admit(0, ObjectId(100 + v), v, 1, 1000, AdmissionPolicy::Contiguous)
+            .unwrap();
+    }
+    let grant = sched
+        .try_admit(
+            0,
+            ObjectId(0),
+            0,
+            2,
+            10,
+            AdmissionPolicy::Fragmented {
+                max_buffer_fragments: 16,
+                max_delay_intervals: 8,
+            },
+        )
+        .unwrap();
+    assert_eq!(grant.virtual_disks, vec![6, 1]);
+    assert_eq!(grant.read_start, vec![2, 0]);
+    assert_eq!(grant.delivery_start, 2);
+    assert_eq!(grant.buffer_fragments, 2);
+
+    // Fragment 1's process starts at global interval 0 with w_offset 2;
+    // fragment 0's starts at global interval 2 with w_offset 0.
+    let w1 = u32::try_from(grant.delivery_start - grant.read_start[1]).unwrap();
+    assert_eq!(w1, 2);
+    let mut p0 = SimpleCombined::new(10, 0, 0);
+    let mut p1 = SimpleCombined::new(10, 1, w1);
+
+    // Global interval 0: fragment 1 reads X0.1, outputs nothing.
+    let a = p1.tick().unwrap();
+    assert_eq!(a.read, Some(FragmentRef::new(0, 1)));
+    assert_eq!(a.output, None);
+    // Global interval 1: fragment 1 reads X1.1, still nothing out.
+    let a = p1.tick().unwrap();
+    assert_eq!(a.read, Some(FragmentRef::new(1, 1)));
+    assert_eq!(a.output, None);
+    assert_eq!(p1.buffered(), 2);
+    // Global interval 2: both fragments of X0 delivered together —
+    // fragment 0 pipelined straight from disk, fragment 1 from its buffer.
+    let a0 = p0.tick().unwrap();
+    let a1 = p1.tick().unwrap();
+    assert_eq!(a0.read, Some(FragmentRef::new(0, 0)));
+    assert_eq!(a0.output, Some(FragmentRef::new(0, 0)));
+    assert_eq!(a1.output, Some(FragmentRef::new(0, 1)));
+    // Drain everything; each process outputs all ten fragments in order.
+    let mut outs0 = vec![a0.output.unwrap()];
+    let mut outs1 = vec![a1.output.unwrap()];
+    while let Some(a) = p0.tick() {
+        outs0.extend(a.output);
+    }
+    while let Some(a) = p1.tick() {
+        outs1.extend(a.output);
+    }
+    assert_eq!(outs0.len(), 10);
+    assert_eq!(outs1.len(), 10);
+    for (s, (o0, o1)) in outs0.iter().zip(&outs1).enumerate() {
+        assert_eq!(*o0, FragmentRef::new(s as u32, 0));
+        assert_eq!(*o1, FragmentRef::new(s as u32, 1));
+    }
+}
+
+/// The virtual frame really is the paper's rotation: Figure 6's free slot
+/// over disk 6 reaches disk 0 at interval 2.
+#[test]
+fn figure6_slot_rotation() {
+    let f = VirtualFrame::new(8, 1);
+    let v = f.virtual_of(6, 0);
+    assert_eq!(f.physical(v, 1), 7);
+    assert_eq!(f.physical(v, 2), 0);
+    assert_eq!(f.next_alignment(v, 0, 0), Some(2));
+}

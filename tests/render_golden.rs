@@ -1,0 +1,96 @@
+//! Golden-output tests for the figure renderers: the exact text the
+//! examples print, pinned so placement or rendering drift is caught.
+
+use staggered_striping::core::render::{
+    cluster_schedule, format_cluster_schedule, layout_grid, occupancy_raster,
+};
+use staggered_striping::core::admission::{AdmissionPolicy, IntervalScheduler};
+use staggered_striping::core::schedule::DeliverySchedule;
+use staggered_striping::prelude::*;
+
+#[test]
+fn figure1_golden() {
+    let x = StripingLayout::new(ObjectId(0), 0, 3, 9, 9, 3);
+    let grid = layout_grid(&[x], &["X"], 3);
+    let expected = [
+        "             Disk 0 Disk 1 Disk 2 Disk 3 Disk 4 Disk 5 Disk 6 Disk 7 Disk 8",
+        "Subobject 0  X0.0   X0.1   X0.2",
+        "Subobject 1                       X1.0   X1.1   X1.2",
+        "Subobject 2                                            X2.0   X2.1   X2.2",
+        "",
+    ]
+    .join("\n");
+    assert_eq!(grid, expected, "\n{grid}");
+}
+
+#[test]
+fn figure4_golden_first_rows() {
+    let x = StripingLayout::new(ObjectId(0), 0, 3, 8, 8, 1);
+    let grid = layout_grid(&[x], &["X"], 3);
+    let expected = [
+        "             Disk 0 Disk 1 Disk 2 Disk 3 Disk 4 Disk 5 Disk 6 Disk 7",
+        "Subobject 0  X0.0   X0.1   X0.2",
+        "Subobject 1         X1.0   X1.1   X1.2",
+        "Subobject 2                X2.0   X2.1   X2.2",
+        "",
+    ]
+    .join("\n");
+    assert_eq!(grid, expected, "\n{grid}");
+}
+
+#[test]
+fn figure3_golden() {
+    let table = cluster_schedule(3, 6, &[("X", 1, 1, 3), ("Y", 2, 1, 7), ("Z", 0, 1, 7)]);
+    let text = format_cluster_schedule(&table);
+    let expected = [
+        "    CLUSTER 0     CLUSTER 1     CLUSTER 2",
+        "1   read Z(1)     read X(1)     read Y(1)",
+        "2   read Y(2)     read Z(2)     read X(2)",
+        "3   idle          read Y(3)     read Z(3)",
+        "4   read Z(4)     idle          read Y(4)",
+        "5   read Y(5)     read Z(5)     idle",
+        "6   idle          read Y(6)     read Z(6)",
+        "",
+    ]
+    .join("\n");
+    assert_eq!(text, expected, "\n{text}");
+}
+
+#[test]
+fn figure6_raster_golden() {
+    let mut sched = IntervalScheduler::new(VirtualFrame::new(8, 1));
+    for v in [0u32, 2, 3, 4, 5, 7] {
+        sched
+            .try_admit(0, ObjectId(100 + v), v, 1, 1000, AdmissionPolicy::Contiguous)
+            .unwrap();
+    }
+    let grant = sched
+        .try_admit(
+            0,
+            ObjectId(0),
+            0,
+            2,
+            10,
+            AdmissionPolicy::Fragmented {
+                max_buffer_fragments: 16,
+                max_delay_intervals: 8,
+            },
+        )
+        .unwrap();
+    let layout = StripingLayout::new(ObjectId(0), 0, 2, 10, 8, 1);
+    let ds = DeliverySchedule::from_grant(&grant, &layout, sched.frame());
+    let raster = occupancy_raster(&sched, 0, 3, &[('X', &ds)]);
+    // Fragment 1's slot starts over disk 1 and marches right; fragment
+    // 0's slot (over disk 6 at t=0) reaches disk 0 at t=2 — the Figure 6
+    // timeline.
+    let expected = [
+        "         0 1 2 3 4 5 6 7",
+        "t=0      # X # # # # # #",
+        "t=1      # # X # # # # #",
+        "t=2      X # # X # # # #",
+        "t=3      # X # # X # # #",
+        "",
+    ]
+    .join("\n");
+    assert_eq!(raster, expected, "\n{raster}");
+}
