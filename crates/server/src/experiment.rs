@@ -5,9 +5,9 @@ use crate::config::{MediaMix, Scheme, ServerConfig};
 use crate::metrics::RunReport;
 use crate::vdr::vdr_config_for;
 use crate::{run, MaterializeMode};
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use ss_core::admission::AdmissionPolicy;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// The station counts of the Figure 8 x-axis.
 pub const FIG8_STATIONS: [u32; 9] = [1, 2, 4, 8, 16, 32, 64, 128, 256];
@@ -20,25 +20,45 @@ pub const TABLE4_STATIONS: [u32; 4] = [16, 64, 128, 256];
 
 /// Runs a batch of configurations across `threads` worker threads,
 /// preserving input order in the output.
+///
+/// Lock-free: workers claim jobs through a single atomic cursor
+/// (`fetch_add`), keep `(index, report)` pairs thread-local, and the
+/// results are scattered into their input slots after the scope joins —
+/// no mutex on either the queue or the result vector, so high
+/// `--threads` counts never serialize on lock handoffs.
 pub fn run_batch(configs: Vec<ServerConfig>, threads: usize) -> Vec<RunReport> {
     assert!(threads >= 1);
     let n = configs.len();
-    let work: Vec<(usize, ServerConfig)> = configs.into_iter().enumerate().collect();
-    let queue = Mutex::new(work);
-    let results: Mutex<Vec<Option<RunReport>>> = Mutex::new(vec![None; n]);
-    crossbeam::scope(|s| {
-        for _ in 0..threads.min(n.max(1)) {
-            s.spawn(|_| loop {
-                let job = queue.lock().pop();
-                let Some((idx, cfg)) = job else { break };
-                let report = run(&cfg).expect("experiment config must be valid");
-                results.lock()[idx] = Some(report);
-            });
-        }
-    })
-    .expect("worker panicked");
+    let cursor = AtomicUsize::new(0);
+    let configs = &configs;
+    let mut per_worker: Vec<Vec<(usize, RunReport)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads.min(n.max(1)))
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                        if idx >= n {
+                            break;
+                        }
+                        let report =
+                            run(&configs[idx]).expect("experiment config must be valid");
+                        local.push((idx, report));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    let mut results: Vec<Option<RunReport>> = vec![None; n];
+    for (idx, report) in per_worker.drain(..).flatten() {
+        results[idx] = Some(report);
+    }
     results
-        .into_inner()
         .into_iter()
         .map(|r| r.expect("every job filled"))
         .collect()

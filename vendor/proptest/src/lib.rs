@@ -1,0 +1,499 @@
+//! Vendored minimal property-testing harness, API-compatible with the
+//! subset of `proptest` this workspace uses (offline build — the real
+//! crate cannot be downloaded in this container).
+//!
+//! Supported surface: the `proptest!` macro with an optional
+//! `#![proptest_config(ProptestConfig::with_cases(n))]` header and
+//! `pattern in strategy` arguments; integer-range strategies; tuple
+//! strategies; `prop_map` / `prop_flat_map` / `prop_filter_map` /
+//! `prop_filter`; `prop::collection::vec`; `proptest::bool::ANY`; `Just`;
+//! and the `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from the real crate: cases are generated from a fixed
+//! per-test seed (fully deterministic, overridable with `PROPTEST_SEED`),
+//! and failing inputs are reported but **not shrunk**.
+
+#![forbid(unsafe_code)]
+
+use core::fmt::Debug;
+use core::ops::{Range, RangeInclusive};
+
+// ---- deterministic generator (splitmix64) --------------------------------
+
+/// The RNG handed to strategies. SplitMix64 — small, fast, and good enough
+/// for test-case generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Rejection sampling on the top bits to avoid modulo bias.
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let x = self.next_u64();
+            if x < zone {
+                return x % bound;
+            }
+        }
+    }
+}
+
+// ---- strategies ----------------------------------------------------------
+
+/// A generator of values of type `Value`. Returns `None` when this draw is
+/// rejected (e.g. by `prop_filter_map`) and should be retried.
+pub trait Strategy {
+    type Value: Debug;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { base: self, f }
+    }
+
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { base: self, f }
+    }
+
+    fn prop_filter_map<O: Debug, F: Fn(Self::Value) -> Option<O>>(
+        self,
+        _whence: &'static str,
+        f: F,
+    ) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FilterMap { base: self, f }
+    }
+
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        _whence: &'static str,
+        f: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { base: self, f }
+    }
+}
+
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> Option<O> {
+        self.base.generate(rng).map(&self.f)
+    }
+}
+
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> Option<S2::Value> {
+        let inner = (self.f)(self.base.generate(rng)?);
+        inner.generate(rng)
+    }
+}
+
+pub struct FilterMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> Option<O>> Strategy for FilterMap<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> Option<O> {
+        (self.f)(self.base.generate(rng)?)
+    }
+}
+
+pub struct Filter<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        self.base.generate(rng).filter(|v| (self.f)(v))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                Some((self.start as i128 + rng.below(span) as i128) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                Some((lo as i128 + rng.below(span) as i128) as $t)
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                Some(($(self.$n.generate(rng)?,)+))
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H)
+}
+
+/// `proptest::bool::ANY`.
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> Option<bool> {
+            Some(rng.next_u64() & 1 == 1)
+        }
+    }
+}
+
+/// `prop::collection` — sized collections of strategy-generated elements.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use core::fmt::Debug;
+    use core::ops::{Range, RangeInclusive};
+
+    /// Element-count range for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            let n = self.size.lo + rng.below((self.size.hi - self.size.lo + 1) as u64) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Alias so `prop::collection::vec(..)` resolves under the prelude.
+pub mod prop {
+    pub use super::bool;
+    pub use super::collection;
+}
+
+// ---- runner --------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed — the case is discarded, not counted.
+    Reject(String),
+    /// A `prop_assert*!` failed.
+    Fail(String),
+}
+
+pub type TestCaseResult = core::result::Result<(), TestCaseError>;
+
+fn seed_for(name: &str) -> u64 {
+    if let Ok(s) = std::env::var("PROPTEST_SEED") {
+        if let Ok(n) = s.parse() {
+            return n;
+        }
+    }
+    // FNV-1a over the test name: stable across runs and platforms.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Drives one `proptest!` test: draws inputs from `strategy` and runs
+/// `body` until `config.cases` cases pass, a case fails, or the rejection
+/// budget is exhausted.
+pub fn run_cases<S: Strategy>(
+    config: &ProptestConfig,
+    name: &str,
+    strategy: S,
+    body: impl Fn(S::Value) -> TestCaseResult,
+) {
+    let mut rng = TestRng::new(seed_for(name));
+    let mut passed = 0u32;
+    let mut rejected = 0u64;
+    const MAX_REJECTS: u64 = 1 << 20;
+    while passed < config.cases {
+        let Some(input) = strategy.generate(&mut rng) else {
+            rejected += 1;
+            assert!(
+                rejected < MAX_REJECTS,
+                "proptest `{name}`: strategy rejected {rejected} draws — \
+                 too restrictive a filter?"
+            );
+            continue;
+        };
+        let desc = format!("{input:?}");
+        match body(input) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected < MAX_REJECTS,
+                    "proptest `{name}`: {rejected} rejected cases — \
+                     too restrictive a prop_assume!?"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest `{name}` failed after {passed} passing case(s)\n\
+                     input: {desc}\n{msg}\n\
+                     (vendored harness: inputs are not shrunk; \
+                     seed derives from the test name, override with PROPTEST_SEED)"
+                );
+            }
+        }
+    }
+}
+
+// ---- macros --------------------------------------------------------------
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            (<$crate::ProptestConfig as ::core::default::Default>::default());
+            $($rest)*
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr);) => {};
+    (($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let strategy = ($($strat,)+);
+            $crate::run_cases(
+                &config,
+                stringify!($name),
+                strategy,
+                |($($pat,)+)| {
+                    $body
+                    ::core::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::__proptest_fns! { ($cfg); $($rest)* }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => $crate::prop_assert!(
+                *l == *r,
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r
+            ),
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => $crate::prop_assert!(
+                *l == *r,
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n{}",
+                stringify!($left), stringify!($right), l, r, format!($($fmt)+)
+            ),
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => $crate::prop_assert!(
+                *l != *r,
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left), stringify!($right), l
+            ),
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => $crate::prop_assert!(
+                *l != *r,
+                "assertion failed: `{} != {}`\n  both: {:?}\n{}",
+                stringify!($left), stringify!($right), l, format!($($fmt)+)
+            ),
+        }
+    };
+}
+
+/// The prelude: everything a `use proptest::prelude::*;` test expects.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+}

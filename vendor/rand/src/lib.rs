@@ -1,0 +1,26 @@
+//! Vendored minimal stand-in for the `rand` crate (offline build).
+//!
+//! The workspace's only use of `rand` is implementing [`RngCore`] for its
+//! own deterministic generator (`ss_sim::rng::DeterministicRng`), so that
+//! is all this stub provides — same method set as rand 0.9.
+
+#![forbid(unsafe_code)]
+
+/// The core random-number-generator interface (rand 0.9 shape).
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dst: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dst: &mut [u8]) {
+        (**self).fill_bytes(dst)
+    }
+}

@@ -1,0 +1,423 @@
+//! Vendored minimal `#[derive(Serialize, Deserialize)]` for the stand-in
+//! serde crate (see `vendor/serde`). Parses the item by hand (no syn/quote
+//! — the container has no network to fetch them) and supports exactly what
+//! this workspace uses: non-generic named structs, tuple structs and enums
+//! with unit/struct/tuple variants, and **no** `#[serde(...)]` attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+// ---- a tiny item model ---------------------------------------------------
+
+struct Field {
+    name: String,
+    /// Token-text of the type, used only to spot `Option<..>` fields.
+    ty: String,
+}
+
+enum VariantKind {
+    Unit,
+    /// Struct variant with named fields.
+    Named(Vec<Field>),
+    /// Tuple variant with `n` unnamed fields.
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Body {
+    NamedStruct(Vec<Field>),
+    /// Tuple struct with `n` fields (n = 1 is a newtype).
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+// ---- parsing -------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kw = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, got {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde_derive does not support generic types ({name})");
+    }
+    let body = match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::UnitStruct,
+            other => panic!("unsupported struct body for {name}: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unsupported enum body for {name}: {other:?}"),
+        },
+        other => panic!("expected struct or enum, got `{other}`"),
+    };
+    Item { name, body }
+}
+
+/// Advances past `#[...]` attributes and a `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + the bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `name: Type, ...` (with attributes/visibility per field).
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected field name, got {other}"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{name}`, got {other}"),
+        }
+        let mut ty = String::new();
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                _ => {}
+            }
+            if !ty.is_empty() {
+                ty.push(' ');
+            }
+            ty.push_str(&tokens[i].to_string());
+            i += 1;
+        }
+        fields.push(Field { name, ty });
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct/variant body `(TypeA, TypeB, ...)`.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut fields = 0usize;
+    let mut saw_any = false;
+    for t in stream {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => fields += 1,
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            _ => saw_any = true,
+        }
+    }
+    if saw_any {
+        fields + 1
+    } else {
+        0
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name, got {other}"),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip a possible `= discriminant` and the trailing comma.
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn is_option(ty: &str) -> bool {
+    ty.starts_with("Option ")
+        || ty == "Option"
+        || ty.starts_with("core :: option :: Option")
+        || ty.starts_with("std :: option :: Option")
+}
+
+// ---- code generation -----------------------------------------------------
+
+fn named_fields_to_value(fields: &[Field], prefix: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(\"{n}\".to_string(), ::serde::Serialize::to_value(&{prefix}{n}))",
+                n = f.name
+            )
+        })
+        .collect();
+    format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+}
+
+fn named_fields_from_map(fields: &[Field], ty: &str, map_expr: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            if is_option(&f.ty) {
+                // Missing object field => None (matches real serde).
+                format!(
+                    "{n}: match ::serde::field({m}, \"{n}\") {{ \
+                         Some(v) => ::serde::Deserialize::from_value(v)?, \
+                         None => None }}",
+                    n = f.name,
+                    m = map_expr
+                )
+            } else {
+                format!(
+                    "{n}: ::serde::Deserialize::from_value(\
+                         ::serde::req_field({m}, \"{n}\", \"{ty}\")?)?",
+                    n = f.name,
+                    m = map_expr
+                )
+            }
+        })
+        .collect();
+    inits.join(", ")
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NamedStruct(fields) => named_fields_to_value(fields, "self."),
+        Body::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", elems.join(", "))
+        }
+        Body::UnitStruct => "::serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string())"
+                        ),
+                        VariantKind::Named(fields) => {
+                            let binds: Vec<&str> =
+                                fields.iter().map(|f| f.name.as_str()).collect();
+                            let inner = named_fields_to_value(fields, "");
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(vec![\
+                                     (\"{vn}\".to_string(), {inner})])",
+                                binds = binds.join(", ")
+                            )
+                        }
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => ::serde::Value::Map(vec![\
+                                 (\"{vn}\".to_string(), ::serde::Serialize::to_value(f0))])"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> =
+                                (0..*n).map(|i| format!("f{i}")).collect();
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({binds}) => ::serde::Value::Map(vec![\
+                                     (\"{vn}\".to_string(), ::serde::Value::Seq(\
+                                     vec![{elems}]))])",
+                                binds = binds.join(", "),
+                                elems = elems.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{ \
+             fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NamedStruct(fields) => format!(
+            "let m = v.as_map(\"{name}\")?; Ok({name} {{ {} }})",
+            named_fields_from_map(fields, name, "m")
+        ),
+        Body::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Body::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(\
+                             ::serde::seq_elem(s, {i}, \"{name}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let s = v.as_seq(\"{name}\")?; Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Body::UnitStruct => format!("let _ = v; Ok({name})"),
+        Body::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{vn}\" => Ok({name}::{vn})", vn = v.name))
+                .collect();
+            let map_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Named(fields) => Some(format!(
+                            "\"{vn}\" => {{ \
+                                 let m = inner.as_map(\"{name}::{vn}\")?; \
+                                 Ok({name}::{vn} {{ {} }}) }}",
+                            named_fields_from_map(fields, &format!("{name}::{vn}"), "m")
+                        )),
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vn}\" => Ok({name}::{vn}(\
+                                 ::serde::Deserialize::from_value(inner)?))"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::from_value(\
+                                         ::serde::seq_elem(s, {i}, \"{name}::{vn}\")?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{ \
+                                     let s = inner.as_seq(\"{name}::{vn}\")?; \
+                                     Ok({name}::{vn}({})) }}",
+                                elems.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{ \
+                     ::serde::Value::Str(s) => match s.as_str() {{ \
+                         {unit_arms}, \
+                         other => Err(::serde::Error(format!(\
+                             \"unknown variant `{{other}}` for {name}\"))) }}, \
+                     ::serde::Value::Map(entries) if entries.len() == 1 => {{ \
+                         let (tag, inner) = (&entries[0].0, &entries[0].1); \
+                         match tag.as_str() {{ \
+                             {map_arms}, \
+                             other => Err(::serde::Error(format!(\
+                                 \"unknown variant `{{other}}` for {name}\"))) }} }}, \
+                     other => Err(::serde::Error(format!(\
+                         \"expected variant of {name}, got {{other:?}}\"))) }}",
+                unit_arms = if unit_arms.is_empty() {
+                    "_ if false => unreachable!()".to_string()
+                } else {
+                    unit_arms.join(", ")
+                },
+                map_arms = if map_arms.is_empty() {
+                    "_ if false => unreachable!()".to_string()
+                } else {
+                    map_arms.join(", ")
+                },
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{ \
+             fn from_value(v: &::serde::Value) -> \
+                 ::core::result::Result<Self, ::serde::Error> {{ {body} }} }}"
+    )
+}
