@@ -82,6 +82,32 @@ fn bench_admission(c: &mut Criterion) {
         )
     });
 
+    g.bench_function("fragmented_reject_saturated", |b| {
+        // Every virtual disk busy beyond the delay window: the sorted
+        // free-horizon index rejects before any candidate enumeration.
+        // This is the hot no-free-slot case at 1000 disks.
+        let mut s = IntervalScheduler::new(VirtualFrame::new(1000, 5));
+        for v in 0..1000 {
+            s.set_free_from(v, 100);
+        }
+        b.iter(|| {
+            black_box(
+                s.try_admit(
+                    0,
+                    ObjectId(996),
+                    0,
+                    5,
+                    3000,
+                    AdmissionPolicy::Fragmented {
+                        max_buffer_fragments: 64,
+                        max_delay_intervals: 16,
+                    },
+                )
+                .is_err(),
+            )
+        })
+    });
+
     g.bench_function("free_count_scan", |b| {
         let s = half_busy();
         b.iter(|| black_box(s.free_count(0)))

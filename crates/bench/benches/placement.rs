@@ -6,7 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use ss_core::media::{MediaType, ObjectSpec};
-use ss_core::placement::{PlacementMap, StripingConfig, StripingLayout};
+use ss_core::placement::{PlacementBackend, PlacementMap, StripingConfig, StripingLayout};
 use ss_types::ObjectId;
 use std::hint::black_box;
 
@@ -56,6 +56,33 @@ fn bench_placement(c: &mut Criterion) {
             BatchSize::SmallInput,
         )
     });
+
+    // Full-farm setup: place 200 Table-3-sized objects on a 1000-disk
+    // farm, lazy (counter) engine vs. materialized (cylinder-range)
+    // engine. The lazy engine is the server default; this is the kernel
+    // behind the ≥5× setup speedup.
+    for backend in [PlacementBackend::Lazy, PlacementBackend::Materialized] {
+        let name = match backend {
+            PlacementBackend::Lazy => "farm_setup_200_objects_lazy",
+            PlacementBackend::Materialized => "farm_setup_200_objects_materialized",
+        };
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    PlacementMap::with_backend(StripingConfig::table3(), 3000, 1, backend)
+                        .expect("map")
+                },
+                |mut map| {
+                    for i in 0..200u32 {
+                        let spec = ObjectSpec::new(ObjectId(i), MediaType::table3(), 10 + (i % 7));
+                        map.place(&spec).expect("fits");
+                    }
+                    black_box(map.resident_count())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
 
     g.finish();
 }

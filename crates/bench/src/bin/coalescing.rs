@@ -13,9 +13,9 @@ use ss_bench::HarnessOpts;
 use ss_core::admission::{AdmissionPolicy, IntervalScheduler};
 use ss_core::algorithms::{CoalesceRequest, SimpleCombined, WriteThread};
 use ss_core::frame::VirtualFrame;
+use ss_core::placement::StripingLayout;
 use ss_core::render::occupancy_raster;
 use ss_core::schedule::DeliverySchedule;
-use ss_core::placement::StripingLayout;
 use ss_types::ObjectId;
 
 fn main() {
@@ -27,7 +27,14 @@ fn main() {
     // Virtual disks 0, 2, 3, 4, 5, 7 busy with other long displays.
     for v in [0u32, 2, 3, 4, 5, 7] {
         sched
-            .try_admit(0, ObjectId(100 + v), v, 1, 1000, AdmissionPolicy::Contiguous)
+            .try_admit(
+                0,
+                ObjectId(100 + v),
+                v,
+                1,
+                1000,
+                AdmissionPolicy::Contiguous,
+            )
             .expect("background display");
     }
     let grant = sched
@@ -70,8 +77,10 @@ fn main() {
             None => "-".to_string(),
             Some(a) => format!(
                 "read {} out {}",
-                a.read.map_or("-".into(), |f| format!("X{}.{}", f.sub, f.frag)),
-                a.output.map_or("-".into(), |f| format!("X{}.{}", f.sub, f.frag)),
+                a.read
+                    .map_or("-".into(), |f| format!("X{}.{}", f.sub, f.frag)),
+                a.output
+                    .map_or("-".into(), |f| format!("X{}.{}", f.sub, f.frag)),
             ),
         };
         report.push_str(&format!("{t:>8} | {:<24} | {}\n", fmt(a0), fmt(a1)));

@@ -34,9 +34,12 @@ fn main() {
     // Print the three sub-figures as series, like the paper's graphs.
     for (fig, &mean) in ["8a", "8b", "8c"].iter().zip(FIG8_MEANS.iter()) {
         println!("Figure {fig}: geometric mean {mean} (displays/hour)");
-        println!("{:>9} {:>12} {:>12} {:>12}", "stations", "striping", "vdr", "ratio");
+        println!(
+            "{:>9} {:>12} {:>12} {:>12}",
+            "stations", "striping", "vdr", "ratio"
+        );
         for &n in &FIG8_STATIONS {
-            let tag = format!("geom({mean:?})");
+            let tag = ss_workload::Popularity::TruncatedGeometric { mean }.tag();
             let s = reports
                 .iter()
                 .find(|r| r.scheme == "striping" && r.stations == n && r.popularity == tag)

@@ -1,0 +1,273 @@
+//! Engine performance baseline: times the simulator's hot paths and
+//! writes a machine-readable `BENCH_engine.json` for before/after
+//! comparisons of engine optimizations.
+//!
+//! Four kernels, covering the layers the perf-sensitive sweeps exercise:
+//!
+//! 1. **setup** — construct the Table-3 farm (D = 1000) and place
+//!    most-popular-first until the farm is full (the preload path every
+//!    paper-scale run pays before its first tick).
+//! 2. **admission** — the no-free-slot fragmented-admission path on a
+//!    saturated 1000-disk farm: 256 waiters retried per interval is the
+//!    Figure-8 steady state at 256 stations.
+//! 3. **tick** — end-to-end interval ticks of the small-farm striping
+//!    server (completion scan + admissions + issue + coalesce + fetch
+//!    pump).
+//! 4. **grid** — wall-clock of the small-scale Figure-8 analogue grid
+//!    through the multi-threaded batch runner.
+//!
+//! Run from the repo root (`cargo run --release -p ss-bench --bin
+//! perf_baseline [-- --quick]`); the JSON artifact is written to
+//! `BENCH_engine.json` in the current directory. `--quick` shrinks the
+//! admission/grid workloads for CI smoke runs; the metric names and
+//! schema are identical in both modes.
+
+use serde::Serialize;
+use ss_bench::HarnessOpts;
+use ss_core::admission::{AdmissionPolicy, IntervalScheduler};
+use ss_core::frame::VirtualFrame;
+use ss_core::placement::{PlacementMap, StripingConfig};
+use ss_server::experiment::{fig8_configs, run_batch};
+use ss_server::{ServerConfig, StripingServer};
+use ss_types::ObjectId;
+use std::time::Instant;
+
+/// Farm-construction kernel result.
+#[derive(Debug, Serialize)]
+struct SetupMetrics {
+    disks: u32,
+    objects_placed: u64,
+    /// Best-of-reps seconds for one full-farm construction.
+    seconds: f64,
+    objects_per_sec: f64,
+}
+
+/// Saturated fragmented-admission kernel result.
+#[derive(Debug, Serialize)]
+struct AdmissionMetrics {
+    disks: u32,
+    waiters: u32,
+    rounds: u32,
+    attempts: u64,
+    seconds: f64,
+    attempts_per_sec: f64,
+}
+
+/// End-to-end tick kernel result.
+#[derive(Debug, Serialize)]
+struct TickMetrics {
+    stations: u32,
+    ticks: u64,
+    seconds: f64,
+    ticks_per_sec: f64,
+}
+
+/// Small Figure-8 grid wall-clock result.
+#[derive(Debug, Serialize)]
+struct GridMetrics {
+    configs: u64,
+    threads: u64,
+    seconds: f64,
+}
+
+/// The full artifact (`BENCH_engine.json`).
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    mode: String,
+    seed: u64,
+    setup: SetupMetrics,
+    admission: AdmissionMetrics,
+    tick: TickMetrics,
+    grid: GridMetrics,
+    /// Peak resident set (VmHWM) of this process, in kilobytes.
+    peak_rss_kb: u64,
+}
+
+/// Kernel 1: build the paper farm and preload until full.
+fn bench_setup(reps: u32) -> SetupMetrics {
+    let config = ServerConfig::paper_striping(1, 20.0, 1994);
+    let catalog = config.catalog();
+    let striping = StripingConfig {
+        disks: config.disks,
+        stride: 5,
+        fragment: config.fragment_size(),
+        b_disk: config.b_disk(),
+    };
+    let mut best = f64::INFINITY;
+    let mut placed = 0u64;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let mut map = PlacementMap::new(
+            striping.clone(),
+            config.disk.cylinders,
+            config.cylinders_per_fragment,
+        )
+        .expect("table-3 placement map");
+        placed = 0;
+        for spec in catalog.iter() {
+            if map.place(spec).is_err() {
+                break; // farm full
+            }
+            placed += 1;
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        std::hint::black_box(map.resident_count());
+        best = best.min(dt);
+    }
+    SetupMetrics {
+        disks: config.disks,
+        objects_placed: placed,
+        seconds: best,
+        objects_per_sec: placed as f64 / best,
+    }
+}
+
+/// Kernel 2: fragmented admission attempts against a farm with no free
+/// slot anywhere in the delay window (every attempt must be rejected).
+fn bench_admission(waiters: u32, rounds: u32) -> AdmissionMetrics {
+    let disks = 1000u32;
+    let mut s = IntervalScheduler::new(VirtualFrame::new(disks, 5));
+    // Saturate: 200 contiguous degree-5 displays cover all 1000 disks.
+    for i in 0..disks / 5 {
+        s.try_admit(0, ObjectId(i), i * 5, 5, 3000, AdmissionPolicy::Contiguous)
+            .expect("saturating admission");
+    }
+    let policy = AdmissionPolicy::Fragmented {
+        max_buffer_fragments: 64,
+        max_delay_intervals: 16,
+    };
+    let attempts = u64::from(waiters) * u64::from(rounds);
+    let t0 = Instant::now();
+    let mut rejects = 0u64;
+    for round in 0..rounds {
+        for w in 0..waiters {
+            let start = (w * 7 + round) % disks;
+            if s.try_admit(1, ObjectId(disks / 5 + w), start, 5, 3000, policy)
+                .is_err()
+            {
+                rejects += 1;
+            }
+        }
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    assert_eq!(rejects, attempts, "farm must stay saturated");
+    AdmissionMetrics {
+        disks,
+        waiters,
+        rounds,
+        attempts,
+        seconds: dt,
+        attempts_per_sec: attempts as f64 / dt,
+    }
+}
+
+/// Kernel 3: end-to-end interval ticks of the small striping server.
+fn bench_tick(stations: u32, seed: u64) -> TickMetrics {
+    let mut cfg = ServerConfig::small_test(stations, seed);
+    cfg.verify_delivery = false; // time the engine, not the checker
+    let mut server = StripingServer::new(cfg).expect("small config");
+    let mut ticks = 0u64;
+    let t0 = Instant::now();
+    while server.step() {
+        ticks += 1;
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    TickMetrics {
+        stations,
+        ticks,
+        seconds: dt,
+        ticks_per_sec: ticks as f64 / dt,
+    }
+}
+
+/// Kernel 4: the quick Figure-8 grid (paper-scale D = 1000 cells with
+/// shortened measurement windows), wall-clock through the batch runner.
+fn bench_grid(quick: bool, seed: u64, threads: usize) -> GridMetrics {
+    let mut configs = if quick {
+        // One distribution, three loads spanning idle → saturated.
+        [16u32, 64, 256]
+            .into_iter()
+            .flat_map(|n| {
+                [
+                    ServerConfig::paper_striping(n, 20.0, seed),
+                    ServerConfig::paper_vdr(n, 20.0, seed),
+                ]
+            })
+            .collect::<Vec<_>>()
+    } else {
+        fig8_configs(seed)
+    };
+    for c in &mut configs {
+        c.warmup = ss_types::SimDuration::from_secs(1800);
+        c.measure = ss_types::SimDuration::from_secs(3600);
+    }
+    let n = configs.len() as u64;
+    let t0 = Instant::now();
+    let reports = run_batch(configs, threads);
+    let dt = t0.elapsed().as_secs_f64();
+    assert_eq!(reports.len() as u64, n);
+    std::hint::black_box(&reports);
+    GridMetrics {
+        configs: n,
+        threads: threads as u64,
+        seconds: dt,
+    }
+}
+
+/// Peak resident set size of this process (VmHWM), in kB.
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let mode = if opts.quick { "quick" } else { "full" };
+    eprintln!("perf_baseline ({mode} mode, seed {})", opts.seed);
+
+    let setup = bench_setup(if opts.quick { 1 } else { 3 });
+    eprintln!(
+        "setup:     {} objects on {} disks in {:.3} s ({:.0} obj/s)",
+        setup.objects_placed, setup.disks, setup.seconds, setup.objects_per_sec
+    );
+
+    let (waiters, rounds) = if opts.quick { (256, 20) } else { (256, 200) };
+    let admission = bench_admission(waiters, rounds);
+    eprintln!(
+        "admission: {} saturated attempts in {:.3} s ({:.0} attempts/s)",
+        admission.attempts, admission.seconds, admission.attempts_per_sec
+    );
+
+    let tick = bench_tick(16, opts.seed);
+    eprintln!(
+        "tick:      {} ticks at 16 stations in {:.3} s ({:.0} ticks/s)",
+        tick.ticks, tick.seconds, tick.ticks_per_sec
+    );
+
+    let grid = bench_grid(opts.quick, opts.seed, opts.threads);
+    eprintln!(
+        "grid:      {} configs on {} threads in {:.3} s",
+        grid.configs, grid.threads, grid.seconds
+    );
+
+    let report = BenchReport {
+        mode: mode.to_string(),
+        seed: opts.seed,
+        setup,
+        admission,
+        tick,
+        grid,
+        peak_rss_kb: peak_rss_kb(),
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write("BENCH_engine.json", format!("{json}\n")).expect("write BENCH_engine.json");
+    println!("{json}");
+    eprintln!("wrote BENCH_engine.json");
+}

@@ -18,6 +18,7 @@
 use crate::frame::VirtualFrame;
 use serde::{Deserialize, Serialize};
 use ss_types::{Error, ObjectId, Result};
+use std::cell::RefCell;
 
 /// How aggressively admission may assemble a display from free disks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -90,6 +91,13 @@ pub struct IntervalScheduler {
     /// `free_from[v]`: the first interval at which virtual disk `v` has no
     /// remaining committed reads.
     free_from: Vec<u64>,
+    /// Lazily rebuilt ascending copy of `free_from` (`None` = stale).
+    /// Turns `free_count` — called on every rejection and every
+    /// utilization sample — into one `O(log D)` partition-point after an
+    /// `O(D log D)` rebuild per mutation batch, instead of an `O(D)` scan
+    /// per call; at 1000 disks with hundreds of waiters retrying per
+    /// interval that is the admission hot path.
+    sorted: RefCell<Option<Vec<u64>>>,
 }
 
 impl IntervalScheduler {
@@ -98,6 +106,7 @@ impl IntervalScheduler {
         IntervalScheduler {
             free_from: vec![0; frame.disks() as usize],
             frame,
+            sorted: RefCell::new(None),
         }
     }
 
@@ -106,9 +115,26 @@ impl IntervalScheduler {
         &self.frame
     }
 
+    /// Marks the sorted index stale after a `free_from` mutation.
+    fn invalidate_index(&mut self) {
+        *self.sorted.get_mut() = None;
+    }
+
+    /// Runs `f` over the ascending free-horizon index, rebuilding it
+    /// first if stale.
+    fn with_sorted<R>(&self, f: impl FnOnce(&[u64]) -> R) -> R {
+        let mut slot = self.sorted.borrow_mut();
+        let sorted = slot.get_or_insert_with(|| {
+            let mut v = self.free_from.clone();
+            v.sort_unstable();
+            v
+        });
+        f(sorted)
+    }
+
     /// Number of virtual disks free at interval `t`.
     pub fn free_count(&self, t: u64) -> u32 {
-        self.free_from.iter().filter(|&&f| f <= t).count() as u32
+        self.with_sorted(|s| s.partition_point(|&f| f <= t) as u32)
     }
 
     /// True iff virtual disk `v` is free at interval `t`.
@@ -126,6 +152,7 @@ impl IntervalScheduler {
     /// extending the taker) and by tests constructing occupancy patterns.
     pub fn set_free_from(&mut self, v: u32, free_from: u64) {
         self.free_from[v as usize] = free_from;
+        self.invalidate_index();
     }
 
     /// Attempts to admit a display of `object` at interval `now`: first
@@ -165,6 +192,7 @@ impl IntervalScheduler {
             debug_assert!(self.free_from[v as usize] <= grant.read_start[idx]);
             self.free_from[v as usize] = end;
         }
+        self.invalidate_index();
         Ok(grant)
     }
 
@@ -177,15 +205,14 @@ impl IntervalScheduler {
         subobjects: u32,
     ) -> Result<AdmissionGrant> {
         let d = self.frame.disks();
-        let mut vs = Vec::with_capacity(degree as usize);
+        // Count first, allocate only on success: at saturation this path
+        // runs once per queued waiter per interval.
         let mut free = 0u32;
         for i in 0..degree {
-            let p = (start_disk + i) % d;
-            let v = self.frame.virtual_of(p, now);
+            let v = self.frame.virtual_of((start_disk + i) % d, now);
             if self.is_free(v, now) {
                 free += 1;
             }
-            vs.push(v);
         }
         if free < degree {
             return Err(Error::AdmissionRejected {
@@ -194,6 +221,9 @@ impl IntervalScheduler {
                 free,
             });
         }
+        let vs = (0..degree)
+            .map(|i| self.frame.virtual_of((start_disk + i) % d, now))
+            .collect();
         Ok(AdmissionGrant {
             object,
             read_start: vec![now; degree as usize],
@@ -219,16 +249,32 @@ impl IntervalScheduler {
         max_delay: u64,
     ) -> Result<AdmissionGrant> {
         let d = self.frame.disks();
+        let k = self.frame.stride();
         // Every feasible read start satisfies T_i <= T_0 <= now + max_delay,
         // so all candidates live inside the delay window: enumerate it
         // directly — O(M x max_delay) instead of scanning all D disks with
         // a modular solve each (the hot path of mixed-media admission).
         let window_end = now + max_delay;
+        // Cheap necessary condition first: every fragment needs its own
+        // virtual disk that frees no later than its read start, so fewer
+        // than `degree` disks free anywhere in the window means every
+        // candidate assignment fails. All rejection paths below produce
+        // this exact error value, so the shortcut is observably identical
+        // — and it makes the saturated-farm retry storm O(log D) per
+        // attempt instead of O(M × max_delay).
+        let available = self.with_sorted(|s| s.partition_point(|&f| f <= window_end) as u32);
+        if available < degree {
+            return Err(Error::AdmissionRejected {
+                object,
+                needed: degree,
+                free: self.free_count(now),
+            });
+        }
         let mut arrivals: Vec<Vec<(u64, u32)>> = Vec::with_capacity(degree as usize);
         for i in 0..degree {
             let p = (start_disk + i) % d;
             let mut cands: Vec<(u64, u32)> = Vec::new();
-            if self.frame.stride() == 0 {
+            if k == 0 {
                 // Stationary frame: only the disk itself, from the moment
                 // it frees.
                 let t = now.max(self.free_from[p as usize]);
@@ -236,13 +282,18 @@ impl IntervalScheduler {
                     cands.push((t, p));
                 }
             } else {
+                // The virtual disk over `p` recedes by the stride each
+                // interval (`virtual_of(p, t+1) = virtual_of(p, t) - k`),
+                // so step it incrementally instead of paying the modular
+                // solve per interval.
+                let mut v = self.frame.virtual_of(p, now);
                 for t in now..=window_end {
-                    let v = self.frame.virtual_of(p, t);
                     // The disk must be done with prior commitments before
                     // it starts reading for us.
                     if self.free_from[v as usize] <= t {
                         cands.push((t, v));
                     }
+                    v = if v >= k { v - k } else { v + d - k };
                 }
             }
             if cands.is_empty() {
@@ -256,11 +307,16 @@ impl IntervalScheduler {
         }
         // Candidate delivery starts are the arrival times available for
         // fragment 0; try them in increasing order (they are generated
-        // sorted by t).
-        let t0_candidates: &[(u64, u32)] = &arrivals[0];
-        'outer: for &(t0, z0) in t0_candidates {
-            let mut chosen = vec![(t0, z0)];
-            let mut used = vec![false; d as usize];
+        // sorted by t). The `used` mask and partial assignment are reused
+        // across candidates instead of reallocated per `t0`.
+        let mut used = vec![false; d as usize];
+        let mut chosen: Vec<(u64, u32)> = Vec::with_capacity(degree as usize);
+        'outer: for &(t0, z0) in &arrivals[0] {
+            for &(_, v) in &chosen {
+                used[v as usize] = false;
+            }
+            chosen.clear();
+            chosen.push((t0, z0));
             used[z0 as usize] = true;
             let mut buffer = 0u64;
             for frag_arrivals in arrivals.iter().skip(1) {
@@ -282,8 +338,11 @@ impl IntervalScheduler {
                 continue;
             }
             let (read_start, virtual_disks): (Vec<u64>, Vec<u32>) =
-                chosen.into_iter().unzip();
-            let end_interval = read_start.iter().map(|&t| t + u64::from(subobjects)).max()
+                std::mem::take(&mut chosen).into_iter().unzip();
+            let end_interval = read_start
+                .iter()
+                .map(|&t| t + u64::from(subobjects))
+                .max()
                 .expect("degree >= 1");
             return Ok(AdmissionGrant {
                 object,
@@ -370,10 +429,10 @@ mod tests {
         // two intervals; delivery starts at interval 2.
         let mut s = sched(8, 1);
         for v in 2..=5 {
-            s.free_from[v as usize] = 1000; // long-running other displays
+            s.set_free_from(v, 1000); // long-running other displays
         }
-        s.free_from[0] = 1000;
-        s.free_from[7] = 1000;
+        s.set_free_from(0, 1000);
+        s.set_free_from(7, 1000);
         let g = s
             .try_admit(
                 0,
@@ -395,7 +454,7 @@ mod tests {
         // Contiguous admission would have been rejected outright.
         let mut s2 = sched(8, 1);
         for v in [0, 2, 3, 4, 5, 7] {
-            s2.free_from[v as usize] = 1000;
+            s2.set_free_from(v, 1000);
         }
         assert!(s2
             .try_admit(0, ObjectId(0), 0, 2, 10, AdmissionPolicy::Contiguous)
@@ -406,7 +465,7 @@ mod tests {
     fn fragmented_respects_buffer_cap() {
         let mut s = sched(8, 1);
         for v in [0, 2, 3, 4, 5, 7] {
-            s.free_from[v as usize] = 1000;
+            s.set_free_from(v, 1000);
         }
         // The Figure 6 grant needs 2 buffers; cap at 1 and it must fail.
         let err = s
@@ -456,10 +515,10 @@ mod tests {
         // All disks blocked for a long time except v=6 (free) and v=1
         // (free from interval 3).
         for v in 0..8 {
-            s.free_from[v as usize] = 1000;
+            s.set_free_from(v, 1000);
         }
-        s.free_from[6] = 0;
-        s.free_from[1] = 3;
+        s.set_free_from(6, 0);
+        s.set_free_from(1, 3);
         // Object M=2 at disk 0. Fragment 0 (disk 0): v=6 aligns at t=2
         // (free) or v=1 at t=7 (first alignment after it frees at 3).
         // Fragment 1 (disk 1): v=6 at t=3, v=1 at t=8. Taking t0=2 leaves
@@ -491,10 +550,10 @@ mod tests {
         // — a 2-buffer plan delivering at interval 5.
         let mut s = sched(8, 1);
         for v in 0..8 {
-            s.free_from[v as usize] = 1000;
+            s.set_free_from(v, 1000);
         }
-        s.free_from[6] = 0;
-        s.free_from[1] = 3;
+        s.set_free_from(6, 0);
+        s.set_free_from(1, 3);
         let g = s
             .try_admit(
                 0,

@@ -211,8 +211,8 @@ impl WriteThread {
         if let Some(req) = self.pending.take() {
             self.skip_write = req.skip_write;
             // backlog = w_offset − r_offset (buffered fragments to drain).
-            self.backlog = u32::try_from(i64::from(self.w_offset) - self.r_offset)
-                .expect("negative backlog");
+            self.backlog =
+                u32::try_from(i64::from(self.w_offset) - self.r_offset).expect("negative backlog");
             self.r_offset += i64::from(req.new_frag) - i64::from(self.frag);
             if self.backlog == 0 {
                 // Nothing buffered (the paper's algorithm assumes backlog
@@ -321,14 +321,8 @@ mod tests {
     #[test]
     fn write_thread_without_coalesce_matches_simple() {
         let mut wt = WriteThread::new(5, 1, 2);
-        let outs: Vec<Option<FragmentRef>> = std::iter::from_fn(|| {
-            if wt.is_done() {
-                None
-            } else {
-                Some(wt.tick())
-            }
-        })
-        .collect();
+        let outs: Vec<Option<FragmentRef>> =
+            std::iter::from_fn(|| if wt.is_done() { None } else { Some(wt.tick()) }).collect();
         assert_eq!(outs.len(), 7);
         assert_eq!(outs[0], None);
         assert_eq!(outs[1], None);

@@ -208,8 +208,8 @@ mod tests {
             for v in 0..d {
                 for p in 0..d {
                     for t0 in [0u64, 3] {
-                        let brute = (t0..t0 + 2 * u64::from(d) + 2)
-                            .find(|&t| f.physical(v, t) == p);
+                        let brute =
+                            (t0..t0 + 2 * u64::from(d) + 2).find(|&t| f.physical(v, t) == p);
                         assert_eq!(
                             f.next_alignment(v, p, t0),
                             brute,

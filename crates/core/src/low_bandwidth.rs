@@ -186,11 +186,7 @@ impl GroupSchedule {
                     // Object `other` has data buffered once it has been
                     // read at least once: subobject t if other < g
                     // (read earlier this interval), else t−1.
-                    let sub = if other < g {
-                        Some(t)
-                    } else {
-                        t.checked_sub(1)
-                    };
+                    let sub = if other < g { Some(t) } else { t.checked_sub(1) };
                     if let Some(sub) = sub {
                         acts.push(SlotAction::TransmitBuffered {
                             obj: other as u8,
@@ -215,10 +211,7 @@ impl GroupSchedule {
                 slices.push(acts);
             }
         }
-        GroupSchedule {
-            group,
-            slices,
-        }
+        GroupSchedule { group, slices }
     }
 
     /// Verifies that, once an object starts transmitting, it transmits in

@@ -162,10 +162,7 @@ impl ObjectCatalog {
 
     /// Total database size.
     pub fn total_size(&self, b_disk: Bandwidth, fragment: Bytes) -> Bytes {
-        self.objects
-            .iter()
-            .map(|o| o.size(b_disk, fragment))
-            .sum()
+        self.objects.iter().map(|o| o.size(b_disk, fragment)).sum()
     }
 }
 
@@ -248,10 +245,7 @@ mod tests {
     fn catalog_lookup() {
         let cat = ObjectCatalog::homogeneous(3, MediaType::table3(), 5);
         assert!(cat.get(ObjectId(2)).is_ok());
-        assert_eq!(
-            cat.get(ObjectId(3)),
-            Err(Error::UnknownObject(ObjectId(3)))
-        );
+        assert_eq!(cat.get(ObjectId(3)), Err(Error::UnknownObject(ObjectId(3))));
         assert!(!cat.is_empty());
         assert_eq!(cat.iter().count(), 3);
     }

@@ -118,7 +118,10 @@ impl StripingLayout {
         disks: u32,
         stride: u32,
     ) -> Self {
-        assert!(degree >= 1 && degree <= disks, "degree {degree} vs {disks} disks");
+        assert!(
+            degree >= 1 && degree <= disks,
+            "degree {degree} vs {disks} disks"
+        );
         assert!(start_disk < disks);
         StripingLayout {
             object,
@@ -136,9 +139,10 @@ impl StripingLayout {
         debug_assert!(sub < self.subobjects, "subobject {sub} out of range");
         debug_assert!(frag < self.degree, "fragment {frag} out of range");
         let d = u64::from(self.disks);
-        let pos =
-            (u64::from(self.start_disk) + u64::from(sub) * u64::from(self.stride) + u64::from(frag))
-                % d;
+        let pos = (u64::from(self.start_disk)
+            + u64::from(sub) * u64::from(self.stride)
+            + u64::from(frag))
+            % d;
         DiskId(pos as u32)
     }
 
@@ -232,13 +236,74 @@ impl PlacedObject {
     }
 }
 
+/// Which capacity-accounting backend a [`PlacementMap`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementBackend {
+    /// Per-disk first-fit [`CylinderAllocator`]s plus explicit
+    /// [`PlacedObject`] cylinder ranges for every resident object. The
+    /// reference engine: tests and diagnostics that need real cylinder
+    /// addresses use it.
+    Materialized,
+    /// Closed-form accounting: per-disk *used-cylinder counters* only,
+    /// derived from the layout arithmetic. Placement success/failure,
+    /// per-disk usage, and skew are identical to the materialized engine
+    /// (a [`CylinderAllocator`] allocation succeeds iff enough cylinders
+    /// are free, regardless of fragmentation), but no ranges are stored,
+    /// and placements whose fragment-count profile is rotation-uniform
+    /// commit in O(1) instead of O(D).
+    Lazy,
+}
+
+/// The per-`(degree, subobjects)` fragment-count profile the lazy backend
+/// caches: counts for a start disk of 0 (other starts are rotations).
+#[derive(Debug, Clone)]
+struct Profile {
+    /// `fragments_per_disk()` of the start-0 layout.
+    counts: Vec<u32>,
+    /// `Some(c)` iff every disk receives exactly `c` fragments — then
+    /// placement is rotation-invariant and commits in O(1).
+    uniform: Option<u32>,
+}
+
+/// The lazy backend's state: counters instead of allocators.
+#[derive(Debug, Clone)]
+struct LazyState {
+    /// Used cylinders contributed equally to *every* disk by
+    /// uniform-profile placements.
+    uniform_used: u32,
+    /// Per-disk used cylinders from non-uniform placements.
+    skewed_used: Vec<u32>,
+    /// Cached `max(skewed_used)` for the O(1) uniform feasibility check.
+    max_skewed_used: u32,
+    /// Start-0 profiles keyed by `(degree, subobjects)`.
+    profiles: HashMap<(u32, u32), Profile>,
+    layouts: HashMap<ObjectId, StripingLayout>,
+}
+
+/// The two interchangeable engines (see [`PlacementBackend`]).
+#[derive(Debug, Clone)]
+enum Engine {
+    Materialized {
+        allocators: Vec<CylinderAllocator>,
+        placed: HashMap<ObjectId, PlacedObject>,
+    },
+    Lazy(LazyState),
+}
+
 /// A placement map over the whole farm: layouts plus capacity accounting.
+///
+/// [`PlacementMap::new`] builds the **lazy** engine (the hot-path default:
+/// full-farm setup is closed-form). [`PlacementMap::new_materialized`]
+/// builds the reference engine that additionally tracks real cylinder
+/// ranges; the two are observably equivalent for every operation except
+/// [`PlacementMap::placed_object`] (see `tests/placement_properties.rs`
+/// for the machine-checked equivalence).
 #[derive(Debug, Clone)]
 pub struct PlacementMap {
     config: StripingConfig,
     cylinders_per_fragment: u32,
-    allocators: Vec<CylinderAllocator>,
-    placed: HashMap<ObjectId, PlacedObject>,
+    cylinders: u32,
+    engine: Engine,
     next_start: u32,
     /// First start of the current round-robin cycle; bumped by one when a
     /// non-coprime stride wraps, so successive cycles cover *all* residues
@@ -247,26 +312,75 @@ pub struct PlacementMap {
 }
 
 impl PlacementMap {
-    /// Creates an empty map over drives with `cylinders` cylinders each.
+    /// Creates an empty map over drives with `cylinders` cylinders each,
+    /// using the lazy (counter-based) engine.
     /// `cylinders_per_fragment` is how many cylinders one fragment spans
     /// (1 in the Table 3 configuration, 2 for the §3.1 "two-cylinder
     /// fragments" variant).
-    pub fn new(config: StripingConfig, cylinders: u32, cylinders_per_fragment: u32) -> Result<Self> {
+    pub fn new(
+        config: StripingConfig,
+        cylinders: u32,
+        cylinders_per_fragment: u32,
+    ) -> Result<Self> {
+        Self::with_backend(
+            config,
+            cylinders,
+            cylinders_per_fragment,
+            PlacementBackend::Lazy,
+        )
+    }
+
+    /// Like [`PlacementMap::new`] but with the materialized
+    /// (cylinder-range) engine.
+    pub fn new_materialized(
+        config: StripingConfig,
+        cylinders: u32,
+        cylinders_per_fragment: u32,
+    ) -> Result<Self> {
+        Self::with_backend(
+            config,
+            cylinders,
+            cylinders_per_fragment,
+            PlacementBackend::Materialized,
+        )
+    }
+
+    /// Creates an empty map with an explicit engine choice.
+    pub fn with_backend(
+        config: StripingConfig,
+        cylinders: u32,
+        cylinders_per_fragment: u32,
+        backend: PlacementBackend,
+    ) -> Result<Self> {
         config.validate()?;
         if cylinders_per_fragment == 0 {
             return Err(Error::InvalidConfig {
                 reason: "fragment must span at least one cylinder".into(),
             });
         }
-        let cyl_capacity = config.fragment / u64::from(cylinders_per_fragment);
-        let allocators = (0..config.disks)
-            .map(|d| CylinderAllocator::new(DiskId(d), cylinders, cyl_capacity))
-            .collect();
+        let engine = match backend {
+            PlacementBackend::Materialized => {
+                let cyl_capacity = config.fragment / u64::from(cylinders_per_fragment);
+                Engine::Materialized {
+                    allocators: (0..config.disks)
+                        .map(|d| CylinderAllocator::new(DiskId(d), cylinders, cyl_capacity))
+                        .collect(),
+                    placed: HashMap::new(),
+                }
+            }
+            PlacementBackend::Lazy => Engine::Lazy(LazyState {
+                uniform_used: 0,
+                skewed_used: vec![0; config.disks as usize],
+                max_skewed_used: 0,
+                profiles: HashMap::new(),
+                layouts: HashMap::new(),
+            }),
+        };
         Ok(PlacementMap {
             config,
             cylinders_per_fragment,
-            allocators,
-            placed: HashMap::new(),
+            cylinders,
+            engine,
             next_start: 0,
             cycle_base: 0,
         })
@@ -277,24 +391,55 @@ impl PlacementMap {
         &self.config
     }
 
+    /// Which engine this map runs.
+    pub fn backend(&self) -> PlacementBackend {
+        match self.engine {
+            Engine::Materialized { .. } => PlacementBackend::Materialized,
+            Engine::Lazy(_) => PlacementBackend::Lazy,
+        }
+    }
+
     /// Number of placed (resident) objects.
     pub fn resident_count(&self) -> usize {
-        self.placed.len()
+        match &self.engine {
+            Engine::Materialized { placed, .. } => placed.len(),
+            Engine::Lazy(s) => s.layouts.len(),
+        }
     }
 
     /// True iff `id` is placed.
     pub fn is_resident(&self, id: ObjectId) -> bool {
-        self.placed.contains_key(&id)
+        match &self.engine {
+            Engine::Materialized { placed, .. } => placed.contains_key(&id),
+            Engine::Lazy(s) => s.layouts.contains_key(&id),
+        }
     }
 
-    /// The placement of `id`, if resident.
-    pub fn get(&self, id: ObjectId) -> Option<&PlacedObject> {
-        self.placed.get(&id)
+    /// The layout of `id`, if resident.
+    pub fn layout(&self, id: ObjectId) -> Option<StripingLayout> {
+        match &self.engine {
+            Engine::Materialized { placed, .. } => placed.get(&id).map(|p| p.layout),
+            Engine::Lazy(s) => s.layouts.get(&id).copied(),
+        }
     }
 
-    /// Iterates over resident objects.
-    pub fn iter(&self) -> impl Iterator<Item = (&ObjectId, &PlacedObject)> {
-        self.placed.iter()
+    /// The materialized placement of `id` with its cylinder ranges.
+    /// `None` if `id` is not resident **or** the map runs the lazy
+    /// engine (which stores no ranges).
+    pub fn placed_object(&self, id: ObjectId) -> Option<&PlacedObject> {
+        match &self.engine {
+            Engine::Materialized { placed, .. } => placed.get(&id),
+            Engine::Lazy(_) => None,
+        }
+    }
+
+    /// Iterates over resident object ids (arbitrary order).
+    pub fn resident_ids(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        let (a, b) = match &self.engine {
+            Engine::Materialized { placed, .. } => (Some(placed.keys().copied()), None),
+            Engine::Lazy(s) => (None, Some(s.layouts.keys().copied())),
+        };
+        a.into_iter().flatten().chain(b.into_iter().flatten())
     }
 
     /// Places `spec` starting at the next round-robin start disk.
@@ -308,7 +453,7 @@ impl PlacementMap {
     /// its origin (non-coprime strides revisit only `D/gcd(D,k)`
     /// positions) the cycle origin shifts by one so the next round covers
     /// fresh residues.
-    pub fn place(&mut self, spec: &ObjectSpec) -> Result<&PlacedObject> {
+    pub fn place(&mut self, spec: &ObjectSpec) -> Result<StripingLayout> {
         let d = self.config.disks;
         let k = self.config.stride % d;
         let start = self.next_start;
@@ -323,14 +468,14 @@ impl PlacementMap {
                 wrapped
             }
         };
-        self.place_at(spec, start).map(|_| ())?;
+        let layout = self.place_at(spec, start)?;
         self.next_start = next;
-        Ok(&self.placed[&spec.id])
+        Ok(layout)
     }
 
     /// Places `spec` with `X_{0.0}` on `start_disk`.
-    pub fn place_at(&mut self, spec: &ObjectSpec, start_disk: u32) -> Result<&PlacedObject> {
-        if self.placed.contains_key(&spec.id) {
+    pub fn place_at(&mut self, spec: &ObjectSpec, start_disk: u32) -> Result<StripingLayout> {
+        if self.is_resident(spec.id) {
             return Err(Error::InvalidState {
                 reason: format!("object {} is already placed", spec.id),
             });
@@ -351,39 +496,120 @@ impl PlacementMap {
             self.config.disks,
             self.config.stride,
         );
-        let per_disk = layout.fragments_per_disk();
-        // Feasibility check before mutating any allocator.
-        for (d, &frags) in per_disk.iter().enumerate() {
-            let need = frags * self.cylinders_per_fragment;
-            let have = self.allocators[d].free_cylinders();
-            if have < need {
-                return Err(Error::DiskFull {
-                    disk: DiskId(d as u32),
-                    requested: self.config.fragment * u64::from(frags),
-                    available: self.allocators[d].free_bytes(),
-                });
+        let cpf = self.cylinders_per_fragment;
+        match &mut self.engine {
+            Engine::Materialized { allocators, placed } => {
+                let per_disk = layout.fragments_per_disk();
+                // Feasibility check before mutating any allocator.
+                for (d, &frags) in per_disk.iter().enumerate() {
+                    let need = frags * cpf;
+                    let have = allocators[d].free_cylinders();
+                    if have < need {
+                        return Err(Error::DiskFull {
+                            disk: DiskId(d as u32),
+                            requested: self.config.fragment * u64::from(frags),
+                            available: allocators[d].free_bytes(),
+                        });
+                    }
+                }
+                let mut ranges = vec![Vec::new(); self.config.disks as usize];
+                for (d, &frags) in per_disk.iter().enumerate() {
+                    let need = frags * cpf;
+                    if need > 0 {
+                        ranges[d] = allocators[d]
+                            .allocate(need)
+                            .expect("feasibility was checked");
+                    }
+                }
+                placed.insert(spec.id, PlacedObject { layout, ranges });
+            }
+            Engine::Lazy(state) => {
+                let cylinders = self.cylinders;
+                let cyl_capacity = self.config.fragment / u64::from(cpf);
+                let fragment = self.config.fragment;
+                let profile = state.profile(&layout);
+                match profile.uniform {
+                    Some(c) => {
+                        // Rotation-invariant: every disk takes the same
+                        // hit, so one comparison against the fullest disk
+                        // decides feasibility, and commitment is a single
+                        // counter bump.
+                        let need = c * cpf;
+                        if state.uniform_used + state.max_skewed_used + need > cylinders {
+                            // Identify the first over-full disk for the
+                            // error (identical to the materialized scan).
+                            let d = state
+                                .skewed_used
+                                .iter()
+                                .position(|&s| state.uniform_used + s + need > cylinders)
+                                .expect("some disk is over the max");
+                            let free = cylinders - state.uniform_used - state.skewed_used[d];
+                            return Err(Error::DiskFull {
+                                disk: DiskId(d as u32),
+                                requested: fragment * u64::from(c),
+                                available: cyl_capacity * u64::from(free),
+                            });
+                        }
+                        state.uniform_used += need;
+                    }
+                    None => {
+                        let counts = profile.counts.clone();
+                        let disks = self.config.disks as usize;
+                        let start = layout.start_disk as usize;
+                        // counts are for start 0; start s rotates them:
+                        // frags(d) = counts[(d - s) mod D].
+                        let frags_on = |d: usize| counts[(d + disks - start) % disks];
+                        for (d, &skew) in state.skewed_used.iter().enumerate() {
+                            let need = frags_on(d) * cpf;
+                            if state.uniform_used + skew + need > cylinders {
+                                let free = cylinders - state.uniform_used - skew;
+                                return Err(Error::DiskFull {
+                                    disk: DiskId(d as u32),
+                                    requested: fragment * u64::from(frags_on(d)),
+                                    available: cyl_capacity * u64::from(free),
+                                });
+                            }
+                        }
+                        for (d, skew) in state.skewed_used.iter_mut().enumerate() {
+                            *skew += frags_on(d) * cpf;
+                            state.max_skewed_used = state.max_skewed_used.max(*skew);
+                        }
+                    }
+                }
+                state.layouts.insert(spec.id, layout);
             }
         }
-        let mut ranges = vec![Vec::new(); self.config.disks as usize];
-        for (d, &frags) in per_disk.iter().enumerate() {
-            let need = frags * self.cylinders_per_fragment;
-            if need > 0 {
-                ranges[d] = self.allocators[d]
-                    .allocate(need)
-                    .expect("feasibility was checked");
-            }
-        }
-        self.placed
-            .insert(spec.id, PlacedObject { layout, ranges });
-        Ok(&self.placed[&spec.id])
+        Ok(layout)
     }
 
     /// Removes `id`, returning its cylinders to the free pools.
     pub fn remove(&mut self, id: ObjectId) -> Result<()> {
-        let placed = self.placed.remove(&id).ok_or(Error::NotResident(id))?;
-        for (d, runs) in placed.ranges.into_iter().enumerate() {
-            for run in runs {
-                self.allocators[d].free(run);
+        let cpf = self.cylinders_per_fragment;
+        match &mut self.engine {
+            Engine::Materialized { allocators, placed } => {
+                let obj = placed.remove(&id).ok_or(Error::NotResident(id))?;
+                for (d, runs) in obj.ranges.into_iter().enumerate() {
+                    for run in runs {
+                        allocators[d].free(run);
+                    }
+                }
+            }
+            Engine::Lazy(state) => {
+                let layout = state.layouts.remove(&id).ok_or(Error::NotResident(id))?;
+                let profile = state.profile(&layout);
+                match profile.uniform {
+                    Some(c) => state.uniform_used -= c * cpf,
+                    None => {
+                        let counts = profile.counts.clone();
+                        let disks = self.config.disks as usize;
+                        let start = layout.start_disk as usize;
+                        for (d, skew) in state.skewed_used.iter_mut().enumerate() {
+                            *skew -= counts[(d + disks - start) % disks] * cpf;
+                        }
+                        state.max_skewed_used =
+                            state.skewed_used.iter().copied().max().unwrap_or(0);
+                    }
+                }
             }
         }
         Ok(())
@@ -391,12 +617,30 @@ impl PlacementMap {
 
     /// Free cylinders per disk.
     pub fn free_cylinders(&self) -> Vec<u32> {
-        self.allocators.iter().map(|a| a.free_cylinders()).collect()
+        match &self.engine {
+            Engine::Materialized { allocators, .. } => {
+                allocators.iter().map(|a| a.free_cylinders()).collect()
+            }
+            Engine::Lazy(s) => s
+                .skewed_used
+                .iter()
+                .map(|&skew| self.cylinders - s.uniform_used - skew)
+                .collect(),
+        }
     }
 
     /// Used cylinders per disk.
     pub fn used_cylinders(&self) -> Vec<u32> {
-        self.allocators.iter().map(|a| a.used_cylinders()).collect()
+        match &self.engine {
+            Engine::Materialized { allocators, .. } => {
+                allocators.iter().map(|a| a.used_cylinders()).collect()
+            }
+            Engine::Lazy(s) => s
+                .skewed_used
+                .iter()
+                .map(|&skew| s.uniform_used + skew)
+                .collect(),
+        }
     }
 
     /// The storage-balance ratio `max/mean` of per-disk usage (1.0 is
@@ -410,6 +654,33 @@ impl PlacementMap {
         } else {
             max / mean
         }
+    }
+}
+
+impl LazyState {
+    /// The cached start-0 fragment profile for `layout`'s
+    /// `(degree, subobjects)` class, computing it on first use.
+    /// `fragments_per_disk` of a start-`s` layout is the start-0 profile
+    /// rotated by `s`, so one O(D·M) computation serves every object of
+    /// the class regardless of where it starts.
+    fn profile(&mut self, layout: &StripingLayout) -> &Profile {
+        let key = (layout.degree, layout.subobjects);
+        self.profiles.entry(key).or_insert_with(|| {
+            let base = StripingLayout::new(
+                layout.object,
+                0,
+                layout.degree,
+                layout.subobjects,
+                layout.disks,
+                layout.stride,
+            );
+            let counts = base.fragments_per_disk();
+            let uniform = match (counts.iter().min(), counts.iter().max()) {
+                (Some(&lo), Some(&hi)) if lo == hi => Some(lo),
+                _ => None,
+            };
+            Profile { counts, uniform }
+        })
     }
 }
 
@@ -541,10 +812,7 @@ mod tests {
         let mut m = map(12, 1, 100);
         let s = spec(0, 60, 12);
         m.place_at(&s, 0).unwrap();
-        assert!(matches!(
-            m.place_at(&s, 3),
-            Err(Error::InvalidState { .. })
-        ));
+        assert!(matches!(m.place_at(&s, 3), Err(Error::InvalidState { .. })));
         assert_eq!(m.remove(ObjectId(9)), Err(Error::NotResident(ObjectId(9))));
     }
 
@@ -566,8 +834,8 @@ mod tests {
         let b = spec(1, 40, 6);
         m.place(&a).unwrap();
         m.place(&b).unwrap();
-        assert_eq!(m.get(ObjectId(0)).unwrap().layout.start_disk, 0);
-        assert_eq!(m.get(ObjectId(1)).unwrap().layout.start_disk, 1);
+        assert_eq!(m.layout(ObjectId(0)).unwrap().start_disk, 0);
+        assert_eq!(m.layout(ObjectId(1)).unwrap().start_disk, 1);
     }
 
     #[test]
@@ -594,12 +862,78 @@ mod tests {
 
     #[test]
     fn placed_object_cylinder_accounting() {
-        let mut m = map(9, 3, 100);
+        let config = StripingConfig {
+            disks: 9,
+            stride: 3,
+            fragment: Bytes::new(1_512_000),
+            b_disk: Bandwidth::mbps(20),
+        };
+        let mut m = PlacementMap::new_materialized(config, 100, 1).unwrap();
         m.place_at(&spec(0, 60, 9), 0).unwrap(); // M=3, simple striping
-        let p = m.get(ObjectId(0)).unwrap();
+        let p = m.placed_object(ObjectId(0)).unwrap();
         // 9 subobjects × 3 fragments over 9 disks = 3 per disk.
         for d in 0..9 {
             assert_eq!(p.cylinders_on(DiskId(d)), 3);
         }
+    }
+
+    #[test]
+    fn lazy_is_the_default_and_stores_no_ranges() {
+        let mut m = map(12, 1, 100);
+        assert_eq!(m.backend(), PlacementBackend::Lazy);
+        m.place_at(&spec(0, 60, 12), 0).unwrap();
+        assert!(m.is_resident(ObjectId(0)));
+        assert!(m.placed_object(ObjectId(0)).is_none());
+        assert!(m.layout(ObjectId(0)).is_some());
+    }
+
+    /// The lazy engine's DiskFull error carries the exact same disk,
+    /// requested, and available fields as the materialized scan.
+    #[test]
+    fn lazy_disk_full_error_matches_materialized() {
+        let config = StripingConfig {
+            disks: 12,
+            stride: 1,
+            fragment: Bytes::new(1_512_000),
+            b_disk: Bandwidth::mbps(20),
+        };
+        let mut lazy = PlacementMap::new(config.clone(), 10, 1).unwrap();
+        let mut mat = PlacementMap::new_materialized(config, 10, 1).unwrap();
+        // Partially fill, then overflow with a big object.
+        let small = spec(0, 60, 20); // 60 fragments
+        lazy.place_at(&small, 0).unwrap();
+        mat.place_at(&small, 0).unwrap();
+        let big = spec(1, 60, 48); // 144 fragments > remaining 60
+        let a = lazy.place_at(&big, 3).unwrap_err();
+        let b = mat.place_at(&big, 3).unwrap_err();
+        assert_eq!(a, b);
+        assert!(matches!(a, Error::DiskFull { .. }));
+        assert_eq!(lazy.used_cylinders(), mat.used_cylinders());
+    }
+
+    /// A stationary (non-uniform-profile) layout goes through the lazy
+    /// engine's skewed path and still accounts exactly.
+    #[test]
+    fn lazy_skewed_path_accounts_exactly() {
+        let mut lazy = map(10, 10, 1000); // k ≡ 0 mod D: stationary
+        let mut reference = {
+            let config = StripingConfig {
+                disks: 10,
+                stride: 10,
+                fragment: Bytes::new(1_512_000),
+                b_disk: Bandwidth::mbps(20),
+            };
+            PlacementMap::new_materialized(config, 1000, 1).unwrap()
+        };
+        for (i, start) in [(0u32, 0u32), (1, 4), (2, 7)] {
+            let s = spec(i, 40, 30); // M=2, stationary pair of disks
+            lazy.place_at(&s, start).unwrap();
+            reference.place_at(&s, start).unwrap();
+        }
+        assert_eq!(lazy.used_cylinders(), reference.used_cylinders());
+        assert_eq!(lazy.skew_ratio(), reference.skew_ratio());
+        lazy.remove(ObjectId(1)).unwrap();
+        reference.remove(ObjectId(1)).unwrap();
+        assert_eq!(lazy.used_cylinders(), reference.used_cylinders());
     }
 }

@@ -25,9 +25,7 @@ pub fn layout_grid(layouts: &[StripingLayout], names: &[&str], rows: u32) -> Str
     let width = layouts
         .iter()
         .zip(names)
-        .map(|(l, n)| {
-            n.len() + format!("{}.{}", rows.saturating_sub(1), l.degree - 1).len()
-        })
+        .map(|(l, n)| n.len() + format!("{}.{}", rows.saturating_sub(1), l.degree - 1).len())
         .max()
         .unwrap()
         .max(format!("Disk {}", disks - 1).len())

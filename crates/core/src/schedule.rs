@@ -208,7 +208,14 @@ mod tests {
         let (mut sched, frame) = setup(8, 1);
         for v in [0u32, 2, 3, 4, 5, 7] {
             sched
-                .try_admit(0, ObjectId(100 + v), v, 1, 1000, AdmissionPolicy::Contiguous)
+                .try_admit(
+                    0,
+                    ObjectId(100 + v),
+                    v,
+                    1,
+                    1000,
+                    AdmissionPolicy::Contiguous,
+                )
                 .unwrap();
         }
         let layout = StripingLayout::new(ObjectId(0), 0, 2, 10, 8, 1);
@@ -257,10 +264,7 @@ mod tests {
         s.verify(&layout).unwrap();
         // At interval 2+j the display reads subobject j from cluster j mod 3.
         for j in 0..9u32 {
-            let disks: Vec<u32> = s
-                .reads_at(2 + u64::from(j))
-                .map(|r| r.disk.0)
-                .collect();
+            let disks: Vec<u32> = s.reads_at(2 + u64::from(j)).map(|r| r.disk.0).collect();
             assert_eq!(disks, vec![(3 * j) % 9, (3 * j + 1) % 9, (3 * j + 2) % 9]);
         }
     }

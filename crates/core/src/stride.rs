@@ -42,7 +42,11 @@ pub fn analyze(d: u32, k: u32, m: u32, subobjects: u32) -> StrideReport {
     assert!(d > 0 && m > 0 && subobjects > 0);
     assert!(m <= d, "degree {m} exceeds disk count {d}");
     let k = k % d;
-    let g = if k == 0 { d } else { gcd(u64::from(d), u64::from(k)) as u32 };
+    let g = if k == 0 {
+        d
+    } else {
+        gcd(u64::from(d), u64::from(k)) as u32
+    };
     let start_positions = d / g;
     StrideReport {
         gcd: g,
@@ -103,7 +107,11 @@ pub fn worst_case_wait_intervals(d: u32, k: u32, remaining_subobjects: u32) -> u
 /// degree is a multiple of the granule.
 pub fn degree_avoids_skew(d: u32, k: u32, m: u32) -> bool {
     let k = k % d;
-    let g = if k == 0 { d } else { gcd(u64::from(d), u64::from(k)) as u32 };
+    let g = if k == 0 {
+        d
+    } else {
+        gcd(u64::from(d), u64::from(k)) as u32
+    };
     g == 1 || m.is_multiple_of(g)
 }
 

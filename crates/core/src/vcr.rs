@@ -226,15 +226,16 @@ impl VcrSession {
     /// geometry and whether aligned idle disks were found, and receives
     /// the service plan. The session position updates immediately (the
     /// viewer sees nothing during the seek, so no hiccup can occur).
-    pub fn seek(
-        &mut self,
-        target: u32,
-        d: u32,
-        stride: u32,
-        idle_aligned: bool,
-    ) -> SeekPlan {
+    pub fn seek(&mut self, target: u32, d: u32, stride: u32, idle_aligned: bool) -> SeekPlan {
         let current = self.position();
-        let plan = plan_seek(d, stride, current, target, self.base.subobjects, idle_aligned);
+        let plan = plan_seek(
+            d,
+            stride,
+            current,
+            target,
+            self.base.subobjects,
+            idle_aligned,
+        );
         self.state = PlaybackState::Playing { sub: target };
         plan
     }
@@ -383,7 +384,12 @@ mod tests {
             s.tick();
         }
         let plan = s.seek(1500, 1000, 5, false);
-        assert_eq!(plan, SeekPlan::Rotate { wait_intervals: 300 });
+        assert_eq!(
+            plan,
+            SeekPlan::Rotate {
+                wait_intervals: 300
+            }
+        );
         assert_eq!(s.position(), 1500);
         let plan = s.seek(100, 1000, 5, true);
         assert_eq!(plan, SeekPlan::Immediate);

@@ -140,9 +140,7 @@ impl CylinderAllocator {
             self.cylinders
         );
         // Find insertion point keeping `free` sorted by start.
-        let pos = self
-            .free
-            .partition_point(|r| r.start < range.start);
+        let pos = self.free.partition_point(|r| r.start < range.start);
         // Overlap checks against neighbours = double-free detection.
         if pos > 0 {
             assert!(

@@ -63,8 +63,7 @@ impl DiskParams {
             avg_latency: SimDuration::from_micros(8_330),
             max_latency: SimDuration::from_micros(16_830),
         };
-        p.transfer_rate =
-            p.transfer_rate_for_effective(Bandwidth::mbps(20), p.cylinder_capacity);
+        p.transfer_rate = p.transfer_rate_for_effective(Bandwidth::mbps(20), p.cylinder_capacity);
         p
     }
 
@@ -149,7 +148,8 @@ impl DiskParams {
     /// paper guesses — tests confirm it lands near one cylinder).
     pub fn average_case_buffer(&self, fragment: Bytes) -> Bytes {
         let slack = self.t_switch() - (self.avg_seek + self.avg_latency);
-        self.effective_bandwidth_average_case(fragment).bytes_in(slack)
+        self.effective_bandwidth_average_case(fragment)
+            .bytes_in(slack)
     }
 
     /// Inverts the effective-bandwidth formula: the raw `tfr` needed so

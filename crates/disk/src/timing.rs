@@ -144,10 +144,7 @@ mod tests {
         let t1 = m.seek_time(1);
         let tmax = m.seek_time(p.cylinders - 1);
         assert!((t1.as_secs_f64() - 0.004).abs() < 1e-6, "t(1) = {t1}");
-        assert!(
-            (tmax.as_secs_f64() - 0.035).abs() < 1e-6,
-            "t(max) = {tmax}"
-        );
+        assert!((tmax.as_secs_f64() - 0.035).abs() < 1e-6, "t(max) = {tmax}");
     }
 
     #[test]

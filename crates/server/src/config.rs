@@ -3,9 +3,9 @@
 use serde::{Deserialize, Serialize};
 use ss_core::admission::AdmissionPolicy;
 use ss_core::media::{MediaType, ObjectCatalog, ObjectSpec};
-use ss_types::ObjectId;
 use ss_disk::DiskParams;
 use ss_tertiary::TertiaryParams;
+use ss_types::ObjectId;
 use ss_types::{Bandwidth, Error, Result, SimDuration};
 use ss_vdr::VdrConfig;
 use ss_workload::Popularity;
@@ -334,7 +334,10 @@ impl ServerConfig {
                         return bad("arrival trace is not sorted by time".into());
                     }
                 }
-                let n_objects = self.mix.as_ref().map_or(self.objects, MediaMix::total_objects);
+                let n_objects = self
+                    .mix
+                    .as_ref()
+                    .map_or(self.objects, MediaMix::total_objects);
                 if events.iter().any(|&(_, obj)| obj >= n_objects) {
                     return bad("arrival trace references an unknown object".into());
                 }

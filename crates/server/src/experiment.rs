@@ -41,8 +41,7 @@ pub fn run_batch(configs: Vec<ServerConfig>, threads: usize) -> Vec<RunReport> {
                         if idx >= n {
                             break;
                         }
-                        let report =
-                            run(&configs[idx]).expect("experiment config must be valid");
+                        let report = run(&configs[idx]).expect("experiment config must be valid");
                         local.push((idx, report));
                     }
                     local
@@ -90,7 +89,7 @@ pub struct Table4Row {
 /// mean) cell, `100 × (striping − vdr) / vdr` throughput.
 pub fn table4(reports: &[RunReport]) -> Vec<Table4Row> {
     let find = |scheme: &str, stations: u32, mean: f64| -> Option<&RunReport> {
-        let tag = format!("geom({mean:?})");
+        let tag = ss_workload::Popularity::TruncatedGeometric { mean }.tag();
         reports
             .iter()
             .find(|r| r.scheme == scheme && r.stations == stations && r.popularity == tag)
@@ -136,7 +135,12 @@ pub fn format_table4(rows: &[Table4Row]) -> String {
 
 /// Stride-sweep ablation configs (§3.2.2): staggered striping at the given
 /// strides, identical workload otherwise.
-pub fn stride_sweep_configs(strides: &[u32], stations: u32, mean: f64, seed: u64) -> Vec<ServerConfig> {
+pub fn stride_sweep_configs(
+    strides: &[u32],
+    stations: u32,
+    mean: f64,
+    seed: u64,
+) -> Vec<ServerConfig> {
     strides
         .iter()
         .map(|&k| {
@@ -340,8 +344,8 @@ pub fn small_grid_configs(stations: &[u32], mean: f64, seed: u64) -> Vec<ServerC
         let mut s = ServerConfig::small_test(n, seed);
         s.popularity = ss_workload::Popularity::TruncatedGeometric { mean };
         s.objects = 150; // farm holds 60 (20×3000/(40×5×5))... recompute below
-        // Farm capacity: 20 disks × 3000 cyl / (40 subobj × 5 frags) = 300;
-        // use 750 objects for a 2.5× overcommit.
+                         // Farm capacity: 20 disks × 3000 cyl / (40 subobj × 5 frags) = 300;
+                         // use 750 objects for a 2.5× overcommit.
         s.objects = 750;
         out.push(s.clone());
         let mut v = s;
@@ -384,7 +388,7 @@ mod tests {
         let mk = |scheme: &str, stations: u32, mean: f64, rate: f64| RunReport {
             scheme: scheme.into(),
             stations,
-            popularity: format!("geom({mean:?})"),
+            popularity: ss_workload::Popularity::TruncatedGeometric { mean }.tag(),
             seed: 0,
             displays_completed: 0,
             displays_per_hour: rate,

@@ -175,7 +175,14 @@ pub fn format_table(reports: &[RunReport]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "{:<10} {:>8} {:>12} {:>12} {:>10} {:>10} {:>9} {:>10}\n",
-        "scheme", "stations", "popularity", "disp/hour", "latency_s", "disk_util", "residents", "t_fetches"
+        "scheme",
+        "stations",
+        "popularity",
+        "disp/hour",
+        "latency_s",
+        "disk_util",
+        "residents",
+        "t_fetches"
     ));
     for r in reports {
         out.push_str(&format!(
@@ -281,6 +288,10 @@ mod tests {
         assert!(table.contains("geom(20)"));
         let csv = to_csv(&[r]);
         assert_eq!(csv.lines().count(), 2);
-        assert!(csv.lines().nth(1).unwrap().starts_with("striping,8,geom(20),3,1,"));
+        assert!(csv
+            .lines()
+            .nth(1)
+            .unwrap()
+            .starts_with("striping,8,geom(20),3,1,"));
     }
 }

@@ -30,7 +30,7 @@ use ss_sim::{Context, DeterministicRng, Model, Simulation};
 use ss_tertiary::TertiaryDevice;
 use ss_types::{Error, ObjectId, Result, SimDuration, SimTime, StationId};
 use ss_workload::{OpenArrivals, StationPool, StationState, TraceArrivals};
-use std::collections::HashMap;
+use std::collections::VecDeque;
 
 /// The server's event alphabet: one periodic interval tick.
 pub enum Event {
@@ -78,18 +78,26 @@ pub struct StripingModel {
     metrics: MetricsCollector,
     /// FIFO of requests for displayable resident objects.
     wait_disk: Vec<Waiter>,
-    /// Waiters per in-flight materialization.
-    wait_tertiary: HashMap<ObjectId, Vec<Waiter>>,
-    /// In-flight (or staged-but-not-yet-displayable) materializations:
-    /// object → instant it becomes displayable.
-    materializing: HashMap<ObjectId, SimTime>,
+    /// Waiters per in-flight materialization, dense by object id (empty
+    /// Vec = none).
+    wait_tertiary: Vec<Vec<Waiter>>,
+    /// In-flight (or staged-but-not-yet-displayable) materializations,
+    /// dense by object id: the instant the object becomes displayable.
+    materializing: Vec<Option<SimTime>>,
+    /// Ids with `materializing[..]` set, in submission order: the tick
+    /// loop scans only the (few) in-flight transfers, and promotions
+    /// release waiters in a deterministic order.
+    materializing_ids: Vec<ObjectId>,
     /// Objects awaiting their turn at the tertiary device. Jobs are
     /// submitted one at a time, when the device is actually free, so
     /// neither disk space nor eviction decisions are committed hours
     /// before the transfer can begin.
-    fetch_queue: Vec<ObjectId>,
+    fetch_queue: VecDeque<ObjectId>,
+    /// Dense membership mirror of `fetch_queue` (O(1) duplicate check).
+    in_fetch_queue: Vec<bool>,
     active: Vec<ActiveDisplay>,
-    active_per_object: HashMap<ObjectId, u32>,
+    /// Running display count per object, dense by object id.
+    active_per_object: Vec<u32>,
     freq: Vec<u64>,
     /// Staggered initial activation times (see the VDR server: avoids the
     /// lockstep artifact of identical display lengths).
@@ -130,8 +138,11 @@ impl StripingModel {
             fragment: config.fragment_size(),
             b_disk,
         };
-        let mut placement =
-            PlacementMap::new(striping, config.disk.cylinders, config.cylinders_per_fragment)?;
+        let mut placement = PlacementMap::new(
+            striping,
+            config.disk.cylinders,
+            config.cylinders_per_fragment,
+        )?;
         if config.preload {
             // Most-popular-first preload: ids ascend in popularity order
             // for both geometric and Zipf samplers. Under cluster-rounding
@@ -199,11 +210,13 @@ impl StripingModel {
             tertiary,
             metrics: MetricsCollector::new(),
             wait_disk: Vec::new(),
-            wait_tertiary: HashMap::new(),
-            materializing: HashMap::new(),
-            fetch_queue: Vec::new(),
+            wait_tertiary: vec![Vec::new(); n_objects],
+            materializing: vec![None; n_objects],
+            materializing_ids: Vec::new(),
+            fetch_queue: VecDeque::new(),
+            in_fetch_queue: vec![false; n_objects],
             active: Vec::new(),
-            active_per_object: HashMap::new(),
+            active_per_object: vec![0; n_objects],
             freq: vec![0; n_objects],
             activate_at: crate::vdr::stagger(&config),
             next_naive_start: 0,
@@ -225,10 +238,7 @@ impl StripingModel {
     /// past its pipelined-start horizon if it is still materializing).
     fn displayable(&self, object: ObjectId, now: SimTime) -> bool {
         self.placement.is_resident(object)
-            && self
-                .materializing
-                .get(&object)
-                .is_none_or(|&ready| ready <= now)
+            && self.materializing[object.index()].is_none_or(|ready| ready <= now)
     }
 
     fn complete_displays(&mut self, now: SimTime) {
@@ -243,14 +253,7 @@ impl StripingModel {
                 if self.metrics.measuring() {
                     self.metrics.record_completion();
                 }
-                let c = self
-                    .active_per_object
-                    .get_mut(&d.object)
-                    .expect("active object accounted");
-                *c -= 1;
-                if *c == 0 {
-                    self.active_per_object.remove(&d.object);
-                }
+                self.active_per_object[d.object.index()] -= 1;
             } else {
                 i += 1;
             }
@@ -259,16 +262,16 @@ impl StripingModel {
     }
 
     fn promote_materializations(&mut self, now: SimTime) {
-        let ready: Vec<ObjectId> = self
-            .materializing
-            .iter()
-            .filter(|&(_, &t)| t <= now)
-            .map(|(&o, _)| o)
-            .collect();
-        for o in ready {
-            self.materializing.remove(&o);
-            if let Some(waiters) = self.wait_tertiary.remove(&o) {
+        let mut i = 0;
+        while i < self.materializing_ids.len() {
+            let o = self.materializing_ids[i];
+            if self.materializing[o.index()].is_some_and(|t| t <= now) {
+                self.materializing[o.index()] = None;
+                self.materializing_ids.remove(i);
+                let waiters = std::mem::take(&mut self.wait_tertiary[o.index()]);
                 self.wait_disk.extend(waiters);
+            } else {
+                i += 1;
             }
         }
     }
@@ -277,13 +280,14 @@ impl StripingModel {
     /// reserve space for the head-of-queue object and submit it.
     fn pump_fetches(&mut self, now: SimTime) {
         while self.tertiary.busy_until() <= now {
-            let Some(&object) = self.fetch_queue.first() else {
+            let Some(&object) = self.fetch_queue.front() else {
                 return;
             };
-            if self.wait_tertiary.get(&object).is_none_or(Vec::is_empty) {
+            if self.wait_tertiary[object.index()].is_empty() {
                 // Everyone who wanted it gave up (cannot happen in the
                 // closed-loop model, but keep the queue self-cleaning).
-                self.fetch_queue.remove(0);
+                self.fetch_queue.pop_front();
+                self.in_fetch_queue[object.index()] = false;
                 continue;
             }
             if !self.reserve_space(object) {
@@ -302,43 +306,45 @@ impl StripingModel {
                 MaterializeMode::AfterFull => schedule.done,
             };
             self.metrics.record_tertiary_fetch();
-            self.materializing.insert(object, ready);
-            self.fetch_queue.remove(0);
+            self.materializing[object.index()] = Some(ready);
+            self.materializing_ids.push(object);
+            self.fetch_queue.pop_front();
+            self.in_fetch_queue[object.index()] = false;
         }
     }
 
     fn try_admissions(&mut self, now: SimTime) {
         let t = self.interval_index(now);
-        let mut still_waiting = Vec::with_capacity(self.wait_disk.len());
+        // `wait_disk` is drained and still-waiting entries are pushed back
+        // into the (now empty) queue in order — no scratch allocation.
         let mut waiters = std::mem::take(&mut self.wait_disk);
         match self.config.queue {
             QueuePolicy::Fcfs => {}
             QueuePolicy::SmallestFirst => {
                 let b_disk = self.b_disk;
                 waiters.sort_by_key(|w| {
-                    self.catalog.get(w.object).map_or(u32::MAX, |s| s.degree(b_disk))
+                    self.catalog
+                        .get(w.object)
+                        .map_or(u32::MAX, |s| s.degree(b_disk))
                 });
             }
             QueuePolicy::LargestFirst => {
                 let b_disk = self.b_disk;
                 waiters.sort_by_key(|w| {
-                    std::cmp::Reverse(
-                        self.catalog.get(w.object).map_or(0, |s| s.degree(b_disk)),
-                    )
+                    std::cmp::Reverse(self.catalog.get(w.object).map_or(0, |s| s.degree(b_disk)))
                 });
             }
         }
-        for w in waiters {
+        for w in waiters.drain(..) {
             if !self.displayable(w.object, now) {
                 // Evicted while queued: re-fetch.
-                still_waiting.push(w);
+                self.wait_disk.push(w);
                 continue;
             }
             let layout = self
                 .placement
-                .get(w.object)
-                .expect("displayable object is placed")
-                .layout;
+                .layout(w.object)
+                .expect("displayable object is placed");
             let spec = self.catalog.get(w.object).expect("catalog object");
             // §3.1 naive mode: round the reservation up to a whole
             // aligned cluster; staggered striping reserves exactly M_X.
@@ -402,12 +408,11 @@ impl StripingModel {
                         buffer_fragments: grant.buffer_fragments,
                         fragmented,
                     });
-                    *self.active_per_object.entry(w.object).or_insert(0) += 1;
+                    self.active_per_object[w.object.index()] += 1;
                 }
-                Err(_) => still_waiting.push(w),
+                Err(_) => self.wait_disk.push(w),
             }
         }
-        self.wait_disk = still_waiting;
         self.metrics.active.set(now, self.active.len() as f64);
     }
 
@@ -436,21 +441,21 @@ impl StripingModel {
                 Err(Error::DiskFull { .. }) => {
                     // Evict the coldest object that is not displaying, not
                     // materializing, and not awaited.
+                    // `(freq, id)` key: the id tie-break makes the pick
+                    // independent of resident-set iteration order.
                     let victim = self
                         .placement
-                        .iter()
-                        .map(|(&o, _)| o)
+                        .resident_ids()
                         .filter(|o| {
-                            !self.active_per_object.contains_key(o)
-                                && !self.materializing.contains_key(o)
+                            self.active_per_object[o.index()] == 0
+                                && self.materializing[o.index()].is_none()
                                 && self.wait_disk.iter().all(|w| w.object != *o)
-                                && !self.wait_tertiary.contains_key(o)
+                                && self.wait_tertiary[o.index()].is_empty()
                         })
-                        .min_by_key(|o| self.freq[o.index()]);
+                        .min_by_key(|o| (self.freq[o.index()], *o));
                     match victim {
                         Some(v) => {
-                            let start =
-                                self.placement.get(v).expect("victim placed").layout.start_disk;
+                            let start = self.placement.layout(v).expect("victim placed").start_disk;
                             if self.cluster_round.is_some() {
                                 // Take over the victim's aligned start.
                                 self.next_naive_start = start;
@@ -535,19 +540,17 @@ impl StripingModel {
             };
             // Inline the routing (self.open is mutably borrowed above).
             if self.placement.is_resident(object)
-                && self
-                    .materializing
-                    .get(&object)
-                    .is_none_or(|&ready| ready <= now)
+                && self.materializing[object.index()].is_none_or(|ready| ready <= now)
             {
                 self.wait_disk.push(w);
             } else {
-                if !self.materializing.contains_key(&object)
-                    && !self.fetch_queue.contains(&object)
+                if self.materializing[object.index()].is_none()
+                    && !self.in_fetch_queue[object.index()]
                 {
-                    self.fetch_queue.push(object);
+                    self.fetch_queue.push_back(object);
+                    self.in_fetch_queue[object.index()] = true;
                 }
-                self.wait_tertiary.entry(object).or_default().push(w);
+                self.wait_tertiary[object.index()].push(w);
             }
         }
     }
@@ -558,12 +561,13 @@ impl StripingModel {
         } else {
             // Absent or still materializing: park the waiter on the
             // object; enqueue a fetch if none is queued or in flight yet.
-            if !self.materializing.contains_key(&w.object)
-                && !self.fetch_queue.contains(&w.object)
+            if self.materializing[w.object.index()].is_none()
+                && !self.in_fetch_queue[w.object.index()]
             {
-                self.fetch_queue.push(w.object);
+                self.fetch_queue.push_back(w.object);
+                self.in_fetch_queue[w.object.index()] = true;
             }
-            self.wait_tertiary.entry(w.object).or_default().push(w);
+            self.wait_tertiary[w.object.index()].push(w);
         }
     }
 
@@ -602,7 +606,9 @@ impl StripingModel {
         self.coalesce_pass(now);
         self.pump_fetches(now);
         let t = self.interval_index(now);
-        self.metrics.utilization.set(now, self.scheduler.utilization(t));
+        self.metrics
+            .utilization
+            .set(now, self.scheduler.utilization(t));
     }
 }
 
@@ -639,10 +645,7 @@ impl StripingServer {
         self.sim.run();
         let now = self.sim.now();
         let m = self.sim.model();
-        let popularity = format!("{:?}", m.config.popularity)
-            .replace("TruncatedGeometric { mean: ", "geom(")
-            .replace("Zipf { alpha: ", "zipf(")
-            .replace(" }", ")");
+        let popularity = m.config.popularity.tag();
         m.metrics.report(
             now,
             "striping",
@@ -807,11 +810,7 @@ mod tests {
             rate_per_hour: 1200.0,
         };
         let r = StripingServer::new(cfg).unwrap().run();
-        assert!(
-            r.displays_per_hour < 640.0,
-            "rate {}",
-            r.displays_per_hour
-        );
+        assert!(r.displays_per_hour < 640.0, "rate {}", r.displays_per_hour);
         assert!(r.mean_latency_s > 60.0, "latency {}", r.mean_latency_s);
     }
 

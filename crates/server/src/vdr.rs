@@ -15,7 +15,7 @@ use ss_tertiary::TertiaryDevice;
 use ss_types::{ClusterId, Error, ObjectId, Result, SimTime, StationId};
 use ss_vdr::{ClusterFarm, CopyPlan, VdrConfig};
 use ss_workload::{StationPool, StationState};
-use std::collections::HashMap;
+use std::collections::VecDeque;
 
 /// The server's event alphabet: one periodic interval tick.
 pub enum Event {
@@ -49,11 +49,20 @@ pub struct VdrModel {
     metrics: MetricsCollector,
     waiters: Vec<Waiter>,
     active: Vec<ActiveDisplay>,
-    /// Objects with a copy/materialization in flight (→ completion time).
-    copies_in_flight: HashMap<ObjectId, SimTime>,
+    /// Completion time of the copy/materialization in flight for each
+    /// object, dense by object id (`None` = no copy running).
+    copy_done: Vec<Option<SimTime>>,
+    /// Ids with `copy_done[..]` set (the handful of in-flight copies).
+    copy_ids: Vec<ObjectId>,
     /// Objects awaiting the tertiary device (one submission at a time, so
     /// clusters are not reserved hours before the transfer can begin).
-    fetch_queue: Vec<ObjectId>,
+    fetch_queue: VecDeque<ObjectId>,
+    /// Dense membership mirror of `fetch_queue`, so the per-waiter
+    /// duplicate check is O(1) instead of a queue scan.
+    in_fetch_queue: Vec<bool>,
+    /// Per-object queued-request counts, reused across `serve_waiters`
+    /// passes (entries are zeroed at the end of each pass).
+    queue_len: Vec<u32>,
     /// Per-station activation times: initial requests are staggered over
     /// one display time so the closed loop does not start in lockstep
     /// (identical display lengths would otherwise keep every station
@@ -135,8 +144,11 @@ impl VdrModel {
             metrics: MetricsCollector::new(),
             waiters: Vec::new(),
             active: Vec::new(),
-            copies_in_flight: HashMap::new(),
-            fetch_queue: Vec::new(),
+            copy_done: vec![None; config.objects as usize],
+            copy_ids: Vec::new(),
+            fetch_queue: VecDeque::new(),
+            in_fetch_queue: vec![false; config.objects as usize],
+            queue_len: vec![0; config.objects as usize],
             activate_at: stagger(&config),
             measurement_started: false,
             deadline,
@@ -157,7 +169,15 @@ impl VdrModel {
                 i += 1;
             }
         }
-        self.copies_in_flight.retain(|_, &mut done| done > now);
+        let copy_done = &mut self.copy_done;
+        self.copy_ids.retain(|o| {
+            if copy_done[o.index()].is_some_and(|done| done > now) {
+                true
+            } else {
+                copy_done[o.index()] = None;
+                false
+            }
+        });
         self.farm.refresh(now);
         self.metrics.active.set(now, self.active.len() as f64);
     }
@@ -166,13 +186,13 @@ impl VdrModel {
     fn serve_waiters(&mut self, now: SimTime) {
         let display_time = self.config.display_time();
         let waiters = std::mem::take(&mut self.waiters);
-        let mut still = Vec::with_capacity(waiters.len());
-        // Queue length per object for the replication trigger.
-        let mut queue_len: HashMap<ObjectId, u32> = HashMap::new();
+        // Queue length per object for the replication trigger (dense
+        // scratch table; zeroed again at the end of the pass).
         for w in &waiters {
-            *queue_len.entry(w.object).or_insert(0) += 1;
+            self.queue_len[w.object.index()] += 1;
         }
-        for w in waiters {
+        let mut still = Vec::with_capacity(waiters.len());
+        for &w in &waiters {
             if let Some(cluster) = self.farm.find_idle_replica(w.object, now) {
                 let ends = now + display_time;
                 self.farm
@@ -192,37 +212,43 @@ impl VdrModel {
                 // alone. This is what keeps a hot object's replica count
                 // tracking its demand (replicas of hot objects are never
                 // idle, so plain disk-to-disk copies cannot run).
-                let blocked = queue_len.get(&w.object).map_or(0, |&n| n - 1);
-                if blocked >= 1 && !self.copies_in_flight.contains_key(&w.object) {
+                let blocked = self.queue_len[w.object.index()].saturating_sub(1);
+                if blocked >= 1 && self.copy_done[w.object.index()].is_none() {
                     if let Some(target) = self.farm.plan_piggyback(w.object, blocked, now) {
                         self.farm
                             .begin_stream_copy(target, w.object, now, ends)
                             .expect("planned piggyback commits");
-                        self.copies_in_flight.insert(w.object, ends);
+                        self.copy_done[w.object.index()] = Some(ends);
+                        self.copy_ids.push(w.object);
                     }
                 }
-                if let Some(n) = queue_len.get_mut(&w.object) {
-                    *n -= 1;
-                }
+                self.queue_len[w.object.index()] =
+                    self.queue_len[w.object.index()].saturating_sub(1);
                 continue;
             }
             // No idle replica: consider creating one, unless a copy of
             // this object is already on its way. Disk-to-disk copies are
             // attempted immediately; tertiary-sourced copies go through
             // the fetch queue and are planned when the device frees.
-            if !self.copies_in_flight.contains_key(&w.object) {
-                let qlen = queue_len.get(&w.object).copied().unwrap_or(1);
+            if self.copy_done[w.object.index()].is_none() {
+                let qlen = self.queue_len[w.object.index()].max(1);
                 if let Some(plan) = self.farm.plan_replica(w.object, qlen, now, false) {
                     let until = now + display_time; // cluster-to-cluster copy
                     self.farm
                         .begin_copy(plan, w.object, now, until)
                         .expect("planned copy commits");
-                    self.copies_in_flight.insert(w.object, until);
-                } else if !self.fetch_queue.contains(&w.object) {
-                    self.fetch_queue.push(w.object);
+                    self.copy_done[w.object.index()] = Some(until);
+                    self.copy_ids.push(w.object);
+                } else if !self.in_fetch_queue[w.object.index()] {
+                    self.fetch_queue.push_back(w.object);
+                    self.in_fetch_queue[w.object.index()] = true;
                 }
             }
             still.push(w);
+        }
+        // Zero the scratch counts (only entries this pass touched).
+        for w in &waiters {
+            self.queue_len[w.object.index()] = 0;
         }
         self.waiters = still;
         self.metrics.active.set(now, self.active.len() as f64);
@@ -232,12 +258,13 @@ impl VdrModel {
     /// head-of-queue fetch. Objects nobody waits for any more are dropped.
     fn pump_fetches(&mut self, now: SimTime) {
         while self.tertiary.busy_until() <= now {
-            let Some(&object) = self.fetch_queue.first() else {
+            let Some(&object) = self.fetch_queue.front() else {
                 return;
             };
             let qlen = self.waiters.iter().filter(|w| w.object == object).count() as u32;
-            if qlen == 0 || self.copies_in_flight.contains_key(&object) {
-                self.fetch_queue.remove(0);
+            if qlen == 0 || self.copy_done[object.index()].is_some() {
+                self.fetch_queue.pop_front();
+                self.in_fetch_queue[object.index()] = false;
                 continue;
             }
             match self.farm.plan_replica(object, qlen, now, true) {
@@ -260,8 +287,10 @@ impl VdrModel {
                     self.farm
                         .begin_copy(plan, object, now, until)
                         .expect("planned copy commits");
-                    self.copies_in_flight.insert(object, until);
-                    self.fetch_queue.remove(0);
+                    self.copy_done[object.index()] = Some(until);
+                    self.copy_ids.push(object);
+                    self.fetch_queue.pop_front();
+                    self.in_fetch_queue[object.index()] = false;
                 }
                 None => return, // no victim available; retry next interval
             }
@@ -345,7 +374,7 @@ impl VdrServer {
                     m.active.len(),
                     m.waiters.len(),
                     m.fetch_queue.len(),
-                    m.copies_in_flight.len(),
+                    m.copy_ids.len(),
                     m.stations.len() - m.stations.count_waiting() - m.stations.count_displaying(),
                 );
             }
@@ -362,10 +391,7 @@ impl VdrServer {
     fn finish(self) -> RunReport {
         let now = self.sim.now();
         let m = self.sim.model();
-        let popularity = format!("{:?}", m.config.popularity)
-            .replace("TruncatedGeometric { mean: ", "geom(")
-            .replace("Zipf { alpha: ", "zipf(")
-            .replace(" }", ")");
+        let popularity = m.config.popularity.tag();
         m.metrics.report(
             now,
             "vdr",
@@ -400,10 +426,7 @@ impl VdrModel {
 pub(crate) fn stagger(config: &ServerConfig) -> Vec<SimTime> {
     let display = config.display_time();
     (0..config.stations)
-        .map(|s| {
-            SimTime::ZERO
-                + display * u64::from(s) / u64::from(config.stations)
-        })
+        .map(|s| SimTime::ZERO + display * u64::from(s) / u64::from(config.stations))
         .collect()
 }
 
@@ -502,7 +525,10 @@ mod tests {
     #[test]
     fn wrong_scheme_is_rejected() {
         let cfg = ServerConfig::small_test(2, 1);
-        assert!(matches!(VdrServer::new(cfg), Err(Error::InvalidConfig { .. })));
+        assert!(matches!(
+            VdrServer::new(cfg),
+            Err(Error::InvalidConfig { .. })
+        ));
     }
 
     #[test]
@@ -511,6 +537,9 @@ mod tests {
         if let Scheme::Vdr { vdr } = &mut cfg.scheme {
             vdr.clusters = 999;
         }
-        assert!(matches!(VdrModel::new(cfg), Err(Error::InvalidConfig { .. })));
+        assert!(matches!(
+            VdrModel::new(cfg),
+            Err(Error::InvalidConfig { .. })
+        ));
     }
 }

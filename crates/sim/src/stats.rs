@@ -426,7 +426,7 @@ mod tests {
         let mut u = TimeWeighted::new(SimTime::ZERO, 0.0);
         u.set(SimTime::from_secs(10), 1.0); // 0 for 10 s
         u.set(SimTime::from_secs(40), 0.0); // 1 for 30 s
-        // At t=50: 30 s of "1" over 50 s = 0.6.
+                                            // At t=50: 30 s of "1" over 50 s = 0.6.
         assert!((u.mean(SimTime::from_secs(50)) - 0.6).abs() < 1e-12);
         assert_eq!(u.current(), 0.0);
     }

@@ -92,7 +92,10 @@ impl<E: fmt::Display> Trace<E> {
     pub fn to_text(&self) -> String {
         let mut out = String::new();
         if self.dropped > 0 {
-            out.push_str(&format!("... {} earlier events dropped ...\n", self.dropped));
+            out.push_str(&format!(
+                "... {} earlier events dropped ...\n",
+                self.dropped
+            ));
         }
         for (t, e) in &self.ring {
             out.push_str(&format!("{t}  {e}\n"));

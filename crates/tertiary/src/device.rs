@@ -78,8 +78,10 @@ impl TertiaryDevice {
         } + self.params.initial_access;
         let duration = self.params.materialize_duration(size, subobjects);
         let done = start + duration;
-        let earliest_display =
-            start + self.params.pipelined_start_offset(size, subobjects, display);
+        let earliest_display = start
+            + self
+                .params
+                .pipelined_start_offset(size, subobjects, display);
         self.busy_until = done;
         self.jobs_completed += 1;
         self.busy_time += duration + self.params.initial_access;
@@ -148,7 +150,13 @@ mod tests {
     #[test]
     fn idle_device_starts_immediately() {
         let mut d = device();
-        let s = d.submit(SimTime::from_secs(10), ObjectId(1), SIZE, SUBOBJECTS, DISPLAY);
+        let s = d.submit(
+            SimTime::from_secs(10),
+            ObjectId(1),
+            SIZE,
+            SUBOBJECTS,
+            DISPLAY,
+        );
         assert_eq!(s.start, SimTime::from_secs(10));
         assert!((s.done.as_secs_f64() - 4546.0).abs() < 0.1);
         assert!((s.earliest_display.as_secs_f64() - (10.0 + 2721.6)).abs() < 0.1);
@@ -158,7 +166,13 @@ mod tests {
     fn jobs_queue_fifo() {
         let mut d = device();
         let a = d.submit(SimTime::ZERO, ObjectId(1), SIZE, SUBOBJECTS, DISPLAY);
-        let b = d.submit(SimTime::from_secs(1), ObjectId(2), SIZE, SUBOBJECTS, DISPLAY);
+        let b = d.submit(
+            SimTime::from_secs(1),
+            ObjectId(2),
+            SIZE,
+            SUBOBJECTS,
+            DISPLAY,
+        );
         assert_eq!(b.start, a.done);
         assert_eq!(b.done, a.done + SimDuration::from_secs_f64(4536.0));
         assert_eq!(d.jobs_completed(), 2);
@@ -181,11 +195,8 @@ mod tests {
         let s = d.submit(SimTime::ZERO, ObjectId(1), SIZE, SUBOBJECTS, DISPLAY);
         let bt = d.params().bandwidth;
         for frac in [0.0, 0.1, 0.3, 0.5, 0.9, 1.0] {
-            let t = s.earliest_display
-                + SimDuration::from_secs_f64(1814.4 * frac);
-            let produced = bt
-                .bytes_in(t.saturating_duration_since(s.start))
-                .min(SIZE);
+            let t = s.earliest_display + SimDuration::from_secs_f64(1814.4 * frac);
+            let produced = bt.bytes_in(t.saturating_duration_since(s.start)).min(SIZE);
             let consumed = DISPLAY.bytes_in(t.saturating_duration_since(s.earliest_display));
             assert!(
                 produced >= consumed,

@@ -65,9 +65,7 @@ impl TertiaryParams {
         let stream = size.transfer_time(self.bandwidth);
         match self.layout {
             TapeLayout::FragmentOrdered => stream,
-            TapeLayout::Sequential => {
-                stream + self.reposition * subobjects.saturating_sub(1)
-            }
+            TapeLayout::Sequential => stream + self.reposition * subobjects.saturating_sub(1),
         }
     }
 
@@ -160,8 +158,8 @@ mod tests {
         let mut p = TertiaryParams::table3();
         p.layout = TapeLayout::Sequential;
         let subobject = Bytes::new(5 * 1_512_000); // 7.56 MB
-        // Useful time per subobject: 60.48 Mbit / 40 mbps = 1.512 s;
-        // cycle = 2.512 s; effective ≈ 40 × 1.512/2.512 ≈ 24.08 mbps.
+                                                   // Useful time per subobject: 60.48 Mbit / 40 mbps = 1.512 s;
+                                                   // cycle = 2.512 s; effective ≈ 40 × 1.512/2.512 ≈ 24.08 mbps.
         let eff = p.effective_bandwidth(subobject).as_mbps_f64();
         assert!((eff - 24.08).abs() < 0.05, "effective {eff}");
         p.layout = TapeLayout::FragmentOrdered;

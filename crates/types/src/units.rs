@@ -533,11 +533,11 @@ mod tests {
     #[test]
     fn duration_constructors_agree() {
         assert_eq!(SimDuration::from_secs(2), SimDuration::from_millis(2_000));
+        assert_eq!(SimDuration::from_millis(3), SimDuration::from_micros(3_000));
         assert_eq!(
-            SimDuration::from_millis(3),
-            SimDuration::from_micros(3_000)
+            SimDuration::from_secs_f64(0.5),
+            SimDuration::from_millis(500)
         );
-        assert_eq!(SimDuration::from_secs_f64(0.5), SimDuration::from_millis(500));
     }
 
     #[test]
@@ -565,10 +565,7 @@ mod tests {
         let t0 = SimTime::from_secs(10);
         let t1 = t0 + SimDuration::from_millis(1500);
         assert_eq!(t1.duration_since(t0), SimDuration::from_millis(1500));
-        assert_eq!(
-            t0.saturating_duration_since(t1),
-            SimDuration::ZERO
-        );
+        assert_eq!(t0.saturating_duration_since(t1), SimDuration::ZERO);
         assert_eq!(t1 - SimDuration::from_millis(1500), t0);
     }
 

@@ -3,7 +3,6 @@
 
 use serde::{Deserialize, Serialize};
 use ss_types::{ClusterId, Error, ObjectId, Result, SimTime};
-use std::collections::HashMap;
 
 /// Where a new replica's bytes come from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -101,8 +100,14 @@ pub enum CopyPlan {
 pub struct ClusterFarm {
     config: VdrConfig,
     clusters: Vec<Cluster>,
-    replicas: HashMap<ObjectId, Vec<ClusterId>>,
-    access_count: HashMap<ObjectId, u64>,
+    /// Replica locations, dense by object id (grown on demand). An empty
+    /// inner vec means "not resident".
+    replicas: Vec<Vec<ClusterId>>,
+    /// LFU access counts, dense by object id (grown on demand).
+    access_count: Vec<u64>,
+    /// Number of objects with at least one replica (non-empty `replicas`
+    /// entries), maintained incrementally.
+    resident_objects: usize,
 }
 
 impl ClusterFarm {
@@ -118,8 +123,9 @@ impl ClusterFarm {
                 config.clusters as usize
             ],
             config,
-            replicas: HashMap::new(),
-            access_count: HashMap::new(),
+            replicas: Vec::new(),
+            access_count: Vec::new(),
+            resident_objects: 0,
         }
     }
 
@@ -130,18 +136,22 @@ impl ClusterFarm {
 
     /// Records one access to `object` (for the LFU statistics).
     pub fn record_access(&mut self, object: ObjectId) {
-        *self.access_count.entry(object).or_insert(0) += 1;
+        let i = object.index();
+        if i >= self.access_count.len() {
+            self.access_count.resize(i + 1, 0);
+        }
+        self.access_count[i] += 1;
     }
 
     /// Access count of `object`.
     pub fn frequency(&self, object: ObjectId) -> u64 {
-        self.access_count.get(&object).copied().unwrap_or(0)
+        self.access_count.get(object.index()).copied().unwrap_or(0)
     }
 
     /// Clusters currently holding a replica of `object`.
     pub fn replicas_of(&self, object: ObjectId) -> &[ClusterId] {
         self.replicas
-            .get(&object)
+            .get(object.index())
             .map(Vec::as_slice)
             .unwrap_or(&[])
     }
@@ -156,8 +166,7 @@ impl ClusterFarm {
     pub fn status(&mut self, cluster: ClusterId, now: SimTime) -> ClusterStatus {
         let c = &mut self.clusters[cluster.index()];
         match c.status {
-            ClusterStatus::Displaying { until, .. }
-            | ClusterStatus::SourcingCopy { until, .. }
+            ClusterStatus::Displaying { until, .. } | ClusterStatus::SourcingCopy { until, .. }
                 if until <= now =>
             {
                 c.status = ClusterStatus::Idle;
@@ -166,7 +175,14 @@ impl ClusterFarm {
                 // Copy completed: register the replica.
                 c.status = ClusterStatus::Idle;
                 c.contents.push(object);
-                self.replicas.entry(object).or_default().push(cluster);
+                let i = object.index();
+                if i >= self.replicas.len() {
+                    self.replicas.resize(i + 1, Vec::new());
+                }
+                if self.replicas[i].is_empty() {
+                    self.resident_objects += 1;
+                }
+                self.replicas[i].push(cluster);
             }
             _ => {}
         }
@@ -182,10 +198,17 @@ impl ClusterFarm {
 
     /// Finds an idle cluster holding `object`, if any.
     pub fn find_idle_replica(&mut self, object: ObjectId, now: SimTime) -> Option<ClusterId> {
-        let candidates: Vec<ClusterId> = self.replicas_of(object).to_vec();
-        candidates
-            .into_iter()
-            .find(|&c| self.status(c, now) == ClusterStatus::Idle)
+        // Index-based scan instead of snapshotting the replica list:
+        // `status` can only *append* replicas (a completing copy), so the
+        // first `n` entries are stable while we probe them.
+        let n = self.replicas_of(object).len();
+        for i in 0..n {
+            let c = self.replicas.get(object.index())?[i];
+            if self.status(c, now) == ClusterStatus::Idle {
+                return Some(c);
+            }
+        }
+        None
     }
 
     /// Starts a display of `object` on `cluster` until `until`.
@@ -347,10 +370,11 @@ impl ClusterFarm {
             .position(|&o| o == object)
             .ok_or(Error::NotResident(object))?;
         c.contents.remove(pos);
-        if let Some(list) = self.replicas.get_mut(&object) {
+        if let Some(list) = self.replicas.get_mut(object.index()) {
+            let had = !list.is_empty();
             list.retain(|&cl| cl != cluster);
-            if list.is_empty() {
-                self.replicas.remove(&object);
+            if had && list.is_empty() {
+                self.resident_objects -= 1;
             }
         }
         Ok(())
@@ -384,8 +408,7 @@ impl ClusterFarm {
                 reason: format!("copy target {target} is not idle"),
             });
         }
-        if self.clusters[target.index()].contents.len()
-            >= self.config.objects_per_cluster as usize
+        if self.clusters[target.index()].contents.len() >= self.config.objects_per_cluster as usize
         {
             return Err(Error::InvalidState {
                 reason: format!("copy target {target} has no free object slot"),
@@ -404,12 +427,12 @@ impl ClusterFarm {
 
     /// Number of distinct disk-resident objects.
     pub fn unique_residents(&self) -> usize {
-        self.replicas.len()
+        self.resident_objects
     }
 
     /// Total replicas across all clusters.
     pub fn total_replicas(&self) -> usize {
-        self.replicas.values().map(Vec::len).sum()
+        self.replicas.iter().map(Vec::len).sum()
     }
 }
 
@@ -434,8 +457,13 @@ mod tests {
     /// Installs `object` on `cluster` instantly (test helper emulating a
     /// completed materialization).
     fn install(f: &mut ClusterFarm, cluster: ClusterId, object: ObjectId) {
-        f.begin_copy(CopyPlan::FromTertiary { target: cluster }, object, t(0), t(0))
-            .unwrap();
+        f.begin_copy(
+            CopyPlan::FromTertiary { target: cluster },
+            object,
+            t(0),
+            t(0),
+        )
+        .unwrap();
         f.refresh(t(0));
     }
 
@@ -472,7 +500,8 @@ mod tests {
             Err(Error::NotResident(_))
         ));
         install(&mut f, ClusterId(0), ObjectId(1));
-        f.start_display(ClusterId(0), ObjectId(1), t(0), t(10)).unwrap();
+        f.start_display(ClusterId(0), ObjectId(1), t(0), t(10))
+            .unwrap();
         assert!(matches!(
             f.start_display(ClusterId(0), ObjectId(1), t(5), t(15)),
             Err(Error::InvalidState { .. })

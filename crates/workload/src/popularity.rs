@@ -24,6 +24,18 @@ pub enum Popularity {
 }
 
 impl Popularity {
+    /// Canonical short label used everywhere a report row names its
+    /// popularity law: `geom(20.0)`, `zipf(0.73)`, or `Uniform`. The float
+    /// is rendered with `{:?}` so tags round-trip exactly (e.g. mean 43.5
+    /// becomes `geom(43.5)`, never `geom(43.50)`).
+    pub fn tag(&self) -> String {
+        match *self {
+            Popularity::TruncatedGeometric { mean } => format!("geom({mean:?})"),
+            Popularity::Zipf { alpha } => format!("zipf({alpha:?})"),
+            Popularity::Uniform => "Uniform".to_string(),
+        }
+    }
+
     /// Instantiates a sampler over a database of `n` objects.
     pub fn sampler(&self, n: usize) -> PopularitySampler {
         assert!(n >= 1, "empty database");
@@ -137,9 +149,25 @@ mod tests {
         let geo = Popularity::TruncatedGeometric { mean: 10.0 }
             .sampler(n)
             .working_set(0.9, n);
-        let zipf = Popularity::Zipf { alpha: 0.73 }.sampler(n).working_set(0.9, n);
+        let zipf = Popularity::Zipf { alpha: 0.73 }
+            .sampler(n)
+            .working_set(0.9, n);
         let uni = Popularity::Uniform.sampler(n).working_set(0.9, n);
         assert!(geo < zipf && zipf < uni, "{geo} < {zipf} < {uni}");
+    }
+
+    #[test]
+    fn tags_are_canonical() {
+        assert_eq!(
+            Popularity::TruncatedGeometric { mean: 43.5 }.tag(),
+            "geom(43.5)"
+        );
+        assert_eq!(
+            Popularity::TruncatedGeometric { mean: 20.0 }.tag(),
+            "geom(20.0)"
+        );
+        assert_eq!(Popularity::Zipf { alpha: 0.73 }.tag(), "zipf(0.73)");
+        assert_eq!(Popularity::Uniform.tag(), "Uniform");
     }
 
     #[test]

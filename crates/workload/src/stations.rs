@@ -196,10 +196,7 @@ impl TraceArrivals {
         for pair in events.windows(2) {
             if pair[1].0 < pair[0].0 {
                 return Err(ss_types::Error::InvalidConfig {
-                    reason: format!(
-                        "trace not sorted: {} after {}",
-                        pair[1].0, pair[0].0
-                    ),
+                    reason: format!("trace not sorted: {} after {}", pair[1].0, pair[0].0),
                 });
             }
         }
@@ -309,9 +306,18 @@ mod tests {
         let mut tr = TraceArrivals::new(events).unwrap();
         assert_eq!(tr.len(), 4);
         assert!(tr.pop_due(SimTime::ZERO).is_none());
-        assert_eq!(tr.pop_due(SimTime::from_secs(5)), Some((SimTime::from_secs(1), ObjectId(3))));
-        assert_eq!(tr.pop_due(SimTime::from_secs(5)), Some((SimTime::from_secs(5), ObjectId(1))));
-        assert_eq!(tr.pop_due(SimTime::from_secs(5)), Some((SimTime::from_secs(5), ObjectId(2))));
+        assert_eq!(
+            tr.pop_due(SimTime::from_secs(5)),
+            Some((SimTime::from_secs(1), ObjectId(3)))
+        );
+        assert_eq!(
+            tr.pop_due(SimTime::from_secs(5)),
+            Some((SimTime::from_secs(5), ObjectId(1)))
+        );
+        assert_eq!(
+            tr.pop_due(SimTime::from_secs(5)),
+            Some((SimTime::from_secs(5), ObjectId(2)))
+        );
         assert!(tr.pop_due(SimTime::from_secs(5)).is_none());
         assert_eq!(tr.remaining(), 1);
         tr.rewind();
@@ -329,11 +335,13 @@ mod tests {
 
     #[test]
     fn recorded_trace_replays_the_stream() {
-        let mk = || OpenArrivals::new(
-            600.0,
-            Popularity::Uniform.sampler(10),
-            DeterministicRng::seed_from_u64(4),
-        );
+        let mk = || {
+            OpenArrivals::new(
+                600.0,
+                Popularity::Uniform.sampler(10),
+                DeterministicRng::seed_from_u64(4),
+            )
+        };
         let tr = TraceArrivals::record(mk(), 50);
         assert_eq!(tr.len(), 50);
         // Replaying matches re-sampling the identical stream.

@@ -44,7 +44,9 @@ fn main() {
     // Headroom: admission needs slack to keep startup latency low; plan
     // at 85 % occupancy.
     let disks_needed = (disk_demand / 0.85).ceil() as u32;
-    println!("\n=> {disks_needed} disks (at 85% planned occupancy; {disk_demand:.0} busy on average)");
+    println!(
+        "\n=> {disks_needed} disks (at 85% planned occupancy; {disk_demand:.0} busy on average)"
+    );
 
     // Storage: how many of the catalog's objects stay resident, and what
     // that means for tertiary traffic.
@@ -69,7 +71,8 @@ fn main() {
          average-case rate ({:.2} vs {:.2} mbps effective)",
         eq1,
         avg_buf,
-        disk.effective_bandwidth_average_case(fragment).as_mbps_f64(),
+        disk.effective_bandwidth_average_case(fragment)
+            .as_mbps_f64(),
         b_disk.as_mbps_f64()
     );
 

@@ -35,11 +35,11 @@ fn main() -> Result<()> {
 
     // Place it: every fragment gets a (disk, cylinder) address.
     let mut placement = PlacementMap::new(config.clone(), disk.cylinders, 1)?;
-    let placed = placement.place_at(&movie, 4)?;
+    let layout = placement.place_at(&movie, 4)?;
     println!("\nfirst three subobjects land on:");
     for sub in 0..3 {
-        let disks: Vec<String> = (0..placed.layout.degree)
-            .map(|f| placed.layout.fragment_disk(sub, f).to_string())
+        let disks: Vec<String> = (0..layout.degree)
+            .map(|f| layout.fragment_disk(sub, f).to_string())
             .collect();
         println!("  subobject {sub}: {}", disks.join(", "));
     }
@@ -49,8 +49,8 @@ fn main() -> Result<()> {
     let grant = scheduler.try_admit(
         0,
         movie.id,
-        placed.layout.start_disk,
-        placed.layout.degree,
+        layout.start_disk,
+        layout.degree,
         movie.subobjects,
         AdmissionPolicy::Contiguous,
     )?;

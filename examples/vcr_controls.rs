@@ -67,7 +67,10 @@ fn main() {
     for _ in 0..600 {
         session.tick(); // six minutes of playback
     }
-    println!("  after 600 intervals of playback: position {}", session.position());
+    println!(
+        "  after 600 intervals of playback: position {}",
+        session.position()
+    );
     session.press_scan();
     for _ in 0..30 {
         session.tick(); // 30 intervals of 16x scanning

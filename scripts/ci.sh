@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# CI gate: formatting, lints, the tier-1 test suite, and a smoke run of
+# the engine performance baseline. Run from anywhere inside the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "==> perf_baseline --quick"
+cargo run --release -p ss-bench --bin perf_baseline -- --quick
+
+echo "ci.sh: all checks passed"

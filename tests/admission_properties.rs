@@ -8,10 +8,7 @@ use staggered_striping::prelude::*;
 /// A random farm plus a stream of admission attempts.
 fn farm_strategy() -> impl Strategy<Value = (u32, u32, Vec<(u32, u32, u32)>)> {
     (4u32..40, 0u32..41).prop_flat_map(|(d, k)| {
-        let attempts = prop::collection::vec(
-            (0u32..d, 1u32..=d.min(6), 1u32..30),
-            1..40,
-        );
+        let attempts = prop::collection::vec((0u32..d, 1u32..=d.min(6), 1u32..30), 1..40);
         attempts.prop_map(move |a| (d, k, a))
     })
 }
@@ -35,8 +32,7 @@ fn check_grants(d: u32, k: u32, grants: &[(AdmissionGrant, u32, u32)]) {
             // disk that stores that fragment.
             for j in 0..*subobjects {
                 let t = t0 + u64::from(j);
-                let expect = (u64::from(*start_disk) + u64::from(j) * u64::from(k % d)
-                    + i as u64)
+                let expect = (u64::from(*start_disk) + u64::from(j) * u64::from(k % d) + i as u64)
                     % u64::from(d);
                 assert_eq!(
                     u64::from(frame.physical(v, t)),

@@ -26,8 +26,7 @@ fn throughput_respects_physical_ceilings() {
         let cfg = striping_cfg(stations, 11);
         let display_s = cfg.display_time().as_secs_f64();
         let station_ceiling = f64::from(stations) * 3600.0 / display_s;
-        let farm_ceiling =
-            f64::from(cfg.disks / cfg.degree()) * 3600.0 / display_s;
+        let farm_ceiling = f64::from(cfg.disks / cfg.degree()) * 3600.0 / display_s;
         let r = ss_server::run(&cfg).unwrap();
         assert!(
             r.displays_per_hour <= station_ceiling * 1.02,

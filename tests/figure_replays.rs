@@ -4,7 +4,9 @@
 
 use staggered_striping::core::admission::{AdmissionPolicy, IntervalScheduler};
 use staggered_striping::core::algorithms::{FragmentRef, SimpleCombined};
-use staggered_striping::core::render::{cluster_schedule, format_cluster_schedule, layout_grid, ClusterCell};
+use staggered_striping::core::render::{
+    cluster_schedule, format_cluster_schedule, layout_grid, ClusterCell,
+};
 use staggered_striping::prelude::*;
 
 /// Figure 1: the 9-disk simple-striping layout, cell by cell.
@@ -76,7 +78,14 @@ fn figure6_end_to_end() {
     // physical disks 1 and 6 free at interval 0.
     for v in [0u32, 2, 3, 4, 5, 7] {
         sched
-            .try_admit(0, ObjectId(100 + v), v, 1, 1000, AdmissionPolicy::Contiguous)
+            .try_admit(
+                0,
+                ObjectId(100 + v),
+                v,
+                1,
+                1000,
+                AdmissionPolicy::Contiguous,
+            )
             .unwrap();
     }
     let grant = sched

@@ -8,12 +8,10 @@ use staggered_striping::prelude::*;
 use std::collections::HashSet;
 
 fn layout_strategy() -> impl Strategy<Value = StripingLayout> {
-    (2u32..60, 0u32..61, 1u32..8, 1u32..200, 0u32..60).prop_filter_map(
-        "degree <= disks, start < disks",
-        |(d, k, m, n, s)| {
+    (2u32..60, 0u32..61, 1u32..8, 1u32..200, 0u32..60)
+        .prop_filter_map("degree <= disks, start < disks", |(d, k, m, n, s)| {
             (m <= d).then(|| StripingLayout::new(ObjectId(0), s % d, m, n, d, k))
-        },
-    )
+        })
 }
 
 proptest! {
@@ -102,8 +100,8 @@ proptest! {
         let mut map = PlacementMap::new(config, cylinders, 1).unwrap();
         let before = map.free_cylinders();
         match map.place_at(&spec, 0) {
-            Ok(placed) => {
-                let per_disk = placed.layout.fragments_per_disk();
+            Ok(layout) => {
+                let per_disk = layout.fragments_per_disk();
                 // Capacity accounting matches the layout arithmetic.
                 let used = map.used_cylinders();
                 for (disk, (&u, &f)) in used.iter().zip(&per_disk).enumerate() {
@@ -117,6 +115,87 @@ proptest! {
                 prop_assert_eq!(map.free_cylinders(), before);
             }
             Err(e) => prop_assert!(false, "unexpected error {e}"),
+        }
+    }
+}
+
+/// One step of the equivalence workload: place a fresh object with some
+/// bandwidth/length, or remove an already-seen id.
+#[derive(Debug, Clone)]
+enum PlacementOp {
+    Place { mbps: u64, subobjects: u32 },
+    Remove { victim: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = PlacementOp> {
+    // 4:1 place:remove mix via a selector draw.
+    (0u32..5, 1u64..8, 1u32..60, 0usize..32).prop_map(|(sel, mbps, subobjects, victim)| {
+        if sel < 4 {
+            PlacementOp::Place { mbps, subobjects }
+        } else {
+            PlacementOp::Remove { victim }
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The lazy (counter-based) engine is observably equivalent to the
+    /// materialized (cylinder-allocator) engine: the same operation
+    /// sequence produces the same successes, the same *errors* (variant
+    /// and every field), the same per-disk used/free cylinders, the same
+    /// layouts, and the same skew ratio.
+    #[test]
+    fn lazy_engine_matches_materialized(
+        d in 4u32..24,
+        k in 0u32..25,
+        cylinders in 10u32..80,
+        cpf in 1u32..3,
+        ops in proptest::collection::vec(op_strategy(), 1..40),
+    ) {
+        let config = StripingConfig {
+            disks: d,
+            stride: k,
+            fragment: Bytes::megabytes(2),
+            b_disk: Bandwidth::mbps(20),
+        };
+        let mut lazy = PlacementMap::new(config.clone(), cylinders, cpf).unwrap();
+        let mut mat = PlacementMap::new_materialized(config, cylinders, cpf).unwrap();
+        prop_assert_eq!(lazy.backend(), PlacementBackend::Lazy);
+        prop_assert_eq!(mat.backend(), PlacementBackend::Materialized);
+        let mut next_id = 0u32;
+        let mut seen: Vec<ObjectId> = Vec::new();
+        for op in ops {
+            match op {
+                PlacementOp::Place { mbps, subobjects } => {
+                    let spec = ObjectSpec::new(
+                        ObjectId(next_id),
+                        MediaType::new("t", Bandwidth::mbps(mbps * 20)),
+                        subobjects,
+                    );
+                    next_id += 1;
+                    seen.push(spec.id);
+                    let a = lazy.place(&spec);
+                    let b = mat.place(&spec);
+                    prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+                }
+                PlacementOp::Remove { victim } => {
+                    let id = seen.get(victim % seen.len().max(1)).copied()
+                        .unwrap_or(ObjectId(9999));
+                    let a = lazy.remove(id);
+                    let b = mat.remove(id);
+                    prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+                }
+            }
+            prop_assert_eq!(lazy.used_cylinders(), mat.used_cylinders());
+            prop_assert_eq!(lazy.free_cylinders(), mat.free_cylinders());
+            prop_assert_eq!(lazy.resident_count(), mat.resident_count());
+            prop_assert_eq!(lazy.skew_ratio(), mat.skew_ratio());
+            for &id in &seen {
+                prop_assert_eq!(lazy.is_resident(id), mat.is_resident(id));
+                prop_assert_eq!(lazy.layout(id), mat.layout(id));
+            }
         }
     }
 }
@@ -139,8 +218,8 @@ fn many_objects_share_the_farm_without_collisions() {
             MediaType::new("m", Bandwidth::mbps(20 * (1 + u64::from(i % 3)))),
             10 + i,
         );
-        let placed = map.place(&spec).unwrap();
-        expected += placed.layout.degree * placed.layout.subobjects;
+        let layout = map.place(&spec).unwrap();
+        expected += layout.degree * layout.subobjects;
     }
     let used: u32 = map.used_cylinders().iter().sum();
     assert_eq!(used, expected);

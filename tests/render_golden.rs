@@ -1,10 +1,10 @@
 //! Golden-output tests for the figure renderers: the exact text the
 //! examples print, pinned so placement or rendering drift is caught.
 
+use staggered_striping::core::admission::{AdmissionPolicy, IntervalScheduler};
 use staggered_striping::core::render::{
     cluster_schedule, format_cluster_schedule, layout_grid, occupancy_raster,
 };
-use staggered_striping::core::admission::{AdmissionPolicy, IntervalScheduler};
 use staggered_striping::core::schedule::DeliverySchedule;
 use staggered_striping::prelude::*;
 
@@ -61,7 +61,14 @@ fn figure6_raster_golden() {
     let mut sched = IntervalScheduler::new(VirtualFrame::new(8, 1));
     for v in [0u32, 2, 3, 4, 5, 7] {
         sched
-            .try_admit(0, ObjectId(100 + v), v, 1, 1000, AdmissionPolicy::Contiguous)
+            .try_admit(
+                0,
+                ObjectId(100 + v),
+                v,
+                1,
+                1000,
+                AdmissionPolicy::Contiguous,
+            )
             .unwrap();
     }
     let grant = sched

@@ -104,8 +104,8 @@ impl Bencher {
         let start = Instant::now();
         let _keep = routine();
         let once = start.elapsed().max(Duration::from_nanos(1));
-        let per_sample = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 100_000)
-            as usize;
+        let per_sample =
+            (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 100_000) as usize;
         let samples = self.budgeted_samples(once * per_sample as u32);
         for _ in 0..samples {
             let start = Instant::now();

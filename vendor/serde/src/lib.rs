@@ -86,11 +86,7 @@ pub fn field<'a>(map: &'a [(String, Value)], name: &str) -> Option<&'a Value> {
 }
 
 /// Looks up a required field.
-pub fn req_field<'a>(
-    map: &'a [(String, Value)],
-    name: &str,
-    ty: &str,
-) -> Result<&'a Value, Error> {
+pub fn req_field<'a>(map: &'a [(String, Value)], name: &str, ty: &str) -> Result<&'a Value, Error> {
     field(map, name).ok_or_else(|| Error(format!("missing field `{name}` in {ty}")))
 }
 

@@ -9,13 +9,17 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
 }
 
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
 }
 
 // ---- a tiny item model ---------------------------------------------------
@@ -279,12 +283,11 @@ fn gen_serialize(item: &Item) -> String {
                 .map(|v| {
                     let vn = &v.name;
                     match &v.kind {
-                        VariantKind::Unit => format!(
-                            "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string())"
-                        ),
+                        VariantKind::Unit => {
+                            format!("{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string())")
+                        }
                         VariantKind::Named(fields) => {
-                            let binds: Vec<&str> =
-                                fields.iter().map(|f| f.name.as_str()).collect();
+                            let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
                             let inner = named_fields_to_value(fields, "");
                             format!(
                                 "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(vec![\
@@ -297,8 +300,7 @@ fn gen_serialize(item: &Item) -> String {
                                  (\"{vn}\".to_string(), ::serde::Serialize::to_value(f0))])"
                         ),
                         VariantKind::Tuple(n) => {
-                            let binds: Vec<String> =
-                                (0..*n).map(|i| format!("f{i}")).collect();
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
                             let elems: Vec<String> = (0..*n)
                                 .map(|i| format!("::serde::Serialize::to_value(f{i})"))
                                 .collect();

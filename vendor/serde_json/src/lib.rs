@@ -288,9 +288,7 @@ impl<'a> Parser<'a> {
                             // map lone surrogates to the replacement char.
                             s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
                         }
-                        other => {
-                            return Err(Error(format!("bad escape `\\{}`", other as char)))
-                        }
+                        other => return Err(Error(format!("bad escape `\\{}`", other as char))),
                     }
                 }
                 _ => {
