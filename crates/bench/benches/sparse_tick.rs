@@ -1,0 +1,47 @@
+//! Micro-benchmark of event-driven quiescence: the same small server
+//! run with dense per-interval ticks versus the sparse (skip-empty)
+//! schedule. The reports are bit-identical; only the executed tick
+//! count differs, so the gap here is pure engine overhead removed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ss_server::config::{MaterializeMode, Scheme, ServerConfig};
+use ss_server::vdr::vdr_config_for;
+use std::hint::black_box;
+
+fn cfg(dense: bool) -> ServerConfig {
+    let mut c = ServerConfig::small_test(8, 7);
+    c.dense_ticks = dense;
+    c
+}
+
+fn vdr_cfg(dense: bool) -> ServerConfig {
+    let mut c = cfg(dense);
+    c.scheme = Scheme::Vdr {
+        vdr: vdr_config_for(&c),
+    };
+    c.materialize = MaterializeMode::AfterFull;
+    c
+}
+
+fn bench_sparse_tick(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sparse_tick");
+    g.sample_size(10);
+
+    g.bench_function("striping_dense", |b| {
+        b.iter(|| black_box(ss_server::run(&cfg(true)).expect("valid config")))
+    });
+    g.bench_function("striping_sparse", |b| {
+        b.iter(|| black_box(ss_server::run(&cfg(false)).expect("valid config")))
+    });
+    g.bench_function("vdr_dense", |b| {
+        b.iter(|| black_box(ss_server::run(&vdr_cfg(true)).expect("valid config")))
+    });
+    g.bench_function("vdr_sparse", |b| {
+        b.iter(|| black_box(ss_server::run(&vdr_cfg(false)).expect("valid config")))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_sparse_tick);
+criterion_main!(benches);

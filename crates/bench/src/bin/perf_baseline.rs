@@ -16,13 +16,26 @@
 //! 4. **grid** — wall-clock of the small-scale Figure-8 analogue grid
 //!    through the multi-threaded batch runner.
 //!
+//! The grid kernel runs twice: single-threaded (`grid`, the canonical
+//! before/after number) and at `--threads` parallelism
+//! (`grid_parallel`), so the artifact records both raw engine speed and
+//! batch-runner scaling. A third section, `grid_quick`, always holds
+//! the 6-cell quick grid at one thread so CI smoke runs have a
+//! like-for-like number to compare against the committed full baseline.
+//!
 //! Run from the repo root (`cargo run --release -p ss-bench --bin
 //! perf_baseline [-- --quick]`); the JSON artifact is written to
-//! `BENCH_engine.json` in the current directory. `--quick` shrinks the
-//! admission/grid workloads for CI smoke runs; the metric names and
-//! schema are identical in both modes.
+//! `BENCH_engine.json` in the current directory (`BENCH_engine.quick.json`
+//! in quick mode, so smoke runs never clobber the committed baseline).
+//! `--quick` shrinks the admission/grid workloads for CI smoke runs;
+//! the metric names and schema are identical in both modes.
+//!
+//! `--check-against PATH` compares this run's `grid_quick` wall-clock
+//! to the one recorded in the baseline artifact at PATH and exits
+//! non-zero if it regressed more than 2×; set `CI_PERF_STRICT=0` to
+//! downgrade the failure to a warning (shared CI runners are noisy).
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use ss_bench::HarnessOpts;
 use ss_core::admission::{AdmissionPolicy, IntervalScheduler};
 use ss_core::frame::VirtualFrame;
@@ -57,13 +70,18 @@ struct AdmissionMetrics {
 #[derive(Debug, Serialize)]
 struct TickMetrics {
     stations: u32,
+    /// Ticks actually executed by the model.
     ticks: u64,
+    /// Interval boundaries skipped by event-driven quiescence.
+    ticks_skipped: u64,
+    /// Total interval boundaries covered (`ticks + ticks_skipped`).
+    intervals: u64,
     seconds: f64,
     ticks_per_sec: f64,
 }
 
 /// Small Figure-8 grid wall-clock result.
-#[derive(Debug, Serialize)]
+#[derive(Debug, Clone, Serialize)]
 struct GridMetrics {
     configs: u64,
     threads: u64,
@@ -78,9 +96,29 @@ struct BenchReport {
     setup: SetupMetrics,
     admission: AdmissionMetrics,
     tick: TickMetrics,
+    /// Canonical single-threaded grid wall-clock.
     grid: GridMetrics,
+    /// The same grid at `--threads` parallelism.
+    grid_parallel: GridMetrics,
+    /// The 6-cell quick grid at one thread, in every mode, so CI smoke
+    /// runs can compare like-for-like against the committed baseline.
+    grid_quick: GridMetrics,
     /// Peak resident set (VmHWM) of this process, in kilobytes.
     peak_rss_kb: u64,
+}
+
+/// The subset of a baseline artifact `--check-against` needs. Extra
+/// fields in the JSON are ignored; `grid_quick` is optional so the
+/// check degrades gracefully against pre-schema baselines.
+#[derive(Debug, Deserialize)]
+struct BaselineProbe {
+    grid_quick: Option<BaselineGrid>,
+}
+
+/// Seconds field of a baseline grid section.
+#[derive(Debug, Deserialize)]
+struct BaselineGrid {
+    seconds: f64,
 }
 
 /// Kernel 1: build the paper farm and preload until full.
@@ -172,9 +210,12 @@ fn bench_tick(stations: u32, seed: u64) -> TickMetrics {
         ticks += 1;
     }
     let dt = t0.elapsed().as_secs_f64();
+    let ticks_skipped = server.model().ticks_skipped();
     TickMetrics {
         stations,
         ticks,
+        ticks_skipped,
+        intervals: ticks + ticks_skipped,
         seconds: dt,
         ticks_per_sec: ticks as f64 / dt,
     }
@@ -227,8 +268,75 @@ fn peak_rss_kb() -> u64 {
         .unwrap_or(0)
 }
 
+/// Peels `--check-against PATH` off the raw argument list (it is a
+/// perf_baseline-specific flag `HarnessOpts` does not know about).
+fn split_check_against(mut raw: Vec<String>) -> (Vec<String>, Option<String>) {
+    match raw.iter().position(|a| a == "--check-against") {
+        Some(i) => {
+            raw.remove(i);
+            if i < raw.len() {
+                let path = raw.remove(i);
+                (raw, Some(path))
+            } else {
+                eprintln!("--check-against takes a path");
+                std::process::exit(2);
+            }
+        }
+        None => (raw, None),
+    }
+}
+
+/// Compares this run's quick-grid wall-clock to the baseline artifact
+/// at `path`; returns false on a >2x regression (unless
+/// `CI_PERF_STRICT=0` downgrades it to a warning).
+fn check_against(path: &str, current: &GridMetrics) -> bool {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("check-against: cannot read {path}: {e}");
+            return false;
+        }
+    };
+    let probe: BaselineProbe = match serde_json::from_str(&text) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("check-against: cannot parse {path}: {e:?}");
+            return false;
+        }
+    };
+    let Some(baseline) = probe.grid_quick else {
+        eprintln!(
+            "check-against: {path} has no grid_quick section (pre-schema baseline); skipping"
+        );
+        return true;
+    };
+    let ratio = current.seconds / baseline.seconds;
+    eprintln!(
+        "check-against: quick grid {:.3} s vs baseline {:.3} s ({ratio:.2}x)",
+        current.seconds, baseline.seconds
+    );
+    if ratio <= 2.0 {
+        return true;
+    }
+    let strict = std::env::var("CI_PERF_STRICT").map_or(true, |v| v != "0");
+    if strict {
+        eprintln!("check-against: FAIL — quick grid regressed {ratio:.2}x (limit 2x); set CI_PERF_STRICT=0 to downgrade");
+        false
+    } else {
+        eprintln!("check-against: WARN — quick grid regressed {ratio:.2}x but CI_PERF_STRICT=0");
+        true
+    }
+}
+
 fn main() {
-    let opts = HarnessOpts::from_args();
+    let (raw, check_path) = split_check_against(std::env::args().skip(1).collect());
+    let opts = match HarnessOpts::parse_from(raw) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
     let mode = if opts.quick { "quick" } else { "full" };
     eprintln!("perf_baseline ({mode} mode, seed {})", opts.seed);
 
@@ -247,15 +355,33 @@ fn main() {
 
     let tick = bench_tick(16, opts.seed);
     eprintln!(
-        "tick:      {} ticks at 16 stations in {:.3} s ({:.0} ticks/s)",
-        tick.ticks, tick.seconds, tick.ticks_per_sec
+        "tick:      {} ticks (+{} skipped, {} intervals) at 16 stations in {:.3} s ({:.0} ticks/s)",
+        tick.ticks, tick.ticks_skipped, tick.intervals, tick.seconds, tick.ticks_per_sec
     );
 
-    let grid = bench_grid(opts.quick, opts.seed, opts.threads);
+    let grid = bench_grid(opts.quick, opts.seed, 1);
     eprintln!(
-        "grid:      {} configs on {} threads in {:.3} s",
-        grid.configs, grid.threads, grid.seconds
+        "grid:      {} configs on 1 thread in {:.3} s",
+        grid.configs, grid.seconds
     );
+    let grid_parallel = bench_grid(opts.quick, opts.seed, opts.threads);
+    eprintln!(
+        "grid_par:  {} configs on {} threads in {:.3} s ({:.2}x speedup)",
+        grid_parallel.configs,
+        grid_parallel.threads,
+        grid_parallel.seconds,
+        grid.seconds / grid_parallel.seconds
+    );
+    let grid_quick = if opts.quick {
+        grid.clone()
+    } else {
+        let g = bench_grid(true, opts.seed, 1);
+        eprintln!(
+            "grid_quick: {} configs on 1 thread in {:.3} s",
+            g.configs, g.seconds
+        );
+        g
+    };
 
     let report = BenchReport {
         mode: mode.to_string(),
@@ -264,10 +390,25 @@ fn main() {
         admission,
         tick,
         grid,
+        grid_parallel,
+        grid_quick,
         peak_rss_kb: peak_rss_kb(),
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
-    std::fs::write("BENCH_engine.json", format!("{json}\n")).expect("write BENCH_engine.json");
+    // Quick (smoke) runs get their own artifact so they never clobber
+    // the committed full baseline.
+    let out = if opts.quick {
+        "BENCH_engine.quick.json"
+    } else {
+        "BENCH_engine.json"
+    };
+    std::fs::write(out, format!("{json}\n")).expect("write baseline artifact");
     println!("{json}");
-    eprintln!("wrote BENCH_engine.json");
+    eprintln!("wrote {out}");
+
+    if let Some(path) = check_path {
+        if !check_against(&path, &report.grid_quick) {
+            std::process::exit(1);
+        }
+    }
 }

@@ -51,36 +51,60 @@ impl Default for HarnessOpts {
     }
 }
 
+const USAGE: &str = "usage: [--seed N] [--out DIR] [--quick] [--threads N]";
+
 impl HarnessOpts {
-    /// Parses `std::env::args`, panicking with a usage message on bad
-    /// input.
+    /// Parses `std::env::args`, exiting with a usage message on bad
+    /// input. Validation (e.g. `--threads >= 1`) happens here rather
+    /// than as a downstream assertion so the operator sees a usage
+    /// error, not a panic backtrace.
     pub fn from_args() -> Self {
+        match Self::parse_from(std::env::args().skip(1)) {
+            Ok(opts) => opts,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses an argument iterator (excluding argv[0]); returns a usage
+    /// error string on bad input.
+    pub fn parse_from<I>(args: I) -> Result<Self, String>
+    where
+        I: IntoIterator,
+        I::Item: Into<String>,
+    {
         let mut opts = HarnessOpts::default();
-        let mut args = std::env::args().skip(1);
+        let mut args = args.into_iter().map(Into::into);
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--seed" => {
                     opts.seed = args
                         .next()
                         .and_then(|v| v.parse().ok())
-                        .expect("--seed takes an integer");
+                        .ok_or_else(|| format!("--seed takes an integer; {USAGE}"))?;
                 }
                 "--out" => {
-                    opts.out = PathBuf::from(args.next().expect("--out takes a path"));
+                    opts.out = PathBuf::from(
+                        args.next()
+                            .ok_or_else(|| format!("--out takes a path; {USAGE}"))?,
+                    );
                 }
                 "--quick" => opts.quick = true,
                 "--threads" => {
                     opts.threads = args
                         .next()
                         .and_then(|v| v.parse().ok())
-                        .expect("--threads takes an integer");
+                        .ok_or_else(|| format!("--threads takes an integer; {USAGE}"))?;
+                    if opts.threads < 1 {
+                        return Err(format!("--threads must be at least 1; {USAGE}"));
+                    }
                 }
-                other => panic!(
-                    "unknown argument {other}; usage: [--seed N] [--out DIR] [--quick] [--threads N]"
-                ),
+                other => return Err(format!("unknown argument {other}; {USAGE}")),
             }
         }
-        opts
+        Ok(opts)
     }
 
     /// Writes `contents` to `<out>/<name>`, creating the directory, and
@@ -104,6 +128,27 @@ mod tests {
         assert_eq!(o.seed, 1994);
         assert!(!o.quick);
         assert!(o.threads >= 1);
+    }
+
+    #[test]
+    fn parse_rejects_zero_threads_at_parse_time() {
+        let err = HarnessOpts::parse_from(["--threads", "0"]).unwrap_err();
+        assert!(err.contains("--threads must be at least 1"), "{err}");
+        assert!(err.contains("usage:"), "{err}");
+    }
+
+    #[test]
+    fn parse_accepts_valid_options() {
+        let o = HarnessOpts::parse_from(["--seed", "7", "--quick", "--threads", "3"]).unwrap();
+        assert_eq!(o.seed, 7);
+        assert!(o.quick);
+        assert_eq!(o.threads, 3);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_flag() {
+        assert!(HarnessOpts::parse_from(["--bogus"]).is_err());
+        assert!(HarnessOpts::parse_from(["--seed", "notanumber"]).is_err());
     }
 
     #[test]

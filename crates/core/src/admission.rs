@@ -364,6 +364,17 @@ impl IntervalScheduler {
     pub fn utilization(&self, t: u64) -> f64 {
         1.0 - f64::from(self.free_count(t)) / f64::from(self.frame.disks())
     }
+
+    /// The first interval at which at least `m` virtual disks are free
+    /// (both planners reject outright with fewer than `degree` free
+    /// disks, so before this no admission of degree `m` can succeed).
+    /// `None` when `m` exceeds the farm.
+    pub fn earliest_free(&self, m: u32) -> Option<u64> {
+        if m == 0 {
+            return Some(0);
+        }
+        self.with_sorted(|s| s.get(m as usize - 1).copied())
+    }
 }
 
 #[cfg(test)]
@@ -608,6 +619,27 @@ mod tests {
                     assert!(ea <= sb || eb <= sa, "overlap on v{va}: {windows:?}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn earliest_free_tracks_sorted_horizons() {
+        let mut s = sched(4, 1);
+        s.set_free_from(0, 7);
+        s.set_free_from(1, 3);
+        s.set_free_from(2, 3);
+        // free_from = [7, 3, 3, 0] → sorted [0, 3, 3, 7].
+        assert_eq!(s.earliest_free(0), Some(0));
+        assert_eq!(s.earliest_free(1), Some(0));
+        assert_eq!(s.earliest_free(2), Some(3));
+        assert_eq!(s.earliest_free(3), Some(3));
+        assert_eq!(s.earliest_free(4), Some(7));
+        assert_eq!(s.earliest_free(5), None);
+        // Consistency with free_count at the reported interval.
+        for m in 1..=4u32 {
+            let t = s.earliest_free(m).unwrap();
+            assert!(s.free_count(t) >= m);
+            assert!(t == 0 || s.free_count(t - 1) < m);
         }
     }
 

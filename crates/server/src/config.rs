@@ -202,6 +202,13 @@ pub struct ServerConfig {
     /// causality). O(n·M) per admission — used by tests and debugging,
     /// off for the large sweeps.
     pub verify_delivery: bool,
+    /// Tick every interval boundary unconditionally instead of skipping
+    /// intervals the event-driven scheduler proves quiescent. The reports
+    /// are bit-for-bit identical either way (the dense-vs-sparse
+    /// equivalence tests enforce it); this is the reference mode those
+    /// tests compare against and an escape hatch for debugging.
+    #[serde(default)]
+    pub dense_ticks: bool,
     /// Master RNG seed.
     pub seed: u64,
 }
@@ -234,6 +241,7 @@ impl ServerConfig {
             warmup: SimDuration::from_secs(4 * 3600),
             measure: SimDuration::from_secs(12 * 3600),
             verify_delivery: false,
+            dense_ticks: false,
             seed,
         }
     }

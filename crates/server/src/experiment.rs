@@ -26,21 +26,33 @@ pub const TABLE4_STATIONS: [u32; 4] = [16, 64, 128, 256];
 /// results are scattered into their input slots after the scope joins —
 /// no mutex on either the queue or the result vector, so high
 /// `--threads` counts never serialize on lock handoffs.
+///
+/// Jobs are claimed longest-estimated-first (stations × measured
+/// duration as the cost proxy) so a grid's heavyweight cells start
+/// immediately instead of landing on whichever worker drains the tail,
+/// which shortens the critical path of the whole batch. Claim order is
+/// a scheduling detail only: results are scattered back into their
+/// input slots, so output order always equals input order.
 pub fn run_batch(configs: Vec<ServerConfig>, threads: usize) -> Vec<RunReport> {
     assert!(threads >= 1);
     let n = configs.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    let cost = |c: &ServerConfig| u128::from(c.stations) * u128::from(c.measure.as_micros());
+    order.sort_by_key(|&i| std::cmp::Reverse(cost(&configs[i])));
     let cursor = AtomicUsize::new(0);
     let configs = &configs;
+    let order = &order;
     let mut per_worker: Vec<Vec<(usize, RunReport)>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads.min(n.max(1)))
             .map(|_| {
                 s.spawn(|| {
                     let mut local = Vec::new();
                     loop {
-                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                        if idx >= n {
+                        let slot = cursor.fetch_add(1, Ordering::Relaxed);
+                        if slot >= n {
                             break;
                         }
+                        let idx = order[slot];
                         let report = run(&configs[idx]).expect("experiment config must be valid");
                         local.push((idx, report));
                     }
@@ -381,6 +393,23 @@ mod tests {
         assert_eq!(seq, par);
         assert_eq!(seq[0].stations, 1);
         assert_eq!(seq[2].stations, 4);
+    }
+
+    #[test]
+    fn batch_runner_output_order_is_input_order_despite_claim_order() {
+        // Input deliberately ascending by cost, so the longest-first
+        // claim order (4, 2, 1 stations) is the exact reverse of the
+        // input order. The output must still follow the input.
+        let cfgs = vec![
+            ServerConfig::small_test(1, 3),
+            ServerConfig::small_test(2, 3),
+            ServerConfig::small_test(4, 3),
+        ];
+        for threads in [1, 2, 4] {
+            let reports = run_batch(cfgs.clone(), threads);
+            let stations: Vec<u32> = reports.iter().map(|r| r.stations).collect();
+            assert_eq!(stations, vec![1, 2, 4]);
+        }
     }
 
     #[test]

@@ -69,6 +69,12 @@ pub struct MetricsCollector {
     pub peak_buffer_fragments: u64,
     /// Dynamic-coalescing handovers performed.
     pub coalesces: u64,
+    /// Interval boundaries the event-driven scheduler proved quiescent and
+    /// never ticked (their metric contributions were replayed instead).
+    /// Whole-run diagnostic: like `peak_buffer_fragments` it survives the
+    /// warm-up reset, and it is deliberately absent from [`RunReport`] so
+    /// dense and sparse runs stay byte-identical.
+    pub ticks_skipped: u64,
     measure_start: SimTime,
     in_measurement: bool,
 }
@@ -85,6 +91,7 @@ impl MetricsCollector {
             tertiary_fetches: 0,
             peak_buffer_fragments: 0,
             coalesces: 0,
+            ticks_skipped: 0,
             measure_start: SimTime::ZERO,
             in_measurement: false,
         }

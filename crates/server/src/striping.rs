@@ -114,6 +114,9 @@ pub struct StripingModel {
     next_arrival: Option<(SimTime, ObjectId)>,
     measurement_started: bool,
     deadline: SimTime,
+    /// The boundary of the last executed tick (event-driven mode replays
+    /// the metric samples of the boundaries skipped since then).
+    last_tick: SimTime,
 }
 
 impl StripingModel {
@@ -226,6 +229,7 @@ impl StripingModel {
             next_arrival: None,
             measurement_started: false,
             deadline,
+            last_tick: SimTime::ZERO,
             config,
         })
     }
@@ -247,7 +251,7 @@ impl StripingModel {
             if self.active[i].ends <= now {
                 let d = self.active.swap_remove(i);
                 if let Some(station) = d.station {
-                    self.stations.complete(station);
+                    self.stations.complete_at(station, now);
                 }
                 self.buffers.release(d.buffer_fragments);
                 if self.metrics.measuring() {
@@ -610,17 +614,146 @@ impl StripingModel {
             .utilization
             .set(now, self.scheduler.utilization(t));
     }
+
+    /// The earliest future instant at which the next tick can do anything a
+    /// quiescent tick would not — the wakeup horizon of the event-driven
+    /// scheduler. Called after [`Self::tick`], so every queue reflects the
+    /// just-finished interval. Returning a time `<= now` means "state may
+    /// change every interval, tick densely".
+    fn next_wakeup(&self, now: SimTime) -> SimTime {
+        // Per-interval work that cannot be predicted from timestamps
+        // alone: fragmented displays migrate one fragment per interval,
+        // and a queued fetch facing a free device retries its (possibly
+        // eviction-blocked) space reservation each interval.
+        if self.active.iter().any(|d| d.fragmented.is_some())
+            || (!self.fetch_queue.is_empty() && self.tertiary.busy_until() <= now)
+        {
+            return now;
+        }
+        let mut horizon = self.deadline;
+        // Queued admissions probe the rotated virtual frame each interval,
+        // but both planners reject outright while fewer virtual disks than
+        // the attempt's degree are free — so with the scheduler untouched
+        // (commits and completions are wakeup sources themselves), every
+        // attempt before `earliest_free(min degree)` is a side-effect-free
+        // rejection and those intervals can be skipped wholesale.
+        if !self.wait_disk.is_empty() {
+            match self.earliest_admission_attempt() {
+                Some(at) if at > now => horizon = horizon.min(at),
+                Some(_) => return now, // an attempt may pass next interval
+                // No queued degree fits the farm: attempts reject forever,
+                // the queue imposes no wakeup of its own.
+                None => {}
+            }
+        }
+        if !self.measurement_started {
+            horizon = horizon.min(SimTime::ZERO + self.config.warmup);
+        }
+        // (a) Active-display completions.
+        for d in &self.active {
+            horizon = horizon.min(d.ends);
+        }
+        // (d) Pending materializations become displayable, and a busy
+        // tertiary device frees up for the next queued fetch.
+        for &o in &self.materializing_ids {
+            if let Some(ready) = self.materializing[o.index()] {
+                horizon = horizon.min(ready);
+            }
+        }
+        if !self.fetch_queue.is_empty() {
+            horizon = horizon.min(self.tertiary.busy_until());
+        }
+        // (c) The next open-system or trace arrival.
+        if let Some((at, _)) = self.next_arrival {
+            horizon = horizon.min(at);
+        }
+        if let Some(at) = self.trace.as_ref().and_then(|t| t.peek_next_at()) {
+            horizon = horizon.min(at);
+        }
+        // (b) Closed-loop stations: staggered activation and think expiry.
+        // Post-tick, a thinking station either has not activated yet or is
+        // past its expiry and re-issues next tick regardless — exactly the
+        // dense model's behavior (`complete_displays` precedes
+        // `issue_requests`, so completions re-issue the same tick).
+        if self.trace.is_none() && self.open.is_none() {
+            for s in 0..self.stations.len() {
+                let station = StationId(s as u32);
+                if matches!(self.stations.state(station), StationState::Thinking) {
+                    let ready = self.activate_at[s].max(self.stations.ready_from(station));
+                    horizon = horizon.min(ready);
+                }
+            }
+        }
+        horizon
+    }
+
+    /// The boundary of the first interval at which some queued admission
+    /// could pass the planners' leading free-disk count test. `None` when
+    /// no queued degree fits the farm at all. Under the fragmented policy
+    /// the count test looks `max_delay_intervals` ahead, so the bound
+    /// backs off by the same amount.
+    fn earliest_admission_attempt(&self) -> Option<SimTime> {
+        let m_min = self
+            .wait_disk
+            .iter()
+            .map(|w| match self.cluster_round {
+                Some(c) => c,
+                None => self
+                    .catalog
+                    .get(w.object)
+                    .map_or(1, |s| s.degree(self.b_disk)),
+            })
+            .min()
+            .expect("caller checked wait_disk is non-empty");
+        let delay = match self.policy {
+            AdmissionPolicy::Contiguous => 0,
+            AdmissionPolicy::Fragmented {
+                max_delay_intervals,
+                ..
+            } => max_delay_intervals,
+        };
+        let t = self.scheduler.earliest_free(m_min)?.saturating_sub(delay);
+        Some(SimTime::from_micros(t * self.interval.as_micros()))
+    }
+
+    /// Replays the metric samples a dense model would have taken at every
+    /// boundary strictly between the last executed tick and `now`. At a
+    /// skipped boundary the active-display set is provably unchanged
+    /// (completions are wakeup sources) and the committed-capacity curve is
+    /// a pure function of the untouched scheduler, so one
+    /// [`ss_sim::TimeWeighted::set`] per series reproduces the dense
+    /// accumulation bit-for-bit: the dense model's repeated same-timestamp
+    /// sets each contribute exactly +0.0 after the first.
+    fn replay_skipped(&mut self, now: SimTime) {
+        let mut b = self.last_tick + self.interval;
+        let active = self.active.len() as f64;
+        while b < now {
+            let t = self.interval_index(b);
+            self.metrics.active.set(b, active);
+            self.metrics
+                .utilization
+                .set(b, self.scheduler.utilization(t));
+            self.metrics.ticks_skipped += 1;
+            b += self.interval;
+        }
+    }
 }
 
 impl Model for StripingModel {
     type Event = Event;
     fn handle(&mut self, _ev: Event, ctx: &mut Context<'_, Event>) {
         let now = ctx.now();
+        if !self.config.dense_ticks {
+            self.replay_skipped(now);
+        }
         self.tick(now);
+        self.last_tick = now;
         if now >= self.deadline {
             ctx.stop();
-        } else {
+        } else if self.config.dense_ticks {
             ctx.schedule_in(self.interval, Event::Tick);
+        } else {
+            ctx.schedule_next_boundary(self.interval, self.next_wakeup(now), Event::Tick);
         }
     }
 }
@@ -702,6 +835,11 @@ impl StripingModel {
     /// Current interval index at `now` (diagnostics).
     pub fn interval_at(&self, now: SimTime) -> u64 {
         self.interval_index(now)
+    }
+
+    /// Interval boundaries skipped (proved quiescent) so far.
+    pub fn ticks_skipped(&self) -> u64 {
+        self.metrics.ticks_skipped
     }
 }
 

@@ -71,6 +71,9 @@ pub struct VdrModel {
     activate_at: Vec<SimTime>,
     measurement_started: bool,
     deadline: SimTime,
+    /// The boundary of the last executed tick (event-driven mode replays
+    /// the metric samples of the boundaries skipped since then).
+    last_tick: SimTime,
 }
 
 impl VdrModel {
@@ -152,6 +155,7 @@ impl VdrModel {
             activate_at: stagger(&config),
             measurement_started: false,
             deadline,
+            last_tick: SimTime::ZERO,
             config,
         })
     }
@@ -161,7 +165,7 @@ impl VdrModel {
         while i < self.active.len() {
             if self.active[i].ends <= now {
                 let d = self.active.swap_remove(i);
-                self.stations.complete(d.station);
+                self.stations.complete_at(d.station, now);
                 if self.metrics.measuring() {
                     self.metrics.record_completion();
                 }
@@ -326,17 +330,88 @@ impl VdrModel {
             .utilization
             .set(now, busy / f64::from(self.vdr.clusters));
     }
+
+    /// The earliest future instant at which the next tick can do anything a
+    /// quiescent tick would not (see the striping model's twin). Every
+    /// cluster-status transition happens at a display end or a copy
+    /// completion, and all farm decisions are deterministic in the statuses
+    /// plus the (tick-only) LFU counts — so between these instants a tick
+    /// is a provable no-op, waiters included.
+    fn next_wakeup(&self, now: SimTime) -> SimTime {
+        // A queued fetch facing a free tertiary device retries its replica
+        // planning (including the eviction search) every interval.
+        if !self.fetch_queue.is_empty() && self.tertiary.busy_until() <= now {
+            return now;
+        }
+        let mut horizon = self.deadline;
+        if !self.measurement_started {
+            horizon = horizon.min(SimTime::ZERO + self.config.warmup);
+        }
+        // (a) Display completions free clusters and stations.
+        for d in &self.active {
+            horizon = horizon.min(d.ends);
+        }
+        // (d) Copy completions register replicas; a busy tertiary device
+        // frees up for the next queued fetch.
+        for &o in &self.copy_ids {
+            if let Some(done) = self.copy_done[o.index()] {
+                horizon = horizon.min(done);
+            }
+        }
+        if !self.fetch_queue.is_empty() {
+            horizon = horizon.min(self.tertiary.busy_until());
+        }
+        // (b) Station activation / think expiry (the VDR baseline is
+        // closed-loop only).
+        for s in 0..self.stations.len() {
+            let station = StationId(s as u32);
+            if matches!(self.stations.state(station), StationState::Thinking) {
+                let ready = self.activate_at[s].max(self.stations.ready_from(station));
+                horizon = horizon.min(ready);
+            }
+        }
+        horizon
+    }
+
+    /// Replays the metric samples a dense model would have taken at every
+    /// boundary strictly between the last executed tick and `now`. With no
+    /// status transition inside the skipped range, both the active-display
+    /// count and the busy-cluster fraction are the constants of the last
+    /// executed tick, so the dense piecewise accumulation is reproduced
+    /// bit-for-bit.
+    fn replay_skipped(&mut self, now: SimTime) {
+        let interval = self.config.interval();
+        let mut b = self.last_tick + interval;
+        if b >= now {
+            return;
+        }
+        let active = self.active.len() as f64;
+        let busy = f64::from(self.vdr.clusters - self.farm.idle_count(b));
+        let util = busy / f64::from(self.vdr.clusters);
+        while b < now {
+            self.metrics.active.set(b, active);
+            self.metrics.utilization.set(b, util);
+            self.metrics.ticks_skipped += 1;
+            b += interval;
+        }
+    }
 }
 
 impl Model for VdrModel {
     type Event = Event;
     fn handle(&mut self, _ev: Event, ctx: &mut Context<'_, Event>) {
         let now = ctx.now();
+        if !self.config.dense_ticks {
+            self.replay_skipped(now);
+        }
         self.tick(now);
+        self.last_tick = now;
         if now >= self.deadline {
             ctx.stop();
-        } else {
+        } else if self.config.dense_ticks {
             ctx.schedule_in(self.config.interval(), Event::Tick);
+        } else {
+            ctx.schedule_next_boundary(self.config.interval(), self.next_wakeup(now), Event::Tick);
         }
     }
 }
@@ -407,6 +482,11 @@ impl VdrServer {
     pub fn model(&self) -> &VdrModel {
         self.sim.model()
     }
+
+    /// Advances one event (diagnostics); returns false when finished.
+    pub fn step(&mut self) -> bool {
+        self.sim.step()
+    }
 }
 
 impl VdrModel {
@@ -418,6 +498,11 @@ impl VdrModel {
     /// Currently queued requests (tests/examples).
     pub fn queued(&self) -> usize {
         self.waiters.len()
+    }
+
+    /// Interval boundaries skipped (proved quiescent) so far.
+    pub fn ticks_skipped(&self) -> u64 {
+        self.metrics.ticks_skipped
     }
 }
 

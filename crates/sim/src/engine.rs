@@ -81,6 +81,35 @@ impl<E> Context<'_, E> {
         self.pending.push((self.now + delay, event));
     }
 
+    /// Schedules `event` at the earliest multiple of `interval` that is
+    /// both strictly after the current time and `>= at_or_after` — the
+    /// event-driven counterpart of an unconditional
+    /// `schedule_in(interval)`: a periodic model that knows nothing can
+    /// happen before `at_or_after` jumps straight to the first boundary
+    /// that matters. Returns the number of interval boundaries strictly
+    /// between now and the scheduled time (the ticks being skipped).
+    ///
+    /// With `at_or_after <= now` this degenerates to the next boundary
+    /// after `now` (zero skipped), so a model can pass its wakeup horizon
+    /// unconditionally.
+    pub fn schedule_next_boundary(
+        &mut self,
+        interval: SimDuration,
+        at_or_after: SimTime,
+        event: E,
+    ) -> u64 {
+        let iv = interval.as_micros();
+        assert!(iv > 0, "interval must be non-zero");
+        let now = self.now.as_micros();
+        // First boundary strictly after `now`, pushed out to cover the
+        // horizon: ceil(target / iv) with target > now.
+        let target = at_or_after.as_micros().max(now + 1);
+        let k = target / iv + u64::from(!target.is_multiple_of(iv));
+        let skipped = k - now / iv - 1;
+        self.schedule_at(SimTime::from_micros(k * iv), event);
+        skipped
+    }
+
     /// Requests that the simulation stop after this handler returns, leaving
     /// any queued events unprocessed. Used by models that detect their own
     /// termination condition (e.g. "warm-up plus measurement window done").
@@ -366,6 +395,82 @@ mod tests {
         sim.schedule_at(SimTime::from_secs(2), Tag(0));
         sim.run();
         sim.schedule_at(SimTime::from_secs(1), Tag(1));
+    }
+
+    /// A periodic model that skips to the boundary covering a fixed horizon.
+    struct Skipper {
+        horizon: SimTime,
+        ticks: Vec<SimTime>,
+        skipped: u64,
+    }
+
+    impl Model for Skipper {
+        type Event = ();
+        fn handle(&mut self, _: (), ctx: &mut Context<'_, ()>) {
+            self.ticks.push(ctx.now());
+            if self.ticks.len() < 3 {
+                self.skipped +=
+                    ctx.schedule_next_boundary(SimDuration::from_secs(10), self.horizon, ());
+            }
+        }
+    }
+
+    #[test]
+    fn next_boundary_covers_horizon_and_counts_skips() {
+        let mut sim = Simulation::new(Skipper {
+            horizon: SimTime::from_secs(35),
+            ticks: vec![],
+            skipped: 0,
+        });
+        sim.schedule_at(SimTime::ZERO, ());
+        sim.run();
+        // Tick 0 jumps to 40 s (covering the 35 s horizon, skipping the
+        // boundaries at 10/20/30 s); afterwards the horizon is in the past
+        // so the model degenerates to plain next-boundary ticking.
+        assert_eq!(
+            sim.model().ticks,
+            vec![
+                SimTime::ZERO,
+                SimTime::from_secs(40),
+                SimTime::from_secs(50)
+            ]
+        );
+        assert_eq!(sim.model().skipped, 3);
+    }
+
+    #[test]
+    fn next_boundary_from_unaligned_now() {
+        // From t = 25 s with a 10 s interval: horizon 25 s → boundary 30 s,
+        // no full boundary lies strictly between.
+        let mut sim = Simulation::new(Skipper {
+            horizon: SimTime::from_secs(25),
+            ticks: vec![],
+            skipped: 0,
+        });
+        sim.schedule_at(SimTime::from_secs(25), ());
+        sim.run_steps(2);
+        assert_eq!(
+            sim.model().ticks,
+            vec![SimTime::from_secs(25), SimTime::from_secs(30)]
+        );
+        assert_eq!(sim.model().skipped, 0);
+    }
+
+    #[test]
+    fn next_boundary_exact_horizon_on_boundary() {
+        // Horizon exactly on a boundary schedules that boundary itself.
+        let mut sim = Simulation::new(Skipper {
+            horizon: SimTime::from_secs(20),
+            ticks: vec![],
+            skipped: 0,
+        });
+        sim.schedule_at(SimTime::ZERO, ());
+        sim.run_steps(2);
+        assert_eq!(
+            sim.model().ticks,
+            vec![SimTime::ZERO, SimTime::from_secs(20)]
+        );
+        assert_eq!(sim.model().skipped, 1);
     }
 
     #[test]

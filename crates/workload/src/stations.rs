@@ -42,6 +42,12 @@ pub struct StationPool {
     think_time: SimDuration,
     rng: DeterministicRng,
     next_request: u64,
+    /// Per-station think expiry: the earliest time the station is willing
+    /// to issue its next request (last completion + think time;
+    /// `SimTime::ZERO` until the first completion). Event-driven servers
+    /// use this as a wakeup horizon; it never *gates* `issue` — with the
+    /// paper's zero think time the two notions coincide.
+    ready_from: Vec<SimTime>,
 }
 
 impl StationPool {
@@ -59,6 +65,7 @@ impl StationPool {
             think_time,
             rng,
             next_request: 0,
+            ready_from: vec![SimTime::ZERO; n as usize],
         }
     }
 
@@ -125,6 +132,21 @@ impl StationPool {
             }
             other => panic!("{station} cannot complete from {other:?}"),
         }
+    }
+
+    /// Marks the display complete at time `now`, recording the station's
+    /// think expiry (`now` + think time) for [`Self::ready_from`].
+    pub fn complete_at(&mut self, station: StationId, now: SimTime) -> RequestId {
+        let request = self.complete(station);
+        self.ready_from[station.index()] = now + self.think_time;
+        request
+    }
+
+    /// The station's think expiry: earliest time it will issue its next
+    /// request after its last [`Self::complete_at`]. Meaningful only while
+    /// the station is [`StationState::Thinking`].
+    pub fn ready_from(&self, station: StationId) -> SimTime {
+        self.ready_from[station.index()]
     }
 
     /// Stations currently in the given coarse state.
@@ -241,6 +263,12 @@ impl TraceArrivals {
         }
     }
 
+    /// Timestamp of the next unreplayed event, if any — the wakeup horizon
+    /// for event-driven consumers.
+    pub fn peek_next_at(&self) -> Option<SimTime> {
+        self.events.get(self.cursor).map(|&(t, _)| t)
+    }
+
     /// Restarts the replay from the beginning.
     pub fn rewind(&mut self) {
         self.cursor = 0;
@@ -277,6 +305,37 @@ mod tests {
         // Request ids are global and monotone.
         let (r1, _) = p.issue(StationId(1), SimTime::ZERO);
         assert_eq!(r1, RequestId(1));
+    }
+
+    #[test]
+    fn complete_at_tracks_think_expiry() {
+        let mut p = StationPool::new(
+            1,
+            Popularity::Uniform.sampler(10),
+            SimDuration::from_secs(30),
+            DeterministicRng::seed_from_u64(5),
+        );
+        assert_eq!(p.ready_from(StationId(0)), SimTime::ZERO);
+        p.issue(StationId(0), SimTime::ZERO);
+        p.start_display(StationId(0), SimTime::from_secs(2));
+        p.complete_at(StationId(0), SimTime::from_secs(100));
+        assert_eq!(p.ready_from(StationId(0)), SimTime::from_secs(130));
+        // `complete_at` delegates to `complete`: the station thinks again.
+        assert_eq!(p.state(StationId(0)), StationState::Thinking);
+    }
+
+    #[test]
+    fn trace_peek_tracks_cursor() {
+        let events = vec![
+            (SimTime::from_secs(1), ObjectId(3)),
+            (SimTime::from_secs(5), ObjectId(1)),
+        ];
+        let mut tr = TraceArrivals::new(events).unwrap();
+        assert_eq!(tr.peek_next_at(), Some(SimTime::from_secs(1)));
+        tr.pop_due(SimTime::from_secs(1));
+        assert_eq!(tr.peek_next_at(), Some(SimTime::from_secs(5)));
+        tr.pop_due(SimTime::from_secs(5));
+        assert_eq!(tr.peek_next_at(), None);
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! Dense-vs-sparse tick equivalence: event-driven quiescence
+//! (`dense_ticks: false`, the default) must produce reports
+//! bit-identical to ticking every interval boundary unconditionally.
+//!
+//! The property sweeps both schemes and all three arrival models over
+//! randomized small configurations; the deterministic tests pin down
+//! that the sparse scheduler actually skips work on paper-scale
+//! Figure-8 cells (a vacuous equivalence would pass the property).
+
+use proptest::prelude::*;
+use staggered_striping::prelude::*;
+use staggered_striping::server::config::{ArrivalModel, MaterializeMode, QueuePolicy, Scheme};
+use staggered_striping::server::vdr::vdr_config_for;
+use staggered_striping::server::{StripingServer, VdrServer};
+
+/// A randomized small configuration: both schemes, all arrival models,
+/// every queue policy, warm and cold starts, short windows.
+fn config_strategy() -> impl Strategy<Value = ServerConfig> {
+    (
+        1u32..=6,        // stations
+        0u64..1_000,     // seed
+        0u8..3,          // arrival model selector (striping only)
+        prop::bool::ANY, // VDR?
+        prop::bool::ANY, // preload
+        0u8..3,          // queue policy selector
+        60u64..=240,     // warmup seconds
+        300u64..=900,    // measure seconds
+    )
+        .prop_map(
+            |(stations, seed, arrival, vdr, preload, queue, warmup, measure)| {
+                let mut c = ServerConfig::small_test(stations, seed);
+                c.warmup = SimDuration::from_secs(warmup);
+                c.measure = SimDuration::from_secs(measure);
+                c.preload = preload;
+                c.verify_delivery = false;
+                c.queue = match queue {
+                    0 => QueuePolicy::Fcfs,
+                    1 => QueuePolicy::SmallestFirst,
+                    _ => QueuePolicy::LargestFirst,
+                };
+                if vdr {
+                    // The VDR baseline runs the closed workload only.
+                    c.scheme = Scheme::Vdr {
+                        vdr: vdr_config_for(&c),
+                    };
+                    c.materialize = MaterializeMode::AfterFull;
+                } else {
+                    match arrival {
+                        1 => {
+                            c.arrivals = ArrivalModel::Open {
+                                rate_per_hour: 60.0 + 45.0 * f64::from(stations),
+                            };
+                        }
+                        2 => {
+                            // A sparse trace: one request every two
+                            // simulated minutes, cycling the catalog.
+                            c.arrivals = ArrivalModel::Trace {
+                                events: (0..12)
+                                    .map(|i| (i * 120_000_000, (i % 10) as u32))
+                                    .collect(),
+                            };
+                        }
+                        _ => {} // closed (the paper's workload)
+                    }
+                }
+                c
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The full `RunReport` — every derived statistic included — is
+    /// identical whether ticks run densely or quiescent intervals are
+    /// skipped.
+    #[test]
+    fn dense_and_sparse_reports_are_identical(cfg in config_strategy()) {
+        let mut dense = cfg.clone();
+        dense.dense_ticks = true;
+        let mut sparse = cfg;
+        sparse.dense_ticks = false;
+        let a = staggered_striping::server::run(&dense).expect("dense run");
+        let b = staggered_striping::server::run(&sparse).expect("sparse run");
+        prop_assert_eq!(a, b);
+    }
+}
+
+/// The sparse scheduler must actually skip intervals on a lightly
+/// loaded Figure-8 cell — otherwise the equivalence above is vacuous.
+#[test]
+fn figure8_striping_cell_skips_ticks() {
+    let mut cfg = ServerConfig::paper_striping(1, 10.0, 1994);
+    cfg.warmup = SimDuration::from_secs(1800);
+    cfg.measure = SimDuration::from_secs(3600);
+    let mut server = StripingServer::new(cfg).expect("paper cell");
+    while server.step() {}
+    let skipped = server.model().ticks_skipped();
+    assert!(skipped > 0, "expected skipped intervals, got {skipped}");
+}
+
+/// Same guarantee for the VDR baseline model.
+#[test]
+fn figure8_vdr_cell_skips_ticks() {
+    let mut cfg = ServerConfig::paper_vdr(1, 10.0, 1994);
+    cfg.warmup = SimDuration::from_secs(1800);
+    cfg.measure = SimDuration::from_secs(3600);
+    let mut server = VdrServer::new(cfg).expect("paper cell");
+    while server.step() {}
+    let skipped = server.model().ticks_skipped();
+    assert!(skipped > 0, "expected skipped intervals, got {skipped}");
+}

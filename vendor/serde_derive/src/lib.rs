@@ -2,11 +2,13 @@
 //! serde crate (see `vendor/serde`). Parses the item by hand (no syn/quote
 //! — the container has no network to fetch them) and supports exactly what
 //! this workspace uses: non-generic named structs, tuple structs and enums
-//! with unit/struct/tuple variants, and **no** `#[serde(...)]` attributes.
+//! with unit/struct/tuple variants, and the single field attribute
+//! `#[serde(default)]` (missing field => `Default::default()`, like real
+//! serde — the additive-schema escape hatch).
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     gen_serialize(&item)
@@ -14,7 +16,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         .expect("generated Serialize impl parses")
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     gen_deserialize(&item)
@@ -28,6 +30,9 @@ struct Field {
     name: String,
     /// Token-text of the type, used only to spot `Option<..>` fields.
     ty: String,
+    /// `#[serde(default)]`: a missing field deserializes to
+    /// `Default::default()` instead of erroring.
+    default: bool,
 }
 
 enum VariantKind {
@@ -117,13 +122,54 @@ fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
     }
 }
 
+/// Like [`skip_attrs_and_vis`], but also reports whether one of the
+/// skipped attributes was `#[serde(default)]`.
+fn skip_field_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut default = false;
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+                    default |= is_serde_default(g.stream());
+                }
+                *i += 2; // `#` + the bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return default,
+        }
+    }
+}
+
+/// True for the attribute body `serde(default)` (with or without other
+/// comma-separated words alongside `default`).
+fn is_serde_default(stream: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
+            if id.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            g.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(w) if w.to_string() == "default"))
+        }
+        _ => false,
+    }
+}
+
 /// Parses `name: Type, ...` (with attributes/visibility per field).
 fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0usize;
     while i < tokens.len() {
-        skip_attrs_and_vis(&tokens, &mut i);
+        let default = skip_field_attrs_and_vis(&tokens, &mut i);
         if i >= tokens.len() {
             break;
         }
@@ -154,7 +200,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
             ty.push_str(&tokens[i].to_string());
             i += 1;
         }
-        fields.push(Field { name, ty });
+        fields.push(Field { name, ty, default });
     }
     fields
 }
@@ -243,7 +289,16 @@ fn named_fields_from_map(fields: &[Field], ty: &str, map_expr: &str) -> String {
     let inits: Vec<String> = fields
         .iter()
         .map(|f| {
-            if is_option(&f.ty) {
+            if f.default {
+                // `#[serde(default)]`: missing field => Default::default().
+                format!(
+                    "{n}: match ::serde::field({m}, \"{n}\") {{ \
+                         Some(v) => ::serde::Deserialize::from_value(v)?, \
+                         None => ::core::default::Default::default() }}",
+                    n = f.name,
+                    m = map_expr
+                )
+            } else if is_option(&f.ty) {
                 // Missing object field => None (matches real serde).
                 format!(
                     "{n}: match ::serde::field({m}, \"{n}\") {{ \
