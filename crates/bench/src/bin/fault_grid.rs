@@ -1,0 +1,108 @@
+//! Degraded-mode companion to **Figure 8**: reruns the Figure-8
+//! throughput grid with 0, 1 and 2 *concurrent* disk failures injected
+//! over the middle half of the measurement window, and reports each
+//! cell's throughput next to its degraded-mode statistics (rescues,
+//! hiccups, dropped streams, downtime).
+//!
+//! The failed disks are spread half a farm apart, so under VDR the two
+//! failures always land in distinct clusters — the grid measures two
+//! independent outages, not a double-failure of one group.
+//!
+//! Emits `fault_grid.csv` (one row per run, degraded columns included)
+//! and prints one table block per failure count plus a throughput
+//! retention summary. `--quick` swaps in the 20-disk test farm on a
+//! reduced station set (the CI smoke configuration).
+
+use ss_bench::HarnessOpts;
+use ss_server::experiment::{fig8_configs, run_batch};
+use ss_server::metrics::{degraded_csv, format_degraded, format_table};
+use ss_server::ServerConfig;
+use ss_sim::FaultPlan;
+use ss_types::SimTime;
+
+/// The grid's outer axis: how many disks fail concurrently.
+const FAILURES: [u32; 3] = [0, 1, 2];
+
+/// Returns `cfg` with `failures` concurrent fail/repair windows spanning
+/// the middle half of the measurement window, on disks half a farm
+/// apart (distinct VDR clusters).
+fn with_failures(mut cfg: ServerConfig, failures: u32) -> ServerConfig {
+    let warmup = cfg.warmup.as_micros();
+    let measure = cfg.measure.as_micros();
+    let fail_at = SimTime::from_micros(warmup + measure / 4);
+    let repair_at = SimTime::from_micros(warmup + 3 * measure / 4);
+    let mut plan = FaultPlan::none();
+    for f in 0..failures {
+        let disk = f * (cfg.disks / 2);
+        plan.events
+            .extend(FaultPlan::fail_window(disk, fail_at, repair_at).events);
+    }
+    cfg.faults = plan;
+    cfg
+}
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let base: Vec<ServerConfig> = if opts.quick {
+        let mut v = Vec::new();
+        for &stations in &[4u32, 8] {
+            v.push(ServerConfig::small_test(stations, opts.seed));
+            v.push(ServerConfig::small_vdr_test(stations, opts.seed));
+        }
+        v
+    } else {
+        fig8_configs(opts.seed)
+    };
+    let cells = base.len();
+    let configs: Vec<ServerConfig> = FAILURES
+        .iter()
+        .flat_map(|&f| base.iter().map(move |c| with_failures(c.clone(), f)))
+        .collect();
+
+    eprintln!(
+        "running {} simulations ({cells} cells x {} failure counts) on {} threads ...",
+        configs.len(),
+        FAILURES.len(),
+        opts.threads
+    );
+    let t0 = std::time::Instant::now();
+    let reports = run_batch(configs, opts.threads);
+    eprintln!("done in {:.1}s", t0.elapsed().as_secs_f64());
+
+    opts.write_artifact("fault_grid.csv", &degraded_csv(&reports));
+
+    for (i, &f) in FAILURES.iter().enumerate() {
+        let chunk = &reports[i * cells..(i + 1) * cells];
+        println!("=== {f} concurrent failure(s) ===");
+        println!("{}", format_table(chunk));
+        if f > 0 {
+            println!("{}", format_degraded(chunk));
+        }
+    }
+
+    // Throughput retention: each cell's displays/hour under 1 and 2
+    // failures as a fraction of its own zero-failure run.
+    println!("throughput retention vs zero-failure baseline");
+    println!(
+        "{:<10} {:>8} {:>12} {:>10} {:>8} {:>8}",
+        "scheme", "stations", "popularity", "disp/hour", "1-fail", "2-fail"
+    );
+    for (i, r0) in reports[..cells].iter().enumerate() {
+        let pct = |r: &ss_server::RunReport| {
+            if r0.displays_per_hour > 0.0 {
+                100.0 * r.displays_per_hour / r0.displays_per_hour
+            } else {
+                f64::NAN
+            }
+        };
+        println!(
+            "{:<10} {:>8} {:>12} {:>10.1} {:>7.1}% {:>7.1}%",
+            r0.scheme,
+            r0.stations,
+            r0.popularity,
+            r0.displays_per_hour,
+            pct(&reports[cells + i]),
+            pct(&reports[2 * cells + i]),
+        );
+    }
+}

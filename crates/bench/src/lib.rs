@@ -18,6 +18,7 @@
 //! | `mixed_media` | staggered vs simple striping under a media mix |
 //! | `ablation_materialize` | pipelined vs full materialization |
 //! | `ablation_fragmentation` | contiguous vs time-fragmented admission |
+//! | `fault_grid` | Figure 8 under 0/1/2 concurrent disk failures, with degraded-mode statistics |
 //!
 //! This library hosts the small amount of shared harness code (CLI
 //! parsing and output handling) the binaries use.

@@ -67,6 +67,30 @@ impl AdmissionGrant {
     }
 }
 
+/// A known window of physical-disk unavailability, in interval units.
+///
+/// Hard outages (`hard == true`, a failed disk) lose any read scheduled
+/// inside the window; soft outages (a transient slow episode) only steer
+/// *new* plans away — reads already committed still complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Outage {
+    /// The physical disk that is unavailable.
+    pub disk: u32,
+    /// First affected interval.
+    pub from: u64,
+    /// First interval at which the disk serves again (exclusive end).
+    pub until: u64,
+    /// True for a failed disk, false for a slow episode.
+    pub hard: bool,
+}
+
+impl Outage {
+    /// True when interval `t` falls inside this window.
+    pub fn covers(&self, t: u64) -> bool {
+        self.from <= t && t < self.until
+    }
+}
+
 /// The per-virtual-disk schedule: one `free_from` interval per virtual
 /// disk.
 ///
@@ -98,6 +122,10 @@ pub struct IntervalScheduler {
     /// per call; at 1000 disks with hundreds of waiters retrying per
     /// interval that is the admission hot path.
     sorted: RefCell<Option<Vec<u64>>>,
+    /// Known unavailability windows (fault injection). Empty in a
+    /// fault-free run, in which case every outage-aware code path below
+    /// reduces to the baseline behavior exactly.
+    outages: Vec<Outage>,
 }
 
 impl IntervalScheduler {
@@ -107,7 +135,66 @@ impl IntervalScheduler {
             free_from: vec![0; frame.disks() as usize],
             frame,
             sorted: RefCell::new(None),
+            outages: Vec::new(),
         }
+    }
+
+    /// Registers a known unavailability window. Both admission planners
+    /// and the coalescing planner refuse to place reads inside it.
+    pub fn add_outage(&mut self, outage: Outage) {
+        self.outages.push(outage);
+    }
+
+    /// Drops windows that have fully elapsed by interval `now`.
+    pub fn prune_outages(&mut self, now: u64) {
+        self.outages.retain(|o| o.until > now);
+    }
+
+    /// The currently registered unavailability windows.
+    pub fn outages(&self) -> &[Outage] {
+        &self.outages
+    }
+
+    /// True when any outage window is registered (the cheap fault gate).
+    pub fn has_outages(&self) -> bool {
+        !self.outages.is_empty()
+    }
+
+    /// True when virtual disk `v`, reading one fragment per interval over
+    /// `[start_t, end_t)`, would visit an unavailable physical disk.
+    ///
+    /// Virtual disk `v` sits over physical `(v + k·t) mod D` at interval
+    /// `t`, so per outage the question is one modular alignment solve: the
+    /// earliest visit of the outage's disk at or after
+    /// `max(start_t, outage.from)` — later visits only recur further out
+    /// (every `D / gcd(D, k)` intervals), so the first one decides.
+    pub fn read_conflict(&self, v: u32, start_t: u64, end_t: u64) -> bool {
+        self.outages.iter().any(|o| {
+            let lo = start_t.max(o.from);
+            let hi = end_t.min(o.until);
+            lo < hi
+                && self
+                    .frame
+                    .next_alignment(v, o.disk, lo)
+                    .is_some_and(|t| t < hi)
+        })
+    }
+
+    /// Like [`IntervalScheduler::read_conflict`], but restricted to hard
+    /// outages (failed disks): committed reads survive a slow episode but
+    /// not a failure.
+    pub fn hard_read_conflict(&self, v: u32, start_t: u64, end_t: u64) -> bool {
+        self.outages.iter().any(|o| {
+            o.hard && {
+                let lo = start_t.max(o.from);
+                let hi = end_t.min(o.until);
+                lo < hi
+                    && self
+                        .frame
+                        .next_alignment(v, o.disk, lo)
+                        .is_some_and(|t| t < hi)
+            }
+        })
     }
 
     /// The frame this scheduler operates in.
@@ -205,12 +292,13 @@ impl IntervalScheduler {
         subobjects: u32,
     ) -> Result<AdmissionGrant> {
         let d = self.frame.disks();
+        let window = now + u64::from(subobjects);
         // Count first, allocate only on success: at saturation this path
         // runs once per queued waiter per interval.
         let mut free = 0u32;
         for i in 0..degree {
             let v = self.frame.virtual_of((start_disk + i) % d, now);
-            if self.is_free(v, now) {
+            if self.is_free(v, now) && !self.read_conflict(v, now, window) {
                 free += 1;
             }
         }
@@ -278,7 +366,7 @@ impl IntervalScheduler {
                 // Stationary frame: only the disk itself, from the moment
                 // it frees.
                 let t = now.max(self.free_from[p as usize]);
-                if t <= window_end {
+                if t <= window_end && !self.read_conflict(p, t, t + u64::from(subobjects)) {
                     cands.push((t, p));
                 }
             } else {
@@ -289,8 +377,12 @@ impl IntervalScheduler {
                 let mut v = self.frame.virtual_of(p, now);
                 for t in now..=window_end {
                     // The disk must be done with prior commitments before
-                    // it starts reading for us.
-                    if self.free_from[v as usize] <= t {
+                    // it starts reading for us — and, under fault
+                    // injection, its reading window must clear every
+                    // known unavailability window.
+                    if self.free_from[v as usize] <= t
+                        && !self.read_conflict(v, t, t + u64::from(subobjects))
+                    {
                         cands.push((t, v));
                     }
                     v = if v >= k { v - k } else { v + d - k };
@@ -641,6 +733,79 @@ mod tests {
             assert!(s.free_count(t) >= m);
             assert!(t == 0 || s.free_count(t - 1) < m);
         }
+    }
+
+    #[test]
+    fn outage_blocks_contiguous_admission_until_repair() {
+        let mut s = sched(12, 1);
+        // Disk 5 is down for intervals [0, 20): any display whose reads
+        // visit disk 5 in that window must be rejected.
+        s.add_outage(Outage {
+            disk: 5,
+            from: 0,
+            until: 20,
+            hard: true,
+        });
+        // Object at disk 4, M = 3, 13 subobjects: fragment 1 starts on
+        // disk 5 — read at interval 0, inside the window.
+        assert!(s
+            .try_admit(0, ObjectId(0), 4, 3, 13, AdmissionPolicy::Contiguous)
+            .is_err());
+        // After the window, the same admission goes through.
+        let g = s
+            .try_admit(20, ObjectId(0), 4, 3, 13, AdmissionPolicy::Contiguous)
+            .unwrap();
+        assert_eq!(g.virtual_disks.len(), 3);
+        // And pruning removes the elapsed window entirely.
+        s.prune_outages(20);
+        assert!(!s.has_outages());
+    }
+
+    #[test]
+    fn outage_steers_fragmented_plans_clear() {
+        let mut s = sched(8, 1);
+        s.add_outage(Outage {
+            disk: 2,
+            from: 0,
+            until: 6,
+            hard: true,
+        });
+        // Every granted fragment's reading window must avoid visiting
+        // disk 2 before interval 6.
+        let g = s
+            .try_admit(
+                0,
+                ObjectId(0),
+                0,
+                2,
+                4,
+                AdmissionPolicy::Fragmented {
+                    max_buffer_fragments: 16,
+                    max_delay_intervals: 12,
+                },
+            )
+            .unwrap();
+        for (idx, &v) in g.virtual_disks.iter().enumerate() {
+            let t = g.read_start[idx];
+            assert!(
+                !s.read_conflict(v, t, t + 4),
+                "fragment {idx} on v{v} reads into the outage"
+            );
+        }
+    }
+
+    #[test]
+    fn soft_outage_blocks_planning_but_not_hard_conflicts() {
+        let mut s = sched(8, 1);
+        s.add_outage(Outage {
+            disk: 3,
+            from: 0,
+            until: 10,
+            hard: false,
+        });
+        let v = s.frame().virtual_of(3, 0);
+        assert!(s.read_conflict(v, 0, 4));
+        assert!(!s.hard_read_conflict(v, 0, 4));
     }
 
     #[test]

@@ -62,7 +62,8 @@ pub mod schedule;
 pub mod stride;
 pub mod vcr;
 
-pub use admission::{AdmissionGrant, AdmissionPolicy, IntervalScheduler};
+pub use admission::{AdmissionGrant, AdmissionPolicy, IntervalScheduler, Outage};
+pub use coalesce::{ActiveFragmentedDisplay, CoalescePlan, LostRead};
 pub use frame::VirtualFrame;
 pub use media::{MediaType, ObjectCatalog, ObjectSpec};
 pub use placement::{FragmentAddr, StripingConfig, StripingLayout};

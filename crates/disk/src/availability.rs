@@ -1,0 +1,230 @@
+//! Per-disk availability tracking for fault injection.
+//!
+//! [`AvailabilityMask`] is the runtime state machine behind a compiled
+//! [`ss_sim::FaultTimeline`]: it applies fail/repair/slow transitions as
+//! the server processes them, answers "is disk *p* readable / plannable
+//! right now?", and keeps the downtime accounting the degraded-mode report
+//! section is built from.
+//!
+//! Both server models own one mask; the striping scheduler additionally
+//! mirrors hard outages as planning windows (see `ss-core`). A mask over a
+//! farm that never faults stays all-up and costs one branch per query.
+
+use serde::{Deserialize, Serialize};
+use ss_sim::{FaultEvent, FaultKind};
+use ss_types::{SimDuration, SimTime};
+
+/// Live up/slow state plus downtime accounting for a farm of `D` disks.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AvailabilityMask {
+    down: Vec<bool>,
+    slow: Vec<bool>,
+    /// When the current outage of each down disk began.
+    down_since: Vec<SimTime>,
+    /// When the current slow episode of each slow disk began.
+    slow_since: Vec<SimTime>,
+    downtime: Vec<SimDuration>,
+    slow_time: Vec<SimDuration>,
+    faults: u64,
+    repairs: u64,
+    slow_episodes: u64,
+    down_count: u32,
+}
+
+impl AvailabilityMask {
+    /// A mask with every disk up and fast.
+    pub fn new(disks: u32) -> Self {
+        let n = disks as usize;
+        AvailabilityMask {
+            down: vec![false; n],
+            slow: vec![false; n],
+            down_since: vec![SimTime::ZERO; n],
+            slow_since: vec![SimTime::ZERO; n],
+            downtime: vec![SimDuration::ZERO; n],
+            slow_time: vec![SimDuration::ZERO; n],
+            faults: 0,
+            repairs: 0,
+            slow_episodes: 0,
+            down_count: 0,
+        }
+    }
+
+    /// Number of disks tracked.
+    pub fn disks(&self) -> u32 {
+        self.down.len() as u32
+    }
+
+    /// Applies one fault transition at time `now` (the interval boundary
+    /// at which the server processes it). Compiled timelines are
+    /// normalized, so redundant transitions indicate a caller bug and
+    /// panic via debug assertions.
+    pub fn apply(&mut self, ev: &FaultEvent, now: SimTime) {
+        let d = ev.disk as usize;
+        match ev.kind {
+            FaultKind::Fail => {
+                debug_assert!(!self.down[d], "double Fail on disk {}", ev.disk);
+                self.down[d] = true;
+                self.down_since[d] = now;
+                self.faults += 1;
+                self.down_count += 1;
+            }
+            FaultKind::Repair => {
+                debug_assert!(self.down[d], "Repair of up disk {}", ev.disk);
+                self.down[d] = false;
+                self.downtime[d] += now.saturating_duration_since(self.down_since[d]);
+                self.repairs += 1;
+                self.down_count -= 1;
+            }
+            FaultKind::SlowStart => {
+                debug_assert!(!self.slow[d], "double SlowStart on disk {}", ev.disk);
+                self.slow[d] = true;
+                self.slow_since[d] = now;
+                self.slow_episodes += 1;
+            }
+            FaultKind::SlowEnd => {
+                debug_assert!(self.slow[d], "SlowEnd on fast disk {}", ev.disk);
+                self.slow[d] = false;
+                self.slow_time[d] += now.saturating_duration_since(self.slow_since[d]);
+            }
+        }
+    }
+
+    /// True when disk `p` is failed (reads do not complete).
+    pub fn is_down(&self, p: u32) -> bool {
+        self.down[p as usize]
+    }
+
+    /// True when disk `p` is in a transient slow episode.
+    pub fn is_slow(&self, p: u32) -> bool {
+        self.slow[p as usize]
+    }
+
+    /// True when new work may be planned onto disk `p` (up and fast).
+    pub fn is_plannable(&self, p: u32) -> bool {
+        let d = p as usize;
+        !self.down[d] && !self.slow[d]
+    }
+
+    /// Number of disks currently down.
+    pub fn down_count(&self) -> u32 {
+        self.down_count
+    }
+
+    /// True when at least one disk is down (the cheap fast-path gate).
+    pub fn any_down(&self) -> bool {
+        self.down_count > 0
+    }
+
+    /// Indices of the disks currently down.
+    pub fn down_disks(&self) -> impl Iterator<Item = u32> + '_ {
+        self.down
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d)
+            .map(|(i, _)| i as u32)
+    }
+
+    /// Closes any still-open outage/slow windows for final accounting.
+    pub fn finish(&mut self, now: SimTime) {
+        for d in 0..self.down.len() {
+            if self.down[d] {
+                self.downtime[d] += now.saturating_duration_since(self.down_since[d]);
+                self.down_since[d] = now;
+            }
+            if self.slow[d] {
+                self.slow_time[d] += now.saturating_duration_since(self.slow_since[d]);
+                self.slow_since[d] = now;
+            }
+        }
+    }
+
+    /// Faults applied so far.
+    pub fn faults(&self) -> u64 {
+        self.faults
+    }
+
+    /// Repairs applied so far.
+    pub fn repairs(&self) -> u64 {
+        self.repairs
+    }
+
+    /// Slow episodes started so far.
+    pub fn slow_episodes(&self) -> u64 {
+        self.slow_episodes
+    }
+
+    /// Total accumulated downtime across all disks (closed windows only;
+    /// call [`AvailabilityMask::finish`] first for end-of-run totals).
+    pub fn total_downtime(&self) -> SimDuration {
+        self.downtime
+            .iter()
+            .fold(SimDuration::ZERO, |acc, &d| acc + d)
+    }
+
+    /// The largest single-disk accumulated downtime.
+    pub fn max_downtime(&self) -> SimDuration {
+        self.downtime
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Total accumulated slow-episode time across all disks.
+    pub fn total_slow_time(&self) -> SimDuration {
+        self.slow_time
+            .iter()
+            .fold(SimDuration::ZERO, |acc, &d| acc + d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(disk: u32, secs: u64, kind: FaultKind) -> FaultEvent {
+        FaultEvent {
+            disk,
+            at: SimTime::from_secs(secs),
+            kind,
+        }
+    }
+
+    #[test]
+    fn fail_repair_accounts_downtime() {
+        let mut m = AvailabilityMask::new(4);
+        assert!(m.is_plannable(2) && !m.any_down());
+        m.apply(&ev(2, 100, FaultKind::Fail), SimTime::from_secs(100));
+        assert!(m.is_down(2) && !m.is_plannable(2) && m.any_down());
+        assert_eq!(m.down_count(), 1);
+        assert_eq!(m.down_disks().collect::<Vec<_>>(), vec![2]);
+        m.apply(&ev(2, 400, FaultKind::Repair), SimTime::from_secs(400));
+        assert!(!m.is_down(2) && !m.any_down());
+        assert_eq!(m.total_downtime(), SimDuration::from_secs(300));
+        assert_eq!(m.max_downtime(), SimDuration::from_secs(300));
+        assert_eq!((m.faults(), m.repairs()), (1, 1));
+    }
+
+    #[test]
+    fn slow_is_unplannable_but_not_down() {
+        let mut m = AvailabilityMask::new(2);
+        m.apply(&ev(0, 10, FaultKind::SlowStart), SimTime::from_secs(10));
+        assert!(!m.is_down(0) && m.is_slow(0) && !m.is_plannable(0));
+        assert!(!m.any_down());
+        m.apply(&ev(0, 30, FaultKind::SlowEnd), SimTime::from_secs(30));
+        assert!(m.is_plannable(0));
+        assert_eq!(m.total_slow_time(), SimDuration::from_secs(20));
+        assert_eq!(m.slow_episodes(), 1);
+    }
+
+    #[test]
+    fn finish_closes_open_windows() {
+        let mut m = AvailabilityMask::new(2);
+        m.apply(&ev(1, 50, FaultKind::Fail), SimTime::from_secs(50));
+        m.finish(SimTime::from_secs(80));
+        assert_eq!(m.total_downtime(), SimDuration::from_secs(30));
+        // finish() resets the window start so a second call adds nothing.
+        m.finish(SimTime::from_secs(80));
+        assert_eq!(m.total_downtime(), SimDuration::from_secs(30));
+    }
+}

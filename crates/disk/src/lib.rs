@@ -19,9 +19,11 @@
 #![forbid(unsafe_code)]
 
 mod allocator;
+mod availability;
 mod params;
 mod timing;
 
 pub use allocator::{CylinderAllocator, CylinderRange};
+pub use availability::AvailabilityMask;
 pub use params::DiskParams;
 pub use timing::{min_buffer_memory, SeekModel, ServiceTiming};

@@ -4,6 +4,7 @@ use serde::{Deserialize, Serialize};
 use ss_core::admission::AdmissionPolicy;
 use ss_core::media::{MediaType, ObjectCatalog, ObjectSpec};
 use ss_disk::DiskParams;
+use ss_sim::FaultPlan;
 use ss_tertiary::TertiaryParams;
 use ss_types::ObjectId;
 use ss_types::{Bandwidth, Error, Result, SimDuration};
@@ -209,6 +210,10 @@ pub struct ServerConfig {
     /// tests compare against and an escape hatch for debugging.
     #[serde(default)]
     pub dense_ticks: bool,
+    /// Disk fault injection. The default ([`FaultPlan::none`]) injects
+    /// nothing and reproduces the fault-free run byte-for-byte.
+    #[serde(default)]
+    pub faults: FaultPlan,
     /// Master RNG seed.
     pub seed: u64,
 }
@@ -242,6 +247,7 @@ impl ServerConfig {
             measure: SimDuration::from_secs(12 * 3600),
             verify_delivery: false,
             dense_ticks: false,
+            faults: FaultPlan::none(),
             seed,
         }
     }
@@ -410,6 +416,7 @@ impl ServerConfig {
         if self.measure.is_zero() {
             return bad("measurement window must be positive".into());
         }
+        self.faults.validate(self.disks)?;
         if let Scheme::Vdr { vdr } = &self.scheme {
             if vdr.clusters == 0 {
                 return bad("VDR needs at least one cluster".into());
@@ -435,6 +442,17 @@ impl ServerConfig {
         c.warmup = SimDuration::from_secs(300);
         c.measure = SimDuration::from_secs(1800);
         c.verify_delivery = true;
+        c
+    }
+
+    /// The VDR companion of [`Self::small_test`]: the same farm and
+    /// database, clustered as 4 replication groups of 5 disks.
+    pub fn small_vdr_test(stations: u32, seed: u64) -> Self {
+        let mut c = Self::small_test(stations, seed);
+        c.scheme = Scheme::Vdr {
+            vdr: crate::vdr::vdr_config_for(&c),
+        };
+        c.materialize = MaterializeMode::AfterFull;
         c
     }
 }

@@ -33,6 +33,13 @@ pub const TABLE4_STATIONS: [u32; 4] = [16, 64, 128, 256];
 /// which shortens the critical path of the whole batch. Claim order is
 /// a scheduling detail only: results are scattered back into their
 /// input slots, so output order always equals input order.
+///
+/// # Panics
+///
+/// If any job panics, the remaining jobs still run; once the scope
+/// joins, this function panics with the index and message of every
+/// failed job (rather than a bare "worker panicked" that hides which
+/// configuration went down).
 pub fn run_batch(configs: Vec<ServerConfig>, threads: usize) -> Vec<RunReport> {
     assert!(threads >= 1);
     let n = configs.len();
@@ -42,7 +49,7 @@ pub fn run_batch(configs: Vec<ServerConfig>, threads: usize) -> Vec<RunReport> {
     let cursor = AtomicUsize::new(0);
     let configs = &configs;
     let order = &order;
-    let mut per_worker: Vec<Vec<(usize, RunReport)>> = std::thread::scope(|s| {
+    let mut per_worker: Vec<Vec<(usize, Result<RunReport, String>)>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads.min(n.max(1)))
             .map(|_| {
                 s.spawn(|| {
@@ -53,8 +60,16 @@ pub fn run_batch(configs: Vec<ServerConfig>, threads: usize) -> Vec<RunReport> {
                             break;
                         }
                         let idx = order[slot];
-                        let report = run(&configs[idx]).expect("experiment config must be valid");
-                        local.push((idx, report));
+                        // A panicking job must not take the whole batch
+                        // down silently: catch it here so the worker
+                        // keeps draining the queue and the panic is
+                        // reported below with the job that caused it.
+                        let outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                run(&configs[idx]).expect("experiment config must be valid")
+                            }))
+                            .map_err(|payload| panic_message(&*payload));
+                        local.push((idx, outcome));
                     }
                     local
                 })
@@ -62,17 +77,45 @@ pub fn run_batch(configs: Vec<ServerConfig>, threads: usize) -> Vec<RunReport> {
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
+            .map(|h| h.join().expect("worker exited cleanly"))
             .collect()
     });
     let mut results: Vec<Option<RunReport>> = vec![None; n];
-    for (idx, report) in per_worker.drain(..).flatten() {
-        results[idx] = Some(report);
+    let mut failures: Vec<(usize, String)> = Vec::new();
+    for (idx, outcome) in per_worker.drain(..).flatten() {
+        match outcome {
+            Ok(report) => results[idx] = Some(report),
+            Err(msg) => failures.push((idx, msg)),
+        }
+    }
+    if !failures.is_empty() {
+        failures.sort_by_key(|&(idx, _)| idx);
+        let detail: Vec<String> = failures
+            .iter()
+            .map(|(idx, msg)| format!("  job {idx}: {msg}"))
+            .collect();
+        panic!(
+            "{} of {n} batch jobs panicked:\n{}",
+            failures.len(),
+            detail.join("\n")
+        );
     }
     results
         .into_iter()
         .map(|r| r.expect("every job filled"))
         .collect()
+}
+
+/// Best-effort rendering of a panic payload (the `&str`/`String` cases
+/// cover everything `panic!` and `expect` produce).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
 }
 
 /// Generates the full Figure 8 grid: both schemes × three distributions ×
@@ -413,6 +456,29 @@ mod tests {
     }
 
     #[test]
+    fn batch_runner_reports_which_job_panicked() {
+        // Job 1 is invalid (zero stations), so its worker panics inside
+        // `run`. The batch must finish the valid jobs and then surface
+        // the failing index and message instead of a bare join error.
+        let mut bad = ServerConfig::small_test(2, 1);
+        bad.stations = 0;
+        let cfgs = vec![
+            ServerConfig::small_test(1, 1),
+            bad,
+            ServerConfig::small_test(2, 1),
+        ];
+        let caught = std::panic::catch_unwind(|| run_batch(cfgs, 2))
+            .expect_err("batch with an invalid job must panic");
+        let msg = panic_message(&*caught);
+        assert!(msg.contains("1 of 3 batch jobs panicked"), "got: {msg}");
+        assert!(msg.contains("job 1:"), "got: {msg}");
+        assert!(
+            msg.contains("experiment config must be valid"),
+            "got: {msg}"
+        );
+    }
+
+    #[test]
     fn table4_math() {
         let mk = |scheme: &str, stations: u32, mean: f64, rate: f64| RunReport {
             scheme: scheme.into(),
@@ -433,6 +499,7 @@ mod tests {
             peak_buffer_fragments: 0,
             coalesces: 0,
             measured_seconds: 0.0,
+            degraded: None,
         };
         let mut reports = Vec::new();
         for &n in &TABLE4_STATIONS {

@@ -46,6 +46,48 @@ pub struct RunReport {
     pub coalesces: u64,
     /// Simulated seconds measured (after warm-up).
     pub measured_seconds: f64,
+    /// Degraded-mode statistics. `Some` exactly when the run injected
+    /// faults; omitted from the serialized report otherwise, so fault-free
+    /// reports stay byte-identical to the pre-fault-injection goldens.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub degraded: Option<DegradedStats>,
+}
+
+/// What went wrong and how the server coped: the degraded-mode section of
+/// a [`RunReport`]. All numbers are whole-run (faults during warm-up are
+/// counted too — an outage straddling the warm-up boundary is still one
+/// outage), matching `peak_buffer_fragments`'s convention.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DegradedStats {
+    /// Disk failures injected.
+    pub faults_injected: u64,
+    /// Repairs completed.
+    pub repairs: u64,
+    /// Transient slow-disk episodes started.
+    pub slow_episodes: u64,
+    /// Fragment handovers performed by the rescue path (striping) or
+    /// replica fallbacks (VDR) — each moved in-flight work off a failed
+    /// disk without the viewer noticing.
+    pub rescues: u64,
+    /// Distinct streams rescued at least once.
+    pub streams_rescued: u64,
+    /// Σ over rescues of the buffer fragments the rescued stream keeps
+    /// holding afterwards (the price of surviving the outage).
+    pub rescue_buffer_overhead: u64,
+    /// Distinct streams that suffered at least one hiccup.
+    pub hiccup_streams: u64,
+    /// Delivery intervals lost to hiccups, across all streams.
+    pub hiccup_intervals: u64,
+    /// The same, in simulated seconds.
+    pub hiccup_seconds: f64,
+    /// Streams dropped after exceeding the plan's hiccup budget.
+    pub streams_dropped: u64,
+    /// Σ per-disk downtime, simulated seconds.
+    pub disk_downtime_s: f64,
+    /// Largest single-disk downtime, simulated seconds.
+    pub max_disk_downtime_s: f64,
+    /// Σ per-disk slow-episode time, simulated seconds.
+    pub slow_seconds: f64,
 }
 
 /// The statistics a server accumulates while running; converted into a
@@ -75,6 +117,9 @@ pub struct MetricsCollector {
     /// warm-up reset, and it is deliberately absent from [`RunReport`] so
     /// dense and sparse runs stay byte-identical.
     pub ticks_skipped: u64,
+    /// Degraded-mode statistics, allocated only when the run injects
+    /// faults. Whole-run numbers: they survive the warm-up reset.
+    pub degraded: Option<DegradedStats>,
     measure_start: SimTime,
     in_measurement: bool,
 }
@@ -92,9 +137,17 @@ impl MetricsCollector {
             peak_buffer_fragments: 0,
             coalesces: 0,
             ticks_skipped: 0,
+            degraded: None,
             measure_start: SimTime::ZERO,
             in_measurement: false,
         }
+    }
+
+    /// The degraded-mode stats, allocating them on first use. Models call
+    /// this only on fault paths, so a fault-free run keeps `None` and its
+    /// report serializes without a degraded section.
+    pub fn degraded_mut(&mut self) -> &mut DegradedStats {
+        self.degraded.get_or_insert_with(DegradedStats::default)
     }
 
     /// Ends the warm-up: clears counters and starts the measurement
@@ -167,6 +220,7 @@ impl MetricsCollector {
             peak_buffer_fragments: self.peak_buffer_fragments,
             coalesces: self.coalesces,
             measured_seconds: now.duration_since(self.measure_start).as_secs_f64(),
+            degraded: self.degraded.clone(),
         }
     }
 }
@@ -202,6 +256,78 @@ pub fn format_table(reports: &[RunReport]) -> String {
             r.disk_utilization,
             r.unique_residents,
             r.tertiary_fetches,
+        ));
+    }
+    out
+}
+
+/// Formats the degraded-mode sections of `reports` as an aligned table
+/// (runs without a degraded section are skipped).
+pub fn format_degraded(reports: &[RunReport]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<10} {:>8} {:>12} {:>7} {:>8} {:>8} {:>8} {:>8} {:>8} {:>10}\n",
+        "scheme",
+        "stations",
+        "popularity",
+        "faults",
+        "rescues",
+        "hiccups",
+        "hic_s",
+        "dropped",
+        "ovh_frag",
+        "downtime_s"
+    ));
+    for r in reports {
+        let Some(d) = &r.degraded else { continue };
+        out.push_str(&format!(
+            "{:<10} {:>8} {:>12} {:>7} {:>8} {:>8} {:>8.1} {:>8} {:>8} {:>10.1}\n",
+            r.scheme,
+            r.stations,
+            r.popularity,
+            d.faults_injected,
+            d.rescues,
+            d.hiccup_intervals,
+            d.hiccup_seconds,
+            d.streams_dropped,
+            d.rescue_buffer_overhead,
+            d.disk_downtime_s,
+        ));
+    }
+    out
+}
+
+/// Serialises the degraded-mode sections as CSV (one row per report;
+/// fault-free reports render zeros so grid CSVs stay rectangular).
+pub fn degraded_csv(reports: &[RunReport]) -> String {
+    let mut out = String::from(
+        "scheme,stations,popularity,seed,faults_injected,repairs,slow_episodes,\
+         rescues,streams_rescued,rescue_buffer_overhead,hiccup_streams,\
+         hiccup_intervals,hiccup_seconds,streams_dropped,disk_downtime_s,\
+         max_disk_downtime_s,slow_seconds\n",
+    );
+    let zero = DegradedStats::default();
+    for r in reports {
+        let d = r.degraded.as_ref().unwrap_or(&zero);
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{:.1},{},{:.1},{:.1},{:.1}\n",
+            r.scheme,
+            r.stations,
+            r.popularity,
+            r.seed,
+            d.faults_injected,
+            d.repairs,
+            d.slow_episodes,
+            d.rescues,
+            d.streams_rescued,
+            d.rescue_buffer_overhead,
+            d.hiccup_streams,
+            d.hiccup_intervals,
+            d.hiccup_seconds,
+            d.streams_dropped,
+            d.disk_downtime_s,
+            d.max_disk_downtime_s,
+            d.slow_seconds,
         ));
     }
     out
@@ -300,5 +426,47 @@ mod tests {
             .nth(1)
             .unwrap()
             .starts_with("striping,8,geom(20),3,1,"));
+    }
+
+    #[test]
+    fn degraded_section_is_omitted_from_json_when_absent() {
+        let mut m = MetricsCollector::new();
+        m.start_measurement(t(0));
+        let clean = m.report(t(3600), "striping", 8, "geom(20)".into(), 3, 0.1, 5);
+        let json = serde_json::to_string(&clean).unwrap();
+        assert!(
+            !json.contains("degraded"),
+            "fault-free report must serialize without a degraded key: {json}"
+        );
+        // Round-trips back to None.
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.degraded, None);
+        assert_eq!(back, clean);
+
+        m.degraded_mut().faults_injected = 2;
+        m.degraded_mut().hiccup_intervals = 7;
+        let faulty = m.report(t(3600), "striping", 8, "geom(20)".into(), 3, 0.1, 5);
+        let json = serde_json::to_string(&faulty).unwrap();
+        assert!(json.contains("degraded"));
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.degraded.as_ref().unwrap().faults_injected, 2);
+        assert_eq!(back, faulty);
+    }
+
+    #[test]
+    fn degraded_renderers_cover_present_and_absent_sections() {
+        let mut m = MetricsCollector::new();
+        m.start_measurement(t(0));
+        let clean = m.report(t(3600), "vdr", 4, "geom(10)".into(), 1, 0.0, 0);
+        m.degraded_mut().faults_injected = 1;
+        m.degraded_mut().rescues = 3;
+        let faulty = m.report(t(3600), "striping", 4, "geom(10)".into(), 1, 0.0, 0);
+        let table = format_degraded(&[clean.clone(), faulty.clone()]);
+        // Header plus exactly one data row (the clean report is skipped).
+        assert_eq!(table.lines().count(), 2);
+        assert!(table.lines().nth(1).unwrap().starts_with("striping"));
+        let csv = degraded_csv(&[clean, faulty]);
+        assert_eq!(csv.lines().count(), 3, "CSV keeps every row");
+        assert!(csv.lines().nth(1).unwrap().contains("vdr,4"));
     }
 }

@@ -10,10 +10,11 @@
 
 use crate::config::{Scheme, ServerConfig};
 use crate::metrics::{MetricsCollector, RunReport};
-use ss_sim::{Context, DeterministicRng, Model, Simulation};
+use ss_disk::AvailabilityMask;
+use ss_sim::{Context, DeterministicRng, FaultKind, FaultTimeline, Model, Simulation};
 use ss_tertiary::TertiaryDevice;
 use ss_types::{ClusterId, Error, ObjectId, Result, SimTime, StationId};
-use ss_vdr::{ClusterFarm, CopyPlan, VdrConfig};
+use ss_vdr::{ClusterFarm, ClusterStatus, CopyPlan, VdrConfig};
 use ss_workload::{StationPool, StationState};
 use std::collections::VecDeque;
 
@@ -36,7 +37,13 @@ struct Waiter {
 #[derive(Debug, Clone, Copy)]
 struct ActiveDisplay {
     station: StationId,
+    object: ObjectId,
+    /// The cluster serving the display (changes if a failure forces a
+    /// fallback onto another replica).
+    cluster: ClusterId,
     ends: SimTime,
+    /// Already counted in `streams_rescued`.
+    rescued: bool,
 }
 
 /// The VDR server model.
@@ -74,6 +81,17 @@ pub struct VdrModel {
     /// The boundary of the last executed tick (event-driven mode replays
     /// the metric samples of the boundaries skipped since then).
     last_tick: SimTime,
+    /// The compiled fault schedule (empty when the plan is empty — the
+    /// zero-fault gate for every code path below).
+    timeline: FaultTimeline,
+    /// Timeline events already applied.
+    fault_cursor: usize,
+    /// Live per-*disk* up/slow state and downtime accounting.
+    mask: AvailabilityMask,
+    /// Failed disks per cluster: the cluster is down while nonzero.
+    cluster_down: Vec<u32>,
+    /// Slow disks per cluster: the cluster is slow while nonzero.
+    cluster_slow: Vec<u32>,
 }
 
 impl VdrModel {
@@ -139,6 +157,9 @@ impl VdrModel {
         );
         let tertiary = TertiaryDevice::new(config.tertiary.clone());
         let deadline = SimTime::ZERO + config.warmup + config.measure;
+        let timeline = config.faults.compile(config.disks, deadline, &rng);
+        let mask = AvailabilityMask::new(config.disks);
+        let clusters = vdr.clusters as usize;
         Ok(VdrModel {
             vdr,
             farm,
@@ -156,6 +177,11 @@ impl VdrModel {
             measurement_started: false,
             deadline,
             last_tick: SimTime::ZERO,
+            timeline,
+            fault_cursor: 0,
+            mask,
+            cluster_down: vec![0; clusters],
+            cluster_slow: vec![0; clusters],
             config,
         })
     }
@@ -208,7 +234,10 @@ impl VdrModel {
                 }
                 self.active.push(ActiveDisplay {
                     station: w.station,
+                    object: w.object,
+                    cluster,
                     ends,
+                    rescued: false,
                 });
                 // Piggyback replication: if more requests for this object
                 // remain blocked, tee the display's stream into an idle
@@ -315,12 +344,143 @@ impl VdrModel {
         }
     }
 
+    /// Applies every timeline event due by `now`. A disk fault maps onto
+    /// the aligned cluster holding it (`disk / M`); the cluster is down or
+    /// slow while *any* of its disks is.
+    fn process_faults(&mut self, now: SimTime) {
+        let degree = self.config.degree();
+        while let Some(&ev) = self.timeline.events().get(self.fault_cursor) {
+            if ev.at > now {
+                break;
+            }
+            self.fault_cursor += 1;
+            self.mask.apply(&ev, now);
+            let c = ev.disk / degree;
+            // Disks beyond the last whole cluster serve no VDR data.
+            let in_farm = c < self.vdr.clusters;
+            let ci = c as usize;
+            match ev.kind {
+                FaultKind::Fail => {
+                    self.metrics.degraded_mut().faults_injected += 1;
+                    if in_farm {
+                        self.cluster_down[ci] += 1;
+                        if self.cluster_down[ci] == 1 {
+                            self.cluster_failed(ClusterId(c), now);
+                        }
+                    }
+                }
+                FaultKind::Repair => {
+                    self.metrics.degraded_mut().repairs += 1;
+                    if in_farm {
+                        self.cluster_down[ci] -= 1;
+                        if self.cluster_down[ci] == 0 {
+                            // Fail-stop with intact media: the cluster
+                            // serves its old replicas again.
+                            self.farm.set_down(ClusterId(c), false);
+                        }
+                    }
+                }
+                FaultKind::SlowStart => {
+                    self.metrics.degraded_mut().slow_episodes += 1;
+                    if in_farm {
+                        self.cluster_slow[ci] += 1;
+                        if self.cluster_slow[ci] == 1 {
+                            self.farm.set_slow(ClusterId(c), true);
+                        }
+                    }
+                }
+                FaultKind::SlowEnd => {
+                    if in_farm {
+                        self.cluster_slow[ci] -= 1;
+                        if self.cluster_slow[ci] == 0 {
+                            self.farm.set_slow(ClusterId(c), false);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Handles a cluster fail-stop: aborts its in-flight work, falls the
+    /// display back onto another idle replica when one exists (replicas
+    /// are VDR's only redundancy), and otherwise drops the stream with
+    /// full hiccup accounting — a cluster is one indivisible delivery
+    /// pipeline, so unlike staggered striping there is no partial rescue.
+    fn cluster_failed(&mut self, cluster: ClusterId, now: SimTime) {
+        let st = self.farm.abort(cluster, now);
+        self.farm.set_down(cluster, true);
+        match st {
+            // A dying copy loses both halves; clearing the in-flight
+            // marker lets the policy re-plan it later.
+            ClusterStatus::Copying { object, .. } | ClusterStatus::SourcingCopy { object, .. } => {
+                self.clear_copy(object, now);
+            }
+            _ => {}
+        }
+        let interval = self.config.interval();
+        let interval_s = interval.as_secs_f64();
+        let mut i = 0;
+        while i < self.active.len() {
+            if self.active[i].cluster != cluster {
+                i += 1;
+                continue;
+            }
+            let d = self.active[i];
+            if let Some(target) = self.farm.find_idle_replica(d.object, now) {
+                self.farm
+                    .start_display(target, d.object, now, d.ends)
+                    .expect("idle replica accepts display");
+                self.active[i].cluster = target;
+                let g = self.metrics.degraded_mut();
+                g.rescues += 1;
+                if !d.rescued {
+                    self.active[i].rescued = true;
+                    g.streams_rescued += 1;
+                }
+                i += 1;
+            } else {
+                // No surviving idle replica: the stream is cut off and
+                // every remaining promised interval is lost.
+                let remaining = d.ends.saturating_duration_since(now);
+                let lost = remaining.as_micros().div_ceil(interval.as_micros());
+                self.active.swap_remove(i);
+                self.stations.complete_at(d.station, now);
+                let g = self.metrics.degraded_mut();
+                g.hiccup_streams += 1;
+                g.hiccup_intervals += lost;
+                g.hiccup_seconds += lost as f64 * interval_s;
+                g.streams_dropped += 1;
+            }
+        }
+    }
+
+    /// Aborts both halves of the in-flight copy of `object` (the other
+    /// half of a cluster-to-cluster copy dies with its peer) and clears
+    /// the in-flight marker.
+    fn clear_copy(&mut self, object: ObjectId, now: SimTime) {
+        for i in 0..self.vdr.clusters {
+            let id = ClusterId(i);
+            if matches!(
+                self.farm.status(id, now),
+                ClusterStatus::Copying { object: o, .. }
+                | ClusterStatus::SourcingCopy { object: o, .. } if o == object
+            ) {
+                self.farm.abort(id, now);
+            }
+        }
+        self.copy_done[object.index()] = None;
+        self.copy_ids.retain(|&o| o != object);
+    }
+
     fn tick(&mut self, now: SimTime) {
         if !self.measurement_started && now.duration_since(SimTime::ZERO) >= self.config.warmup {
             self.metrics.start_measurement(now);
             self.measurement_started = true;
         }
         self.complete_displays(now);
+        if !self.timeline.is_empty() {
+            self.process_faults(now);
+        }
         self.serve_waiters(now);
         self.issue_requests(now);
         self.serve_waiters(now);
@@ -344,6 +504,11 @@ impl VdrModel {
             return now;
         }
         let mut horizon = self.deadline;
+        // Fault events must be processed at their boundary: cluster
+        // availability and the rescue/drop decisions hang off them.
+        if let Some(at) = self.timeline.next_at(self.fault_cursor) {
+            horizon = horizon.min(at);
+        }
         if !self.measurement_started {
             horizon = horizon.min(SimTime::ZERO + self.config.warmup);
         }
@@ -463,8 +628,16 @@ impl VdrServer {
         self.finish()
     }
 
-    fn finish(self) -> RunReport {
+    fn finish(mut self) -> RunReport {
         let now = self.sim.now();
+        let m = self.sim.model_mut();
+        if !m.timeline.is_empty() {
+            m.mask.finish(now);
+            let g = m.metrics.degraded_mut();
+            g.disk_downtime_s = m.mask.total_downtime().as_secs_f64();
+            g.max_disk_downtime_s = m.mask.max_downtime().as_secs_f64();
+            g.slow_seconds = m.mask.total_slow_time().as_secs_f64();
+        }
         let m = self.sim.model();
         let popularity = m.config.popularity.tag();
         m.metrics.report(
@@ -503,6 +676,22 @@ impl VdrModel {
     /// Interval boundaries skipped (proved quiescent) so far.
     pub fn ticks_skipped(&self) -> u64 {
         self.metrics.ticks_skipped
+    }
+
+    /// The per-disk availability mask (fault-injection diagnostics).
+    pub fn mask(&self) -> &AvailabilityMask {
+        &self.mask
+    }
+
+    /// The compiled fault timeline (fault-injection diagnostics).
+    pub fn fault_timeline(&self) -> &FaultTimeline {
+        &self.timeline
+    }
+
+    /// Degraded-mode counters accumulated so far (`None` when no fault
+    /// has fired).
+    pub fn degraded(&self) -> Option<&crate::metrics::DegradedStats> {
+        self.metrics.degraded.as_ref()
     }
 }
 
@@ -605,6 +794,73 @@ mod tests {
             "rate {}",
             report.displays_per_hour
         );
+    }
+
+    #[test]
+    fn zero_fault_plan_is_byte_identical_to_baseline() {
+        use ss_sim::FaultPlan;
+        let baseline = VdrServer::new(small(4)).unwrap().run();
+        let mut cfg = small(4);
+        cfg.faults = FaultPlan::none();
+        let r = VdrServer::new(cfg).unwrap().run();
+        assert_eq!(baseline, r);
+        assert!(r.degraded.is_none());
+    }
+
+    #[test]
+    fn cluster_failure_degrades_and_repair_restores() {
+        use ss_sim::FaultPlan;
+        // Fail one disk of cluster 0 (disks 0..5) for 300 s mid-run: the
+        // whole cluster is unavailable, so any display on it is rescued
+        // onto a replica or dropped, and planning avoids it meanwhile.
+        let mut cfg = small(8);
+        cfg.faults = FaultPlan::fail_window(2, SimTime::from_secs(600), SimTime::from_secs(900));
+        let r = VdrServer::new(cfg).unwrap().run();
+        let g = r.degraded.as_ref().expect("degraded section present");
+        assert_eq!(g.faults_injected, 1);
+        assert_eq!(g.repairs, 1);
+        let iv = ServerConfig::small_test(8, 42).interval().as_secs_f64();
+        assert!(
+            (g.disk_downtime_s - 300.0).abs() <= 2.0 * iv,
+            "downtime {}",
+            g.disk_downtime_s
+        );
+        // A saturated 4-cluster farm has a display on cluster 0 at t=600;
+        // it is either moved to a replica or cut off — never ignored.
+        assert!(
+            g.rescues + g.streams_dropped > 0,
+            "the affected stream must be rescued or dropped: {g:?}"
+        );
+        assert_eq!(
+            g.streams_dropped > 0,
+            g.hiccup_intervals > 0,
+            "VDR hiccups exactly when a stream is cut off: {g:?}"
+        );
+        // The run keeps going on the surviving clusters.
+        assert!(r.displays_completed > 0);
+    }
+
+    #[test]
+    fn faulty_vdr_runs_are_seed_deterministic() {
+        use ss_sim::{FaultPlan, StochasticFaults};
+        use ss_types::SimDuration;
+        let mk = || {
+            let mut cfg = small(6);
+            cfg.faults = FaultPlan {
+                stochastic: Some(StochasticFaults {
+                    mean_time_between_failures: SimDuration::from_secs(500),
+                    mean_time_to_repair: SimDuration::from_secs(150),
+                    slow_fraction: 0.25,
+                }),
+                ..FaultPlan::none()
+            };
+            cfg
+        };
+        let a = VdrServer::new(mk()).unwrap().run();
+        let b = VdrServer::new(mk()).unwrap().run();
+        assert_eq!(a, b);
+        let g = a.degraded.as_ref().expect("stochastic plan fires");
+        assert_eq!(g.faults_injected, g.repairs, "every window closes");
     }
 
     #[test]

@@ -1,0 +1,428 @@
+//! Deterministic disk fault injection.
+//!
+//! A [`FaultPlan`] describes everything that goes wrong with the disk farm
+//! during a run: scheduled fail/repair events, transient slow-disk
+//! episodes, and (optionally) a stochastic failure process. Before the
+//! simulation starts, the plan is **compiled** against the run's horizon
+//! and master RNG into a flat, time-sorted [`FaultTimeline`] — from that
+//! point on the run consumes a fixed event list, so two runs with the same
+//! seed and plan see bit-for-bit identical faults no matter what else the
+//! model does.
+//!
+//! The stochastic process draws from `rng.derive("faults")`, an independent
+//! named stream, so enabling faults never perturbs the workload,
+//! service-time, or think-time draws of an otherwise identical run — the
+//! common-random-numbers property the experiment harness depends on.
+//!
+//! An empty plan ([`FaultPlan::none`], also the `Default`) compiles to an
+//! empty timeline, and every fault-handling code path in the servers is
+//! gated on the timeline being non-empty, which is what makes the
+//! "zero-fault plan ≡ baseline, byte-for-byte" guarantee hold.
+
+use crate::dist::Exponential;
+use crate::rng::DeterministicRng;
+use serde::{Deserialize, Serialize};
+use ss_types::{Error, Result, SimDuration, SimTime};
+
+/// What a single fault event does to its disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The disk fail-stops: no reads complete until the matching
+    /// [`FaultKind::Repair`]. Media survive — after repair the disk serves
+    /// the same fragments it held before (fail-stop with intact media).
+    Fail,
+    /// The disk returns to service.
+    Repair,
+    /// The disk enters a transient slow episode: it keeps serving
+    /// already-planned reads, but planners avoid placing *new* reads on it.
+    SlowStart,
+    /// The slow episode ends.
+    SlowEnd,
+}
+
+/// One scheduled fault event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// The physical disk affected, `0..D`.
+    pub disk: u32,
+    /// When the event takes effect. Servers process fault events at the
+    /// first time-interval boundary at or after this instant (sub-interval
+    /// fault timing is below the model's resolution).
+    pub at: SimTime,
+    /// The transition.
+    pub kind: FaultKind,
+}
+
+/// A seed-driven stochastic failure process, compiled to concrete events
+/// before the run starts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StochasticFaults {
+    /// Mean time between failure episodes across the whole farm
+    /// (exponentially distributed inter-arrival times).
+    pub mean_time_between_failures: SimDuration,
+    /// Mean episode duration (exponentially distributed).
+    pub mean_time_to_repair: SimDuration,
+    /// Probability that an episode is a transient slowdown
+    /// ([`FaultKind::SlowStart`]/[`FaultKind::SlowEnd`]) rather than a hard
+    /// failure. Must be in `[0, 1]`.
+    #[serde(default)]
+    pub slow_fraction: f64,
+}
+
+/// The full fault configuration of a run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Explicitly scheduled events (any order; compilation sorts them).
+    #[serde(default)]
+    pub events: Vec<FaultEvent>,
+    /// Optional stochastic episode generator.
+    #[serde(default)]
+    pub stochastic: Option<StochasticFaults>,
+    /// Drop a stream once its accumulated hiccup reaches this many time
+    /// intervals (`None` = never drop; streams limp along with hiccups).
+    #[serde(default)]
+    pub drop_after_hiccup_intervals: Option<u64>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults, ever.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// True when this plan can never produce a fault event.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.stochastic.is_none()
+    }
+
+    /// A plan with one hard failure window on one disk — the canonical
+    /// fail-at/repair-at scenario used by the golden degraded-mode tests.
+    pub fn fail_window(disk: u32, fail_at: SimTime, repair_at: SimTime) -> Self {
+        FaultPlan {
+            events: vec![
+                FaultEvent {
+                    disk,
+                    at: fail_at,
+                    kind: FaultKind::Fail,
+                },
+                FaultEvent {
+                    disk,
+                    at: repair_at,
+                    kind: FaultKind::Repair,
+                },
+            ],
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Validates the plan against a farm of `disks` drives.
+    pub fn validate(&self, disks: u32) -> Result<()> {
+        for (i, ev) in self.events.iter().enumerate() {
+            if ev.disk >= disks {
+                return Err(Error::InvalidConfig {
+                    reason: format!(
+                        "fault event {i} targets disk {} but the farm has {disks} disks",
+                        ev.disk
+                    ),
+                });
+            }
+        }
+        if let Some(st) = &self.stochastic {
+            if st.mean_time_between_failures == SimDuration::ZERO {
+                return Err(Error::InvalidConfig {
+                    reason: "stochastic faults: mean_time_between_failures must be > 0".into(),
+                });
+            }
+            if st.mean_time_to_repair == SimDuration::ZERO {
+                return Err(Error::InvalidConfig {
+                    reason: "stochastic faults: mean_time_to_repair must be > 0".into(),
+                });
+            }
+            if !(0.0..=1.0).contains(&st.slow_fraction) {
+                return Err(Error::InvalidConfig {
+                    reason: format!(
+                        "stochastic faults: slow_fraction {} outside [0, 1]",
+                        st.slow_fraction
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Compiles the plan into a concrete, sorted, normalized timeline.
+    ///
+    /// Stochastic episodes are drawn from `rng.derive("faults")` up to
+    /// `horizon`; an episode is skipped when its disk is already in an
+    /// episode (no overlapping episodes on one disk). The merged schedule
+    /// is then normalized statefully: redundant transitions (failing a
+    /// disk that is already down, repairing one that is up, ...) are
+    /// dropped, and every open window is closed with a synthetic end event
+    /// at `horizon` so per-disk downtime accounting always balances.
+    pub fn compile(&self, disks: u32, horizon: SimTime, rng: &DeterministicRng) -> FaultTimeline {
+        if self.is_empty() {
+            return FaultTimeline {
+                events: Vec::new(),
+                drop_after_hiccup_intervals: self.drop_after_hiccup_intervals,
+            };
+        }
+        let mut raw: Vec<FaultEvent> = self.events.clone();
+        if let Some(st) = &self.stochastic {
+            let mut frng = rng.derive("faults");
+            let arrivals = Exponential::new(1.0 / st.mean_time_between_failures.as_secs_f64());
+            let repairs = Exponential::new(1.0 / st.mean_time_to_repair.as_secs_f64());
+            // Per-disk "in an episode until" map for overlap suppression.
+            let mut busy_until = vec![SimTime::ZERO; disks as usize];
+            let mut t = 0.0_f64;
+            loop {
+                t += arrivals.sample(&mut frng);
+                let at = SimTime::from_micros((t * 1e6).round() as u64);
+                if at >= horizon {
+                    break;
+                }
+                let disk = frng.next_below(u64::from(disks)) as u32;
+                let len = SimDuration::from_secs_f64(repairs.sample(&mut frng).max(1e-6));
+                let slow = st.slow_fraction > 0.0 && frng.bernoulli(st.slow_fraction);
+                if busy_until[disk as usize] > at {
+                    continue; // disk already mid-episode: skip, stay deterministic
+                }
+                let end = (at + len).min(horizon);
+                busy_until[disk as usize] = end;
+                let (start_kind, end_kind) = if slow {
+                    (FaultKind::SlowStart, FaultKind::SlowEnd)
+                } else {
+                    (FaultKind::Fail, FaultKind::Repair)
+                };
+                raw.push(FaultEvent {
+                    disk,
+                    at,
+                    kind: start_kind,
+                });
+                raw.push(FaultEvent {
+                    disk,
+                    at: end,
+                    kind: end_kind,
+                });
+            }
+        }
+        // Stable sort: same-instant events keep their plan order.
+        raw.sort_by_key(|ev| ev.at);
+        // Stateful normalization.
+        let mut down = vec![false; disks as usize];
+        let mut slow = vec![false; disks as usize];
+        let mut events = Vec::with_capacity(raw.len());
+        for ev in raw {
+            let d = ev.disk as usize;
+            let effective = match ev.kind {
+                FaultKind::Fail => !down[d],
+                FaultKind::Repair => down[d],
+                FaultKind::SlowStart => !slow[d],
+                FaultKind::SlowEnd => slow[d],
+            };
+            if !effective {
+                continue;
+            }
+            match ev.kind {
+                FaultKind::Fail => down[d] = true,
+                FaultKind::Repair => down[d] = false,
+                FaultKind::SlowStart => slow[d] = true,
+                FaultKind::SlowEnd => slow[d] = false,
+            }
+            events.push(ev);
+        }
+        // Close any window still open at the horizon.
+        for (d, is_down) in down.iter().enumerate() {
+            if *is_down {
+                events.push(FaultEvent {
+                    disk: d as u32,
+                    at: horizon,
+                    kind: FaultKind::Repair,
+                });
+            }
+        }
+        for (d, is_slow) in slow.iter().enumerate() {
+            if *is_slow {
+                events.push(FaultEvent {
+                    disk: d as u32,
+                    at: horizon,
+                    kind: FaultKind::SlowEnd,
+                });
+            }
+        }
+        events.sort_by_key(|ev| ev.at);
+        FaultTimeline {
+            events,
+            drop_after_hiccup_intervals: self.drop_after_hiccup_intervals,
+        }
+    }
+}
+
+/// A compiled fault schedule: sorted, normalized, ready for replay.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultTimeline {
+    events: Vec<FaultEvent>,
+    /// Copied from the plan for the server's drop policy.
+    pub drop_after_hiccup_intervals: Option<u64>,
+}
+
+impl FaultTimeline {
+    /// All events, in firing order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// True when no fault will ever fire (the zero-fault gate).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The firing time of event `cursor` (the next unprocessed event for a
+    /// model that has consumed `cursor` events), if any — models feed this
+    /// into their wakeup horizon so sparse ticking never sleeps through a
+    /// fault.
+    pub fn next_at(&self, cursor: usize) -> Option<SimTime> {
+        self.events.get(cursor).map(|ev| ev.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hour(h: u64) -> SimTime {
+        SimTime::from_secs(h * 3600)
+    }
+
+    #[test]
+    fn empty_plan_compiles_empty() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_empty());
+        let tl = plan.compile(10, hour(10), &DeterministicRng::seed_from_u64(1));
+        assert!(tl.is_empty());
+        assert_eq!(tl.next_at(0), None);
+    }
+
+    #[test]
+    fn fail_window_round_trips() {
+        let plan = FaultPlan::fail_window(3, hour(1), hour(2));
+        plan.validate(10).unwrap();
+        let tl = plan.compile(10, hour(10), &DeterministicRng::seed_from_u64(1));
+        assert_eq!(tl.events().len(), 2);
+        assert_eq!(tl.events()[0].kind, FaultKind::Fail);
+        assert_eq!(tl.events()[1].kind, FaultKind::Repair);
+        assert_eq!(tl.next_at(0), Some(hour(1)));
+        assert_eq!(tl.next_at(1), Some(hour(2)));
+        assert_eq!(tl.next_at(2), None);
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_disk() {
+        let plan = FaultPlan::fail_window(10, hour(1), hour(2));
+        assert!(plan.validate(10).is_err());
+        assert!(plan.validate(11).is_ok());
+    }
+
+    #[test]
+    fn normalization_drops_redundant_transitions_and_closes_windows() {
+        let plan = FaultPlan {
+            events: vec![
+                FaultEvent {
+                    disk: 0,
+                    at: hour(1),
+                    kind: FaultKind::Fail,
+                },
+                // Redundant: disk 0 is already down.
+                FaultEvent {
+                    disk: 0,
+                    at: hour(2),
+                    kind: FaultKind::Fail,
+                },
+                // Redundant: disk 1 is up.
+                FaultEvent {
+                    disk: 1,
+                    at: hour(2),
+                    kind: FaultKind::Repair,
+                },
+            ],
+            ..FaultPlan::default()
+        };
+        let tl = plan.compile(2, hour(5), &DeterministicRng::seed_from_u64(1));
+        // Fail at h1 + synthetic repair at the horizon.
+        assert_eq!(tl.events().len(), 2);
+        assert_eq!(tl.events()[0].kind, FaultKind::Fail);
+        assert_eq!(
+            tl.events()[1],
+            FaultEvent {
+                disk: 0,
+                at: hour(5),
+                kind: FaultKind::Repair,
+            }
+        );
+    }
+
+    #[test]
+    fn stochastic_compilation_is_seed_deterministic() {
+        let plan = FaultPlan {
+            stochastic: Some(StochasticFaults {
+                mean_time_between_failures: SimDuration::from_secs(1800),
+                mean_time_to_repair: SimDuration::from_secs(600),
+                slow_fraction: 0.25,
+            }),
+            ..FaultPlan::default()
+        };
+        plan.validate(20).unwrap();
+        let a = plan.compile(20, hour(12), &DeterministicRng::seed_from_u64(7));
+        let b = plan.compile(20, hour(12), &DeterministicRng::seed_from_u64(7));
+        let c = plan.compile(20, hour(12), &DeterministicRng::seed_from_u64(8));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(!a.is_empty(), "12 h at MTBF 30 min yields episodes");
+        // Windows balance: every disk ends the horizon up and fast.
+        let mut down = vec![false; 20];
+        let mut slow = vec![false; 20];
+        for ev in a.events() {
+            let d = ev.disk as usize;
+            match ev.kind {
+                FaultKind::Fail => {
+                    assert!(!down[d]);
+                    down[d] = true;
+                }
+                FaultKind::Repair => {
+                    assert!(down[d]);
+                    down[d] = false;
+                }
+                FaultKind::SlowStart => {
+                    assert!(!slow[d]);
+                    slow[d] = true;
+                }
+                FaultKind::SlowEnd => {
+                    assert!(slow[d]);
+                    slow[d] = false;
+                }
+            }
+        }
+        assert!(down.iter().all(|&x| !x) && slow.iter().all(|&x| !x));
+    }
+
+    #[test]
+    fn stochastic_stream_is_independent_of_consumption_order() {
+        // derive("faults") is position-independent, so compiling before or
+        // after other draws from the master RNG yields the same timeline.
+        let plan = FaultPlan {
+            stochastic: Some(StochasticFaults {
+                mean_time_between_failures: SimDuration::from_secs(3600),
+                mean_time_to_repair: SimDuration::from_secs(300),
+                slow_fraction: 0.0,
+            }),
+            ..FaultPlan::default()
+        };
+        let rng = DeterministicRng::seed_from_u64(42);
+        let before = plan.compile(8, hour(24), &rng);
+        let mut used = rng.clone();
+        for _ in 0..1000 {
+            used.next_u64_raw();
+        }
+        let after = plan.compile(8, hour(24), &used);
+        assert_eq!(before, after);
+    }
+}

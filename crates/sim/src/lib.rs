@@ -18,18 +18,23 @@
 //!   histograms used to build the experiment reports.
 //! * [`trace`] — a bounded, timestamped event ring for post-mortem
 //!   debugging of misbehaving runs.
+//! * [`faults`] — deterministic disk fault injection: a seed-driven
+//!   [`faults::FaultPlan`] compiled to a concrete, sorted
+//!   [`faults::FaultTimeline`] before the run starts.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod dist;
 pub mod engine;
+pub mod faults;
 pub mod rng;
 pub mod stats;
 pub mod trace;
 
 pub use dist::{AliasTable, Exponential, TruncatedGeometric, Zipf};
 pub use engine::{Context, Model, Simulation};
+pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultTimeline, StochasticFaults};
 pub use rng::DeterministicRng;
 pub use stats::{BatchMeans, Counter, Histogram, Tally, TimeWeighted};
 pub use trace::Trace;

@@ -108,6 +108,14 @@ pub struct ClusterFarm {
     /// Number of objects with at least one replica (non-empty `replicas`
     /// entries), maintained incrementally.
     resident_objects: usize,
+    /// Clusters currently failed (fault injection): excluded from every
+    /// planning decision. Contents survive — fail-stop with intact media —
+    /// but in-flight work must be aborted by the caller via
+    /// [`ClusterFarm::abort`].
+    down: Vec<bool>,
+    /// Clusters in a transient slow episode: excluded from *new* planning
+    /// only; in-flight work keeps running.
+    slow: Vec<bool>,
 }
 
 impl ClusterFarm {
@@ -122,11 +130,50 @@ impl ClusterFarm {
                 };
                 config.clusters as usize
             ],
+            down: vec![false; config.clusters as usize],
+            slow: vec![false; config.clusters as usize],
             config,
             replicas: Vec::new(),
             access_count: Vec::new(),
             resident_objects: 0,
         }
+    }
+
+    /// Marks `cluster` failed or repaired (fault injection). A repaired
+    /// cluster serves the same replicas it held before the failure.
+    pub fn set_down(&mut self, cluster: ClusterId, down: bool) {
+        self.down[cluster.index()] = down;
+    }
+
+    /// True when `cluster` is failed.
+    pub fn is_down(&self, cluster: ClusterId) -> bool {
+        self.down[cluster.index()]
+    }
+
+    /// Marks `cluster` slow (fault injection): new work avoids it, work
+    /// already in flight keeps running.
+    pub fn set_slow(&mut self, cluster: ClusterId, slow: bool) {
+        self.slow[cluster.index()] = slow;
+    }
+
+    /// True when `cluster` is in a slow episode.
+    pub fn is_slow(&self, cluster: ClusterId) -> bool {
+        self.slow[cluster.index()]
+    }
+
+    /// True when new work may be planned onto the cluster (up and fast).
+    fn plannable(&self, i: usize) -> bool {
+        !self.down[i] && !self.slow[i]
+    }
+
+    /// Aborts whatever `cluster` is doing — display, inbound copy, or
+    /// copy sourcing — without registering anything, and returns the
+    /// status that was aborted. The companion half of a cluster-to-cluster
+    /// copy is *not* touched; the caller decides its fate.
+    pub fn abort(&mut self, cluster: ClusterId, now: SimTime) -> ClusterStatus {
+        let st = self.status(cluster, now);
+        self.clusters[cluster.index()].status = ClusterStatus::Idle;
+        st
     }
 
     /// The configuration.
@@ -204,7 +251,7 @@ impl ClusterFarm {
         let n = self.replicas_of(object).len();
         for i in 0..n {
             let c = self.replicas.get(object.index())?[i];
-            if self.status(c, now) == ClusterStatus::Idle {
+            if self.plannable(c.index()) && self.status(c, now) == ClusterStatus::Idle {
                 return Some(c);
             }
         }
@@ -220,6 +267,11 @@ impl ClusterFarm {
         now: SimTime,
         until: SimTime,
     ) -> Result<()> {
+        if self.down[cluster.index()] {
+            return Err(Error::InvalidState {
+                reason: format!("{cluster} is down"),
+            });
+        }
         if self.status(cluster, now) != ClusterStatus::Idle {
             return Err(Error::InvalidState {
                 reason: format!("{cluster} is not idle"),
@@ -286,7 +338,8 @@ impl ClusterFarm {
         // Pass 1: idle cluster with a free slot.
         for i in 0..n {
             let id = ClusterId(i as u32);
-            if self.status(id, now) == ClusterStatus::Idle
+            if self.plannable(i)
+                && self.status(id, now) == ClusterStatus::Idle
                 && self.clusters[i].contents.len() < self.config.objects_per_cluster as usize
                 && !self.clusters[i].contents.contains(&object)
             {
@@ -300,7 +353,8 @@ impl ClusterFarm {
         let mut best: Option<((bool, u64), ClusterId, ObjectId)> = None;
         for i in 0..n {
             let id = ClusterId(i as u32);
-            if self.status(id, now) != ClusterStatus::Idle
+            if !self.plannable(i)
+                || self.status(id, now) != ClusterStatus::Idle
                 || self.clusters[i].contents.contains(&object)
             {
                 continue;
@@ -392,6 +446,11 @@ impl ClusterFarm {
     ) -> Result<()> {
         let target = match plan {
             CopyPlan::FromDisk { source, target } => {
+                if self.down[source.index()] {
+                    return Err(Error::InvalidState {
+                        reason: format!("copy source {source} is down"),
+                    });
+                }
                 if self.status(source, now) != ClusterStatus::Idle {
                     return Err(Error::InvalidState {
                         reason: format!("copy source {source} is not idle"),
@@ -403,6 +462,11 @@ impl ClusterFarm {
             }
             CopyPlan::FromTertiary { target } => target,
         };
+        if self.down[target.index()] {
+            return Err(Error::InvalidState {
+                reason: format!("copy target {target} is down"),
+            });
+        }
         if self.status(target, now) != ClusterStatus::Idle {
             return Err(Error::InvalidState {
                 reason: format!("copy target {target} is not idle"),
@@ -418,10 +482,13 @@ impl ClusterFarm {
         Ok(())
     }
 
-    /// Number of idle clusters.
+    /// Number of clusters idle *and available*: a failed or slow cluster
+    /// cannot take work, so it counts against the farm's spare capacity.
     pub fn idle_count(&mut self, now: SimTime) -> u32 {
         (0..self.clusters.len())
-            .filter(|&i| self.status(ClusterId(i as u32), now) == ClusterStatus::Idle)
+            .filter(|&i| {
+                self.plannable(i) && self.status(ClusterId(i as u32), now) == ClusterStatus::Idle
+            })
             .count() as u32
     }
 
@@ -613,6 +680,75 @@ mod tests {
         assert_eq!(f.replicas_of(ObjectId(1)).len(), 2);
         assert_eq!(f.total_replicas(), 2);
         assert_eq!(f.unique_residents(), 1);
+    }
+
+    #[test]
+    fn down_cluster_is_invisible_to_planning_and_repair_restores_it() {
+        let mut f = farm(2);
+        install(&mut f, ClusterId(0), ObjectId(1));
+        assert_eq!(f.find_idle_replica(ObjectId(1), t(0)), Some(ClusterId(0)));
+        f.set_down(ClusterId(0), true);
+        assert!(f.is_down(ClusterId(0)));
+        // The sole replica's cluster is down: no idle replica, displays
+        // are rejected, the replica planner falls back to tertiary into
+        // the surviving cluster, and spare capacity shrinks by one.
+        assert_eq!(f.find_idle_replica(ObjectId(1), t(0)), None);
+        assert!(matches!(
+            f.start_display(ClusterId(0), ObjectId(1), t(0), t(10)),
+            Err(Error::InvalidState { .. })
+        ));
+        assert_eq!(
+            f.plan_replica(ObjectId(1), 5, t(0), true),
+            Some(CopyPlan::FromTertiary {
+                target: ClusterId(1)
+            })
+        );
+        assert_eq!(f.idle_count(t(0)), 1);
+        // Repair: contents survived, the replica serves again.
+        f.set_down(ClusterId(0), false);
+        assert_eq!(f.find_idle_replica(ObjectId(1), t(0)), Some(ClusterId(0)));
+        assert_eq!(f.idle_count(t(0)), 2);
+    }
+
+    #[test]
+    fn slow_cluster_blocks_new_planning_only() {
+        let mut f = farm(2);
+        install(&mut f, ClusterId(0), ObjectId(1));
+        f.start_display(ClusterId(0), ObjectId(1), t(0), t(10))
+            .unwrap();
+        f.set_slow(ClusterId(0), true);
+        assert!(f.is_slow(ClusterId(0)));
+        // The in-flight display keeps running and still completes...
+        assert!(matches!(
+            f.status(ClusterId(0), t(5)),
+            ClusterStatus::Displaying { .. }
+        ));
+        assert_eq!(f.status(ClusterId(0), t(10)), ClusterStatus::Idle);
+        // ...but the idle slow cluster is not offered to new work.
+        assert_eq!(f.find_idle_replica(ObjectId(1), t(10)), None);
+        f.set_slow(ClusterId(0), false);
+        assert_eq!(f.find_idle_replica(ObjectId(1), t(10)), Some(ClusterId(0)));
+    }
+
+    #[test]
+    fn abort_cancels_without_registering() {
+        let mut f = farm(2);
+        f.begin_copy(
+            CopyPlan::FromTertiary {
+                target: ClusterId(1),
+            },
+            ObjectId(7),
+            t(0),
+            t(100),
+        )
+        .unwrap();
+        let st = f.abort(ClusterId(1), t(50));
+        assert!(matches!(st, ClusterStatus::Copying { .. }));
+        assert_eq!(f.status(ClusterId(1), t(50)), ClusterStatus::Idle);
+        // The aborted copy never registers a replica — not even after its
+        // would-be completion time.
+        f.refresh(t(200));
+        assert!(!f.is_resident(ObjectId(7)));
     }
 
     #[test]

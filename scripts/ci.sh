@@ -14,6 +14,21 @@ echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
+echo "==> fault suites (per-suite test counts)"
+# The degraded-mode harness: property sweep + goldens, coalescing
+# proptest, seed-stability digests, dense-vs-sparse under fault plans.
+for suite in fault_properties coalesce_properties seed_stability tick_equivalence; do
+  count=$(cargo test -q --test "$suite" 2>&1 | sed -n 's/^test result: ok\. \([0-9]*\) passed.*/\1/p')
+  if [ -z "$count" ] || [ "$count" -eq 0 ]; then
+    echo "ci.sh: suite $suite reported no passing tests" >&2
+    exit 1
+  fi
+  echo "    $suite: $count tests"
+done
+
+echo "==> fault_grid --quick (degraded-mode smoke grid)"
+cargo run --release -p ss-bench --bin fault_grid -- --quick --out target/ci-fault-grid
+
 echo "==> perf_baseline --quick (regression gate vs BENCH_engine.json)"
 # Writes BENCH_engine.quick.json (never the committed full baseline) and
 # fails if the quick grid regressed more than 2x against the committed

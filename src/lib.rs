@@ -62,13 +62,15 @@ pub mod prelude {
     pub use ss_core::frame::VirtualFrame;
     pub use ss_core::media::{MediaType, ObjectCatalog, ObjectSpec};
     pub use ss_core::placement::{PlacementBackend, PlacementMap, StripingConfig, StripingLayout};
-    pub use ss_disk::DiskParams;
+    pub use ss_disk::{AvailabilityMask, DiskParams};
     pub use ss_server::{
         config::{MaterializeMode, Scheme, ServerConfig},
-        metrics::RunReport,
+        metrics::{DegradedStats, RunReport},
         StripingServer, VdrServer,
     };
-    pub use ss_sim::{DeterministicRng, Simulation};
+    pub use ss_sim::{
+        DeterministicRng, FaultEvent, FaultKind, FaultPlan, Simulation, StochasticFaults,
+    };
     pub use ss_tertiary::{TapeLayout, TertiaryDevice, TertiaryParams};
     pub use ss_types::{
         Bandwidth, Bytes, ClusterId, DiskId, Error, ObjectId, RequestId, Result, SimDuration,

@@ -1,0 +1,291 @@
+//! Properties of the fault-injection + degraded-mode subsystem, swept
+//! across both schemes, all three arrival models, and 0/1/2 injected
+//! concurrent failures:
+//!
+//! * **Determinism** — same seed, same [`FaultPlan`] ⇒ byte-identical
+//!   [`RunReport`]s, faults and all.
+//! * **Zero-fault gate** — a plan that can never fire (no events, no
+//!   stochastic generator) leaves every byte of the report identical to
+//!   a run with no plan at all. Together with `golden_reports.rs` (which
+//!   pins the no-plan bytes) this proves a zero-fault `FaultPlan`
+//!   reproduces today's goldens bit-for-bit.
+//! * **Down-disk invariant** — stepping the striping server tick by
+//!   tick, no in-flight display ever holds a committed read inside an
+//!   outage window that has not been rescued or charged as a hiccup
+//!   (`unaccounted_lost_reads == 0` at every instant). Buffers never go
+//!   negative (the buffer pool's checked arithmetic panics if they
+//!   would), and rescued streams never miss promised deadlines: a rescue
+//!   is an Algorithm-2 coalesce, which `verify_delivery` re-verifies
+//!   against the original delivery schedule.
+//! * **Goldens** — the canonical fail-at-600s/repair-at-900s scenario on
+//!   both schemes is pinned byte-for-byte in
+//!   `tests/golden/degraded_reports.json` (regenerate with
+//!   `UPDATE_GOLDEN=1 cargo test --test fault_properties`).
+
+use staggered_striping::prelude::*;
+use staggered_striping::server::config::ArrivalModel;
+use staggered_striping::server::experiment::run_batch;
+
+const GOLDEN_PATH: &str = "tests/golden/degraded_reports.json";
+
+/// The scheme × arrival-model axis. VDR runs the paper's closed workload
+/// only (its config validation rejects open/trace arrivals), so the axis
+/// is striping × {closed, open, trace} plus VDR × closed.
+fn axis_configs(stations: u32, seed: u64) -> Vec<ServerConfig> {
+    let closed = ServerConfig::small_test(stations, seed);
+    let mut open = closed.clone();
+    open.arrivals = ArrivalModel::Open {
+        rate_per_hour: 600.0,
+    };
+    let mut trace = closed.clone();
+    trace.arrivals = ArrivalModel::Trace {
+        // One request every 40 s, round-robin over the database.
+        events: (0..40u64)
+            .map(|i| (i * 40_000_000, (i % 10) as u32))
+            .collect(),
+    };
+    let vdr = ServerConfig::small_vdr_test(stations, seed);
+    vec![closed, open, trace, vdr]
+}
+
+/// Adds `failures` concurrent fail/repair windows spanning the middle
+/// half of the measurement window, half a farm apart (distinct VDR
+/// clusters) — the same shape the `fault_grid` harness sweeps.
+fn with_failures(mut cfg: ServerConfig, failures: u32) -> ServerConfig {
+    let warmup = cfg.warmup.as_micros();
+    let measure = cfg.measure.as_micros();
+    let fail_at = SimTime::from_micros(warmup + measure / 4);
+    let repair_at = SimTime::from_micros(warmup + 3 * measure / 4);
+    let mut plan = FaultPlan::none();
+    for f in 0..failures {
+        let disk = f * (cfg.disks / 2);
+        plan.events
+            .extend(FaultPlan::fail_window(disk, fail_at, repair_at).events);
+    }
+    cfg.faults = plan;
+    cfg
+}
+
+fn render(report: &RunReport) -> String {
+    serde_json::to_string_pretty(report).expect("serialize report")
+}
+
+/// ≥ 64-case sweep: every (scheme, arrival model, failure count, seed)
+/// cell runs twice under the same seed and must serialize to the same
+/// bytes — fault injection, rescue, and drop decisions included.
+#[test]
+fn same_seed_faulty_runs_are_byte_identical_across_sweep() {
+    let mut configs = Vec::new();
+    for seed in [1, 2, 3, 5, 8, 1994] {
+        for failures in 0..=2 {
+            for cfg in axis_configs(2, seed) {
+                configs.push(with_failures(cfg, failures));
+            }
+        }
+    }
+    assert!(configs.len() >= 64, "sweep too small: {}", configs.len());
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let first = run_batch(configs.clone(), threads);
+    let second = run_batch(configs.clone(), threads);
+    for (i, (a, b)) in first.iter().zip(&second).enumerate() {
+        assert_eq!(
+            render(a),
+            render(b),
+            "case {i} ({}, {} stations, seed {}, {:?} faults) is not \
+             seed-deterministic",
+            a.scheme,
+            a.stations,
+            a.seed,
+            configs[i].faults.events.len() / 2,
+        );
+    }
+    // Sanity: the sweep actually exercised degraded mode.
+    let degraded = first.iter().filter(|r| r.degraded.is_some()).count();
+    assert_eq!(
+        degraded,
+        2 * first.len() / 3,
+        "every run with injected failures reports a degraded section"
+    );
+}
+
+/// A plan that can never fire must be invisible: same bytes as no plan,
+/// no degraded section in the JSON. (`golden_reports.rs` pins the
+/// no-plan bytes, so this transitively proves zero-fault plans reproduce
+/// the committed goldens.)
+#[test]
+fn zero_fault_plan_leaves_reports_byte_identical() {
+    for base in axis_configs(2, 1994) {
+        let mut gated = base.clone();
+        gated.faults = FaultPlan {
+            events: vec![],
+            stochastic: None,
+            // A drop policy alone schedules nothing.
+            drop_after_hiccup_intervals: Some(50),
+        };
+        let plain = staggered_striping::server::run(&base).expect("valid config");
+        let zeroed = staggered_striping::server::run(&gated).expect("valid config");
+        assert_eq!(
+            render(&plain),
+            render(&zeroed),
+            "zero-fault plan changed the {:?} report",
+            base.scheme
+        );
+        assert!(
+            !render(&zeroed).contains("degraded"),
+            "fault-free reports must not carry a degraded section"
+        );
+    }
+}
+
+/// Stepping tick by tick under two concurrent failures: at every instant
+/// every committed read that falls inside a live outage window has been
+/// either rescued (re-planned onto a surviving virtual disk) or charged
+/// as a hiccup — no fragment is ever read from a down disk. After the
+/// final repair the availability mask must drain back to fully-up.
+#[test]
+fn no_fragment_is_read_from_a_down_disk() {
+    for policy in [
+        AdmissionPolicy::Contiguous,
+        AdmissionPolicy::Fragmented {
+            max_buffer_fragments: 64,
+            max_delay_intervals: 16,
+        },
+    ] {
+        let mut cfg = with_failures(ServerConfig::small_test(4, 1994), 2);
+        cfg.scheme = Scheme::Striping {
+            stride: 1,
+            policy,
+            cluster_round: None,
+        };
+        let mut server = StripingServer::new(cfg).expect("valid config");
+        while server.step() {
+            let now = server.now();
+            assert_eq!(
+                server.model().unaccounted_lost_reads(now),
+                0,
+                "unrescued, uncharged read inside an outage window at {now:?} \
+                 under {policy:?}"
+            );
+        }
+        let m = server.model();
+        assert_eq!(m.mask().down_count(), 0, "all disks repaired by the end");
+        let g = m.degraded().expect("two failures ran");
+        assert_eq!(g.faults_injected, 2);
+        assert_eq!(g.repairs, 2);
+        assert!(
+            g.hiccup_intervals >= g.hiccup_streams,
+            "every hiccuped stream lost at least one interval"
+        );
+    }
+}
+
+/// Degraded-mode bookkeeping is internally consistent on both schemes
+/// under a fault storm, and rescued streams keep their promised
+/// deadlines: `small_test` runs with `verify_delivery` on, so a rescue
+/// that broke the delivery schedule would abort the run.
+#[test]
+fn degraded_bookkeeping_is_consistent_under_fault_storm() {
+    let mut striping = ServerConfig::small_test(6, 1994);
+    striping.scheme = Scheme::Striping {
+        stride: 1,
+        policy: AdmissionPolicy::Fragmented {
+            max_buffer_fragments: 64,
+            max_delay_intervals: 16,
+        },
+        cluster_round: None,
+    };
+    striping.faults = FaultPlan {
+        stochastic: Some(StochasticFaults {
+            mean_time_between_failures: SimDuration::from_secs(300),
+            mean_time_to_repair: SimDuration::from_secs(100),
+            slow_fraction: 0.25,
+        }),
+        ..FaultPlan::none()
+    };
+    // A lighter all-hard storm on a lightly loaded VDR farm: failed
+    // clusters then have up replicas to fall back to, so this storm is
+    // also pinned to exercise the rescue path (replica fallback).
+    let mut vdr = ServerConfig::small_vdr_test(3, 1994);
+    vdr.faults = FaultPlan {
+        stochastic: Some(StochasticFaults {
+            mean_time_between_failures: SimDuration::from_secs(400),
+            mean_time_to_repair: SimDuration::from_secs(150),
+            slow_fraction: 0.0,
+        }),
+        ..FaultPlan::none()
+    };
+    for cfg in [striping, vdr] {
+        let scheme = cfg.scheme.clone();
+        let is_vdr = matches!(scheme, Scheme::Vdr { .. });
+        let report = staggered_striping::server::run(&cfg).expect("valid config");
+        let g = report.degraded.expect("storm produced faults");
+        assert!(g.faults_injected > 0, "storm fired under {scheme:?}");
+        if is_vdr {
+            assert!(
+                g.rescues >= 1,
+                "the VDR storm exercises replica fallback (got {g:?})"
+            );
+        }
+        assert_eq!(
+            g.faults_injected, g.repairs,
+            "every failure window closes within the horizon"
+        );
+        assert!(
+            g.hiccup_intervals >= u64::from(g.hiccup_streams),
+            "every hiccuped stream lost at least one interval"
+        );
+        assert!(
+            u64::from(g.streams_dropped) <= u64::from(g.hiccup_streams),
+            "streams are only dropped over the hiccup budget"
+        );
+        assert!(
+            g.rescues >= u64::from(g.streams_rescued),
+            "a rescued stream took at least one rescue"
+        );
+        assert!(g.disk_downtime_s > 0.0 && g.max_disk_downtime_s <= g.disk_downtime_s);
+    }
+}
+
+/// The canonical fail-at-600s/repair-at-900s scenario on both schemes,
+/// pinned byte-for-byte. Any change to fault compilation, the rescue
+/// pass, or degraded accounting that alters behavior shows up here as a
+/// golden diff.
+#[test]
+fn degraded_reports_match_golden_bytes() {
+    // Striping under time-fragmented admission (so the rescue machinery
+    // is live), disk 3 out for 300 s.
+    let mut striping = ServerConfig::small_test(4, 1994);
+    striping.scheme = Scheme::Striping {
+        stride: 1,
+        policy: AdmissionPolicy::Fragmented {
+            max_buffer_fragments: 64,
+            max_delay_intervals: 16,
+        },
+        cluster_round: None,
+    };
+    striping.faults = FaultPlan::fail_window(3, SimTime::from_secs(600), SimTime::from_secs(900));
+    // VDR: disk 2 (cluster 0) out for the same window.
+    let mut vdr = ServerConfig::small_vdr_test(4, 1994);
+    vdr.faults = FaultPlan::fail_window(2, SimTime::from_secs(600), SimTime::from_secs(900));
+
+    let reports = run_batch(vec![striping, vdr], 1);
+    assert!(
+        reports.iter().all(|r| r.degraded.is_some()),
+        "the canonical scenario must degrade both schemes"
+    );
+    let rendered = format!(
+        "{}\n",
+        serde_json::to_string_pretty(&reports).expect("serialize reports")
+    );
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_PATH, &rendered).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file exists (UPDATE_GOLDEN=1 to create)");
+    assert_eq!(
+        rendered, golden,
+        "degraded reports drifted from {GOLDEN_PATH}; if the behavior \
+         change is intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}

@@ -1,0 +1,110 @@
+//! Seed-stability pinning: a table of tiny cross-scheme runs whose full
+//! `RunReport` JSON is pinned by digest, one row per (seed, scheme,
+//! fault shape). Unlike the golden files (which pin two canonical
+//! scenarios byte-for-byte), this table is a tripwire across the seed
+//! axis: any change to RNG stream derivation, event ordering, fault
+//! compilation, or report serialization moves at least one digest.
+//!
+//! On failure the assert prints a readable per-row diff — the digest
+//! plus the report's headline numbers — and the actual table to paste
+//! in if the drift is an intended behavior change.
+
+use staggered_striping::prelude::*;
+use staggered_striping::server::experiment::run_batch;
+
+/// FNV-1a over the pretty-printed report JSON: stable, dependency-free,
+/// and sensitive to every serialized byte.
+fn digest(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One pinned row: seed, scheme tag, fault shape, expected digest.
+struct Row {
+    seed: u64,
+    scheme: &'static str,
+    faults: &'static str,
+    expect: u64,
+}
+
+#[rustfmt::skip]
+const ROWS: &[Row] = &[
+    // Regenerate with SS_PRINT_DIGESTS=1 when a behavior change is intended.
+    Row { seed: 1, scheme: "striping", faults: "none", expect: 0xebdf08a488b2edf7 },
+    Row { seed: 1, scheme: "striping", faults: "window", expect: 0xc979ac1ff488f102 },
+    Row { seed: 1, scheme: "vdr", faults: "window", expect: 0x0ebc3a348b69f2dd },
+    Row { seed: 7, scheme: "striping", faults: "none", expect: 0x7dfb201d09be4520 },
+    Row { seed: 7, scheme: "striping", faults: "window", expect: 0x6fc4757c8a71af1c },
+    Row { seed: 7, scheme: "vdr", faults: "window", expect: 0xd7f6de6a3aed8908 },
+    Row { seed: 1994, scheme: "striping", faults: "none", expect: 0x343bb3bee60c64f7 },
+    Row { seed: 1994, scheme: "striping", faults: "window", expect: 0x6f017b9f96ce04f9 },
+    Row { seed: 1994, scheme: "vdr", faults: "window", expect: 0xc710bfb1bdbfa1e2 },
+];
+
+/// The tiny run behind a row: 2 stations on the 20-disk test farm with a
+/// shortened window, optionally with the canonical mid-run failure.
+fn config(row: &Row) -> ServerConfig {
+    let mut c = match row.scheme {
+        "striping" => ServerConfig::small_test(2, row.seed),
+        "vdr" => ServerConfig::small_vdr_test(2, row.seed),
+        other => panic!("unknown scheme tag {other}"),
+    };
+    c.warmup = SimDuration::from_secs(120);
+    c.measure = SimDuration::from_secs(600);
+    if row.faults == "window" {
+        c.faults = FaultPlan::fail_window(3, SimTime::from_secs(240), SimTime::from_secs(420));
+    }
+    c
+}
+
+#[test]
+fn run_report_digests_are_pinned_per_seed() {
+    let configs: Vec<ServerConfig> = ROWS.iter().map(config).collect();
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let reports = run_batch(configs, threads);
+
+    let mut table = String::new();
+    let mut diffs = Vec::new();
+    for (row, report) in ROWS.iter().zip(&reports) {
+        let json = serde_json::to_string_pretty(report).expect("serialize report");
+        let got = digest(json.as_bytes());
+        table.push_str(&format!(
+            "    Row {{ seed: {}, scheme: \"{}\", faults: \"{}\", expect: {:#018x} }},\n",
+            row.seed, row.scheme, row.faults, got
+        ));
+        if got != row.expect {
+            diffs.push(format!(
+                "  seed {} / {} / faults={}: digest {:#018x} != pinned {:#018x} \
+                 (completed {}, {:.1}/h, hiccup streams {})",
+                row.seed,
+                row.scheme,
+                row.faults,
+                got,
+                row.expect,
+                report.displays_completed,
+                report.displays_per_hour,
+                report
+                    .degraded
+                    .as_ref()
+                    .map_or(0, |g| u64::from(g.hiccup_streams)),
+            ));
+        }
+    }
+    if std::env::var_os("SS_PRINT_DIGESTS").is_some() {
+        println!("const ROWS: &[Row] = &[\n{table}];");
+        return;
+    }
+    assert!(
+        diffs.is_empty(),
+        "{} of {} pinned digests drifted:\n{}\nif the behavior change is \
+         intended, update the table to (run with SS_PRINT_DIGESTS=1):\n{}",
+        diffs.len(),
+        ROWS.len(),
+        diffs.join("\n"),
+        table
+    );
+}

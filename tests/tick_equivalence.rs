@@ -14,23 +14,25 @@ use staggered_striping::server::vdr::vdr_config_for;
 use staggered_striping::server::{StripingServer, VdrServer};
 
 /// A randomized small configuration: both schemes, all arrival models,
-/// every queue policy, warm and cold starts, short windows.
+/// every queue policy, warm and cold starts, short windows, and every
+/// fault-plan shape (none, scheduled windows, a stochastic storm).
 fn config_strategy() -> impl Strategy<Value = ServerConfig> {
     (
-        1u32..=6,        // stations
-        0u64..1_000,     // seed
-        0u8..3,          // arrival model selector (striping only)
-        prop::bool::ANY, // VDR?
-        prop::bool::ANY, // preload
-        0u8..3,          // queue policy selector
-        60u64..=240,     // warmup seconds
-        300u64..=900,    // measure seconds
+        1u32..=6,                    // stations
+        0u64..1_000,                 // seed
+        0u8..3,                      // arrival model selector (striping only)
+        prop::bool::ANY,             // VDR?
+        prop::bool::ANY,             // preload
+        0u8..3,                      // queue policy selector
+        (60u64..=240, 300u64..=900), // warmup / measure seconds
+        0u8..4,                      // fault plan selector
     )
         .prop_map(
-            |(stations, seed, arrival, vdr, preload, queue, warmup, measure)| {
+            |(stations, seed, arrival, vdr, preload, queue, (warmup, measure), faults)| {
                 let mut c = ServerConfig::small_test(stations, seed);
                 c.warmup = SimDuration::from_secs(warmup);
                 c.measure = SimDuration::from_secs(measure);
+                c.faults = fault_plan(faults, warmup, measure);
                 c.preload = preload;
                 c.verify_delivery = false;
                 c.queue = match queue {
@@ -66,6 +68,37 @@ fn config_strategy() -> impl Strategy<Value = ServerConfig> {
                 c
             },
         )
+}
+
+/// The fault-plan axis of the sweep. Sparse ticking must stay
+/// bit-identical with faults live: timeline events are wakeup sources,
+/// and rescue/hiccup decisions depend only on tick-boundary state.
+fn fault_plan(selector: u8, warmup: u64, measure: u64) -> FaultPlan {
+    let at = |s: u64| SimTime::from_secs(s);
+    match selector {
+        // One hard failure window in the middle of the measurement.
+        1 => FaultPlan::fail_window(3, at(warmup + measure / 4), at(warmup + 3 * measure / 4)),
+        // Two concurrent windows half a farm apart, plus a drop policy.
+        2 => {
+            let mut plan =
+                FaultPlan::fail_window(0, at(warmup + measure / 4), at(warmup + measure / 2));
+            plan.events.extend(
+                FaultPlan::fail_window(10, at(warmup), at(warmup + 3 * measure / 4)).events,
+            );
+            plan.drop_after_hiccup_intervals = Some(25);
+            plan
+        }
+        // A seed-driven storm with slow episodes mixed in.
+        3 => FaultPlan {
+            stochastic: Some(StochasticFaults {
+                mean_time_between_failures: SimDuration::from_secs(measure / 4),
+                mean_time_to_repair: SimDuration::from_secs(measure / 10),
+                slow_fraction: 0.3,
+            }),
+            ..FaultPlan::none()
+        },
+        _ => FaultPlan::none(),
+    }
 }
 
 proptest! {

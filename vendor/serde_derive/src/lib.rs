@@ -2,9 +2,13 @@
 //! serde crate (see `vendor/serde`). Parses the item by hand (no syn/quote
 //! — the container has no network to fetch them) and supports exactly what
 //! this workspace uses: non-generic named structs, tuple structs and enums
-//! with unit/struct/tuple variants, and the single field attribute
+//! with unit/struct/tuple variants, and two field attributes:
 //! `#[serde(default)]` (missing field => `Default::default()`, like real
-//! serde — the additive-schema escape hatch).
+//! serde — the additive-schema escape hatch) and
+//! `#[serde(skip_serializing_if = "..")]` (the field is omitted from the
+//! serialized map whenever its value serializes to `Null` — the predicate
+//! string is accepted for source compatibility with real serde but only the
+//! `Option::is_none` behavior is implemented).
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -33,6 +37,9 @@ struct Field {
     /// `#[serde(default)]`: a missing field deserializes to
     /// `Default::default()` instead of erroring.
     default: bool,
+    /// `#[serde(skip_serializing_if = "..")]`: the field is left out of the
+    /// serialized map when its value serializes to `Null`.
+    skip_if_null: bool,
 }
 
 enum VariantKind {
@@ -122,15 +129,17 @@ fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
     }
 }
 
-/// Like [`skip_attrs_and_vis`], but also reports whether one of the
-/// skipped attributes was `#[serde(default)]`.
-fn skip_field_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) -> bool {
+/// Like [`skip_attrs_and_vis`], but also reports which of the skipped
+/// attributes' serde words were present: `(default, skip_serializing_if)`.
+fn skip_field_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) -> (bool, bool) {
     let mut default = false;
+    let mut skip_if_null = false;
     loop {
         match tokens.get(*i) {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                 if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
-                    default |= is_serde_default(g.stream());
+                    default |= serde_attr_has_word(g.stream(), "default");
+                    skip_if_null |= serde_attr_has_word(g.stream(), "skip_serializing_if");
                 }
                 *i += 2; // `#` + the bracket group
             }
@@ -142,14 +151,15 @@ fn skip_field_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) -> bool {
                     *i += 1;
                 }
             }
-            _ => return default,
+            _ => return (default, skip_if_null),
         }
     }
 }
 
-/// True for the attribute body `serde(default)` (with or without other
-/// comma-separated words alongside `default`).
-fn is_serde_default(stream: TokenStream) -> bool {
+/// True for the attribute body `serde(.. word ..)` — any comma-separated
+/// entry whose leading ident is `word` counts (so `skip_serializing_if =
+/// "Option::is_none"` matches the word `skip_serializing_if`).
+fn serde_attr_has_word(stream: TokenStream, word: &str) -> bool {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     match (tokens.first(), tokens.get(1)) {
         (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
@@ -157,7 +167,7 @@ fn is_serde_default(stream: TokenStream) -> bool {
         {
             g.stream()
                 .into_iter()
-                .any(|t| matches!(&t, TokenTree::Ident(w) if w.to_string() == "default"))
+                .any(|t| matches!(&t, TokenTree::Ident(w) if w.to_string() == word))
         }
         _ => false,
     }
@@ -169,7 +179,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut i = 0usize;
     while i < tokens.len() {
-        let default = skip_field_attrs_and_vis(&tokens, &mut i);
+        let (default, skip_if_null) = skip_field_attrs_and_vis(&tokens, &mut i);
         if i >= tokens.len() {
             break;
         }
@@ -200,7 +210,12 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
             ty.push_str(&tokens[i].to_string());
             i += 1;
         }
-        fields.push(Field { name, ty, default });
+        fields.push(Field {
+            name,
+            ty,
+            default,
+            skip_if_null,
+        });
     }
     fields
 }
@@ -273,16 +288,43 @@ fn is_option(ty: &str) -> bool {
 // ---- code generation -----------------------------------------------------
 
 fn named_fields_to_value(fields: &[Field], prefix: &str) -> String {
-    let entries: Vec<String> = fields
+    if fields.iter().all(|f| !f.skip_if_null) {
+        let entries: Vec<String> = fields
+            .iter()
+            .map(|f| {
+                format!(
+                    "(\"{n}\".to_string(), ::serde::Serialize::to_value(&{prefix}{n}))",
+                    n = f.name
+                )
+            })
+            .collect();
+        return format!("::serde::Value::Map(vec![{}])", entries.join(", "));
+    }
+    // At least one field is conditionally emitted: build the map
+    // imperatively so skip-if-null fields can be left out entirely.
+    let pushes: Vec<String> = fields
         .iter()
         .map(|f| {
-            format!(
-                "(\"{n}\".to_string(), ::serde::Serialize::to_value(&{prefix}{n}))",
-                n = f.name
-            )
+            let n = &f.name;
+            if f.skip_if_null {
+                format!(
+                    "match ::serde::Serialize::to_value(&{prefix}{n}) {{ \
+                         ::serde::Value::Null => {{}}, \
+                         v => entries.push((\"{n}\".to_string(), v)) }}"
+                )
+            } else {
+                format!(
+                    "entries.push((\"{n}\".to_string(), \
+                         ::serde::Serialize::to_value(&{prefix}{n})));"
+                )
+            }
         })
         .collect();
-    format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+    format!(
+        "{{ let mut entries: Vec<(String, ::serde::Value)> = Vec::new(); {} \
+             ::serde::Value::Map(entries) }}",
+        pushes.join(" ")
+    )
 }
 
 fn named_fields_from_map(fields: &[Field], ty: &str, map_expr: &str) -> String {
