@@ -8,20 +8,37 @@
 //! failures always land in distinct clusters — the grid measures two
 //! independent outages, not a double-failure of one group.
 //!
-//! Emits `fault_grid.csv` (one row per run, degraded columns included)
-//! and prints one table block per failure count plus a throughput
+//! Flags beyond the common harness options:
+//!
+//! * `--parity[=G]` — arm parity groups of `G` data fragments (default 5)
+//!   on the striping cells: degraded admission reconstructs lost reads
+//!   from the rotated parity fragment instead of stalling.
+//! * `--rebuild[=R]` — arm the hot-spare rebuild at `R` fragments per
+//!   interval (default 8) on every cell: failed disks re-enter service as
+//!   soon as the spare is drained, ahead of the scheduled repair.
+//! * `--rebuild-sweep` — additionally sweep the rebuild rate over the
+//!   1-failure striping cells and emit `rebuild_sweep.csv`.
+//!
+//! Emits `fault_grid.csv` — one row per run with the failure count, the
+//! parity/rebuild knobs, an explicit per-cell throughput-retention column
+//! (the 0-fail baseline rows included, at 100%), and the self-healing
+//! counters — and prints one table block per failure count plus a
 //! retention summary. `--quick` swaps in the 20-disk test farm on a
 //! reduced station set (the CI smoke configuration).
 
 use ss_bench::HarnessOpts;
+use ss_server::config::{ParityConfig, RebuildConfig, Scheme};
 use ss_server::experiment::{fig8_configs, run_batch};
-use ss_server::metrics::{degraded_csv, format_degraded, format_table};
-use ss_server::ServerConfig;
+use ss_server::metrics::{format_degraded, format_table};
+use ss_server::{RunReport, ServerConfig};
 use ss_sim::FaultPlan;
 use ss_types::SimTime;
 
 /// The grid's outer axis: how many disks fail concurrently.
 const FAILURES: [u32; 3] = [0, 1, 2];
+
+/// Rebuild rates swept by `--rebuild-sweep` (fragments per interval).
+const SWEEP_RATES: [u64; 6] = [1, 2, 4, 8, 16, 32];
 
 /// Returns `cfg` with `failures` concurrent fail/repair windows spanning
 /// the middle half of the measurement window, on disks half a farm
@@ -41,8 +58,103 @@ fn with_failures(mut cfg: ServerConfig, failures: u32) -> ServerConfig {
     cfg
 }
 
+/// Arms the self-healing knobs on `cfg`: parity on striping cells only
+/// (VDR's redundancy is replication), rebuild everywhere.
+fn with_healing(mut cfg: ServerConfig, parity: Option<u32>, rebuild: Option<u64>) -> ServerConfig {
+    if let (Some(g), Scheme::Striping { .. }) = (parity, &cfg.scheme) {
+        cfg.parity = Some(ParityConfig::group(g));
+    }
+    if let Some(r) = rebuild {
+        cfg.rebuild = Some(RebuildConfig::rate(r));
+    }
+    cfg
+}
+
+/// One `fault_grid.csv` row: the run's grid coordinates, its retention
+/// against its own 0-fail baseline, and the degraded + self-heal counters.
+fn csv_row(r: &RunReport, baseline: &RunReport, failures: u32, row: &mut String) {
+    use std::fmt::Write;
+    let retention = if baseline.displays_per_hour > 0.0 {
+        100.0 * r.displays_per_hour / baseline.displays_per_hour
+    } else {
+        f64::NAN
+    };
+    let g = r.degraded.clone().unwrap_or_default();
+    let h = g.self_heal.unwrap_or_default();
+    writeln!(
+        row,
+        "{},{},{},{},{},{},{:.3},{:.2},{},{},{:.3},{:.3},{},{},{},{},{},{:.3},{}",
+        r.scheme,
+        r.stations,
+        r.popularity,
+        failures,
+        r.parity_group.map_or(String::new(), |g| g.to_string()),
+        r.rebuild_rate.map_or(String::new(), |x| x.to_string()),
+        r.displays_per_hour,
+        retention,
+        g.rescues,
+        g.streams_dropped,
+        g.hiccup_seconds,
+        g.disk_downtime_s,
+        h.degraded_admissions,
+        h.reconstructed_reads,
+        h.backoff_retries,
+        h.backoff_exhausted,
+        h.rebuilds_completed,
+        h.rebuild_seconds,
+        h.rebuild_interference_intervals,
+    )
+    .expect("write to String");
+}
+
+const CSV_HEADER: &str = "scheme,stations,popularity,failures,parity_group,rebuild_rate,\
+displays_per_hour,retention_pct,rescues,streams_dropped,hiccup_seconds,disk_downtime_s,\
+degraded_admissions,reconstructed_reads,backoff_retries,backoff_exhausted,\
+rebuilds_completed,rebuild_seconds,rebuild_interference_intervals\n";
+
 fn main() {
-    let opts = HarnessOpts::from_args();
+    // Pre-parse this binary's own flags; everything else goes to the
+    // common harness parser (which rejects unknown arguments).
+    let mut parity: Option<u32> = None;
+    let mut rebuild: Option<u64> = None;
+    let mut sweep = false;
+    let mut rest: Vec<String> = Vec::new();
+    let usage_exit = |msg: String| -> ! {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    };
+    for a in std::env::args().skip(1) {
+        if a == "--parity" {
+            parity = Some(5);
+        } else if let Some(v) = a.strip_prefix("--parity=") {
+            parity = Some(v.parse().unwrap_or_else(|_| {
+                usage_exit(format!("--parity=G takes a group size, got {v:?}"))
+            }));
+        } else if a == "--rebuild" {
+            rebuild = Some(8);
+        } else if let Some(v) = a.strip_prefix("--rebuild=") {
+            rebuild = Some(v.parse().unwrap_or_else(|_| {
+                usage_exit(format!("--rebuild=R takes a drain rate, got {v:?}"))
+            }));
+        } else if a == "--rebuild-sweep" {
+            sweep = true;
+        } else {
+            rest.push(a);
+        }
+    }
+    if parity == Some(0) {
+        usage_exit("--parity=G needs a group of at least one data fragment".into());
+    }
+    if rebuild == Some(0) {
+        usage_exit("--rebuild=R needs a drain rate of at least one fragment per interval".into());
+    }
+    let opts = match HarnessOpts::parse_from(rest) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
     let base: Vec<ServerConfig> = if opts.quick {
         let mut v = Vec::new();
         for &stations in &[4u32, 8] {
@@ -56,7 +168,10 @@ fn main() {
     let cells = base.len();
     let configs: Vec<ServerConfig> = FAILURES
         .iter()
-        .flat_map(|&f| base.iter().map(move |c| with_failures(c.clone(), f)))
+        .flat_map(|&f| {
+            base.iter()
+                .map(move |c| with_healing(with_failures(c.clone(), f), parity, rebuild))
+        })
         .collect();
 
     eprintln!(
@@ -69,7 +184,11 @@ fn main() {
     let reports = run_batch(configs, opts.threads);
     eprintln!("done in {:.1}s", t0.elapsed().as_secs_f64());
 
-    opts.write_artifact("fault_grid.csv", &degraded_csv(&reports));
+    let mut csv = String::from(CSV_HEADER);
+    for (i, r) in reports.iter().enumerate() {
+        csv_row(r, &reports[i % cells], FAILURES[i / cells], &mut csv);
+    }
+    opts.write_artifact("fault_grid.csv", &csv);
 
     for (i, &f) in FAILURES.iter().enumerate() {
         let chunk = &reports[i * cells..(i + 1) * cells];
@@ -88,7 +207,7 @@ fn main() {
         "scheme", "stations", "popularity", "disp/hour", "1-fail", "2-fail"
     );
     for (i, r0) in reports[..cells].iter().enumerate() {
-        let pct = |r: &ss_server::RunReport| {
+        let pct = |r: &RunReport| {
             if r0.displays_per_hour > 0.0 {
                 100.0 * r.displays_per_hour / r0.displays_per_hour
             } else {
@@ -104,5 +223,69 @@ fn main() {
             pct(&reports[cells + i]),
             pct(&reports[2 * cells + i]),
         );
+    }
+
+    if sweep {
+        // Rebuild-rate sweep over the 1-failure striping cells: how fast
+        // must the spare drain before retention saturates?
+        let striping: Vec<ServerConfig> = base
+            .iter()
+            .filter(|c| matches!(c.scheme, Scheme::Striping { .. }))
+            .cloned()
+            .collect();
+        let sweep_cells = striping.len();
+        let sweep_configs: Vec<ServerConfig> = SWEEP_RATES
+            .iter()
+            .flat_map(|&r| {
+                striping
+                    .iter()
+                    .map(move |c| with_healing(with_failures(c.clone(), 1), parity, Some(r)))
+            })
+            .collect();
+        eprintln!(
+            "rebuild sweep: {} simulations ({sweep_cells} cells x {} rates) ...",
+            sweep_configs.len(),
+            SWEEP_RATES.len()
+        );
+        let sweep_reports = run_batch(sweep_configs, opts.threads);
+        let mut csv = String::from(CSV_HEADER);
+        for (i, r) in sweep_reports.iter().enumerate() {
+            // Baselines sit in the main grid's 0-failure block, striping
+            // cells only, in the same order.
+            let mut striping_seen = 0;
+            let mut baseline = &reports[0];
+            for (j, c) in base.iter().enumerate() {
+                if matches!(c.scheme, Scheme::Striping { .. }) {
+                    if striping_seen == i % sweep_cells {
+                        baseline = &reports[j];
+                        break;
+                    }
+                    striping_seen += 1;
+                }
+            }
+            csv_row(r, baseline, 1, &mut csv);
+        }
+        opts.write_artifact("rebuild_sweep.csv", &csv);
+        println!("rebuild-rate sweep (1 failure, striping cells)");
+        println!(
+            "{:<8} {:>8} {:>10} {:>10} {:>12}",
+            "rate", "stations", "disp/hour", "rebuild_s", "interference"
+        );
+        for r in &sweep_reports {
+            let h = r
+                .degraded
+                .clone()
+                .unwrap_or_default()
+                .self_heal
+                .unwrap_or_default();
+            println!(
+                "{:<8} {:>8} {:>10.1} {:>10.1} {:>12}",
+                r.rebuild_rate.map_or(0, |x| x),
+                r.stations,
+                r.displays_per_hour,
+                h.rebuild_seconds,
+                h.rebuild_interference_intervals
+            );
+        }
     }
 }

@@ -130,6 +130,7 @@ fn bench_setup(reps: u32) -> SetupMetrics {
         stride: 5,
         fragment: config.fragment_size(),
         b_disk: config.b_disk(),
+        parity_group: None,
     };
     let mut best = f64::INFINITY;
     let mut placed = 0u64;

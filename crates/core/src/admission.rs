@@ -15,7 +15,7 @@
 //!   Algorithm 1's `w_offset = z_i − z_0 − i ≥ 0`). The grant reports the
 //!   total buffer bill.
 
-use crate::frame::VirtualFrame;
+use crate::frame::{gcd, VirtualFrame};
 use serde::{Deserialize, Serialize};
 use ss_types::{Error, ObjectId, Result};
 use std::cell::RefCell;
@@ -58,6 +58,24 @@ pub struct AdmissionGrant {
     pub end_interval: u64,
     /// Total buffer bill: Σ (delivery_start − T_i) fragment-sized buffers.
     pub buffer_fragments: u64,
+    /// Extra virtual disks booked to carry parity reads for degraded
+    /// (failure-aware) admission: one per parity group whose data reads
+    /// visit a failed disk, committed over the same reading window as the
+    /// display. Empty for every clean grant.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub parity_companions: Vec<u32>,
+    /// Number of (fragment, interval) reads in this grant that fall inside
+    /// a hard outage window and are served by parity-group reconstruction
+    /// instead of the failed disk. Zero for every clean grant.
+    #[serde(default, skip_serializing_if = "is_zero")]
+    pub reconstructed_intervals: u64,
+}
+
+// Referenced only from the derived Serialize impl, which the dead-code
+// pass does not count as a use.
+#[allow(dead_code)]
+fn is_zero(v: &u64) -> bool {
+    *v == 0
 }
 
 impl AdmissionGrant {
@@ -126,6 +144,12 @@ pub struct IntervalScheduler {
     /// fault-free run, in which case every outage-aware code path below
     /// reduces to the baseline behavior exactly.
     outages: Vec<Outage>,
+    /// Parity-group size (data fragments per rotated parity fragment),
+    /// when the placement carries parity. `None` — the default — keeps
+    /// every planner bit-identical to the parity-free scheme; `Some(g)`
+    /// arms the degraded (failure-aware) admission path, which is itself
+    /// only reachable while outages are registered.
+    parity_group: Option<u32>,
 }
 
 impl IntervalScheduler {
@@ -136,7 +160,25 @@ impl IntervalScheduler {
             frame,
             sorted: RefCell::new(None),
             outages: Vec::new(),
+            parity_group: None,
         }
+    }
+
+    /// Arms (or disarms) failure-aware admission: `Some(g)` declares that
+    /// the placement carries one rotated parity fragment per `g` data
+    /// fragments, at rotational offsets `degree..degree + ceil(degree/g)`
+    /// past each subobject's start disk. `None` (the default) keeps every
+    /// planner bit-identical to the parity-free scheme.
+    pub fn set_parity_group(&mut self, group: Option<u32>) {
+        if let Some(g) = group {
+            assert!(g >= 1, "parity group must cover at least one fragment");
+        }
+        self.parity_group = group;
+    }
+
+    /// The configured parity-group size, if any.
+    pub fn parity_group(&self) -> Option<u32> {
+        self.parity_group
     }
 
     /// Registers a known unavailability window. Both admission planners
@@ -194,6 +236,154 @@ impl IntervalScheduler {
                         .next_alignment(v, o.disk, lo)
                         .is_some_and(|t| t < hi)
             }
+        })
+    }
+
+    /// Like [`IntervalScheduler::read_conflict`], but restricted to soft
+    /// outages (slow episodes): a slow disk still holds its data, so a
+    /// degraded plan never spends reconstruction bandwidth on it — it
+    /// simply refuses, exactly like the clean planners.
+    fn soft_read_conflict(&self, v: u32, start_t: u64, end_t: u64) -> bool {
+        self.outages.iter().any(|o| {
+            !o.hard && {
+                let lo = start_t.max(o.from);
+                let hi = end_t.min(o.until);
+                lo < hi
+                    && self
+                        .frame
+                        .next_alignment(v, o.disk, lo)
+                        .is_some_and(|t| t < hi)
+            }
+        })
+    }
+
+    /// Collects into `out` every interval in `[start_t, end_t)` at which
+    /// virtual disk `v` sits over a hard-failed physical disk (sorted,
+    /// deduplicated). Alignments with a given disk recur every
+    /// `D / gcd(D, k)` intervals, so each outage contributes an arithmetic
+    /// progression from its first alignment.
+    fn hard_conflict_intervals(&self, v: u32, start_t: u64, end_t: u64, out: &mut Vec<u64>) {
+        out.clear();
+        let d = u64::from(self.frame.disks());
+        let k = u64::from(self.frame.stride());
+        let period = if k == 0 { 1 } else { d / gcd(d, k) };
+        for o in &self.outages {
+            if !o.hard {
+                continue;
+            }
+            let lo = start_t.max(o.from);
+            let hi = end_t.min(o.until);
+            if lo >= hi {
+                continue;
+            }
+            let Some(first) = self.frame.next_alignment(v, o.disk, lo) else {
+                continue;
+            };
+            let mut t = first;
+            while t < hi {
+                out.push(t);
+                t += period;
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+    }
+
+    /// Failure-aware (degraded) aligned planning at interval `t0`: admit a
+    /// display even though its aligned virtual disks visit failed disks,
+    /// provided every lost read is reconstructable from its parity group.
+    /// The surviving group members are already read concurrently (the plan
+    /// is aligned, so all fragments of a subobject are fetched in the same
+    /// interval); the only extra bandwidth is the group's rotated parity
+    /// fragment, fetched by one *companion* virtual disk — the one sitting
+    /// over the parity fragment's home at `t0`, which stays aligned with it
+    /// for the whole window — booked alongside the display.
+    ///
+    /// Reconstruction fails (returns `None`, so callers fall through to
+    /// their normal rejection) when two members of one group — parity
+    /// included — are lost in the same interval, when a member would read
+    /// through a slow episode, or when a needed companion is busy.
+    fn plan_degraded_aligned(
+        &self,
+        t0: u64,
+        object: ObjectId,
+        start_disk: u32,
+        degree: u32,
+        subobjects: u32,
+    ) -> Option<AdmissionGrant> {
+        let group = self.parity_group?;
+        if !self.outages.iter().any(|o| o.hard) {
+            return None;
+        }
+        let d = self.frame.disks();
+        let groups = degree.div_ceil(group);
+        // Parity fragments live at rotational offsets degree..degree+groups
+        // past the start disk; the inflated layout must fit the farm for
+        // the companions to be distinct disks.
+        if degree + groups > d {
+            return None;
+        }
+        let window = t0 + u64::from(subobjects);
+        let mut conflicts: Vec<Vec<u64>> = Vec::with_capacity(degree as usize);
+        let mut scratch = Vec::new();
+        let mut reconstructed = 0u64;
+        for i in 0..degree {
+            let v = self.frame.virtual_of((start_disk + i) % d, t0);
+            if !self.is_free(v, t0) || self.soft_read_conflict(v, t0, window) {
+                return None;
+            }
+            self.hard_conflict_intervals(v, t0, window, &mut scratch);
+            reconstructed += scratch.len() as u64;
+            conflicts.push(scratch.clone());
+        }
+        if reconstructed == 0 {
+            // Nothing lost at this alignment: the clean planner's verdict
+            // stands.
+            return None;
+        }
+        let mut companions = Vec::with_capacity(groups as usize);
+        for q in 0..groups {
+            let members = (q * group)..degree.min((q + 1) * group);
+            // Every interval at which some member of this group is lost.
+            let mut lost: Vec<u64> = members
+                .clone()
+                .flat_map(|i| conflicts[i as usize].iter().copied())
+                .collect();
+            lost.sort_unstable();
+            if lost.windows(2).any(|w| w[0] == w[1]) {
+                // Two members lost in the same interval: the group equation
+                // has two unknowns — not reconstructable.
+                return None;
+            }
+            if lost.is_empty() {
+                continue; // group untouched, no parity read needed
+            }
+            let v_p = self.frame.virtual_of((start_disk + degree + q) % d, t0);
+            if !self.is_free(v_p, t0) {
+                return None;
+            }
+            // The parity fragment must itself be readable at every lost
+            // interval — its companion disk must not sit over a failed or
+            // slow disk exactly when the reconstruction needs it.
+            for &t in &lost {
+                let p = self.frame.physical(v_p, t);
+                if self.outages.iter().any(|o| o.disk == p && o.covers(t)) {
+                    return None;
+                }
+            }
+            companions.push(v_p);
+        }
+        Some(AdmissionGrant {
+            object,
+            virtual_disks: (0..degree)
+                .map(|i| self.frame.virtual_of((start_disk + i) % d, t0))
+                .collect(),
+            read_start: vec![t0; degree as usize],
+            delivery_start: t0,
+            end_interval: window,
+            buffer_fragments: 0,
+            parity_companions: companions,
+            reconstructed_intervals: reconstructed,
         })
     }
 
@@ -279,6 +469,12 @@ impl IntervalScheduler {
             debug_assert!(self.free_from[v as usize] <= grant.read_start[idx]);
             self.free_from[v as usize] = end;
         }
+        // Companions exist only on degraded (aligned) grants: book them
+        // over the display's whole reading window, like any other read.
+        for &v in &grant.parity_companions {
+            debug_assert!(self.free_from[v as usize] <= grant.delivery_start);
+            self.free_from[v as usize] = grant.end_interval;
+        }
         self.invalidate_index();
         Ok(grant)
     }
@@ -303,6 +499,13 @@ impl IntervalScheduler {
             }
         }
         if free < degree {
+            // Before giving up under fault injection, try reconstructing
+            // the lost reads from parity — reachable only with a parity
+            // group configured and a hard outage registered.
+            if let Some(g) = self.plan_degraded_aligned(now, object, start_disk, degree, subobjects)
+            {
+                return Ok(g);
+            }
             return Err(Error::AdmissionRejected {
                 object,
                 needed: degree,
@@ -319,6 +522,8 @@ impl IntervalScheduler {
             delivery_start: now,
             end_interval: now + u64::from(subobjects),
             buffer_fragments: 0,
+            parity_companions: Vec::new(),
+            reconstructed_intervals: 0,
         })
     }
 
@@ -389,11 +594,19 @@ impl IntervalScheduler {
                 }
             }
             if cands.is_empty() {
-                return Err(Error::AdmissionRejected {
-                    object,
-                    needed: degree,
-                    free: self.free_count(now),
-                });
+                // Under a long outage every slot in the window may be
+                // conflicted for some fragment (the outage's disk realigns
+                // with each virtual disk every D/gcd(D,k) intervals) — the
+                // degraded fallback is the only way through.
+                return self
+                    .degraded_fragmented_fallback(
+                        now, object, start_disk, degree, subobjects, max_delay,
+                    )
+                    .ok_or(Error::AdmissionRejected {
+                        object,
+                        needed: degree,
+                        free: self.free_count(now),
+                    });
             }
             arrivals.push(cands);
         }
@@ -443,13 +656,38 @@ impl IntervalScheduler {
                 delivery_start: t0,
                 end_interval,
                 buffer_fragments: buffer,
+                parity_companions: Vec::new(),
+                reconstructed_intervals: 0,
             });
         }
-        Err(Error::AdmissionRejected {
-            object,
-            needed: degree,
-            free: self.free_count(now),
-        })
+        self.degraded_fragmented_fallback(now, object, start_disk, degree, subobjects, max_delay)
+            .ok_or(Error::AdmissionRejected {
+                object,
+                needed: degree,
+                free: self.free_count(now),
+            })
+    }
+
+    /// When the clean fragmented search fails under fault injection, scan
+    /// the delay window for an *aligned* reconstruction plan instead: an
+    /// aligned plan reads every surviving group member concurrently, which
+    /// is exactly what makes parity reconstruction cost one companion read
+    /// per damaged group rather than a re-fetch of the whole group.
+    fn degraded_fragmented_fallback(
+        &self,
+        now: u64,
+        object: ObjectId,
+        start_disk: u32,
+        degree: u32,
+        subobjects: u32,
+        max_delay: u64,
+    ) -> Option<AdmissionGrant> {
+        self.parity_group?;
+        if !self.outages.iter().any(|o| o.hard) {
+            return None;
+        }
+        (now..=now + max_delay)
+            .find_map(|t0| self.plan_degraded_aligned(t0, object, start_disk, degree, subobjects))
     }
 
     /// Fraction of virtual-disk capacity committed at interval `t`.
@@ -806,6 +1044,143 @@ mod tests {
         let v = s.frame().virtual_of(3, 0);
         assert!(s.read_conflict(v, 0, 4));
         assert!(!s.hard_read_conflict(v, 0, 4));
+    }
+
+    #[test]
+    fn parity_reconstruction_admits_through_hard_outage() {
+        let mut s = sched(12, 1);
+        s.add_outage(Outage {
+            disk: 5,
+            from: 0,
+            until: 20,
+            hard: true,
+        });
+        // Without parity this exact admission is rejected (see
+        // `outage_blocks_contiguous_admission_until_repair`). With one
+        // parity fragment per 3 data fragments, the lost reads — v5 over
+        // disk 5 at t=0 and t=12, v4 at t=1, v6 at t=11 — are each the
+        // only loss in their interval, so the group reconstructs them with
+        // one companion (the virtual disk over the parity home, disk 7).
+        s.set_parity_group(Some(3));
+        let g = s
+            .try_admit(0, ObjectId(0), 4, 3, 13, AdmissionPolicy::Contiguous)
+            .unwrap();
+        assert_eq!(g.virtual_disks, vec![4, 5, 6]);
+        assert_eq!(g.delivery_start, 0);
+        assert_eq!(g.buffer_fragments, 0);
+        assert_eq!(g.reconstructed_intervals, 4);
+        assert_eq!(g.parity_companions, vec![7]);
+        // The companion is committed through the reading window like any
+        // granted disk.
+        assert!(!s.is_free(7, 12));
+        assert!(s.is_free(7, 13));
+    }
+
+    #[test]
+    fn two_losses_in_one_group_interval_reject_reconstruction() {
+        let mut s = sched(12, 1);
+        for disk in [5, 6] {
+            s.add_outage(Outage {
+                disk,
+                from: 0,
+                until: 20,
+                hard: true,
+            });
+        }
+        s.set_parity_group(Some(3));
+        // At t=0, fragments 1 and 2 (v5 over disk 5, v6 over disk 6) are
+        // both lost: one parity fragment cannot cover two unknowns.
+        assert!(s
+            .try_admit(0, ObjectId(0), 4, 3, 13, AdmissionPolicy::Contiguous)
+            .is_err());
+    }
+
+    #[test]
+    fn busy_companion_rejects_reconstruction() {
+        let mut s = sched(12, 1);
+        s.add_outage(Outage {
+            disk: 5,
+            from: 0,
+            until: 20,
+            hard: true,
+        });
+        s.set_parity_group(Some(3));
+        s.set_free_from(7, 50); // the group's parity companion
+        assert!(s
+            .try_admit(0, ObjectId(0), 4, 3, 13, AdmissionPolicy::Contiguous)
+            .is_err());
+    }
+
+    #[test]
+    fn soft_episode_still_rejects_degraded_plans() {
+        let mut s = sched(12, 1);
+        s.add_outage(Outage {
+            disk: 5,
+            from: 0,
+            until: 20,
+            hard: true,
+        });
+        // Fragment 0's virtual disk reads through a slow episode on disk
+        // 4 — a slow disk still has the data, so no reconstruction.
+        s.add_outage(Outage {
+            disk: 4,
+            from: 0,
+            until: 20,
+            hard: false,
+        });
+        s.set_parity_group(Some(3));
+        assert!(s
+            .try_admit(0, ObjectId(0), 4, 3, 13, AdmissionPolicy::Contiguous)
+            .is_err());
+    }
+
+    #[test]
+    fn fragmented_planner_falls_back_to_aligned_reconstruction() {
+        // 13 subobjects >= the rotation period 12, so while disk 5 is down
+        // EVERY virtual disk's reading window visits it — the clean
+        // fragmented search has no candidate slot at all.
+        let mut s = sched(12, 1);
+        s.add_outage(Outage {
+            disk: 5,
+            from: 0,
+            until: 100,
+            hard: true,
+        });
+        let policy = AdmissionPolicy::Fragmented {
+            max_buffer_fragments: 16,
+            max_delay_intervals: 8,
+        };
+        assert!(s.try_admit(0, ObjectId(0), 4, 3, 13, policy).is_err());
+        s.set_parity_group(Some(3));
+        let g = s.try_admit(0, ObjectId(0), 4, 3, 13, policy).unwrap();
+        assert_eq!(g.buffer_fragments, 0, "degraded plans are aligned");
+        assert_eq!(g.read_start, vec![g.delivery_start; 3]);
+        assert!(g.reconstructed_intervals > 0);
+        assert_eq!(g.parity_companions.len(), 1);
+    }
+
+    #[test]
+    fn parity_never_changes_clean_admissions() {
+        // With no outages, a parity-armed scheduler grants exactly what
+        // the parity-free one does.
+        let policy = AdmissionPolicy::Fragmented {
+            max_buffer_fragments: 8,
+            max_delay_intervals: 4,
+        };
+        let mut base = sched(20, 1);
+        let mut armed = sched(20, 1);
+        armed.set_parity_group(Some(4));
+        for t in 0..30u64 {
+            for start in [0u32, 5, 10, 15] {
+                let a = base.try_admit(t, ObjectId(start), start, 3, 7, policy);
+                let b = armed.try_admit(t, ObjectId(start), start, 3, 7, policy);
+                assert_eq!(a.is_ok(), b.is_ok());
+                if let (Ok(ga), Ok(gb)) = (a, b) {
+                    assert_eq!(ga, gb);
+                    assert!(gb.parity_companions.is_empty());
+                }
+            }
+        }
     }
 
     #[test]

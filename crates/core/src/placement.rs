@@ -35,6 +35,16 @@ pub struct StripingConfig {
     /// Effective per-disk bandwidth `B_disk` used to derive degrees of
     /// declustering.
     pub b_disk: Bandwidth,
+    /// Optional parity-group size `g`: when set, every subobject carries
+    /// one rotated (RAID-5 style) parity fragment per `g` data fragments,
+    /// placed at rotational offsets `M..M + ceil(M/g)` past the
+    /// subobject's first fragment — the same staggered arithmetic as the
+    /// data, so the parity of group `q` keeps a constant virtual disk for
+    /// the display's whole window. `None` (the default, and what every
+    /// serialized seed config deserializes to) is the paper's parity-free
+    /// layout, byte-identical to the baseline.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub parity_group: Option<u32>,
 }
 
 impl StripingConfig {
@@ -47,6 +57,16 @@ impl StripingConfig {
             stride: 5,
             fragment: Bytes::new(1_512_000),
             b_disk: Bandwidth::mbps(20),
+            parity_group: None,
+        }
+    }
+
+    /// Parity fragments per subobject for a degree-`degree` object:
+    /// `ceil(degree / g)` when a parity group is configured, else 0.
+    pub fn parity_fragments(&self, degree: u32) -> u32 {
+        match self.parity_group {
+            Some(g) => degree.div_ceil(g),
+            None => 0,
         }
     }
 
@@ -65,6 +85,11 @@ impl StripingConfig {
         if self.b_disk.is_zero() {
             return Err(Error::InvalidConfig {
                 reason: "zero disk bandwidth".into(),
+            });
+        }
+        if self.parity_group == Some(0) {
+            return Err(Error::InvalidConfig {
+                reason: "parity group must cover at least one fragment".into(),
             });
         }
         Ok(())
@@ -193,6 +218,22 @@ impl StripingLayout {
     /// Total fragments of the object.
     pub fn total_fragments(&self) -> u64 {
         u64::from(self.subobjects) * u64::from(self.degree)
+    }
+
+    /// The layout inflated by `extra` trailing rotational offsets per
+    /// subobject — how parity fragments are addressed: parity fragment
+    /// `q` of subobject `i` lives at `(start + i·k + M + q) mod D`,
+    /// i.e. fragment `M + q` of the inflated layout. With `extra == 0`
+    /// this is the identity.
+    pub fn with_parity(&self, extra: u32) -> StripingLayout {
+        StripingLayout::new(
+            self.object,
+            self.start_disk,
+            self.degree + extra,
+            self.subobjects,
+            self.disks,
+            self.stride,
+        )
     }
 }
 
@@ -481,7 +522,10 @@ impl PlacementMap {
             });
         }
         let degree = spec.degree(self.config.b_disk);
-        if degree > self.config.disks {
+        // Parity inflates the per-subobject footprint; the whole inflated
+        // stripe must fit the farm.
+        let parity = self.config.parity_fragments(degree);
+        if degree + parity > self.config.disks {
             return Err(Error::BandwidthUnsatisfiable {
                 object: spec.id,
                 required: spec.media.display_bandwidth,
@@ -496,10 +540,14 @@ impl PlacementMap {
             self.config.disks,
             self.config.stride,
         );
+        // Capacity is charged for data *and* parity fragments; the parity
+        // offsets follow the same staggered arithmetic, so the inflated
+        // layout's fragment profile is exactly the storage bill.
+        let cap_layout = layout.with_parity(parity);
         let cpf = self.cylinders_per_fragment;
         match &mut self.engine {
             Engine::Materialized { allocators, placed } => {
-                let per_disk = layout.fragments_per_disk();
+                let per_disk = cap_layout.fragments_per_disk();
                 // Feasibility check before mutating any allocator.
                 for (d, &frags) in per_disk.iter().enumerate() {
                     let need = frags * cpf;
@@ -527,7 +575,7 @@ impl PlacementMap {
                 let cylinders = self.cylinders;
                 let cyl_capacity = self.config.fragment / u64::from(cpf);
                 let fragment = self.config.fragment;
-                let profile = state.profile(&layout);
+                let profile = state.profile(&cap_layout);
                 match profile.uniform {
                     Some(c) => {
                         // Rotation-invariant: every disk takes the same
@@ -585,6 +633,7 @@ impl PlacementMap {
     /// Removes `id`, returning its cylinders to the free pools.
     pub fn remove(&mut self, id: ObjectId) -> Result<()> {
         let cpf = self.cylinders_per_fragment;
+        let parity_group = self.config.parity_group;
         match &mut self.engine {
             Engine::Materialized { allocators, placed } => {
                 let obj = placed.remove(&id).ok_or(Error::NotResident(id))?;
@@ -596,7 +645,14 @@ impl PlacementMap {
             }
             Engine::Lazy(state) => {
                 let layout = state.layouts.remove(&id).ok_or(Error::NotResident(id))?;
-                let profile = state.profile(&layout);
+                // Refund exactly what place_at charged: the parity-inflated
+                // fragment profile.
+                let parity = match parity_group {
+                    Some(g) => layout.degree.div_ceil(g),
+                    None => 0,
+                };
+                let cap_layout = layout.with_parity(parity);
+                let profile = state.profile(&cap_layout);
                 match profile.uniform {
                     Some(c) => state.uniform_used -= c * cpf,
                     None => {
@@ -789,6 +845,7 @@ mod tests {
             stride,
             fragment: Bytes::new(1_512_000),
             b_disk: Bandwidth::mbps(20),
+            parity_group: None,
         };
         PlacementMap::new(config, cylinders, 1).unwrap()
     }
@@ -867,6 +924,7 @@ mod tests {
             stride: 3,
             fragment: Bytes::new(1_512_000),
             b_disk: Bandwidth::mbps(20),
+            parity_group: None,
         };
         let mut m = PlacementMap::new_materialized(config, 100, 1).unwrap();
         m.place_at(&spec(0, 60, 9), 0).unwrap(); // M=3, simple striping
@@ -896,6 +954,7 @@ mod tests {
             stride: 1,
             fragment: Bytes::new(1_512_000),
             b_disk: Bandwidth::mbps(20),
+            parity_group: None,
         };
         let mut lazy = PlacementMap::new(config.clone(), 10, 1).unwrap();
         let mut mat = PlacementMap::new_materialized(config, 10, 1).unwrap();
@@ -911,6 +970,82 @@ mod tests {
         assert_eq!(lazy.used_cylinders(), mat.used_cylinders());
     }
 
+    fn parity_map(disks: u32, stride: u32, cylinders: u32, group: u32) -> PlacementMap {
+        let config = StripingConfig {
+            disks,
+            stride,
+            fragment: Bytes::new(1_512_000),
+            b_disk: Bandwidth::mbps(20),
+            parity_group: Some(group),
+        };
+        PlacementMap::new(config, cylinders, 1).unwrap()
+    }
+
+    #[test]
+    fn parity_inflates_storage_by_one_fragment_per_group() {
+        // M = 3, g = 3: one parity fragment per subobject — storage bill
+        // 4/3 of the data, charged and refunded symmetrically.
+        let mut m = parity_map(12, 1, 100, 3);
+        m.place_at(&spec(0, 60, 24), 4).unwrap();
+        let used: u32 = m.used_cylinders().iter().sum();
+        assert_eq!(used, 24 * (3 + 1));
+        m.remove(ObjectId(0)).unwrap();
+        assert!(m.used_cylinders().iter().all(|&u| u == 0));
+        // g = 2 on the same object: ceil(3/2) = 2 parity fragments.
+        let mut m = parity_map(12, 1, 100, 2);
+        m.place_at(&spec(0, 60, 24), 4).unwrap();
+        let used: u32 = m.used_cylinders().iter().sum();
+        assert_eq!(used, 24 * (3 + 2));
+    }
+
+    #[test]
+    fn parity_capacity_agrees_across_backends() {
+        let config = StripingConfig {
+            disks: 9,
+            stride: 3,
+            fragment: Bytes::new(1_512_000),
+            b_disk: Bandwidth::mbps(20),
+            parity_group: Some(3),
+        };
+        let mut lazy = PlacementMap::new(config.clone(), 50, 1).unwrap();
+        let mut mat = PlacementMap::new_materialized(config, 50, 1).unwrap();
+        for (i, start) in [(0u32, 0u32), (1, 3), (2, 7)] {
+            let s = spec(i, 60, 9); // M = 3 + 1 parity
+            lazy.place_at(&s, start).unwrap();
+            mat.place_at(&s, start).unwrap();
+        }
+        assert_eq!(lazy.used_cylinders(), mat.used_cylinders());
+        lazy.remove(ObjectId(1)).unwrap();
+        mat.remove(ObjectId(1)).unwrap();
+        assert_eq!(lazy.used_cylinders(), mat.used_cylinders());
+    }
+
+    #[test]
+    fn parity_stripe_must_fit_the_farm() {
+        // M = 3 data + 3 parity (g = 1) needs 6 offsets; a 5-disk farm
+        // cannot hold the inflated stripe.
+        let mut m = parity_map(5, 1, 100, 1);
+        assert!(matches!(
+            m.place_at(&spec(0, 60, 10), 0),
+            Err(Error::BandwidthUnsatisfiable { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_parity_group_is_rejected() {
+        let config = StripingConfig {
+            disks: 12,
+            stride: 1,
+            fragment: Bytes::new(1_512_000),
+            b_disk: Bandwidth::mbps(20),
+            parity_group: Some(0),
+        };
+        assert!(matches!(
+            config.validate(),
+            Err(Error::InvalidConfig { .. })
+        ));
+    }
+
     /// A stationary (non-uniform-profile) layout goes through the lazy
     /// engine's skewed path and still accounts exactly.
     #[test]
@@ -922,6 +1057,7 @@ mod tests {
                 stride: 10,
                 fragment: Bytes::new(1_512_000),
                 b_disk: Bandwidth::mbps(20),
+                parity_group: None,
             };
             PlacementMap::new_materialized(config, 1000, 1).unwrap()
         };

@@ -21,9 +21,11 @@
 mod allocator;
 mod availability;
 mod params;
+mod rebuild;
 mod timing;
 
 pub use allocator::{CylinderAllocator, CylinderRange};
 pub use availability::AvailabilityMask;
 pub use params::DiskParams;
+pub use rebuild::{RebuildJob, RebuildScheduler};
 pub use timing::{min_buffer_memory, SeekModel, ServiceTiming};

@@ -152,6 +152,71 @@ pub enum MaterializeMode {
     AfterFull,
 }
 
+/// Parity-protected degraded service (§ fault tolerance): the placement
+/// carries one rotated parity fragment per `group` data fragments, and
+/// admission may reconstruct reads lost to a failed disk from the
+/// surviving group members plus parity instead of rejecting the window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParityConfig {
+    /// Parity-group size `g` (data fragments per parity fragment).
+    pub group: u32,
+    /// How many times a rejected request is retried with randomized
+    /// backoff while an outage is active before it parks until the next
+    /// fault transition. Retries are deterministic (drawn from the seeded
+    /// `"backoff"` RNG stream).
+    #[serde(default = "default_max_retries")]
+    pub max_retries: u32,
+    /// Upper bound on one randomized backoff delay, in intervals.
+    #[serde(default = "default_max_backoff")]
+    pub max_backoff_intervals: u64,
+}
+
+fn default_max_retries() -> u32 {
+    8
+}
+
+fn default_max_backoff() -> u64 {
+    16
+}
+
+impl ParityConfig {
+    /// Group size `g` with the default retry policy.
+    pub fn group(group: u32) -> Self {
+        ParityConfig {
+            group,
+            max_retries: default_max_retries(),
+            max_backoff_intervals: default_max_backoff(),
+        }
+    }
+}
+
+/// Online hot-spare rebuild: after a disk fails, surviving-group reads are
+/// drained onto a spare at a bounded rate, and the disk re-enters service
+/// at the earlier of its scheduled repair and the rebuild completing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RebuildConfig {
+    /// Fragments regenerated per interval per spare (the bandwidth cap the
+    /// drain steals from normal service).
+    pub fragments_per_interval: u64,
+    /// Number of spare drives absorbing rebuilds concurrently.
+    #[serde(default = "default_spares")]
+    pub spares: u32,
+}
+
+fn default_spares() -> u32 {
+    1
+}
+
+impl RebuildConfig {
+    /// A rebuild pipeline at `rate` fragments per interval on one spare.
+    pub fn rate(rate: u64) -> Self {
+        RebuildConfig {
+            fragments_per_interval: rate,
+            spares: default_spares(),
+        }
+    }
+}
+
 /// The complete simulation configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServerConfig {
@@ -214,6 +279,14 @@ pub struct ServerConfig {
     /// nothing and reproduces the fault-free run byte-for-byte.
     #[serde(default)]
     pub faults: FaultPlan,
+    /// Parity-protected degraded service. `None` (the default) keeps the
+    /// paper's parity-free placement and admission byte-for-byte.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub parity: Option<ParityConfig>,
+    /// Online hot-spare rebuild. `None` (the default) leaves failed disks
+    /// down until their scheduled repair, byte-for-byte the PR 3 behavior.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub rebuild: Option<RebuildConfig>,
     /// Master RNG seed.
     pub seed: u64,
 }
@@ -248,6 +321,8 @@ impl ServerConfig {
             verify_delivery: false,
             dense_ticks: false,
             faults: FaultPlan::none(),
+            parity: None,
+            rebuild: None,
             seed,
         }
     }
@@ -417,6 +492,50 @@ impl ServerConfig {
             return bad("measurement window must be positive".into());
         }
         self.faults.validate(self.disks)?;
+        if let Some(p) = &self.parity {
+            if p.group == 0 {
+                return bad("parity group must cover at least one fragment".into());
+            }
+            if matches!(self.scheme, Scheme::Vdr { .. }) {
+                return bad(
+                    "the VDR baseline's redundancy is replication; parity groups \
+                     apply to the striping scheme only"
+                        .into(),
+                );
+            }
+            // Every media type's inflated stripe (data + parity offsets)
+            // must fit the farm.
+            let b_disk = self.b_disk();
+            let check = |m: u32, name: &str| -> Result<()> {
+                let groups = m.div_ceil(p.group);
+                if m + groups > self.disks {
+                    return Err(Error::InvalidConfig {
+                        reason: format!(
+                            "'{name}' needs {m} data + {groups} parity disks but the \
+                             farm has {}",
+                            self.disks
+                        ),
+                    });
+                }
+                Ok(())
+            };
+            match &self.mix {
+                None => check(self.degree(), &self.media.name)?,
+                Some(mix) => {
+                    for e in &mix.entries {
+                        check(e.media.degree_of_declustering(b_disk), &e.media.name)?;
+                    }
+                }
+            }
+        }
+        if let Some(r) = &self.rebuild {
+            if r.fragments_per_interval == 0 {
+                return bad("rebuild must drain at least one fragment per interval".into());
+            }
+            if r.spares == 0 {
+                return bad("rebuild needs at least one spare".into());
+            }
+        }
         if let Scheme::Vdr { vdr } = &self.scheme {
             if vdr.clusters == 0 {
                 return bad("VDR needs at least one cluster".into());
@@ -497,6 +616,41 @@ mod tests {
         c = ServerConfig::paper_striping(1, 20.0, 1);
         c.measure = SimDuration::ZERO;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn parity_and_rebuild_knobs_validate() {
+        let mut c = ServerConfig::small_test(4, 9);
+        c.parity = Some(ParityConfig::group(5));
+        c.rebuild = Some(RebuildConfig::rate(4));
+        c.validate().unwrap();
+        // Zero group, VDR scheme, and zero rebuild rate are all rejected.
+        c.parity = Some(ParityConfig::group(0));
+        assert!(c.validate().is_err());
+        let mut v = ServerConfig::small_vdr_test(4, 9);
+        v.parity = Some(ParityConfig::group(5));
+        assert!(v.validate().is_err());
+        let mut c = ServerConfig::small_test(4, 9);
+        c.rebuild = Some(RebuildConfig::rate(0));
+        assert!(c.validate().is_err());
+        // The inflated stripe must fit the farm: M = 5 data + 5 parity on
+        // a 20-disk farm is fine, but g = 1 on a 9-disk farm is not.
+        let mut c = ServerConfig::small_test(4, 9);
+        c.disks = 9;
+        c.parity = Some(ParityConfig::group(1));
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn parity_free_config_serializes_unchanged() {
+        // The new knobs are skipped when None, so serialized seed configs
+        // (and the goldens derived from them) stay byte-identical.
+        let c = ServerConfig::small_test(4, 9);
+        let json = serde_json::to_string(&c).unwrap();
+        assert!(!json.contains("parity"));
+        assert!(!json.contains("rebuild"));
+        let back: ServerConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
     }
 
     #[test]

@@ -500,6 +500,8 @@ mod tests {
             coalesces: 0,
             measured_seconds: 0.0,
             degraded: None,
+            parity_group: None,
+            rebuild_rate: None,
         };
         let mut reports = Vec::new();
         for &n in &TABLE4_STATIONS {

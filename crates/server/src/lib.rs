@@ -30,7 +30,7 @@ pub mod metrics;
 pub mod striping;
 pub mod vdr;
 
-pub use config::{MaterializeMode, Scheme, ServerConfig};
+pub use config::{MaterializeMode, ParityConfig, RebuildConfig, Scheme, ServerConfig};
 pub use metrics::RunReport;
 pub use striping::StripingServer;
 pub use vdr::VdrServer;

@@ -51,6 +51,15 @@ pub struct RunReport {
     /// reports stay byte-identical to the pre-fault-injection goldens.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub degraded: Option<DegradedStats>,
+    /// Parity group size the run was configured with (reports are
+    /// self-describing artifacts; omitted — and the report byte-identical
+    /// to pre-parity goldens — when parity is off).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub parity_group: Option<u32>,
+    /// Hot-spare rebuild rate (fragments per interval) the run was
+    /// configured with; omitted when rebuild is off.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub rebuild_rate: Option<u64>,
 }
 
 /// What went wrong and how the server coped: the degraded-mode section of
@@ -88,6 +97,47 @@ pub struct DegradedStats {
     pub max_disk_downtime_s: f64,
     /// Σ per-disk slow-episode time, simulated seconds.
     pub slow_seconds: f64,
+    /// Parity-reconstruction, backoff-queue, and hot-spare-rebuild
+    /// counters. `None` until any self-healing machinery engages, so
+    /// parity-off reports serialize byte-identically to the pre-parity
+    /// goldens (the vendored serde derive omits only `None` fields).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub self_heal: Option<SelfHealStats>,
+}
+
+impl DegradedStats {
+    /// The self-healing section, created on first touch.
+    pub fn self_heal_mut(&mut self) -> &mut SelfHealStats {
+        self.self_heal.get_or_insert_with(Default::default)
+    }
+}
+
+/// How the self-healing pipeline performed: the parity / backoff / rebuild
+/// section of [`DegradedStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SelfHealStats {
+    /// Displays admitted through the degraded (parity-reconstruction)
+    /// path while a disk was down.
+    pub degraded_admissions: u64,
+    /// (fragment, interval) reads served by parity-group reconstruction
+    /// instead of a failed disk.
+    pub reconstructed_reads: u64,
+    /// Companion-disk intervals booked to fetch parity for reconstruction
+    /// (the bandwidth overhead of degraded service).
+    pub parity_overhead_intervals: u64,
+    /// Admission re-attempts scheduled by the outage backoff queue.
+    pub backoff_retries: u64,
+    /// Requests that exhausted their retry budget and parked until the
+    /// next fault transition.
+    pub backoff_exhausted: u64,
+    /// Hot-spare rebuilds completed (the disk re-entered service before
+    /// its scheduled repair).
+    pub rebuilds_completed: u64,
+    /// Σ rebuild drain time, simulated seconds.
+    pub rebuild_seconds: f64,
+    /// Virtual-disk intervals the rebuild drain stole from normal service
+    /// (its interference with foreground admissions).
+    pub rebuild_interference_intervals: u64,
 }
 
 /// The statistics a server accumulates while running; converted into a
@@ -221,6 +271,8 @@ impl MetricsCollector {
             coalesces: self.coalesces,
             measured_seconds: now.duration_since(self.measure_start).as_secs_f64(),
             degraded: self.degraded.clone(),
+            parity_group: None,
+            rebuild_rate: None,
         }
     }
 }

@@ -10,8 +10,8 @@
 
 use crate::config::{Scheme, ServerConfig};
 use crate::metrics::{MetricsCollector, RunReport};
-use ss_disk::AvailabilityMask;
-use ss_sim::{Context, DeterministicRng, FaultKind, FaultTimeline, Model, Simulation};
+use ss_disk::{AvailabilityMask, RebuildScheduler};
+use ss_sim::{Context, DeterministicRng, FaultEvent, FaultKind, FaultTimeline, Model, Simulation};
 use ss_tertiary::TertiaryDevice;
 use ss_types::{ClusterId, Error, ObjectId, Result, SimTime, StationId};
 use ss_vdr::{ClusterFarm, ClusterStatus, CopyPlan, VdrConfig};
@@ -92,6 +92,17 @@ pub struct VdrModel {
     cluster_down: Vec<u32>,
     /// Slow disks per cluster: the cluster is slow while nonzero.
     cluster_slow: Vec<u32>,
+    /// Online hot-spare rebuild pipeline (None unless configured). Under
+    /// VDR the spare is filled from a surviving replica cluster; the
+    /// drain's bandwidth interference is not modeled (replica copies are
+    /// whole-cluster operations, a fragment drain is below that grain).
+    rebuild: Option<RebuildScheduler>,
+    /// Rebuild completions not yet applied: `(disk, start, done)` in
+    /// interval indices; queued only when the rebuild beats the repair.
+    pending_rebuilds: Vec<(u32, u64, u64)>,
+    /// Disks returned to service by an early rebuild; the next scheduled
+    /// `Repair` timeline event for each is spent as a no-op.
+    rebuilt_early: Vec<u32>,
 }
 
 impl VdrModel {
@@ -182,6 +193,12 @@ impl VdrModel {
             mask,
             cluster_down: vec![0; clusters],
             cluster_slow: vec![0; clusters],
+            rebuild: config
+                .rebuild
+                .as_ref()
+                .map(|r| RebuildScheduler::new(r.fragments_per_interval, r.spares)),
+            pending_rebuilds: Vec::new(),
+            rebuilt_early: Vec::new(),
             config,
         })
     }
@@ -354,6 +371,14 @@ impl VdrModel {
                 break;
             }
             self.fault_cursor += 1;
+            if ev.kind == FaultKind::Repair {
+                if let Some(p) = self.rebuilt_early.iter().position(|&d| d == ev.disk) {
+                    // The rebuild pipeline already returned this disk to
+                    // service; the scheduled repair is spent as a no-op.
+                    self.rebuilt_early.swap_remove(p);
+                    continue;
+                }
+            }
             self.mask.apply(&ev, now);
             let c = ev.disk / degree;
             // Disks beyond the last whole cluster serve no VDR data.
@@ -362,6 +387,40 @@ impl VdrModel {
             match ev.kind {
                 FaultKind::Fail => {
                     self.metrics.degraded_mut().faults_injected += 1;
+                    if let Some(rb) = self.rebuild.as_mut() {
+                        // The failed disk holds `subobjects` fragments per
+                        // replica its cluster carries; drain them from a
+                        // surviving replica onto a spare. The completion
+                        // interval is final at enqueue time.
+                        let interval = self.config.interval();
+                        let t = now.as_micros() / interval.as_micros();
+                        let frags = if in_farm {
+                            self.farm.cluster_contents(ClusterId(c)).len() as u64
+                                * u64::from(self.config.subobjects)
+                        } else {
+                            0
+                        };
+                        let job = rb.enqueue(ev.disk, frags, t);
+                        let us = interval.as_micros();
+                        self.timeline.note_rebuild(
+                            ev.disk,
+                            SimTime::from_micros(job.start * us),
+                            SimTime::from_micros(job.done * us),
+                        );
+                        let scheduled = self
+                            .timeline
+                            .events()
+                            .get(self.fault_cursor..)
+                            .into_iter()
+                            .flatten()
+                            .find(|e| e.disk == ev.disk && e.kind == FaultKind::Repair)
+                            .map_or(self.deadline.as_micros().div_ceil(us), |e| {
+                                e.at.as_micros().div_ceil(us)
+                            });
+                        if job.done < scheduled {
+                            self.pending_rebuilds.push((ev.disk, job.start, job.done));
+                        }
+                    }
                     if in_farm {
                         self.cluster_down[ci] += 1;
                         if self.cluster_down[ci] == 1 {
@@ -397,6 +456,51 @@ impl VdrModel {
                         }
                     }
                 }
+            }
+        }
+    }
+
+    /// Applies every rebuild completion due by `now`: the rebuilt disk
+    /// re-enters service ahead of its scheduled repair (whose timeline
+    /// event becomes a no-op), counted exactly like a scheduled repair so
+    /// the `faults_injected == repairs` ledger still balances.
+    fn process_rebuilds(&mut self, now: SimTime) {
+        if self.pending_rebuilds.is_empty() {
+            return;
+        }
+        let interval = self.config.interval();
+        let t = now.as_micros() / interval.as_micros();
+        let interval_s = interval.as_secs_f64();
+        let degree = self.config.degree();
+        let mut i = 0;
+        while i < self.pending_rebuilds.len() {
+            let (disk, start, done) = self.pending_rebuilds[i];
+            if done <= t {
+                self.pending_rebuilds.remove(i);
+                let ev = FaultEvent {
+                    disk,
+                    at: now,
+                    kind: FaultKind::Repair,
+                };
+                self.mask.apply(&ev, now);
+                self.rebuilt_early.push(disk);
+                let c = disk / degree;
+                if c < self.vdr.clusters {
+                    let ci = c as usize;
+                    self.cluster_down[ci] -= 1;
+                    if self.cluster_down[ci] == 0 {
+                        // Fail-stop with rebuilt media: the spare serves
+                        // the cluster's old replicas again.
+                        self.farm.set_down(ClusterId(c), false);
+                    }
+                }
+                let g = self.metrics.degraded_mut();
+                g.repairs += 1;
+                let h = g.self_heal_mut();
+                h.rebuilds_completed += 1;
+                h.rebuild_seconds += (done - start) as f64 * interval_s;
+            } else {
+                i += 1;
             }
         }
     }
@@ -479,6 +583,7 @@ impl VdrModel {
         }
         self.complete_displays(now);
         if !self.timeline.is_empty() {
+            self.process_rebuilds(now);
             self.process_faults(now);
         }
         self.serve_waiters(now);
@@ -508,6 +613,12 @@ impl VdrModel {
         // availability and the rescue/drop decisions hang off them.
         if let Some(at) = self.timeline.next_at(self.fault_cursor) {
             horizon = horizon.min(at);
+        }
+        // Rebuild completions flip disks back into service at their
+        // boundary.
+        let us = self.config.interval().as_micros();
+        for &(_, _, done) in &self.pending_rebuilds {
+            horizon = horizon.min(SimTime::from_micros(done * us));
         }
         if !self.measurement_started {
             horizon = horizon.min(SimTime::ZERO + self.config.warmup);
@@ -640,7 +751,7 @@ impl VdrServer {
         }
         let m = self.sim.model();
         let popularity = m.config.popularity.tag();
-        m.metrics.report(
+        let mut report = m.metrics.report(
             now,
             "vdr",
             m.config.stations,
@@ -648,7 +759,9 @@ impl VdrServer {
             m.config.seed,
             m.tertiary.utilization(now),
             m.farm.unique_residents() as u64,
-        )
+        );
+        report.rebuild_rate = m.config.rebuild.as_ref().map(|r| r.fragments_per_interval);
+        report
     }
 
     /// Access to the model (tests).
@@ -805,6 +918,32 @@ mod tests {
         let r = VdrServer::new(cfg).unwrap().run();
         assert_eq!(baseline, r);
         assert!(r.degraded.is_none());
+    }
+
+    /// A slow scheduled repair with a fast rebuild: the spare returns the
+    /// disk (and its cluster) to service long before the repair window
+    /// closes, the stale `Repair` event is a no-op, and the downtime
+    /// shrinks accordingly.
+    #[test]
+    fn hot_spare_rebuild_beats_the_scheduled_repair() {
+        use ss_sim::FaultPlan;
+        let mut cfg = small(8);
+        cfg.faults = FaultPlan::fail_window(2, SimTime::from_secs(600), SimTime::from_secs(1800));
+        cfg.rebuild = Some(crate::config::RebuildConfig::rate(64));
+        let r = VdrServer::new(cfg).unwrap().run();
+        let g = r.degraded.as_ref().expect("degraded section present");
+        assert_eq!(g.faults_injected, 1);
+        assert_eq!(g.repairs, 1, "the early repair balances the ledger");
+        let h = g.self_heal.as_ref().expect("self-heal section present");
+        assert_eq!(h.rebuilds_completed, 1);
+        assert!(h.rebuild_seconds > 0.0);
+        // 75 replicas × 40 subobjects = 3000 fragments at 64/interval →
+        // 47 intervals ≈ 28.4 s of downtime instead of 1200 s.
+        assert!(
+            g.disk_downtime_s < 60.0,
+            "rebuild should cut downtime to ≈ 28 s, got {}",
+            g.disk_downtime_s
+        );
     }
 
     #[test]

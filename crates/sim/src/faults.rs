@@ -116,15 +116,87 @@ impl FaultPlan {
     }
 
     /// Validates the plan against a farm of `disks` drives.
+    ///
+    /// Structural rules, checked per disk with the same stable time order
+    /// compilation uses: a window must close strictly after it opens
+    /// (`repair > fail`, `slow_end > slow_start`), windows of the same
+    /// kind on one disk must not overlap, a close event needs a matching
+    /// open, and every disk id must be in range. A window left open is
+    /// fine — compilation closes it at the horizon. Violations surface as
+    /// [`Error::InvalidFaultPlan`] at construction instead of panicking
+    /// debug asserts (or silent normalization) mid-run.
     pub fn validate(&self, disks: u32) -> Result<()> {
         for (i, ev) in self.events.iter().enumerate() {
             if ev.disk >= disks {
-                return Err(Error::InvalidConfig {
+                return Err(Error::InvalidFaultPlan {
                     reason: format!(
                         "fault event {i} targets disk {} but the farm has {disks} disks",
                         ev.disk
                     ),
                 });
+            }
+        }
+        // Per-disk structural walk in compilation order (stable by time).
+        let mut sorted: Vec<&FaultEvent> = self.events.iter().collect();
+        sorted.sort_by_key(|ev| ev.at);
+        let mut open_fail = vec![None::<SimTime>; disks as usize];
+        let mut open_slow = vec![None::<SimTime>; disks as usize];
+        for ev in sorted {
+            let d = ev.disk as usize;
+            let bad = |reason: String| Err(Error::InvalidFaultPlan { reason });
+            match ev.kind {
+                FaultKind::Fail => {
+                    if let Some(since) = open_fail[d] {
+                        return bad(format!(
+                            "disk {}: overlapping failure windows (failed at {since:?}, \
+                             failed again at {:?} before any repair)",
+                            ev.disk, ev.at
+                        ));
+                    }
+                    open_fail[d] = Some(ev.at);
+                }
+                FaultKind::Repair => match open_fail[d].take() {
+                    None => {
+                        return bad(format!(
+                            "disk {}: repair at {:?} without a matching failure",
+                            ev.disk, ev.at
+                        ));
+                    }
+                    Some(since) if ev.at <= since => {
+                        return bad(format!(
+                            "disk {}: repair at {:?} does not come after the failure at \
+                             {since:?} (empty or inverted window)",
+                            ev.disk, ev.at
+                        ));
+                    }
+                    Some(_) => {}
+                },
+                FaultKind::SlowStart => {
+                    if let Some(since) = open_slow[d] {
+                        return bad(format!(
+                            "disk {}: overlapping slow episodes (slow since {since:?}, \
+                             slowed again at {:?} before the episode ended)",
+                            ev.disk, ev.at
+                        ));
+                    }
+                    open_slow[d] = Some(ev.at);
+                }
+                FaultKind::SlowEnd => match open_slow[d].take() {
+                    None => {
+                        return bad(format!(
+                            "disk {}: slow-episode end at {:?} without a matching start",
+                            ev.disk, ev.at
+                        ));
+                    }
+                    Some(since) if ev.at <= since => {
+                        return bad(format!(
+                            "disk {}: slow episode ending at {:?} does not come after its \
+                             start at {since:?} (empty or inverted window)",
+                            ev.disk, ev.at
+                        ));
+                    }
+                    Some(_) => {}
+                },
             }
         }
         if let Some(st) = &self.stochastic {
@@ -164,6 +236,7 @@ impl FaultPlan {
             return FaultTimeline {
                 events: Vec::new(),
                 drop_after_hiccup_intervals: self.drop_after_hiccup_intervals,
+                rebuilds: Vec::new(),
             };
         }
         let mut raw: Vec<FaultEvent> = self.events.clone();
@@ -253,8 +326,23 @@ impl FaultPlan {
         FaultTimeline {
             events,
             drop_after_hiccup_intervals: self.drop_after_hiccup_intervals,
+            rebuilds: Vec::new(),
         }
     }
+}
+
+/// One hot-spare rebuild of a failed disk, noted on the timeline by the
+/// server's rebuild scheduler: surviving-group reads drain into the spare
+/// over `[started, done)`, after which the disk's data is whole again.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RebuildWindow {
+    /// The failed disk being rebuilt.
+    pub disk: u32,
+    /// When the spare started receiving reconstructed fragments.
+    pub started: SimTime,
+    /// When the rebuild completes (possibly after the scheduled repair, in
+    /// which case the repair wins and the rebuild is moot).
+    pub done: SimTime,
 }
 
 /// A compiled fault schedule: sorted, normalized, ready for replay.
@@ -263,6 +351,9 @@ pub struct FaultTimeline {
     events: Vec<FaultEvent>,
     /// Copied from the plan for the server's drop policy.
     pub drop_after_hiccup_intervals: Option<u64>,
+    /// Hot-spare rebuilds noted during the run (runtime state, not part of
+    /// the compiled schedule; empty unless a rebuild scheduler is active).
+    rebuilds: Vec<RebuildWindow>,
 }
 
 impl FaultTimeline {
@@ -282,6 +373,35 @@ impl FaultTimeline {
     /// fault.
     pub fn next_at(&self, cursor: usize) -> Option<SimTime> {
         self.events.get(cursor).map(|ev| ev.at)
+    }
+
+    /// Records a hot-spare rebuild window for `disk`.
+    pub fn note_rebuild(&mut self, disk: u32, started: SimTime, done: SimTime) {
+        debug_assert!(done > started, "rebuild must take positive time");
+        self.rebuilds.push(RebuildWindow {
+            disk,
+            started,
+            done,
+        });
+    }
+
+    /// All rebuild windows noted so far, in note order.
+    pub fn rebuilds(&self) -> &[RebuildWindow] {
+        &self.rebuilds
+    }
+
+    /// Linear rebuild progress of the most recent rebuild of `disk` at
+    /// `now`, in `[0, 1]`. `None` when no rebuild of that disk was noted.
+    pub fn rebuild_progress(&self, disk: u32, now: SimTime) -> Option<f64> {
+        let w = self.rebuilds.iter().rev().find(|w| w.disk == disk)?;
+        if now <= w.started {
+            return Some(0.0);
+        }
+        if now >= w.done {
+            return Some(1.0);
+        }
+        let total = w.done.duration_since(w.started).as_secs_f64();
+        Some(now.duration_since(w.started).as_secs_f64() / total)
     }
 }
 
@@ -320,6 +440,82 @@ mod tests {
         let plan = FaultPlan::fail_window(10, hour(1), hour(2));
         assert!(plan.validate(10).is_err());
         assert!(plan.validate(11).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_inverted_and_empty_windows() {
+        // repair <= fail: both the inverted and the zero-length window
+        // must be rejected with the typed fault-plan error.
+        for (fail_at, repair_at) in [(hour(2), hour(1)), (hour(1), hour(1))] {
+            let plan = FaultPlan::fail_window(3, fail_at, repair_at);
+            match plan.validate(10) {
+                Err(Error::InvalidFaultPlan { .. }) => {}
+                other => panic!("expected InvalidFaultPlan, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn validate_rejects_overlapping_windows_on_same_disk() {
+        let mut plan = FaultPlan::fail_window(3, hour(1), hour(4));
+        plan.events
+            .extend(FaultPlan::fail_window(3, hour(2), hour(3)).events);
+        match plan.validate(10) {
+            Err(Error::InvalidFaultPlan { .. }) => {}
+            other => panic!("expected InvalidFaultPlan, got {other:?}"),
+        }
+        // The same two windows on *different* disks are fine.
+        let mut ok = FaultPlan::fail_window(3, hour(1), hour(4));
+        ok.events
+            .extend(FaultPlan::fail_window(7, hour(2), hour(3)).events);
+        ok.validate(10).unwrap();
+        // Back-to-back windows on one disk are fine too.
+        let mut seq = FaultPlan::fail_window(3, hour(1), hour(2));
+        seq.events
+            .extend(FaultPlan::fail_window(3, hour(2), hour(3)).events);
+        seq.validate(10).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_unmatched_close_but_allows_open_window() {
+        let close_only = FaultPlan {
+            events: vec![FaultEvent {
+                disk: 0,
+                at: hour(1),
+                kind: FaultKind::Repair,
+            }],
+            ..FaultPlan::default()
+        };
+        match close_only.validate(4) {
+            Err(Error::InvalidFaultPlan { .. }) => {}
+            other => panic!("expected InvalidFaultPlan, got {other:?}"),
+        }
+        // An open failure window is legal: compilation closes it at the
+        // horizon.
+        let open = FaultPlan {
+            events: vec![FaultEvent {
+                disk: 0,
+                at: hour(1),
+                kind: FaultKind::Fail,
+            }],
+            ..FaultPlan::default()
+        };
+        open.validate(4).unwrap();
+    }
+
+    #[test]
+    fn rebuild_ledger_tracks_progress() {
+        let plan = FaultPlan::fail_window(3, hour(1), hour(4));
+        let mut tl = plan.compile(10, hour(10), &DeterministicRng::seed_from_u64(1));
+        assert!(tl.rebuilds().is_empty());
+        assert_eq!(tl.rebuild_progress(3, hour(2)), None);
+        tl.note_rebuild(3, hour(1), hour(3));
+        assert_eq!(tl.rebuild_progress(3, hour(1)), Some(0.0));
+        assert_eq!(tl.rebuild_progress(3, hour(2)), Some(0.5));
+        assert_eq!(tl.rebuild_progress(3, hour(3)), Some(1.0));
+        assert_eq!(tl.rebuild_progress(3, hour(9)), Some(1.0));
+        assert_eq!(tl.rebuild_progress(4, hour(2)), None);
+        assert_eq!(tl.rebuilds().len(), 1);
     }
 
     #[test]

@@ -34,7 +34,9 @@ pub mod trace;
 
 pub use dist::{AliasTable, Exponential, TruncatedGeometric, Zipf};
 pub use engine::{Context, Model, Simulation};
-pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultTimeline, StochasticFaults};
+pub use faults::{
+    FaultEvent, FaultKind, FaultPlan, FaultTimeline, RebuildWindow, StochasticFaults,
+};
 pub use rng::DeterministicRng;
 pub use stats::{BatchMeans, Counter, Histogram, Tally, TimeWeighted};
 pub use trace::Trace;

@@ -59,6 +59,13 @@ pub enum Error {
         /// Human-readable description of the conflict.
         reason: String,
     },
+    /// A fault plan is structurally invalid: a window that closes before it
+    /// opens, overlapping windows on the same disk, or an out-of-range
+    /// disk id.
+    InvalidFaultPlan {
+        /// Human-readable description of the offending event(s).
+        reason: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -92,6 +99,7 @@ impl fmt::Display for Error {
                 "admission rejected for {object}: needs {needed} disks, {free} suitably free"
             ),
             Error::InvalidState { reason } => write!(f, "invalid state: {reason}"),
+            Error::InvalidFaultPlan { reason } => write!(f, "invalid fault plan: {reason}"),
         }
     }
 }

@@ -150,6 +150,12 @@ impl ClusterFarm {
         self.down[cluster.index()]
     }
 
+    /// The replicas `cluster` currently holds (rebuild sizing: each one
+    /// contributes `subobjects` fragments to every disk of the cluster).
+    pub fn cluster_contents(&self, cluster: ClusterId) -> &[ObjectId] {
+        &self.clusters[cluster.index()].contents
+    }
+
     /// Marks `cluster` slow (fault injection): new work avoids it, work
     /// already in flight keeps running.
     pub fn set_slow(&mut self, cluster: ClusterId, slow: bool) {

@@ -13,6 +13,7 @@ fn main() -> Result<()> {
         stride: 1,
         fragment: disk.cylinder_capacity,
         b_disk: disk.effective_bandwidth(disk.cylinder_capacity),
+        parity_group: None,
     };
     println!(
         "farm: {} disks, fragment {}, effective B_disk {}",

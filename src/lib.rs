@@ -64,8 +64,8 @@ pub mod prelude {
     pub use ss_core::placement::{PlacementBackend, PlacementMap, StripingConfig, StripingLayout};
     pub use ss_disk::{AvailabilityMask, DiskParams};
     pub use ss_server::{
-        config::{MaterializeMode, Scheme, ServerConfig},
-        metrics::{DegradedStats, RunReport},
+        config::{MaterializeMode, ParityConfig, RebuildConfig, Scheme, ServerConfig},
+        metrics::{DegradedStats, RunReport, SelfHealStats},
         StripingServer, VdrServer,
     };
     pub use ss_sim::{

@@ -1,6 +1,7 @@
 //! Properties of the fault-injection + degraded-mode subsystem, swept
-//! across both schemes, all three arrival models, and 0/1/2 injected
-//! concurrent failures:
+//! across both schemes, all three arrival models, 0/1/2 injected
+//! concurrent failures, and the self-healing knobs (parity groups,
+//! hot-spare rebuild):
 //!
 //! * **Determinism** — same seed, same [`FaultPlan`] ⇒ byte-identical
 //!   [`RunReport`]s, faults and all.
@@ -48,6 +49,19 @@ fn axis_configs(stations: u32, seed: u64) -> Vec<ServerConfig> {
     vec![closed, open, trace, vdr]
 }
 
+/// Arms the self-healing knobs: parity groups on striping cells only
+/// (config validation rejects parity under VDR — its redundancy is
+/// replication), the hot-spare rebuild everywhere.
+fn with_healing(mut cfg: ServerConfig, parity: Option<u32>, rebuild: Option<u64>) -> ServerConfig {
+    if let (Some(g), Scheme::Striping { .. }) = (parity, &cfg.scheme) {
+        cfg.parity = Some(ParityConfig::group(g));
+    }
+    if let Some(r) = rebuild {
+        cfg.rebuild = Some(RebuildConfig::rate(r));
+    }
+    cfg
+}
+
 /// Adds `failures` concurrent fail/repair windows spanning the middle
 /// half of the measurement window, half a farm apart (distinct VDR
 /// clusters) — the same shape the `fault_grid` harness sweeps.
@@ -70,9 +84,10 @@ fn render(report: &RunReport) -> String {
     serde_json::to_string_pretty(report).expect("serialize report")
 }
 
-/// ≥ 64-case sweep: every (scheme, arrival model, failure count, seed)
-/// cell runs twice under the same seed and must serialize to the same
-/// bytes — fault injection, rescue, and drop decisions included.
+/// ≥ 64-case sweep: every (scheme, arrival model, failure count, seed,
+/// parity, rebuild) cell runs twice under the same seed and must
+/// serialize to the same bytes — fault injection, rescue, backoff-retry,
+/// drop, and hot-spare-rebuild decisions included.
 #[test]
 fn same_seed_faulty_runs_are_byte_identical_across_sweep() {
     let mut configs = Vec::new();
@@ -83,6 +98,26 @@ fn same_seed_faulty_runs_are_byte_identical_across_sweep() {
             }
         }
     }
+    // The self-healing axes: parity-only, rebuild-only, and both, on
+    // every faulty cell of a seed subset. (Parity arms only the striping
+    // cells; the VDR cells along this axis still exercise rebuild.)
+    for seed in [1, 1994] {
+        for failures in 1..=2 {
+            for cfg in axis_configs(2, seed) {
+                for (parity, rebuild) in [(Some(5), None), (None, Some(4)), (Some(5), Some(4))] {
+                    configs.push(with_healing(
+                        with_failures(cfg.clone(), failures),
+                        parity,
+                        rebuild,
+                    ));
+                }
+            }
+        }
+    }
+    let faulty = configs
+        .iter()
+        .filter(|c| !c.faults.events.is_empty())
+        .count();
     assert!(configs.len() >= 64, "sweep too small: {}", configs.len());
     let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
     let first = run_batch(configs.clone(), threads);
@@ -91,20 +126,29 @@ fn same_seed_faulty_runs_are_byte_identical_across_sweep() {
         assert_eq!(
             render(a),
             render(b),
-            "case {i} ({}, {} stations, seed {}, {:?} faults) is not \
-             seed-deterministic",
+            "case {i} ({}, {} stations, seed {}, {:?} faults, parity {:?}, \
+             rebuild {:?}) is not seed-deterministic",
             a.scheme,
             a.stations,
             a.seed,
             configs[i].faults.events.len() / 2,
+            a.parity_group,
+            a.rebuild_rate,
         );
     }
-    // Sanity: the sweep actually exercised degraded mode.
+    // Sanity: the sweep actually exercised degraded mode and the
+    // self-healing machinery.
     let degraded = first.iter().filter(|r| r.degraded.is_some()).count();
     assert_eq!(
-        degraded,
-        2 * first.len() / 3,
+        degraded, faulty,
         "every run with injected failures reports a degraded section"
+    );
+    assert!(
+        first.iter().any(|r| r
+            .degraded
+            .as_ref()
+            .is_some_and(|g| g.self_heal.is_some_and(|h| h.rebuilds_completed > 0))),
+        "the rebuild axis completed at least one hot-spare rebuild"
     );
 }
 

@@ -90,6 +90,7 @@ proptest! {
             stride: k,
             fragment: Bytes::megabytes(1),
             b_disk: Bandwidth::mbps(20),
+            parity_group: None,
         };
         let spec = ObjectSpec::new(
             ObjectId(0),
@@ -159,6 +160,7 @@ proptest! {
             stride: k,
             fragment: Bytes::megabytes(2),
             b_disk: Bandwidth::mbps(20),
+            parity_group: None,
         };
         let mut lazy = PlacementMap::new(config.clone(), cylinders, cpf).unwrap();
         let mut mat = PlacementMap::new_materialized(config, cylinders, cpf).unwrap();
@@ -209,6 +211,7 @@ fn many_objects_share_the_farm_without_collisions() {
         stride: 1,
         fragment: Bytes::megabytes(1),
         b_disk: Bandwidth::mbps(20),
+        parity_group: None,
     };
     let mut map = PlacementMap::new(config, 500, 1).unwrap();
     let mut expected = 0u32;
