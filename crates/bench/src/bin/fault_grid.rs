@@ -17,7 +17,9 @@
 //!   interval (default 8) on every cell: failed disks re-enter service as
 //!   soon as the spare is drained, ahead of the scheduled repair.
 //! * `--rebuild-sweep` — additionally sweep the rebuild rate over the
-//!   1-failure striping cells and emit `rebuild_sweep.csv`.
+//!   1-failure striping cells and emit `rebuild_sweep.csv`. Given without
+//!   `--rebuild` this warns: the main grid then runs with the hot-spare
+//!   rebuild disarmed, and only the sweep's own cells rebuild.
 //!
 //! Emits `fault_grid.csv` — one row per run with the failure count, the
 //! parity/rebuild knobs, an explicit per-cell throughput-retention column
@@ -26,7 +28,7 @@
 //! retention summary. `--quick` swaps in the 20-disk test farm on a
 //! reduced station set (the CI smoke configuration).
 
-use ss_bench::HarnessOpts;
+use ss_bench::FaultGridOpts;
 use ss_server::config::{ParityConfig, RebuildConfig, Scheme};
 use ss_server::experiment::{fig8_configs, run_batch};
 use ss_server::metrics::{format_degraded, format_table};
@@ -113,48 +115,15 @@ degraded_admissions,reconstructed_reads,backoff_retries,backoff_exhausted,\
 rebuilds_completed,rebuild_seconds,rebuild_interference_intervals\n";
 
 fn main() {
-    // Pre-parse this binary's own flags; everything else goes to the
-    // common harness parser (which rejects unknown arguments).
-    let mut parity: Option<u32> = None;
-    let mut rebuild: Option<u64> = None;
-    let mut sweep = false;
-    let mut rest: Vec<String> = Vec::new();
-    let usage_exit = |msg: String| -> ! {
-        eprintln!("{msg}");
-        std::process::exit(2);
-    };
-    for a in std::env::args().skip(1) {
-        if a == "--parity" {
-            parity = Some(5);
-        } else if let Some(v) = a.strip_prefix("--parity=") {
-            parity = Some(v.parse().unwrap_or_else(|_| {
-                usage_exit(format!("--parity=G takes a group size, got {v:?}"))
-            }));
-        } else if a == "--rebuild" {
-            rebuild = Some(8);
-        } else if let Some(v) = a.strip_prefix("--rebuild=") {
-            rebuild = Some(v.parse().unwrap_or_else(|_| {
-                usage_exit(format!("--rebuild=R takes a drain rate, got {v:?}"))
-            }));
-        } else if a == "--rebuild-sweep" {
-            sweep = true;
-        } else {
-            rest.push(a);
-        }
-    }
-    if parity == Some(0) {
-        usage_exit("--parity=G needs a group of at least one data fragment".into());
-    }
-    if rebuild == Some(0) {
-        usage_exit("--rebuild=R needs a drain rate of at least one fragment per interval".into());
-    }
-    let opts = match HarnessOpts::parse_from(rest) {
-        Ok(opts) => opts,
-        Err(msg) => {
-            eprintln!("{msg}");
-            std::process::exit(2);
-        }
-    };
+    // Flag parsing lives in `FaultGridOpts` (testable, and the place the
+    // sweep-without-rebuild warning is raised).
+    let FaultGridOpts {
+        harness: opts,
+        parity,
+        rebuild,
+        sweep,
+        ..
+    } = FaultGridOpts::from_args();
     let base: Vec<ServerConfig> = if opts.quick {
         let mut v = Vec::new();
         for &stations in &[4u32, 8] {

@@ -108,6 +108,27 @@ impl HarnessOpts {
         Ok(opts)
     }
 
+    /// Parses an argument iterator like [`Self::parse_from`], but hands
+    /// every argument `extra` claims (returning `true`) to the caller
+    /// instead of rejecting it — how binaries layer their own flags over
+    /// the common set without re-implementing the harness parsing.
+    pub fn parse_with<I>(
+        args: I,
+        mut extra: impl FnMut(&str) -> Result<bool, String>,
+    ) -> Result<Self, String>
+    where
+        I: IntoIterator,
+        I::Item: Into<String>,
+    {
+        let mut rest = Vec::new();
+        for a in args.into_iter().map(Into::into) {
+            if !extra(&a)? {
+                rest.push(a);
+            }
+        }
+        Self::parse_from(rest)
+    }
+
     /// Writes `contents` to `<out>/<name>`, creating the directory, and
     /// echoes the path.
     pub fn write_artifact(&self, name: &str, contents: &str) {
@@ -116,6 +137,110 @@ impl HarnessOpts {
         let mut f = std::fs::File::create(&path).expect("create artifact");
         f.write_all(contents.as_bytes()).expect("write artifact");
         println!("wrote {}", path.display());
+    }
+}
+
+/// Options for the `fault_grid` harness: the common set plus the
+/// self-healing knobs (`--parity[=G]`, `--rebuild[=R]`) and the
+/// rebuild-rate sweep (`--rebuild-sweep`).
+#[derive(Debug, Clone)]
+pub struct FaultGridOpts {
+    /// The common harness options.
+    pub harness: HarnessOpts,
+    /// Parity group size to arm on striping cells (`--parity[=G]`,
+    /// default group 5).
+    pub parity: Option<u32>,
+    /// Hot-spare drain rate to arm on every cell (`--rebuild[=R]`,
+    /// default 8 fragments per interval).
+    pub rebuild: Option<u64>,
+    /// Sweep the rebuild rate over the 1-failure striping cells.
+    pub sweep: bool,
+    /// Non-fatal diagnostics raised during parsing; `from_args` prints
+    /// them to stderr.
+    pub warnings: Vec<String>,
+}
+
+const FAULT_GRID_USAGE: &str =
+    "usage: fault_grid [--parity[=G]] [--rebuild[=R]] [--rebuild-sweep] \
+     [--seed N] [--out DIR] [--quick] [--threads N]";
+
+impl FaultGridOpts {
+    /// Parses `std::env::args`, printing warnings and exiting with a
+    /// usage message on bad input.
+    pub fn from_args() -> Self {
+        match Self::parse_from(std::env::args().skip(1)) {
+            Ok(opts) => {
+                for w in &opts.warnings {
+                    eprintln!("{w}");
+                }
+                opts
+            }
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses an argument iterator (excluding argv[0]); returns a usage
+    /// error string on bad input. A `--rebuild-sweep` without `--rebuild`
+    /// is accepted but flagged in `warnings`: the main grid then runs
+    /// with the hot-spare rebuild disarmed, which is easy to mistake for
+    /// a sweep over the whole grid.
+    pub fn parse_from<I>(args: I) -> Result<Self, String>
+    where
+        I: IntoIterator,
+        I::Item: Into<String>,
+    {
+        let mut parity: Option<u32> = None;
+        let mut rebuild: Option<u64> = None;
+        let mut sweep = false;
+        let harness = HarnessOpts::parse_with(args, |a| {
+            if a == "--parity" {
+                parity = Some(5);
+            } else if let Some(v) = a.strip_prefix("--parity=") {
+                parity = Some(v.parse().map_err(|_| {
+                    format!("--parity=G takes a group size, got {v:?}; {FAULT_GRID_USAGE}")
+                })?);
+            } else if a == "--rebuild" {
+                rebuild = Some(8);
+            } else if let Some(v) = a.strip_prefix("--rebuild=") {
+                rebuild = Some(v.parse().map_err(|_| {
+                    format!("--rebuild=R takes a drain rate, got {v:?}; {FAULT_GRID_USAGE}")
+                })?);
+            } else if a == "--rebuild-sweep" {
+                sweep = true;
+            } else {
+                return Ok(false);
+            }
+            Ok(true)
+        })?;
+        if parity == Some(0) {
+            return Err(format!(
+                "--parity=G needs a group of at least one data fragment; {FAULT_GRID_USAGE}"
+            ));
+        }
+        if rebuild == Some(0) {
+            return Err(format!(
+                "--rebuild=R needs a drain rate of at least one fragment per interval; \
+                 {FAULT_GRID_USAGE}"
+            ));
+        }
+        let mut warnings = Vec::new();
+        if sweep && rebuild.is_none() {
+            warnings.push(
+                "warning: --rebuild-sweep without --rebuild: the main grid runs with the \
+                 hot-spare rebuild disarmed; only the sweep's own cells rebuild"
+                    .to_string(),
+            );
+        }
+        Ok(FaultGridOpts {
+            harness,
+            parity,
+            rebuild,
+            sweep,
+            warnings,
+        })
     }
 }
 
@@ -150,6 +275,52 @@ mod tests {
     fn parse_rejects_unknown_flag() {
         assert!(HarnessOpts::parse_from(["--bogus"]).is_err());
         assert!(HarnessOpts::parse_from(["--seed", "notanumber"]).is_err());
+    }
+
+    #[test]
+    fn fault_grid_defaults_and_explicit_values() {
+        let o = FaultGridOpts::parse_from(["--parity", "--rebuild", "--seed", "3"]).unwrap();
+        assert_eq!(o.parity, Some(5));
+        assert_eq!(o.rebuild, Some(8));
+        assert!(!o.sweep);
+        assert_eq!(o.harness.seed, 3);
+        assert!(o.warnings.is_empty());
+        let o = FaultGridOpts::parse_from(["--parity=4", "--rebuild=16"]).unwrap();
+        assert_eq!(o.parity, Some(4));
+        assert_eq!(o.rebuild, Some(16));
+    }
+
+    #[test]
+    fn fault_grid_rejects_degenerate_knobs() {
+        let err = FaultGridOpts::parse_from(["--parity=0"]).unwrap_err();
+        assert!(err.contains("at least one data fragment"), "{err}");
+        assert!(err.contains("usage:"), "{err}");
+        let err = FaultGridOpts::parse_from(["--rebuild=0"]).unwrap_err();
+        assert!(err.contains("at least one fragment per interval"), "{err}");
+        let err = FaultGridOpts::parse_from(["--parity=huge"]).unwrap_err();
+        assert!(err.contains("--parity=G takes a group size"), "{err}");
+        let err = FaultGridOpts::parse_from(["--rebuild=x"]).unwrap_err();
+        assert!(err.contains("--rebuild=R takes a drain rate"), "{err}");
+    }
+
+    #[test]
+    fn fault_grid_warns_on_sweep_without_rebuild() {
+        let o = FaultGridOpts::parse_from(["--rebuild-sweep"]).unwrap();
+        assert!(o.sweep);
+        assert_eq!(o.warnings.len(), 1);
+        assert!(o.warnings[0].contains("--rebuild-sweep without --rebuild"));
+        // Arming the rebuild silences it.
+        let o = FaultGridOpts::parse_from(["--rebuild-sweep", "--rebuild"]).unwrap();
+        assert!(o.warnings.is_empty());
+    }
+
+    #[test]
+    fn fault_grid_still_rejects_unknown_and_bad_common_flags() {
+        assert!(FaultGridOpts::parse_from(["--bogus"]).is_err());
+        assert!(FaultGridOpts::parse_from(["--threads", "0"]).is_err());
+        let o = FaultGridOpts::parse_from(["--quick", "--parity=6"]).unwrap();
+        assert!(o.harness.quick);
+        assert_eq!(o.parity, Some(6));
     }
 
     #[test]

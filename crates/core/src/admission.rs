@@ -184,6 +184,11 @@ impl IntervalScheduler {
     /// Registers a known unavailability window. Both admission planners
     /// and the coalescing planner refuse to place reads inside it.
     pub fn add_outage(&mut self, outage: Outage) {
+        ss_obs::obs!(ss_obs::Event::OutageAdded {
+            disk: outage.disk,
+            from: outage.from,
+            until: outage.until,
+        });
         self.outages.push(outage);
     }
 
@@ -476,6 +481,25 @@ impl IntervalScheduler {
             self.free_from[v as usize] = grant.end_interval;
         }
         self.invalidate_index();
+        if ss_obs::enabled() {
+            for (idx, &v) in grant.virtual_disks.iter().enumerate() {
+                ss_obs::record(ss_obs::Event::ReadSpan {
+                    object: object.0,
+                    frag: idx as u32,
+                    vdisk: v,
+                    base: grant.read_start[idx],
+                    subobjects: u64::from(subobjects),
+                });
+            }
+            if grant.reconstructed_intervals > 0 {
+                ss_obs::record(ss_obs::Event::ParityPlan {
+                    object: object.0,
+                    interval: now,
+                    reads: grant.reconstructed_intervals,
+                    companions: grant.parity_companions.len() as u32,
+                });
+            }
+        }
         Ok(grant)
     }
 

@@ -219,6 +219,15 @@ impl IntervalScheduler {
         self.set_free_from(plan.new_disk, plan.new_read_start + n);
         display.virtual_disks[i] = plan.new_disk;
         display.read_start[i] = plan.new_read_start;
+        ss_obs::obs!(ss_obs::Event::ReadMove {
+            object: display.object.0,
+            frag: plan.frag,
+            old_vdisk: plan.old_disk,
+            new_vdisk: plan.new_disk,
+            old_base: t_old,
+            new_base: plan.new_read_start,
+            handover: u64::from(plan.handover_sub),
+        });
     }
 
     /// Enumerates `display`'s committed reads from interval `now` onward

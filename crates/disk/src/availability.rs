@@ -60,6 +60,12 @@ impl AvailabilityMask {
     /// panic via debug assertions.
     pub fn apply(&mut self, ev: &FaultEvent, now: SimTime) {
         let d = ev.disk as usize;
+        ss_obs::obs!(match ev.kind {
+            FaultKind::Fail => ss_obs::Event::DiskFail { disk: ev.disk },
+            FaultKind::Repair => ss_obs::Event::DiskRepair { disk: ev.disk },
+            FaultKind::SlowStart => ss_obs::Event::DiskSlowStart { disk: ev.disk },
+            FaultKind::SlowEnd => ss_obs::Event::DiskSlowEnd { disk: ev.disk },
+        });
         match ev.kind {
             FaultKind::Fail => {
                 debug_assert!(!self.down[d], "double Fail on disk {}", ev.disk);

@@ -98,6 +98,11 @@ impl RebuildScheduler {
             fragments,
         };
         self.jobs.push(job);
+        ss_obs::obs!(ss_obs::Event::RebuildQueued {
+            disk,
+            fragments,
+            done,
+        });
         job
     }
 

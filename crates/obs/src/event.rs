@@ -1,0 +1,505 @@
+//! The typed event journal: one `Event` variant per observable state
+//! transition in the simulation stack.
+//!
+//! Events are split into a *control plane* (admission and display
+//! lifecycle, emitted by the server models), a *data plane* (per-fragment
+//! read bookings and handovers, emitted by the scheduling core — these
+//! are what the trace exporter expands into per-(disk, interval) read
+//! occupancy), and a *fault plane* (availability transitions, outage
+//! windows and rebuild progress, emitted by the disk and fault layers).
+//!
+//! All fields are raw integers: the journal sits below `ss-types` in the
+//! dependency graph so every crate can emit without a type cycle. Times
+//! in event payloads are **interval indices** unless a field is suffixed
+//! `_us`; the ambient record timestamp (simulation microseconds, set via
+//! [`crate::set_clock`]) is attached by the recorder.
+
+/// A single journal entry. See the module docs for the field
+/// conventions; `Display` formats the JSONL rendering used by the
+/// line-oriented sinks, which is byte-deterministic by construction
+/// (integers and fixed key order only).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    // --- control plane: admission lifecycle -------------------------
+    /// A display was admitted: `degree` fragments of `object` are booked
+    /// for `subobjects` intervals each, delivery starting at interval
+    /// `delivery_start` and ending at `end_interval`.
+    /// `reconstructed` counts intervals served via parity
+    /// reconstruction (degraded admission); `buffer` is the
+    /// time-fragmentation buffer cost in fragments.
+    AdmitAccept {
+        /// Catalog id of the admitted object.
+        object: u32,
+        /// Interval the admission decision was taken at.
+        interval: u64,
+        /// First virtual disk of the staggered layout.
+        start_disk: u32,
+        /// Number of fragments read in parallel (the granted degree).
+        degree: u32,
+        /// Intervals each fragment is read for.
+        subobjects: u64,
+        /// Interval display (delivery) begins.
+        delivery_start: u64,
+        /// Interval the display ends.
+        end_interval: u64,
+        /// Buffered fragments paid for time-fragmented delivery.
+        buffer: u64,
+        /// Intervals covered by parity reconstruction instead of a
+        /// direct read.
+        reconstructed: u64,
+    },
+    /// An admission attempt found no feasible slot this interval.
+    AdmitReject {
+        /// Catalog id of the rejected object.
+        object: u32,
+        /// Interval the attempt was made at.
+        interval: u64,
+    },
+    /// A rejected request entered the failure-aware backoff queue and
+    /// will retry at `next_attempt`.
+    AdmitRetry {
+        /// Catalog id of the retried object.
+        object: u32,
+        /// Interval the failed attempt was made at.
+        interval: u64,
+        /// Interval of the next scheduled attempt.
+        next_attempt: u64,
+    },
+    /// A waiter exhausted its retries and parked until the next fault
+    /// transition.
+    AdmitPark {
+        /// Catalog id of the parked object.
+        object: u32,
+        /// Interval the waiter parked at.
+        interval: u64,
+    },
+
+    // --- data plane: fragment read bookings -------------------------
+    /// Fragment `frag` of `object` was booked on virtual disk `vdisk`:
+    /// it reads one subobject per interval over `[base, base + subobjects)`.
+    ReadSpan {
+        /// Catalog id of the object being read.
+        object: u32,
+        /// Fragment index within the object (column of the stripe).
+        frag: u32,
+        /// Virtual disk the fragment is booked on.
+        vdisk: u32,
+        /// First interval of the read span.
+        base: u64,
+        /// Length of the span in intervals (subobjects read).
+        subobjects: u64,
+    },
+    /// A coalescing or rescue handover moved the tail of a fragment's
+    /// read span: subobjects `>= handover` now read from `new_vdisk` at
+    /// interval `new_base + s` instead of `old_vdisk` at `old_base + s`.
+    ReadMove {
+        /// Catalog id of the object being read.
+        object: u32,
+        /// Fragment index within the object.
+        frag: u32,
+        /// Virtual disk the span is leaving.
+        old_vdisk: u32,
+        /// Virtual disk the span tail lands on.
+        new_vdisk: u32,
+        /// Old span base interval.
+        old_base: u64,
+        /// New span base interval (tail reads at `new_base + s`).
+        new_base: u64,
+        /// First subobject index served from the new disk.
+        handover: u64,
+    },
+    /// Degraded admission planned `reads` parity reconstructions using
+    /// `companions` surviving group members per lost interval.
+    ParityPlan {
+        /// Catalog id of the degraded admission's object.
+        object: u32,
+        /// Interval the plan was made at.
+        interval: u64,
+        /// Lost reads covered by reconstruction.
+        reads: u64,
+        /// Surviving companion fragments read per reconstruction.
+        companions: u32,
+    },
+
+    // --- control plane: display lifecycle ---------------------------
+    /// A display left the active set at `interval`; `measured` is true
+    /// when it completed inside the measurement window.
+    DisplayEnd {
+        /// Catalog id of the completed object.
+        object: u32,
+        /// Interval the display ended at.
+        interval: u64,
+        /// True when counted by the measurement window.
+        measured: bool,
+    },
+    /// A read was lost to an outage and could not be rescued: the
+    /// viewer sees a hiccup for this (fragment, subobject) cell.
+    Hiccup {
+        /// Catalog id of the hiccuping object.
+        object: u32,
+        /// Fragment whose read was lost.
+        frag: u32,
+        /// Subobject index that was due.
+        subobject: u64,
+        /// Interval the loss occurred at.
+        interval: u64,
+        /// Physical disk that was down.
+        disk: u32,
+    },
+    /// A display accumulated too many hiccups and was dropped.
+    DisplayDrop {
+        /// Catalog id of the dropped object.
+        object: u32,
+        /// Interval the drop was decided at.
+        interval: u64,
+        /// Hiccup intervals absorbed before the drop.
+        hiccups: u64,
+    },
+    /// A rescue relocated a fragment's remaining reads off a failed
+    /// disk (successful `ReadMove` follows with the span arithmetic).
+    Rescue {
+        /// Catalog id of the rescued object.
+        object: u32,
+        /// Fragment that was relocated.
+        frag: u32,
+        /// Interval the rescue was applied at.
+        interval: u64,
+    },
+    /// Dynamic coalescing (Algorithm 2) moved a fragment to free
+    /// `saving` buffered fragments.
+    Coalesce {
+        /// Catalog id of the coalesced object.
+        object: u32,
+        /// Fragment that was handed over.
+        frag: u32,
+        /// Buffer fragments released by the move.
+        saving: u64,
+    },
+
+    // --- fault plane -------------------------------------------------
+    /// A fault timeline finished compiling with `events` transitions.
+    FaultTimeline {
+        /// Total fault transitions in the compiled timeline.
+        events: u64,
+    },
+    /// A disk failed (left service).
+    DiskFail {
+        /// Physical disk id.
+        disk: u32,
+    },
+    /// A disk re-entered service.
+    DiskRepair {
+        /// Physical disk id.
+        disk: u32,
+    },
+    /// A disk entered its degraded-bandwidth window.
+    DiskSlowStart {
+        /// Physical disk id.
+        disk: u32,
+    },
+    /// A disk left its degraded-bandwidth window.
+    DiskSlowEnd {
+        /// Physical disk id.
+        disk: u32,
+    },
+    /// The admission planner registered an outage window for a disk.
+    OutageAdded {
+        /// Physical disk id the outage covers.
+        disk: u32,
+        /// First interval of the outage.
+        from: u64,
+        /// First interval after the outage (`u64::MAX` = open-ended).
+        until: u64,
+    },
+    /// A failed disk's fragments were queued for hot-spare rebuild.
+    RebuildQueued {
+        /// Physical disk id being rebuilt.
+        disk: u32,
+        /// Fragments to drain onto the spare.
+        fragments: u64,
+        /// Interval the drain completes at.
+        done: u64,
+    },
+    /// A rebuild drained its spare; `early` is true when this completed
+    /// ahead of the scheduled repair and re-admitted the disk.
+    RebuildDone {
+        /// Physical disk id that finished rebuilding.
+        disk: u32,
+        /// True when the disk re-entered service early.
+        early: bool,
+    },
+
+    // --- VDR cluster plane -------------------------------------------
+    /// A VDR display started on `cluster` (occupying all its disks).
+    ClusterDisplayStart {
+        /// Catalog id of the displayed object.
+        object: u32,
+        /// Cluster serving the display.
+        cluster: u32,
+        /// Interval the display starts at.
+        interval: u64,
+        /// Interval the display ends at.
+        end_interval: u64,
+    },
+    /// A VDR inter-cluster (or tertiary) copy started onto `cluster`,
+    /// finishing at `until_us` simulation microseconds.
+    ClusterCopyStart {
+        /// Catalog id of the object being copied.
+        object: u32,
+        /// Target cluster receiving the replica.
+        cluster: u32,
+        /// Simulation time the copy completes, in microseconds.
+        until_us: u64,
+    },
+    /// A VDR display was relocated from a failed cluster to a survivor
+    /// holding a replica.
+    ClusterRescue {
+        /// Catalog id of the rescued object.
+        object: u32,
+        /// Cluster that failed.
+        from_cluster: u32,
+        /// Cluster that took the display over.
+        to_cluster: u32,
+    },
+
+    // --- engine -------------------------------------------------------
+    /// The simulation loop stopped after handling `events` events.
+    EngineStop {
+        /// Events dispatched over the whole run.
+        events: u64,
+    },
+}
+
+impl Event {
+    /// Short stable kind tag, used as the JSONL `"k"` field and for
+    /// reconciliation counting in tests.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::AdmitAccept { .. } => "admit_accept",
+            Event::AdmitReject { .. } => "admit_reject",
+            Event::AdmitRetry { .. } => "admit_retry",
+            Event::AdmitPark { .. } => "admit_park",
+            Event::ReadSpan { .. } => "read_span",
+            Event::ReadMove { .. } => "read_move",
+            Event::ParityPlan { .. } => "parity_plan",
+            Event::DisplayEnd { .. } => "display_end",
+            Event::Hiccup { .. } => "hiccup",
+            Event::DisplayDrop { .. } => "display_drop",
+            Event::Rescue { .. } => "rescue",
+            Event::Coalesce { .. } => "coalesce",
+            Event::FaultTimeline { .. } => "fault_timeline",
+            Event::DiskFail { .. } => "disk_fail",
+            Event::DiskRepair { .. } => "disk_repair",
+            Event::DiskSlowStart { .. } => "disk_slow_start",
+            Event::DiskSlowEnd { .. } => "disk_slow_end",
+            Event::OutageAdded { .. } => "outage_added",
+            Event::RebuildQueued { .. } => "rebuild_queued",
+            Event::RebuildDone { .. } => "rebuild_done",
+            Event::ClusterDisplayStart { .. } => "cluster_display_start",
+            Event::ClusterCopyStart { .. } => "cluster_copy_start",
+            Event::ClusterRescue { .. } => "cluster_rescue",
+            Event::EngineStop { .. } => "engine_stop",
+        }
+    }
+
+    /// Renders the one-line JSON journal record for this event stamped
+    /// at simulation time `at` (microseconds), without the trailing
+    /// newline. Keys are emitted in a fixed order and every value is an
+    /// integer or literal, so equal events render to equal bytes.
+    pub fn write_jsonl(&self, at: u64, out: &mut String) {
+        use std::fmt::Write;
+        let w = &mut *out;
+        write!(w, "{{\"t\":{at},\"k\":\"{}\"", self.kind()).expect("write to String");
+        match self {
+            Event::AdmitAccept {
+                object,
+                interval,
+                start_disk,
+                degree,
+                subobjects,
+                delivery_start,
+                end_interval,
+                buffer,
+                reconstructed,
+            } => write!(
+                w,
+                ",\"object\":{object},\"interval\":{interval},\"start_disk\":{start_disk},\
+                 \"degree\":{degree},\"subobjects\":{subobjects},\
+                 \"delivery_start\":{delivery_start},\"end_interval\":{end_interval},\
+                 \"buffer\":{buffer},\"reconstructed\":{reconstructed}"
+            ),
+            Event::AdmitReject { object, interval } => {
+                write!(w, ",\"object\":{object},\"interval\":{interval}")
+            }
+            Event::AdmitRetry {
+                object,
+                interval,
+                next_attempt,
+            } => write!(
+                w,
+                ",\"object\":{object},\"interval\":{interval},\"next_attempt\":{next_attempt}"
+            ),
+            Event::AdmitPark { object, interval } => {
+                write!(w, ",\"object\":{object},\"interval\":{interval}")
+            }
+            Event::ReadSpan {
+                object,
+                frag,
+                vdisk,
+                base,
+                subobjects,
+            } => write!(
+                w,
+                ",\"object\":{object},\"frag\":{frag},\"vdisk\":{vdisk},\
+                 \"base\":{base},\"subobjects\":{subobjects}"
+            ),
+            Event::ReadMove {
+                object,
+                frag,
+                old_vdisk,
+                new_vdisk,
+                old_base,
+                new_base,
+                handover,
+            } => write!(
+                w,
+                ",\"object\":{object},\"frag\":{frag},\"old_vdisk\":{old_vdisk},\
+                 \"new_vdisk\":{new_vdisk},\"old_base\":{old_base},\
+                 \"new_base\":{new_base},\"handover\":{handover}"
+            ),
+            Event::ParityPlan {
+                object,
+                interval,
+                reads,
+                companions,
+            } => write!(
+                w,
+                ",\"object\":{object},\"interval\":{interval},\"reads\":{reads},\
+                 \"companions\":{companions}"
+            ),
+            Event::DisplayEnd {
+                object,
+                interval,
+                measured,
+            } => write!(
+                w,
+                ",\"object\":{object},\"interval\":{interval},\"measured\":{measured}"
+            ),
+            Event::Hiccup {
+                object,
+                frag,
+                subobject,
+                interval,
+                disk,
+            } => write!(
+                w,
+                ",\"object\":{object},\"frag\":{frag},\"subobject\":{subobject},\
+                 \"interval\":{interval},\"disk\":{disk}"
+            ),
+            Event::DisplayDrop {
+                object,
+                interval,
+                hiccups,
+            } => write!(
+                w,
+                ",\"object\":{object},\"interval\":{interval},\"hiccups\":{hiccups}"
+            ),
+            Event::Rescue {
+                object,
+                frag,
+                interval,
+            } => write!(
+                w,
+                ",\"object\":{object},\"frag\":{frag},\"interval\":{interval}"
+            ),
+            Event::Coalesce {
+                object,
+                frag,
+                saving,
+            } => write!(
+                w,
+                ",\"object\":{object},\"frag\":{frag},\"saving\":{saving}"
+            ),
+            Event::FaultTimeline { events } => write!(w, ",\"events\":{events}"),
+            Event::DiskFail { disk }
+            | Event::DiskRepair { disk }
+            | Event::DiskSlowStart { disk }
+            | Event::DiskSlowEnd { disk } => write!(w, ",\"disk\":{disk}"),
+            Event::OutageAdded { disk, from, until } => {
+                write!(w, ",\"disk\":{disk},\"from\":{from},\"until\":{until}")
+            }
+            Event::RebuildQueued {
+                disk,
+                fragments,
+                done,
+            } => write!(
+                w,
+                ",\"disk\":{disk},\"fragments\":{fragments},\"done\":{done}"
+            ),
+            Event::RebuildDone { disk, early } => {
+                write!(w, ",\"disk\":{disk},\"early\":{early}")
+            }
+            Event::ClusterDisplayStart {
+                object,
+                cluster,
+                interval,
+                end_interval,
+            } => write!(
+                w,
+                ",\"object\":{object},\"cluster\":{cluster},\"interval\":{interval},\
+                 \"end_interval\":{end_interval}"
+            ),
+            Event::ClusterCopyStart {
+                object,
+                cluster,
+                until_us,
+            } => write!(
+                w,
+                ",\"object\":{object},\"cluster\":{cluster},\"until_us\":{until_us}"
+            ),
+            Event::ClusterRescue {
+                object,
+                from_cluster,
+                to_cluster,
+            } => write!(
+                w,
+                ",\"object\":{object},\"from_cluster\":{from_cluster},\
+                 \"to_cluster\":{to_cluster}"
+            ),
+            Event::EngineStop { events } => write!(w, ",\"events\":{events}"),
+        }
+        .expect("write to String");
+        out.push('}');
+    }
+
+    /// Convenience: the JSONL record as an owned line (no newline).
+    pub fn to_jsonl(&self, at: u64) -> String {
+        let mut s = String::with_capacity(96);
+        self.write_jsonl(at, &mut s);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_is_stable_and_tagged() {
+        let ev = Event::ReadSpan {
+            object: 7,
+            frag: 2,
+            vdisk: 11,
+            base: 40,
+            subobjects: 12,
+        };
+        assert_eq!(
+            ev.to_jsonl(123),
+            "{\"t\":123,\"k\":\"read_span\",\"object\":7,\"frag\":2,\"vdisk\":11,\
+             \"base\":40,\"subobjects\":12}"
+        );
+        assert_eq!(ev.kind(), "read_span");
+        // Equal events render to equal bytes.
+        assert_eq!(ev.to_jsonl(123), ev.clone().to_jsonl(123));
+    }
+}

@@ -1,0 +1,506 @@
+//! Trace export: expands the data-plane journal (read spans and
+//! handovers) into per-(physical disk, interval) read occupancy, and
+//! renders a Chrome/Perfetto *trace event format* JSON file — one track
+//! per disk (merged read spans, fault windows as async spans), one
+//! track per display, one per VDR cluster.
+//!
+//! The expansion replays the same arithmetic the scheduler used: a
+//! [`Event::ReadSpan`] books virtual disk `z` for intervals
+//! `[base, base + n)`, a [`Event::ReadMove`] splits the tail
+//! `s >= handover` onto a new virtual disk/base, and the rotating frame
+//! maps each read to physical disk `(z + k·t) mod D`. Splitting
+//! preserves span length, so the expanded read count must equal the sum
+//! of `degree × subobjects` over all admissions — the reconciliation
+//! invariant checked by `trace_dump` and CI.
+
+use crate::event::Event;
+
+/// Geometry needed to flatten virtual-disk spans onto physical tracks.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceMeta {
+    /// Physical disks `D` in the farm.
+    pub disks: u32,
+    /// Staggering stride `k` (per-interval rotation of the frame).
+    pub stride: u32,
+    /// Interval length in simulation microseconds.
+    pub interval_us: u64,
+    /// Disks per VDR cluster (0 when not a VDR run).
+    pub cluster_size: u32,
+}
+
+/// One expanded read: physical `disk` serves one fragment of `object`
+/// during `interval`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskRead {
+    /// Physical disk performing the read.
+    pub disk: u32,
+    /// Interval index of the read.
+    pub interval: u64,
+    /// Catalog id of the object read.
+    pub object: u32,
+}
+
+/// Result of expanding the journal's data plane.
+#[derive(Debug, Default)]
+pub struct Expansion {
+    /// Every (disk, interval) read, sorted by `(disk, interval, object)`.
+    pub reads: Vec<DiskRead>,
+    /// `ReadMove` events that matched no open span (0 on a well-formed
+    /// journal).
+    pub unmatched_moves: u64,
+}
+
+#[derive(Debug)]
+struct Seg {
+    object: u32,
+    frag: u32,
+    vdisk: u32,
+    base: u64,
+    s_lo: u64,
+    s_hi: u64,
+}
+
+/// Replays `ReadSpan`/`ReadMove` into final per-fragment segments.
+fn segments(events: &[(u64, Event)]) -> (Vec<Seg>, u64) {
+    let mut segs: Vec<Seg> = Vec::new();
+    let mut unmatched = 0u64;
+    for (_, ev) in events {
+        match ev {
+            Event::ReadSpan {
+                object,
+                frag,
+                vdisk,
+                base,
+                subobjects,
+            } => segs.push(Seg {
+                object: *object,
+                frag: *frag,
+                vdisk: *vdisk,
+                base: *base,
+                s_lo: 0,
+                s_hi: *subobjects,
+            }),
+            Event::ReadMove {
+                object,
+                frag,
+                old_vdisk,
+                new_vdisk,
+                old_base,
+                new_base,
+                handover,
+            } => {
+                // The most recent open segment still holding the tail is
+                // the one the scheduler split.
+                let hit = segs.iter_mut().rev().find(|s| {
+                    s.object == *object
+                        && s.frag == *frag
+                        && s.vdisk == *old_vdisk
+                        && s.base == *old_base
+                        && s.s_hi > *handover
+                });
+                match hit {
+                    Some(seg) => {
+                        let cut = (*handover).max(seg.s_lo);
+                        let tail = Seg {
+                            object: *object,
+                            frag: *frag,
+                            vdisk: *new_vdisk,
+                            base: *new_base,
+                            s_lo: cut,
+                            s_hi: seg.s_hi,
+                        };
+                        seg.s_hi = cut;
+                        segs.push(tail);
+                    }
+                    None => unmatched += 1,
+                }
+            }
+            _ => {}
+        }
+    }
+    (segs, unmatched)
+}
+
+/// Expands the journal into per-(physical disk, interval) reads.
+pub fn expand_reads(events: &[(u64, Event)], meta: &TraceMeta) -> Expansion {
+    let (segs, unmatched_moves) = segments(events);
+    let d = u64::from(meta.disks.max(1));
+    let k = u64::from(meta.stride) % d;
+    let mut reads = Vec::new();
+    for seg in &segs {
+        for s in seg.s_lo..seg.s_hi {
+            let t = seg.base + s;
+            let disk = ((u64::from(seg.vdisk) + k * t % d) % d) as u32;
+            reads.push(DiskRead {
+                disk,
+                interval: t,
+                object: seg.object,
+            });
+        }
+    }
+    reads.sort_by_key(|r| (r.disk, r.interval, r.object));
+    Expansion {
+        reads,
+        unmatched_moves,
+    }
+}
+
+/// Total reads booked by the control plane: the sum of
+/// `degree × subobjects` over every `AdmitAccept`. On a well-formed
+/// striping journal this equals `expand_reads(..).reads.len()`.
+pub fn booked_reads(events: &[(u64, Event)]) -> u64 {
+    events
+        .iter()
+        .map(|(_, ev)| match ev {
+            Event::AdmitAccept {
+                degree, subobjects, ..
+            } => u64::from(*degree) * subobjects,
+            _ => 0,
+        })
+        .sum()
+}
+
+/// Appends one complete-span ("ph":"X") trace event.
+#[allow(clippy::too_many_arguments)]
+fn push_span(
+    out: &mut String,
+    first: &mut bool,
+    name: &str,
+    cat: &str,
+    ts: u64,
+    dur: u64,
+    pid: u32,
+    tid: u64,
+    args: &str,
+) {
+    use std::fmt::Write;
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    write!(
+        out,
+        "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"X\",\"ts\":{ts},\
+         \"dur\":{dur},\"pid\":{pid},\"tid\":{tid},\"args\":{{{args}}}}}"
+    )
+    .expect("write to String");
+}
+
+/// Appends one async begin/end ("ph":"b"/"e") pair boundary.
+#[allow(clippy::too_many_arguments)]
+fn push_async(
+    out: &mut String,
+    first: &mut bool,
+    ph: char,
+    name: &str,
+    cat: &str,
+    id: u64,
+    ts: u64,
+    pid: u32,
+    tid: u64,
+) {
+    use std::fmt::Write;
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    write!(
+        out,
+        "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"{ph}\",\"id\":{id},\
+         \"ts\":{ts},\"pid\":{pid},\"tid\":{tid}}}"
+    )
+    .expect("write to String");
+}
+
+fn push_process_name(out: &mut String, first: &mut bool, pid: u32, name: &str) {
+    use std::fmt::Write;
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    write!(
+        out,
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+         \"args\":{{\"name\":\"{name}\"}}}}"
+    )
+    .expect("write to String");
+}
+
+const PID_DISKS: u32 = 1;
+const PID_DISPLAYS: u32 = 2;
+const PID_CLUSTERS: u32 = 3;
+
+/// Renders the journal as Chrome/Perfetto trace-event JSON
+/// (`{"traceEvents":[...]}`): per-disk read spans (consecutive
+/// same-object intervals merged), per-display lifetime spans, fault
+/// windows as async spans on the failed disk's track, and VDR cluster
+/// display/copy spans.
+pub fn perfetto_trace(events: &[(u64, Event)], meta: &TraceMeta) -> String {
+    use std::fmt::Write;
+    let iv = meta.interval_us.max(1);
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    push_process_name(&mut out, &mut first, PID_DISKS, "disks");
+    push_process_name(&mut out, &mut first, PID_DISPLAYS, "displays");
+    if meta.cluster_size > 0 {
+        push_process_name(&mut out, &mut first, PID_CLUSTERS, "clusters");
+    }
+
+    // Per-disk read occupancy: merge runs of consecutive intervals on
+    // the same disk for the same object into one complete span.
+    let expansion = expand_reads(events, meta);
+    let mut i = 0;
+    while i < expansion.reads.len() {
+        let r = expansion.reads[i];
+        let mut len = 1u64;
+        while i + (len as usize) < expansion.reads.len() {
+            let n = expansion.reads[i + len as usize];
+            if n.disk == r.disk && n.object == r.object && n.interval == r.interval + len {
+                len += 1;
+            } else {
+                break;
+            }
+        }
+        push_span(
+            &mut out,
+            &mut first,
+            &format!("obj{}", r.object),
+            "read",
+            r.interval * iv,
+            len * iv,
+            PID_DISKS,
+            u64::from(r.disk),
+            &format!("\"object\":{},\"reads\":{len}", r.object),
+        );
+        i += len as usize;
+    }
+
+    // Display lifetime spans (one track per display instance) and VDR
+    // cluster spans, plus fault windows.
+    let mut display_ord = 0u64;
+    let mut open_fault: Vec<Option<u64>> = vec![None; meta.disks as usize];
+    let mut last_ts = 0u64;
+    for (at, ev) in events {
+        last_ts = last_ts.max(*at);
+        match ev {
+            Event::AdmitAccept {
+                object,
+                degree,
+                delivery_start,
+                end_interval,
+                ..
+            } => {
+                push_span(
+                    &mut out,
+                    &mut first,
+                    &format!("obj{object}"),
+                    "display",
+                    delivery_start * iv,
+                    end_interval.saturating_sub(*delivery_start).max(1) * iv,
+                    PID_DISPLAYS,
+                    display_ord,
+                    &format!("\"object\":{object},\"degree\":{degree}"),
+                );
+                display_ord += 1;
+            }
+            Event::ClusterDisplayStart {
+                object,
+                cluster,
+                interval,
+                end_interval,
+            } => {
+                push_span(
+                    &mut out,
+                    &mut first,
+                    &format!("obj{object}"),
+                    "display",
+                    interval * iv,
+                    end_interval.saturating_sub(*interval).max(1) * iv,
+                    PID_DISPLAYS,
+                    display_ord,
+                    &format!("\"object\":{object},\"cluster\":{cluster}"),
+                );
+                display_ord += 1;
+                push_span(
+                    &mut out,
+                    &mut first,
+                    &format!("obj{object}"),
+                    "display",
+                    interval * iv,
+                    end_interval.saturating_sub(*interval).max(1) * iv,
+                    PID_CLUSTERS,
+                    u64::from(*cluster),
+                    &format!("\"object\":{object}"),
+                );
+            }
+            Event::ClusterCopyStart {
+                object,
+                cluster,
+                until_us,
+            } => {
+                push_span(
+                    &mut out,
+                    &mut first,
+                    &format!("copy obj{object}"),
+                    "copy",
+                    *at,
+                    until_us.saturating_sub(*at).max(1),
+                    PID_CLUSTERS,
+                    u64::from(*cluster),
+                    &format!("\"object\":{object}"),
+                );
+            }
+            Event::DiskFail { disk } => {
+                if let Some(slot) = open_fault.get_mut(*disk as usize) {
+                    *slot = Some(*at);
+                    push_async(
+                        &mut out,
+                        &mut first,
+                        'b',
+                        &format!("disk{disk} down"),
+                        "fault",
+                        u64::from(*disk),
+                        *at,
+                        PID_DISKS,
+                        u64::from(*disk),
+                    );
+                }
+            }
+            Event::DiskRepair { disk } => {
+                if let Some(slot) = open_fault.get_mut(*disk as usize) {
+                    if slot.take().is_some() {
+                        push_async(
+                            &mut out,
+                            &mut first,
+                            'e',
+                            &format!("disk{disk} down"),
+                            "fault",
+                            u64::from(*disk),
+                            *at,
+                            PID_DISKS,
+                            u64::from(*disk),
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    // Close any fault window still open at the end of the journal.
+    for (disk, slot) in open_fault.iter().enumerate() {
+        if slot.is_some() {
+            push_async(
+                &mut out,
+                &mut first,
+                'e',
+                &format!("disk{disk} down"),
+                "fault",
+                disk as u64,
+                last_ts,
+                PID_DISKS,
+                disk as u64,
+            );
+        }
+    }
+    let _ = write!(out, "],\"displayTimeUnit\":\"ms\"}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(d: u32, k: u32) -> TraceMeta {
+        TraceMeta {
+            disks: d,
+            stride: k,
+            interval_us: 1_000,
+            cluster_size: 0,
+        }
+    }
+
+    #[test]
+    fn span_expansion_walks_the_frame() {
+        // One fragment on virtual disk 2, base 1, 3 subobjects, D=8 k=1:
+        // physical disks (2+1·1, 2+1·2, 2+1·3) = 3, 4, 5.
+        let events = vec![(
+            0,
+            Event::ReadSpan {
+                object: 9,
+                frag: 0,
+                vdisk: 2,
+                base: 1,
+                subobjects: 3,
+            },
+        )];
+        let x = expand_reads(&events, &meta(8, 1));
+        assert_eq!(x.unmatched_moves, 0);
+        assert_eq!(
+            x.reads
+                .iter()
+                .map(|r| (r.disk, r.interval))
+                .collect::<Vec<_>>(),
+            vec![(3, 1), (4, 2), (5, 3)]
+        );
+    }
+
+    #[test]
+    fn moves_preserve_read_counts() {
+        let events = vec![
+            (
+                0,
+                Event::ReadSpan {
+                    object: 1,
+                    frag: 0,
+                    vdisk: 0,
+                    base: 0,
+                    subobjects: 10,
+                },
+            ),
+            (
+                0,
+                Event::AdmitAccept {
+                    object: 1,
+                    interval: 0,
+                    start_disk: 0,
+                    degree: 1,
+                    subobjects: 10,
+                    delivery_start: 0,
+                    end_interval: 10,
+                    buffer: 0,
+                    reconstructed: 0,
+                },
+            ),
+            (
+                3_000,
+                Event::ReadMove {
+                    object: 1,
+                    frag: 0,
+                    old_vdisk: 0,
+                    new_vdisk: 5,
+                    old_base: 0,
+                    new_base: 2,
+                    handover: 4,
+                },
+            ),
+        ];
+        let x = expand_reads(&events, &meta(8, 2));
+        assert_eq!(x.unmatched_moves, 0);
+        assert_eq!(x.reads.len() as u64, booked_reads(&events));
+        let trace = perfetto_trace(&events, &meta(8, 2));
+        assert!(trace.starts_with("{\"traceEvents\":["));
+        assert!(trace.contains("\"ph\":\"X\""));
+    }
+
+    #[test]
+    fn fault_windows_pair_up() {
+        let events = vec![
+            (10, Event::DiskFail { disk: 3 }),
+            (90, Event::DiskRepair { disk: 3 }),
+        ];
+        let trace = perfetto_trace(&events, &meta(4, 1));
+        assert!(trace.contains("\"ph\":\"b\""));
+        assert!(trace.contains("\"ph\":\"e\""));
+        assert!(trace.contains("disk3 down"));
+    }
+}

@@ -307,6 +307,7 @@ impl StripingModel {
     }
 
     fn complete_displays(&mut self, now: SimTime) {
+        let t = self.interval_index(now);
         let mut i = 0;
         while i < self.active.len() {
             if self.active[i].ends <= now {
@@ -315,9 +316,15 @@ impl StripingModel {
                     self.stations.complete_at(station, now);
                 }
                 self.buffers.release(d.buffer_fragments);
-                if self.metrics.measuring() {
+                let measured = self.metrics.measuring();
+                if measured {
                     self.metrics.record_completion();
                 }
+                ss_obs::obs!(ss_obs::Event::DisplayEnd {
+                    object: d.object.0,
+                    interval: t,
+                    measured,
+                });
                 self.active_per_object[d.object.index()] -= 1;
             } else {
                 i += 1;
@@ -481,14 +488,22 @@ impl StripingModel {
                         .expect("unbounded tracker");
                     self.metrics.peak_buffer_fragments =
                         self.metrics.peak_buffer_fragments.max(self.buffers.peak());
-                    let fragmented = (grant.buffer_fragments > 0 || !self.timeline.is_empty())
-                        .then(|| {
-                            ActiveFragmentedDisplay::from_grant(
-                                &grant,
-                                layout.start_disk,
-                                spec.subobjects,
-                            )
-                        });
+                    // Observability keeps the fragmented read-state
+                    // alive on every display so the wasted-bandwidth
+                    // series can see each fragment's reading window; the
+                    // state is inert for zero-buffer fault-free displays
+                    // (every consumer checks `buffer_total() > 0` or the
+                    // timeline first), so decisions are unchanged.
+                    let fragmented = (grant.buffer_fragments > 0
+                        || !self.timeline.is_empty()
+                        || ss_obs::enabled())
+                    .then(|| {
+                        ActiveFragmentedDisplay::from_grant(
+                            &grant,
+                            layout.start_disk,
+                            spec.subobjects,
+                        )
+                    });
                     let reconstructed_log = if grant.reconstructed_intervals > 0 {
                         let g = self.metrics.degraded_mut().self_heal_mut();
                         g.degraded_admissions += 1;
@@ -518,8 +533,35 @@ impl StripingModel {
                         hiccuped: false,
                     });
                     self.active_per_object[w.object.index()] += 1;
+                    if ss_obs::enabled() {
+                        ss_obs::record(ss_obs::Event::AdmitAccept {
+                            object: w.object.0,
+                            interval: t,
+                            start_disk,
+                            degree: grant.virtual_disks.len() as u32,
+                            subobjects: u64::from(spec.subobjects),
+                            delivery_start: grant.delivery_start,
+                            end_interval: grant.end_interval,
+                            buffer: grant.buffer_fragments,
+                            reconstructed: grant.reconstructed_intervals,
+                        });
+                        ss_obs::with_registry(|r| {
+                            r.count("admissions", 1);
+                            r.observe(
+                                "admission_latency_intervals",
+                                grant.latency_intervals(t) as f64,
+                            );
+                        });
+                    }
                 }
                 Err(_) => {
+                    if ss_obs::enabled() {
+                        ss_obs::record(ss_obs::Event::AdmitReject {
+                            object: w.object.0,
+                            interval: t,
+                        });
+                        ss_obs::with_registry(|r| r.count("rejections", 1));
+                    }
                     if backoff {
                         w.attempts += 1;
                         if w.attempts >= max_retries {
@@ -528,9 +570,18 @@ impl StripingModel {
                                 .degraded_mut()
                                 .self_heal_mut()
                                 .backoff_exhausted += 1;
+                            ss_obs::obs!(ss_obs::Event::AdmitPark {
+                                object: w.object.0,
+                                interval: t,
+                            });
                         } else {
                             w.next_attempt = t + 1 + self.backoff_rng.next_below(max_backoff);
                             self.metrics.degraded_mut().self_heal_mut().backoff_retries += 1;
+                            ss_obs::obs!(ss_obs::Event::AdmitRetry {
+                                object: w.object.0,
+                                interval: t,
+                                next_attempt: w.next_attempt,
+                            });
                         }
                     }
                     self.wait_disk.push(w);
@@ -719,9 +770,16 @@ impl StripingModel {
                 self.buffers.release(plan.buffer_saving);
                 d.buffer_fragments -= plan.buffer_saving;
                 self.metrics.coalesces += 1;
-                if frag_state.buffer_total() == 0 && !faults {
+                ss_obs::obs!(ss_obs::Event::Coalesce {
+                    object: d.object.0,
+                    frag: plan.frag,
+                    saving: plan.buffer_saving,
+                });
+                if frag_state.buffer_total() == 0 && !faults && !ss_obs::enabled() {
                     // Fully pipelined; under fault injection the state is
-                    // kept — the rescue pass still needs the timeline.
+                    // kept — the rescue pass still needs the timeline —
+                    // and observability keeps it for the wasted-bandwidth
+                    // series (inert either way at zero buffer).
                     d.fragmented = None;
                 }
             }
@@ -884,6 +942,7 @@ impl StripingModel {
                 let h = g.self_heal_mut();
                 h.rebuilds_completed += 1;
                 h.rebuild_seconds += (done - start) as f64 * interval_s;
+                ss_obs::obs!(ss_obs::Event::RebuildDone { disk, early: true });
                 completed = true;
             } else {
                 i += 1;
@@ -937,10 +996,26 @@ impl StripingModel {
                             d.rescued = true;
                             g.streams_rescued += 1;
                         }
+                        ss_obs::obs!(ss_obs::Event::Rescue {
+                            object: d.object.0,
+                            frag,
+                            interval: t,
+                        });
                     }
                     None => {
                         let lost: Vec<LostRead> =
                             fresh.iter().filter(|lr| lr.frag == frag).copied().collect();
+                        if ss_obs::enabled() {
+                            for lr in &lost {
+                                ss_obs::record(ss_obs::Event::Hiccup {
+                                    object: d.object.0,
+                                    frag: lr.frag,
+                                    subobject: u64::from(lr.subobject),
+                                    interval: lr.at,
+                                    disk: lr.disk,
+                                });
+                            }
+                        }
                         let g = self.metrics.degraded_mut();
                         g.hiccup_intervals += lost.len() as u64;
                         g.hiccup_seconds += lost.len() as f64 * interval_s;
@@ -963,6 +1038,11 @@ impl StripingModel {
                 // The viewer was cut off, not served: no completion is
                 // recorded, only the drop.
                 self.metrics.degraded_mut().streams_dropped += 1;
+                ss_obs::obs!(ss_obs::Event::DisplayDrop {
+                    object: d.object.0,
+                    interval: t,
+                    hiccups: d.hiccups,
+                });
             } else {
                 i += 1;
             }
@@ -987,9 +1067,18 @@ impl StripingModel {
         self.coalesce_pass(now);
         self.pump_fetches(now);
         let t = self.interval_index(now);
-        self.metrics
-            .utilization
-            .set(now, self.scheduler.utilization(t));
+        let util = self.scheduler.utilization(t);
+        self.metrics.utilization.set(now, util);
+        if ss_obs::enabled() {
+            crate::metrics::obs_boundary_row(
+                t,
+                self.active.len() as f64,
+                self.wait_disk.len() as f64,
+                util,
+                wasted_fraction(&self.scheduler, &self.active, t),
+                |row| fill_heatmap_row(&self.scheduler, t, row),
+            );
+        }
     }
 
     /// The earliest future instant at which the next tick can do anything a
@@ -1137,16 +1226,75 @@ impl StripingModel {
     /// accumulation bit-for-bit: the dense model's repeated same-timestamp
     /// sets each contribute exactly +0.0 after the first.
     fn replay_skipped(&mut self, now: SimTime) {
-        let mut b = self.last_tick + self.interval;
         let active = self.active.len() as f64;
-        while b < now {
-            let t = self.interval_index(b);
-            self.metrics.active.set(b, active);
-            self.metrics
-                .utilization
-                .set(b, self.scheduler.utilization(t));
-            self.metrics.ticks_skipped += 1;
-            b += self.interval;
+        let queue_depth = self.wait_disk.len() as f64;
+        let us = self.interval.as_micros();
+        // Field-disjoint reborrows: the closure reads the scheduler and
+        // the active set while `replay_boundaries` holds the metrics.
+        let scheduler = &self.scheduler;
+        let active_set = &self.active;
+        self.metrics
+            .replay_boundaries(self.last_tick, self.interval, now, |b| {
+                let t = b.as_micros() / us;
+                let util = scheduler.utilization(t);
+                if ss_obs::enabled() {
+                    crate::metrics::obs_boundary_row(
+                        t,
+                        active,
+                        queue_depth,
+                        util,
+                        wasted_fraction(scheduler, active_set, t),
+                        |row| fill_heatmap_row(scheduler, t, row),
+                    );
+                }
+                (active, util)
+            });
+    }
+}
+
+/// Fraction of farm capacity committed this interval but not reading
+/// display data: parity companions, naive cluster-rounding reservations
+/// and rebuild-drain bookings. The quantity the paper argues staggered
+/// striping keeps near zero — computed only when observability is on.
+fn wasted_fraction(scheduler: &IntervalScheduler, active: &[ActiveDisplay], t: u64) -> f64 {
+    let d = scheduler.frame().disks();
+    let committed = f64::from(d - scheduler.free_count(t));
+    let mut reading = 0u64;
+    for a in active {
+        if let Some(f) = &a.fragmented {
+            let n = u64::from(f.subobjects);
+            reading += f
+                .read_start
+                .iter()
+                .filter(|&&base| base <= t && t < base + n)
+                .count() as u64;
+        }
+    }
+    ((committed - reading as f64) / f64::from(d)).max(0.0)
+}
+
+/// One per-disk busy row at interval `t`: physical disk `p` is busy iff
+/// the virtual disk over it has a committed read. Fills the registry's
+/// reusable buffer rather than allocating per boundary, and walks only
+/// the minority side of the frame: a saturated farm is all-busy and a
+/// quiescent one all-free, so most boundaries are a constant fill with
+/// no per-disk modular arithmetic at all.
+fn fill_heatmap_row(scheduler: &IntervalScheduler, t: u64, row: &mut Vec<f32>) {
+    let frame = scheduler.frame();
+    let disks = frame.disks();
+    let free = scheduler.free_count(t);
+    let (majority, minority_free) = if free * 2 >= disks {
+        (0.0, false)
+    } else {
+        (1.0, true)
+    };
+    row.resize(disks as usize, majority);
+    if free == 0 || free == disks {
+        return;
+    }
+    for v in 0..disks {
+        if scheduler.is_free(v, t) == minority_free {
+            row[frame.physical(v, t) as usize] = 1.0 - majority;
         }
     }
 }
@@ -1155,6 +1303,7 @@ impl Model for StripingModel {
     type Event = Event;
     fn handle(&mut self, _ev: Event, ctx: &mut Context<'_, Event>) {
         let now = ctx.now();
+        ss_obs::set_clock(now.as_micros());
         if !self.config.dense_ticks {
             self.replay_skipped(now);
         }

@@ -209,9 +209,15 @@ impl VdrModel {
             if self.active[i].ends <= now {
                 let d = self.active.swap_remove(i);
                 self.stations.complete_at(d.station, now);
-                if self.metrics.measuring() {
+                let measured = self.metrics.measuring();
+                if measured {
                     self.metrics.record_completion();
                 }
+                ss_obs::obs!(ss_obs::Event::DisplayEnd {
+                    object: d.object.0,
+                    interval: now.as_micros() / self.config.interval().as_micros(),
+                    measured,
+                });
             } else {
                 i += 1;
             }
@@ -256,6 +262,16 @@ impl VdrModel {
                     ends,
                     rescued: false,
                 });
+                if ss_obs::enabled() {
+                    let us = self.config.interval().as_micros();
+                    ss_obs::record(ss_obs::Event::ClusterDisplayStart {
+                        object: w.object.0,
+                        cluster: cluster.0,
+                        interval: now.as_micros() / us,
+                        end_interval: ends.as_micros() / us,
+                    });
+                    ss_obs::with_registry(|r| r.count("admissions", 1));
+                }
                 // Piggyback replication: if more requests for this object
                 // remain blocked, tee the display's stream into an idle
                 // target cluster — a replica for the price of the target
@@ -270,6 +286,11 @@ impl VdrModel {
                             .expect("planned piggyback commits");
                         self.copy_done[w.object.index()] = Some(ends);
                         self.copy_ids.push(w.object);
+                        ss_obs::obs!(ss_obs::Event::ClusterCopyStart {
+                            object: w.object.0,
+                            cluster: target.0,
+                            until_us: ends.as_micros(),
+                        });
                     }
                 }
                 self.queue_len[w.object.index()] =
@@ -284,11 +305,17 @@ impl VdrModel {
                 let qlen = self.queue_len[w.object.index()].max(1);
                 if let Some(plan) = self.farm.plan_replica(w.object, qlen, now, false) {
                     let until = now + display_time; // cluster-to-cluster copy
+                    let target = plan.target();
                     self.farm
                         .begin_copy(plan, w.object, now, until)
                         .expect("planned copy commits");
                     self.copy_done[w.object.index()] = Some(until);
                     self.copy_ids.push(w.object);
+                    ss_obs::obs!(ss_obs::Event::ClusterCopyStart {
+                        object: w.object.0,
+                        cluster: target.0,
+                        until_us: until.as_micros(),
+                    });
                 } else if !self.in_fetch_queue[w.object.index()] {
                     self.fetch_queue.push_back(w.object);
                     self.in_fetch_queue[w.object.index()] = true;
@@ -334,11 +361,17 @@ impl VdrModel {
                             schedule.done
                         }
                     };
+                    let target = plan.target();
                     self.farm
                         .begin_copy(plan, object, now, until)
                         .expect("planned copy commits");
                     self.copy_done[object.index()] = Some(until);
                     self.copy_ids.push(object);
+                    ss_obs::obs!(ss_obs::Event::ClusterCopyStart {
+                        object: object.0,
+                        cluster: target.0,
+                        until_us: until.as_micros(),
+                    });
                     self.fetch_queue.pop_front();
                     self.in_fetch_queue[object.index()] = false;
                 }
@@ -499,6 +532,7 @@ impl VdrModel {
                 let h = g.self_heal_mut();
                 h.rebuilds_completed += 1;
                 h.rebuild_seconds += (done - start) as f64 * interval_s;
+                ss_obs::obs!(ss_obs::Event::RebuildDone { disk, early: true });
             } else {
                 i += 1;
             }
@@ -541,6 +575,11 @@ impl VdrModel {
                     self.active[i].rescued = true;
                     g.streams_rescued += 1;
                 }
+                ss_obs::obs!(ss_obs::Event::ClusterRescue {
+                    object: d.object.0,
+                    from_cluster: cluster.0,
+                    to_cluster: target.0,
+                });
                 i += 1;
             } else {
                 // No surviving idle replica: the stream is cut off and
@@ -554,6 +593,11 @@ impl VdrModel {
                 g.hiccup_intervals += lost;
                 g.hiccup_seconds += lost as f64 * interval_s;
                 g.streams_dropped += 1;
+                ss_obs::obs!(ss_obs::Event::DisplayDrop {
+                    object: d.object.0,
+                    interval: now.as_micros() / interval.as_micros(),
+                    hiccups: lost,
+                });
             }
         }
     }
@@ -591,9 +635,39 @@ impl VdrModel {
         self.serve_waiters(now);
         self.pump_fetches(now);
         let busy = f64::from(self.vdr.clusters - self.farm.idle_count(now));
-        self.metrics
-            .utilization
-            .set(now, busy / f64::from(self.vdr.clusters));
+        let util = busy / f64::from(self.vdr.clusters);
+        self.metrics.utilization.set(now, util);
+        if ss_obs::enabled() {
+            let active = self.active.len() as f64;
+            let wasted = ((busy - active) / f64::from(self.vdr.clusters)).max(0.0);
+            let row = self.heatmap_row(now);
+            crate::metrics::obs_boundary_row(
+                now.as_micros() / self.config.interval().as_micros(),
+                active,
+                self.waiters.len() as f64,
+                util,
+                wasted,
+                |buf| buf.extend_from_slice(&row),
+            );
+        }
+    }
+
+    /// Per-physical-disk busy row for the observability heatmap. A VDR
+    /// cluster is one indivisible delivery pipeline, so all `M` disks of
+    /// a non-idle cluster count busy together; disks beyond the last
+    /// whole cluster serve no data and always read idle.
+    fn heatmap_row(&mut self, now: SimTime) -> Vec<f32> {
+        let degree = self.config.degree() as usize;
+        let mut row = vec![0.0; self.vdr.clusters as usize * degree];
+        for c in 0..self.vdr.clusters {
+            if !matches!(self.farm.status(ClusterId(c), now), ClusterStatus::Idle) {
+                let base = c as usize * degree;
+                for cell in &mut row[base..base + degree] {
+                    *cell = 1.0;
+                }
+            }
+        }
+        row
     }
 
     /// The earliest future instant at which the next tick can do anything a
@@ -657,19 +731,39 @@ impl VdrModel {
     /// bit-for-bit.
     fn replay_skipped(&mut self, now: SimTime) {
         let interval = self.config.interval();
-        let mut b = self.last_tick + interval;
+        let b = self.last_tick + interval;
         if b >= now {
             return;
         }
         let active = self.active.len() as f64;
         let busy = f64::from(self.vdr.clusters - self.farm.idle_count(b));
-        let util = busy / f64::from(self.vdr.clusters);
-        while b < now {
-            self.metrics.active.set(b, active);
-            self.metrics.utilization.set(b, util);
-            self.metrics.ticks_skipped += 1;
-            b += interval;
-        }
+        let clusters = f64::from(self.vdr.clusters);
+        let util = busy / clusters;
+        // Cluster statuses are frozen across the skipped range, so the
+        // observability row (and the heatmap in particular) is one
+        // constant sampled at the first boundary.
+        let obs = ss_obs::enabled().then(|| {
+            (
+                self.heatmap_row(b),
+                ((busy - active) / clusters).max(0.0),
+                self.waiters.len() as f64,
+                interval.as_micros(),
+            )
+        });
+        self.metrics
+            .replay_boundaries(self.last_tick, interval, now, |at| {
+                if let Some((row, wasted, queue, us)) = &obs {
+                    crate::metrics::obs_boundary_row(
+                        at.as_micros() / us,
+                        active,
+                        *queue,
+                        util,
+                        *wasted,
+                        |buf| buf.extend_from_slice(row),
+                    );
+                }
+                (active, util)
+            });
     }
 }
 
@@ -677,6 +771,7 @@ impl Model for VdrModel {
     type Event = Event;
     fn handle(&mut self, _ev: Event, ctx: &mut Context<'_, Event>) {
         let now = ctx.now();
+        ss_obs::set_clock(now.as_micros());
         if !self.config.dense_ticks {
             self.replay_skipped(now);
         }

@@ -254,6 +254,9 @@ impl<M: Model> Simulation<M> {
     /// Runs until the queue drains or a handler stops the simulation.
     pub fn run(&mut self) {
         while self.step() {}
+        ss_obs::obs!(ss_obs::Event::EngineStop {
+            events: self.events_handled,
+        });
     }
 
     /// Runs until the clock would pass `deadline` (events at exactly

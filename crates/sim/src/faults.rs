@@ -323,6 +323,9 @@ impl FaultPlan {
             }
         }
         events.sort_by_key(|ev| ev.at);
+        ss_obs::obs!(ss_obs::Event::FaultTimeline {
+            events: events.len() as u64,
+        });
         FaultTimeline {
             events,
             drop_after_hiccup_intervals: self.drop_after_hiccup_intervals,
@@ -574,8 +577,8 @@ mod tests {
         assert_ne!(a, c);
         assert!(!a.is_empty(), "12 h at MTBF 30 min yields episodes");
         // Windows balance: every disk ends the horizon up and fast.
-        let mut down = vec![false; 20];
-        let mut slow = vec![false; 20];
+        let mut down = [false; 20];
+        let mut slow = [false; 20];
         for ev in a.events() {
             let d = ev.disk as usize;
             match ev.kind {

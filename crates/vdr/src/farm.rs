@@ -95,6 +95,15 @@ pub enum CopyPlan {
     },
 }
 
+impl CopyPlan {
+    /// The cluster receiving the new replica, whatever the source.
+    pub fn target(&self) -> ClusterId {
+        match *self {
+            CopyPlan::FromDisk { target, .. } | CopyPlan::FromTertiary { target } => target,
+        }
+    }
+}
+
 /// The virtual-data-replication farm state.
 #[derive(Debug, Clone)]
 pub struct ClusterFarm {

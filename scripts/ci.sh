@@ -18,7 +18,7 @@ echo "==> fault suites (per-suite test counts)"
 # The degraded-mode harness: property sweep + goldens (now spanning the
 # parity/rebuild axes), coalescing proptest, backoff retry-queue
 # properties, seed-stability digests, dense-vs-sparse under fault plans.
-for suite in fault_properties coalesce_properties backoff_properties seed_stability tick_equivalence; do
+for suite in fault_properties coalesce_properties backoff_properties seed_stability tick_equivalence obs_properties; do
   count=$(cargo test -q --test "$suite" 2>&1 | sed -n 's/^test result: ok\. \([0-9]*\) passed.*/\1/p')
   if [ -z "$count" ] || [ "$count" -eq 0 ]; then
     echo "ci.sh: suite $suite reported no passing tests" >&2
@@ -57,6 +57,30 @@ case "$heal_check" in
     fi
     ;;
 esac
+
+echo "==> trace_dump --quick (observability export + reconciliation gate)"
+# trace_dump self-checks before writing: the expanded read timeline must
+# match the booked admissions, journal counts must reconcile with the run
+# report, the heatmap must hold one row per interval boundary, and the
+# Perfetto JSON must parse. Any mismatch exits non-zero.
+cargo run --release -p ss-bench --bin trace_dump -- --quick --out target/ci-trace --format perfetto
+cargo run --release -p ss-bench --bin trace_dump -- --quick --out target/ci-trace --format jsonl
+cargo run --release -p ss-bench --bin trace_dump -- --quick --out target/ci-trace --format csv
+# The registry's two interval-indexed artifacts must agree row for row.
+heat_rows=$(wc -l < target/ci-trace/heatmap.csv)
+series_rows=$(wc -l < target/ci-trace/series.csv)
+if [ "$heat_rows" -ne "$series_rows" ] || [ "$heat_rows" -le 1 ]; then
+  echo "ci.sh: heatmap.csv ($heat_rows rows) and series.csv ($series_rows rows) disagree" >&2
+  exit 1
+fi
+echo "    heatmap/series: $((heat_rows - 1)) interval rows each"
+# Same seed, same journal bytes: rerun and compare.
+cargo run --release -p ss-bench --bin trace_dump -- --quick --out target/ci-trace-rerun --format jsonl
+if ! cmp -s target/ci-trace/trace.jsonl target/ci-trace-rerun/trace.jsonl; then
+  echo "ci.sh: same-seed journals differ between reruns" >&2
+  exit 1
+fi
+echo "    journal: $(wc -l < target/ci-trace/trace.jsonl) events, byte-identical across reruns"
 
 echo "==> perf_baseline --quick (regression gate vs BENCH_engine.json)"
 # Writes BENCH_engine.quick.json (never the committed full baseline) and

@@ -49,6 +49,7 @@
 
 pub use ss_core as core;
 pub use ss_disk as disk;
+pub use ss_obs as obs;
 pub use ss_server as server;
 pub use ss_sim as sim;
 pub use ss_tertiary as tertiary;

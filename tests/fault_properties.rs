@@ -275,15 +275,15 @@ fn degraded_bookkeeping_is_consistent_under_fault_storm() {
             "every failure window closes within the horizon"
         );
         assert!(
-            g.hiccup_intervals >= u64::from(g.hiccup_streams),
+            g.hiccup_intervals >= g.hiccup_streams,
             "every hiccuped stream lost at least one interval"
         );
         assert!(
-            u64::from(g.streams_dropped) <= u64::from(g.hiccup_streams),
+            g.streams_dropped <= g.hiccup_streams,
             "streams are only dropped over the hiccup budget"
         );
         assert!(
-            g.rescues >= u64::from(g.streams_rescued),
+            g.rescues >= g.streams_rescued,
             "a rescued stream took at least one rescue"
         );
         assert!(g.disk_downtime_s > 0.0 && g.max_disk_downtime_s <= g.disk_downtime_s);

@@ -1,0 +1,248 @@
+//! Property tests for the observability layer (`ss-obs`):
+//!
+//! * **Zero-cost toggle** — installing a recorder and registry must not
+//!   change a single reported number: the run report with observability
+//!   on serializes byte-identically to the recorder-off run (which is
+//!   itself what the golden tests pin).
+//! * **Journal determinism** — the same seed produces the same journal,
+//!   byte for byte, across reruns.
+//! * **Reconciliation** — the journal is a faithful decomposition of the
+//!   report: counting events recovers every aggregate the report
+//!   carries, and replaying the read spans through the rotating frame
+//!   yields exactly the reads the admissions booked.
+
+use proptest::prelude::*;
+use staggered_striping::prelude::*;
+
+/// A small config of either scheme with `failures` outage windows over
+/// the middle half of the measurement window; striping cells optionally
+/// arm parity + rebuild so the degraded planes have events to emit.
+fn obs_config(striping: bool, stations: u32, seed: u64, failures: u32, heal: bool) -> ServerConfig {
+    let mut cfg = if striping {
+        ServerConfig::small_test(stations, seed)
+    } else {
+        ServerConfig::small_vdr_test(stations, seed)
+    };
+    if striping && heal {
+        cfg.parity = Some(ParityConfig::group(4));
+        cfg.rebuild = Some(RebuildConfig::rate(4));
+    }
+    let warmup = cfg.warmup.as_micros();
+    let measure = cfg.measure.as_micros();
+    let fail_at = SimTime::from_micros(warmup + measure / 4);
+    let repair_at = SimTime::from_micros(warmup + 3 * measure / 4);
+    let mut plan = FaultPlan::none();
+    for f in 0..failures {
+        let disk = f * (cfg.disks / 2);
+        plan.events
+            .extend(FaultPlan::fail_window(disk, fail_at, repair_at).events);
+    }
+    cfg.faults = plan;
+    cfg
+}
+
+/// Runs `cfg` with a journal recorder and metrics registry installed,
+/// returning the report, the captured journal and the registry.
+fn run_with_journal(
+    cfg: &ServerConfig,
+) -> (RunReport, Vec<(u64, ss_obs::Event)>, ss_obs::Registry) {
+    let recorder = ss_obs::VecRecorder::new();
+    let handle = recorder.handle();
+    ss_obs::install(
+        Box::new(recorder),
+        ss_obs::Registry::new(ss_obs::RegistrySpec {
+            disks: cfg.disks,
+            interval_us: cfg.interval().as_micros(),
+            ..Default::default()
+        }),
+    );
+    let report = staggered_striping::server::run(cfg).expect("valid config");
+    let (_, registry) = ss_obs::uninstall().expect("installed above");
+    let events = handle.lock().expect("run finished").clone();
+    (report, events, registry)
+}
+
+/// Renders the journal exactly as the JSONL sink would.
+fn journal_bytes(events: &[(u64, ss_obs::Event)]) -> String {
+    let mut out = String::new();
+    for (at, ev) in events {
+        ev.write_jsonl(*at, &mut out);
+        out.push('\n');
+    }
+    out
+}
+
+fn count(events: &[(u64, ss_obs::Event)], pred: impl Fn(&ss_obs::Event) -> bool) -> u64 {
+    events.iter().filter(|(_, e)| pred(e)).count() as u64
+}
+
+/// Asserts that counting journal events recovers the report aggregates.
+fn reconcile(cfg: &ServerConfig, events: &[(u64, ss_obs::Event)], report: &RunReport) {
+    use ss_obs::Event;
+    let striping = matches!(cfg.scheme, Scheme::Striping { .. });
+
+    let measured_ends = count(events, |e| {
+        matches!(e, Event::DisplayEnd { measured: true, .. })
+    });
+    assert_eq!(measured_ends, report.displays_completed, "display ends");
+    assert_eq!(
+        count(events, |e| matches!(e, Event::Coalesce { .. })),
+        report.coalesces,
+        "coalesces"
+    );
+
+    let g = report.degraded.clone().unwrap_or_default();
+    assert_eq!(
+        count(events, |e| matches!(e, Event::DiskFail { .. })),
+        g.faults_injected,
+        "disk failures"
+    );
+    assert_eq!(
+        count(events, |e| matches!(e, Event::DiskRepair { .. })),
+        g.repairs,
+        "repairs (scheduled and early-rebuild alike go through the mask)"
+    );
+    assert_eq!(
+        count(events, |e| matches!(e, Event::DisplayDrop { .. })),
+        g.streams_dropped,
+        "dropped streams"
+    );
+    if striping {
+        assert_eq!(
+            count(events, |e| matches!(e, Event::Rescue { .. })),
+            g.rescues,
+            "fragment rescues"
+        );
+        assert_eq!(
+            count(events, |e| matches!(e, Event::Hiccup { .. })),
+            g.hiccup_intervals,
+            "hiccup intervals"
+        );
+        let h = g.self_heal.unwrap_or_default();
+        assert_eq!(
+            count(events, |e| matches!(e, Event::ParityPlan { .. })),
+            h.degraded_admissions,
+            "parity reconstruction plans"
+        );
+    } else {
+        assert_eq!(
+            count(events, |e| matches!(e, Event::ClusterRescue { .. })),
+            g.rescues,
+            "cluster rescues"
+        );
+        let dropped_hiccups: u64 = events
+            .iter()
+            .map(|(_, e)| match e {
+                Event::DisplayDrop { hiccups, .. } => *hiccups,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(dropped_hiccups, g.hiccup_intervals, "lost intervals");
+    }
+
+    // The event-sourced read timeline: splitting handovers preserves
+    // span length, so expansion must recover exactly the booked reads.
+    let (stride, cluster_size) = match &cfg.scheme {
+        Scheme::Striping { stride, .. } => (*stride, 0),
+        Scheme::Vdr { .. } => (0, cfg.degree()),
+    };
+    let meta = ss_obs::TraceMeta {
+        disks: cfg.disks,
+        stride,
+        interval_us: cfg.interval().as_micros(),
+        cluster_size,
+    };
+    let expansion = ss_obs::expand_reads(events, &meta);
+    assert_eq!(expansion.unmatched_moves, 0, "every handover splits a span");
+    assert_eq!(
+        expansion.reads.len() as u64,
+        ss_obs::booked_reads(events),
+        "expanded reads == sum of degree x subobjects over admissions"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The three core guarantees, swept over both schemes, fault counts
+    /// and the self-healing knobs.
+    #[test]
+    fn observability_is_invisible_deterministic_and_faithful(
+        seed in 0u64..1_000_000,
+        stations in 4u32..=8,
+        striping in proptest::bool::ANY,
+        failures in 0u32..=2,
+        heal in proptest::bool::ANY,
+    ) {
+        let cfg = obs_config(striping, stations, seed, failures, heal);
+
+        // Recorder off: the plain run the goldens pin.
+        let off = staggered_striping::server::run(&cfg).expect("valid config");
+        // Recorder on, twice.
+        let (on, events_a, registry) = run_with_journal(&cfg);
+        let (_, events_b, _) = run_with_journal(&cfg);
+
+        // 1. The toggle is invisible in every reported number.
+        prop_assert_eq!(
+            serde_json::to_string_pretty(&off).expect("serialize"),
+            serde_json::to_string_pretty(&on).expect("serialize"),
+            "installing the recorder changed the report"
+        );
+        // 2. Same seed, same bytes.
+        prop_assert_eq!(
+            journal_bytes(&events_a),
+            journal_bytes(&events_b),
+            "journal must be byte-deterministic"
+        );
+        // 3. The journal decomposes the report.
+        reconcile(&cfg, &events_a, &on);
+        // The registry agrees with the journal on admission counts
+        // (striping admits fragments; VDR admits whole clusters).
+        let accepts = count(&events_a, |e| matches!(
+            e,
+            ss_obs::Event::AdmitAccept { .. } | ss_obs::Event::ClusterDisplayStart { .. }
+        ));
+        prop_assert_eq!(registry.counter("admissions"), accepts);
+        let rejects = count(&events_a, |e| matches!(e, ss_obs::Event::AdmitReject { .. }));
+        prop_assert_eq!(registry.counter("rejections"), rejects);
+        // One heatmap row and one series point per executed boundary.
+        prop_assert_eq!(registry.heatmap_len(), registry.series("utilization").len());
+        prop_assert!(registry.heatmap_len() > 0);
+    }
+}
+
+/// A pinned faulted striping cell with parity + rebuild: every journal
+/// plane must actually carry events (the sweep above would pass
+/// vacuously on an empty journal).
+#[test]
+fn journal_planes_are_populated_under_faults() {
+    use ss_obs::Event;
+    let cfg = obs_config(true, 8, 1994, 1, true);
+    let (report, events, registry) = run_with_journal(&cfg);
+    reconcile(&cfg, &events, &report);
+    assert!(count(&events, |e| matches!(e, Event::AdmitAccept { .. })) > 0);
+    assert!(count(&events, |e| matches!(e, Event::ReadSpan { .. })) > 0);
+    assert!(count(&events, |e| matches!(e, Event::DiskFail { .. })) > 0);
+    assert!(count(&events, |e| matches!(e, Event::RebuildQueued { .. })) > 0);
+    assert_eq!(
+        count(&events, |e| matches!(e, Event::FaultTimeline { .. })),
+        1
+    );
+    assert_eq!(count(&events, |e| matches!(e, Event::EngineStop { .. })), 1);
+    assert!(registry.heatmap_len() > 0);
+    // The wasted-fraction series exists and stays within [0, 1].
+    let wasted = registry.series("wasted_fraction");
+    assert!(!wasted.is_empty());
+    assert!(wasted.iter().all(|&(_, v)| (0.0..=1.0).contains(&v)));
+}
+
+/// The VDR baseline populates its cluster plane.
+#[test]
+fn vdr_journal_planes_are_populated() {
+    use ss_obs::Event;
+    let cfg = obs_config(false, 8, 1994, 1, false);
+    let (report, events, _) = run_with_journal(&cfg);
+    reconcile(&cfg, &events, &report);
+    assert!(count(&events, |e| matches!(e, Event::ClusterDisplayStart { .. })) > 0);
+    assert!(count(&events, |e| matches!(e, Event::DiskFail { .. })) > 0);
+}

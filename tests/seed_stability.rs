@@ -90,7 +90,7 @@ fn run_report_digests_are_pinned_per_seed() {
                 report
                     .degraded
                     .as_ref()
-                    .map_or(0, |g| u64::from(g.hiccup_streams)),
+                    .map_or(0, |g| g.hiccup_streams),
             ));
         }
     }

@@ -62,6 +62,20 @@ pub trait Deserialize: Sized {
     fn from_value(v: &Value) -> Result<Self, Error>;
 }
 
+// `Value` round-trips as itself, like the real serde_json's `Value` —
+// parsing into it is how callers validate arbitrary JSON.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 // ---- helpers used by derive-generated code -------------------------------
 
 impl Value {

@@ -8,9 +8,10 @@
 
 #![forbid(unsafe_code)]
 
-use serde::{Deserialize, Serialize, Value};
+use serde::{Deserialize, Serialize};
 
 pub use serde::Error;
+pub use serde::Value;
 
 pub type Result<T> = core::result::Result<T, Error>;
 
