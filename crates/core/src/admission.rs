@@ -18,7 +18,6 @@
 use crate::frame::{gcd, VirtualFrame};
 use serde::{Deserialize, Serialize};
 use ss_types::{Error, ObjectId, Result};
-use std::cell::RefCell;
 
 /// How aggressively admission may assemble a display from free disks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -131,15 +130,29 @@ impl Outage {
 pub struct IntervalScheduler {
     frame: VirtualFrame,
     /// `free_from[v]`: the first interval at which virtual disk `v` has no
-    /// remaining committed reads.
+    /// remaining committed reads. This is the struct-of-arrays hot state:
+    /// both planners and the saturated-reject scan sweep it as contiguous
+    /// `u64` words, never through per-disk structs.
     free_from: Vec<u64>,
-    /// Lazily rebuilt ascending copy of `free_from` (`None` = stale).
-    /// Turns `free_count` — called on every rejection and every
-    /// utilization sample — into one `O(log D)` partition-point after an
-    /// `O(D log D)` rebuild per mutation batch, instead of an `O(D)` scan
-    /// per call; at 1000 disks with hundreds of waiters retrying per
-    /// interval that is the admission hot path.
-    sorted: RefCell<Option<Vec<u64>>>,
+    /// Ascending copy of `free_from`, rebuilt when `index_dirty`. Turns
+    /// `free_count` — called on every rejection and every utilization
+    /// sample — into one `O(log D)` partition-point after an `O(D log D)`
+    /// rebuild per mutation batch, instead of an `O(D)` scan per call; at
+    /// 1000 disks with hundreds of waiters retrying per interval that is
+    /// the admission hot path. The rebuild happens eagerly in `&mut`
+    /// methods ([`Self::refresh_index`], called at every `try_admit`
+    /// entry) rather than behind interior mutability, which keeps the
+    /// scheduler `Sync` so read-only admission probes can fan out across
+    /// threads; `&self` readers that catch it stale fall back to an
+    /// exact `O(D)` sweep of `free_from`.
+    sorted: Vec<u64>,
+    /// True when `free_from` has mutated since `sorted` was rebuilt.
+    index_dirty: bool,
+    /// Bumped by every mutation that can change a planner's verdict
+    /// (commits, horizon overrides, outage and parity changes). Parallel
+    /// probe passes snapshot it and discard any probe computed against a
+    /// stale version.
+    version: u64,
     /// Known unavailability windows (fault injection). Empty in a
     /// fault-free run, in which case every outage-aware code path below
     /// reduces to the baseline behavior exactly.
@@ -157,8 +170,10 @@ impl IntervalScheduler {
     pub fn new(frame: VirtualFrame) -> Self {
         IntervalScheduler {
             free_from: vec![0; frame.disks() as usize],
+            sorted: vec![0; frame.disks() as usize],
             frame,
-            sorted: RefCell::new(None),
+            index_dirty: false,
+            version: 0,
             outages: Vec::new(),
             parity_group: None,
         }
@@ -174,6 +189,7 @@ impl IntervalScheduler {
             assert!(g >= 1, "parity group must cover at least one fragment");
         }
         self.parity_group = group;
+        self.version = self.version.wrapping_add(1);
     }
 
     /// The configured parity-group size, if any.
@@ -190,11 +206,13 @@ impl IntervalScheduler {
             until: outage.until,
         });
         self.outages.push(outage);
+        self.version = self.version.wrapping_add(1);
     }
 
     /// Drops windows that have fully elapsed by interval `now`.
     pub fn prune_outages(&mut self, now: u64) {
         self.outages.retain(|o| o.until > now);
+        self.version = self.version.wrapping_add(1);
     }
 
     /// The currently registered unavailability windows.
@@ -397,26 +415,105 @@ impl IntervalScheduler {
         &self.frame
     }
 
-    /// Marks the sorted index stale after a `free_from` mutation.
+    /// Marks the sorted index stale and bumps the mutation version after
+    /// a `free_from` change.
     fn invalidate_index(&mut self) {
-        *self.sorted.get_mut() = None;
+        self.index_dirty = true;
+        self.version = self.version.wrapping_add(1);
     }
 
-    /// Runs `f` over the ascending free-horizon index, rebuilding it
-    /// first if stale.
-    fn with_sorted<R>(&self, f: impl FnOnce(&[u64]) -> R) -> R {
-        let mut slot = self.sorted.borrow_mut();
-        let sorted = slot.get_or_insert_with(|| {
-            let mut v = self.free_from.clone();
-            v.sort_unstable();
-            v
-        });
-        f(sorted)
+    /// The scheduler's mutation version: bumped by every state change
+    /// that can alter a planner's verdict. A read-only probe computed at
+    /// version `v` is valid exactly while `version() == v`.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Rebuilds the ascending free-horizon index if stale. `try_admit`
+    /// calls this on entry; parallel callers invoke it (or the sharded
+    /// variant) before fanning out read-only probes so every shard sees
+    /// the fast clean-index path.
+    #[inline]
+    pub fn refresh_index(&mut self) {
+        if !self.index_dirty {
+            return;
+        }
+        self.sorted.clear();
+        self.sorted.extend_from_slice(&self.free_from);
+        self.sorted.sort_unstable();
+        self.index_dirty = false;
+    }
+
+    /// Sharded index rebuild: copies `free_from`, hands `exec` one
+    /// mutable chunk per shard to sort (typically on pool workers), then
+    /// merges the sorted chunks in fixed shard order. The merged result
+    /// is the ascending multiset of horizons — element-for-element
+    /// identical to the serial `sort_unstable`, whatever the thread
+    /// interleaving, because equal `u64` keys are indistinguishable.
+    ///
+    /// `exec` must leave every chunk sorted ascending; this is checked
+    /// in debug builds.
+    pub fn refresh_index_sharded(&mut self, shards: usize, exec: impl FnOnce(&mut [&mut [u64]])) {
+        if !self.index_dirty {
+            return;
+        }
+        let shards = shards.max(1);
+        if shards == 1 || self.free_from.len() < 2 * shards {
+            self.refresh_index();
+            return;
+        }
+        self.sorted.clear();
+        self.sorted.extend_from_slice(&self.free_from);
+        let chunk = self.sorted.len().div_ceil(shards);
+        {
+            let mut parts: Vec<&mut [u64]> = self.sorted.chunks_mut(chunk).collect();
+            exec(&mut parts);
+        }
+        debug_assert!(self
+            .sorted
+            .chunks(chunk)
+            .all(|c| c.windows(2).all(|w| w[0] <= w[1])));
+        // Fixed-order k-way merge of the sorted chunks.
+        let mut merged = Vec::with_capacity(self.sorted.len());
+        let mut cursors: Vec<usize> = self.sorted.chunks(chunk).map(|_| 0).collect();
+        let starts: Vec<usize> = (0..cursors.len()).map(|i| i * chunk).collect();
+        let len = self.sorted.len();
+        while merged.len() < len {
+            let mut best: Option<(u64, usize)> = None;
+            for (i, &cur) in cursors.iter().enumerate() {
+                let at = starts[i] + cur;
+                let end = (starts[i] + chunk).min(len);
+                if at < end {
+                    let key = self.sorted[at];
+                    if best.is_none_or(|(k, _)| key < k) {
+                        best = Some((key, i));
+                    }
+                }
+            }
+            let (key, i) = best.expect("cursors exhausted before merge filled");
+            merged.push(key);
+            cursors[i] += 1;
+        }
+        self.sorted = merged;
+        self.index_dirty = false;
+    }
+
+    /// Number of free-horizons at or before `t` — the count of virtual
+    /// disks free at `t`. Uses the sorted index when clean, otherwise an
+    /// exact linear sweep of the (contiguous) horizon array.
+    #[inline]
+    fn horizon_count(&self, t: u64) -> u32 {
+        if self.index_dirty {
+            self.free_from.iter().filter(|&&f| f <= t).count() as u32
+        } else {
+            self.sorted.partition_point(|&f| f <= t) as u32
+        }
     }
 
     /// Number of virtual disks free at interval `t`.
+    #[inline]
     pub fn free_count(&self, t: u64) -> u32 {
-        self.with_sorted(|s| s.partition_point(|&f| f <= t) as u32)
+        self.horizon_count(t)
     }
 
     /// True iff virtual disk `v` is free at interval `t`.
@@ -441,6 +538,10 @@ impl IntervalScheduler {
     /// subobject starting on physical disk `start_disk`, `degree` fragments
     /// per subobject, `subobjects` stripes. On success the granted virtual
     /// disks are committed through their reading windows.
+    ///
+    /// Equivalent to [`Self::refresh_index`] + [`Self::plan`] +
+    /// (on success) [`Self::commit`]; parallel admission runs the plan
+    /// step on worker threads and replays only the commit serially.
     pub fn try_admit(
         &mut self,
         now: u64,
@@ -450,9 +551,29 @@ impl IntervalScheduler {
         subobjects: u32,
         policy: AdmissionPolicy,
     ) -> Result<AdmissionGrant> {
+        self.refresh_index();
+        let grant = self.plan(now, object, start_disk, degree, subobjects, policy)?;
+        self.commit(now, &grant, subobjects);
+        Ok(grant)
+    }
+
+    /// The read-only planning half of [`Self::try_admit`]: computes the
+    /// verdict — grant or the exact rejection error — without touching
+    /// any state. Safe to run concurrently from many threads; a verdict
+    /// is valid for [`Self::commit`] only while [`Self::version`] is
+    /// unchanged from when the plan ran.
+    pub fn plan(
+        &self,
+        now: u64,
+        object: ObjectId,
+        start_disk: u32,
+        degree: u32,
+        subobjects: u32,
+        policy: AdmissionPolicy,
+    ) -> Result<AdmissionGrant> {
         assert!(degree >= 1 && degree <= self.frame.disks());
         assert!(subobjects >= 1);
-        let grant = match policy {
+        match policy {
             AdmissionPolicy::Contiguous => {
                 self.plan_contiguous(now, object, start_disk, degree, subobjects)
             }
@@ -468,7 +589,15 @@ impl IntervalScheduler {
                 max_buffer_fragments,
                 max_delay_intervals,
             ),
-        }?;
+        }
+    }
+
+    /// The mutating half of [`Self::try_admit`]: books every granted
+    /// virtual disk (and parity companion) through its reading window and
+    /// emits the observability events. `grant` must have been produced by
+    /// [`Self::plan`] at the current [`Self::version`] — committing a
+    /// stale grant would double-book disks, which debug builds catch.
+    pub fn commit(&mut self, now: u64, grant: &AdmissionGrant, subobjects: u32) {
         for (idx, &v) in grant.virtual_disks.iter().enumerate() {
             let end = grant.read_start[idx] + u64::from(subobjects);
             debug_assert!(self.free_from[v as usize] <= grant.read_start[idx]);
@@ -484,7 +613,7 @@ impl IntervalScheduler {
         if ss_obs::enabled() {
             for (idx, &v) in grant.virtual_disks.iter().enumerate() {
                 ss_obs::record(ss_obs::Event::ReadSpan {
-                    object: object.0,
+                    object: grant.object.0,
                     frag: idx as u32,
                     vdisk: v,
                     base: grant.read_start[idx],
@@ -493,14 +622,13 @@ impl IntervalScheduler {
             }
             if grant.reconstructed_intervals > 0 {
                 ss_obs::record(ss_obs::Event::ParityPlan {
-                    object: object.0,
+                    object: grant.object.0,
                     interval: now,
                     reads: grant.reconstructed_intervals,
                     companions: grant.parity_companions.len() as u32,
                 });
             }
         }
-        Ok(grant)
     }
 
     fn plan_contiguous(
@@ -515,13 +643,33 @@ impl IntervalScheduler {
         let window = now + u64::from(subobjects);
         // Count first, allocate only on success: at saturation this path
         // runs once per queued waiter per interval.
-        let mut free = 0u32;
-        for i in 0..degree {
-            let v = self.frame.virtual_of((start_disk + i) % d, now);
-            if self.is_free(v, now) && !self.read_conflict(v, now, window) {
-                free += 1;
+        //
+        // Aligned fragments occupy *contiguous* virtual indices: with
+        // `v0 = virtual_of(start_disk, now)`, fragment `i` sits on
+        // `(v0 + i) mod D` (adding one to the physical index adds one to
+        // the virtual index, mod D). In the fault-free case the whole
+        // feasibility check is therefore one or two contiguous sweeps of
+        // the `free_from` array — pure struct-of-arrays word compares,
+        // no modular solve and no outage scan per fragment.
+        let v0 = self.frame.virtual_of(start_disk % d, now);
+        let free = if self.outages.is_empty() {
+            let first = (d - v0).min(degree) as usize;
+            let lo = v0 as usize;
+            let head = &self.free_from[lo..lo + first];
+            let tail = &self.free_from[..degree as usize - first];
+            (head.iter().filter(|&&f| f <= now).count()
+                + tail.iter().filter(|&&f| f <= now).count()) as u32
+        } else {
+            let mut free = 0u32;
+            for i in 0..degree {
+                let v = (v0 + i) % d;
+                debug_assert_eq!(v, self.frame.virtual_of((start_disk + i) % d, now));
+                if self.is_free(v, now) && !self.read_conflict(v, now, window) {
+                    free += 1;
+                }
             }
-        }
+            free
+        };
         if free < degree {
             // Before giving up under fault injection, try reconstructing
             // the lost reads from parity — reachable only with a parity
@@ -536,9 +684,7 @@ impl IntervalScheduler {
                 free,
             });
         }
-        let vs = (0..degree)
-            .map(|i| self.frame.virtual_of((start_disk + i) % d, now))
-            .collect();
+        let vs = (0..degree).map(|i| (v0 + i) % d).collect();
         Ok(AdmissionGrant {
             object,
             read_start: vec![now; degree as usize],
@@ -579,7 +725,7 @@ impl IntervalScheduler {
         // this exact error value, so the shortcut is observably identical
         // — and it makes the saturated-farm retry storm O(log D) per
         // attempt instead of O(M × max_delay).
-        let available = self.with_sorted(|s| s.partition_point(|&f| f <= window_end) as u32);
+        let available = self.horizon_count(window_end);
         if available < degree {
             return Err(Error::AdmissionRejected {
                 object,
@@ -727,7 +873,21 @@ impl IntervalScheduler {
         if m == 0 {
             return Some(0);
         }
-        self.with_sorted(|s| s.get(m as usize - 1).copied())
+        let m = m as usize;
+        if self.index_dirty {
+            // Stale-index fallback: the m-th smallest horizon via a
+            // selection pass over a scratch copy. Rare — `try_admit`
+            // refreshes eagerly, so this only fires for read-only
+            // callers racing a mutation batch.
+            if m > self.free_from.len() {
+                return None;
+            }
+            let mut scratch = self.free_from.clone();
+            let (_, kth, _) = scratch.select_nth_unstable(m - 1);
+            Some(*kth)
+        } else {
+            self.sorted.get(m - 1).copied()
+        }
     }
 }
 
@@ -1205,6 +1365,99 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn plan_then_commit_equals_try_admit() {
+        // The split halves must compose to exactly the monolithic call:
+        // same grants, same errors, same post-state.
+        let policy = AdmissionPolicy::Fragmented {
+            max_buffer_fragments: 8,
+            max_delay_intervals: 4,
+        };
+        let mut mono = sched(20, 1);
+        let mut split = sched(20, 1);
+        for t in 0..30u64 {
+            for start in [0u32, 5, 10, 15] {
+                let a = mono.try_admit(t, ObjectId(start), start, 3, 7, policy);
+                split.refresh_index();
+                let b = split.plan(t, ObjectId(start), start, 3, 7, policy);
+                if let Ok(g) = &b {
+                    split.commit(t, g, 7);
+                }
+                assert_eq!(a, b);
+            }
+        }
+        for v in 0..20 {
+            assert_eq!(mono.free_from(v), split.free_from(v));
+        }
+    }
+
+    #[test]
+    fn version_changes_on_every_verdict_relevant_mutation() {
+        let mut s = sched(12, 1);
+        let v0 = s.version();
+        s.try_admit(0, ObjectId(0), 4, 3, 13, AdmissionPolicy::Contiguous)
+            .unwrap();
+        let v1 = s.version();
+        assert_ne!(v0, v1, "a commit must bump the version");
+        // A rejection plans without mutating.
+        assert!(s
+            .try_admit(0, ObjectId(1), 5, 3, 13, AdmissionPolicy::Contiguous)
+            .is_err());
+        assert_eq!(s.version(), v1, "a rejection must not bump the version");
+        s.set_free_from(0, 9);
+        assert_ne!(s.version(), v1);
+        let v2 = s.version();
+        s.add_outage(Outage {
+            disk: 2,
+            from: 0,
+            until: 5,
+            hard: true,
+        });
+        assert_ne!(s.version(), v2);
+    }
+
+    #[test]
+    fn sharded_index_refresh_matches_serial() {
+        for shards in [1usize, 2, 3, 5, 8] {
+            let mut serial = sched(37, 3);
+            let mut sharded = sched(37, 3);
+            for v in 0..37u32 {
+                let horizon = u64::from((v * 7919) % 23);
+                serial.set_free_from(v, horizon);
+                sharded.set_free_from(v, horizon);
+            }
+            serial.refresh_index();
+            sharded.refresh_index_sharded(shards, |parts| {
+                for part in parts.iter_mut() {
+                    part.sort_unstable();
+                }
+            });
+            for t in 0..25u64 {
+                assert_eq!(serial.free_count(t), sharded.free_count(t), "t={t}");
+            }
+            for m in 0..=38u32 {
+                assert_eq!(serial.earliest_free(m), sharded.earliest_free(m), "m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn stale_index_fallbacks_are_exact() {
+        // `free_count` / `earliest_free` on a dirty index must agree with
+        // the refreshed answers.
+        let mut s = sched(16, 1);
+        for v in 0..16u32 {
+            s.set_free_from(v, u64::from((v * 31) % 11));
+        }
+        let dirty_counts: Vec<u32> = (0..12).map(|t| s.free_count(t)).collect();
+        let dirty_earliest: Vec<Option<u64>> = (0..=17).map(|m| s.earliest_free(m)).collect();
+        s.refresh_index();
+        let clean_counts: Vec<u32> = (0..12).map(|t| s.free_count(t)).collect();
+        let clean_earliest: Vec<Option<u64>> = (0..=17).map(|m| s.earliest_free(m)).collect();
+        assert_eq!(dirty_counts, clean_counts);
+        assert_eq!(dirty_earliest, clean_earliest);
     }
 
     #[test]

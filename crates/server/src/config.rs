@@ -287,6 +287,15 @@ pub struct ServerConfig {
     /// down until their scheduled repair, byte-for-byte the PR 3 behavior.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub rebuild: Option<RebuildConfig>,
+    /// Shard the tick kernel's read-only scans (admission probes, the
+    /// free-horizon index sort, wakeup-horizon reductions) across this
+    /// many strands on the shared worker pool. `None` (the default) runs
+    /// fully serial; any value produces a byte-identical `RunReport` —
+    /// shards only compute verdicts that the serial drain loop then
+    /// consumes in its fixed order (the parallel-equivalence sweep
+    /// enforces this).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub parallel_shards: Option<u32>,
     /// Master RNG seed.
     pub seed: u64,
 }
@@ -323,6 +332,7 @@ impl ServerConfig {
             faults: FaultPlan::none(),
             parity: None,
             rebuild: None,
+            parallel_shards: None,
             seed,
         }
     }
@@ -535,6 +545,9 @@ impl ServerConfig {
             if r.spares == 0 {
                 return bad("rebuild needs at least one spare".into());
             }
+        }
+        if self.parallel_shards == Some(0) {
+            return bad("parallel_shards must be >= 1 (or omitted for serial)".into());
         }
         if let Scheme::Vdr { vdr } = &self.scheme {
             if vdr.clusters == 0 {

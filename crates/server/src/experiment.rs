@@ -18,71 +18,96 @@ pub const FIG8_MEANS: [f64; 3] = [10.0, 20.0, 43.5];
 /// The Table 4 station counts.
 pub const TABLE4_STATIONS: [u32; 4] = [16, 64, 128, 256];
 
-/// Runs a batch of configurations across `threads` worker threads,
-/// preserving input order in the output.
-///
-/// Lock-free: workers claim jobs through a single atomic cursor
-/// (`fetch_add`), keep `(index, report)` pairs thread-local, and the
-/// results are scattered into their input slots after the scope joins —
-/// no mutex on either the queue or the result vector, so high
-/// `--threads` counts never serialize on lock handoffs.
-///
-/// Jobs are claimed longest-estimated-first (stations × measured
-/// duration as the cost proxy) so a grid's heavyweight cells start
-/// immediately instead of landing on whichever worker drains the tail,
-/// which shortens the critical path of the whole batch. Claim order is
-/// a scheduling detail only: results are scattered back into their
-/// input slots, so output order always equals input order.
+/// How a [`run_batch_stats`] call actually executed — the measured
+/// facts, not the request (`threads` asks; the batch may need fewer
+/// strands than asked when it has fewer jobs).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct BatchStats {
+    /// Strands that actually drained the claim queue: the calling thread
+    /// plus the pool workers lent to this batch.
+    pub threads_used: usize,
+}
+
+/// Runs a batch of configurations across `threads` strands of the
+/// shared [`ss_sim::WorkerPool`], preserving input order in the output.
+/// See [`run_batch_stats`] for the variant that also reports how the
+/// batch executed.
 ///
 /// # Panics
 ///
-/// If any job panics, the remaining jobs still run; once the scope
-/// joins, this function panics with the index and message of every
-/// failed job (rather than a bare "worker panicked" that hides which
-/// configuration went down).
+/// If any job panics, the remaining jobs still run; afterwards this
+/// function panics with the index and message of every failed job
+/// (rather than a bare "worker panicked" that hides which configuration
+/// went down).
 pub fn run_batch(configs: Vec<ServerConfig>, threads: usize) -> Vec<RunReport> {
+    run_batch_stats(configs, threads).0
+}
+
+/// [`run_batch`] plus execution stats (the true strand count, for the
+/// perf baseline's thread-count reporting).
+///
+/// Execution model: `threads == 1` (or a single job) runs every job
+/// inline on the caller — no queue, no pool, no spawn, which is why a
+/// 1-thread batch is never slower than a bare serial loop. Otherwise the
+/// jobs are claimed lock-free through a single atomic cursor by
+/// `threads` strands — the calling thread plus `threads - 1` reused pool
+/// workers (grown once, process-wide; repeated batches never pay
+/// spawn/join again). Each strand keeps `(index, report)` pairs local,
+/// and the results are scattered into their input slots afterwards, so
+/// no mutex guards either the queue or the result vector.
+///
+/// Jobs are claimed longest-estimated-first (stations × measured
+/// duration as the cost proxy) so a grid's heavyweight cells start
+/// immediately instead of landing on whichever strand drains the tail,
+/// which shortens the critical path of the whole batch. Claim order is
+/// a scheduling detail only: output order always equals input order,
+/// byte-for-byte identical at any thread count (each job is an
+/// independent deterministic simulation).
+pub fn run_batch_stats(configs: Vec<ServerConfig>, threads: usize) -> (Vec<RunReport>, BatchStats) {
     assert!(threads >= 1);
     let n = configs.len();
+    let strands = threads.min(n).max(1);
     let mut order: Vec<usize> = (0..n).collect();
     let cost = |c: &ServerConfig| u128::from(c.stations) * u128::from(c.measure.as_micros());
     order.sort_by_key(|&i| std::cmp::Reverse(cost(&configs[i])));
-    let cursor = AtomicUsize::new(0);
-    let configs = &configs;
-    let order = &order;
-    let mut per_worker: Vec<Vec<(usize, Result<RunReport, String>)>> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads.min(n.max(1)))
-            .map(|_| {
-                s.spawn(|| {
-                    let mut local = Vec::new();
-                    loop {
-                        let slot = cursor.fetch_add(1, Ordering::Relaxed);
-                        if slot >= n {
-                            break;
-                        }
-                        let idx = order[slot];
-                        // A panicking job must not take the whole batch
-                        // down silently: catch it here so the worker
-                        // keeps draining the queue and the panic is
-                        // reported below with the job that caused it.
-                        let outcome =
-                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                run(&configs[idx]).expect("experiment config must be valid")
-                            }))
-                            .map_err(|payload| panic_message(&*payload));
-                        local.push((idx, outcome));
+    let run_job = |idx: usize| -> (usize, Result<RunReport, String>) {
+        // A panicking job must not take the whole batch down silently:
+        // catch it here so the strand keeps draining the queue and the
+        // panic is reported below with the job that caused it.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run(&configs[idx]).expect("experiment config must be valid")
+        }))
+        .map_err(|payload| panic_message(&*payload));
+        (idx, outcome)
+    };
+    let mut per_strand: Vec<Vec<(usize, Result<RunReport, String>)>> = vec![Vec::new(); strands];
+    if strands == 1 {
+        per_strand[0].extend(order.iter().map(|&idx| run_job(idx)));
+    } else {
+        let pool = ss_sim::WorkerPool::global();
+        pool.ensure_workers(strands - 1);
+        let cursor = AtomicUsize::new(0);
+        let cursor = &cursor;
+        let order = &order;
+        let run_job = &run_job;
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = per_strand
+            .iter_mut()
+            .map(|local| {
+                let f: Box<dyn FnOnce() + Send + '_> = Box::new(move || loop {
+                    let slot = cursor.fetch_add(1, Ordering::Relaxed);
+                    if slot >= n {
+                        break;
                     }
-                    local
-                })
+                    local.push(run_job(order[slot]));
+                });
+                f
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker exited cleanly"))
-            .collect()
-    });
+        pool.scoped_run(tasks);
+    }
     let mut results: Vec<Option<RunReport>> = vec![None; n];
     let mut failures: Vec<(usize, String)> = Vec::new();
-    for (idx, outcome) in per_worker.drain(..).flatten() {
+    for (idx, outcome) in per_strand.drain(..).flatten() {
         match outcome {
             Ok(report) => results[idx] = Some(report),
             Err(msg) => failures.push((idx, msg)),
@@ -100,10 +125,16 @@ pub fn run_batch(configs: Vec<ServerConfig>, threads: usize) -> Vec<RunReport> {
             detail.join("\n")
         );
     }
-    results
+    let reports = results
         .into_iter()
         .map(|r| r.expect("every job filled"))
-        .collect()
+        .collect();
+    (
+        reports,
+        BatchStats {
+            threads_used: strands,
+        },
+    )
 }
 
 /// Best-effort rendering of a panic payload (the `&str`/`String` cases
@@ -476,6 +507,54 @@ mod tests {
             msg.contains("experiment config must be valid"),
             "got: {msg}"
         );
+    }
+
+    #[test]
+    fn two_thread_batch_is_byte_identical_to_one_thread() {
+        // The ISSUE-level regression: the same batch at 2 threads must
+        // return reports in input order whose serialized JSON is
+        // byte-for-byte the 1-thread batch's.
+        let cfgs = vec![
+            ServerConfig::small_test(2, 11),
+            ServerConfig::small_test(3, 12),
+            ServerConfig::small_test(1, 13),
+            ServerConfig::small_vdr_test(2, 14),
+        ];
+        let (one, s1) = run_batch_stats(cfgs.clone(), 1);
+        let (two, s2) = run_batch_stats(cfgs, 2);
+        assert_eq!(s1.threads_used, 1);
+        assert_eq!(s2.threads_used, 2);
+        let bytes = |rs: &[RunReport]| serde_json::to_string_pretty(rs).expect("reports serialize");
+        assert_eq!(bytes(&one), bytes(&two));
+    }
+
+    #[test]
+    fn batch_runner_reuses_the_global_pool() {
+        // Back-to-back batches must not grow the pool past the asked
+        // strand count: the workers spawned for the first batch serve
+        // the second.
+        let cfgs = vec![
+            ServerConfig::small_test(1, 21),
+            ServerConfig::small_test(1, 22),
+            ServerConfig::small_test(1, 23),
+        ];
+        let pool = ss_sim::WorkerPool::global();
+        run_batch(cfgs.clone(), 3);
+        let after_first = pool.workers();
+        assert!(after_first >= 2, "3-strand batch needs >= 2 pool workers");
+        run_batch(cfgs, 3);
+        assert_eq!(
+            pool.workers(),
+            after_first,
+            "second batch must reuse, not respawn"
+        );
+    }
+
+    #[test]
+    fn strand_count_is_capped_by_job_count() {
+        let cfgs = vec![ServerConfig::small_test(1, 31)];
+        let (_, stats) = run_batch_stats(cfgs, 8);
+        assert_eq!(stats.threads_used, 1, "one job needs one strand");
     }
 
     #[test]

@@ -19,6 +19,9 @@
 //! * [`experiment`] — parameter sweeps that regenerate Figure 8 and
 //!   Table 4 (and the ablations), with CSV/JSON emission and a
 //!   multi-threaded runner.
+//! * [`shard`] — intra-run sharding of the tick kernel's read-only scans
+//!   (admission probes, index sorts, wakeup reductions) with
+//!   byte-identical output, armed by `parallel_shards`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -27,6 +30,7 @@ pub mod analysis;
 pub mod config;
 pub mod experiment;
 pub mod metrics;
+pub mod shard;
 pub mod striping;
 pub mod vdr;
 

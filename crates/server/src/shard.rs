@@ -1,0 +1,283 @@
+//! Intra-run sharding of the tick kernel's read-only scans.
+//!
+//! The tick loop has three scans whose per-item work is independent of
+//! every other item: the admission candidate scan over the waiting
+//! queue, the free-horizon index sort, and the wakeup-horizon reduction
+//! over the closed-loop stations. [`ShardEngine`] fans each across the
+//! shared [`WorkerPool`] in a *probe/commit* shape that keeps the
+//! simulation byte-identical to the serial path:
+//!
+//! * **Probe** — every shard runs the pure planning half of admission
+//!   ([`IntervalScheduler::plan`]) against the tick-start scheduler
+//!   state and writes its verdict into a dedicated slot; nothing
+//!   mutates, so thread interleaving cannot be observed.
+//! * **Commit** — the serial drain loop walks the queue in its fixed
+//!   order and consumes a cached verdict only while the scheduler's
+//!   [`IntervalScheduler::version`] still matches the snapshot the
+//!   probes ran against; the first grant bumps the version, and every
+//!   later waiter transparently falls back to the serial `try_admit`.
+//!   A saturated farm rejects every waiter without mutating, which is
+//!   exactly when the whole scan parallelizes.
+//!
+//! Each shard owns a dedicated RNG stream (`rng.derive("shards")` then
+//! `derive("worker-<s>")`), used only to rotate the *order* in which the
+//! shard walks its slice — verdicts land in per-waiter slots, so the
+//! rotation is unobservable in the output and the main streams
+//! ("stations", "arrivals", "faults", "backoff") are never touched.
+
+use ss_core::admission::{AdmissionGrant, AdmissionPolicy, IntervalScheduler};
+use ss_sim::{DeterministicRng, WorkerPool};
+use ss_types::{Error, ObjectId, SimTime};
+
+/// The per-waiter inputs of one admission probe, captured by the serial
+/// loop before the fan-out (the same gates and layout math the drain
+/// loop applies). `None` slots are waiters the drain loop skips without
+/// planning (backed off, or not displayable).
+#[derive(Debug, Clone, Copy)]
+pub struct ProbeArg {
+    /// The waiting object.
+    pub object: ObjectId,
+    /// First physical disk of the (possibly cluster-rounded) reservation.
+    pub start_disk: u32,
+    /// Number of virtual disks to reserve.
+    pub degree: u32,
+    /// Subobjects (reading-window length in intervals).
+    pub subobjects: u32,
+}
+
+/// One probe's outcome: exactly what `try_admit` would have returned.
+pub type ProbeVerdict = Option<Result<AdmissionGrant, Error>>;
+
+/// The sharded scan driver owned by a model when `parallel_shards > 1`.
+pub struct ShardEngine {
+    shards: usize,
+    /// One derived stream per shard (probe-order rotation only).
+    rngs: Vec<DeterministicRng>,
+    probes_run: u64,
+    probes_consumed: u64,
+}
+
+impl ShardEngine {
+    /// An engine fanning across `shards` strands (the caller's thread
+    /// plus `shards - 1` pool workers, grown on demand).
+    pub fn new(shards: u32, rng: &DeterministicRng) -> Self {
+        let shards = shards.max(1) as usize;
+        let shard_root = rng.derive("shards");
+        let rngs = (0..shards)
+            .map(|s| shard_root.derive(&format!("worker-{s}")))
+            .collect();
+        WorkerPool::global().ensure_workers(shards.saturating_sub(1));
+        ShardEngine {
+            shards,
+            rngs,
+            probes_run: 0,
+            probes_consumed: 0,
+        }
+    }
+
+    /// The configured strand count.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// `(planned, consumed)` probe counters: how many admission plans ran
+    /// on the shards, and how many verdicts the drain loop actually used.
+    /// Non-vacuousness tests assert both are positive for a sharded run.
+    pub fn probe_stats(&self) -> (u64, u64) {
+        (self.probes_run, self.probes_consumed)
+    }
+
+    /// Records that the drain loop consumed one cached verdict.
+    pub fn note_consumed(&mut self) {
+        self.probes_consumed += 1;
+    }
+
+    /// Rebuilds the scheduler's free-horizon index with the chunk sorts
+    /// on the pool (fixed-order merge inside the scheduler keeps the
+    /// result element-identical to the serial sort).
+    pub fn refresh_index(&self, scheduler: &mut IntervalScheduler) {
+        scheduler.refresh_index_sharded(self.shards, |parts| {
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = parts
+                .iter_mut()
+                .map(|part| {
+                    let f: Box<dyn FnOnce() + Send + '_> = Box::new(|| part.sort_unstable());
+                    f
+                })
+                .collect();
+            WorkerPool::global().scoped_run(tasks);
+        });
+    }
+
+    /// Fans the admission candidate scan across the shards: slot `i` of
+    /// the returned vector holds `plan(...)`'s verdict for `args[i]`
+    /// (or `None` where `args[i]` is `None`). Purely read-only against
+    /// `scheduler`; the caller must snapshot
+    /// [`IntervalScheduler::version`] *before* calling and re-check it
+    /// before consuming each verdict.
+    pub fn probe_admissions(
+        &mut self,
+        scheduler: &IntervalScheduler,
+        now: u64,
+        policy: AdmissionPolicy,
+        args: &[ProbeArg],
+        gates: &[bool],
+    ) -> Vec<ProbeVerdict> {
+        debug_assert_eq!(args.len(), gates.len());
+        let n = args.len();
+        let mut out: Vec<ProbeVerdict> = vec![None; n];
+        if n == 0 {
+            return out;
+        }
+        self.probes_run += gates.iter().filter(|&&g| g).count() as u64;
+        let chunk = n.div_ceil(self.shards);
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = out
+            .chunks_mut(chunk)
+            .zip(args.chunks(chunk))
+            .zip(gates.chunks(chunk))
+            .zip(self.rngs.iter_mut())
+            .map(|(((slots, args), gates), rng)| {
+                let f: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                    let len = slots.len();
+                    // Shard-local probe order rotation: exercises the
+                    // per-shard stream without observable effect — every
+                    // verdict lands in its own indexed slot.
+                    let rot = rng.next_below(len as u64) as usize;
+                    for j in 0..len {
+                        let i = (j + rot) % len;
+                        if gates[i] {
+                            let a = &args[i];
+                            slots[i] = Some(scheduler.plan(
+                                now,
+                                a.object,
+                                a.start_disk,
+                                a.degree,
+                                a.subobjects,
+                                policy,
+                            ));
+                        }
+                    }
+                });
+                f
+            })
+            .collect();
+        WorkerPool::global().scoped_run(tasks);
+        out
+    }
+}
+
+/// Sharded minimum of `eval(0..n)` over the pool: each strand reduces a
+/// contiguous range into its own slot, then the slots are reduced in
+/// fixed shard order. `min` is order-insensitive, so the result equals
+/// the serial scan exactly.
+pub fn sharded_min(
+    shards: usize,
+    n: usize,
+    eval: impl Fn(usize) -> Option<SimTime> + Sync,
+) -> Option<SimTime> {
+    let shards = shards.max(1);
+    if shards == 1 || n < 2 * shards {
+        return (0..n).filter_map(eval).min();
+    }
+    let chunk = n.div_ceil(shards);
+    let mut mins: Vec<Option<SimTime>> = vec![None; n.div_ceil(chunk)];
+    {
+        let eval = &eval;
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = mins
+            .iter_mut()
+            .enumerate()
+            .map(|(s, slot)| {
+                let lo = s * chunk;
+                let hi = (lo + chunk).min(n);
+                let f: Box<dyn FnOnce() + Send + '_> =
+                    Box::new(move || *slot = (lo..hi).filter_map(eval).min());
+                f
+            })
+            .collect();
+        WorkerPool::global().scoped_run(tasks);
+    }
+    mins.into_iter().flatten().min()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_core::frame::VirtualFrame;
+
+    #[test]
+    fn sharded_min_matches_serial_scan() {
+        let horizon = |i: usize| {
+            // A bumpy, non-monotonic landscape with gaps.
+            (i % 3 != 1).then(|| SimTime::from_micros(((i as u64 * 7919) % 1000) + 1))
+        };
+        for n in [0usize, 1, 5, 64, 257] {
+            let serial = (0..n).filter_map(horizon).min();
+            for shards in [1usize, 2, 3, 7] {
+                assert_eq!(serial, sharded_min(shards, n, horizon), "n={n} s={shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn probe_verdicts_match_serial_try_admit() {
+        let rng = DeterministicRng::seed_from_u64(42);
+        let mut engine = ShardEngine::new(3, &rng);
+        let mut serial = IntervalScheduler::new(VirtualFrame::new(20, 1));
+        let mut probed = serial.clone();
+        // Saturate most of the farm so the scan mixes grants and rejects.
+        for v in 0..12u32 {
+            serial.set_free_from(v, 50);
+            probed.set_free_from(v, 50);
+        }
+        let args: Vec<ProbeArg> = (0..8)
+            .map(|i| ProbeArg {
+                object: ObjectId(i),
+                start_disk: (i * 3) % 20,
+                degree: 3,
+                subobjects: 7,
+            })
+            .collect();
+        let gates = vec![true; args.len()];
+        probed.refresh_index();
+        let version = probed.version();
+        let verdicts =
+            engine.probe_admissions(&probed, 0, AdmissionPolicy::Contiguous, &args, &gates);
+        // Consume exactly as the drain loop does: verdict while the
+        // version holds, fall back to try_admit after the first commit.
+        for (a, v) in args.iter().zip(verdicts) {
+            let got = match v.filter(|_| probed.version() == version) {
+                Some(Ok(g)) => {
+                    probed.commit(0, &g, a.subobjects);
+                    engine.note_consumed();
+                    Ok(g)
+                }
+                Some(Err(e)) => {
+                    engine.note_consumed();
+                    Err(e)
+                }
+                None => probed.try_admit(
+                    0,
+                    a.object,
+                    a.start_disk,
+                    a.degree,
+                    a.subobjects,
+                    AdmissionPolicy::Contiguous,
+                ),
+            };
+            let want = serial.try_admit(
+                0,
+                a.object,
+                a.start_disk,
+                a.degree,
+                a.subobjects,
+                AdmissionPolicy::Contiguous,
+            );
+            assert_eq!(got, want);
+        }
+        for v in 0..20 {
+            assert_eq!(serial.free_from(v), probed.free_from(v));
+        }
+        let (run, consumed) = engine.probe_stats();
+        assert!(run >= 8);
+        assert!(consumed >= 1, "at least the first verdict must be usable");
+    }
+}

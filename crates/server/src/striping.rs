@@ -20,6 +20,7 @@
 
 use crate::config::{ArrivalModel, MaterializeMode, QueuePolicy, Scheme, ServerConfig};
 use crate::metrics::{MetricsCollector, RunReport};
+use crate::shard::{sharded_min, ProbeArg, ProbeVerdict, ShardEngine};
 use ss_core::admission::{AdmissionPolicy, IntervalScheduler, Outage};
 use ss_core::buffers::BufferTracker;
 use ss_core::coalesce::{ActiveFragmentedDisplay, LostRead};
@@ -162,6 +163,10 @@ pub struct StripingModel {
     /// Disks returned to service by an early rebuild; the next scheduled
     /// `Repair` timeline event for each is spent as a no-op.
     rebuilt_early: Vec<u32>,
+    /// Sharded-scan driver, armed by `parallel_shards > 1`. `None` runs
+    /// the fully serial tick kernel (the default, and the reference the
+    /// parallel-equivalence sweep compares against).
+    shard: Option<ShardEngine>,
 }
 
 impl StripingModel {
@@ -254,6 +259,10 @@ impl StripingModel {
             .as_ref()
             .map(|r| RebuildScheduler::new(r.fragments_per_interval, r.spares));
         let mask = AvailabilityMask::new(config.disks);
+        let shard = match config.parallel_shards {
+            Some(s) if s > 1 => Some(ShardEngine::new(s, &rng)),
+            _ => None,
+        };
         let n_objects = catalog.len();
         Ok(StripingModel {
             interval: config.interval(),
@@ -291,6 +300,7 @@ impl StripingModel {
             rebuild,
             pending_rebuilds: Vec::new(),
             rebuilt_early: Vec::new(),
+            shard,
             config,
         })
     }
@@ -419,7 +429,56 @@ impl StripingModel {
             .parity
             .as_ref()
             .map_or((0, 1), |p| (p.max_retries, p.max_backoff_intervals.max(1)));
-        for mut w in waiters.drain(..) {
+        // Sharded probe pass: plan every eligible waiter read-only against
+        // the tick-start scheduler state on the worker pool. The serial
+        // drain below consumes a verdict only while the scheduler version
+        // is unchanged — the first grant invalidates the rest, so the
+        // drain's fixed order (and therefore the report) is untouched. At
+        // saturation nothing mutates and the whole scan parallelizes.
+        let mut probes: Vec<ProbeVerdict> = Vec::new();
+        let mut probe_version = 0u64;
+        if self.shard.is_some() && waiters.len() >= 2 {
+            let mut args = Vec::with_capacity(waiters.len());
+            let mut gates = Vec::with_capacity(waiters.len());
+            for w in &waiters {
+                // The same pre-planning gates the drain loop applies;
+                // neither input changes before the drain reaches this
+                // waiter (only the scheduler mutates mid-drain, and the
+                // version check covers that).
+                if (backoff && w.next_attempt > t) || !self.displayable(w.object, now) {
+                    args.push(ProbeArg {
+                        object: w.object,
+                        start_disk: 0,
+                        degree: 1,
+                        subobjects: 1,
+                    });
+                    gates.push(false);
+                    continue;
+                }
+                let layout = self
+                    .placement
+                    .layout(w.object)
+                    .expect("displayable object is placed");
+                let spec = self.catalog.get(w.object).expect("catalog object");
+                let (start_disk, degree) = match self.cluster_round {
+                    Some(c) => (layout.start_disk - layout.start_disk % c, c),
+                    None => (layout.start_disk, layout.degree),
+                };
+                args.push(ProbeArg {
+                    object: w.object,
+                    start_disk,
+                    degree,
+                    subobjects: spec.subobjects,
+                });
+                gates.push(true);
+            }
+            if let Some(engine) = self.shard.as_mut() {
+                engine.refresh_index(&mut self.scheduler);
+                probe_version = self.scheduler.version();
+                probes = engine.probe_admissions(&self.scheduler, t, self.policy, &args, &gates);
+            }
+        }
+        for (wi, mut w) in waiters.drain(..).enumerate() {
             if backoff && w.next_attempt > t {
                 self.wait_disk.push(w);
                 continue;
@@ -441,14 +500,40 @@ impl StripingModel {
                 None => (layout.start_disk, layout.degree),
             };
             let viewing = spec.display_time(self.b_disk, self.config.fragment_size());
-            match self.scheduler.try_admit(
-                t,
-                w.object,
-                start_disk,
-                degree,
-                spec.subobjects,
-                self.policy,
-            ) {
+            // Consume the sharded verdict when still valid (scheduler
+            // untouched since the probe pass); otherwise plan serially.
+            // Rejections never mutate, so a consumed `Err` leaves the
+            // version — and every later verdict — intact.
+            let verdict = probes
+                .get_mut(wi)
+                .and_then(Option::take)
+                .filter(|_| probe_version == self.scheduler.version());
+            let attempt = match verdict {
+                Some(Ok(grant)) => {
+                    self.scheduler.commit(t, &grant, spec.subobjects);
+                    self.shard
+                        .as_mut()
+                        .expect("verdicts exist only with an engine")
+                        .note_consumed();
+                    Ok(grant)
+                }
+                Some(Err(e)) => {
+                    self.shard
+                        .as_mut()
+                        .expect("verdicts exist only with an engine")
+                        .note_consumed();
+                    Err(e)
+                }
+                None => self.scheduler.try_admit(
+                    t,
+                    w.object,
+                    start_disk,
+                    degree,
+                    spec.subobjects,
+                    self.policy,
+                ),
+            };
+            match attempt {
                 Ok(grant) => {
                     // (Naive cluster-rounding reserves more disks than the
                     // layout's degree, so the timeline check only applies
@@ -1066,6 +1151,12 @@ impl StripingModel {
         self.try_admissions(now);
         self.coalesce_pass(now);
         self.pump_fetches(now);
+        // All mutating passes are done: rebuild the free-horizon index
+        // once so every read-only query until the next mutation — the
+        // utilization/heatmap rows below, `next_wakeup`'s
+        // `earliest_free`, the skipped-boundary replay — takes the
+        // sorted path instead of its exact-but-linear dirty fallback.
+        self.scheduler.refresh_index();
         let t = self.interval_index(now);
         let util = self.scheduler.utilization(t);
         self.metrics.utilization.set(now, util);
@@ -1177,12 +1268,21 @@ impl StripingModel {
         // dense model's behavior (`complete_displays` precedes
         // `issue_requests`, so completions re-issue the same tick).
         if self.trace.is_none() && self.open.is_none() {
-            for s in 0..self.stations.len() {
+            let n = self.stations.len();
+            let thinking_ready = |s: usize| {
                 let station = StationId(s as u32);
-                if matches!(self.stations.state(station), StationState::Thinking) {
-                    let ready = self.activate_at[s].max(self.stations.ready_from(station));
-                    horizon = horizon.min(ready);
-                }
+                matches!(self.stations.state(station), StationState::Thinking)
+                    .then(|| self.activate_at[s].max(self.stations.ready_from(station)))
+            };
+            // Shard the scan only at station counts where the fan-out
+            // pays for itself; `min` is order-insensitive, so the result
+            // is identical either way.
+            let station_min = match &self.shard {
+                Some(engine) if n >= 64 => sharded_min(engine.shards(), n, thinking_ready),
+                _ => (0..n).filter_map(thinking_ready).min(),
+            };
+            if let Some(ready) = station_min {
+                horizon = horizon.min(ready);
             }
         }
         horizon
@@ -1412,6 +1512,13 @@ impl StripingModel {
     /// Interval boundaries skipped (proved quiescent) so far.
     pub fn ticks_skipped(&self) -> u64 {
         self.metrics.ticks_skipped
+    }
+
+    /// `(planned, consumed)` sharded admission-probe counters — both zero
+    /// for a serial run. Non-vacuousness checks of the serial≡parallel
+    /// equivalence sweep assert a sharded run actually probed.
+    pub fn probe_stats(&self) -> (u64, u64) {
+        self.shard.as_ref().map_or((0, 0), ShardEngine::probe_stats)
     }
 
     /// The per-disk availability mask (fault-injection diagnostics).

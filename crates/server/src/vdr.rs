@@ -103,6 +103,11 @@ pub struct VdrModel {
     /// Disks returned to service by an early rebuild; the next scheduled
     /// `Repair` timeline event for each is spent as a no-op.
     rebuilt_early: Vec<u32>,
+    /// Effective strand count for the sharded wakeup-horizon reduction
+    /// (`1` = serial; the VDR farm's lazy status transitions take `&mut`,
+    /// so unlike the striping model only the read-only station scan
+    /// shards here).
+    shards: usize,
 }
 
 impl VdrModel {
@@ -171,6 +176,10 @@ impl VdrModel {
         let timeline = config.faults.compile(config.disks, deadline, &rng);
         let mask = AvailabilityMask::new(config.disks);
         let clusters = vdr.clusters as usize;
+        let shards = config.parallel_shards.map_or(1, |s| s.max(1) as usize);
+        if shards > 1 {
+            ss_sim::WorkerPool::global().ensure_workers(shards - 1);
+        }
         Ok(VdrModel {
             vdr,
             farm,
@@ -199,6 +208,7 @@ impl VdrModel {
                 .map(|r| RebuildScheduler::new(r.fragments_per_interval, r.spares)),
             pending_rebuilds: Vec::new(),
             rebuilt_early: Vec::new(),
+            shards,
             config,
         })
     }
@@ -712,13 +722,22 @@ impl VdrModel {
             horizon = horizon.min(self.tertiary.busy_until());
         }
         // (b) Station activation / think expiry (the VDR baseline is
-        // closed-loop only).
-        for s in 0..self.stations.len() {
+        // closed-loop only). Sharded at large station counts: `min` is
+        // order-insensitive, so the reduction is identical to the serial
+        // scan.
+        let n = self.stations.len();
+        let thinking_ready = |s: usize| {
             let station = StationId(s as u32);
-            if matches!(self.stations.state(station), StationState::Thinking) {
-                let ready = self.activate_at[s].max(self.stations.ready_from(station));
-                horizon = horizon.min(ready);
-            }
+            matches!(self.stations.state(station), StationState::Thinking)
+                .then(|| self.activate_at[s].max(self.stations.ready_from(station)))
+        };
+        let station_min = if self.shards > 1 && n >= 64 {
+            crate::shard::sharded_min(self.shards, n, thinking_ready)
+        } else {
+            (0..n).filter_map(thinking_ready).min()
+        };
+        if let Some(ready) = station_min {
+            horizon = horizon.min(ready);
         }
         horizon
     }

@@ -21,13 +21,20 @@
 //! * [`faults`] — deterministic disk fault injection: a seed-driven
 //!   [`faults::FaultPlan`] compiled to a concrete, sorted
 //!   [`faults::FaultTimeline`] before the run starts.
+//! * [`pool`] — a reused worker pool for the sharded tick kernels and
+//!   the batch experiment runner; determinism is preserved by giving
+//!   every task a dedicated output slot and reducing in fixed order.
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// Unsafe is denied crate-wide; the single exception is the documented
+// lifetime-erasure in `pool::WorkerPool::scoped_run`, which carries a
+// module-level allow and a safety argument.
+#![deny(unsafe_code)]
 
 pub mod dist;
 pub mod engine;
 pub mod faults;
+pub mod pool;
 pub mod rng;
 pub mod stats;
 pub mod trace;
@@ -37,6 +44,7 @@ pub use engine::{Context, Model, Simulation};
 pub use faults::{
     FaultEvent, FaultKind, FaultPlan, FaultTimeline, RebuildWindow, StochasticFaults,
 };
+pub use pool::WorkerPool;
 pub use rng::DeterministicRng;
 pub use stats::{BatchMeans, Counter, Histogram, Tally, TimeWeighted};
 pub use trace::Trace;

@@ -1,0 +1,308 @@
+//! A process-wide, reused worker pool for deterministic fan-out.
+//!
+//! Two distinct consumers share it:
+//!
+//! * the batch experiment runner, which previously spawned (and joined)
+//!   fresh OS threads on every call — measurably slower than the serial
+//!   path on small grids, since a full spawn/join cycle per cell dwarfs
+//!   the atomic-cursor claim loop it exists to feed;
+//! * the sharded tick kernels, which fan a read-only scan (admission
+//!   probes, free-horizon index sorts, wakeup-horizon reductions) across
+//!   shards *inside* one simulation run, thousands of times per run —
+//!   a per-call `std::thread::scope` would pay a spawn per shard per
+//!   tick.
+//!
+//! Workers are spawned lazily ([`WorkerPool::ensure_workers`]), parked on
+//! a condvar when idle, and never exit; the pool imposes no scheduling
+//! order of its own, so any determinism contract is the caller's to
+//! arrange (the sharded kernels do it by giving every task a dedicated
+//! output slot and merging in fixed shard order).
+//!
+//! Determinism note: nothing in this module makes results depend on
+//! thread interleaving — tasks get disjoint outputs and the caller
+//! performs all reductions — so a pool with 0 workers (every task runs
+//! inline on the caller) produces byte-identical results to a pool with
+//! N workers.
+
+// The one unsafe block below erases a closure lifetime so borrowed-state
+// tasks can run on long-lived workers; `scoped_run` blocks until every
+// task has completed, which is exactly the guarantee the borrow checker
+// cannot see. Everything else in the crate stays deny-by-default.
+#![allow(unsafe_code)]
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// A type-erased, lifetime-erased unit of work.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Completion latch shared between one `scoped_run` call and its tasks.
+struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+    /// Panic messages of tasks that unwound (reported after the batch).
+    panics: Mutex<Vec<String>>,
+}
+
+impl Latch {
+    fn arrive(&self) {
+        let mut left = self.remaining.lock().expect("latch lock");
+        *left -= 1;
+        if *left == 0 {
+            self.done.notify_all();
+        }
+    }
+}
+
+/// Queue state shared with the workers: FIFO of `(batch, task)` pairs.
+/// The batch tag lets a caller drain *its own* tasks while waiting
+/// (otherwise a nested `scoped_run` — a sharded tick inside a pooled
+/// batch cell — could pull a sibling's hours-long task onto the thread
+/// that only wanted to finish its microsecond-scale probe pass).
+struct Shared {
+    queue: Mutex<VecDeque<(u64, Task)>>,
+    available: Condvar,
+}
+
+/// A reused pool of worker threads (see the module docs).
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    /// Workers spawned so far (monotonic; workers never exit).
+    spawned: Mutex<usize>,
+    /// Batch-id source for `scoped_run`.
+    next_batch: AtomicU64,
+}
+
+impl WorkerPool {
+    /// A pool with no workers yet; `ensure_workers` grows it on demand.
+    fn new() -> Self {
+        WorkerPool {
+            shared: Arc::new(Shared {
+                queue: Mutex::new(VecDeque::new()),
+                available: Condvar::new(),
+            }),
+            spawned: Mutex::new(0),
+            next_batch: AtomicU64::new(0),
+        }
+    }
+
+    /// The process-wide pool. Lives for the whole process; worker threads
+    /// are detached and park when idle, so an idle pool costs nothing but
+    /// their stacks.
+    pub fn global() -> &'static WorkerPool {
+        static POOL: OnceLock<WorkerPool> = OnceLock::new();
+        POOL.get_or_init(WorkerPool::new)
+    }
+
+    /// Number of worker threads spawned so far.
+    pub fn workers(&self) -> usize {
+        *self.spawned.lock().expect("spawn-count lock")
+    }
+
+    /// Grows the pool to at least `n` workers (never shrinks). Callers
+    /// that want `k`-way parallelism ask for `k - 1` workers and run the
+    /// `k`-th strand on their own thread.
+    pub fn ensure_workers(&self, n: usize) {
+        let mut spawned = self.spawned.lock().expect("spawn-count lock");
+        while *spawned < n {
+            let shared = Arc::clone(&self.shared);
+            std::thread::Builder::new()
+                .name(format!("ss-pool-{spawned}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn pool worker");
+            *spawned += 1;
+        }
+    }
+
+    /// Runs every task to completion, on the workers and the calling
+    /// thread, and returns only once all have finished — which is what
+    /// makes handing them borrowed state sound (see the safety comment).
+    /// With zero workers this degenerates to running the tasks inline,
+    /// in order.
+    ///
+    /// # Panics
+    ///
+    /// After all tasks have settled, panics if any task panicked,
+    /// carrying every captured panic message.
+    pub fn scoped_run<'scope>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+        if tasks.is_empty() {
+            return;
+        }
+        let batch = self.next_batch.fetch_add(1, Ordering::Relaxed);
+        let latch = Arc::new(Latch {
+            remaining: Mutex::new(tasks.len()),
+            done: Condvar::new(),
+            panics: Mutex::new(Vec::new()),
+        });
+        {
+            let mut queue = self.shared.queue.lock().expect("pool queue lock");
+            for task in tasks {
+                // SAFETY: the closure may borrow state with lifetime
+                // 'scope. Every enqueued wrapper either runs to completion
+                // or records a caught panic, and in both cases signals the
+                // latch; this function does not return before the latch
+                // reaches zero, so no borrow is used after 'scope ends.
+                // The wrapper owns the closure outright — nothing else
+                // ever observes it.
+                let task: Box<dyn FnOnce() + Send + 'static> = unsafe {
+                    std::mem::transmute::<
+                        Box<dyn FnOnce() + Send + 'scope>,
+                        Box<dyn FnOnce() + Send + 'static>,
+                    >(task)
+                };
+                let latch = Arc::clone(&latch);
+                queue.push_back((
+                    batch,
+                    Box::new(move || {
+                        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
+                        if let Err(payload) = outcome {
+                            latch
+                                .panics
+                                .lock()
+                                .expect("latch panic lock")
+                                .push(panic_text(&*payload));
+                        }
+                        latch.arrive();
+                    }),
+                ));
+            }
+            self.shared.available.notify_all();
+        }
+        // Work on our own batch while waiting: guarantees progress even
+        // with zero workers, and lends the calling thread as the k-th
+        // strand of a k-way fan-out.
+        loop {
+            let task = {
+                let mut queue = self.shared.queue.lock().expect("pool queue lock");
+                match queue.iter().position(|(b, _)| *b == batch) {
+                    Some(i) => queue.remove(i).map(|(_, t)| t),
+                    None => None,
+                }
+            };
+            match task {
+                Some(t) => t(),
+                None => break,
+            }
+        }
+        let mut left = latch.remaining.lock().expect("latch lock");
+        while *left > 0 {
+            left = latch.done.wait(left).expect("latch wait");
+        }
+        drop(left);
+        let panics = latch.panics.lock().expect("latch panic lock");
+        if !panics.is_empty() {
+            panic!(
+                "{} pool task(s) panicked:\n  {}",
+                panics.len(),
+                panics.join("\n  ")
+            );
+        }
+    }
+}
+
+/// Worker body: pop the next task (any batch), run it, park when idle.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let task = {
+            let mut queue = shared.queue.lock().expect("pool queue lock");
+            loop {
+                if let Some((_, task)) = queue.pop_front() {
+                    break task;
+                }
+                queue = shared.available.wait(queue).expect("pool queue wait");
+            }
+        };
+        task();
+    }
+}
+
+/// Best-effort rendering of a panic payload.
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn scoped_run_with_zero_workers_runs_inline() {
+        let pool = WorkerPool::new();
+        let mut out = vec![0u64; 8];
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = out
+            .iter_mut()
+            .enumerate()
+            .map(|(i, slot)| {
+                let f: Box<dyn FnOnce() + Send> = Box::new(move || *slot = i as u64 + 1);
+                f
+            })
+            .collect();
+        pool.scoped_run(tasks);
+        assert_eq!(out, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(pool.workers(), 0);
+    }
+
+    #[test]
+    fn scoped_run_uses_borrowed_state_across_workers() {
+        let pool = WorkerPool::new();
+        pool.ensure_workers(3);
+        assert_eq!(pool.workers(), 3);
+        let data: Vec<u64> = (0..1000).collect();
+        let mut sums = [0u64; 4];
+        let chunk = data.len().div_ceil(4);
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = sums
+            .iter_mut()
+            .zip(data.chunks(chunk))
+            .map(|(slot, part)| {
+                let f: Box<dyn FnOnce() + Send> = Box::new(move || *slot = part.iter().sum());
+                f
+            })
+            .collect();
+        pool.scoped_run(tasks);
+        assert_eq!(sums.iter().sum::<u64>(), 499_500);
+    }
+
+    #[test]
+    fn ensure_workers_never_shrinks_and_is_idempotent() {
+        let pool = WorkerPool::new();
+        pool.ensure_workers(2);
+        pool.ensure_workers(1);
+        assert_eq!(pool.workers(), 2);
+        pool.ensure_workers(2);
+        assert_eq!(pool.workers(), 2);
+    }
+
+    #[test]
+    fn task_panics_are_aggregated_after_the_batch_settles() {
+        let pool = WorkerPool::new();
+        let ran = AtomicUsize::new(0);
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = (0..4)
+            .map(|i| {
+                let ran = &ran;
+                let f: Box<dyn FnOnce() + Send> = Box::new(move || {
+                    if i == 2 {
+                        panic!("task {i} exploded");
+                    }
+                    ran.fetch_add(1, Ordering::Relaxed);
+                });
+                f
+            })
+            .collect();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.scoped_run(tasks);
+        }))
+        .expect_err("a panicking task must fail the batch");
+        let msg = panic_text(&*caught);
+        assert!(msg.contains("task 2 exploded"), "got: {msg}");
+        // The surviving tasks all ran before the batch reported.
+        assert_eq!(ran.load(Ordering::Relaxed), 3);
+    }
+}

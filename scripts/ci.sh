@@ -17,8 +17,9 @@ cargo test -q
 echo "==> fault suites (per-suite test counts)"
 # The degraded-mode harness: property sweep + goldens (now spanning the
 # parity/rebuild axes), coalescing proptest, backoff retry-queue
-# properties, seed-stability digests, dense-vs-sparse under fault plans.
-for suite in fault_properties coalesce_properties backoff_properties seed_stability tick_equivalence obs_properties; do
+# properties, seed-stability digests, dense-vs-sparse under fault plans,
+# serial-vs-sharded byte identity.
+for suite in fault_properties coalesce_properties backoff_properties seed_stability tick_equivalence parallel_equivalence obs_properties; do
   count=$(cargo test -q --test "$suite" 2>&1 | sed -n 's/^test result: ok\. \([0-9]*\) passed.*/\1/p')
   if [ -z "$count" ] || [ "$count" -eq 0 ]; then
     echo "ci.sh: suite $suite reported no passing tests" >&2
@@ -82,11 +83,20 @@ if ! cmp -s target/ci-trace/trace.jsonl target/ci-trace-rerun/trace.jsonl; then
 fi
 echo "    journal: $(wc -l < target/ci-trace/trace.jsonl) events, byte-identical across reruns"
 
-echo "==> perf_baseline --quick (regression gate vs BENCH_engine.json)"
+echo "==> perf_baseline --quick (regression + parallel-speedup gates)"
 # Writes BENCH_engine.quick.json (never the committed full baseline) and
 # fails if the quick grid regressed more than 2x against the committed
-# artifact's grid_quick section. CI_PERF_STRICT=0 downgrades the failure
-# to a warning for noisy shared runners.
-cargo run --release -p ss-bench --bin perf_baseline -- --quick --check-against BENCH_engine.json
+# artifact's grid_quick section. --gate-parallel additionally requires
+# grid_parallel to beat grid by 1.5x when the runner has >= 4 cores
+# (skipped below that — a 1-core container cannot scale). In both gates
+# CI_PERF_STRICT=0 downgrades the failure to a warning for noisy shared
+# runners.
+cargo run --release -p ss-bench --bin perf_baseline -- --quick \
+  --check-against BENCH_engine.json --gate-parallel
+
+echo "==> farm_scale --quick (100k-disk smoke + at-scale equivalence)"
+# Runs the 100,000-disk scenario serial and sharded and asserts the two
+# reports are byte-identical (the bench exits non-zero on divergence).
+cargo run --release -p ss-bench --bin farm_scale -- --quick --out target/ci-farm-scale
 
 echo "ci.sh: all checks passed"

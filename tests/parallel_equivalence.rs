@@ -1,0 +1,185 @@
+//! Serial-vs-sharded equivalence: arming `parallel_shards` must produce
+//! reports bit-identical to the fully serial engine, over every axis of
+//! the simulation (both schemes, all arrival models, queue policies,
+//! fault plans, parity groups, and hot-spare rebuilds) and over several
+//! shard counts.
+//!
+//! The sweep mirrors `tick_equivalence`'s configuration strategy — the
+//! other full-report byte-identity proof in this suite — with the
+//! self-healing axes added, since the probe/commit split must stay
+//! exact precisely when outages and parity companions are in play.
+//! Deterministic tests then pin down that sharded runs actually probe
+//! (a vacuous equivalence would pass the property) and that the batch
+//! runner's strands preserve report bytes and input order.
+
+use proptest::prelude::*;
+use staggered_striping::prelude::*;
+use staggered_striping::server::config::{ArrivalModel, MaterializeMode, QueuePolicy, Scheme};
+use staggered_striping::server::experiment::{run_batch, run_batch_stats};
+use staggered_striping::server::vdr::vdr_config_for;
+use staggered_striping::server::StripingServer;
+
+/// A randomized small configuration plus a shard count in `{2, 3, 5}`.
+/// The config axes are `tick_equivalence`'s, extended with parity and
+/// rebuild arms so the sharded probes run against outage-aware plans.
+fn config_strategy() -> impl Strategy<Value = (ServerConfig, u32)> {
+    (
+        1u32..=6,                    // stations
+        0u64..1_000,                 // seed
+        0u8..3,                      // arrival model selector (striping only)
+        prop::bool::ANY,             // VDR?
+        prop::bool::ANY,             // preload
+        0u8..3,                      // queue policy selector
+        (60u64..=240, 300u64..=900), // warmup / measure seconds
+        // fault plan / self-healing (striping only) / shards -> {2,3,5}
+        (0u8..4, 0u8..3, 0u8..3),
+    )
+        .prop_map(
+            |(
+                stations,
+                seed,
+                arrival,
+                vdr,
+                preload,
+                queue,
+                (warmup, measure),
+                (faults, healing, shard_sel),
+            )| {
+                let shards = [2u32, 3, 5][shard_sel as usize];
+                let mut c = ServerConfig::small_test(stations, seed);
+                c.warmup = SimDuration::from_secs(warmup);
+                c.measure = SimDuration::from_secs(measure);
+                c.faults = fault_plan(faults, warmup, measure);
+                c.preload = preload;
+                c.verify_delivery = false;
+                c.queue = match queue {
+                    0 => QueuePolicy::Fcfs,
+                    1 => QueuePolicy::SmallestFirst,
+                    _ => QueuePolicy::LargestFirst,
+                };
+                if vdr {
+                    // The VDR baseline runs the closed workload only and
+                    // carries neither parity nor rebuild.
+                    c.scheme = Scheme::Vdr {
+                        vdr: vdr_config_for(&c),
+                    };
+                    c.materialize = MaterializeMode::AfterFull;
+                } else {
+                    match arrival {
+                        1 => {
+                            c.arrivals = ArrivalModel::Open {
+                                rate_per_hour: 60.0 + 45.0 * f64::from(stations),
+                            };
+                        }
+                        2 => {
+                            c.arrivals = ArrivalModel::Trace {
+                                events: (0..12)
+                                    .map(|i| (i * 120_000_000, (i % 10) as u32))
+                                    .collect(),
+                            };
+                        }
+                        _ => {} // closed (the paper's workload)
+                    }
+                    match healing {
+                        1 => c.parity = Some(ParityConfig::group(5)),
+                        2 => {
+                            c.parity = Some(ParityConfig::group(5));
+                            c.rebuild = Some(RebuildConfig::rate(4));
+                        }
+                        _ => {}
+                    }
+                }
+                (c, shards)
+            },
+        )
+}
+
+/// The fault-plan axis, identical to `tick_equivalence`'s.
+fn fault_plan(selector: u8, warmup: u64, measure: u64) -> FaultPlan {
+    let at = |s: u64| SimTime::from_secs(s);
+    match selector {
+        1 => FaultPlan::fail_window(3, at(warmup + measure / 4), at(warmup + 3 * measure / 4)),
+        2 => {
+            let mut plan =
+                FaultPlan::fail_window(0, at(warmup + measure / 4), at(warmup + measure / 2));
+            plan.events.extend(
+                FaultPlan::fail_window(10, at(warmup), at(warmup + 3 * measure / 4)).events,
+            );
+            plan.drop_after_hiccup_intervals = Some(25);
+            plan
+        }
+        3 => FaultPlan {
+            stochastic: Some(StochasticFaults {
+                mean_time_between_failures: SimDuration::from_secs(measure / 4),
+                mean_time_to_repair: SimDuration::from_secs(measure / 10),
+                slow_fraction: 0.3,
+            }),
+            ..FaultPlan::none()
+        },
+        _ => FaultPlan::none(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The full `RunReport` — every derived statistic included — is
+    /// identical whether the tick kernel runs serial or sharded.
+    #[test]
+    fn serial_and_sharded_reports_are_identical((cfg, shards) in config_strategy()) {
+        let mut serial = cfg.clone();
+        serial.parallel_shards = None;
+        let mut sharded = cfg;
+        sharded.parallel_shards = Some(shards);
+        let a = staggered_striping::server::run(&serial).expect("serial run");
+        let b = staggered_striping::server::run(&sharded).expect("sharded run");
+        prop_assert_eq!(a, b);
+    }
+}
+
+/// A sharded striping run under load must actually fan admission probes
+/// across the shards *and* consume some of their verdicts — otherwise
+/// the property above holds vacuously (a `parallel_shards` knob nobody
+/// reads would pass it).
+#[test]
+fn sharded_run_probes_and_consumes_verdicts() {
+    // More stations than the 20-disk farm serves at once, so the
+    // waiting queue holds >= 2 candidates at admission ticks.
+    let mut cfg = ServerConfig::small_test(6, 7);
+    cfg.verify_delivery = false;
+    cfg.parallel_shards = Some(3);
+    let mut server = StripingServer::new(cfg).expect("sharded config");
+    while server.step() {}
+    let (run, consumed) = server.model().probe_stats();
+    assert!(run > 0, "no admission probes ran on the shards");
+    assert!(consumed > 0, "no probe verdict was ever consumed");
+}
+
+/// The serial path must report zero probes: `parallel_shards: None`
+/// really is the serial engine, not a one-shard pool.
+#[test]
+fn serial_run_never_probes() {
+    let mut cfg = ServerConfig::small_test(6, 7);
+    cfg.verify_delivery = false;
+    let mut server = StripingServer::new(cfg).expect("serial config");
+    while server.step() {}
+    assert_eq!(server.model().probe_stats(), (0, 0));
+}
+
+/// The batch runner at 2 threads returns reports in input order with
+/// bytes identical to the 1-thread batch (the `run_batch` contract the
+/// grid benches lean on).
+#[test]
+fn two_thread_batch_matches_one_thread_batch() {
+    let configs: Vec<ServerConfig> = [(1u32, 50u64), (4, 51), (2, 52), (3, 53)]
+        .into_iter()
+        .map(|(stations, seed)| ServerConfig::small_test(stations, seed))
+        .collect();
+    let one = run_batch(configs.clone(), 1);
+    let (two, stats) = run_batch_stats(configs, 2);
+    assert_eq!(stats.threads_used, 2);
+    let stations: Vec<u32> = two.iter().map(|r| r.stations).collect();
+    assert_eq!(stations, vec![1, 4, 2, 3], "reports must keep input order");
+    let bytes = |rs: &[RunReport]| serde_json::to_string_pretty(rs).expect("reports serialize");
+    assert_eq!(bytes(&one), bytes(&two));
+}

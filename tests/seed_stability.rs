@@ -23,26 +23,35 @@ fn digest(bytes: &[u8]) -> u64 {
     h
 }
 
-/// One pinned row: seed, scheme tag, fault shape, expected digest.
+/// One pinned row: seed, scheme tag, fault shape, shard count (1 =
+/// serial engine), expected digest.
 struct Row {
     seed: u64,
     scheme: &'static str,
     faults: &'static str,
+    shards: u32,
     expect: u64,
 }
 
 #[rustfmt::skip]
 const ROWS: &[Row] = &[
     // Regenerate with SS_PRINT_DIGESTS=1 when a behavior change is intended.
-    Row { seed: 1, scheme: "striping", faults: "none", expect: 0xebdf08a488b2edf7 },
-    Row { seed: 1, scheme: "striping", faults: "window", expect: 0xc979ac1ff488f102 },
-    Row { seed: 1, scheme: "vdr", faults: "window", expect: 0x0ebc3a348b69f2dd },
-    Row { seed: 7, scheme: "striping", faults: "none", expect: 0x7dfb201d09be4520 },
-    Row { seed: 7, scheme: "striping", faults: "window", expect: 0x6fc4757c8a71af1c },
-    Row { seed: 7, scheme: "vdr", faults: "window", expect: 0xd7f6de6a3aed8908 },
-    Row { seed: 1994, scheme: "striping", faults: "none", expect: 0x343bb3bee60c64f7 },
-    Row { seed: 1994, scheme: "striping", faults: "window", expect: 0x6f017b9f96ce04f9 },
-    Row { seed: 1994, scheme: "vdr", faults: "window", expect: 0xc710bfb1bdbfa1e2 },
+    Row { seed: 1, scheme: "striping", faults: "none", shards: 1, expect: 0xebdf08a488b2edf7 },
+    Row { seed: 1, scheme: "striping", faults: "window", shards: 1, expect: 0xc979ac1ff488f102 },
+    Row { seed: 1, scheme: "vdr", faults: "window", shards: 1, expect: 0x0ebc3a348b69f2dd },
+    Row { seed: 7, scheme: "striping", faults: "none", shards: 1, expect: 0x7dfb201d09be4520 },
+    Row { seed: 7, scheme: "striping", faults: "window", shards: 1, expect: 0x6fc4757c8a71af1c },
+    Row { seed: 7, scheme: "vdr", faults: "window", shards: 1, expect: 0xd7f6de6a3aed8908 },
+    Row { seed: 1994, scheme: "striping", faults: "none", shards: 1, expect: 0x343bb3bee60c64f7 },
+    Row { seed: 1994, scheme: "striping", faults: "window", shards: 1, expect: 0x6f017b9f96ce04f9 },
+    Row { seed: 1994, scheme: "vdr", faults: "window", shards: 1, expect: 0xc710bfb1bdbfa1e2 },
+    // Sharded twins: `parallel_shards` is byte-invisible in the report,
+    // so each row below pins the SAME digest as its serial twin above.
+    // These constants are intentionally duplicates, not regenerated.
+    Row { seed: 1, scheme: "striping", faults: "none", shards: 4, expect: 0xebdf08a488b2edf7 },
+    Row { seed: 1, scheme: "striping", faults: "window", shards: 4, expect: 0xc979ac1ff488f102 },
+    Row { seed: 1994, scheme: "striping", faults: "window", shards: 4, expect: 0x6f017b9f96ce04f9 },
+    Row { seed: 1994, scheme: "vdr", faults: "window", shards: 4, expect: 0xc710bfb1bdbfa1e2 },
 ];
 
 /// The tiny run behind a row: 2 stations on the 20-disk test farm with a
@@ -57,6 +66,9 @@ fn config(row: &Row) -> ServerConfig {
     c.measure = SimDuration::from_secs(600);
     if row.faults == "window" {
         c.faults = FaultPlan::fail_window(3, SimTime::from_secs(240), SimTime::from_secs(420));
+    }
+    if row.shards > 1 {
+        c.parallel_shards = Some(row.shards);
     }
     c
 }
@@ -73,24 +85,22 @@ fn run_report_digests_are_pinned_per_seed() {
         let json = serde_json::to_string_pretty(report).expect("serialize report");
         let got = digest(json.as_bytes());
         table.push_str(&format!(
-            "    Row {{ seed: {}, scheme: \"{}\", faults: \"{}\", expect: {:#018x} }},\n",
-            row.seed, row.scheme, row.faults, got
+            "    Row {{ seed: {}, scheme: \"{}\", faults: \"{}\", shards: {}, expect: {:#018x} }},\n",
+            row.seed, row.scheme, row.faults, row.shards, got
         ));
         if got != row.expect {
             diffs.push(format!(
-                "  seed {} / {} / faults={}: digest {:#018x} != pinned {:#018x} \
+                "  seed {} / {} / faults={} / shards={}: digest {:#018x} != pinned {:#018x} \
                  (completed {}, {:.1}/h, hiccup streams {})",
                 row.seed,
                 row.scheme,
                 row.faults,
+                row.shards,
                 got,
                 row.expect,
                 report.displays_completed,
                 report.displays_per_hour,
-                report
-                    .degraded
-                    .as_ref()
-                    .map_or(0, |g| g.hiccup_streams),
+                report.degraded.as_ref().map_or(0, |g| g.hiccup_streams),
             ));
         }
     }
