@@ -20,16 +20,22 @@
 //!   1-failure striping cells and emit `rebuild_sweep.csv`. Given without
 //!   `--rebuild` this warns: the main grid then runs with the hot-spare
 //!   rebuild disarmed, and only the sweep's own cells rebuild.
+//! * `--sharing[=W]` — arm stream sharing (batch window `W` intervals,
+//!   default 4) on every cell. A shared stream is one rescue plan with N
+//!   dependents — one rescue (or one drop) covers the whole crowd — so
+//!   the failure rows measure shared-stream retention against the
+//!   unshared grid's N-independent-rescues regime.
 //!
 //! Emits `fault_grid.csv` — one row per run with the failure count, the
-//! parity/rebuild knobs, an explicit per-cell throughput-retention column
-//! (the 0-fail baseline rows included, at 100%), and the self-healing
-//! counters — and prints one table block per failure count plus a
+//! parity/rebuild/sharing knobs, an explicit per-cell throughput-retention
+//! column (the 0-fail baseline rows included, at 100%), the self-healing
+//! counters, and the stream-sharing counters (zero when sharing is
+//! disarmed) — and prints one table block per failure count plus a
 //! retention summary. `--quick` swaps in the 20-disk test farm on a
 //! reduced station set (the CI smoke configuration).
 
 use ss_bench::FaultGridOpts;
-use ss_server::config::{ParityConfig, RebuildConfig, Scheme};
+use ss_server::config::{ParityConfig, RebuildConfig, Scheme, SharingConfig};
 use ss_server::experiment::{fig8_configs, run_batch};
 use ss_server::metrics::{format_degraded, format_table};
 use ss_server::{RunReport, ServerConfig};
@@ -61,13 +67,22 @@ fn with_failures(mut cfg: ServerConfig, failures: u32) -> ServerConfig {
 }
 
 /// Arms the self-healing knobs on `cfg`: parity on striping cells only
-/// (VDR's redundancy is replication), rebuild everywhere.
-fn with_healing(mut cfg: ServerConfig, parity: Option<u32>, rebuild: Option<u64>) -> ServerConfig {
+/// (VDR's redundancy is replication), rebuild and stream sharing
+/// everywhere.
+fn with_healing(
+    mut cfg: ServerConfig,
+    parity: Option<u32>,
+    rebuild: Option<u64>,
+    sharing: Option<u64>,
+) -> ServerConfig {
     if let (Some(g), Scheme::Striping { .. }) = (parity, &cfg.scheme) {
         cfg.parity = Some(ParityConfig::group(g));
     }
     if let Some(r) = rebuild {
         cfg.rebuild = Some(RebuildConfig::rate(r));
+    }
+    if let Some(w) = sharing {
+        cfg.sharing = Some(SharingConfig::window(w));
     }
     cfg
 }
@@ -83,15 +98,19 @@ fn csv_row(r: &RunReport, baseline: &RunReport, failures: u32, row: &mut String)
     };
     let g = r.degraded.clone().unwrap_or_default();
     let h = g.self_heal.unwrap_or_default();
+    let s = r.sharing.unwrap_or_default();
     writeln!(
         row,
-        "{},{},{},{},{},{},{:.3},{:.2},{},{},{:.3},{:.3},{},{},{},{},{},{:.3},{}",
+        "{},{},{},{},{},{},{},{:.3},{:.2},{},{},{:.3},{:.3},{},{},{},{},{},{:.3},{},{},{}",
         r.scheme,
         r.stations,
         r.popularity,
         failures,
         r.parity_group.map_or(String::new(), |g| g.to_string()),
         r.rebuild_rate.map_or(String::new(), |x| x.to_string()),
+        r.sharing
+            .as_ref()
+            .map_or(String::new(), |s| s.batch_window.to_string()),
         r.displays_per_hour,
         retention,
         g.rescues,
@@ -105,14 +124,17 @@ fn csv_row(r: &RunReport, baseline: &RunReport, failures: u32, row: &mut String)
         h.rebuilds_completed,
         h.rebuild_seconds,
         h.rebuild_interference_intervals,
+        s.streams_opened,
+        s.viewers_joined,
     )
     .expect("write to String");
 }
 
 const CSV_HEADER: &str = "scheme,stations,popularity,failures,parity_group,rebuild_rate,\
-displays_per_hour,retention_pct,rescues,streams_dropped,hiccup_seconds,disk_downtime_s,\
-degraded_admissions,reconstructed_reads,backoff_retries,backoff_exhausted,\
-rebuilds_completed,rebuild_seconds,rebuild_interference_intervals\n";
+batch_window,displays_per_hour,retention_pct,rescues,streams_dropped,hiccup_seconds,\
+disk_downtime_s,degraded_admissions,reconstructed_reads,backoff_retries,backoff_exhausted,\
+rebuilds_completed,rebuild_seconds,rebuild_interference_intervals,streams_opened,\
+viewers_joined\n";
 
 fn main() {
     // Flag parsing lives in `FaultGridOpts` (testable, and the place the
@@ -122,6 +144,7 @@ fn main() {
         parity,
         rebuild,
         sweep,
+        sharing,
         ..
     } = FaultGridOpts::from_args();
     let base: Vec<ServerConfig> = if opts.quick {
@@ -139,7 +162,7 @@ fn main() {
         .iter()
         .flat_map(|&f| {
             base.iter()
-                .map(move |c| with_healing(with_failures(c.clone(), f), parity, rebuild))
+                .map(move |c| with_healing(with_failures(c.clone(), f), parity, rebuild, sharing))
         })
         .collect();
 
@@ -194,6 +217,26 @@ fn main() {
         );
     }
 
+    if sharing.is_some() {
+        // The sharing dividend under failures: a shared stream is one
+        // rescue plan, so compare rescues issued to the viewers they
+        // actually kept on air.
+        println!("shared-stream failure retention (one rescue covers a stream's whole crowd)");
+        for (i, &f) in FAILURES.iter().enumerate().skip(1) {
+            let chunk = &reports[i * cells..(i + 1) * cells];
+            let sum = |get: &dyn Fn(&RunReport) -> u64| chunk.iter().map(get).sum::<u64>();
+            let rescues = sum(&|r| r.degraded.clone().unwrap_or_default().rescues);
+            let hiccuped = sum(&|r| r.degraded.clone().unwrap_or_default().hiccup_streams);
+            let dropped = sum(&|r| r.degraded.clone().unwrap_or_default().streams_dropped);
+            let streams = sum(&|r| r.sharing.unwrap_or_default().streams_opened);
+            let viewers = sum(&|r| r.sharing.unwrap_or_default().viewers_joined);
+            println!(
+                "  {f} failure(s): {rescues} rescues over {streams} streams carrying \
+                 {viewers} joined viewers; {hiccuped} displays hiccuped, {dropped} dropped"
+            );
+        }
+    }
+
     if sweep {
         // Rebuild-rate sweep over the 1-failure striping cells: how fast
         // must the spare drain before retention saturates?
@@ -206,9 +249,9 @@ fn main() {
         let sweep_configs: Vec<ServerConfig> = SWEEP_RATES
             .iter()
             .flat_map(|&r| {
-                striping
-                    .iter()
-                    .map(move |c| with_healing(with_failures(c.clone(), 1), parity, Some(r)))
+                striping.iter().map(move |c| {
+                    with_healing(with_failures(c.clone(), 1), parity, Some(r), sharing)
+                })
             })
             .collect();
         eprintln!(

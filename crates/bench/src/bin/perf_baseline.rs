@@ -34,6 +34,11 @@
 //! to the one recorded in the baseline artifact at PATH and exits
 //! non-zero if it regressed more than 2×; set `CI_PERF_STRICT=0` to
 //! downgrade the failure to a warning (shared CI runners are noisy).
+//! It also compares the parallel-grid `speedup_vs_serial` against the
+//! baseline's, but — since the artifact records `cores_available` — the
+//! comparison is skipped with a notice when either box had fewer than 2
+//! cores: on one core the 0.92× "speedup" is shard-scheduling overhead,
+//! not an engine regression.
 //!
 //! `--gate-parallel` enforces the batch-runner scaling contract: on a
 //! machine with at least 4 cores, `grid_parallel` must beat `grid` by
@@ -116,6 +121,12 @@ struct BenchReport {
     /// The 6-cell quick grid at one thread, in every mode, so CI smoke
     /// runs can compare like-for-like against the committed baseline.
     grid_quick: GridMetrics,
+    /// Cores the box running the bench exposed
+    /// (`std::thread::available_parallelism`). On a single-core box the
+    /// parallel grid cannot beat serial — `speedup_vs_serial` below 1.0
+    /// is scheduling overhead, not a regression — so comparisons read
+    /// this before judging the parallel section.
+    cores_available: u64,
     /// Peak resident set (VmHWM) of this process, in kilobytes.
     peak_rss_kb: u64,
 }
@@ -126,12 +137,20 @@ struct BenchReport {
 #[derive(Debug, Deserialize)]
 struct BaselineProbe {
     grid_quick: Option<BaselineGrid>,
+    grid_parallel: Option<BaselineParallel>,
+    cores_available: Option<u64>,
 }
 
 /// Seconds field of a baseline grid section.
 #[derive(Debug, Deserialize)]
 struct BaselineGrid {
     seconds: f64,
+}
+
+/// Speedup field of a baseline parallel-grid section.
+#[derive(Debug, Deserialize)]
+struct BaselineParallel {
+    speedup_vs_serial: Option<f64>,
 }
 
 /// Kernel 1: build the paper farm and preload until full.
@@ -344,8 +363,13 @@ fn gate_parallel_speedup(grid: &GridMetrics, grid_parallel: &GridMetrics) -> boo
 
 /// Compares this run's quick-grid wall-clock to the baseline artifact
 /// at `path`; returns false on a >2x regression (unless
-/// `CI_PERF_STRICT=0` downgrades it to a warning).
-fn check_against(path: &str, current: &GridMetrics) -> bool {
+/// `CI_PERF_STRICT=0` downgrades it to a warning). Also compares the
+/// parallel-grid speedup, but only when both this box and the baseline's
+/// had 2 or more cores — on a single core `speedup_vs_serial` measures
+/// scheduling overhead (0.92x is normal), not engine speed, and judging
+/// it would flag every 1-core CI box as a regression.
+fn check_against(path: &str, report: &BenchReport) -> bool {
+    let current = &report.grid_quick;
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -360,26 +384,78 @@ fn check_against(path: &str, current: &GridMetrics) -> bool {
             return false;
         }
     };
-    let Some(baseline) = probe.grid_quick else {
+    let quick_ok = match &probe.grid_quick {
+        None => {
+            eprintln!(
+                "check-against: {path} has no grid_quick section (pre-schema baseline); skipping"
+            );
+            true
+        }
+        Some(baseline) => {
+            let ratio = current.seconds / baseline.seconds;
+            eprintln!(
+                "check-against: quick grid {:.3} s vs baseline {:.3} s ({ratio:.2}x)",
+                current.seconds, baseline.seconds
+            );
+            if ratio <= 2.0 {
+                true
+            } else {
+                let strict = std::env::var("CI_PERF_STRICT").map_or(true, |v| v != "0");
+                if strict {
+                    eprintln!("check-against: FAIL — quick grid regressed {ratio:.2}x (limit 2x); set CI_PERF_STRICT=0 to downgrade");
+                    false
+                } else {
+                    eprintln!(
+                        "check-against: WARN — quick grid regressed {ratio:.2}x but CI_PERF_STRICT=0"
+                    );
+                    true
+                }
+            }
+        }
+    };
+    quick_ok && check_parallel_against(path, &probe, report)
+}
+
+/// The parallel leg of `--check-against`: this run's `speedup_vs_serial`
+/// must hold at least half the baseline's. Skipped — with a notice — when
+/// either box exposes fewer than 2 cores, or when the baseline predates
+/// the speedup field.
+fn check_parallel_against(path: &str, probe: &BaselineProbe, report: &BenchReport) -> bool {
+    let speedup = report.grid_parallel.speedup_vs_serial.unwrap_or(1.0);
+    if report.cores_available < 2 {
         eprintln!(
-            "check-against: {path} has no grid_quick section (pre-schema baseline); skipping"
+            "check-against: {} core(s) available; parallel comparison skipped (speedup {speedup:.2}x on one core measures shard overhead, not engine speed)",
+            report.cores_available
         );
         return true;
+    }
+    if probe.cores_available.is_some_and(|c| c < 2) {
+        eprintln!(
+            "check-against: baseline {path} was taken on a single core; parallel comparison skipped"
+        );
+        return true;
+    }
+    let Some(base) = probe
+        .grid_parallel
+        .as_ref()
+        .and_then(|p| p.speedup_vs_serial)
+    else {
+        eprintln!("check-against: {path} records no parallel speedup; skipping that comparison");
+        return true;
     };
-    let ratio = current.seconds / baseline.seconds;
-    eprintln!(
-        "check-against: quick grid {:.3} s vs baseline {:.3} s ({ratio:.2}x)",
-        current.seconds, baseline.seconds
-    );
-    if ratio <= 2.0 {
+    let ratio = speedup / base;
+    eprintln!("check-against: parallel speedup {speedup:.2}x vs baseline {base:.2}x ({ratio:.2}x)");
+    if ratio >= 0.5 {
         return true;
     }
     let strict = std::env::var("CI_PERF_STRICT").map_or(true, |v| v != "0");
     if strict {
-        eprintln!("check-against: FAIL — quick grid regressed {ratio:.2}x (limit 2x); set CI_PERF_STRICT=0 to downgrade");
+        eprintln!("check-against: FAIL — parallel speedup fell to {ratio:.2}x of baseline (limit 0.5x); set CI_PERF_STRICT=0 to downgrade");
         false
     } else {
-        eprintln!("check-against: WARN — quick grid regressed {ratio:.2}x but CI_PERF_STRICT=0");
+        eprintln!(
+            "check-against: WARN — parallel speedup fell to {ratio:.2}x of baseline but CI_PERF_STRICT=0"
+        );
         true
     }
 }
@@ -456,6 +532,8 @@ fn main() {
         grid,
         grid_parallel,
         grid_quick,
+        cores_available: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+            as u64,
         peak_rss_kb: peak_rss_kb(),
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
@@ -472,7 +550,7 @@ fn main() {
 
     let mut ok = true;
     if let Some(path) = check_path {
-        ok &= check_against(&path, &report.grid_quick);
+        ok &= check_against(&path, &report);
     }
     if gate_parallel {
         ok &= gate_parallel_speedup(&report.grid, &report.grid_parallel);

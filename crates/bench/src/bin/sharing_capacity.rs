@@ -1,0 +1,236 @@
+//! Stream-sharing capacity sweep: how many concurrent hiccup-free
+//! displays the small farm sustains with multicast batching + prefix
+//! caching armed, versus the one-stream-per-viewer baseline.
+//!
+//! The grid sweeps popularity skew × batch window × prefix-cache budget.
+//! Every cell runs the same closed-loop striping workload twice — sharing
+//! off (the baseline, capped by the farm's disk bandwidth at
+//! `D / M` concurrent streams) and sharing on — and reports the
+//! time-weighted mean of concurrent displays, throughput, join mix, and
+//! cache behavior. The headline number is `capacity_ratio`:
+//! `shared.mean_active_displays / baseline.mean_active_displays`. On a
+//! highly skewed workload one disk stream carries many viewers, so the
+//! ratio is the multiplicative capacity win sharing buys (the
+//! prefix/multicast VoD design batched onto staggered striping).
+//!
+//! `--quick` runs the high-skew column only, with a shortened window —
+//! the CI smoke mode behind the capacity-floor gate in `scripts/ci.sh`
+//! (shared ≥ 2× baseline at high skew). In full mode the summary is also
+//! merged into `BENCH_engine.json` under a `sharing` key.
+//!
+//! Run from the repo root:
+//! `cargo run --release -p ss-bench --bin sharing_capacity [-- --quick]`.
+
+use serde::Serialize;
+use ss_bench::HarnessOpts;
+use ss_server::config::SharingConfig;
+use ss_server::{RunReport, ServerConfig};
+use ss_types::SimDuration;
+use ss_workload::Popularity;
+
+/// One (skew, window, budget) cell: baseline vs shared.
+#[derive(Debug, Serialize)]
+struct CapacityCell {
+    skew: String,
+    batch_window: u64,
+    cache_fragments: u64,
+    /// Time-weighted mean concurrent displays, one stream per viewer.
+    baseline_mean_active: f64,
+    /// Time-weighted mean concurrent displays with sharing armed.
+    shared_mean_active: f64,
+    /// `shared_mean_active / baseline_mean_active` — the capacity win.
+    capacity_ratio: f64,
+    baseline_displays_per_hour: f64,
+    shared_displays_per_hour: f64,
+    streams_opened: u64,
+    viewers_joined: u64,
+    batched_joins: u64,
+    patched_joins: u64,
+    /// `cache_hits / (cache_hits + cache_misses)`; 0 when no lookup ran.
+    cache_hit_rate: f64,
+    peak_catchup_fragments: u64,
+}
+
+/// The `sharing_capacity.json` artifact (and the `sharing` section of
+/// `BENCH_engine.json` in full mode).
+#[derive(Debug, Serialize)]
+struct SharingCapacityReport {
+    mode: String,
+    seed: u64,
+    stations: u32,
+    disks: u32,
+    /// Disk-bandwidth ceiling on concurrent *streams* (`D / M`): the
+    /// baseline can never exceed it, shared runs can.
+    stream_ceiling: u32,
+    cells: Vec<CapacityCell>,
+    /// Largest `capacity_ratio` over the grid.
+    max_capacity_ratio: f64,
+    /// `capacity_ratio` of the high-skew / widest-window / largest-budget
+    /// cell — the number the CI capacity-floor gate reads.
+    high_skew_ratio: f64,
+}
+
+/// The workload every cell shares: a closed loop far oversubscribing the
+/// 4-stream small farm, so capacity (not arrivals) is the binding
+/// constraint.
+fn cell_config(opts: &HarnessOpts, skew: &Popularity) -> ServerConfig {
+    let mut c = ServerConfig::small_test(32, opts.seed);
+    c.popularity = *skew;
+    c.verify_delivery = false;
+    if opts.quick {
+        c.warmup = SimDuration::from_secs(120);
+        c.measure = SimDuration::from_secs(900);
+    }
+    c
+}
+
+fn hit_rate(hits: u64, misses: u64) -> f64 {
+    if hits + misses == 0 {
+        0.0
+    } else {
+        hits as f64 / (hits + misses) as f64
+    }
+}
+
+fn run_cell(
+    opts: &HarnessOpts,
+    skew_name: &str,
+    skew: &Popularity,
+    window: u64,
+    cache_fragments: u64,
+) -> CapacityCell {
+    let baseline_cfg = cell_config(opts, skew);
+    let mut shared_cfg = baseline_cfg.clone();
+    shared_cfg.sharing = Some(SharingConfig {
+        batch_window: window,
+        prefix_intervals: 16,
+        cache_fragments,
+    });
+    let baseline: RunReport = ss_server::run(&baseline_cfg).expect("baseline run");
+    let shared: RunReport = ss_server::run(&shared_cfg).expect("shared run");
+    let s = shared.sharing.expect("shared run reports its section");
+    CapacityCell {
+        skew: skew_name.to_string(),
+        batch_window: window,
+        cache_fragments,
+        baseline_mean_active: baseline.mean_active_displays,
+        shared_mean_active: shared.mean_active_displays,
+        capacity_ratio: shared.mean_active_displays / baseline.mean_active_displays,
+        baseline_displays_per_hour: baseline.displays_per_hour,
+        shared_displays_per_hour: shared.displays_per_hour,
+        streams_opened: s.streams_opened,
+        viewers_joined: s.viewers_joined,
+        batched_joins: s.batched_joins,
+        patched_joins: s.patched_joins,
+        cache_hit_rate: hit_rate(s.cache_hits, s.cache_misses),
+        peak_catchup_fragments: s.peak_catchup_fragments,
+    }
+}
+
+/// Merges `report` into `BENCH_engine.json` under the `sharing` key,
+/// replacing any previous section and leaving every other key intact
+/// (the `farm_scale` merge idiom; `perf_baseline` owns creating the
+/// file).
+fn merge_into_baseline(report: &SharingCapacityReport) {
+    const PATH: &str = "BENCH_engine.json";
+    let Ok(text) = std::fs::read_to_string(PATH) else {
+        eprintln!("{PATH} not found; run perf_baseline first to merge the sharing section");
+        return;
+    };
+    let mut value: serde_json::Value = match serde_json::from_str(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("cannot parse {PATH} ({e:?}); leaving it untouched");
+            return;
+        }
+    };
+    let serde_json::Value::Map(entries) = &mut value else {
+        eprintln!("{PATH} is not a JSON object; leaving it untouched");
+        return;
+    };
+    use serde::Serialize as _;
+    let section = report.to_value();
+    match entries.iter_mut().find(|(k, _)| k == "sharing") {
+        Some((_, v)) => *v = section,
+        None => entries.push(("sharing".to_string(), section)),
+    }
+    let json = serde_json::to_string_pretty(&value).expect("serialize merged baseline");
+    std::fs::write(PATH, format!("{json}\n")).expect("write merged baseline");
+    eprintln!("merged sharing section into {PATH}");
+}
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let mode = if opts.quick { "quick" } else { "full" };
+    eprintln!("sharing_capacity ({mode} mode, seed {})", opts.seed);
+
+    // High skew: the single-object hotspot regime (mean 0.3 puts ~96% of
+    // requests on the hottest object); low skew spreads interest across
+    // the whole 10-object catalog.
+    let high = (
+        "geometric-0.3",
+        Popularity::TruncatedGeometric { mean: 0.3 },
+    );
+    let low = ("zipf-0.2", Popularity::Zipf { alpha: 0.2 });
+    let skews: Vec<&(&str, Popularity)> = if opts.quick {
+        vec![&high]
+    } else {
+        vec![&high, &low]
+    };
+    let windows: &[u64] = if opts.quick { &[8] } else { &[2, 8] };
+    let budgets: &[u64] = if opts.quick { &[512] } else { &[128, 512] };
+
+    let probe = cell_config(&opts, &high.1);
+    let stream_ceiling = probe.disks / probe.degree();
+    let (stations, disks) = (probe.stations, probe.disks);
+
+    let mut cells = Vec::new();
+    for (name, skew) in skews {
+        for &window in windows {
+            for &budget in budgets {
+                let cell = run_cell(&opts, name, skew, window, budget);
+                eprintln!(
+                    "{name} window={window} cache={budget}: {:.2} -> {:.2} concurrent \
+                     ({:.2}x), {} joins ({} batched / {} patched), hit rate {:.2}",
+                    cell.baseline_mean_active,
+                    cell.shared_mean_active,
+                    cell.capacity_ratio,
+                    cell.viewers_joined,
+                    cell.batched_joins,
+                    cell.patched_joins,
+                    cell.cache_hit_rate,
+                );
+                cells.push(cell);
+            }
+        }
+    }
+
+    let max_capacity_ratio = cells.iter().map(|c| c.capacity_ratio).fold(0.0, f64::max);
+    // The gate cell: high skew, widest window, largest budget.
+    let high_skew_ratio = cells
+        .iter()
+        .filter(|c| c.skew == high.0)
+        .filter(|c| c.batch_window == *windows.last().expect("nonempty"))
+        .filter(|c| c.cache_fragments == *budgets.last().expect("nonempty"))
+        .map(|c| c.capacity_ratio)
+        .next_back()
+        .expect("gate cell present");
+
+    let report = SharingCapacityReport {
+        mode: mode.to_string(),
+        seed: opts.seed,
+        stations,
+        disks,
+        stream_ceiling,
+        cells,
+        max_capacity_ratio,
+        high_skew_ratio,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    opts.write_artifact("sharing_capacity.json", &format!("{json}\n"));
+    println!("{json}");
+
+    if !opts.quick {
+        merge_into_baseline(&report);
+    }
+}

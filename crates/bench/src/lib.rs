@@ -141,8 +141,9 @@ impl HarnessOpts {
 }
 
 /// Options for the `fault_grid` harness: the common set plus the
-/// self-healing knobs (`--parity[=G]`, `--rebuild[=R]`) and the
-/// rebuild-rate sweep (`--rebuild-sweep`).
+/// self-healing knobs (`--parity[=G]`, `--rebuild[=R]`), the
+/// rebuild-rate sweep (`--rebuild-sweep`), and stream sharing
+/// (`--sharing[=W]`).
 #[derive(Debug, Clone)]
 pub struct FaultGridOpts {
     /// The common harness options.
@@ -155,13 +156,18 @@ pub struct FaultGridOpts {
     pub rebuild: Option<u64>,
     /// Sweep the rebuild rate over the 1-failure striping cells.
     pub sweep: bool,
+    /// Batching window (intervals) to arm stream sharing with on every
+    /// cell (`--sharing[=W]`, default window 4): failure rows then
+    /// measure one rescue covering a whole shared stream's viewers
+    /// instead of one rescue per viewer.
+    pub sharing: Option<u64>,
     /// Non-fatal diagnostics raised during parsing; `from_args` prints
     /// them to stderr.
     pub warnings: Vec<String>,
 }
 
 const FAULT_GRID_USAGE: &str =
-    "usage: fault_grid [--parity[=G]] [--rebuild[=R]] [--rebuild-sweep] \
+    "usage: fault_grid [--parity[=G]] [--rebuild[=R]] [--rebuild-sweep] [--sharing[=W]] \
      [--seed N] [--out DIR] [--quick] [--threads N]";
 
 impl FaultGridOpts {
@@ -195,6 +201,7 @@ impl FaultGridOpts {
         let mut parity: Option<u32> = None;
         let mut rebuild: Option<u64> = None;
         let mut sweep = false;
+        let mut sharing: Option<u64> = None;
         let harness = HarnessOpts::parse_with(args, |a| {
             if a == "--parity" {
                 parity = Some(5);
@@ -210,6 +217,12 @@ impl FaultGridOpts {
                 })?);
             } else if a == "--rebuild-sweep" {
                 sweep = true;
+            } else if a == "--sharing" {
+                sharing = Some(4);
+            } else if let Some(v) = a.strip_prefix("--sharing=") {
+                sharing = Some(v.parse().map_err(|_| {
+                    format!("--sharing=W takes a batch window, got {v:?}; {FAULT_GRID_USAGE}")
+                })?);
             } else {
                 return Ok(false);
             }
@@ -226,6 +239,11 @@ impl FaultGridOpts {
                  {FAULT_GRID_USAGE}"
             ));
         }
+        if sharing == Some(0) {
+            return Err(format!(
+                "--sharing=W needs a batch window of at least one interval; {FAULT_GRID_USAGE}"
+            ));
+        }
         let mut warnings = Vec::new();
         if sweep && rebuild.is_none() {
             warnings.push(
@@ -239,6 +257,7 @@ impl FaultGridOpts {
             parity,
             rebuild,
             sweep,
+            sharing,
             warnings,
         })
     }
@@ -288,6 +307,21 @@ mod tests {
         let o = FaultGridOpts::parse_from(["--parity=4", "--rebuild=16"]).unwrap();
         assert_eq!(o.parity, Some(4));
         assert_eq!(o.rebuild, Some(16));
+    }
+
+    #[test]
+    fn fault_grid_sharing_flag() {
+        let o = FaultGridOpts::parse_from(["--parity"]).unwrap();
+        assert_eq!(o.sharing, None, "sharing stays off unless asked");
+        let o = FaultGridOpts::parse_from(["--sharing"]).unwrap();
+        assert_eq!(o.sharing, Some(4));
+        let o = FaultGridOpts::parse_from(["--sharing=12", "--quick"]).unwrap();
+        assert_eq!(o.sharing, Some(12));
+        assert!(o.harness.quick);
+        let err = FaultGridOpts::parse_from(["--sharing=0"]).unwrap_err();
+        assert!(err.contains("at least one interval"), "{err}");
+        let err = FaultGridOpts::parse_from(["--sharing=wide"]).unwrap_err();
+        assert!(err.contains("--sharing=W takes a batch window"), "{err}");
     }
 
     #[test]

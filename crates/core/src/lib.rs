@@ -27,6 +27,10 @@
 //!   cost of buffer memory.
 //! * [`buffers`] — accounting for the extra buffer memory fragmented
 //!   delivery costs (the price §3.2.1 pays to defeat time fragmentation).
+//! * [`cache`] — the stream-sharing prefix cache: leading intervals of
+//!   hot objects kept buffer-resident under a deterministic
+//!   popularity-tagged LFU policy, so late joiners of a shared stream
+//!   start hiccup-free from memory.
 //! * [`coalesce`] — system-side dynamic coalescing: handing a lagging
 //!   fragment over to a freed, closer disk to reclaim that memory.
 //! * [`algorithms`] — faithful, executable transcriptions of the paper's
@@ -51,6 +55,7 @@
 pub mod admission;
 pub mod algorithms;
 pub mod buffers;
+pub mod cache;
 pub mod coalesce;
 pub mod frame;
 pub mod low_bandwidth;
@@ -63,6 +68,7 @@ pub mod stride;
 pub mod vcr;
 
 pub use admission::{AdmissionGrant, AdmissionPolicy, IntervalScheduler, Outage};
+pub use cache::{CacheStats, PrefixCache};
 pub use coalesce::{ActiveFragmentedDisplay, CoalescePlan, LostRead};
 pub use frame::VirtualFrame;
 pub use media::{MediaType, ObjectCatalog, ObjectSpec};

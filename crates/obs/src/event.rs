@@ -73,6 +73,33 @@ pub enum Event {
         /// Interval the waiter parked at.
         interval: u64,
     },
+    /// An arrival joined an in-flight shared stream instead of opening a
+    /// private one. `lag` is how many intervals behind the stream's
+    /// delivery start the join happened (0 = pure batching); a positive
+    /// lag is replayed from the prefix cache while `buffer` catch-up
+    /// fragments hold the live stream.
+    SharedJoin {
+        /// Catalog id of the joined stream's object.
+        object: u32,
+        /// Interval the join was decided at.
+        interval: u64,
+        /// Intervals behind the shared stream's delivery start.
+        lag: u64,
+        /// Catch-up buffer fragments charged for the join.
+        buffer: u64,
+    },
+    /// The prefix cache admitted an object's leading intervals.
+    CacheAdmit {
+        /// Catalog id of the cached object.
+        object: u32,
+        /// Resident cost in buffer fragments.
+        cost: u64,
+    },
+    /// The prefix cache evicted an object to make room.
+    CacheEvict {
+        /// Catalog id of the evicted object.
+        object: u32,
+    },
 
     // --- data plane: fragment read bookings -------------------------
     /// Fragment `frag` of `object` was booked on virtual disk `vdisk`:
@@ -279,6 +306,9 @@ impl Event {
             Event::AdmitReject { .. } => "admit_reject",
             Event::AdmitRetry { .. } => "admit_retry",
             Event::AdmitPark { .. } => "admit_park",
+            Event::SharedJoin { .. } => "shared_join",
+            Event::CacheAdmit { .. } => "cache_admit",
+            Event::CacheEvict { .. } => "cache_evict",
             Event::ReadSpan { .. } => "read_span",
             Event::ReadMove { .. } => "read_move",
             Event::ParityPlan { .. } => "parity_plan",
@@ -342,6 +372,20 @@ impl Event {
             Event::AdmitPark { object, interval } => {
                 write!(w, ",\"object\":{object},\"interval\":{interval}")
             }
+            Event::SharedJoin {
+                object,
+                interval,
+                lag,
+                buffer,
+            } => write!(
+                w,
+                ",\"object\":{object},\"interval\":{interval},\"lag\":{lag},\
+                 \"buffer\":{buffer}"
+            ),
+            Event::CacheAdmit { object, cost } => {
+                write!(w, ",\"object\":{object},\"cost\":{cost}")
+            }
+            Event::CacheEvict { object } => write!(w, ",\"object\":{object}"),
             Event::ReadSpan {
                 object,
                 frag,

@@ -217,6 +217,50 @@ impl RebuildConfig {
     }
 }
 
+/// Stream sharing: multicast batching plus a prefix cache. Arrivals for
+/// an object whose stream started within the last `batch_window`
+/// intervals join that stream instead of opening a private one — the
+/// shared stream's disk reads are booked once and fanned out to every
+/// dependent display in the buffer/metrics plane. A lag-0 join (same
+/// admission pass) is pure batching; a later join is serviced from the
+/// prefix cache while it catches up, so it is hiccup-free only when the
+/// first `lag` intervals of the object are cache resident.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SharingConfig {
+    /// Join window in intervals: an arrival may share a stream whose
+    /// delivery started at most this many intervals ago.
+    pub batch_window: u64,
+    /// How many leading intervals of an object the prefix cache keeps
+    /// resident. Joins at lag > this are refused (a join must replay its
+    /// missed prefix from cache to stay hiccup-free).
+    #[serde(default = "default_prefix_intervals")]
+    pub prefix_intervals: u64,
+    /// Prefix-cache budget in buffer-pool fragments (the same unit the
+    /// display buffer accounting uses).
+    #[serde(default = "default_cache_fragments")]
+    pub cache_fragments: u64,
+}
+
+fn default_prefix_intervals() -> u64 {
+    16
+}
+
+fn default_cache_fragments() -> u64 {
+    512
+}
+
+impl SharingConfig {
+    /// A `window`-interval batching window with the default prefix-cache
+    /// shape.
+    pub fn window(window: u64) -> Self {
+        SharingConfig {
+            batch_window: window,
+            prefix_intervals: default_prefix_intervals(),
+            cache_fragments: default_cache_fragments(),
+        }
+    }
+}
+
 /// The complete simulation configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServerConfig {
@@ -296,6 +340,11 @@ pub struct ServerConfig {
     /// enforces this).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub parallel_shards: Option<u32>,
+    /// Stream sharing (multicast batching + prefix caching). `None` (the
+    /// default) keeps one private stream per viewer, byte-for-byte the
+    /// unshared behavior.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub sharing: Option<SharingConfig>,
     /// Master RNG seed.
     pub seed: u64,
 }
@@ -333,6 +382,7 @@ impl ServerConfig {
             parity: None,
             rebuild: None,
             parallel_shards: None,
+            sharing: None,
             seed,
         }
     }
@@ -549,6 +599,14 @@ impl ServerConfig {
         if self.parallel_shards == Some(0) {
             return bad("parallel_shards must be >= 1 (or omitted for serial)".into());
         }
+        if let Some(s) = &self.sharing {
+            if s.batch_window == 0 {
+                return bad("sharing batch_window must cover at least one interval".into());
+            }
+            if s.cache_fragments == 0 {
+                return bad("sharing prefix cache needs a positive fragment budget".into());
+            }
+        }
         if let Scheme::Vdr { vdr } = &self.scheme {
             if vdr.clusters == 0 {
                 return bad("VDR needs at least one cluster".into());
@@ -662,8 +720,27 @@ mod tests {
         let json = serde_json::to_string(&c).unwrap();
         assert!(!json.contains("parity"));
         assert!(!json.contains("rebuild"));
+        assert!(!json.contains("sharing"));
         let back: ServerConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back, c);
+    }
+
+    #[test]
+    fn sharing_knobs_validate() {
+        let mut c = ServerConfig::small_test(4, 9);
+        c.sharing = Some(SharingConfig::window(8));
+        c.validate().unwrap();
+        // Both schemes accept sharing.
+        let mut v = ServerConfig::small_vdr_test(4, 9);
+        v.sharing = Some(SharingConfig::window(8));
+        v.validate().unwrap();
+        // Degenerate windows and budgets are rejected.
+        c.sharing = Some(SharingConfig::window(0));
+        assert!(c.validate().is_err());
+        let mut s = SharingConfig::window(8);
+        s.cache_fragments = 0;
+        c.sharing = Some(s);
+        assert!(c.validate().is_err());
     }
 
     #[test]

@@ -581,6 +581,7 @@ mod tests {
             degraded: None,
             parity_group: None,
             rebuild_rate: None,
+            sharing: None,
         };
         let mut reports = Vec::new();
         for &n in &TABLE4_STATIONS {

@@ -60,6 +60,47 @@ pub struct RunReport {
     /// configured with; omitted when rebuild is off.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub rebuild_rate: Option<u64>,
+    /// Stream-sharing statistics. `Some` exactly when the run was
+    /// configured with `sharing`; omitted otherwise, so zero-sharing
+    /// reports stay byte-identical to the pre-sharing goldens.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub sharing: Option<SharingStats>,
+}
+
+/// How the stream-sharing layer performed: the multicast-batching and
+/// prefix-cache section of a [`RunReport`]. Whole-run numbers (like
+/// `peak_buffer_fragments`, they survive the warm-up reset).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SharingStats {
+    /// Disk streams opened (each books its reads exactly once,
+    /// regardless of how many viewers it fans out to).
+    pub streams_opened: u64,
+    /// Viewers that joined an existing stream instead of opening one.
+    pub viewers_joined: u64,
+    /// Joins at lag 0 (same delivery start; pure batching, no catch-up
+    /// buffer).
+    pub batched_joins: u64,
+    /// Joins at lag > 0, served from the prefix cache while the viewer
+    /// catches up to the shared stream.
+    pub patched_joins: u64,
+    /// Prefix-cache lookups that found the prefix resident.
+    pub cache_hits: u64,
+    /// Prefix-cache lookups that missed (the arrival opened or queued
+    /// for a private stream instead).
+    pub cache_misses: u64,
+    /// Objects admitted into the prefix cache.
+    pub cache_insertions: u64,
+    /// Objects evicted from the prefix cache.
+    pub cache_evictions: u64,
+    /// High-water mark of catch-up buffers held by patched joiners
+    /// (fragments; on top of `peak_buffer_fragments`'s delivery buffers).
+    pub peak_catchup_fragments: u64,
+    /// Configured prefix-cache budget, fragments (self-description).
+    pub cache_budget_fragments: u64,
+    /// Configured prefix length, intervals (self-description).
+    pub prefix_intervals: u64,
+    /// Configured batching window, intervals (self-description).
+    pub batch_window: u64,
 }
 
 /// What went wrong and how the server coped: the degraded-mode section of
@@ -170,6 +211,9 @@ pub struct MetricsCollector {
     /// Degraded-mode statistics, allocated only when the run injects
     /// faults. Whole-run numbers: they survive the warm-up reset.
     pub degraded: Option<DegradedStats>,
+    /// Stream-sharing statistics, allocated only when sharing is
+    /// configured. Whole-run numbers: they survive the warm-up reset.
+    pub sharing: Option<SharingStats>,
     measure_start: SimTime,
     in_measurement: bool,
 }
@@ -188,6 +232,7 @@ impl MetricsCollector {
             coalesces: 0,
             ticks_skipped: 0,
             degraded: None,
+            sharing: None,
             measure_start: SimTime::ZERO,
             in_measurement: false,
         }
@@ -198,6 +243,13 @@ impl MetricsCollector {
     /// report serializes without a degraded section.
     pub fn degraded_mut(&mut self) -> &mut DegradedStats {
         self.degraded.get_or_insert_with(DegradedStats::default)
+    }
+
+    /// The stream-sharing stats, allocated on first use. Models call this
+    /// only when `sharing` is configured, so an unshared run keeps `None`
+    /// and its report serializes without a sharing section.
+    pub fn sharing_mut(&mut self) -> &mut SharingStats {
+        self.sharing.get_or_insert_with(SharingStats::default)
     }
 
     /// Ends the warm-up: clears counters and starts the measurement
@@ -308,6 +360,7 @@ impl MetricsCollector {
             degraded: self.degraded.clone(),
             parity_group: None,
             rebuild_rate: None,
+            sharing: self.sharing,
         }
     }
 }
@@ -560,6 +613,29 @@ mod tests {
         let back: RunReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.degraded.as_ref().unwrap().faults_injected, 2);
         assert_eq!(back, faulty);
+    }
+
+    #[test]
+    fn sharing_section_is_omitted_from_json_when_absent() {
+        let mut m = MetricsCollector::new();
+        m.start_measurement(t(0));
+        let unshared = m.report(t(3600), "striping", 8, "geom(20)".into(), 3, 0.1, 5);
+        let json = serde_json::to_string(&unshared).unwrap();
+        assert!(
+            !json.contains("sharing"),
+            "unshared report must serialize without a sharing key: {json}"
+        );
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, unshared);
+
+        m.sharing_mut().streams_opened = 3;
+        m.sharing_mut().viewers_joined = 12;
+        let shared = m.report(t(3600), "striping", 8, "geom(20)".into(), 3, 0.1, 5);
+        let json = serde_json::to_string(&shared).unwrap();
+        assert!(json.contains("sharing"));
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.sharing.unwrap().viewers_joined, 12);
+        assert_eq!(back, shared);
     }
 
     #[test]

@@ -23,6 +23,7 @@ use crate::metrics::{MetricsCollector, RunReport};
 use crate::shard::{sharded_min, ProbeArg, ProbeVerdict, ShardEngine};
 use ss_core::admission::{AdmissionPolicy, IntervalScheduler, Outage};
 use ss_core::buffers::BufferTracker;
+use ss_core::cache::PrefixCache;
 use ss_core::coalesce::{ActiveFragmentedDisplay, LostRead};
 use ss_core::frame::VirtualFrame;
 use ss_core::media::ObjectCatalog;
@@ -40,12 +41,36 @@ pub enum Event {
     Tick,
 }
 
+/// A viewer riding an in-flight shared stream (multicast batching): it
+/// consumes the stream's reads from the buffer plane, so it books no
+/// disk bandwidth of its own. A positive-lag joiner replays its missed
+/// prefix from the cache while `catchup_fragments` buffers hold the live
+/// stream until it catches up.
+#[derive(Debug, Clone, Copy)]
+struct SharedViewer {
+    station: Option<StationId>,
+    ends: SimTime,
+    /// Catch-up buffers held for the viewer's whole ride (0 for a lag-0
+    /// batched join).
+    catchup_fragments: u64,
+    /// Already counted in `hiccup_streams`.
+    hiccuped: bool,
+}
+
 /// One admitted, running display. Open-system viewers have no station.
 #[derive(Debug, Clone)]
 struct ActiveDisplay {
     station: Option<StationId>,
     object: ObjectId,
     ends: SimTime,
+    /// Interval delivery began (the join-window anchor for sharing).
+    delivery_start: u64,
+    /// Shared viewers fanned out from this stream's reads (empty unless
+    /// sharing is configured).
+    viewers: Vec<SharedViewer>,
+    /// The primary viewer completed but dependents are still riding the
+    /// buffered tail; the entry is removed once `viewers` drains too.
+    primary_done: bool,
     /// Fragment buffers currently held (fragmented admission only;
     /// reduced by dynamic coalescing).
     buffer_fragments: u64,
@@ -167,6 +192,15 @@ pub struct StripingModel {
     /// the fully serial tick kernel (the default, and the reference the
     /// parallel-equivalence sweep compares against).
     shard: Option<ShardEngine>,
+    /// Stream-sharing prefix cache, armed by `config.sharing`.
+    cache: Option<PrefixCache>,
+    /// Viewers currently watching: every non-completed primary plus every
+    /// shared viewer. Equals `active.len()` whenever sharing is off, so
+    /// the active-displays series is untouched on unshared runs.
+    active_viewers: u64,
+    /// Catch-up buffers currently held by shared viewers (feeds the
+    /// `peak_catchup_fragments` statistic).
+    catchup_in_use: u64,
 }
 
 impl StripingModel {
@@ -263,6 +297,17 @@ impl StripingModel {
             Some(s) if s > 1 => Some(ShardEngine::new(s, &rng)),
             _ => None,
         };
+        // `derive` is a pure function of (seed, label): adding the cache
+        // stream moves none of the existing streams above.
+        let cache = config.sharing.map(|s| {
+            let mut crng = rng.derive("cache");
+            PrefixCache::new(
+                catalog.len() as u32,
+                config.fragment_size(),
+                s.cache_fragments,
+                crng.next_u64_raw(),
+            )
+        });
         let n_objects = catalog.len();
         Ok(StripingModel {
             interval: config.interval(),
@@ -301,6 +346,9 @@ impl StripingModel {
             pending_rebuilds: Vec::new(),
             rebuilt_early: Vec::new(),
             shard,
+            cache,
+            active_viewers: 0,
+            catchup_in_use: 0,
             config,
         })
     }
@@ -320,27 +368,66 @@ impl StripingModel {
         let t = self.interval_index(now);
         let mut i = 0;
         while i < self.active.len() {
-            if self.active[i].ends <= now {
-                let d = self.active.swap_remove(i);
-                if let Some(station) = d.station {
+            let object = self.active[i].object;
+            // Shared viewers finish on their own clocks, independent of
+            // the primary (a late joiner's ride extends past the stream).
+            let mut viewers = std::mem::take(&mut self.active[i].viewers);
+            let mut v = 0;
+            while v < viewers.len() {
+                if viewers[v].ends <= now {
+                    let done = viewers.swap_remove(v);
+                    if let Some(station) = done.station {
+                        self.stations.complete_at(station, now);
+                    }
+                    self.buffers.release(done.catchup_fragments);
+                    self.catchup_in_use -= done.catchup_fragments;
+                    let measured = self.metrics.measuring();
+                    if measured {
+                        self.metrics.record_completion();
+                    }
+                    ss_obs::obs!(ss_obs::Event::DisplayEnd {
+                        object: object.0,
+                        interval: t,
+                        measured,
+                    });
+                    self.active_per_object[object.index()] -= 1;
+                    self.active_viewers -= 1;
+                } else {
+                    v += 1;
+                }
+            }
+            self.active[i].viewers = viewers;
+            if self.active[i].ends <= now && !self.active[i].primary_done {
+                let d = &mut self.active[i];
+                d.primary_done = true;
+                // Drop delivery state so coalesce/rescue never touch a
+                // finished stream (its reads are all in the past anyway).
+                d.fragmented = None;
+                let frags = std::mem::take(&mut d.buffer_fragments);
+                let station = d.station;
+                if let Some(station) = station {
                     self.stations.complete_at(station, now);
                 }
-                self.buffers.release(d.buffer_fragments);
+                self.buffers.release(frags);
                 let measured = self.metrics.measuring();
                 if measured {
                     self.metrics.record_completion();
                 }
                 ss_obs::obs!(ss_obs::Event::DisplayEnd {
-                    object: d.object.0,
+                    object: object.0,
                     interval: t,
                     measured,
                 });
-                self.active_per_object[d.object.index()] -= 1;
+                self.active_per_object[object.index()] -= 1;
+                self.active_viewers -= 1;
+            }
+            if self.active[i].primary_done && self.active[i].viewers.is_empty() {
+                self.active.swap_remove(i);
             } else {
                 i += 1;
             }
         }
-        self.metrics.active.set(now, self.active.len() as f64);
+        self.metrics.active.set(now, self.active_viewers as f64);
     }
 
     fn promote_materializations(&mut self, now: SimTime) {
@@ -488,6 +575,14 @@ impl StripingModel {
                 self.wait_disk.push(w);
                 continue;
             }
+            if self.config.sharing.is_some() && self.try_join_shared(&w, now, t) {
+                // Joined an in-flight shared stream. The waiter's probe
+                // verdict (if any) is deliberately left unconsumed: joins
+                // never touch the scheduler, so its version — and every
+                // later verdict — stays valid, and the sharded drain stays
+                // byte-identical to the serial one.
+                continue;
+            }
             let layout = self
                 .placement
                 .layout(w.object)
@@ -609,6 +704,9 @@ impl StripingModel {
                         station: w.station,
                         object: w.object,
                         ends,
+                        delivery_start: grant.delivery_start,
+                        viewers: Vec::new(),
+                        primary_done: false,
                         buffer_fragments: grant.buffer_fragments,
                         fragmented,
                         hiccups: 0,
@@ -618,6 +716,18 @@ impl StripingModel {
                         hiccuped: false,
                     });
                     self.active_per_object[w.object.index()] += 1;
+                    self.active_viewers += 1;
+                    if let Some(sh) = self.config.sharing {
+                        self.metrics.sharing_mut().streams_opened += 1;
+                        // Offer this stream's prefix for residency so
+                        // in-window joiners can patch their lag from
+                        // memory; admission is popularity-gated LFU.
+                        let cost = sh.prefix_intervals.min(u64::from(spec.subobjects))
+                            * u64::from(spec.degree(self.b_disk));
+                        if let Some(cache) = self.cache.as_mut() {
+                            cache.offer(w.object.0, cost, &self.freq);
+                        }
+                    }
                     if ss_obs::enabled() {
                         ss_obs::record(ss_obs::Event::AdmitAccept {
                             object: w.object.0,
@@ -673,7 +783,88 @@ impl StripingModel {
                 }
             }
         }
-        self.metrics.active.set(now, self.active.len() as f64);
+        self.metrics.active.set(now, self.active_viewers as f64);
+    }
+
+    /// Tries to ride `w` on an in-flight shared stream of the same object
+    /// (multicast batching, §3.7 of DESIGN.md). A lag-0 arrival joins the
+    /// stream outright; a positive-lag arrival within `batch_window`
+    /// intervals joins only if the object's prefix is cache-resident, in
+    /// which case it replays the missed prefix from memory while holding
+    /// `lag × M_X` catch-up buffers for the live stream. Joins book **no**
+    /// disk bandwidth and never touch the interval scheduler.
+    fn try_join_shared(&mut self, w: &Waiter, now: SimTime, t: u64) -> bool {
+        let sh = self.config.sharing.expect("caller checked sharing is on");
+        // Youngest live stream of the object (max delivery_start; index
+        // tie-break keeps the pick deterministic).
+        let candidate = self
+            .active
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.object == w.object && !d.primary_done)
+            .max_by_key(|(i, d)| (d.delivery_start, *i))
+            .map(|(i, d)| (i, d.delivery_start));
+        let Some((idx, delivery_start)) = candidate else {
+            return false;
+        };
+        let lag = t.saturating_sub(delivery_start);
+        if lag > sh.batch_window {
+            return false;
+        }
+        let spec = self.catalog.get(w.object).expect("catalog object");
+        let catchup = if lag == 0 {
+            0
+        } else {
+            if lag > sh.prefix_intervals {
+                return false; // prefix cannot cover the missed intervals
+            }
+            let cache = self.cache.as_mut().expect("sharing is on");
+            if !cache.lookup(w.object.0) {
+                return false; // prefix not resident: a cold join would hiccup
+            }
+            lag * u64::from(spec.degree(self.b_disk))
+        };
+        // The viewer starts when the stream's delivery did (lag 0) or now
+        // (patched join); either way it watches the full object.
+        let begin = SimTime::from_micros(delivery_start * self.interval.as_micros()).max(now);
+        let viewing = spec.display_time(self.b_disk, self.config.fragment_size());
+        let ends = begin + viewing.max(self.interval * u64::from(spec.subobjects));
+        let waited = match w.station {
+            Some(station) => self.stations.start_display(station, now),
+            None => now.duration_since(w.issued),
+        };
+        if self.metrics.measuring() {
+            self.metrics
+                .record_latency(waited + begin.saturating_duration_since(now));
+        }
+        self.buffers.acquire(catchup).expect("unbounded tracker");
+        self.catchup_in_use += catchup;
+        let s = self.metrics.sharing_mut();
+        s.viewers_joined += 1;
+        if lag == 0 {
+            s.batched_joins += 1;
+        } else {
+            s.patched_joins += 1;
+        }
+        s.peak_catchup_fragments = s.peak_catchup_fragments.max(self.catchup_in_use);
+        self.active[idx].viewers.push(SharedViewer {
+            station: w.station,
+            ends,
+            catchup_fragments: catchup,
+            hiccuped: false,
+        });
+        self.active_per_object[w.object.index()] += 1;
+        self.active_viewers += 1;
+        if ss_obs::enabled() {
+            ss_obs::record(ss_obs::Event::SharedJoin {
+                object: w.object.0,
+                interval: t,
+                lag,
+                buffer: catchup,
+            });
+            ss_obs::with_registry(|r| r.count("shared_joins", 1));
+        }
+        true
     }
 
     /// Evicts least-frequently-accessed idle objects until `spec` fits,
@@ -1102,24 +1293,37 @@ impl StripingModel {
                             }
                         }
                         let g = self.metrics.degraded_mut();
-                        g.hiccup_intervals += lost.len() as u64;
-                        g.hiccup_seconds += lost.len() as f64 * interval_s;
+                        // A shared stream's lost read starves the primary
+                        // and every dependent viewer alike: charge the
+                        // hiccup once per consumer.
+                        let fanout = 1 + d.viewers.len() as u64;
+                        g.hiccup_intervals += lost.len() as u64 * fanout;
+                        g.hiccup_seconds += lost.len() as f64 * fanout as f64 * interval_s;
                         if !d.hiccuped {
                             d.hiccuped = true;
                             g.hiccup_streams += 1;
                         }
+                        for v in &mut d.viewers {
+                            if !v.hiccuped {
+                                v.hiccuped = true;
+                                g.hiccup_streams += 1;
+                            }
+                        }
+                        // The drop threshold stays per *stream*: dependents
+                        // live and die with the primary's budget.
                         d.hiccups += lost.len() as u64;
                         d.hiccup_log.extend(lost);
                     }
                 }
             }
             if limit.is_some_and(|l| d.hiccups >= l) {
-                let d = self.active.swap_remove(i);
+                let mut d = self.active.swap_remove(i);
                 if let Some(station) = d.station {
                     self.stations.complete_at(station, now);
                 }
                 self.buffers.release(d.buffer_fragments);
                 self.active_per_object[d.object.index()] -= 1;
+                self.active_viewers -= 1;
                 // The viewer was cut off, not served: no completion is
                 // recorded, only the drop.
                 self.metrics.degraded_mut().streams_dropped += 1;
@@ -1128,6 +1332,23 @@ impl StripingModel {
                     interval: t,
                     hiccups: d.hiccups,
                 });
+                // Dropping a shared stream drops every dependent with it:
+                // their reads came from this stream's plan.
+                for v in d.viewers.drain(..) {
+                    if let Some(station) = v.station {
+                        self.stations.complete_at(station, now);
+                    }
+                    self.buffers.release(v.catchup_fragments);
+                    self.catchup_in_use -= v.catchup_fragments;
+                    self.active_per_object[d.object.index()] -= 1;
+                    self.active_viewers -= 1;
+                    self.metrics.degraded_mut().streams_dropped += 1;
+                    ss_obs::obs!(ss_obs::Event::DisplayDrop {
+                        object: d.object.0,
+                        interval: t,
+                        hiccups: d.hiccups,
+                    });
+                }
             } else {
                 i += 1;
             }
@@ -1157,13 +1378,21 @@ impl StripingModel {
         // `earliest_free`, the skipped-boundary replay — takes the
         // sorted path instead of its exact-but-linear dirty fallback.
         self.scheduler.refresh_index();
+        debug_assert_eq!(
+            self.active_viewers,
+            self.active
+                .iter()
+                .map(|d| u64::from(!d.primary_done) + d.viewers.len() as u64)
+                .sum::<u64>(),
+            "viewer count must mirror the active set"
+        );
         let t = self.interval_index(now);
         let util = self.scheduler.utilization(t);
         self.metrics.utilization.set(now, util);
         if ss_obs::enabled() {
             crate::metrics::obs_boundary_row(
                 t,
-                self.active.len() as f64,
+                self.active_viewers as f64,
                 self.wait_disk.len() as f64,
                 util,
                 wasted_fraction(&self.scheduler, &self.active, t),
@@ -1241,9 +1470,16 @@ impl StripingModel {
         if !self.measurement_started {
             horizon = horizon.min(SimTime::ZERO + self.config.warmup);
         }
-        // (a) Active-display completions.
+        // (a) Active-display completions — primary and shared-viewer ends
+        // alike. A primary-done entry's own `ends` is in the past and
+        // spent; only its surviving viewers impose wakeups.
         for d in &self.active {
-            horizon = horizon.min(d.ends);
+            if !d.primary_done {
+                horizon = horizon.min(d.ends);
+            }
+            for v in &d.viewers {
+                horizon = horizon.min(v.ends);
+            }
         }
         // (d) Pending materializations become displayable, and a busy
         // tertiary device frees up for the next queued fetch.
@@ -1326,7 +1562,7 @@ impl StripingModel {
     /// accumulation bit-for-bit: the dense model's repeated same-timestamp
     /// sets each contribute exactly +0.0 after the first.
     fn replay_skipped(&mut self, now: SimTime) {
-        let active = self.active.len() as f64;
+        let active = self.active_viewers as f64;
         let queue_depth = self.wait_disk.len() as f64;
         let us = self.interval.as_micros();
         // Field-disjoint reborrows: the closure reads the scheduler and
@@ -1459,6 +1695,20 @@ impl StripingServer {
         );
         report.parity_group = m.config.parity.as_ref().map(|p| p.group);
         report.rebuild_rate = m.config.rebuild.as_ref().map(|r| r.fragments_per_interval);
+        if let Some(sh) = m.config.sharing {
+            let mut s = m.metrics.sharing.unwrap_or_default();
+            if let Some(cache) = &m.cache {
+                let cs = cache.stats();
+                s.cache_hits = cs.hits;
+                s.cache_misses = cs.misses;
+                s.cache_insertions = cs.insertions;
+                s.cache_evictions = cs.evictions;
+            }
+            s.cache_budget_fragments = sh.cache_fragments;
+            s.prefix_intervals = sh.prefix_intervals;
+            s.batch_window = sh.batch_window;
+            report.sharing = Some(s);
+        }
         report
     }
 
@@ -1911,10 +2161,14 @@ mod tests {
         m.scheduler.set_free_from(17, 1000);
         m.buffers.acquire(2).unwrap();
         m.active_per_object[0] += 1;
+        m.active_viewers += 1;
         m.active.push(ActiveDisplay {
             station: None,
             object: ObjectId(0),
             ends: at(100),
+            delivery_start: 5,
+            viewers: Vec::new(),
+            primary_done: false,
             buffer_fragments: 2,
             fragmented: Some(ActiveFragmentedDisplay {
                 object: ObjectId(0),

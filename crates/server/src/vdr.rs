@@ -10,6 +10,8 @@
 
 use crate::config::{Scheme, ServerConfig};
 use crate::metrics::{MetricsCollector, RunReport};
+use ss_core::buffers::BufferTracker;
+use ss_core::cache::PrefixCache;
 use ss_disk::{AvailabilityMask, RebuildScheduler};
 use ss_sim::{Context, DeterministicRng, FaultEvent, FaultKind, FaultTimeline, Model, Simulation};
 use ss_tertiary::TertiaryDevice;
@@ -34,14 +36,39 @@ struct Waiter {
 // The VDR baseline intentionally runs only the paper's closed workload;
 // `ServerConfig::validate` rejects `ArrivalModel::Open` for it.
 
+/// A viewer riding an in-flight shared display (multicast batching): it
+/// consumes the cluster's stream from the buffer plane, so it occupies no
+/// cluster of its own. A positive-lag joiner replays its missed prefix
+/// from the cache while `catchup_fragments` buffers hold the live stream
+/// until it catches up.
 #[derive(Debug, Clone, Copy)]
+struct SharedViewer {
+    station: StationId,
+    ends: SimTime,
+    /// Catch-up buffers held for the viewer's whole ride (0 for a lag-0
+    /// batched join).
+    catchup_fragments: u64,
+    /// Already counted in `hiccup_streams`.
+    hiccuped: bool,
+}
+
+#[derive(Debug, Clone)]
 struct ActiveDisplay {
     station: StationId,
     object: ObjectId,
     /// The cluster serving the display (changes if a failure forces a
     /// fallback onto another replica).
     cluster: ClusterId,
+    /// When delivery began (the join-window anchor for sharing).
+    started: SimTime,
     ends: SimTime,
+    /// Shared viewers fanned out from this display's stream (empty unless
+    /// sharing is configured).
+    viewers: Vec<SharedViewer>,
+    /// The primary viewer completed (and its cluster freed) but dependents
+    /// are still playing out their buffered tails; the entry is removed
+    /// once `viewers` drains too.
+    primary_done: bool,
     /// Already counted in `streams_rescued`.
     rescued: bool,
 }
@@ -108,6 +135,20 @@ pub struct VdrModel {
     /// so unlike the striping model only the read-only station scan
     /// shards here).
     shards: usize,
+    /// Stream-sharing prefix cache, armed by `config.sharing`.
+    cache: Option<PrefixCache>,
+    /// Catch-up buffer accounting for shared viewers (the striping model's
+    /// display buffers have no VDR analogue, so this tracker exists only
+    /// for sharing).
+    buffers: BufferTracker,
+    /// Per-object access counts (the cache's popularity table; the farm
+    /// keeps its own LFU counts privately).
+    freq: Vec<u64>,
+    /// Viewers currently watching: every non-completed primary plus every
+    /// shared viewer. Equals `active.len()` whenever sharing is off.
+    active_viewers: u64,
+    /// Catch-up buffers currently held by shared viewers.
+    catchup_in_use: u64,
 }
 
 impl VdrModel {
@@ -180,6 +221,17 @@ impl VdrModel {
         if shards > 1 {
             ss_sim::WorkerPool::global().ensure_workers(shards - 1);
         }
+        // `derive` is a pure function of (seed, label): adding the cache
+        // stream moves none of the existing streams above.
+        let cache = config.sharing.map(|s| {
+            let mut crng = rng.derive("cache");
+            PrefixCache::new(
+                config.objects,
+                config.fragment_size(),
+                s.cache_fragments,
+                crng.next_u64_raw(),
+            )
+        });
         Ok(VdrModel {
             vdr,
             farm,
@@ -209,25 +261,62 @@ impl VdrModel {
             pending_rebuilds: Vec::new(),
             rebuilt_early: Vec::new(),
             shards,
+            cache,
+            buffers: BufferTracker::new(config.fragment_size(), None),
+            freq: vec![0; config.objects as usize],
+            active_viewers: 0,
+            catchup_in_use: 0,
             config,
         })
     }
 
     fn complete_displays(&mut self, now: SimTime) {
+        let t = now.as_micros() / self.config.interval().as_micros();
         let mut i = 0;
         while i < self.active.len() {
-            if self.active[i].ends <= now {
-                let d = self.active.swap_remove(i);
+            let object = self.active[i].object;
+            // Shared viewers finish on their own clocks (a late joiner's
+            // buffered tail plays out past the primary's end).
+            let mut viewers = std::mem::take(&mut self.active[i].viewers);
+            let mut v = 0;
+            while v < viewers.len() {
+                if viewers[v].ends <= now {
+                    let done = viewers.swap_remove(v);
+                    self.stations.complete_at(done.station, now);
+                    self.buffers.release(done.catchup_fragments);
+                    self.catchup_in_use -= done.catchup_fragments;
+                    let measured = self.metrics.measuring();
+                    if measured {
+                        self.metrics.record_completion();
+                    }
+                    ss_obs::obs!(ss_obs::Event::DisplayEnd {
+                        object: object.0,
+                        interval: t,
+                        measured,
+                    });
+                    self.active_viewers -= 1;
+                } else {
+                    v += 1;
+                }
+            }
+            self.active[i].viewers = viewers;
+            if self.active[i].ends <= now && !self.active[i].primary_done {
+                let d = &mut self.active[i];
+                d.primary_done = true;
                 self.stations.complete_at(d.station, now);
                 let measured = self.metrics.measuring();
                 if measured {
                     self.metrics.record_completion();
                 }
                 ss_obs::obs!(ss_obs::Event::DisplayEnd {
-                    object: d.object.0,
-                    interval: now.as_micros() / self.config.interval().as_micros(),
+                    object: object.0,
+                    interval: t,
                     measured,
                 });
+                self.active_viewers -= 1;
+            }
+            if self.active[i].primary_done && self.active[i].viewers.is_empty() {
+                self.active.swap_remove(i);
             } else {
                 i += 1;
             }
@@ -242,7 +331,7 @@ impl VdrModel {
             }
         });
         self.farm.refresh(now);
-        self.metrics.active.set(now, self.active.len() as f64);
+        self.metrics.active.set(now, self.active_viewers as f64);
     }
 
     /// One pass over the wait queue (FIFO with skips).
@@ -256,6 +345,13 @@ impl VdrModel {
         }
         let mut still = Vec::with_capacity(waiters.len());
         for &w in &waiters {
+            if self.config.sharing.is_some() && self.try_join_shared(&w, now) {
+                // Joined an in-flight shared stream: no cluster booked, no
+                // replica needed for this request.
+                self.queue_len[w.object.index()] =
+                    self.queue_len[w.object.index()].saturating_sub(1);
+                continue;
+            }
             if let Some(cluster) = self.farm.find_idle_replica(w.object, now) {
                 let ends = now + display_time;
                 self.farm
@@ -269,9 +365,23 @@ impl VdrModel {
                     station: w.station,
                     object: w.object,
                     cluster,
+                    started: now,
                     ends,
+                    viewers: Vec::new(),
+                    primary_done: false,
                     rescued: false,
                 });
+                self.active_viewers += 1;
+                if let Some(sh) = self.config.sharing {
+                    self.metrics.sharing_mut().streams_opened += 1;
+                    // Offer this stream's prefix for residency so in-window
+                    // joiners can patch their lag from memory.
+                    let cost = sh.prefix_intervals.min(u64::from(self.config.subobjects))
+                        * u64::from(self.config.degree());
+                    if let Some(cache) = self.cache.as_mut() {
+                        cache.offer(w.object.0, cost, &self.freq);
+                    }
+                }
                 if ss_obs::enabled() {
                     let us = self.config.interval().as_micros();
                     ss_obs::record(ss_obs::Event::ClusterDisplayStart {
@@ -338,7 +448,79 @@ impl VdrModel {
             self.queue_len[w.object.index()] = 0;
         }
         self.waiters = still;
-        self.metrics.active.set(now, self.active.len() as f64);
+        self.metrics.active.set(now, self.active_viewers as f64);
+    }
+
+    /// Tries to ride `w` on an in-flight shared display of the same
+    /// object (multicast batching). A lag-0 arrival joins outright; a
+    /// positive-lag arrival within `batch_window` intervals joins only if
+    /// the object's prefix is cache-resident, replaying the missed prefix
+    /// from memory while holding `lag × M` catch-up buffers for the live
+    /// stream. Joins occupy **no** cluster.
+    fn try_join_shared(&mut self, w: &Waiter, now: SimTime) -> bool {
+        let sh = self.config.sharing.expect("caller checked sharing is on");
+        let us = self.config.interval().as_micros();
+        let t = now.as_micros() / us;
+        // Youngest live stream of the object (max start; index tie-break
+        // keeps the pick deterministic).
+        let candidate = self
+            .active
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.object == w.object && !d.primary_done)
+            .max_by_key(|(i, d)| (d.started, *i))
+            .map(|(i, d)| (i, d.started));
+        let Some((idx, started)) = candidate else {
+            return false;
+        };
+        let lag = t.saturating_sub(started.as_micros() / us);
+        if lag > sh.batch_window {
+            return false;
+        }
+        let catchup = if lag == 0 {
+            0
+        } else {
+            if lag > sh.prefix_intervals {
+                return false; // prefix cannot cover the missed intervals
+            }
+            let cache = self.cache.as_mut().expect("sharing is on");
+            if !cache.lookup(w.object.0) {
+                return false; // prefix not resident: a cold join would hiccup
+            }
+            lag * u64::from(self.config.degree())
+        };
+        let ends = now + self.config.display_time();
+        let waited = self.stations.start_display(w.station, now);
+        if self.metrics.measuring() {
+            self.metrics.record_latency(waited);
+        }
+        self.buffers.acquire(catchup).expect("unbounded tracker");
+        self.catchup_in_use += catchup;
+        let s = self.metrics.sharing_mut();
+        s.viewers_joined += 1;
+        if lag == 0 {
+            s.batched_joins += 1;
+        } else {
+            s.patched_joins += 1;
+        }
+        s.peak_catchup_fragments = s.peak_catchup_fragments.max(self.catchup_in_use);
+        self.active[idx].viewers.push(SharedViewer {
+            station: w.station,
+            ends,
+            catchup_fragments: catchup,
+            hiccuped: false,
+        });
+        self.active_viewers += 1;
+        if ss_obs::enabled() {
+            ss_obs::record(ss_obs::Event::SharedJoin {
+                object: w.object.0,
+                interval: t,
+                lag,
+                buffer: catchup,
+            });
+            ss_obs::with_registry(|r| r.count("shared_joins", 1));
+        }
+        true
     }
 
     /// Feeds the tertiary device: when it is free, plan and submit the
@@ -399,6 +581,7 @@ impl VdrModel {
             if matches!(self.stations.state(station), StationState::Thinking) {
                 let (_req, object) = self.stations.issue(station, now);
                 self.farm.record_access(object);
+                self.freq[object.index()] += 1;
                 self.waiters.push(Waiter { station, object });
             }
         }
@@ -569,45 +752,75 @@ impl VdrModel {
         let interval_s = interval.as_secs_f64();
         let mut i = 0;
         while i < self.active.len() {
-            if self.active[i].cluster != cluster {
+            // A primary-done entry's cluster was freed at the primary's
+            // end; its surviving viewers play from their buffered tails
+            // and ride out the failure untouched.
+            if self.active[i].cluster != cluster || self.active[i].primary_done {
                 i += 1;
                 continue;
             }
-            let d = self.active[i];
-            if let Some(target) = self.farm.find_idle_replica(d.object, now) {
+            let (object, ends, rescued) = {
+                let d = &self.active[i];
+                (d.object, d.ends, d.rescued)
+            };
+            if let Some(target) = self.farm.find_idle_replica(object, now) {
+                // One rescue saves the whole shared stream: every
+                // dependent keeps consuming the (re-homed) delivery.
                 self.farm
-                    .start_display(target, d.object, now, d.ends)
+                    .start_display(target, object, now, ends)
                     .expect("idle replica accepts display");
                 self.active[i].cluster = target;
                 let g = self.metrics.degraded_mut();
                 g.rescues += 1;
-                if !d.rescued {
+                if !rescued {
                     self.active[i].rescued = true;
                     g.streams_rescued += 1;
                 }
                 ss_obs::obs!(ss_obs::Event::ClusterRescue {
-                    object: d.object.0,
+                    object: object.0,
                     from_cluster: cluster.0,
                     to_cluster: target.0,
                 });
                 i += 1;
             } else {
                 // No surviving idle replica: the stream is cut off and
-                // every remaining promised interval is lost.
-                let remaining = d.ends.saturating_duration_since(now);
+                // every remaining promised interval is lost — for the
+                // primary and for every dependent riding its delivery.
+                let remaining = ends.saturating_duration_since(now);
                 let lost = remaining.as_micros().div_ceil(interval.as_micros());
-                self.active.swap_remove(i);
+                let mut d = self.active.swap_remove(i);
                 self.stations.complete_at(d.station, now);
+                self.active_viewers -= 1;
                 let g = self.metrics.degraded_mut();
                 g.hiccup_streams += 1;
                 g.hiccup_intervals += lost;
                 g.hiccup_seconds += lost as f64 * interval_s;
                 g.streams_dropped += 1;
                 ss_obs::obs!(ss_obs::Event::DisplayDrop {
-                    object: d.object.0,
+                    object: object.0,
                     interval: now.as_micros() / interval.as_micros(),
                     hiccups: lost,
                 });
+                for v in d.viewers.drain(..) {
+                    let v_remaining = v.ends.saturating_duration_since(now);
+                    let v_lost = v_remaining.as_micros().div_ceil(interval.as_micros());
+                    self.stations.complete_at(v.station, now);
+                    self.buffers.release(v.catchup_fragments);
+                    self.catchup_in_use -= v.catchup_fragments;
+                    self.active_viewers -= 1;
+                    let g = self.metrics.degraded_mut();
+                    if !v.hiccuped {
+                        g.hiccup_streams += 1;
+                    }
+                    g.hiccup_intervals += v_lost;
+                    g.hiccup_seconds += v_lost as f64 * interval_s;
+                    g.streams_dropped += 1;
+                    ss_obs::obs!(ss_obs::Event::DisplayDrop {
+                        object: object.0,
+                        interval: now.as_micros() / interval.as_micros(),
+                        hiccups: v_lost,
+                    });
+                }
             }
         }
     }
@@ -647,8 +860,16 @@ impl VdrModel {
         let busy = f64::from(self.vdr.clusters - self.farm.idle_count(now));
         let util = busy / f64::from(self.vdr.clusters);
         self.metrics.utilization.set(now, util);
+        debug_assert_eq!(
+            self.active_viewers,
+            self.active
+                .iter()
+                .map(|d| u64::from(!d.primary_done) + d.viewers.len() as u64)
+                .sum::<u64>(),
+            "viewer count must mirror the active set"
+        );
         if ss_obs::enabled() {
-            let active = self.active.len() as f64;
+            let active = self.active_viewers as f64;
             let wasted = ((busy - active) / f64::from(self.vdr.clusters)).max(0.0);
             let row = self.heatmap_row(now);
             crate::metrics::obs_boundary_row(
@@ -707,9 +928,16 @@ impl VdrModel {
         if !self.measurement_started {
             horizon = horizon.min(SimTime::ZERO + self.config.warmup);
         }
-        // (a) Display completions free clusters and stations.
+        // (a) Display completions free clusters and stations — primary
+        // and shared-viewer ends alike. A primary-done entry's own `ends`
+        // is in the past and spent; only its viewers impose wakeups.
         for d in &self.active {
-            horizon = horizon.min(d.ends);
+            if !d.primary_done {
+                horizon = horizon.min(d.ends);
+            }
+            for v in &d.viewers {
+                horizon = horizon.min(v.ends);
+            }
         }
         // (d) Copy completions register replicas; a busy tertiary device
         // frees up for the next queued fetch.
@@ -754,7 +982,7 @@ impl VdrModel {
         if b >= now {
             return;
         }
-        let active = self.active.len() as f64;
+        let active = self.active_viewers as f64;
         let busy = f64::from(self.vdr.clusters - self.farm.idle_count(b));
         let clusters = f64::from(self.vdr.clusters);
         let util = busy / clusters;
@@ -875,6 +1103,20 @@ impl VdrServer {
             m.farm.unique_residents() as u64,
         );
         report.rebuild_rate = m.config.rebuild.as_ref().map(|r| r.fragments_per_interval);
+        if let Some(sh) = m.config.sharing {
+            let mut s = m.metrics.sharing.unwrap_or_default();
+            if let Some(cache) = &m.cache {
+                let cs = cache.stats();
+                s.cache_hits = cs.hits;
+                s.cache_misses = cs.misses;
+                s.cache_insertions = cs.insertions;
+                s.cache_evictions = cs.evictions;
+            }
+            s.cache_budget_fragments = sh.cache_fragments;
+            s.prefix_intervals = sh.prefix_intervals;
+            s.batch_window = sh.batch_window;
+            report.sharing = Some(s);
+        }
         report
     }
 

@@ -65,8 +65,10 @@ pub mod prelude {
     pub use ss_core::placement::{PlacementBackend, PlacementMap, StripingConfig, StripingLayout};
     pub use ss_disk::{AvailabilityMask, DiskParams};
     pub use ss_server::{
-        config::{MaterializeMode, ParityConfig, RebuildConfig, Scheme, ServerConfig},
-        metrics::{DegradedStats, RunReport, SelfHealStats},
+        config::{
+            MaterializeMode, ParityConfig, RebuildConfig, Scheme, ServerConfig, SharingConfig,
+        },
+        metrics::{DegradedStats, RunReport, SelfHealStats, SharingStats},
         StripingServer, VdrServer,
     };
     pub use ss_sim::{

@@ -24,34 +24,46 @@ fn digest(bytes: &[u8]) -> u64 {
 }
 
 /// One pinned row: seed, scheme tag, fault shape, shard count (1 =
-/// serial engine), expected digest.
+/// serial engine), stream sharing on/off, expected digest.
 struct Row {
     seed: u64,
     scheme: &'static str,
     faults: &'static str,
     shards: u32,
+    sharing: bool,
     expect: u64,
 }
 
 #[rustfmt::skip]
 const ROWS: &[Row] = &[
     // Regenerate with SS_PRINT_DIGESTS=1 when a behavior change is intended.
-    Row { seed: 1, scheme: "striping", faults: "none", shards: 1, expect: 0xebdf08a488b2edf7 },
-    Row { seed: 1, scheme: "striping", faults: "window", shards: 1, expect: 0xc979ac1ff488f102 },
-    Row { seed: 1, scheme: "vdr", faults: "window", shards: 1, expect: 0x0ebc3a348b69f2dd },
-    Row { seed: 7, scheme: "striping", faults: "none", shards: 1, expect: 0x7dfb201d09be4520 },
-    Row { seed: 7, scheme: "striping", faults: "window", shards: 1, expect: 0x6fc4757c8a71af1c },
-    Row { seed: 7, scheme: "vdr", faults: "window", shards: 1, expect: 0xd7f6de6a3aed8908 },
-    Row { seed: 1994, scheme: "striping", faults: "none", shards: 1, expect: 0x343bb3bee60c64f7 },
-    Row { seed: 1994, scheme: "striping", faults: "window", shards: 1, expect: 0x6f017b9f96ce04f9 },
-    Row { seed: 1994, scheme: "vdr", faults: "window", shards: 1, expect: 0xc710bfb1bdbfa1e2 },
+    Row { seed: 1, scheme: "striping", faults: "none", shards: 1, sharing: false, expect: 0xebdf08a488b2edf7 },
+    Row { seed: 1, scheme: "striping", faults: "window", shards: 1, sharing: false, expect: 0xc979ac1ff488f102 },
+    Row { seed: 1, scheme: "vdr", faults: "window", shards: 1, sharing: false, expect: 0x0ebc3a348b69f2dd },
+    Row { seed: 7, scheme: "striping", faults: "none", shards: 1, sharing: false, expect: 0x7dfb201d09be4520 },
+    Row { seed: 7, scheme: "striping", faults: "window", shards: 1, sharing: false, expect: 0x6fc4757c8a71af1c },
+    Row { seed: 7, scheme: "vdr", faults: "window", shards: 1, sharing: false, expect: 0xd7f6de6a3aed8908 },
+    Row { seed: 1994, scheme: "striping", faults: "none", shards: 1, sharing: false, expect: 0x343bb3bee60c64f7 },
+    Row { seed: 1994, scheme: "striping", faults: "window", shards: 1, sharing: false, expect: 0x6f017b9f96ce04f9 },
+    Row { seed: 1994, scheme: "vdr", faults: "window", shards: 1, sharing: false, expect: 0xc710bfb1bdbfa1e2 },
     // Sharded twins: `parallel_shards` is byte-invisible in the report,
     // so each row below pins the SAME digest as its serial twin above.
     // These constants are intentionally duplicates, not regenerated.
-    Row { seed: 1, scheme: "striping", faults: "none", shards: 4, expect: 0xebdf08a488b2edf7 },
-    Row { seed: 1, scheme: "striping", faults: "window", shards: 4, expect: 0xc979ac1ff488f102 },
-    Row { seed: 1994, scheme: "striping", faults: "window", shards: 4, expect: 0x6f017b9f96ce04f9 },
-    Row { seed: 1994, scheme: "vdr", faults: "window", shards: 4, expect: 0xc710bfb1bdbfa1e2 },
+    Row { seed: 1, scheme: "striping", faults: "none", shards: 4, sharing: false, expect: 0xebdf08a488b2edf7 },
+    Row { seed: 1, scheme: "striping", faults: "window", shards: 4, sharing: false, expect: 0xc979ac1ff488f102 },
+    Row { seed: 1994, scheme: "striping", faults: "window", shards: 4, sharing: false, expect: 0x6f017b9f96ce04f9 },
+    Row { seed: 1994, scheme: "vdr", faults: "window", shards: 4, sharing: false, expect: 0xc710bfb1bdbfa1e2 },
+    // Stream sharing armed (window 4): the join/cache/catch-up machinery
+    // joins the pinned surface — both models, two seeds, with the
+    // canonical mid-run failure exercising shared-stream rescue.
+    Row { seed: 1, scheme: "striping", faults: "window", shards: 1, sharing: true, expect: 0x71b5db59810e9426 },
+    Row { seed: 1, scheme: "vdr", faults: "window", shards: 1, sharing: true, expect: 0x2d563d4ca48c0c03 },
+    Row { seed: 1994, scheme: "striping", faults: "window", shards: 1, sharing: true, expect: 0x1ad7221441bd4029 },
+    Row { seed: 1994, scheme: "vdr", faults: "window", shards: 1, sharing: true, expect: 0xbd69121dbcf7f8d6 },
+    // Sharding stays byte-invisible with sharing on: same digest as the
+    // serial sharing rows above (intentional duplicates).
+    Row { seed: 1994, scheme: "striping", faults: "window", shards: 4, sharing: true, expect: 0x1ad7221441bd4029 },
+    Row { seed: 1994, scheme: "vdr", faults: "window", shards: 4, sharing: true, expect: 0xbd69121dbcf7f8d6 },
 ];
 
 /// The tiny run behind a row: 2 stations on the 20-disk test farm with a
@@ -70,6 +82,9 @@ fn config(row: &Row) -> ServerConfig {
     if row.shards > 1 {
         c.parallel_shards = Some(row.shards);
     }
+    if row.sharing {
+        c.sharing = Some(SharingConfig::window(4));
+    }
     c
 }
 
@@ -85,8 +100,8 @@ fn run_report_digests_are_pinned_per_seed() {
         let json = serde_json::to_string_pretty(report).expect("serialize report");
         let got = digest(json.as_bytes());
         table.push_str(&format!(
-            "    Row {{ seed: {}, scheme: \"{}\", faults: \"{}\", shards: {}, expect: {:#018x} }},\n",
-            row.seed, row.scheme, row.faults, row.shards, got
+            "    Row {{ seed: {}, scheme: \"{}\", faults: \"{}\", shards: {}, sharing: {}, expect: {:#018x} }},\n",
+            row.seed, row.scheme, row.faults, row.shards, row.sharing, got
         ));
         if got != row.expect {
             diffs.push(format!(
