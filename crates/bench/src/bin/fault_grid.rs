@@ -25,6 +25,14 @@
 //!   dependents — one rescue (or one drop) covers the whole crowd — so
 //!   the failure rows measure shared-stream retention against the
 //!   unshared grid's N-independent-rescues regime.
+//! * `--nodes=N` — split every cell's farm across `N` storage nodes
+//!   (`N` must divide the farm width). With `N > 1` the failure axis
+//!   injects whole-node outages — the correlated failure of every disk
+//!   the node owns, spread half the node ring apart — instead of
+//!   single-disk failures, and the CSV's trailing columns carry the
+//!   node count, compiled outages, and interconnect counters (they read
+//!   `1,0,0,0` on a single-box grid, so existing column positions are
+//!   unchanged).
 //!
 //! Emits `fault_grid.csv` — one row per run with the failure count, the
 //! parity/rebuild/sharing knobs, an explicit per-cell throughput-retention
@@ -35,9 +43,10 @@
 //! reduced station set (the CI smoke configuration).
 
 use ss_bench::FaultGridOpts;
-use ss_server::config::{ParityConfig, RebuildConfig, Scheme, SharingConfig};
+use ss_server::config::{NodeOutage, ParityConfig, RebuildConfig, Scheme, SharingConfig};
 use ss_server::experiment::{fig8_configs, run_batch};
 use ss_server::metrics::{format_degraded, format_table};
+use ss_server::DistributedConfig;
 use ss_server::{RunReport, ServerConfig};
 use ss_sim::FaultPlan;
 use ss_types::SimTime;
@@ -49,13 +58,30 @@ const FAILURES: [u32; 3] = [0, 1, 2];
 const SWEEP_RATES: [u64; 6] = [1, 2, 4, 8, 16, 32];
 
 /// Returns `cfg` with `failures` concurrent fail/repair windows spanning
-/// the middle half of the measurement window, on disks half a farm
-/// apart (distinct VDR clusters).
-fn with_failures(mut cfg: ServerConfig, failures: u32) -> ServerConfig {
+/// the middle half of the measurement window. On a single-box grid the
+/// failures are single disks half a farm apart (distinct VDR clusters);
+/// with `--nodes=N > 1` each failure is a whole-node outage instead,
+/// the nodes spread half the node ring apart.
+fn with_failures(mut cfg: ServerConfig, failures: u32, nodes: Option<u32>) -> ServerConfig {
     let warmup = cfg.warmup.as_micros();
     let measure = cfg.measure.as_micros();
     let fail_at = SimTime::from_micros(warmup + measure / 4);
     let repair_at = SimTime::from_micros(warmup + 3 * measure / 4);
+    if let Some(n) = nodes {
+        let mut d = DistributedConfig::even(n, cfg.disks);
+        if n > 1 {
+            d.node_outages = (0..failures)
+                .map(|f| NodeOutage {
+                    node: f * (n / 2) % n,
+                    fail_at,
+                    repair_at,
+                })
+                .collect();
+            cfg.distributed = Some(d);
+            return cfg;
+        }
+        cfg.distributed = Some(d);
+    }
     let mut plan = FaultPlan::none();
     for f in 0..failures {
         let disk = f * (cfg.disks / 2);
@@ -99,9 +125,10 @@ fn csv_row(r: &RunReport, baseline: &RunReport, failures: u32, row: &mut String)
     let g = r.degraded.clone().unwrap_or_default();
     let h = g.self_heal.unwrap_or_default();
     let s = r.sharing.unwrap_or_default();
+    let d = r.distributed.clone().unwrap_or_default();
     writeln!(
         row,
-        "{},{},{},{},{},{},{},{:.3},{:.2},{},{},{:.3},{:.3},{},{},{},{},{},{:.3},{},{},{}",
+        "{},{},{},{},{},{},{},{:.3},{:.2},{},{},{:.3},{:.3},{},{},{},{},{},{:.3},{},{},{},{},{},{},{}",
         r.scheme,
         r.stations,
         r.popularity,
@@ -126,6 +153,10 @@ fn csv_row(r: &RunReport, baseline: &RunReport, failures: u32, row: &mut String)
         h.rebuild_interference_intervals,
         s.streams_opened,
         s.viewers_joined,
+        d.nodes.max(1),
+        d.node_outages,
+        d.remote_fragment_intervals,
+        d.interconnect_rejections,
     )
     .expect("write to String");
 }
@@ -134,7 +165,7 @@ const CSV_HEADER: &str = "scheme,stations,popularity,failures,parity_group,rebui
 batch_window,displays_per_hour,retention_pct,rescues,streams_dropped,hiccup_seconds,\
 disk_downtime_s,degraded_admissions,reconstructed_reads,backoff_retries,backoff_exhausted,\
 rebuilds_completed,rebuild_seconds,rebuild_interference_intervals,streams_opened,\
-viewers_joined\n";
+viewers_joined,nodes,node_outages,remote_fragment_intervals,interconnect_rejections\n";
 
 fn main() {
     // Flag parsing lives in `FaultGridOpts` (testable, and the place the
@@ -145,6 +176,7 @@ fn main() {
         rebuild,
         sweep,
         sharing,
+        nodes,
         ..
     } = FaultGridOpts::from_args();
     let base: Vec<ServerConfig> = if opts.quick {
@@ -157,12 +189,22 @@ fn main() {
     } else {
         fig8_configs(opts.seed)
     };
+    if let Some(n) = nodes {
+        if let Some(c) = base.iter().find(|c| n == 0 || c.disks % n != 0) {
+            eprintln!(
+                "fault_grid: --nodes={n} must evenly divide the {}-disk farm",
+                c.disks
+            );
+            std::process::exit(2);
+        }
+    }
     let cells = base.len();
     let configs: Vec<ServerConfig> = FAILURES
         .iter()
         .flat_map(|&f| {
-            base.iter()
-                .map(move |c| with_healing(with_failures(c.clone(), f), parity, rebuild, sharing))
+            base.iter().map(move |c| {
+                with_healing(with_failures(c.clone(), f, nodes), parity, rebuild, sharing)
+            })
         })
         .collect();
 
@@ -250,7 +292,7 @@ fn main() {
             .iter()
             .flat_map(|&r| {
                 striping.iter().map(move |c| {
-                    with_healing(with_failures(c.clone(), 1), parity, Some(r), sharing)
+                    with_healing(with_failures(c.clone(), 1, nodes), parity, Some(r), sharing)
                 })
             })
             .collect();

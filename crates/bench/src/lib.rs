@@ -161,6 +161,12 @@ pub struct FaultGridOpts {
     /// measure one rescue covering a whole shared stream's viewers
     /// instead of one rescue per viewer.
     pub sharing: Option<u64>,
+    /// Storage nodes to split each cell's farm across (`--nodes=N`).
+    /// With `N > 1` the grid's failure axis injects whole-node outages
+    /// (correlated failure of every disk the node owns) instead of
+    /// single-disk failures, and the CSV's trailing columns report the
+    /// interconnect counters.
+    pub nodes: Option<u32>,
     /// Non-fatal diagnostics raised during parsing; `from_args` prints
     /// them to stderr.
     pub warnings: Vec<String>,
@@ -168,7 +174,7 @@ pub struct FaultGridOpts {
 
 const FAULT_GRID_USAGE: &str =
     "usage: fault_grid [--parity[=G]] [--rebuild[=R]] [--rebuild-sweep] [--sharing[=W]] \
-     [--seed N] [--out DIR] [--quick] [--threads N]";
+     [--nodes=N] [--seed N] [--out DIR] [--quick] [--threads N]";
 
 impl FaultGridOpts {
     /// Parses `std::env::args`, printing warnings and exiting with a
@@ -202,6 +208,7 @@ impl FaultGridOpts {
         let mut rebuild: Option<u64> = None;
         let mut sweep = false;
         let mut sharing: Option<u64> = None;
+        let mut nodes: Option<u32> = None;
         let harness = HarnessOpts::parse_with(args, |a| {
             if a == "--parity" {
                 parity = Some(5);
@@ -222,6 +229,10 @@ impl FaultGridOpts {
             } else if let Some(v) = a.strip_prefix("--sharing=") {
                 sharing = Some(v.parse().map_err(|_| {
                     format!("--sharing=W takes a batch window, got {v:?}; {FAULT_GRID_USAGE}")
+                })?);
+            } else if let Some(v) = a.strip_prefix("--nodes=") {
+                nodes = Some(v.parse().map_err(|_| {
+                    format!("--nodes=N takes a node count, got {v:?}; {FAULT_GRID_USAGE}")
                 })?);
             } else {
                 return Ok(false);
@@ -244,6 +255,11 @@ impl FaultGridOpts {
                 "--sharing=W needs a batch window of at least one interval; {FAULT_GRID_USAGE}"
             ));
         }
+        if nodes == Some(0) {
+            return Err(format!(
+                "--nodes=N needs at least one node; {FAULT_GRID_USAGE}"
+            ));
+        }
         let mut warnings = Vec::new();
         if sweep && rebuild.is_none() {
             warnings.push(
@@ -258,6 +274,7 @@ impl FaultGridOpts {
             rebuild,
             sweep,
             sharing,
+            nodes,
             warnings,
         })
     }
@@ -322,6 +339,21 @@ mod tests {
         assert!(err.contains("at least one interval"), "{err}");
         let err = FaultGridOpts::parse_from(["--sharing=wide"]).unwrap_err();
         assert!(err.contains("--sharing=W takes a batch window"), "{err}");
+    }
+
+    #[test]
+    fn fault_grid_nodes_flag() {
+        let o = FaultGridOpts::parse_from(["--parity"]).unwrap();
+        assert_eq!(o.nodes, None, "single-box grid unless asked");
+        let o = FaultGridOpts::parse_from(["--nodes=4", "--quick"]).unwrap();
+        assert_eq!(o.nodes, Some(4));
+        assert!(o.harness.quick);
+        let o = FaultGridOpts::parse_from(["--nodes=1"]).unwrap();
+        assert_eq!(o.nodes, Some(1), "N = 1 is the explicit single-box split");
+        let err = FaultGridOpts::parse_from(["--nodes=0"]).unwrap_err();
+        assert!(err.contains("at least one node"), "{err}");
+        let err = FaultGridOpts::parse_from(["--nodes=many"]).unwrap_err();
+        assert!(err.contains("--nodes=N takes a node count"), "{err}");
     }
 
     #[test]

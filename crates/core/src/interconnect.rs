@@ -1,0 +1,196 @@
+//! Interconnect accounting for a distributed farm.
+//!
+//! When the farm is split across storage nodes, a display routed to home
+//! node `h` may stripe over physical disks owned by *other* nodes. Each
+//! such remote fragment must cross the interconnect during the interval
+//! it is read — so remote reads charge per-interval link capacity the
+//! same way reconstruction reads already charge disk intervals.
+//!
+//! The model is a star: every node hangs off one switch by a full-duplex
+//! link. A remote fragment read in interval `t` consumes one fragment of
+//! capacity on the *home* node's ingress link at `t` and one fragment of
+//! the shared switch fabric at `t`. Capacities are in fragments per
+//! interval; `None` means infinite (the N=1 equivalence configuration).
+//!
+//! [`InterconnectLedger`] is the bookkeeper. Admission uses the
+//! two-phase [`InterconnectLedger::try_book`] — check every interval of
+//! the proposed spans, then apply — so a display is either fully booked
+//! or rejected before the disk scheduler commits. Rescue and coalesce
+//! re-plans use [`InterconnectLedger::force_book`]: a mid-flight plan
+//! change may not fail, so it books unconditionally (transient
+//! over-subscription is accepted and visible in the stats, mirroring how
+//! rescue already overbooks disk bandwidth rather than dropping).
+
+use ss_types::NodeId;
+use std::collections::HashMap;
+
+/// Per-interval bookings of interconnect capacity for an N-node farm.
+#[derive(Debug, Clone)]
+pub struct InterconnectLedger {
+    /// Per-node ingress link load: `interval -> fragments` crossing into
+    /// the node during that interval.
+    link: Vec<HashMap<u64, u64>>,
+    /// Shared switch-fabric load: `interval -> fragments` switched.
+    switch: HashMap<u64, u64>,
+    /// Per-link capacity in fragments per interval (`None` = infinite).
+    link_capacity: Option<u64>,
+    /// Switch-fabric capacity in fragments per interval (`None` = infinite).
+    switch_capacity: Option<u64>,
+    /// Σ fragments × intervals booked across all links, for the run report.
+    remote_fragment_intervals: u64,
+    /// Highest single-link single-interval load ever booked.
+    peak_link_fragments: u64,
+    /// Admissions refused because a link or the switch was full.
+    rejections: u64,
+}
+
+impl InterconnectLedger {
+    /// An empty ledger for `nodes` nodes with the given capacities.
+    pub fn new(nodes: u32, link_capacity: Option<u64>, switch_capacity: Option<u64>) -> Self {
+        InterconnectLedger {
+            link: vec![HashMap::new(); nodes as usize],
+            switch: HashMap::new(),
+            link_capacity,
+            switch_capacity,
+            remote_fragment_intervals: 0,
+            peak_link_fragments: 0,
+            rejections: 0,
+        }
+    }
+
+    /// Whether booking `spans` — `(interval, fragments)` pairs, one entry
+    /// per interval — onto `node`'s link would stay within both the link
+    /// and switch capacities.
+    fn fits(&self, node: NodeId, spans: &[(u64, u64)]) -> bool {
+        for &(interval, frags) in spans {
+            if frags == 0 {
+                continue;
+            }
+            if let Some(cap) = self.link_capacity {
+                let used = self.link[node.index()].get(&interval).copied().unwrap_or(0);
+                if used + frags > cap {
+                    return false;
+                }
+            }
+            if let Some(cap) = self.switch_capacity {
+                let used = self.switch.get(&interval).copied().unwrap_or(0);
+                if used + frags > cap {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Unconditionally applies `spans` to `node`'s link and the switch.
+    fn apply(&mut self, node: NodeId, spans: &[(u64, u64)]) {
+        for &(interval, frags) in spans {
+            if frags == 0 {
+                continue;
+            }
+            let cell = self.link[node.index()].entry(interval).or_insert(0);
+            *cell += frags;
+            self.peak_link_fragments = self.peak_link_fragments.max(*cell);
+            *self.switch.entry(interval).or_insert(0) += frags;
+            self.remote_fragment_intervals += frags;
+        }
+    }
+
+    /// Two-phase booking for admission: books `spans` onto `node`'s link
+    /// iff every interval fits under both capacities. Returns whether the
+    /// booking was applied; a refusal is counted in
+    /// [`InterconnectLedger::rejections`].
+    pub fn try_book(&mut self, node: NodeId, spans: &[(u64, u64)]) -> bool {
+        if !self.fits(node, spans) {
+            self.rejections += 1;
+            return false;
+        }
+        self.apply(node, spans);
+        true
+    }
+
+    /// Unconditional booking for rescue/coalesce re-plans: a mid-flight
+    /// plan change books its new remote intervals even past capacity
+    /// (transient over-subscription, never a deficit).
+    pub fn force_book(&mut self, node: NodeId, spans: &[(u64, u64)]) {
+        self.apply(node, spans);
+    }
+
+    /// Fragments booked onto `node`'s link during `interval`.
+    pub fn booked(&self, node: NodeId, interval: u64) -> u64 {
+        self.link[node.index()].get(&interval).copied().unwrap_or(0)
+    }
+
+    /// Drops bookings for intervals before `horizon` — they can never be
+    /// consulted again, so long runs stay bounded.
+    pub fn retire(&mut self, horizon: u64) {
+        for m in &mut self.link {
+            m.retain(|&t, _| t >= horizon);
+        }
+        self.switch.retain(|&t, _| t >= horizon);
+    }
+
+    /// Σ fragments × intervals booked across all links over the run.
+    pub fn remote_fragment_intervals(&self) -> u64 {
+        self.remote_fragment_intervals
+    }
+
+    /// Highest single-link single-interval load ever booked.
+    pub fn peak_link_fragments(&self) -> u64 {
+        self.peak_link_fragments
+    }
+
+    /// Admissions refused for lack of link or switch capacity.
+    pub fn rejections(&self) -> u64 {
+        self.rejections
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infinite_ledger_books_everything() {
+        let mut l = InterconnectLedger::new(2, None, None);
+        assert!(l.try_book(NodeId(0), &[(5, 100), (6, 100)]));
+        assert_eq!(l.booked(NodeId(0), 5), 100);
+        assert_eq!(l.booked(NodeId(1), 5), 0);
+        assert_eq!(l.remote_fragment_intervals(), 200);
+        assert_eq!(l.peak_link_fragments(), 100);
+        assert_eq!(l.rejections(), 0);
+    }
+
+    #[test]
+    fn link_capacity_rejects_atomically() {
+        let mut l = InterconnectLedger::new(2, Some(3), None);
+        assert!(l.try_book(NodeId(0), &[(5, 2)]));
+        // Interval 6 alone would fit, but interval 5 would overflow: the
+        // whole booking is refused and nothing is applied.
+        assert!(!l.try_book(NodeId(0), &[(5, 2), (6, 1)]));
+        assert_eq!(l.booked(NodeId(0), 5), 2);
+        assert_eq!(l.booked(NodeId(0), 6), 0);
+        assert_eq!(l.rejections(), 1);
+        // The other node's link is independent.
+        assert!(l.try_book(NodeId(1), &[(5, 3)]));
+    }
+
+    #[test]
+    fn switch_capacity_is_shared_across_links() {
+        let mut l = InterconnectLedger::new(3, None, Some(4));
+        assert!(l.try_book(NodeId(0), &[(9, 3)]));
+        assert!(!l.try_book(NodeId(1), &[(9, 2)]), "switch has 1 left");
+        assert!(l.try_book(NodeId(2), &[(9, 1)]));
+    }
+
+    #[test]
+    fn force_book_overrides_capacity() {
+        let mut l = InterconnectLedger::new(1, Some(1), Some(1));
+        l.force_book(NodeId(0), &[(3, 10)]);
+        assert_eq!(l.booked(NodeId(0), 3), 10);
+        assert_eq!(l.rejections(), 0);
+        // Retirement drops old intervals.
+        l.retire(4);
+        assert_eq!(l.booked(NodeId(0), 3), 0);
+    }
+}

@@ -27,6 +27,10 @@
 //!   cost of buffer memory.
 //! * [`buffers`] — accounting for the extra buffer memory fragmented
 //!   delivery costs (the price §3.2.1 pays to defeat time fragmentation).
+//! * [`interconnect`] — per-interval link/switch bookkeeping for a
+//!   distributed farm: fragments read from a non-home node charge
+//!   interconnect capacity the way reconstruction reads charge disk
+//!   intervals.
 //! * [`cache`] — the stream-sharing prefix cache: leading intervals of
 //!   hot objects kept buffer-resident under a deterministic
 //!   popularity-tagged LFU policy, so late joiners of a shared stream
@@ -58,6 +62,7 @@ pub mod buffers;
 pub mod cache;
 pub mod coalesce;
 pub mod frame;
+pub mod interconnect;
 pub mod low_bandwidth;
 pub mod materialize;
 pub mod media;
@@ -71,5 +76,6 @@ pub use admission::{AdmissionGrant, AdmissionPolicy, IntervalScheduler, Outage};
 pub use cache::{CacheStats, PrefixCache};
 pub use coalesce::{ActiveFragmentedDisplay, CoalescePlan, LostRead};
 pub use frame::VirtualFrame;
+pub use interconnect::InterconnectLedger;
 pub use media::{MediaType, ObjectCatalog, ObjectSpec};
 pub use placement::{FragmentAddr, StripingConfig, StripingLayout};

@@ -121,6 +121,15 @@ impl AvailabilityMask {
         self.down_count > 0
     }
 
+    /// True when every disk of node `node` (owning `disks_per_node`
+    /// contiguous disks) is down — the distributed router's liveness
+    /// test: a node outage compiles into exactly this pattern.
+    pub fn node_fully_down(&self, node: u32, disks_per_node: u32) -> bool {
+        let first = (node * disks_per_node) as usize;
+        let last = (first + disks_per_node as usize).min(self.down.len());
+        first < last && self.down[first..last].iter().all(|&d| d)
+    }
+
     /// Indices of the disks currently down.
     pub fn down_disks(&self) -> impl Iterator<Item = u32> + '_ {
         self.down
@@ -209,6 +218,18 @@ mod tests {
         assert_eq!(m.total_downtime(), SimDuration::from_secs(300));
         assert_eq!(m.max_downtime(), SimDuration::from_secs(300));
         assert_eq!((m.faults(), m.repairs()), (1, 1));
+    }
+
+    #[test]
+    fn node_fully_down_needs_every_owned_disk() {
+        let mut m = AvailabilityMask::new(6);
+        // Node 1 owns disks 3..6 under a 2-node × 3-disk topology.
+        m.apply(&ev(3, 10, FaultKind::Fail), SimTime::from_secs(10));
+        m.apply(&ev(4, 10, FaultKind::Fail), SimTime::from_secs(10));
+        assert!(!m.node_fully_down(1, 3), "one owned disk still up");
+        m.apply(&ev(5, 10, FaultKind::Fail), SimTime::from_secs(10));
+        assert!(m.node_fully_down(1, 3));
+        assert!(!m.node_fully_down(0, 3));
     }
 
     #[test]

@@ -256,6 +256,25 @@ pub enum Event {
         early: bool,
     },
 
+    // --- distributed plane -------------------------------------------
+    /// The front-end router assigned a display a home node.
+    RouteAssign {
+        /// Catalog id of the routed object.
+        object: u32,
+        /// Home node chosen for the display.
+        node: u32,
+        /// Interval the routing decision was made at.
+        interval: u64,
+    },
+    /// A node outage was expanded into per-disk failures on the fault
+    /// timeline (one event per outage window at compile time).
+    NodeOutageCompiled {
+        /// The failing node.
+        node: u32,
+        /// Number of correlated disk failures the outage compiled into.
+        disks: u32,
+    },
+
     // --- VDR cluster plane -------------------------------------------
     /// A VDR display started on `cluster` (occupying all its disks).
     ClusterDisplayStart {
@@ -325,6 +344,8 @@ impl Event {
             Event::OutageAdded { .. } => "outage_added",
             Event::RebuildQueued { .. } => "rebuild_queued",
             Event::RebuildDone { .. } => "rebuild_done",
+            Event::RouteAssign { .. } => "route_assign",
+            Event::NodeOutageCompiled { .. } => "node_outage_compiled",
             Event::ClusterDisplayStart { .. } => "cluster_display_start",
             Event::ClusterCopyStart { .. } => "cluster_copy_start",
             Event::ClusterRescue { .. } => "cluster_rescue",
@@ -482,6 +503,17 @@ impl Event {
             ),
             Event::RebuildDone { disk, early } => {
                 write!(w, ",\"disk\":{disk},\"early\":{early}")
+            }
+            Event::RouteAssign {
+                object,
+                node,
+                interval,
+            } => write!(
+                w,
+                ",\"object\":{object},\"node\":{node},\"interval\":{interval}"
+            ),
+            Event::NodeOutageCompiled { node, disks } => {
+                write!(w, ",\"node\":{node},\"disks\":{disks}")
             }
             Event::ClusterDisplayStart {
                 object,

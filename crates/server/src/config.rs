@@ -7,7 +7,7 @@ use ss_disk::DiskParams;
 use ss_sim::FaultPlan;
 use ss_tertiary::TertiaryParams;
 use ss_types::ObjectId;
-use ss_types::{Bandwidth, Error, Result, SimDuration};
+use ss_types::{Bandwidth, Error, NodeTopology, Result, SimDuration, SimTime};
 use ss_vdr::VdrConfig;
 use ss_workload::Popularity;
 
@@ -261,6 +261,88 @@ impl SharingConfig {
     }
 }
 
+/// The interconnect between storage nodes of a distributed farm: a star
+/// of per-node full-duplex links around one switch. Capacities are in
+/// fragments per interval; `None` means infinite (the equivalence
+/// configuration). A display routed to home node `h` whose stripe reads
+/// a fragment on another node's disk charges one fragment of `h`'s link
+/// and one fragment of the switch fabric for that interval.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InterconnectConfig {
+    /// Per-link capacity in fragments per interval (`None` = infinite).
+    #[serde(default)]
+    pub link_fragments_per_interval: Option<u64>,
+    /// Switch-fabric capacity in fragments per interval, shared across
+    /// all links (`None` = infinite).
+    #[serde(default)]
+    pub switch_fragments_per_interval: Option<u64>,
+    /// One-way transfer latency in whole intervals. Remote fragments are
+    /// prefetched this many intervals early, which bills extra buffer
+    /// memory (never a delayed delivery start).
+    #[serde(default)]
+    pub latency_intervals: u64,
+}
+
+/// How the front-end admission tier picks a display's home node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum RouterPolicy {
+    /// Route to the live node currently hosting the fewest home displays
+    /// (ties broken by a draw from the router's own RNG stream).
+    #[default]
+    LeastLoaded,
+    /// Route to the node owning the physical disk under the display's
+    /// stripe at delivery start — the choice that minimises remote
+    /// fragments — falling back to least-loaded when that node is down.
+    LocalityAffinity,
+}
+
+/// A whole-node outage: every disk the node owns fails at `fail_at` and
+/// is repaired at `repair_at`. Compiled into the run's `FaultTimeline`
+/// as correlated per-disk failures, so rescue, parity, rebuild and
+/// stream sharing compose with node failures unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeOutage {
+    /// The failing node.
+    pub node: u32,
+    /// When every disk on the node goes down.
+    pub fail_at: SimTime,
+    /// When every disk on the node comes back.
+    pub repair_at: SimTime,
+}
+
+/// The distributed tier: node topology, interconnect model, front-end
+/// router, and node-level fault domains. `None` (the default) is the
+/// single-box farm, byte-for-byte; so is `N = 1` with the default
+/// (infinite) interconnect — the equivalence the distributed test suite
+/// pins.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DistributedConfig {
+    /// Farm shape: `nodes` × `disks_per_node` must equal `disks`.
+    pub topology: NodeTopology,
+    /// Link/switch capacities and transfer latency.
+    #[serde(default)]
+    pub interconnect: InterconnectConfig,
+    /// Home-node selection policy for arriving displays.
+    #[serde(default)]
+    pub router: RouterPolicy,
+    /// Whole-node outage windows, compiled into the fault timeline.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub node_outages: Vec<NodeOutage>,
+}
+
+impl DistributedConfig {
+    /// An `n`-node even split of `disks` disks with an infinite
+    /// interconnect and the default router.
+    pub fn even(n: u32, disks: u32) -> Self {
+        DistributedConfig {
+            topology: NodeTopology::even(n, disks),
+            interconnect: InterconnectConfig::default(),
+            router: RouterPolicy::default(),
+            node_outages: Vec::new(),
+        }
+    }
+}
+
 /// The complete simulation configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServerConfig {
@@ -345,6 +427,11 @@ pub struct ServerConfig {
     /// unshared behavior.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub sharing: Option<SharingConfig>,
+    /// The distributed tier: N storage nodes behind an interconnect with
+    /// a front-end admission router and node-level fault domains. `None`
+    /// (the default) is the single-box farm, byte-for-byte.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub distributed: Option<DistributedConfig>,
     /// Master RNG seed.
     pub seed: u64,
 }
@@ -383,6 +470,7 @@ impl ServerConfig {
             rebuild: None,
             parallel_shards: None,
             sharing: None,
+            distributed: None,
             seed,
         }
     }
@@ -607,6 +695,48 @@ impl ServerConfig {
                 return bad("sharing prefix cache needs a positive fragment budget".into());
             }
         }
+        if let Some(d) = &self.distributed {
+            if d.topology.nodes == 0 || d.topology.disks_per_node == 0 {
+                return bad("distributed topology needs nodes and disks_per_node >= 1".into());
+            }
+            if d.topology.disks() != self.disks {
+                return bad(format!(
+                    "distributed topology covers {} disks but the farm has {}",
+                    d.topology.disks(),
+                    self.disks
+                ));
+            }
+            if d.interconnect.link_fragments_per_interval == Some(0)
+                || d.interconnect.switch_fragments_per_interval == Some(0)
+            {
+                return bad(
+                    "interconnect capacities must be >= 1 fragment per interval \
+                     (or omitted for infinite)"
+                        .into(),
+                );
+            }
+            let mut windows: Vec<&NodeOutage> = d.node_outages.iter().collect();
+            windows.sort_by_key(|o| (o.node, o.fail_at));
+            for o in &windows {
+                if o.node >= d.topology.nodes {
+                    return bad(format!(
+                        "node outage references node {} of {}",
+                        o.node, d.topology.nodes
+                    ));
+                }
+                if o.repair_at <= o.fail_at {
+                    return bad("node outage window is empty or inverted".into());
+                }
+            }
+            for pair in windows.windows(2) {
+                if pair[0].node == pair[1].node && pair[1].fail_at < pair[0].repair_at {
+                    return bad(format!(
+                        "overlapping outage windows on node {}",
+                        pair[0].node
+                    ));
+                }
+            }
+        }
         if let Scheme::Vdr { vdr } = &self.scheme {
             if vdr.clusters == 0 {
                 return bad("VDR needs at least one cluster".into());
@@ -721,6 +851,7 @@ mod tests {
         assert!(!json.contains("parity"));
         assert!(!json.contains("rebuild"));
         assert!(!json.contains("sharing"));
+        assert!(!json.contains("distributed"));
         let back: ServerConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back, c);
     }
@@ -741,6 +872,46 @@ mod tests {
         s.cache_fragments = 0;
         c.sharing = Some(s);
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn distributed_knobs_validate() {
+        let mut c = ServerConfig::small_test(4, 9);
+        c.distributed = Some(DistributedConfig::even(4, c.disks));
+        c.validate().unwrap();
+        // Both schemes accept the distributed tier.
+        let mut v = ServerConfig::small_vdr_test(4, 9);
+        v.distributed = Some(DistributedConfig::even(2, v.disks));
+        v.validate().unwrap();
+        // Topology must cover the farm exactly.
+        let mut d = DistributedConfig::even(4, c.disks);
+        d.topology.disks_per_node = 3;
+        c.distributed = Some(d);
+        assert!(c.validate().is_err());
+        // Zero capacity means "always reject": refuse it at config time.
+        let mut d = DistributedConfig::even(4, c.disks);
+        d.interconnect.link_fragments_per_interval = Some(0);
+        c.distributed = Some(d);
+        assert!(c.validate().is_err());
+        // Outages must name a real node, span a window, and not overlap.
+        let outage = |node, a, b| NodeOutage {
+            node,
+            fail_at: SimTime::from_secs(a),
+            repair_at: SimTime::from_secs(b),
+        };
+        let mut d = DistributedConfig::even(4, c.disks);
+        d.node_outages = vec![outage(9, 100, 200)];
+        c.distributed = Some(d.clone());
+        assert!(c.validate().is_err());
+        d.node_outages = vec![outage(1, 200, 200)];
+        c.distributed = Some(d.clone());
+        assert!(c.validate().is_err());
+        d.node_outages = vec![outage(1, 100, 300), outage(1, 250, 400)];
+        c.distributed = Some(d.clone());
+        assert!(c.validate().is_err());
+        d.node_outages = vec![outage(1, 100, 300), outage(2, 250, 400)];
+        c.distributed = Some(d);
+        c.validate().unwrap();
     }
 
     #[test]

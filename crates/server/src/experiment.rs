@@ -582,6 +582,7 @@ mod tests {
             parity_group: None,
             rebuild_rate: None,
             sharing: None,
+            distributed: None,
         };
         let mut reports = Vec::new();
         for &n in &TABLE4_STATIONS {

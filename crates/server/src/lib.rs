@@ -22,6 +22,9 @@
 //! * [`shard`] — intra-run sharding of the tick kernel's read-only scans
 //!   (admission probes, index sorts, wakeup reductions) with
 //!   byte-identical output, armed by `parallel_shards`.
+//! * [`router`] — the distributed tier's front-end admission router:
+//!   home-node selection (least-loaded / locality-affinity) over the
+//!   node topology, armed by `distributed`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -30,11 +33,14 @@ pub mod analysis;
 pub mod config;
 pub mod experiment;
 pub mod metrics;
+pub mod router;
 pub mod shard;
 pub mod striping;
 pub mod vdr;
 
-pub use config::{MaterializeMode, ParityConfig, RebuildConfig, Scheme, ServerConfig};
+pub use config::{
+    DistributedConfig, MaterializeMode, ParityConfig, RebuildConfig, Scheme, ServerConfig,
+};
 pub use metrics::RunReport;
 pub use striping::StripingServer;
 pub use vdr::VdrServer;

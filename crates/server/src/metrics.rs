@@ -65,6 +65,38 @@ pub struct RunReport {
     /// reports stay byte-identical to the pre-sharing goldens.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub sharing: Option<SharingStats>,
+    /// Distributed-farm statistics. `Some` exactly when the run was
+    /// configured with more than one node or any node outage; omitted
+    /// otherwise — in particular a 1-node infinite-interconnect run
+    /// serializes byte-identically to the single-box run (the
+    /// equivalence `distributed_equivalence` pins).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub distributed: Option<DistributedStats>,
+}
+
+/// How the distributed tier performed: the node-routing and interconnect
+/// section of a [`RunReport`]. Whole-run numbers (they survive the
+/// warm-up reset, like `peak_buffer_fragments`).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DistributedStats {
+    /// Number of storage nodes (self-description).
+    pub nodes: u32,
+    /// Disks owned by each node (self-description).
+    pub disks_per_node: u32,
+    /// Displays routed to each node as their home, in node order.
+    pub displays_routed: Vec<u64>,
+    /// Σ fragments × intervals that crossed the interconnect (remote
+    /// reads booked on home-node links).
+    pub remote_fragment_intervals: u64,
+    /// Highest single-link single-interval load booked, fragments.
+    pub peak_link_fragments: u64,
+    /// Admissions refused because a link or the switch was full.
+    pub interconnect_rejections: u64,
+    /// Σ extra buffer fragments billed for interconnect-latency
+    /// prefetching of remote reads.
+    pub latency_buffer_fragments: u64,
+    /// Node outage windows compiled into the fault timeline.
+    pub node_outages: u32,
 }
 
 /// How the stream-sharing layer performed: the multicast-batching and
@@ -361,6 +393,7 @@ impl MetricsCollector {
             parity_group: None,
             rebuild_rate: None,
             sharing: self.sharing,
+            distributed: None,
         }
     }
 }
@@ -636,6 +669,34 @@ mod tests {
         let back: RunReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.sharing.unwrap().viewers_joined, 12);
         assert_eq!(back, shared);
+    }
+
+    #[test]
+    fn distributed_section_is_omitted_from_json_when_absent() {
+        let mut m = MetricsCollector::new();
+        m.start_measurement(t(0));
+        let single = m.report(t(3600), "striping", 8, "geom(20)".into(), 3, 0.1, 5);
+        let json = serde_json::to_string(&single).unwrap();
+        assert!(
+            !json.contains("distributed"),
+            "single-box report must serialize without a distributed key: {json}"
+        );
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, single);
+
+        let mut multi = single.clone();
+        multi.distributed = Some(DistributedStats {
+            nodes: 4,
+            disks_per_node: 5,
+            displays_routed: vec![3, 2, 2, 1],
+            remote_fragment_intervals: 40,
+            ..DistributedStats::default()
+        });
+        let json = serde_json::to_string(&multi).unwrap();
+        assert!(json.contains("distributed"));
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.distributed.as_ref().unwrap().nodes, 4);
+        assert_eq!(back, multi);
     }
 
     #[test]

@@ -1,0 +1,185 @@
+//! The distributed tier's front-end admission router.
+//!
+//! When the farm is split across storage nodes, every arriving display
+//! is assigned a *home node* — the front end that buffers and delivers
+//! the stream to its viewer. Fragments read from the home node's own
+//! disks are local; fragments striped onto other nodes' disks must
+//! cross the interconnect (see `ss_core::interconnect`).
+//!
+//! Two policies, both deterministic given the seed:
+//!
+//! * **Least-loaded** routes to the live node hosting the fewest home
+//!   displays, ties broken by a draw from the router's own
+//!   `rng.derive("router")` stream (so routing never perturbs any other
+//!   consumer of the master seed).
+//! * **Locality-affinity** routes to the node owning the display's
+//!   stripe-start disk — the choice minimising remote fragments —
+//!   falling back to least-loaded when that node is fully down.
+//!
+//! The router is pure bookkeeping: it never books bandwidth itself. The
+//! admission paths consult it for a home node, then charge the
+//! interconnect ledger before committing the grant.
+
+use crate::config::RouterPolicy;
+use ss_sim::DeterministicRng;
+use ss_types::{NodeId, NodeTopology};
+
+/// Home-node selection state: per-node live display counts plus the
+/// router's private RNG stream.
+#[derive(Debug)]
+pub struct NodeRouter {
+    topology: NodeTopology,
+    policy: RouterPolicy,
+    rng: DeterministicRng,
+    /// Displays currently homed on each node.
+    active: Vec<u64>,
+    /// Displays ever routed to each node (the report's routing column).
+    routed: Vec<u64>,
+}
+
+impl NodeRouter {
+    /// A router over `topology` under `policy`, drawing tie-breaks from
+    /// `rng` (pass a freshly derived `"router"` stream).
+    pub fn new(topology: NodeTopology, policy: RouterPolicy, rng: DeterministicRng) -> Self {
+        let n = topology.nodes as usize;
+        NodeRouter {
+            topology,
+            policy,
+            rng,
+            active: vec![0; n],
+            routed: vec![0; n],
+        }
+    }
+
+    /// Picks a home node for a display whose stripe starts on physical
+    /// disk `affinity_disk` at delivery start. `live(node)` reports
+    /// whether a node has any disk in service (a fully-down node is
+    /// never chosen while an alternative exists). Routing alone does not
+    /// count as a start — call [`NodeRouter::note_start`] once the
+    /// display actually commits.
+    pub fn route(&mut self, affinity_disk: u32, live: impl Fn(NodeId) -> bool) -> NodeId {
+        if self.policy == RouterPolicy::LocalityAffinity {
+            let preferred = self.topology.node_of(affinity_disk);
+            if live(preferred) {
+                return preferred;
+            }
+        }
+        // Least-loaded over the live nodes (over every node when the
+        // whole farm is dark — the booking will fail anyway, and the
+        // draw keeps the stream position independent of liveness).
+        let mut candidates: Vec<NodeId> = (0..self.topology.nodes)
+            .map(NodeId)
+            .filter(|&n| live(n))
+            .collect();
+        if candidates.is_empty() {
+            candidates = (0..self.topology.nodes).map(NodeId).collect();
+        }
+        let best = candidates
+            .iter()
+            .map(|&n| self.active[n.index()])
+            .min()
+            .expect("at least one candidate");
+        let ties: Vec<NodeId> = candidates
+            .into_iter()
+            .filter(|&n| self.active[n.index()] == best)
+            .collect();
+        ties[self.rng.index(ties.len())]
+    }
+
+    /// Records that a display committed with `node` as its home.
+    pub fn note_start(&mut self, node: NodeId) {
+        self.active[node.index()] += 1;
+        self.routed[node.index()] += 1;
+    }
+
+    /// Records that a display homed on `node` left the system
+    /// (completion or drop).
+    pub fn note_end(&mut self, node: NodeId) {
+        debug_assert!(self.active[node.index()] > 0, "end without start");
+        self.active[node.index()] -= 1;
+    }
+
+    /// Displays ever routed to each node, in node order.
+    pub fn routed(&self) -> &[u64] {
+        &self.routed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn router(nodes: u32, policy: RouterPolicy) -> NodeRouter {
+        let rng = DeterministicRng::seed_from_u64(42).derive("router");
+        NodeRouter::new(NodeTopology::even(nodes, nodes * 5), policy, rng)
+    }
+
+    #[test]
+    fn least_loaded_balances_starts() {
+        let mut r = router(4, RouterPolicy::LeastLoaded);
+        let mut counts = [0u64; 4];
+        for _ in 0..40 {
+            let n = r.route(0, |_| true);
+            r.note_start(n);
+            counts[n.index()] += 1;
+        }
+        // Strict balance: every node is min-loaded in turn.
+        assert_eq!(counts, [10, 10, 10, 10]);
+    }
+
+    #[test]
+    fn least_loaded_skips_dead_nodes() {
+        let mut r = router(2, RouterPolicy::LeastLoaded);
+        for _ in 0..8 {
+            let n = r.route(0, |n| n != NodeId(1));
+            assert_eq!(n, NodeId(0));
+            r.note_start(n);
+        }
+    }
+
+    #[test]
+    fn affinity_follows_the_stripe_start() {
+        let mut r = router(4, RouterPolicy::LocalityAffinity);
+        assert_eq!(r.route(0, |_| true), NodeId(0));
+        assert_eq!(r.route(7, |_| true), NodeId(1));
+        assert_eq!(r.route(19, |_| true), NodeId(3));
+        // Dead affinity node: falls back to least-loaded among the rest.
+        r.note_start(NodeId(0));
+        r.note_start(NodeId(0));
+        let n = r.route(7, |n| n != NodeId(1));
+        assert_ne!(n, NodeId(1));
+        assert_ne!(n, NodeId(0), "fallback is least-loaded");
+    }
+
+    #[test]
+    fn routing_is_deterministic_per_seed() {
+        let run = || {
+            let mut r = router(3, RouterPolicy::LeastLoaded);
+            (0..30)
+                .map(|i| {
+                    let n = r.route(i % 15, |_| true);
+                    r.note_start(n);
+                    if i % 3 == 0 {
+                        r.note_end(n);
+                    }
+                    n.0
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn end_frees_capacity_for_reuse() {
+        let mut r = router(2, RouterPolicy::LeastLoaded);
+        let a = r.route(0, |_| true);
+        r.note_start(a);
+        let b = r.route(0, |_| true);
+        r.note_start(b);
+        assert_ne!(a, b, "second display lands on the other node");
+        r.note_end(a);
+        let c = r.route(0, |_| true);
+        assert_eq!(c, a, "freed node is least-loaded again");
+        assert_eq!(r.routed(), &[1, 1]);
+    }
+}

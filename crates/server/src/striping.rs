@@ -20,18 +20,22 @@
 
 use crate::config::{ArrivalModel, MaterializeMode, QueuePolicy, Scheme, ServerConfig};
 use crate::metrics::{MetricsCollector, RunReport};
+use crate::router::NodeRouter;
 use crate::shard::{sharded_min, ProbeArg, ProbeVerdict, ShardEngine};
-use ss_core::admission::{AdmissionPolicy, IntervalScheduler, Outage};
+use ss_core::admission::{AdmissionGrant, AdmissionPolicy, IntervalScheduler, Outage};
 use ss_core::buffers::BufferTracker;
 use ss_core::cache::PrefixCache;
 use ss_core::coalesce::{ActiveFragmentedDisplay, LostRead};
 use ss_core::frame::VirtualFrame;
+use ss_core::interconnect::InterconnectLedger;
 use ss_core::media::ObjectCatalog;
 use ss_core::placement::{PlacementMap, StripingConfig};
 use ss_disk::{AvailabilityMask, RebuildScheduler};
-use ss_sim::{Context, DeterministicRng, FaultEvent, FaultKind, FaultTimeline, Model, Simulation};
+use ss_sim::{
+    Context, DeterministicRng, FaultEvent, FaultKind, FaultPlan, FaultTimeline, Model, Simulation,
+};
 use ss_tertiary::TertiaryDevice;
-use ss_types::{Error, ObjectId, Result, SimDuration, SimTime, StationId};
+use ss_types::{Error, NodeId, NodeTopology, ObjectId, Result, SimDuration, SimTime, StationId};
 use ss_workload::{OpenArrivals, StationPool, StationState, TraceArrivals};
 use std::collections::VecDeque;
 
@@ -62,6 +66,9 @@ struct SharedViewer {
 struct ActiveDisplay {
     station: Option<StationId>,
     object: ObjectId,
+    /// The front-end node delivering this stream (`NodeId(0)` whenever
+    /// the distributed tier is off — the whole farm is one node).
+    home_node: NodeId,
     ends: SimTime,
     /// Interval delivery began (the join-window anchor for sharing).
     delivery_start: u64,
@@ -113,6 +120,102 @@ struct Waiter {
     /// parks an exhausted waiter until the next fault transition resets
     /// the queue.
     next_attempt: u64,
+}
+
+/// Distributed-tier state, armed by `config.distributed`: the node
+/// topology, the front-end admission router, and the interconnect
+/// ledger. With one node every fragment is local, nothing is ever
+/// booked, and the admission path is byte-identical to the single-box
+/// server (the correctness spine the distributed-equivalence sweep
+/// pins).
+struct DistState {
+    topology: NodeTopology,
+    /// One-way transfer latency in whole intervals: each fragment with a
+    /// remote read prefetches this many intervals early, billing extra
+    /// buffer memory (never delaying the delivery start).
+    latency_intervals: u64,
+    router: NodeRouter,
+    ledger: InterconnectLedger,
+    /// Cumulative latency-prefetch buffers billed (report column).
+    latency_buffer_fragments: u64,
+    /// Node outages compiled into the fault timeline (report column).
+    node_outages: u32,
+    /// Reusable sorted `(interval, fragments)` span buffer for booking.
+    scratch: Vec<(u64, u64)>,
+}
+
+impl DistState {
+    /// Fills `scratch` with the interconnect demand of a read plan homed
+    /// on `home`: one fragment crosses the interconnect for every
+    /// committed read whose physical disk lives on another node. Returns
+    /// the number of fragments with at least one remote read (the
+    /// latency-prefetch buffer multiplier). With one node the scratch
+    /// stays empty and the return value is zero.
+    fn remote_spans(
+        &mut self,
+        frame: &VirtualFrame,
+        home: NodeId,
+        virtual_disks: &[u32],
+        read_start: &[u64],
+        subobjects: u32,
+    ) -> u64 {
+        self.scratch.clear();
+        if self.topology.nodes <= 1 {
+            return 0;
+        }
+        let mut remote_frags = 0u64;
+        for (i, &v) in virtual_disks.iter().enumerate() {
+            let base = read_start[i];
+            let mut any = false;
+            for u in base..base + u64::from(subobjects) {
+                if self.topology.node_of(frame.physical(v, u)) != home {
+                    any = true;
+                    match self.scratch.iter_mut().find(|(t, _)| *t == u) {
+                        Some((_, c)) => *c += 1,
+                        None => self.scratch.push((u, 1)),
+                    }
+                }
+            }
+            remote_frags += u64::from(any);
+        }
+        self.scratch.sort_unstable_by_key(|&(t, _)| t);
+        remote_frags
+    }
+
+    /// Re-books the interconnect for fragment `frag` of a re-planned
+    /// display from interval `t` onward. Coalesce and rescue move reads
+    /// between virtual disks *after* admission, so the new remote reads
+    /// are force-booked: a rescue must never be refused for link
+    /// headroom, and the old booking is not reclaimed — the ledger may
+    /// overbook, never undercount (the deficit invariant counts only
+    /// shortfalls).
+    fn rebook_fragment(
+        &mut self,
+        frame: &VirtualFrame,
+        home: NodeId,
+        frag_state: &ActiveFragmentedDisplay,
+        frag: u32,
+        t: u64,
+    ) {
+        if self.topology.nodes <= 1 {
+            return;
+        }
+        let i = frag as usize;
+        let v = frag_state.virtual_disks[i];
+        let base = frag_state.read_start[i];
+        let n = u64::from(frag_state.subobjects);
+        self.scratch.clear();
+        for u in base.max(t)..base + n {
+            if self.topology.node_of(frame.physical(v, u)) != home {
+                self.scratch.push((u, 1));
+            }
+        }
+        if !self.scratch.is_empty() {
+            let spans = std::mem::take(&mut self.scratch);
+            self.ledger.force_book(home, &spans);
+            self.scratch = spans;
+        }
+    }
 }
 
 /// The striping server model (driven by [`ss_sim::Simulation`]).
@@ -201,6 +304,9 @@ pub struct StripingModel {
     /// Catch-up buffers currently held by shared viewers (feeds the
     /// `peak_catchup_fragments` statistic).
     catchup_in_use: u64,
+    /// Distributed tier (router + interconnect ledger), armed by
+    /// `config.distributed`.
+    dist: Option<DistState>,
 }
 
 impl StripingModel {
@@ -286,7 +392,28 @@ impl StripingModel {
         scheduler.set_parity_group(config.parity.as_ref().map(|p| p.group));
         let tertiary = TertiaryDevice::new(config.tertiary.clone());
         let deadline = SimTime::ZERO + config.warmup + config.measure;
-        let timeline = config.faults.compile(config.disks, deadline, &rng);
+        // A node outage compiles into correlated per-disk fail/repair
+        // windows on the ordinary fault timeline, so rescue, parity
+        // reconstruction, rebuild and stream sharing compose with node
+        // failures unchanged. `compile` re-sorts and normalizes, so the
+        // appended windows interleave correctly with the scalar plan.
+        let timeline = match &config.distributed {
+            Some(d) if !d.node_outages.is_empty() => {
+                let mut plan = config.faults.clone();
+                for o in &d.node_outages {
+                    for disk in d.topology.node_disks(NodeId(o.node)) {
+                        plan.events
+                            .extend(FaultPlan::fail_window(disk, o.fail_at, o.repair_at).events);
+                    }
+                    ss_obs::obs!(ss_obs::Event::NodeOutageCompiled {
+                        node: o.node,
+                        disks: d.topology.disks_per_node,
+                    });
+                }
+                plan.compile(config.disks, deadline, &rng)
+            }
+            _ => config.faults.compile(config.disks, deadline, &rng),
+        };
         let backoff_rng = rng.derive("backoff");
         let rebuild = config
             .rebuild
@@ -307,6 +434,21 @@ impl StripingModel {
                 s.cache_fragments,
                 crng.next_u64_raw(),
             )
+        });
+        // Like the cache stream: `derive` is position-independent, so
+        // arming the router moves no existing stream.
+        let dist = config.distributed.as_ref().map(|d| DistState {
+            topology: d.topology,
+            latency_intervals: d.interconnect.latency_intervals,
+            router: NodeRouter::new(d.topology, d.router, rng.derive("router")),
+            ledger: InterconnectLedger::new(
+                d.topology.nodes,
+                d.interconnect.link_fragments_per_interval,
+                d.interconnect.switch_fragments_per_interval,
+            ),
+            latency_buffer_fragments: 0,
+            node_outages: d.node_outages.len() as u32,
+            scratch: Vec::new(),
         });
         let n_objects = catalog.len();
         Ok(StripingModel {
@@ -349,6 +491,7 @@ impl StripingModel {
             cache,
             active_viewers: 0,
             catchup_in_use: 0,
+            dist,
             config,
         })
     }
@@ -405,6 +548,10 @@ impl StripingModel {
                 d.fragmented = None;
                 let frags = std::mem::take(&mut d.buffer_fragments);
                 let station = d.station;
+                let home = d.home_node;
+                if let Some(dist) = self.dist.as_mut() {
+                    dist.router.note_end(home);
+                }
                 if let Some(station) = station {
                     self.stations.complete_at(station, now);
                 }
@@ -480,6 +627,46 @@ impl StripingModel {
             self.fetch_queue.pop_front();
             self.in_fetch_queue[object.index()] = false;
         }
+    }
+
+    /// Routes a *planned* grant to a home node and books its remote
+    /// fragments' interconnect intervals — the step between `plan` and
+    /// `commit` when the distributed tier is armed. Returns the home
+    /// node and the latency-prefetch buffers to bill on top of the
+    /// grant's own (`NodeId(0)` and zero when the tier is off, or with a
+    /// single node: nothing is remote, nothing is booked, and the caller
+    /// stays byte-identical to the single-box path). A refused booking
+    /// surfaces as `AdmissionRejected`, flowing into the ordinary
+    /// reject/backoff path without the scheduler ever mutating.
+    fn admit_gate(&mut self, grant: &AdmissionGrant, subobjects: u32) -> Result<(NodeId, u64)> {
+        let Some(dist) = self.dist.as_mut() else {
+            return Ok((NodeId(0), 0));
+        };
+        let frame = self.scheduler.frame();
+        // Affinity: the disk serving the stripe head at delivery start.
+        let affinity = frame.physical(grant.virtual_disks[0], grant.delivery_start);
+        let mask = &self.mask;
+        let dpn = dist.topology.disks_per_node;
+        let home = dist
+            .router
+            .route(affinity, |n| !mask.node_fully_down(n.0, dpn));
+        let remote_frags = dist.remote_spans(
+            frame,
+            home,
+            &grant.virtual_disks,
+            &grant.read_start,
+            subobjects,
+        );
+        if !dist.ledger.try_book(home, &dist.scratch) {
+            return Err(Error::AdmissionRejected {
+                object: grant.object,
+                needed: grant.virtual_disks.len() as u32,
+                free: 0,
+            });
+        }
+        let extra = dist.latency_intervals * remote_frags;
+        dist.latency_buffer_fragments += extra;
+        Ok((home, extra))
     }
 
     fn try_admissions(&mut self, now: SimTime) {
@@ -595,6 +782,10 @@ impl StripingModel {
                 None => (layout.start_disk, layout.degree),
             };
             let viewing = spec.display_time(self.b_disk, self.config.fragment_size());
+            // Copied out so the catalog borrow ends before the admission
+            // gate (which needs `&mut self` for the router and ledger).
+            let subobjects = spec.subobjects;
+            let media_degree = spec.degree(self.b_disk);
             // Consume the sharded verdict when still valid (scheduler
             // untouched since the probe pass); otherwise plan serially.
             // Rejections never mutate, so a consumed `Err` leaves the
@@ -605,12 +796,21 @@ impl StripingModel {
                 .filter(|_| probe_version == self.scheduler.version());
             let attempt = match verdict {
                 Some(Ok(grant)) => {
-                    self.scheduler.commit(t, &grant, spec.subobjects);
                     self.shard
                         .as_mut()
                         .expect("verdicts exist only with an engine")
                         .note_consumed();
-                    Ok(grant)
+                    // The interconnect gate sits between plan and commit:
+                    // a refused booking consumes the verdict but leaves
+                    // the scheduler (and its version) untouched, so every
+                    // later verdict stays valid.
+                    match self.admit_gate(&grant, subobjects) {
+                        Ok((home, extra)) => {
+                            self.scheduler.commit(t, &grant, subobjects);
+                            Ok((grant, home, extra))
+                        }
+                        Err(e) => Err(e),
+                    }
                 }
                 Some(Err(e)) => {
                     self.shard
@@ -619,17 +819,26 @@ impl StripingModel {
                         .note_consumed();
                     Err(e)
                 }
-                None => self.scheduler.try_admit(
-                    t,
-                    w.object,
-                    start_disk,
-                    degree,
-                    spec.subobjects,
-                    self.policy,
-                ),
+                None if self.dist.is_some() => {
+                    // `refresh_index` + `plan` + `commit` is exactly
+                    // `try_admit` (admission.rs), split open so the
+                    // interconnect gate can run between the last two.
+                    self.scheduler.refresh_index();
+                    self.scheduler
+                        .plan(t, w.object, start_disk, degree, subobjects, self.policy)
+                        .and_then(|grant| {
+                            let (home, extra) = self.admit_gate(&grant, subobjects)?;
+                            self.scheduler.commit(t, &grant, subobjects);
+                            Ok((grant, home, extra))
+                        })
+                }
+                None => self
+                    .scheduler
+                    .try_admit(t, w.object, start_disk, degree, subobjects, self.policy)
+                    .map(|grant| (grant, NodeId(0), 0)),
             };
             match attempt {
-                Ok(grant) => {
+                Ok((grant, home, extra_buffers)) => {
                     // (Naive cluster-rounding reserves more disks than the
                     // layout's degree, so the timeline check only applies
                     // to exact-degree grants. A degraded grant legitimately
@@ -654,7 +863,7 @@ impl StripingModel {
                     // The station is busy until viewing completes (>= the
                     // disk occupancy when the media rate is not an exact
                     // multiple of B_disk).
-                    let ends = start + viewing.max(self.interval * u64::from(spec.subobjects));
+                    let ends = start + viewing.max(self.interval * u64::from(subobjects));
                     let waited = match w.station {
                         Some(station) => self.stations.start_display(station, now),
                         None => now.duration_since(w.issued),
@@ -663,8 +872,12 @@ impl StripingModel {
                         self.metrics
                             .record_latency(waited + start.saturating_duration_since(now));
                     }
+                    // `extra_buffers` is the interconnect latency
+                    // prefetch (zero unless the tier is armed with a
+                    // nonzero latency and this plan reads remotely); it
+                    // lives and dies with the display's own buffers.
                     self.buffers
-                        .acquire(grant.buffer_fragments)
+                        .acquire(grant.buffer_fragments + extra_buffers)
                         .expect("unbounded tracker");
                     self.metrics.peak_buffer_fragments =
                         self.metrics.peak_buffer_fragments.max(self.buffers.peak());
@@ -674,22 +887,23 @@ impl StripingModel {
                     // state is inert for zero-buffer fault-free displays
                     // (every consumer checks `buffer_total() > 0` or the
                     // timeline first), so decisions are unchanged.
+                    // A multi-node farm keeps it alive too: the remote-
+                    // booking deficit invariant needs every display's
+                    // committed read timeline (inert for decisions, like
+                    // the observability case).
                     let fragmented = (grant.buffer_fragments > 0
                         || !self.timeline.is_empty()
+                        || self.dist.as_ref().is_some_and(|ds| ds.topology.nodes > 1)
                         || ss_obs::enabled())
                     .then(|| {
-                        ActiveFragmentedDisplay::from_grant(
-                            &grant,
-                            layout.start_disk,
-                            spec.subobjects,
-                        )
+                        ActiveFragmentedDisplay::from_grant(&grant, layout.start_disk, subobjects)
                     });
                     let reconstructed_log = if grant.reconstructed_intervals > 0 {
                         let g = self.metrics.degraded_mut().self_heal_mut();
                         g.degraded_admissions += 1;
                         g.reconstructed_reads += grant.reconstructed_intervals;
                         g.parity_overhead_intervals +=
-                            grant.parity_companions.len() as u64 * u64::from(spec.subobjects);
+                            grant.parity_companions.len() as u64 * u64::from(subobjects);
                         // The reads this grant plans *into* the outage are
                         // exactly its currently-lost reads; remember them
                         // so the rescue pass never charges them.
@@ -703,11 +917,12 @@ impl StripingModel {
                     self.active.push(ActiveDisplay {
                         station: w.station,
                         object: w.object,
+                        home_node: home,
                         ends,
                         delivery_start: grant.delivery_start,
                         viewers: Vec::new(),
                         primary_done: false,
-                        buffer_fragments: grant.buffer_fragments,
+                        buffer_fragments: grant.buffer_fragments + extra_buffers,
                         fragmented,
                         hiccups: 0,
                         hiccup_log: Vec::new(),
@@ -717,13 +932,21 @@ impl StripingModel {
                     });
                     self.active_per_object[w.object.index()] += 1;
                     self.active_viewers += 1;
+                    if let Some(dist) = self.dist.as_mut() {
+                        dist.router.note_start(home);
+                        ss_obs::obs!(ss_obs::Event::RouteAssign {
+                            object: w.object.0,
+                            node: home.0,
+                            interval: t,
+                        });
+                    }
                     if let Some(sh) = self.config.sharing {
                         self.metrics.sharing_mut().streams_opened += 1;
                         // Offer this stream's prefix for residency so
                         // in-window joiners can patch their lag from
                         // memory; admission is popularity-gated LFU.
-                        let cost = sh.prefix_intervals.min(u64::from(spec.subobjects))
-                            * u64::from(spec.degree(self.b_disk));
+                        let cost = sh.prefix_intervals.min(u64::from(subobjects))
+                            * u64::from(media_degree);
                         if let Some(cache) = self.cache.as_mut() {
                             cache.offer(w.object.0, cost, &self.freq);
                         }
@@ -734,7 +957,7 @@ impl StripingModel {
                             interval: t,
                             start_disk,
                             degree: grant.virtual_disks.len() as u32,
-                            subobjects: u64::from(spec.subobjects),
+                            subobjects: u64::from(subobjects),
                             delivery_start: grant.delivery_start,
                             end_interval: grant.end_interval,
                             buffer: grant.buffer_fragments,
@@ -1043,6 +1266,15 @@ impl StripingModel {
             }
             if let Some(plan) = self.scheduler.plan_coalesce(frag_state, t) {
                 self.scheduler.apply_coalesce(frag_state, &plan);
+                if let Some(dist) = self.dist.as_mut() {
+                    dist.rebook_fragment(
+                        self.scheduler.frame(),
+                        d.home_node,
+                        frag_state,
+                        plan.frag,
+                        t,
+                    );
+                }
                 self.buffers.release(plan.buffer_saving);
                 d.buffer_fragments -= plan.buffer_saving;
                 self.metrics.coalesces += 1;
@@ -1051,7 +1283,8 @@ impl StripingModel {
                     frag: plan.frag,
                     saving: plan.buffer_saving,
                 });
-                if frag_state.buffer_total() == 0 && !faults && !ss_obs::enabled() {
+                let multi_node = self.dist.as_ref().is_some_and(|ds| ds.topology.nodes > 1);
+                if frag_state.buffer_total() == 0 && !faults && !multi_node && !ss_obs::enabled() {
                     // Fully pipelined; under fault injection the state is
                     // kept — the rescue pass still needs the timeline —
                     // and observability keeps it for the wasted-bandwidth
@@ -1263,6 +1496,15 @@ impl StripingModel {
                 match self.scheduler.plan_rescue(frag_state, frag, t) {
                     Some(plan) => {
                         self.scheduler.apply_coalesce(frag_state, &plan);
+                        if let Some(dist) = self.dist.as_mut() {
+                            dist.rebook_fragment(
+                                self.scheduler.frame(),
+                                d.home_node,
+                                frag_state,
+                                frag,
+                                t,
+                            );
+                        }
                         self.buffers.release(plan.buffer_saving);
                         d.buffer_fragments -= plan.buffer_saving;
                         let g = self.metrics.degraded_mut();
@@ -1318,6 +1560,11 @@ impl StripingModel {
             }
             if limit.is_some_and(|l| d.hiccups >= l) {
                 let mut d = self.active.swap_remove(i);
+                if let Some(dist) = self.dist.as_mut() {
+                    // A dropped display is still live (rescue never
+                    // touches a finished one), so its home slot frees.
+                    dist.router.note_end(d.home_node);
+                }
                 if let Some(station) = d.station {
                     self.stations.complete_at(station, now);
                 }
@@ -1387,6 +1634,12 @@ impl StripingModel {
             "viewer count must mirror the active set"
         );
         let t = self.interval_index(now);
+        if let Some(dist) = self.dist.as_mut() {
+            // Booked interconnect intervals strictly behind the clock are
+            // never queried again: retire them so the ledger stays
+            // proportional to the active reading window.
+            dist.ledger.retire(t);
+        }
         let util = self.scheduler.utilization(t);
         self.metrics.utilization.set(now, util);
         if ss_obs::enabled() {
@@ -1709,6 +1962,24 @@ impl StripingServer {
             s.batch_window = sh.batch_window;
             report.sharing = Some(s);
         }
+        // The distributed section attaches only when it can say something
+        // a single-box run cannot: a multi-node topology or a compiled
+        // node outage. A 1-node infinite-interconnect config therefore
+        // reproduces the single-box report byte-for-byte.
+        if let Some(ds) = &m.dist {
+            if ds.topology.nodes > 1 || ds.node_outages > 0 {
+                report.distributed = Some(crate::metrics::DistributedStats {
+                    nodes: ds.topology.nodes,
+                    disks_per_node: ds.topology.disks_per_node,
+                    displays_routed: ds.router.routed().to_vec(),
+                    remote_fragment_intervals: ds.ledger.remote_fragment_intervals(),
+                    peak_link_fragments: ds.ledger.peak_link_fragments(),
+                    interconnect_rejections: ds.ledger.rejections(),
+                    latency_buffer_fragments: ds.latency_buffer_fragments,
+                    node_outages: ds.node_outages,
+                });
+            }
+        }
         report
     }
 
@@ -1805,6 +2076,49 @@ impl StripingModel {
     /// The rebuild pipeline, when configured (diagnostics).
     pub fn rebuild_scheduler(&self) -> Option<&RebuildScheduler> {
         self.rebuild.as_ref()
+    }
+
+    /// Interconnect fragment·intervals booked so far (distributed
+    /// diagnostics; 0 when the tier is off — the non-vacuousness probe
+    /// of the cross-node equivalence sweep).
+    pub fn remote_fragment_intervals(&self) -> u64 {
+        self.dist
+            .as_ref()
+            .map_or(0, |d| d.ledger.remote_fragment_intervals())
+    }
+
+    /// Remote fragments read by active displays at `now` minus the
+    /// interconnect intervals booked for them, clamped at zero per node.
+    /// The distributed invariant — *no fragment crosses nodes without a
+    /// booked interconnect interval* — demands this be zero after every
+    /// processed tick (re-plans may overbook, never undercount). Always
+    /// zero when the tier is off.
+    pub fn remote_booking_deficit(&self, now: SimTime) -> u64 {
+        let Some(dist) = self.dist.as_ref() else {
+            return 0;
+        };
+        let t = self.interval_index(now);
+        let frame = self.scheduler.frame();
+        let mut demand = vec![0u64; dist.topology.nodes as usize];
+        for d in &self.active {
+            let Some(f) = d.fragmented.as_ref() else {
+                continue;
+            };
+            for (i, &v) in f.virtual_disks.iter().enumerate() {
+                let base = f.read_start[i];
+                if base <= t
+                    && t < base + u64::from(f.subobjects)
+                    && dist.topology.node_of(frame.physical(v, t)) != d.home_node
+                {
+                    demand[d.home_node.index()] += 1;
+                }
+            }
+        }
+        demand
+            .iter()
+            .enumerate()
+            .map(|(n, &need)| need.saturating_sub(dist.ledger.booked(NodeId(n as u32), t)))
+            .sum()
     }
 
     /// Committed reads visible at `now` that fall inside a known hard
@@ -2165,6 +2479,7 @@ mod tests {
         m.active.push(ActiveDisplay {
             station: None,
             object: ObjectId(0),
+            home_node: NodeId(0),
             ends: at(100),
             delivery_start: 5,
             viewers: Vec::new(),

@@ -10,12 +10,16 @@
 
 use crate::config::{Scheme, ServerConfig};
 use crate::metrics::{MetricsCollector, RunReport};
+use crate::router::NodeRouter;
 use ss_core::buffers::BufferTracker;
 use ss_core::cache::PrefixCache;
+use ss_core::interconnect::InterconnectLedger;
 use ss_disk::{AvailabilityMask, RebuildScheduler};
-use ss_sim::{Context, DeterministicRng, FaultEvent, FaultKind, FaultTimeline, Model, Simulation};
+use ss_sim::{
+    Context, DeterministicRng, FaultEvent, FaultKind, FaultPlan, FaultTimeline, Model, Simulation,
+};
 use ss_tertiary::TertiaryDevice;
-use ss_types::{ClusterId, Error, ObjectId, Result, SimTime, StationId};
+use ss_types::{ClusterId, Error, NodeId, NodeTopology, ObjectId, Result, SimTime, StationId};
 use ss_vdr::{ClusterFarm, ClusterStatus, CopyPlan, VdrConfig};
 use ss_workload::{StationPool, StationState};
 use std::collections::VecDeque;
@@ -56,6 +60,11 @@ struct SharedViewer {
 struct ActiveDisplay {
     station: StationId,
     object: ObjectId,
+    /// The front-end node delivering the stream (`NodeId(0)` whenever the
+    /// distributed tier is off). A failure fallback onto a replica on
+    /// another node keeps the home: the viewer stays on its front end and
+    /// the new cross-node traffic is force-booked.
+    home_node: NodeId,
     /// The cluster serving the display (changes if a failure forces a
     /// fallback onto another replica).
     cluster: ClusterId,
@@ -149,6 +158,26 @@ pub struct VdrModel {
     active_viewers: u64,
     /// Catch-up buffers currently held by shared viewers.
     catchup_in_use: u64,
+    /// Distributed tier (router + interconnect ledger), armed by
+    /// `config.distributed`.
+    dist: Option<VdrDist>,
+}
+
+/// VDR's distributed-tier state. A display is one indivisible cluster
+/// stream, so its interconnect demand is all-or-nothing: `degree`
+/// fragments per interval over the whole delivery window whenever the
+/// home node differs from the serving cluster's node (the node of the
+/// cluster's first disk). With one node nothing is ever remote and the
+/// admission path is byte-identical to the single-box server.
+struct VdrDist {
+    topology: NodeTopology,
+    latency_intervals: u64,
+    router: NodeRouter,
+    ledger: InterconnectLedger,
+    latency_buffer_fragments: u64,
+    node_outages: u32,
+    /// Reusable `(interval, fragments)` span buffer for booking.
+    scratch: Vec<(u64, u64)>,
 }
 
 impl VdrModel {
@@ -214,7 +243,27 @@ impl VdrModel {
         );
         let tertiary = TertiaryDevice::new(config.tertiary.clone());
         let deadline = SimTime::ZERO + config.warmup + config.measure;
-        let timeline = config.faults.compile(config.disks, deadline, &rng);
+        // Node outages compile into correlated per-disk windows on the
+        // ordinary fault timeline, exactly like the striping model, so
+        // cluster fallback and rebuild compose with node failures
+        // unchanged.
+        let timeline = match &config.distributed {
+            Some(d) if !d.node_outages.is_empty() => {
+                let mut plan = config.faults.clone();
+                for o in &d.node_outages {
+                    for disk in d.topology.node_disks(NodeId(o.node)) {
+                        plan.events
+                            .extend(FaultPlan::fail_window(disk, o.fail_at, o.repair_at).events);
+                    }
+                    ss_obs::obs!(ss_obs::Event::NodeOutageCompiled {
+                        node: o.node,
+                        disks: d.topology.disks_per_node,
+                    });
+                }
+                plan.compile(config.disks, deadline, &rng)
+            }
+            _ => config.faults.compile(config.disks, deadline, &rng),
+        };
         let mask = AvailabilityMask::new(config.disks);
         let clusters = vdr.clusters as usize;
         let shards = config.parallel_shards.map_or(1, |s| s.max(1) as usize);
@@ -231,6 +280,21 @@ impl VdrModel {
                 s.cache_fragments,
                 crng.next_u64_raw(),
             )
+        });
+        // Like the cache stream: `derive` is position-independent, so
+        // arming the router moves no existing stream.
+        let dist = config.distributed.as_ref().map(|d| VdrDist {
+            topology: d.topology,
+            latency_intervals: d.interconnect.latency_intervals,
+            router: NodeRouter::new(d.topology, d.router, rng.derive("router")),
+            ledger: InterconnectLedger::new(
+                d.topology.nodes,
+                d.interconnect.link_fragments_per_interval,
+                d.interconnect.switch_fragments_per_interval,
+            ),
+            latency_buffer_fragments: 0,
+            node_outages: d.node_outages.len() as u32,
+            scratch: Vec::new(),
         });
         Ok(VdrModel {
             vdr,
@@ -266,6 +330,7 @@ impl VdrModel {
             freq: vec![0; config.objects as usize],
             active_viewers: 0,
             catchup_in_use: 0,
+            dist,
             config,
         })
     }
@@ -303,6 +368,10 @@ impl VdrModel {
             if self.active[i].ends <= now && !self.active[i].primary_done {
                 let d = &mut self.active[i];
                 d.primary_done = true;
+                let home = d.home_node;
+                if let Some(dist) = self.dist.as_mut() {
+                    dist.router.note_end(home);
+                }
                 self.stations.complete_at(d.station, now);
                 let measured = self.metrics.measuring();
                 if measured {
@@ -334,6 +403,64 @@ impl VdrModel {
         self.metrics.active.set(now, self.active_viewers as f64);
     }
 
+    /// Routes a display about to start on `cluster` to a home node,
+    /// booking `degree` interconnect fragments per interval over the
+    /// whole delivery window when the home differs from the cluster's
+    /// node. Returns the home node, or `None` when the interconnect
+    /// refuses the booking (the waiter stays queued and retries).
+    /// `NodeId(0)` with nothing booked when the tier is off or the farm
+    /// is one node — the byte-identity path.
+    fn route_display(&mut self, cluster: ClusterId, now: SimTime, ends: SimTime) -> Option<NodeId> {
+        let Some(dist) = self.dist.as_mut() else {
+            return Some(NodeId(0));
+        };
+        let degree = self.config.degree();
+        let cluster_disk = cluster.0 * degree;
+        let mask = &self.mask;
+        let dpn = dist.topology.disks_per_node;
+        let home = dist
+            .router
+            .route(cluster_disk, |n| !mask.node_fully_down(n.0, dpn));
+        if dist.topology.nodes <= 1 || dist.topology.node_of(cluster_disk) == home {
+            return Some(home);
+        }
+        let us = self.config.interval().as_micros();
+        let t0 = now.as_micros() / us;
+        let t1 = ends.as_micros().div_ceil(us).max(t0 + 1);
+        dist.scratch.clear();
+        dist.scratch
+            .extend((t0..t1).map(|u| (u, u64::from(degree))));
+        if !dist.ledger.try_book(home, &dist.scratch) {
+            return None;
+        }
+        dist.latency_buffer_fragments += dist.latency_intervals * u64::from(degree);
+        Some(home)
+    }
+
+    /// Force-books the remaining window of a display re-homed onto
+    /// `cluster` by a failure fallback. A rescue is never refused for
+    /// link headroom; the dead cluster's old booking is not reclaimed —
+    /// the ledger may overbook, never undercount.
+    fn rebook_display(&mut self, home: NodeId, cluster: ClusterId, now: SimTime, ends: SimTime) {
+        let Some(dist) = self.dist.as_mut() else {
+            return;
+        };
+        let degree = self.config.degree();
+        let cluster_disk = cluster.0 * degree;
+        if dist.topology.nodes <= 1 || dist.topology.node_of(cluster_disk) == home {
+            return;
+        }
+        let us = self.config.interval().as_micros();
+        let t0 = now.as_micros() / us;
+        let t1 = ends.as_micros().div_ceil(us).max(t0 + 1);
+        dist.scratch.clear();
+        dist.scratch
+            .extend((t0..t1).map(|u| (u, u64::from(degree))));
+        let spans = std::mem::take(&mut dist.scratch);
+        dist.ledger.force_book(home, &spans);
+        dist.scratch = spans;
+    }
+
     /// One pass over the wait queue (FIFO with skips).
     fn serve_waiters(&mut self, now: SimTime) {
         let display_time = self.config.display_time();
@@ -354,6 +481,13 @@ impl VdrModel {
             }
             if let Some(cluster) = self.farm.find_idle_replica(w.object, now) {
                 let ends = now + display_time;
+                let Some(home) = self.route_display(cluster, now, ends) else {
+                    // Interconnect saturated: the replica stays idle, the
+                    // request stays queued, and a later pass retries once
+                    // link intervals free up.
+                    still.push(w);
+                    continue;
+                };
                 self.farm
                     .start_display(cluster, w.object, now, ends)
                     .expect("idle replica accepts display");
@@ -364,6 +498,7 @@ impl VdrModel {
                 self.active.push(ActiveDisplay {
                     station: w.station,
                     object: w.object,
+                    home_node: home,
                     cluster,
                     started: now,
                     ends,
@@ -372,6 +507,14 @@ impl VdrModel {
                     rescued: false,
                 });
                 self.active_viewers += 1;
+                if let Some(dist) = self.dist.as_mut() {
+                    dist.router.note_start(home);
+                    ss_obs::obs!(ss_obs::Event::RouteAssign {
+                        object: w.object.0,
+                        node: home.0,
+                        interval: now.as_micros() / self.config.interval().as_micros(),
+                    });
+                }
                 if let Some(sh) = self.config.sharing {
                     self.metrics.sharing_mut().streams_opened += 1;
                     // Offer this stream's prefix for residency so in-window
@@ -759,9 +902,9 @@ impl VdrModel {
                 i += 1;
                 continue;
             }
-            let (object, ends, rescued) = {
+            let (object, ends, rescued, home) = {
                 let d = &self.active[i];
-                (d.object, d.ends, d.rescued)
+                (d.object, d.ends, d.rescued, d.home_node)
             };
             if let Some(target) = self.farm.find_idle_replica(object, now) {
                 // One rescue saves the whole shared stream: every
@@ -770,6 +913,9 @@ impl VdrModel {
                     .start_display(target, object, now, ends)
                     .expect("idle replica accepts display");
                 self.active[i].cluster = target;
+                // The viewer stays on its front end; a replica on another
+                // node turns the rest of the stream remote.
+                self.rebook_display(home, target, now, ends);
                 let g = self.metrics.degraded_mut();
                 g.rescues += 1;
                 if !rescued {
@@ -789,6 +935,10 @@ impl VdrModel {
                 let remaining = ends.saturating_duration_since(now);
                 let lost = remaining.as_micros().div_ceil(interval.as_micros());
                 let mut d = self.active.swap_remove(i);
+                if let Some(dist) = self.dist.as_mut() {
+                    // The dropped display was live: its home slot frees.
+                    dist.router.note_end(d.home_node);
+                }
                 self.stations.complete_at(d.station, now);
                 self.active_viewers -= 1;
                 let g = self.metrics.degraded_mut();
@@ -860,6 +1010,12 @@ impl VdrModel {
         let busy = f64::from(self.vdr.clusters - self.farm.idle_count(now));
         let util = busy / f64::from(self.vdr.clusters);
         self.metrics.utilization.set(now, util);
+        if let Some(dist) = self.dist.as_mut() {
+            // Booked interconnect intervals strictly behind the clock are
+            // never queried again: retire them.
+            dist.ledger
+                .retire(now.as_micros() / self.config.interval().as_micros());
+        }
         debug_assert_eq!(
             self.active_viewers,
             self.active
@@ -1117,6 +1273,23 @@ impl VdrServer {
             s.batch_window = sh.batch_window;
             report.sharing = Some(s);
         }
+        // Attached only when it can say something a single-box run
+        // cannot, so a 1-node infinite-interconnect config reproduces the
+        // single-box report byte-for-byte.
+        if let Some(ds) = &m.dist {
+            if ds.topology.nodes > 1 || ds.node_outages > 0 {
+                report.distributed = Some(crate::metrics::DistributedStats {
+                    nodes: ds.topology.nodes,
+                    disks_per_node: ds.topology.disks_per_node,
+                    displays_routed: ds.router.routed().to_vec(),
+                    remote_fragment_intervals: ds.ledger.remote_fragment_intervals(),
+                    peak_link_fragments: ds.ledger.peak_link_fragments(),
+                    interconnect_rejections: ds.ledger.rejections(),
+                    latency_buffer_fragments: ds.latency_buffer_fragments,
+                    node_outages: ds.node_outages,
+                });
+            }
+        }
         report
     }
 
@@ -1161,6 +1334,14 @@ impl VdrModel {
     /// has fired).
     pub fn degraded(&self) -> Option<&crate::metrics::DegradedStats> {
         self.metrics.degraded.as_ref()
+    }
+
+    /// Interconnect fragment·intervals booked so far (distributed
+    /// diagnostics; 0 when the tier is off).
+    pub fn remote_fragment_intervals(&self) -> u64 {
+        self.dist
+            .as_ref()
+            .map_or(0, |d| d.ledger.remote_fragment_intervals())
     }
 }
 

@@ -77,6 +77,14 @@ id_type!(
     u64
 );
 
+id_type!(
+    /// A storage node in a distributed farm, `0..N`. Each node owns a
+    /// contiguous run of disks (see `NodeTopology`).
+    NodeId,
+    "node",
+    u32
+);
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,6 +97,7 @@ mod tests {
         assert_eq!(ClusterId(0).to_string(), "cluster0");
         assert_eq!(StationId(12).to_string(), "station12");
         assert_eq!(RequestId(7).to_string(), "req7");
+        assert_eq!(NodeId(4).to_string(), "node4");
     }
 
     #[test]

@@ -20,8 +20,10 @@
 
 mod error;
 mod ids;
+mod topology;
 mod units;
 
 pub use error::{Error, Result};
-pub use ids::{ClusterId, DiskId, ObjectId, RequestId, StationId};
+pub use ids::{ClusterId, DiskId, NodeId, ObjectId, RequestId, StationId};
+pub use topology::NodeTopology;
 pub use units::{Bandwidth, Bytes, SimDuration, SimTime};

@@ -1,0 +1,84 @@
+//! Node topology for a distributed farm.
+//!
+//! A distributed farm is `nodes` storage nodes of `disks_per_node` disks
+//! each. Node `n` owns the contiguous physical disk range
+//! `[n * disks_per_node, (n + 1) * disks_per_node)`, so the global disk
+//! numbering — and therefore every placement, schedule, and fault plan —
+//! is unchanged from the single-box farm. The topology only adds a
+//! *labelling* of disks by node, which the interconnect accounting and
+//! the node-level fault domains consume.
+
+use crate::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Shape of a distributed farm: `nodes` × `disks_per_node` physical
+/// disks, numbered contiguously node by node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeTopology {
+    /// Number of storage nodes, `N >= 1`.
+    pub nodes: u32,
+    /// Disks owned by each node.
+    pub disks_per_node: u32,
+}
+
+impl NodeTopology {
+    /// A topology of `nodes` equal nodes covering `disks` total disks.
+    /// `disks` must be divisible by `nodes` (validated by the caller's
+    /// config check; this constructor just divides).
+    pub const fn even(nodes: u32, disks: u32) -> Self {
+        NodeTopology {
+            nodes,
+            disks_per_node: disks / nodes,
+        }
+    }
+
+    /// Total physical disks in the farm.
+    pub const fn disks(&self) -> u32 {
+        self.nodes * self.disks_per_node
+    }
+
+    /// The node owning physical disk `disk`.
+    pub const fn node_of(&self, disk: u32) -> NodeId {
+        NodeId(disk / self.disks_per_node)
+    }
+
+    /// The physical disks owned by `node`, as a half-open range.
+    pub fn node_disks(&self, node: NodeId) -> std::ops::Range<u32> {
+        let first = node.0 * self.disks_per_node;
+        first..first + self.disks_per_node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_maps_disks_to_nodes_contiguously() {
+        let t = NodeTopology::even(4, 20);
+        assert_eq!(t.disks_per_node, 5);
+        assert_eq!(t.disks(), 20);
+        assert_eq!(t.node_of(0), NodeId(0));
+        assert_eq!(t.node_of(4), NodeId(0));
+        assert_eq!(t.node_of(5), NodeId(1));
+        assert_eq!(t.node_of(19), NodeId(3));
+        assert_eq!(t.node_disks(NodeId(2)), 10..15);
+    }
+
+    #[test]
+    fn single_node_owns_everything() {
+        let t = NodeTopology::even(1, 20);
+        for d in 0..20 {
+            assert_eq!(t.node_of(d), NodeId(0));
+        }
+        assert_eq!(t.node_disks(NodeId(0)), 0..20);
+    }
+
+    #[test]
+    fn topology_round_trips_through_serde() {
+        let t = NodeTopology::even(2, 10);
+        let json = serde_json::to_string(&t).expect("serialize");
+        let back: NodeTopology = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(t, back);
+    }
+}

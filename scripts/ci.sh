@@ -18,8 +18,10 @@ echo "==> fault suites (per-suite test counts)"
 # The degraded-mode harness: property sweep + goldens (now spanning the
 # parity/rebuild axes), coalescing proptest, backoff retry-queue
 # properties, seed-stability digests, dense-vs-sparse under fault plans,
-# serial-vs-sharded byte identity.
-for suite in fault_properties coalesce_properties backoff_properties seed_stability tick_equivalence parallel_equivalence obs_properties sharing_equivalence; do
+# serial-vs-sharded byte identity, delivery-machine properties (incl.
+# the recorded proptest regression, re-run both via its sidecar and as a
+# directed case), and the distributed-tier equivalence sweep.
+for suite in fault_properties coalesce_properties backoff_properties seed_stability tick_equivalence parallel_equivalence obs_properties sharing_equivalence delivery_properties distributed_equivalence; do
   count=$(cargo test -q --test "$suite" 2>&1 | sed -n 's/^test result: ok\. \([0-9]*\) passed.*/\1/p')
   if [ -z "$count" ] || [ "$count" -eq 0 ]; then
     echo "ci.sh: suite $suite reported no passing tests" >&2
@@ -104,6 +106,34 @@ case "$share_check" in
       echo "ci.sh: WARNING sharing capacity floor missed (CI_PERF_STRICT=0)" >&2
     else
       echo "ci.sh: sharing capacity floor missed" >&2
+      exit 1
+    fi
+    ;;
+esac
+
+echo "==> node_grid --quick (distributed node-scaling smoke)"
+# The same 24-disk farm split 1/2/4/8 ways, each cell run healthy and
+# with one node dark for half the window. The widest split must retain
+# at least 70% of its own healthy throughput through a single-node
+# outage (the quick cell typically lands above 95%). CI_PERF_STRICT=0
+# downgrades a miss to a warning, as for the other perf gates.
+cargo run --release -p ss-bench --bin node_grid -- --quick --out target/ci-node-grid
+node_check=$(python3 - <<'EOF'
+import json
+r = json.load(open("target/ci-node-grid/node_grid.json"))
+cell = max(r["cells"], key=lambda c: c["nodes"])
+n, ret = cell["nodes"], cell["retention_pct"]
+print(f"FAIL N={n} single-node-outage retention {ret:.1f}% (floor 70%)" if ret < 70.0
+      else f"ok (N={n} retains {ret:.1f}% through a single-node outage, floor 70%)")
+EOF
+)
+echo "    $node_check"
+case "$node_check" in
+  FAIL*)
+    if [ "${CI_PERF_STRICT:-1}" = "0" ]; then
+      echo "ci.sh: WARNING node-outage retention floor missed (CI_PERF_STRICT=0)" >&2
+    else
+      echo "ci.sh: node-outage retention floor missed" >&2
       exit 1
     fi
     ;;

@@ -66,9 +66,10 @@ pub mod prelude {
     pub use ss_disk::{AvailabilityMask, DiskParams};
     pub use ss_server::{
         config::{
-            MaterializeMode, ParityConfig, RebuildConfig, Scheme, ServerConfig, SharingConfig,
+            DistributedConfig, MaterializeMode, NodeOutage, ParityConfig, RebuildConfig, Scheme,
+            ServerConfig, SharingConfig,
         },
-        metrics::{DegradedStats, RunReport, SelfHealStats, SharingStats},
+        metrics::{DegradedStats, DistributedStats, RunReport, SelfHealStats, SharingStats},
         StripingServer, VdrServer,
     };
     pub use ss_sim::{
@@ -76,8 +77,8 @@ pub mod prelude {
     };
     pub use ss_tertiary::{TapeLayout, TertiaryDevice, TertiaryParams};
     pub use ss_types::{
-        Bandwidth, Bytes, ClusterId, DiskId, Error, ObjectId, RequestId, Result, SimDuration,
-        SimTime, StationId,
+        Bandwidth, Bytes, ClusterId, DiskId, Error, NodeId, NodeTopology, ObjectId, RequestId,
+        Result, SimDuration, SimTime, StationId,
     };
     pub use ss_vdr::{ClusterFarm, VdrConfig};
     pub use ss_workload::{Popularity, StationPool};

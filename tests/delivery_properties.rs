@@ -99,6 +99,51 @@ proptest! {
     }
 }
 
+/// Directed re-run of the recorded proptest regression (see
+/// `delivery_properties.proptest-regressions`, which shrank to
+/// `n = 5, w = 6, at = 0, new_frag = 0, skip = 0`): a zero-skip
+/// coalesce requested *before the first tick*, with the buffer window
+/// wider than the object. The sidecar already replays this seed before
+/// novel cases, but proptest silently skips it if the file is lost or
+/// the strategy shape drifts — this pins the scenario unconditionally.
+#[test]
+fn algorithm2_coalesce_before_first_tick_keeps_every_output() {
+    let n = 5u32;
+    let mut wt = WriteThread::new(n, 2, 6);
+    wt.request_coalesce(CoalesceRequest {
+        new_frag: 0,
+        skip_write: 0,
+    })
+    .unwrap();
+    let mut outputs: Vec<FragmentRef> = Vec::new();
+    let mut t = 0u32;
+    while !wt.is_done() {
+        outputs.extend(wt.tick());
+        t += 1;
+        assert!(t <= n + 6 + 1, "runaway thread");
+    }
+    // skip_write = 0 grants at most one quiet interval; delivery must
+    // not rewind and must stay on the (unchanged) fragment index.
+    assert!(
+        outputs.len() == n as usize || outputs.len() == n as usize - 1,
+        "outputs {} of {n}",
+        outputs.len()
+    );
+    for pair in outputs.windows(2) {
+        assert!(pair[1].sub > pair[0].sub);
+    }
+    // The backlog window (6) covers the whole object (5), so every
+    // output drains from the pre-coalesce fragment index — the switch
+    // never becomes visible. This degenerate shape is what the shrink
+    // converged on: the historical bug double-counted exactly here.
+    let frags: Vec<u32> = outputs.iter().map(|o| o.frag).collect();
+    let switches = frags.windows(2).filter(|p| p[0] != p[1]).count();
+    assert!(switches <= 1, "fragment index oscillated: {frags:?}");
+    if switches == 1 {
+        assert_eq!(*frags.last().unwrap(), 0, "ends on the coalesce target");
+    }
+}
+
 /// A coalesce request while one is active must be rejected (the paper's
 /// stated precondition), and a request after completion works again.
 #[test]
