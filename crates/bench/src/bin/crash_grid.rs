@@ -1,0 +1,307 @@
+//! Crash-consistency grid: power-loss/torn-write fault injection ×
+//! scrub-daemon verification rate, on both schemes.
+//!
+//! Every cell runs the small closed-loop farm with one of four arming
+//! states — neither, crash plane only, scrub daemon only, both — and
+//! reports throughput retention against the cell's own unarmed baseline
+//! next to the crash counters: recoveries (and how many verified
+//! clean), journal transactions replayed/discarded, forced refetches,
+//! and the latent-error injection/detection/repair ledger with its
+//! dwell time. Two headline numbers gate CI:
+//!
+//! * `recovery_success_pct` — clean recoveries as a share of all
+//!   journal recoveries across every crash-armed cell (floor 99%).
+//! * `scrub_interference_pct` — throughput given up by arming the scrub
+//!   daemon on a crash-free run, worst case over the grid (ceiling
+//!   10%). VDR's scrub is a metadata-only walk, so its interference is
+//!   structurally zero; the striping scheme books real verification
+//!   bandwidth and pays for it here.
+//!
+//! Emits `crash_grid.csv` and `crash_grid.json`; in full mode the
+//! summary is also merged into `BENCH_engine.json` under a `crash` key.
+//! `--quick` runs one scrub rate on a shortened window — the CI smoke
+//! mode behind the recovery/interference gates in `scripts/ci.sh`.
+//!
+//! Run from the repo root:
+//! `cargo run --release -p ss-bench --bin crash_grid [-- --quick]`.
+
+use serde::Serialize;
+use ss_bench::HarnessOpts;
+use ss_server::config::ScrubConfig;
+use ss_server::{RunReport, ServerConfig};
+use ss_sim::CrashFaults;
+use ss_types::SimDuration;
+
+/// One (scheme, crash, scrub) cell.
+#[derive(Debug, Serialize)]
+struct CrashCell {
+    scheme: String,
+    crash: bool,
+    /// Scrub verification rate (fragments per interval; 0 = daemon off).
+    scrub_rate: u64,
+    displays_per_hour: f64,
+    /// Throughput as a percentage of the same scheme's unarmed baseline.
+    retention_pct: f64,
+    power_loss_events: u64,
+    torn_writes: u64,
+    recoveries: u64,
+    recoveries_clean: u64,
+    txns_journaled: u64,
+    txns_replayed: u64,
+    txns_discarded: u64,
+    objects_refetched: u64,
+    latent_injected: u64,
+    latent_found: u64,
+    latent_repaired: u64,
+    latent_dwell_s: f64,
+    scrub_passes: u64,
+    scrub_interference_intervals: u64,
+}
+
+/// The `crash_grid.json` artifact (and the `crash` section of
+/// `BENCH_engine.json` in full mode).
+#[derive(Debug, Serialize)]
+struct CrashGridReport {
+    mode: String,
+    seed: u64,
+    stations: u32,
+    disks: u32,
+    /// Mean time between stochastic power losses (seconds).
+    power_loss_mtbf_s: u64,
+    /// Mean time between stochastic torn writes (seconds).
+    torn_write_mtbf_s: u64,
+    cells: Vec<CrashCell>,
+    /// Clean recoveries over all recoveries, crash-armed cells pooled
+    /// (100 when no recovery ran) — the CI recovery-success gate.
+    recovery_success_pct: f64,
+    /// Worst-case throughput cost of arming the scrub daemon on a
+    /// crash-free run — the CI interference gate.
+    scrub_interference_pct: f64,
+    /// Latents found over latents injected, scrub-armed cells pooled
+    /// (100 when nothing was injected).
+    latent_find_pct: f64,
+}
+
+const POWER_LOSS_MTBF_S: u64 = 600;
+const TORN_WRITE_MTBF_S: u64 = 400;
+
+/// The workload every cell shares: the 20-disk small farm under a
+/// moderate closed loop, cold-started so journal transactions flow.
+fn cell_config(opts: &HarnessOpts, scheme: &str) -> ServerConfig {
+    let mut c = match scheme {
+        "striping" => ServerConfig::small_test(4, opts.seed),
+        _ => ServerConfig::small_vdr_test(4, opts.seed),
+    };
+    c.verify_delivery = false;
+    if opts.quick {
+        c.warmup = SimDuration::from_secs(120);
+        c.measure = SimDuration::from_secs(900);
+    }
+    c
+}
+
+fn run_cell(opts: &HarnessOpts, scheme: &str, crash: bool, scrub_rate: u64) -> RunReport {
+    let mut cfg = cell_config(opts, scheme);
+    if crash {
+        cfg.faults.crash = Some(CrashFaults {
+            power_loss_mtbf: Some(SimDuration::from_secs(POWER_LOSS_MTBF_S)),
+            torn_write_mtbf: Some(SimDuration::from_secs(TORN_WRITE_MTBF_S)),
+            ..Default::default()
+        });
+    }
+    if scrub_rate > 0 {
+        cfg.scrub = Some(ScrubConfig::rate(scrub_rate));
+    }
+    ss_server::run(&cfg).expect("crash grid run")
+}
+
+fn cell(
+    scheme: &str,
+    crash: bool,
+    scrub_rate: u64,
+    r: &RunReport,
+    baseline: &RunReport,
+) -> CrashCell {
+    let retention_pct = if baseline.displays_per_hour > 0.0 {
+        100.0 * r.displays_per_hour / baseline.displays_per_hour
+    } else {
+        f64::NAN
+    };
+    let c = r.crash.clone().unwrap_or_default();
+    CrashCell {
+        scheme: scheme.to_string(),
+        crash,
+        scrub_rate,
+        displays_per_hour: r.displays_per_hour,
+        retention_pct,
+        power_loss_events: c.power_loss_events,
+        torn_writes: c.torn_write_events,
+        recoveries: c.recoveries,
+        recoveries_clean: c.recoveries_clean,
+        txns_journaled: c.txns_journaled,
+        txns_replayed: c.txns_replayed,
+        txns_discarded: c.txns_discarded,
+        objects_refetched: c.objects_refetched,
+        latent_injected: c.latent_injected,
+        latent_found: c.latent_found,
+        latent_repaired: c.latent_repaired,
+        latent_dwell_s: c.latent_dwell_s,
+        scrub_passes: c.scrub_passes,
+        scrub_interference_intervals: c.scrub_interference_intervals,
+    }
+}
+
+fn pct(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        100.0
+    } else {
+        100.0 * num as f64 / den as f64
+    }
+}
+
+/// Merges `report` into `BENCH_engine.json` under the `crash` key,
+/// replacing any previous section and leaving every other key intact
+/// (the `farm_scale` merge idiom; `perf_baseline` owns creating the
+/// file).
+fn merge_into_baseline(report: &CrashGridReport) {
+    const PATH: &str = "BENCH_engine.json";
+    let Ok(text) = std::fs::read_to_string(PATH) else {
+        eprintln!("{PATH} not found; run perf_baseline first to merge the crash section");
+        return;
+    };
+    let mut value: serde_json::Value = match serde_json::from_str(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("cannot parse {PATH} ({e:?}); leaving it untouched");
+            return;
+        }
+    };
+    let serde_json::Value::Map(entries) = &mut value else {
+        eprintln!("{PATH} is not a JSON object; leaving it untouched");
+        return;
+    };
+    use serde::Serialize as _;
+    let section = report.to_value();
+    match entries.iter_mut().find(|(k, _)| k == "crash") {
+        Some((_, v)) => *v = section,
+        None => entries.push(("crash".to_string(), section)),
+    }
+    let json = serde_json::to_string_pretty(&value).expect("serialize merged baseline");
+    std::fs::write(PATH, format!("{json}\n")).expect("write merged baseline");
+    eprintln!("merged crash section into {PATH}");
+}
+
+const CSV_HEADER: &str = "scheme,crash,scrub_rate,displays_per_hour,retention_pct,\
+power_loss_events,torn_writes,recoveries,recoveries_clean,txns_journaled,txns_replayed,\
+txns_discarded,objects_refetched,latent_injected,latent_found,latent_repaired,\
+latent_dwell_s,scrub_passes,scrub_interference_intervals\n";
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let mode = if opts.quick { "quick" } else { "full" };
+    eprintln!("crash_grid ({mode} mode, seed {})", opts.seed);
+
+    // The rate is fragments per interval out of the farm's D per
+    // interval, so on the 20-disk farm rate 2 is a 10% bandwidth tithe —
+    // the interference ceiling CI holds the worst cell to.
+    let scrub_rates: &[u64] = if opts.quick { &[2] } else { &[1, 2] };
+    let schemes = ["striping", "vdr"];
+
+    let mut cells = Vec::new();
+    let mut worst_interference = 0.0_f64;
+    for scheme in schemes {
+        let baseline = run_cell(&opts, scheme, false, 0);
+        cells.push(cell(scheme, false, 0, &baseline, &baseline));
+        let crashed = run_cell(&opts, scheme, true, 0);
+        cells.push(cell(scheme, true, 0, &crashed, &baseline));
+        for &rate in scrub_rates {
+            let scrubbed = run_cell(&opts, scheme, false, rate);
+            let c = cell(scheme, false, rate, &scrubbed, &baseline);
+            worst_interference = worst_interference.max((100.0 - c.retention_pct).max(0.0));
+            cells.push(c);
+            let both = run_cell(&opts, scheme, true, rate);
+            cells.push(cell(scheme, true, rate, &both, &baseline));
+        }
+    }
+    for c in &cells {
+        eprintln!(
+            "{} crash={} scrub={}: {:.1} disp/h ({:.1}%), {} recoveries ({} clean), \
+             latents {}/{} found, {} repaired",
+            c.scheme,
+            c.crash,
+            c.scrub_rate,
+            c.displays_per_hour,
+            c.retention_pct,
+            c.recoveries,
+            c.recoveries_clean,
+            c.latent_found,
+            c.latent_injected,
+            c.latent_repaired,
+        );
+    }
+
+    let sum = |get: &dyn Fn(&CrashCell) -> u64| cells.iter().map(get).sum::<u64>();
+    let recovery_success_pct = pct(sum(&|c| c.recoveries_clean), sum(&|c| c.recoveries));
+    let latent_find_pct = pct(
+        sum(&|c| if c.scrub_rate > 0 { c.latent_found } else { 0 }),
+        sum(&|c| {
+            if c.scrub_rate > 0 {
+                c.latent_injected
+            } else {
+                0
+            }
+        }),
+    );
+
+    let probe = cell_config(&opts, "striping");
+    let report = CrashGridReport {
+        mode: mode.to_string(),
+        seed: opts.seed,
+        stations: probe.stations,
+        disks: probe.disks,
+        power_loss_mtbf_s: POWER_LOSS_MTBF_S,
+        torn_write_mtbf_s: TORN_WRITE_MTBF_S,
+        cells,
+        recovery_success_pct,
+        scrub_interference_pct: worst_interference,
+        latent_find_pct,
+    };
+
+    let mut csv = String::from(CSV_HEADER);
+    for c in &report.cells {
+        use std::fmt::Write;
+        writeln!(
+            csv,
+            "{},{},{},{:.3},{:.2},{},{},{},{},{},{},{},{},{},{},{},{:.3},{},{}",
+            c.scheme,
+            c.crash,
+            c.scrub_rate,
+            c.displays_per_hour,
+            c.retention_pct,
+            c.power_loss_events,
+            c.torn_writes,
+            c.recoveries,
+            c.recoveries_clean,
+            c.txns_journaled,
+            c.txns_replayed,
+            c.txns_discarded,
+            c.objects_refetched,
+            c.latent_injected,
+            c.latent_found,
+            c.latent_repaired,
+            c.latent_dwell_s,
+            c.scrub_passes,
+            c.scrub_interference_intervals,
+        )
+        .expect("write to String");
+    }
+    opts.write_artifact("crash_grid.csv", &csv);
+
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    opts.write_artifact("crash_grid.json", &format!("{json}\n"));
+    println!("{json}");
+
+    if !opts.quick {
+        merge_into_baseline(&report);
+    }
+}

@@ -167,6 +167,14 @@ pub struct FaultGridOpts {
     /// single-disk failures, and the CSV's trailing columns report the
     /// interconnect counters.
     pub nodes: Option<u32>,
+    /// Arm the crash plane on every cell (`--crash`): stochastic power
+    /// losses and torn writes over the measurement window, recovered by
+    /// journaled metadata replay.
+    pub crash: bool,
+    /// Scrub-daemon verification rate to arm on every cell
+    /// (`--scrub[=RATE]`, default 2 fragments per interval — a 10%
+    /// bandwidth tithe on the 20-disk quick farm).
+    pub scrub: Option<u64>,
     /// Non-fatal diagnostics raised during parsing; `from_args` prints
     /// them to stderr.
     pub warnings: Vec<String>,
@@ -174,7 +182,7 @@ pub struct FaultGridOpts {
 
 const FAULT_GRID_USAGE: &str =
     "usage: fault_grid [--parity[=G]] [--rebuild[=R]] [--rebuild-sweep] [--sharing[=W]] \
-     [--nodes=N] [--seed N] [--out DIR] [--quick] [--threads N]";
+     [--nodes=N] [--crash] [--scrub[=RATE]] [--seed N] [--out DIR] [--quick] [--threads N]";
 
 impl FaultGridOpts {
     /// Parses `std::env::args`, printing warnings and exiting with a
@@ -209,6 +217,8 @@ impl FaultGridOpts {
         let mut sweep = false;
         let mut sharing: Option<u64> = None;
         let mut nodes: Option<u32> = None;
+        let mut crash = false;
+        let mut scrub: Option<u64> = None;
         let harness = HarnessOpts::parse_with(args, |a| {
             if a == "--parity" {
                 parity = Some(5);
@@ -233,6 +243,14 @@ impl FaultGridOpts {
             } else if let Some(v) = a.strip_prefix("--nodes=") {
                 nodes = Some(v.parse().map_err(|_| {
                     format!("--nodes=N takes a node count, got {v:?}; {FAULT_GRID_USAGE}")
+                })?);
+            } else if a == "--crash" {
+                crash = true;
+            } else if a == "--scrub" {
+                scrub = Some(2);
+            } else if let Some(v) = a.strip_prefix("--scrub=") {
+                scrub = Some(v.parse().map_err(|_| {
+                    format!("--scrub=RATE takes a verification rate, got {v:?}; {FAULT_GRID_USAGE}")
                 })?);
             } else {
                 return Ok(false);
@@ -260,6 +278,11 @@ impl FaultGridOpts {
                 "--nodes=N needs at least one node; {FAULT_GRID_USAGE}"
             ));
         }
+        if scrub == Some(0) {
+            return Err(format!(
+                "--scrub=RATE needs at least one fragment per interval; {FAULT_GRID_USAGE}"
+            ));
+        }
         let mut warnings = Vec::new();
         if sweep && rebuild.is_none() {
             warnings.push(
@@ -275,6 +298,8 @@ impl FaultGridOpts {
             sweep,
             sharing,
             nodes,
+            crash,
+            scrub,
             warnings,
         })
     }
@@ -354,6 +379,28 @@ mod tests {
         assert!(err.contains("at least one node"), "{err}");
         let err = FaultGridOpts::parse_from(["--nodes=many"]).unwrap_err();
         assert!(err.contains("--nodes=N takes a node count"), "{err}");
+    }
+
+    #[test]
+    fn fault_grid_crash_and_scrub_flags() {
+        let o = FaultGridOpts::parse_from(["--parity"]).unwrap();
+        assert!(!o.crash, "crash plane stays off unless asked");
+        assert_eq!(o.scrub, None, "scrub stays off unless asked");
+        let o = FaultGridOpts::parse_from(["--crash"]).unwrap();
+        assert!(o.crash);
+        let o = FaultGridOpts::parse_from(["--scrub"]).unwrap();
+        assert_eq!(o.scrub, Some(2));
+        let o = FaultGridOpts::parse_from(["--crash", "--scrub=50", "--quick"]).unwrap();
+        assert!(o.crash);
+        assert_eq!(o.scrub, Some(50));
+        assert!(o.harness.quick);
+        let err = FaultGridOpts::parse_from(["--scrub=0"]).unwrap_err();
+        assert!(err.contains("at least one fragment per interval"), "{err}");
+        let err = FaultGridOpts::parse_from(["--scrub=fast"]).unwrap_err();
+        assert!(
+            err.contains("--scrub=RATE takes a verification rate"),
+            "{err}"
+        );
     }
 
     #[test]

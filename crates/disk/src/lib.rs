@@ -20,12 +20,14 @@
 
 mod allocator;
 mod availability;
+mod metadata;
 mod params;
 mod rebuild;
 mod timing;
 
 pub use allocator::{CylinderAllocator, CylinderRange};
 pub use availability::AvailabilityMask;
+pub use metadata::{DiskMetadata, LatentError, RecoveryReport, TxnOp};
 pub use params::DiskParams;
 pub use rebuild::{RebuildJob, RebuildScheduler};
 pub use timing::{min_buffer_memory, SeekModel, ServiceTiming};

@@ -256,6 +256,56 @@ pub enum Event {
         early: bool,
     },
 
+    // --- crash plane --------------------------------------------------
+    /// A disk's controller lost power mid-transaction: the journal is
+    /// cut at a deterministic phase and recovery runs immediately.
+    PowerLoss {
+        /// Physical disk (striping) or cluster (VDR) that lost power.
+        disk: u32,
+    },
+    /// A write was torn in place, planting a latent error the scrub (or
+    /// a later recovery) must find.
+    TornWrite {
+        /// Physical disk (striping) or cluster (VDR) with the torn slot.
+        disk: u32,
+    },
+    /// Journal recovery finished on a disk: `replayed` committed
+    /// transactions were reapplied, `discarded` uncommitted ones rolled
+    /// back, `orphans` data extents swept; `clean` is the post-recovery
+    /// invariant verdict (bitmap ≡ extent index ≡ free index).
+    CrashRecovery {
+        /// Physical disk (striping) or cluster (VDR) that recovered.
+        disk: u32,
+        /// Committed transactions replayed.
+        replayed: u64,
+        /// Uncommitted transactions rolled back.
+        discarded: u64,
+        /// Orphaned extents swept.
+        orphans: u64,
+        /// True when the reconciliation invariant held afterwards.
+        clean: bool,
+    },
+    /// The scrub daemon verified `fragments` allocated fragments on a
+    /// disk, finding `found` latent errors.
+    ScrubChunk {
+        /// Physical disk (striping) or cluster (VDR) being scrubbed.
+        disk: u32,
+        /// Fragments verified in this chunk.
+        fragments: u64,
+        /// Latent errors detected in this chunk.
+        found: u64,
+    },
+    /// A latent error was repaired (`parity` true = in-place parity
+    /// reconstruction; false = evict-and-refetch / replica resync).
+    ScrubRepair {
+        /// Physical disk (striping) or cluster (VDR) repaired.
+        disk: u32,
+        /// Catalog id of the object whose slot was repaired.
+        object: u32,
+        /// True when parity reconstructed the slot in place.
+        parity: bool,
+    },
+
     // --- distributed plane -------------------------------------------
     /// The front-end router assigned a display a home node.
     RouteAssign {
@@ -344,6 +394,11 @@ impl Event {
             Event::OutageAdded { .. } => "outage_added",
             Event::RebuildQueued { .. } => "rebuild_queued",
             Event::RebuildDone { .. } => "rebuild_done",
+            Event::PowerLoss { .. } => "power_loss",
+            Event::TornWrite { .. } => "torn_write",
+            Event::CrashRecovery { .. } => "crash_recovery",
+            Event::ScrubChunk { .. } => "scrub_chunk",
+            Event::ScrubRepair { .. } => "scrub_repair",
             Event::RouteAssign { .. } => "route_assign",
             Event::NodeOutageCompiled { .. } => "node_outage_compiled",
             Event::ClusterDisplayStart { .. } => "cluster_display_start",
@@ -504,6 +559,36 @@ impl Event {
             Event::RebuildDone { disk, early } => {
                 write!(w, ",\"disk\":{disk},\"early\":{early}")
             }
+            Event::PowerLoss { disk } | Event::TornWrite { disk } => {
+                write!(w, ",\"disk\":{disk}")
+            }
+            Event::CrashRecovery {
+                disk,
+                replayed,
+                discarded,
+                orphans,
+                clean,
+            } => write!(
+                w,
+                ",\"disk\":{disk},\"replayed\":{replayed},\"discarded\":{discarded},\
+                 \"orphans\":{orphans},\"clean\":{clean}"
+            ),
+            Event::ScrubChunk {
+                disk,
+                fragments,
+                found,
+            } => write!(
+                w,
+                ",\"disk\":{disk},\"fragments\":{fragments},\"found\":{found}"
+            ),
+            Event::ScrubRepair {
+                disk,
+                object,
+                parity,
+            } => write!(
+                w,
+                ",\"disk\":{disk},\"object\":{object},\"parity\":{parity}"
+            ),
             Event::RouteAssign {
                 object,
                 node,

@@ -217,6 +217,29 @@ impl RebuildConfig {
     }
 }
 
+/// Background scrub daemon: walk each disk's allocated fragments at a
+/// bounded verification rate, detecting latent torn-write errors before
+/// a display trips over them. On the striping scheme the verification
+/// reads book genuine `IntervalScheduler` bandwidth (like the rebuild
+/// drain); on VDR — whose replica operations are whole-cluster, below
+/// the fragment-drain grain — the scrub is a metadata-plane walk only,
+/// mirroring the rebuild asymmetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScrubConfig {
+    /// Fragments verified per interval (the bandwidth cap the scrub
+    /// steals from normal service while a chunk is in flight).
+    pub fragments_per_interval: u64,
+}
+
+impl ScrubConfig {
+    /// A scrub daemon verifying `rate` fragments per interval.
+    pub fn rate(rate: u64) -> Self {
+        ScrubConfig {
+            fragments_per_interval: rate,
+        }
+    }
+}
+
 /// Stream sharing: multicast batching plus a prefix cache. Arrivals for
 /// an object whose stream started within the last `batch_window`
 /// intervals join that stream instead of opening a private one — the
@@ -432,6 +455,11 @@ pub struct ServerConfig {
     /// (the default) is the single-box farm, byte-for-byte.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub distributed: Option<DistributedConfig>,
+    /// Background scrub daemon verifying allocated fragments against
+    /// latent torn-write errors. `None` (the default) runs no scrub,
+    /// byte-for-byte.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub scrub: Option<ScrubConfig>,
     /// Master RNG seed.
     pub seed: u64,
 }
@@ -471,6 +499,7 @@ impl ServerConfig {
             parallel_shards: None,
             sharing: None,
             distributed: None,
+            scrub: None,
             seed,
         }
     }
@@ -687,6 +716,11 @@ impl ServerConfig {
         if self.parallel_shards == Some(0) {
             return bad("parallel_shards must be >= 1 (or omitted for serial)".into());
         }
+        if let Some(s) = &self.scrub {
+            if s.fragments_per_interval == 0 {
+                return bad("scrub must verify at least one fragment per interval".into());
+            }
+        }
         if let Some(s) = &self.sharing {
             if s.batch_window == 0 {
                 return bad("sharing batch_window must cover at least one interval".into());
@@ -852,8 +886,37 @@ mod tests {
         assert!(!json.contains("rebuild"));
         assert!(!json.contains("sharing"));
         assert!(!json.contains("distributed"));
+        assert!(!json.contains("scrub"));
+        assert!(!json.contains("crash"));
         let back: ServerConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back, c);
+    }
+
+    #[test]
+    fn scrub_and_crash_knobs_validate() {
+        let mut c = ServerConfig::small_test(4, 9);
+        c.scrub = Some(ScrubConfig::rate(2));
+        c.validate().unwrap();
+        // VDR accepts the scrub too (metadata-plane walk).
+        let mut v = ServerConfig::small_vdr_test(4, 9);
+        v.scrub = Some(ScrubConfig::rate(1));
+        v.validate().unwrap();
+        // A zero verification rate is rejected.
+        c.scrub = Some(ScrubConfig::rate(0));
+        assert!(c.validate().is_err());
+        // Crash events ride the fault-plan validation: out-of-range disks
+        // are refused at config time.
+        let mut c = ServerConfig::small_test(4, 9);
+        c.faults.crash = Some(ss_sim::CrashFaults {
+            events: vec![ss_sim::CrashPlanEvent {
+                disk: 99,
+                at: SimTime::from_secs(600),
+                kind: ss_sim::CrashKind::PowerLoss,
+            }],
+            power_loss_mtbf: None,
+            torn_write_mtbf: None,
+        });
+        assert!(c.validate().is_err());
     }
 
     #[test]

@@ -583,6 +583,7 @@ mod tests {
             rebuild_rate: None,
             sharing: None,
             distributed: None,
+            crash: None,
         };
         let mut reports = Vec::new();
         for &n in &TABLE4_STATIONS {

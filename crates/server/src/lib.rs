@@ -25,6 +25,9 @@
 //! * [`router`] — the distributed tier's front-end admission router:
 //!   home-node selection (least-loaded / locality-affinity) over the
 //!   node topology, armed by `distributed`.
+//! * [`storage`] — the crash-consistent storage plane: journaled
+//!   per-disk metadata, power-loss / torn-write recovery, and the
+//!   bandwidth-charged scrub daemon, armed by `faults.crash` / `scrub`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -35,11 +38,13 @@ pub mod experiment;
 pub mod metrics;
 pub mod router;
 pub mod shard;
+pub mod storage;
 pub mod striping;
 pub mod vdr;
 
 pub use config::{
-    DistributedConfig, MaterializeMode, ParityConfig, RebuildConfig, Scheme, ServerConfig,
+    DistributedConfig, MaterializeMode, ParityConfig, RebuildConfig, Scheme, ScrubConfig,
+    ServerConfig,
 };
 pub use metrics::RunReport;
 pub use striping::StripingServer;

@@ -72,6 +72,65 @@ pub struct RunReport {
     /// equivalence `distributed_equivalence` pins).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub distributed: Option<DistributedStats>,
+    /// Crash-consistency statistics: journaled metadata, power-loss /
+    /// torn-write recovery, and the scrub daemon. `Some` exactly when a
+    /// crash event fired or a scrub was configured; omitted otherwise,
+    /// so crash-free runs stay byte-identical to the existing goldens.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub crash: Option<CrashStats>,
+}
+
+/// How the crash-consistent storage plane performed: the journal /
+/// recovery / scrub section of a [`RunReport`]. Whole-run numbers (they
+/// survive the warm-up reset, like `peak_buffer_fragments`).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CrashStats {
+    /// Power-loss events injected.
+    pub power_loss_events: u64,
+    /// Torn-write events injected (each plants one latent error).
+    pub torn_write_events: u64,
+    /// Metadata transactions journaled (allocations, frees, rebuild
+    /// rewrites) across all disks.
+    pub txns_journaled: u64,
+    /// Committed transactions replayed during recovery.
+    pub txns_replayed: u64,
+    /// Uncommitted transactions rolled back during recovery.
+    pub txns_discarded: u64,
+    /// Recovery passes run (one per power-loss event).
+    pub recoveries: u64,
+    /// Recovery passes whose post-recovery invariant check (bitmap ≡
+    /// extent index ≡ free index) came back clean.
+    pub recoveries_clean: u64,
+    /// Objects whose allocation was rolled back and had to be refetched
+    /// from tertiary (striping) or re-replicated (VDR).
+    pub objects_refetched: u64,
+    /// Orphaned data extents swept by recovery (data written, commit
+    /// record lost).
+    pub orphans_swept: u64,
+    /// Latent errors planted (torn writes plus rolled-back rewrites).
+    pub latent_injected: u64,
+    /// Latent errors the scrub daemon found.
+    pub latent_found: u64,
+    /// Latent errors repaired (parity reconstruction in place, or
+    /// evict-and-refetch without parity).
+    pub latent_repaired: u64,
+    /// Σ dwell time of found latent errors (injection → detection),
+    /// simulated seconds.
+    pub latent_dwell_s: f64,
+    /// Scrub chunks issued (each books verification bandwidth for one
+    /// interval on one disk).
+    pub scrub_chunks: u64,
+    /// Complete scrub passes over the whole farm.
+    pub scrub_passes: u64,
+    /// Σ fragments verified by the scrub.
+    pub scrub_fragment_intervals: u64,
+    /// Virtual-disk intervals the scrub stole from normal service (its
+    /// interference with foreground admissions; striping only — the VDR
+    /// scrub is a metadata-plane walk).
+    pub scrub_interference_intervals: u64,
+    /// Configured scrub rate (fragments per interval; self-description,
+    /// 0 when no scrub was configured).
+    pub scrub_rate: u64,
 }
 
 /// How the distributed tier performed: the node-routing and interconnect
@@ -246,6 +305,10 @@ pub struct MetricsCollector {
     /// Stream-sharing statistics, allocated only when sharing is
     /// configured. Whole-run numbers: they survive the warm-up reset.
     pub sharing: Option<SharingStats>,
+    /// Crash-consistency statistics, allocated only when a crash event
+    /// fires or a scrub is configured. Whole-run numbers: they survive
+    /// the warm-up reset.
+    pub crash: Option<CrashStats>,
     measure_start: SimTime,
     in_measurement: bool,
 }
@@ -265,6 +328,7 @@ impl MetricsCollector {
             ticks_skipped: 0,
             degraded: None,
             sharing: None,
+            crash: None,
             measure_start: SimTime::ZERO,
             in_measurement: false,
         }
@@ -282,6 +346,14 @@ impl MetricsCollector {
     /// and its report serializes without a sharing section.
     pub fn sharing_mut(&mut self) -> &mut SharingStats {
         self.sharing.get_or_insert_with(SharingStats::default)
+    }
+
+    /// The crash-consistency stats, allocated on first use. Models call
+    /// this only when a crash event fires or a scrub is configured, so a
+    /// crash-free run keeps `None` and its report serializes without a
+    /// crash section.
+    pub fn crash_mut(&mut self) -> &mut CrashStats {
+        self.crash.get_or_insert_with(CrashStats::default)
     }
 
     /// Ends the warm-up: clears counters and starts the measurement
@@ -394,6 +466,7 @@ impl MetricsCollector {
             rebuild_rate: None,
             sharing: self.sharing,
             distributed: None,
+            crash: self.crash.clone(),
         }
     }
 }
@@ -697,6 +770,30 @@ mod tests {
         let back: RunReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.distributed.as_ref().unwrap().nodes, 4);
         assert_eq!(back, multi);
+    }
+
+    #[test]
+    fn crash_section_is_omitted_from_json_when_absent() {
+        let mut m = MetricsCollector::new();
+        m.start_measurement(t(0));
+        let clean = m.report(t(3600), "striping", 8, "geom(20)".into(), 3, 0.1, 5);
+        let json = serde_json::to_string(&clean).unwrap();
+        assert!(
+            !json.contains("crash"),
+            "crash-free report must serialize without a crash key: {json}"
+        );
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, clean);
+
+        m.crash_mut().power_loss_events = 2;
+        m.crash_mut().recoveries = 2;
+        m.crash_mut().recoveries_clean = 2;
+        let crashed = m.report(t(3600), "striping", 8, "geom(20)".into(), 3, 0.1, 5);
+        let json = serde_json::to_string(&crashed).unwrap();
+        assert!(json.contains("crash"));
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.crash.as_ref().unwrap().recoveries_clean, 2);
+        assert_eq!(back, crashed);
     }
 
     #[test]

@@ -22,6 +22,7 @@ use crate::config::{ArrivalModel, MaterializeMode, QueuePolicy, Scheme, ServerCo
 use crate::metrics::{MetricsCollector, RunReport};
 use crate::router::NodeRouter;
 use crate::shard::{sharded_min, ProbeArg, ProbeVerdict, ShardEngine};
+use crate::storage::{ScrubChunk, StoragePlane};
 use ss_core::admission::{AdmissionGrant, AdmissionPolicy, IntervalScheduler, Outage};
 use ss_core::buffers::BufferTracker;
 use ss_core::cache::PrefixCache;
@@ -29,7 +30,7 @@ use ss_core::coalesce::{ActiveFragmentedDisplay, LostRead};
 use ss_core::frame::VirtualFrame;
 use ss_core::interconnect::InterconnectLedger;
 use ss_core::media::ObjectCatalog;
-use ss_core::placement::{PlacementMap, StripingConfig};
+use ss_core::placement::{PlacementMap, StripingConfig, StripingLayout};
 use ss_disk::{AvailabilityMask, RebuildScheduler};
 use ss_sim::{
     Context, DeterministicRng, FaultEvent, FaultKind, FaultPlan, FaultTimeline, Model, Simulation,
@@ -307,6 +308,49 @@ pub struct StripingModel {
     /// Distributed tier (router + interconnect ledger), armed by
     /// `config.distributed`.
     dist: Option<DistState>,
+    /// Crash-consistent storage plane (journalled per-disk metadata and
+    /// the scrub walk), armed by `faults.crash` / `config.scrub`.
+    plane: Option<StoragePlane>,
+}
+
+/// The storage plane's view of a placement layout: `(disk, fragments)`
+/// pairs for every drive holding at least one of the object's fragments.
+fn plane_layout(layout: &StripingLayout) -> Vec<(u32, u32)> {
+    layout
+        .fragments_per_disk()
+        .into_iter()
+        .enumerate()
+        .filter(|&(_, f)| f > 0)
+        .map(|(d, f)| (d as u32, f))
+        .collect()
+}
+
+/// Books a scrub chunk's verification reads as interval-scheduler
+/// bandwidth: `rate` virtual disks are blocked until the chunk
+/// completes, exactly like the rebuild drain's booking, so scrubbing
+/// competes with display admissions for real bandwidth. The booked
+/// disks rotate with the chunk's start interval — in staggered striping
+/// the virtual→physical mapping itself rotates over time, so the
+/// physical drive under scrub surfaces as a different virtual disk each
+/// chunk. That spreads the tithe: no single virtual disk is pinned for
+/// more than one short chunk at a time. Horizon advances are charged as
+/// interference.
+fn book_scrub_chunk(
+    scheduler: &mut IntervalScheduler,
+    stats: &mut crate::metrics::CrashStats,
+    disks: u32,
+    chunk: ScrubChunk,
+    rate: u64,
+) {
+    let d = u64::from(disks);
+    for j in 0..rate.min(d) {
+        let v = ((u64::from(chunk.disk) + chunk.start + j) % d) as u32;
+        let old = scheduler.free_from(v);
+        if chunk.end > old {
+            stats.scrub_interference_intervals += chunk.end - old.max(chunk.start);
+            scheduler.set_free_from(v, chunk.end);
+        }
+    }
 }
 
 impl StripingModel {
@@ -450,6 +494,38 @@ impl StripingModel {
             node_outages: d.node_outages.len() as u32,
             scratch: Vec::new(),
         });
+        // The storage plane arms only when the crash machinery can act:
+        // compiled crash events or the scrub daemon. Zero-armed runs
+        // never construct it, keeping them byte-identical to the
+        // pre-plane engine.
+        let mut plane =
+            (!timeline.crash_events().is_empty() || config.scrub.is_some()).then(|| {
+                let slots = config.disk.cylinders / config.cylinders_per_fragment;
+                let mut plane = StoragePlane::new(
+                    config.disks as usize,
+                    slots,
+                    config.scrub.map(|s| s.fragments_per_interval),
+                );
+                // Seed in id order: `resident_ids` iterates a hash map, and
+                // the seeding sequence decides the ledgers' extent layout —
+                // which torn-write salts index into. Any other order would
+                // vary run to run.
+                let mut resident: Vec<ObjectId> = placement.resident_ids().collect();
+                resident.sort_unstable();
+                for id in resident {
+                    let layout = placement.layout(id).expect("resident layout");
+                    plane.seed(u64::from(id.0), plane_layout(&layout));
+                }
+                // The preload is base state, not replayable history.
+                plane.checkpoint();
+                plane
+            });
+        if let Some(p) = plane.as_mut() {
+            if let Some(chunk) = p.begin_scrub(0) {
+                let rate = p.stats.scrub_rate;
+                book_scrub_chunk(&mut scheduler, &mut p.stats, config.disks, chunk, rate);
+            }
+        }
         let n_objects = catalog.len();
         Ok(StripingModel {
             interval: config.interval(),
@@ -492,6 +568,7 @@ impl StripingModel {
             active_viewers: 0,
             catchup_in_use: 0,
             dist,
+            plane,
             config,
         })
     }
@@ -1111,7 +1188,13 @@ impl StripingModel {
                 (None, None) => self.placement.place(&spec).map(|_| ()),
             };
             match placed {
-                Ok(_) => return true,
+                Ok(_) => {
+                    if let Some(p) = self.plane.as_mut() {
+                        let layout = self.placement.layout(object).expect("just placed");
+                        p.record_alloc(u64::from(object.0), plane_layout(&layout));
+                    }
+                    return true;
+                }
                 Err(Error::DiskFull { .. }) => {
                     // Evict the coldest object that is not displaying, not
                     // materializing, and not awaited.
@@ -1136,6 +1219,9 @@ impl StripingModel {
                             }
                             reuse_start = Some(start);
                             self.placement.remove(v).expect("victim resident");
+                            if let Some(p) = self.plane.as_mut() {
+                                p.record_free(u64::from(v.0));
+                            }
                         }
                         None => return false,
                     }
@@ -1452,6 +1538,12 @@ impl StripingModel {
                 h.rebuilds_completed += 1;
                 h.rebuild_seconds += (done - start) as f64 * interval_s;
                 ss_obs::obs!(ss_obs::Event::RebuildDone { disk, early: true });
+                if let Some(p) = self.plane.as_mut() {
+                    // The drain's whole-disk rewrite lands as a journalled
+                    // metadata transaction — a power loss right after the
+                    // rebuild can tear the rebuilt drive.
+                    p.record_rewrite(disk);
+                }
                 completed = true;
             } else {
                 i += 1;
@@ -1612,6 +1704,11 @@ impl StripingModel {
             self.process_rebuilds(now);
             self.process_faults(now);
         }
+        // Gated separately from the service-fault timeline: a crash- or
+        // scrub-armed run may have no service faults at all.
+        if self.plane.is_some() {
+            self.process_storage_plane(now);
+        }
         self.promote_materializations(now);
         self.try_admissions(now);
         self.issue_requests(now);
@@ -1652,6 +1749,92 @@ impl StripingModel {
                 |row| fill_heatmap_row(&self.scheduler, t, row),
             );
         }
+    }
+
+    /// Fires due crash events against the storage plane and advances the
+    /// scrub walk: recovery rollbacks evict their objects from placement,
+    /// scrub finds repair in place under parity (or evict-and-refetch
+    /// without), and each newly started scrub chunk is booked as real
+    /// scheduler bandwidth.
+    fn process_storage_plane(&mut self, now: SimTime) {
+        let Some(mut plane) = self.plane.take() else {
+            return;
+        };
+        if plane
+            .next_crash_at(&self.timeline)
+            .is_some_and(|at| at <= now)
+        {
+            let events = self.timeline.crash_events().to_vec();
+            plane.process_crashes(&events, now, |object| {
+                self.rollback_alloc(ObjectId(object as u32))
+            });
+        }
+        let t = self.interval_index(now);
+        let parity = self.config.parity.is_some();
+        let mut scrub_evicted: Vec<u64> = Vec::new();
+        let chunks = plane.process_scrub(t, now, |_, object| {
+            if parity {
+                true // the parity group reconstructs the slot in place
+            } else {
+                if !scrub_evicted.contains(&object) {
+                    scrub_evicted.push(object);
+                }
+                false
+            }
+        });
+        // Without parity the damaged object's copy is unusable: evict it
+        // (the next request refetches from tertiary) and complete the
+        // deallocation in the plane.
+        for object in scrub_evicted {
+            if self.rollback_alloc(ObjectId(object as u32)) {
+                plane.stats.objects_refetched += 1;
+            }
+            plane.record_free(object);
+        }
+        for chunk in chunks {
+            let rate = plane.stats.scrub_rate;
+            book_scrub_chunk(
+                &mut self.scheduler,
+                &mut plane.stats,
+                self.config.disks,
+                chunk,
+                rate,
+            );
+        }
+        self.plane = Some(plane);
+    }
+
+    /// Evicts `object` after the crash machinery invalidated its on-disk
+    /// fragments: the placement entry is dropped, any in-flight
+    /// materialization is abandoned, and waiters are re-parked on the
+    /// tertiary queue so the next pump refetches the object. Returns
+    /// whether the object was resident. In-flight displays run on —
+    /// their reads were committed before the damage (a modeling choice:
+    /// a crash invalidates future admissions, not delivered intervals).
+    fn rollback_alloc(&mut self, object: ObjectId) -> bool {
+        let o = object.index();
+        if self.materializing[o].is_some() {
+            self.materializing[o] = None;
+            self.materializing_ids.retain(|&x| x != object);
+        }
+        let resident = self.placement.is_resident(object);
+        if resident {
+            self.placement.remove(object).expect("resident");
+        }
+        let mut i = 0;
+        while i < self.wait_disk.len() {
+            if self.wait_disk[i].object == object {
+                let w = self.wait_disk.remove(i);
+                self.wait_tertiary[o].push(w);
+            } else {
+                i += 1;
+            }
+        }
+        if !self.wait_tertiary[o].is_empty() && !self.in_fetch_queue[o] {
+            self.fetch_queue.push_back(object);
+            self.in_fetch_queue[o] = true;
+        }
+        resident
     }
 
     /// The earliest future instant at which the next tick can do anything a
@@ -1719,6 +1902,16 @@ impl StripingModel {
         // boundary.
         for &(_, _, done) in &self.pending_rebuilds {
             horizon = horizon.min(SimTime::from_micros(done * self.interval.as_micros()));
+        }
+        // Crash events and scrub chunk completions are wakeup sources of
+        // the storage plane.
+        if let Some(p) = &self.plane {
+            if let Some(at) = p.next_crash_at(&self.timeline) {
+                horizon = horizon.min(at);
+            }
+            if let Some(end) = p.next_scrub_end() {
+                horizon = horizon.min(SimTime::from_micros(end * self.interval.as_micros()));
+            }
         }
         if !self.measurement_started {
             horizon = horizon.min(SimTime::ZERO + self.config.warmup);
@@ -1962,6 +2155,14 @@ impl StripingServer {
             s.batch_window = sh.batch_window;
             report.sharing = Some(s);
         }
+        // The crash section attaches only when the machinery acted or the
+        // scrub daemon was armed; a zero-crash zero-scrub run reproduces
+        // the pre-plane report byte-for-byte.
+        if let Some(p) = &m.plane {
+            if p.fired() || p.scrub_armed() {
+                report.crash = Some(p.stats.clone());
+            }
+        }
         // The distributed section attaches only when it can say something
         // a single-box run cannot: a multi-node topology or a compiled
         // node outage. A 1-node infinite-interconnect config therefore
@@ -2119,6 +2320,27 @@ impl StripingModel {
             .enumerate()
             .map(|(n, &need)| need.saturating_sub(dist.ledger.booked(NodeId(n as u32), t)))
             .sum()
+    }
+
+    /// The crash-plane reconciliation invariant: every metadata ledger
+    /// internally consistent (bitmap popcount ≡ extent table ≡ free
+    /// index) and the plane's object set identical to the placement
+    /// residents. Vacuously true when the plane is off.
+    pub fn storage_reconciles(&self) -> bool {
+        self.plane
+            .as_ref()
+            .is_none_or(|p| p.reconciles(self.placement.resident_ids().map(|o| u64::from(o.0))))
+    }
+
+    /// Crash statistics accumulated so far (`None` when the plane is off).
+    pub fn crash_stats(&self) -> Option<&crate::metrics::CrashStats> {
+        self.plane.as_ref().map(|p| &p.stats)
+    }
+
+    /// Latent errors currently planted and undetected (0 when the plane
+    /// is off) — scrub-coverage diagnostics.
+    pub fn latent_errors(&self) -> usize {
+        self.plane.as_ref().map_or(0, StoragePlane::latent_len)
     }
 
     /// Committed reads visible at `now` that fall inside a known hard
@@ -2524,5 +2746,117 @@ mod tests {
         assert_eq!(f.read_start, vec![5, 5], "the read base moved to 5");
         assert_eq!(d.buffer_fragments, 0, "both buffers released");
         assert_eq!(m.buffers.in_use(), 0);
+    }
+
+    #[test]
+    fn zero_armed_run_attaches_no_crash_section() {
+        let report = StripingServer::new(small(4)).unwrap().run();
+        assert!(report.crash.is_none(), "no plane, no crash section");
+    }
+
+    #[test]
+    fn crash_plane_recovers_cleanly_and_reconciles_at_every_event() {
+        let mut cfg = small(4);
+        // Cold start: tertiary fetches journal real allocation
+        // transactions for the power losses to cut.
+        cfg.preload = false;
+        cfg.faults.crash = Some(ss_sim::CrashFaults {
+            events: vec![
+                ss_sim::CrashPlanEvent {
+                    disk: 0,
+                    at: SimTime::from_secs(60),
+                    kind: ss_sim::CrashKind::PowerLoss,
+                },
+                ss_sim::CrashPlanEvent {
+                    disk: 3,
+                    at: SimTime::from_secs(200),
+                    kind: ss_sim::CrashKind::TornWrite,
+                },
+                ss_sim::CrashPlanEvent {
+                    disk: 7,
+                    at: SimTime::from_secs(300),
+                    kind: ss_sim::CrashKind::PowerLoss,
+                },
+            ],
+            ..Default::default()
+        });
+        let mut server = StripingServer::new(cfg).unwrap();
+        while server.step() {
+            assert!(
+                server.model().storage_reconciles(),
+                "plane/placement reconciliation broke at {:?}",
+                server.now()
+            );
+        }
+        let report = server.run();
+        let c = report.crash.as_ref().expect("crash events fired");
+        assert_eq!(c.power_loss_events, 2);
+        assert_eq!(c.torn_write_events, 1);
+        assert_eq!(c.recoveries, 2);
+        assert_eq!(c.recoveries_clean, 2, "every recovery verified clean");
+        assert!(c.txns_journaled > 0, "cold-start fetches journal allocs");
+        assert!(report.displays_completed > 0, "the server kept serving");
+    }
+
+    #[test]
+    fn scrub_daemon_detects_and_repairs_torn_writes() {
+        let mut cfg = small(2);
+        cfg.scrub = Some(crate::config::ScrubConfig::rate(50));
+        cfg.faults.crash = Some(ss_sim::CrashFaults {
+            events: (0..4)
+                .map(|i| ss_sim::CrashPlanEvent {
+                    disk: i * 5,
+                    at: SimTime::from_secs(300 + u64::from(i) * 60),
+                    kind: ss_sim::CrashKind::TornWrite,
+                })
+                .collect(),
+            ..Default::default()
+        });
+        let mut server = StripingServer::new(cfg).unwrap();
+        while server.step() {
+            assert!(server.model().storage_reconciles());
+        }
+        assert_eq!(server.model().latent_errors(), 0, "a pass found them all");
+        let report = server.run();
+        let c = report.crash.as_ref().expect("scrub armed");
+        assert_eq!(c.torn_write_events, 4);
+        assert!(c.latent_injected >= 1, "torn writes hit allocated slots");
+        assert_eq!(c.latent_found, c.latent_injected);
+        assert_eq!(c.latent_repaired, c.latent_found);
+        // No parity group: repairs evict and refetch from tertiary.
+        assert_eq!(c.objects_refetched, c.latent_repaired);
+        assert!(c.latent_dwell_s > 0.0, "detection lags injection");
+        assert!(c.scrub_chunks > 0);
+        assert!(c.scrub_passes >= 1, "the walk covered the whole farm");
+        assert!(
+            c.scrub_interference_intervals > 0,
+            "verification reads were booked as real bandwidth"
+        );
+        assert_eq!(c.scrub_rate, 50);
+    }
+
+    #[test]
+    fn parity_repairs_scrub_findings_in_place() {
+        let mk = || {
+            let mut cfg = small(2);
+            cfg.parity = Some(crate::config::ParityConfig::group(5));
+            cfg.scrub = Some(crate::config::ScrubConfig::rate(50));
+            cfg.faults.crash = Some(ss_sim::CrashFaults {
+                events: vec![ss_sim::CrashPlanEvent {
+                    disk: 2,
+                    at: SimTime::from_secs(300),
+                    kind: ss_sim::CrashKind::TornWrite,
+                }],
+                ..Default::default()
+            });
+            cfg
+        };
+        let report = StripingServer::new(mk()).unwrap().run();
+        let c = report.crash.as_ref().expect("scrub armed");
+        assert_eq!(c.latent_repaired, c.latent_found);
+        assert_eq!(c.objects_refetched, 0, "parity reconstructs in place");
+        // Crash-armed runs stay deterministic.
+        let again = StripingServer::new(mk()).unwrap().run();
+        assert_eq!(report, again);
     }
 }

@@ -11,18 +11,20 @@
 use crate::config::{Scheme, ServerConfig};
 use crate::metrics::{MetricsCollector, RunReport};
 use crate::router::NodeRouter;
+use crate::storage::StoragePlane;
 use ss_core::buffers::BufferTracker;
 use ss_core::cache::PrefixCache;
 use ss_core::interconnect::InterconnectLedger;
 use ss_disk::{AvailabilityMask, RebuildScheduler};
 use ss_sim::{
-    Context, DeterministicRng, FaultEvent, FaultKind, FaultPlan, FaultTimeline, Model, Simulation,
+    Context, CrashEvent, DeterministicRng, FaultEvent, FaultKind, FaultPlan, FaultTimeline, Model,
+    Simulation,
 };
 use ss_tertiary::TertiaryDevice;
 use ss_types::{ClusterId, Error, NodeId, NodeTopology, ObjectId, Result, SimTime, StationId};
 use ss_vdr::{ClusterFarm, ClusterStatus, CopyPlan, VdrConfig};
 use ss_workload::{StationPool, StationState};
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 
 /// The server's event alphabet: one periodic interval tick.
 pub enum Event {
@@ -161,6 +163,13 @@ pub struct VdrModel {
     /// Distributed tier (router + interconnect ledger), armed by
     /// `config.distributed`.
     dist: Option<VdrDist>,
+    /// Crash-consistent metadata plane, armed by crash faults or
+    /// `config.scrub`: one per-*cluster* ledger in per-ledger (replica)
+    /// mode. VDR replicas are whole-cluster objects with no fragment
+    /// scheduler behind them, so the scrub walk here is a pure metadata
+    /// pass — no bandwidth is booked, and repairs are in-place replica
+    /// resyncs.
+    plane: Option<StoragePlane>,
 }
 
 /// VDR's distributed-tier state. A display is one indivisible cluster
@@ -296,6 +305,29 @@ impl VdrModel {
             node_outages: d.node_outages.len() as u32,
             scratch: Vec::new(),
         });
+        // The storage plane arms only when the crash machinery can act:
+        // compiled crash events or the scrub daemon. Zero-armed runs
+        // never construct it, keeping them byte-identical to the
+        // pre-plane engine. One metadata ledger per cluster in replica
+        // (per-ledger) mode, one slot per resident object.
+        let plane = (!timeline.crash_events().is_empty() || config.scrub.is_some()).then(|| {
+            let mut plane = StoragePlane::new(
+                clusters,
+                vdr.objects_per_cluster,
+                config.scrub.map(|s| s.fragments_per_interval),
+            )
+            .per_ledger();
+            for c in 0..vdr.clusters {
+                for o in farm.cluster_contents(ClusterId(c)) {
+                    plane.seed(u64::from(o.0), [(c, 1)]);
+                }
+            }
+            // The preload is base state, not replayable history.
+            plane.checkpoint();
+            // Metadata-only walk: the chunk is not booked anywhere.
+            plane.begin_scrub(0);
+            plane
+        });
         Ok(VdrModel {
             vdr,
             farm,
@@ -331,6 +363,7 @@ impl VdrModel {
             active_viewers: 0,
             catchup_in_use: 0,
             dist,
+            plane,
             config,
         })
     }
@@ -862,6 +895,11 @@ impl VdrModel {
                         // the cluster's old replicas again.
                         self.farm.set_down(ClusterId(c), false);
                     }
+                    if let Some(p) = self.plane.as_mut() {
+                        // The drain rewrote the spare from a surviving
+                        // replica: journal it (a torn-write target).
+                        p.record_rewrite(c);
+                    }
                 }
                 let g = self.metrics.degraded_mut();
                 g.repairs += 1;
@@ -993,6 +1031,72 @@ impl VdrModel {
         self.copy_ids.retain(|&o| o != object);
     }
 
+    /// Mirrors the farm's per-cluster contents into the plane as
+    /// journalled per-ledger transactions: replica registrations become
+    /// allocs, evictions become frees. Run at the end of every executed
+    /// tick (the farm mutates only inside ticks), so the plane ≡ farm
+    /// reconciliation invariant holds at every boundary.
+    fn sync_plane(&mut self) {
+        let Some(plane) = self.plane.as_mut() else {
+            return;
+        };
+        for c in 0..self.vdr.clusters {
+            let ci = c as usize;
+            let want: BTreeSet<u64> = self
+                .farm
+                .cluster_contents(ClusterId(c))
+                .iter()
+                .map(|o| u64::from(o.0))
+                .collect();
+            let have = plane.ledger_objects(ci);
+            for &o in have.difference(&want) {
+                plane.record_free_on(ci, o);
+            }
+            for &o in want.difference(&have) {
+                plane.record_alloc_on(ci, o, 1);
+            }
+        }
+    }
+
+    /// The crash/scrub pass: sync the plane to the farm, fire due crash
+    /// events, re-sync so a discarded replica registration is
+    /// immediately re-journalled (a metadata-level resync from a
+    /// surviving replica or tertiary — counted as a forced refetch),
+    /// then advance the scrub walk.
+    fn process_storage_plane(&mut self, now: SimTime) {
+        self.sync_plane();
+        let Some(mut plane) = self.plane.take() else {
+            return;
+        };
+        if plane
+            .next_crash_at(&self.timeline)
+            .is_some_and(|at| at <= now)
+        {
+            // Crash events strike physical disks; the plane's ledgers
+            // are clusters, so map disk → cluster exactly like
+            // `process_faults` (events landing beyond the last whole
+            // cluster are spent by the plane's range guard).
+            let degree = self.config.degree();
+            let events: Vec<CrashEvent> = self
+                .timeline
+                .crash_events()
+                .iter()
+                .map(|ev| CrashEvent {
+                    disk: ev.disk / degree,
+                    ..*ev
+                })
+                .collect();
+            plane.process_crashes(&events, now, |_| true);
+        }
+        let t = now.as_micros() / self.config.interval().as_micros();
+        // Every scrub finding is repaired by resyncing the replica in
+        // place from a surviving copy (`false` = not a parity rebuild);
+        // the farm is untouched, so no eviction or refetch follows.
+        plane.process_scrub(t, now, |_, _| false);
+        self.plane = Some(plane);
+        self.sync_plane();
+    }
+
     fn tick(&mut self, now: SimTime) {
         if !self.measurement_started && now.duration_since(SimTime::ZERO) >= self.config.warmup {
             self.metrics.start_measurement(now);
@@ -1007,6 +1111,9 @@ impl VdrModel {
         self.issue_requests(now);
         self.serve_waiters(now);
         self.pump_fetches(now);
+        if self.plane.is_some() {
+            self.process_storage_plane(now);
+        }
         let busy = f64::from(self.vdr.clusters - self.farm.idle_count(now));
         let util = busy / f64::from(self.vdr.clusters);
         self.metrics.utilization.set(now, util);
@@ -1080,6 +1187,16 @@ impl VdrModel {
         let us = self.config.interval().as_micros();
         for &(_, _, done) in &self.pending_rebuilds {
             horizon = horizon.min(SimTime::from_micros(done * us));
+        }
+        // Crash events recover at their boundary; a scrub chunk end
+        // advances the walk (both are no-ops between these instants).
+        if let Some(p) = &self.plane {
+            if let Some(at) = p.next_crash_at(&self.timeline) {
+                horizon = horizon.min(at);
+            }
+            if let Some(end) = p.next_scrub_end() {
+                horizon = horizon.min(SimTime::from_micros(end * us));
+            }
         }
         if !self.measurement_started {
             horizon = horizon.min(SimTime::ZERO + self.config.warmup);
@@ -1273,6 +1390,13 @@ impl VdrServer {
             s.batch_window = sh.batch_window;
             report.sharing = Some(s);
         }
+        // Attached whenever a crash event fired or the scrub daemon was
+        // armed, so a zero-crash zero-scrub run stays byte-identical.
+        if let Some(p) = &m.plane {
+            if p.fired() || p.scrub_armed() {
+                report.crash = Some(p.stats.clone());
+            }
+        }
         // Attached only when it can say something a single-box run
         // cannot, so a 1-node infinite-interconnect config reproduces the
         // single-box report byte-for-byte.
@@ -1301,6 +1425,11 @@ impl VdrServer {
     /// Advances one event (diagnostics); returns false when finished.
     pub fn step(&mut self) -> bool {
         self.sim.step()
+    }
+
+    /// The simulation clock (diagnostics).
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
     }
 }
 
@@ -1342,6 +1471,37 @@ impl VdrModel {
         self.dist
             .as_ref()
             .map_or(0, |d| d.ledger.remote_fragment_intervals())
+    }
+
+    /// The cross-layer reconciliation invariant, per cluster: every
+    /// metadata ledger internally consistent and holding exactly the
+    /// farm's replica set for its cluster. Vacuously true when the plane
+    /// is off.
+    pub fn storage_reconciles(&self) -> bool {
+        let Some(p) = self.plane.as_ref() else {
+            return true;
+        };
+        p.verify_all()
+            && (0..self.vdr.clusters).all(|c| {
+                let want: BTreeSet<u64> = self
+                    .farm
+                    .cluster_contents(ClusterId(c))
+                    .iter()
+                    .map(|o| u64::from(o.0))
+                    .collect();
+                p.ledger_objects(c as usize) == want
+            })
+    }
+
+    /// Crash statistics accumulated so far (`None` when the plane is off).
+    pub fn crash_stats(&self) -> Option<&crate::metrics::CrashStats> {
+        self.plane.as_ref().map(|p| &p.stats)
+    }
+
+    /// Latent errors currently planted and undetected (0 when the plane
+    /// is off) — scrub-coverage diagnostics.
+    pub fn latent_errors(&self) -> usize {
+        self.plane.as_ref().map_or(0, StoragePlane::latent_len)
     }
 }
 
@@ -1558,5 +1718,98 @@ mod tests {
             VdrModel::new(cfg),
             Err(Error::InvalidConfig { .. })
         ));
+    }
+
+    #[test]
+    fn zero_armed_run_attaches_no_crash_section() {
+        let report = VdrServer::new(small(2)).unwrap().run();
+        assert!(report.crash.is_none(), "plane never constructed");
+    }
+
+    #[test]
+    fn crash_plane_recovers_and_reconciles_with_the_farm_at_every_event() {
+        let mut cfg = small(4);
+        // Cold start: tertiary materializations register replicas, so the
+        // sync pass journals real allocation transactions for the power
+        // losses to cut.
+        cfg.preload = false;
+        // Degree 5: disks 0 and 3 strike cluster 0, disk 7 cluster 1.
+        cfg.faults.crash = Some(ss_sim::CrashFaults {
+            events: vec![
+                ss_sim::CrashPlanEvent {
+                    disk: 0,
+                    at: SimTime::from_secs(60),
+                    kind: ss_sim::CrashKind::PowerLoss,
+                },
+                ss_sim::CrashPlanEvent {
+                    disk: 3,
+                    at: SimTime::from_secs(200),
+                    kind: ss_sim::CrashKind::TornWrite,
+                },
+                ss_sim::CrashPlanEvent {
+                    disk: 7,
+                    at: SimTime::from_secs(300),
+                    kind: ss_sim::CrashKind::PowerLoss,
+                },
+            ],
+            ..Default::default()
+        });
+        let mut server = VdrServer::new(cfg).unwrap();
+        while server.step() {
+            assert!(
+                server.model().storage_reconciles(),
+                "plane/farm reconciliation broke at {:?}",
+                server.now()
+            );
+        }
+        let report = server.run();
+        let c = report.crash.as_ref().expect("crash events fired");
+        assert_eq!(c.power_loss_events, 2);
+        assert_eq!(c.torn_write_events, 1);
+        assert_eq!(c.recoveries, 2);
+        assert_eq!(c.recoveries_clean, 2, "every recovery verified clean");
+        assert!(c.txns_journaled > 0, "replica syncs journal allocs");
+        assert!(report.displays_completed > 0, "the server kept serving");
+    }
+
+    #[test]
+    fn metadata_scrub_finds_torn_writes_without_booking_bandwidth() {
+        let mk = || {
+            let mut cfg = small(2);
+            cfg.scrub = Some(crate::config::ScrubConfig::rate(50));
+            // One torn write per cluster (degree 5).
+            cfg.faults.crash = Some(ss_sim::CrashFaults {
+                events: (0..4)
+                    .map(|i| ss_sim::CrashPlanEvent {
+                        disk: i * 5,
+                        at: SimTime::from_secs(300 + u64::from(i) * 60),
+                        kind: ss_sim::CrashKind::TornWrite,
+                    })
+                    .collect(),
+                ..Default::default()
+            });
+            cfg
+        };
+        let mut server = VdrServer::new(mk()).unwrap();
+        while server.step() {
+            assert!(server.model().storage_reconciles());
+        }
+        assert_eq!(server.model().latent_errors(), 0, "a pass found them all");
+        let report = server.run();
+        let c = report.crash.as_ref().expect("scrub armed");
+        assert_eq!(c.torn_write_events, 4);
+        assert!(c.latent_injected >= 1, "torn writes hit preloaded slots");
+        assert_eq!(c.latent_found, c.latent_injected);
+        assert_eq!(c.latent_repaired, c.latent_found);
+        // Replica resync repairs in place: no eviction, no refetch, and a
+        // metadata-only walk charges no verification bandwidth.
+        assert_eq!(c.objects_refetched, 0);
+        assert_eq!(c.scrub_interference_intervals, 0);
+        assert!(c.scrub_passes >= 1, "the walk wrapped the farm");
+        assert!(c.latent_dwell_s > 0.0, "detection lags injection");
+        assert_eq!(c.scrub_rate, 50);
+        // Same seed, same crash/scrub plan: byte-identical reports.
+        let again = VdrServer::new(mk()).unwrap().run();
+        assert_eq!(report, again);
     }
 }

@@ -69,6 +69,78 @@ pub struct StochasticFaults {
     pub slow_fraction: f64,
 }
 
+/// What a crash-plane event does to a disk's on-device metadata. Unlike
+/// [`FaultKind`] transitions — which take a disk out of *service* — crash
+/// events corrupt the disk's *metadata/media* state and leave service
+/// untouched: a power loss truncates the in-flight journal transaction at
+/// a deterministic cut point (recovery then replays or discards it per
+/// its commit record), and a torn write plants a latent media error that
+/// stays invisible until a scrub pass reads the slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CrashKind {
+    /// Power fails mid-write: the most recent journal transaction is cut
+    /// at a salt-chosen phase and recovery runs immediately.
+    PowerLoss,
+    /// A sector write tears silently: one allocated slot (salt-chosen)
+    /// carries a latent error until a scrub detects it.
+    TornWrite,
+}
+
+/// One scheduled crash-plane event in a plan (salts are assigned at
+/// compilation from the `crash` RNG stream, not specified here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrashPlanEvent {
+    /// The physical disk affected, `0..D`.
+    pub disk: u32,
+    /// When the event fires (processed at the next interval boundary).
+    pub at: SimTime,
+    /// Power loss or torn write.
+    pub kind: CrashKind,
+}
+
+/// The crash-plane half of a fault plan: scheduled power-loss/torn-write
+/// events plus optional stochastic generators per kind. Compiled against
+/// `rng.derive("crash")` — a fresh named stream, so arming the crash
+/// plane never moves the faults/workload/backoff draws of an otherwise
+/// identical run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CrashFaults {
+    /// Explicitly scheduled crash events (any order; compilation sorts).
+    #[serde(default)]
+    pub events: Vec<CrashPlanEvent>,
+    /// Mean time between stochastic power losses across the farm
+    /// (exponential inter-arrivals; `None` = none).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub power_loss_mtbf: Option<SimDuration>,
+    /// Mean time between stochastic torn writes across the farm
+    /// (exponential inter-arrivals; `None` = none).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub torn_write_mtbf: Option<SimDuration>,
+}
+
+impl CrashFaults {
+    /// True when this crash plane can never produce an event.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.power_loss_mtbf.is_none() && self.torn_write_mtbf.is_none()
+    }
+}
+
+/// One compiled crash event: a plan event (or stochastic draw) with its
+/// deterministic salt attached. The salt picks the journal cut phase
+/// (power loss) or the torn slot (torn write), so replaying the same
+/// compiled timeline reproduces the same corruption bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashEvent {
+    /// The physical disk affected.
+    pub disk: u32,
+    /// When the event fires.
+    pub at: SimTime,
+    /// Power loss or torn write.
+    pub kind: CrashKind,
+    /// Deterministic salt drawn from the `crash` stream at compilation.
+    pub salt: u64,
+}
+
 /// The full fault configuration of a run.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct FaultPlan {
@@ -82,6 +154,11 @@ pub struct FaultPlan {
     /// intervals (`None` = never drop; streams limp along with hiccups).
     #[serde(default)]
     pub drop_after_hiccup_intervals: Option<u64>,
+    /// Optional crash plane: power-loss/torn-write events against the
+    /// on-device metadata layer. Skip-if-None so zero-crash plans
+    /// serialize byte-identically to plans that predate the field.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub crash: Option<CrashFaults>,
 }
 
 impl FaultPlan {
@@ -90,7 +167,11 @@ impl FaultPlan {
         FaultPlan::default()
     }
 
-    /// True when this plan can never produce a fault event.
+    /// True when this plan can never produce a *service* fault event
+    /// (fail/slow transitions). The crash plane is deliberately excluded:
+    /// it is a separate metadata-level event stream with its own gate
+    /// ([`FaultTimeline::crash_events`]), so arming it does not flip the
+    /// servers' zero-fault fast path.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty() && self.stochastic.is_none()
     }
@@ -199,6 +280,64 @@ impl FaultPlan {
                 },
             }
         }
+        if let Some(cf) = &self.crash {
+            // A crash event must not land inside its own disk's scheduled
+            // failure window: a fail-stopped disk has no in-flight writes
+            // to tear and no power to lose. Build the closed (and still
+            // open) windows from the already-validated event list.
+            let mut windows: Vec<(u32, SimTime, Option<SimTime>)> = Vec::new();
+            let mut sorted: Vec<&FaultEvent> = self.events.iter().collect();
+            sorted.sort_by_key(|ev| ev.at);
+            let mut open = vec![None::<usize>; disks as usize];
+            for ev in sorted {
+                match ev.kind {
+                    FaultKind::Fail => {
+                        open[ev.disk as usize] = Some(windows.len());
+                        windows.push((ev.disk, ev.at, None));
+                    }
+                    FaultKind::Repair => {
+                        if let Some(w) = open[ev.disk as usize].take() {
+                            windows[w].2 = Some(ev.at);
+                        }
+                    }
+                    FaultKind::SlowStart | FaultKind::SlowEnd => {}
+                }
+            }
+            for (i, ev) in cf.events.iter().enumerate() {
+                if ev.disk >= disks {
+                    return Err(Error::InvalidFaultPlan {
+                        reason: format!(
+                            "crash event {i} targets disk {} but the farm has {disks} disks",
+                            ev.disk
+                        ),
+                    });
+                }
+                if let Some((_, fail_at, repair_at)) =
+                    windows.iter().find(|(d, fail_at, repair)| {
+                        *d == ev.disk && ev.at >= *fail_at && repair.is_none_or(|r| ev.at < r)
+                    })
+                {
+                    return Err(Error::InvalidFaultPlan {
+                        reason: format!(
+                            "crash event {i} ({:?}) at {:?} falls inside disk {}'s own \
+                             failure window [{fail_at:?}, {repair_at:?}); a fail-stopped \
+                             disk has no in-flight writes",
+                            ev.kind, ev.at, ev.disk
+                        ),
+                    });
+                }
+            }
+            if cf.power_loss_mtbf == Some(SimDuration::ZERO) {
+                return Err(Error::InvalidConfig {
+                    reason: "crash faults: power_loss_mtbf must be > 0".into(),
+                });
+            }
+            if cf.torn_write_mtbf == Some(SimDuration::ZERO) {
+                return Err(Error::InvalidConfig {
+                    reason: "crash faults: torn_write_mtbf must be > 0".into(),
+                });
+            }
+        }
         if let Some(st) = &self.stochastic {
             if st.mean_time_between_failures == SimDuration::ZERO {
                 return Err(Error::InvalidConfig {
@@ -233,10 +372,14 @@ impl FaultPlan {
     /// at `horizon` so per-disk downtime accounting always balances.
     pub fn compile(&self, disks: u32, horizon: SimTime, rng: &DeterministicRng) -> FaultTimeline {
         if self.is_empty() {
+            // No service faults — but the crash plane (if armed) still
+            // compiles: it is gated separately and must fire even on an
+            // otherwise fault-free run.
             return FaultTimeline {
                 events: Vec::new(),
                 drop_after_hiccup_intervals: self.drop_after_hiccup_intervals,
                 rebuilds: Vec::new(),
+                crash_events: self.compile_crash(disks, horizon, rng),
             };
         }
         let mut raw: Vec<FaultEvent> = self.events.clone();
@@ -330,7 +473,64 @@ impl FaultPlan {
             events,
             drop_after_hiccup_intervals: self.drop_after_hiccup_intervals,
             rebuilds: Vec::new(),
+            crash_events: self.compile_crash(disks, horizon, rng),
         }
+    }
+
+    /// Compiles the crash plane (if any) into a sorted, salted event list.
+    ///
+    /// Salts and stochastic draws come from `rng.derive("crash")` (with
+    /// per-kind sub-streams `crash/power` and `crash/torn`), so arming the
+    /// crash plane moves no existing stream, and the two stochastic
+    /// generators never perturb each other.
+    fn compile_crash(
+        &self,
+        disks: u32,
+        horizon: SimTime,
+        rng: &DeterministicRng,
+    ) -> Vec<CrashEvent> {
+        let Some(cf) = &self.crash else {
+            return Vec::new();
+        };
+        let mut crng = rng.derive("crash");
+        let mut raw: Vec<CrashEvent> = cf
+            .events
+            .iter()
+            .map(|ev| CrashEvent {
+                disk: ev.disk,
+                at: ev.at,
+                kind: ev.kind,
+                salt: crng.next_u64_raw(),
+            })
+            .collect();
+        let generators = [
+            ("power", cf.power_loss_mtbf, CrashKind::PowerLoss),
+            ("torn", cf.torn_write_mtbf, CrashKind::TornWrite),
+        ];
+        for (label, mtbf, kind) in generators {
+            let Some(mtbf) = mtbf else { continue };
+            let mut srng = crng.derive(label);
+            let arrivals = Exponential::new(1.0 / mtbf.as_secs_f64());
+            let mut t = 0.0_f64;
+            loop {
+                t += arrivals.sample(&mut srng);
+                let at = SimTime::from_micros((t * 1e6).round() as u64);
+                if at >= horizon {
+                    break;
+                }
+                let disk = srng.next_below(u64::from(disks)) as u32;
+                raw.push(CrashEvent {
+                    disk,
+                    at,
+                    kind,
+                    salt: srng.next_u64_raw(),
+                });
+            }
+        }
+        // Stable sort: same-instant events keep plan-then-power-then-torn
+        // order.
+        raw.sort_by_key(|ev| ev.at);
+        raw
     }
 }
 
@@ -357,6 +557,10 @@ pub struct FaultTimeline {
     /// Hot-spare rebuilds noted during the run (runtime state, not part of
     /// the compiled schedule; empty unless a rebuild scheduler is active).
     rebuilds: Vec<RebuildWindow>,
+    /// The compiled crash plane: sorted power-loss/torn-write events with
+    /// their deterministic salts. A separate plane from `events` so the
+    /// zero-*service*-fault gate ([`Self::is_empty`]) stays untouched.
+    crash_events: Vec<CrashEvent>,
 }
 
 impl FaultTimeline {
@@ -376,6 +580,17 @@ impl FaultTimeline {
     /// fault.
     pub fn next_at(&self, cursor: usize) -> Option<SimTime> {
         self.events.get(cursor).map(|ev| ev.at)
+    }
+
+    /// All compiled crash-plane events, in firing order.
+    pub fn crash_events(&self) -> &[CrashEvent] {
+        &self.crash_events
+    }
+
+    /// The firing time of crash event `cursor`, if any — the crash plane's
+    /// wakeup-horizon hook, mirroring [`Self::next_at`].
+    pub fn next_crash_at(&self, cursor: usize) -> Option<SimTime> {
+        self.crash_events.get(cursor).map(|ev| ev.at)
     }
 
     /// Records a hot-spare rebuild window for `disk`.
@@ -601,6 +816,164 @@ mod tests {
             }
         }
         assert!(down.iter().all(|&x| !x) && slow.iter().all(|&x| !x));
+    }
+
+    #[test]
+    fn crash_plane_compiles_salted_and_seed_deterministic() {
+        let mut plan = FaultPlan::none();
+        plan.crash = Some(CrashFaults {
+            events: vec![
+                CrashPlanEvent {
+                    disk: 3,
+                    at: hour(2),
+                    kind: CrashKind::PowerLoss,
+                },
+                CrashPlanEvent {
+                    disk: 5,
+                    at: hour(1),
+                    kind: CrashKind::TornWrite,
+                },
+            ],
+            power_loss_mtbf: Some(SimDuration::from_secs(4 * 3600)),
+            torn_write_mtbf: Some(SimDuration::from_secs(3 * 3600)),
+        });
+        plan.validate(10).unwrap();
+        // The plan is service-fault empty: crash events still compile.
+        assert!(plan.is_empty());
+        let a = plan.compile(10, hour(12), &DeterministicRng::seed_from_u64(7));
+        let b = plan.compile(10, hour(12), &DeterministicRng::seed_from_u64(7));
+        let c = plan.compile(10, hour(12), &DeterministicRng::seed_from_u64(8));
+        assert!(a.is_empty(), "crash events never open the service gate");
+        assert_eq!(a, b);
+        assert_ne!(a.crash_events(), c.crash_events());
+        assert!(a.crash_events().len() >= 4, "explicit + stochastic events");
+        assert!(a.crash_events().windows(2).all(|w| w[0].at <= w[1].at));
+        assert_eq!(a.next_crash_at(0), Some(a.crash_events()[0].at));
+        assert_eq!(a.next_crash_at(a.crash_events().len()), None);
+        // Both kinds present, and the explicit events kept their kinds.
+        assert!(a
+            .crash_events()
+            .iter()
+            .any(|ev| ev.kind == CrashKind::PowerLoss));
+        assert!(a
+            .crash_events()
+            .iter()
+            .any(|ev| ev.kind == CrashKind::TornWrite));
+        assert!(a
+            .crash_events()
+            .iter()
+            .any(|ev| ev.disk == 5 && ev.at == hour(1)));
+    }
+
+    #[test]
+    fn crash_plane_never_moves_the_faults_stream() {
+        // Same stochastic service-fault plan, with and without the crash
+        // plane armed: the compiled service events must be identical
+        // (crash draws come from the independent `crash` stream).
+        let base = FaultPlan {
+            stochastic: Some(StochasticFaults {
+                mean_time_between_failures: SimDuration::from_secs(1800),
+                mean_time_to_repair: SimDuration::from_secs(600),
+                slow_fraction: 0.25,
+            }),
+            ..FaultPlan::default()
+        };
+        let mut crashed = base.clone();
+        crashed.crash = Some(CrashFaults {
+            events: vec![],
+            power_loss_mtbf: Some(SimDuration::from_secs(3600)),
+            torn_write_mtbf: None,
+        });
+        let rng = DeterministicRng::seed_from_u64(42);
+        let plain = base.compile(20, hour(12), &rng);
+        let armed = crashed.compile(20, hour(12), &rng);
+        assert_eq!(plain.events(), armed.events());
+        assert!(plain.crash_events().is_empty());
+        assert!(!armed.crash_events().is_empty());
+    }
+
+    #[test]
+    fn validate_rejects_bad_crash_events() {
+        // Out-of-range disk.
+        let mut plan = FaultPlan::none();
+        plan.crash = Some(CrashFaults {
+            events: vec![CrashPlanEvent {
+                disk: 10,
+                at: hour(1),
+                kind: CrashKind::PowerLoss,
+            }],
+            ..CrashFaults::default()
+        });
+        match plan.validate(10) {
+            Err(Error::InvalidFaultPlan { reason }) => {
+                assert!(reason.contains("crash event"), "{reason}")
+            }
+            other => panic!("expected InvalidFaultPlan, got {other:?}"),
+        }
+        // A crash inside the disk's own failure window is rejected; the
+        // same instant on another disk, or outside the window, is fine.
+        let mut plan = FaultPlan::fail_window(3, hour(1), hour(4));
+        plan.crash = Some(CrashFaults {
+            events: vec![CrashPlanEvent {
+                disk: 3,
+                at: hour(2),
+                kind: CrashKind::TornWrite,
+            }],
+            ..CrashFaults::default()
+        });
+        match plan.validate(10) {
+            Err(Error::InvalidFaultPlan { reason }) => {
+                assert!(reason.contains("failure window"), "{reason}")
+            }
+            other => panic!("expected InvalidFaultPlan, got {other:?}"),
+        }
+        plan.crash.as_mut().unwrap().events[0].disk = 4;
+        plan.validate(10).unwrap();
+        plan.crash.as_mut().unwrap().events[0].disk = 3;
+        plan.crash.as_mut().unwrap().events[0].at = hour(5);
+        plan.validate(10).unwrap();
+        // An open failure window (no repair) covers everything after it.
+        let mut open = FaultPlan {
+            events: vec![FaultEvent {
+                disk: 0,
+                at: hour(1),
+                kind: FaultKind::Fail,
+            }],
+            ..FaultPlan::default()
+        };
+        open.crash = Some(CrashFaults {
+            events: vec![CrashPlanEvent {
+                disk: 0,
+                at: hour(9),
+                kind: CrashKind::PowerLoss,
+            }],
+            ..CrashFaults::default()
+        });
+        assert!(open.validate(4).is_err());
+        // Degenerate stochastic rates are rejected.
+        let mut plan = FaultPlan::none();
+        plan.crash = Some(CrashFaults {
+            power_loss_mtbf: Some(SimDuration::ZERO),
+            ..CrashFaults::default()
+        });
+        assert!(plan.validate(10).is_err());
+        let mut plan = FaultPlan::none();
+        plan.crash = Some(CrashFaults {
+            torn_write_mtbf: Some(SimDuration::ZERO),
+            ..CrashFaults::default()
+        });
+        assert!(plan.validate(10).is_err());
+    }
+
+    #[test]
+    fn zero_crash_plan_serializes_without_crash_key() {
+        // The skip-if-None gate: plans that predate the crash plane keep
+        // their serialized bytes.
+        let plan = FaultPlan::fail_window(3, hour(1), hour(2));
+        let json = serde_json::to_string(&plan).expect("serialize plan");
+        assert!(!json.contains("crash"), "{json}");
+        let back: FaultPlan = serde_json::from_str(&json).expect("deserialize plan");
+        assert_eq!(back, plan);
     }
 
     #[test]

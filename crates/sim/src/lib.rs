@@ -42,7 +42,8 @@ pub mod trace;
 pub use dist::{AliasTable, Exponential, TruncatedGeometric, Zipf};
 pub use engine::{Context, Model, Simulation};
 pub use faults::{
-    FaultEvent, FaultKind, FaultPlan, FaultTimeline, RebuildWindow, StochasticFaults,
+    CrashEvent, CrashFaults, CrashKind, CrashPlanEvent, FaultEvent, FaultKind, FaultPlan,
+    FaultTimeline, RebuildWindow, StochasticFaults,
 };
 pub use pool::WorkerPool;
 pub use rng::DeterministicRng;

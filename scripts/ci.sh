@@ -20,8 +20,10 @@ echo "==> fault suites (per-suite test counts)"
 # properties, seed-stability digests, dense-vs-sparse under fault plans,
 # serial-vs-sharded byte identity, delivery-machine properties (incl.
 # the recorded proptest regression, re-run both via its sidecar and as a
-# directed case), and the distributed-tier equivalence sweep.
-for suite in fault_properties coalesce_properties backoff_properties seed_stability tick_equivalence parallel_equivalence obs_properties sharing_equivalence delivery_properties distributed_equivalence; do
+# directed case), the distributed-tier equivalence sweep, and the
+# crash-consistent storage plane (recovery reconciliation + scrub
+# completeness properties).
+for suite in fault_properties coalesce_properties backoff_properties seed_stability tick_equivalence parallel_equivalence obs_properties sharing_equivalence delivery_properties distributed_equivalence crash_properties; do
   count=$(cargo test -q --test "$suite" 2>&1 | sed -n 's/^test result: ok\. \([0-9]*\) passed.*/\1/p')
   if [ -z "$count" ] || [ "$count" -eq 0 ]; then
     echo "ci.sh: suite $suite reported no passing tests" >&2
@@ -134,6 +136,43 @@ case "$node_check" in
       echo "ci.sh: WARNING node-outage retention floor missed (CI_PERF_STRICT=0)" >&2
     else
       echo "ci.sh: node-outage retention floor missed" >&2
+      exit 1
+    fi
+    ;;
+esac
+
+echo "==> crash_grid --quick (journal-recovery + scrub-interference gates)"
+# Power-loss/torn-write injection × scrub arming on both schemes. Two
+# headline gates: pooled journal recoveries must verify clean at >=99%,
+# and arming the scrub daemon on a crash-free run must cost at most 10%
+# of the unarmed cell's throughput (the quick grid typically lands at
+# 100% recovery and under 3% interference). CI_PERF_STRICT=0 downgrades
+# the interference miss to a warning; the recovery floor is a
+# correctness gate and always fails hard.
+cargo run --release -p ss-bench --bin crash_grid -- --quick --out target/ci-crash-grid
+crash_check=$(python3 - <<'EOF'
+import json
+r = json.load(open("target/ci-crash-grid/crash_grid.json"))
+rec, interf = r["recovery_success_pct"], r["scrub_interference_pct"]
+if rec < 99.0:
+    print(f"HARDFAIL recovery success {rec:.2f}% (floor 99%)")
+elif interf > 10.0:
+    print(f"FAIL scrub interference {interf:.2f}% (ceiling 10%)")
+else:
+    print(f"ok (recovery {rec:.2f}% >= 99%, scrub interference {interf:.2f}% <= 10%)")
+EOF
+)
+echo "    $crash_check"
+case "$crash_check" in
+  HARDFAIL*)
+    echo "ci.sh: journal recovery success floor missed" >&2
+    exit 1
+    ;;
+  FAIL*)
+    if [ "${CI_PERF_STRICT:-1}" = "0" ]; then
+      echo "ci.sh: WARNING scrub interference ceiling missed (CI_PERF_STRICT=0)" >&2
+    else
+      echo "ci.sh: scrub interference ceiling missed" >&2
       exit 1
     fi
     ;;

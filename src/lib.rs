@@ -67,13 +67,16 @@ pub mod prelude {
     pub use ss_server::{
         config::{
             DistributedConfig, MaterializeMode, NodeOutage, ParityConfig, RebuildConfig, Scheme,
-            ServerConfig, SharingConfig,
+            ScrubConfig, ServerConfig, SharingConfig,
         },
-        metrics::{DegradedStats, DistributedStats, RunReport, SelfHealStats, SharingStats},
+        metrics::{
+            CrashStats, DegradedStats, DistributedStats, RunReport, SelfHealStats, SharingStats,
+        },
         StripingServer, VdrServer,
     };
     pub use ss_sim::{
-        DeterministicRng, FaultEvent, FaultKind, FaultPlan, Simulation, StochasticFaults,
+        CrashFaults, CrashKind, CrashPlanEvent, DeterministicRng, FaultEvent, FaultKind, FaultPlan,
+        Simulation, StochasticFaults,
     };
     pub use ss_tertiary::{TapeLayout, TertiaryDevice, TertiaryParams};
     pub use ss_types::{

@@ -163,6 +163,7 @@ fn zero_fault_plan_leaves_reports_byte_identical() {
         gated.faults = FaultPlan {
             events: vec![],
             stochastic: None,
+            crash: None,
             // A drop policy alone schedules nothing.
             drop_after_hiccup_intervals: Some(50),
         };
