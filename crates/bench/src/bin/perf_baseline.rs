@@ -45,6 +45,18 @@
 //! 1.5× or the run exits non-zero (same `CI_PERF_STRICT=0` escape). On
 //! smaller machines the speedup is recorded but the gate passes, since
 //! a 1-core container cannot demonstrate parallel scaling.
+//!
+//! `--append-history` appends one dated JSONL row to
+//! `BENCH_history.jsonl` — the bench trajectory: grid and quick-grid
+//! wall-clocks plus the headline number of each merged section
+//! (`farm_scale` sharded throughput, `sharing` high-skew capacity
+//! ratio, `distributed` widest-split outage retention, `crash` recovery
+//! and scrub-interference percentages). Sections another bin has not
+//! merged yet are skipped with a notice. Quick runs never append (the
+//! trajectory tracks full baselines only); to make that composition
+//! work, a full run now *merges* its report into an existing
+//! `BENCH_engine.json` instead of clobbering it, preserving the
+//! sections the grid bins own.
 
 use serde::{Deserialize, Serialize};
 use ss_bench::HarnessOpts;
@@ -302,29 +314,31 @@ fn peak_rss_kb() -> u64 {
         .unwrap_or(0)
 }
 
-/// Peels `--check-against PATH` and `--gate-parallel` off the raw
-/// argument list (perf_baseline-specific flags `HarnessOpts` does not
-/// know about).
-fn split_local_flags(mut raw: Vec<String>) -> (Vec<String>, Option<String>, bool) {
-    let gate_parallel = match raw.iter().position(|a| a == "--gate-parallel") {
+/// Peels `--check-against PATH`, `--gate-parallel` and
+/// `--append-history` off the raw argument list (perf_baseline-specific
+/// flags `HarnessOpts` does not know about).
+fn split_local_flags(mut raw: Vec<String>) -> (Vec<String>, Option<String>, bool, bool) {
+    let mut peel = |flag: &str| match raw.iter().position(|a| a == flag) {
         Some(i) => {
             raw.remove(i);
             true
         }
         None => false,
     };
+    let gate_parallel = peel("--gate-parallel");
+    let append_history = peel("--append-history");
     match raw.iter().position(|a| a == "--check-against") {
         Some(i) => {
             raw.remove(i);
             if i < raw.len() {
                 let path = raw.remove(i);
-                (raw, Some(path), gate_parallel)
+                (raw, Some(path), gate_parallel, append_history)
             } else {
                 eprintln!("--check-against takes a path");
                 std::process::exit(2);
             }
         }
-        None => (raw, None, gate_parallel),
+        None => (raw, None, gate_parallel, append_history),
     }
 }
 
@@ -460,8 +474,167 @@ fn check_parallel_against(path: &str, probe: &BaselineProbe, report: &BenchRepor
     }
 }
 
+/// Today's UTC date as `YYYY-MM-DD`, from the system clock alone
+/// (days-since-epoch to civil-date arithmetic; no calendar crate).
+fn utc_date() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let z = (secs / 86_400) as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = yoe + era * 400 + i64::from(m <= 2);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Carries over any top-level sections of the existing artifact that
+/// this run's report does not itself produce (`farm_scale`, `sharing`,
+/// `distributed`, `crash` — owned by the grid bins), so a full
+/// perf_baseline rerun refreshes the engine kernels without discarding
+/// the merged grid results.
+fn preserve_foreign_sections(report: &mut serde_json::Value, path: &str) {
+    let serde_json::Value::Map(new) = report else {
+        return;
+    };
+    let Some(old) = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|t| serde_json::from_str::<serde_json::Value>(&t).ok())
+    else {
+        return;
+    };
+    let serde_json::Value::Map(old) = old else {
+        return;
+    };
+    for (k, v) in old {
+        if !new.iter().any(|(nk, _)| *nk == k) {
+            eprintln!("preserving merged `{k}` section from the previous {path}");
+            new.push((k, v));
+        }
+    }
+}
+
+/// Reads `name.field` out of the merged artifact tree, if the grid bin
+/// owning that section has merged it.
+fn section_field(merged: &serde_json::Value, name: &str, field: &str) -> Option<serde_json::Value> {
+    let serde_json::Value::Map(top) = merged else {
+        return None;
+    };
+    let serde_json::Value::Map(section) = serde::field(top, name)? else {
+        return None;
+    };
+    serde::field(section, field).cloned()
+}
+
+/// Appends one dated row to `BENCH_history.jsonl`: the canonical grid
+/// wall-clocks plus each merged section's headline number. Sections a
+/// grid bin has not merged into the artifact yet are skipped with a
+/// notice, so the trajectory row is exactly as wide as the baseline it
+/// describes.
+fn append_history(report: &BenchReport, merged: &serde_json::Value) {
+    const PATH: &str = "BENCH_history.jsonl";
+    let mut row: Vec<(String, serde_json::Value)> = vec![
+        ("date".into(), serde_json::Value::Str(utc_date())),
+        ("seed".into(), serde_json::Value::U64(report.seed)),
+        (
+            "grid_seconds".into(),
+            serde_json::Value::F64(report.grid.seconds),
+        ),
+        (
+            "grid_quick_seconds".into(),
+            serde_json::Value::F64(report.grid_quick.seconds),
+        ),
+        (
+            "grid_parallel_speedup".into(),
+            serde_json::Value::F64(report.grid_parallel.speedup_vs_serial.unwrap_or(1.0)),
+        ),
+    ];
+    fn take(
+        row: &mut Vec<(String, serde_json::Value)>,
+        merged: &serde_json::Value,
+        key: &str,
+        section: &str,
+        field: &str,
+    ) {
+        match section_field(merged, section, field) {
+            Some(v) => row.push((key.to_string(), v)),
+            None => eprintln!(
+                "append-history: no `{section}` section in the baseline; run its grid bin to record `{key}`"
+            ),
+        }
+    }
+    // farm_scale headline: sharded at-scale throughput (100k-disk cell).
+    match section_field(merged, "farm_scale", "sharded") {
+        Some(serde_json::Value::Map(fs)) => match serde::field(&fs, "ticks_per_sec") {
+            Some(v) => row.push(("farm_scale_ticks_per_sec".into(), v.clone())),
+            None => eprintln!("append-history: `farm_scale.sharded` has no ticks_per_sec"),
+        },
+        _ => eprintln!(
+            "append-history: no `farm_scale` section in the baseline; run farm_scale to record `farm_scale_ticks_per_sec`"
+        ),
+    }
+    take(
+        &mut row,
+        merged,
+        "sharing_high_skew_ratio",
+        "sharing",
+        "high_skew_ratio",
+    );
+    // distributed headline: the widest split's single-node-outage
+    // retention (the number node_grid's CI gate holds a floor under).
+    match section_field(merged, "distributed", "cells") {
+        Some(serde_json::Value::Seq(cells)) => {
+            let widest = cells
+                .iter()
+                .filter_map(|c| match c {
+                    serde_json::Value::Map(m) => Some(m),
+                    _ => None,
+                })
+                .max_by_key(|m| match serde::field(m, "nodes") {
+                    Some(serde_json::Value::U64(n)) => *n,
+                    _ => 0,
+                });
+            match widest.and_then(|m| serde::field(m, "retention_pct")) {
+                Some(v) => row.push(("distributed_outage_retention_pct".into(), v.clone())),
+                None => eprintln!("append-history: `distributed.cells` has no retention headline"),
+            }
+        }
+        _ => eprintln!(
+            "append-history: no `distributed` section in the baseline; run node_grid to record `distributed_outage_retention_pct`"
+        ),
+    }
+    take(
+        &mut row,
+        merged,
+        "crash_recovery_success_pct",
+        "crash",
+        "recovery_success_pct",
+    );
+    take(
+        &mut row,
+        merged,
+        "crash_scrub_interference_pct",
+        "crash",
+        "scrub_interference_pct",
+    );
+    let line = serde_json::to_string(&serde_json::Value::Map(row)).expect("serialize history row");
+    use std::io::Write as _;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(PATH)
+        .expect("open history trajectory");
+    writeln!(f, "{line}").expect("append history row");
+    eprintln!("appended trajectory row to {PATH}");
+}
+
 fn main() {
-    let (raw, check_path, gate_parallel) = split_local_flags(std::env::args().skip(1).collect());
+    let (raw, check_path, gate_parallel, append) =
+        split_local_flags(std::env::args().skip(1).collect());
     let opts = match HarnessOpts::parse_from(raw) {
         Ok(o) => o,
         Err(msg) => {
@@ -536,17 +709,33 @@ fn main() {
             as u64,
         peak_rss_kb: peak_rss_kb(),
     };
-    let json = serde_json::to_string_pretty(&report).expect("serialize report");
     // Quick (smoke) runs get their own artifact so they never clobber
-    // the committed full baseline.
+    // the committed full baseline; full runs refresh the kernel
+    // sections in place, keeping whatever the grid bins merged.
     let out = if opts.quick {
         "BENCH_engine.quick.json"
     } else {
         "BENCH_engine.json"
     };
+    use serde::Serialize as _;
+    let mut merged = report.to_value();
+    if !opts.quick {
+        preserve_foreign_sections(&mut merged, out);
+    }
+    let json = serde_json::to_string_pretty(&merged).expect("serialize report");
     std::fs::write(out, format!("{json}\n")).expect("write baseline artifact");
     println!("{json}");
     eprintln!("wrote {out}");
+
+    if append {
+        if opts.quick {
+            eprintln!(
+                "append-history: quick mode; BENCH_history.jsonl records full baselines only"
+            );
+        } else {
+            append_history(&report, &merged);
+        }
+    }
 
     let mut ok = true;
     if let Some(path) = check_path {

@@ -34,7 +34,7 @@
 use ss_bench::HarnessOpts;
 use ss_obs::{Event, Registry, RegistrySpec, TraceMeta, VecRecorder};
 use ss_server::config::Scheme;
-use ss_server::{run, RunReport, ServerConfig};
+use ss_server::{run, DistributedConfig, RunReport, ServerConfig};
 use ss_sim::FaultPlan;
 use ss_types::{SimDuration, SimTime};
 
@@ -61,7 +61,10 @@ fn parse_format(v: &str) -> Result<Format, String> {
 
 /// The default demo scenario: a small farm with one disk failing over
 /// the middle half of the measurement window, so every journal plane
-/// (admission, reads, faults, rescues) has something to show.
+/// (admission, reads, faults, rescues) has something to show. The farm
+/// is split into two nodes (infinite interconnect — scheduling is
+/// unchanged) so the Perfetto export renders its per-node outage and
+/// link-utilization tracks.
 fn demo_config(quick: bool, vdr: bool, seed: u64) -> ServerConfig {
     let stations = if quick { 8 } else { 16 };
     let mut cfg = if vdr {
@@ -76,21 +79,29 @@ fn demo_config(quick: bool, vdr: bool, seed: u64) -> ServerConfig {
         SimTime::from_micros(warmup + measure / 4),
         SimTime::from_micros(warmup + 3 * measure / 4),
     );
+    cfg.distributed = Some(DistributedConfig::even(2, cfg.disks));
     cfg
 }
 
 /// Trace geometry for `cfg`: the stride drives the virtual→physical
-/// frame walk for striping reads; the cluster size marks a VDR run.
+/// frame walk for striping reads; the cluster size marks a VDR run;
+/// the node split turns on the per-node outage/link tracks.
 fn trace_meta(cfg: &ServerConfig) -> TraceMeta {
     let (stride, cluster_size) = match &cfg.scheme {
         Scheme::Striping { stride, .. } => (*stride, 0),
         Scheme::Vdr { .. } => (0, cfg.degree()),
+    };
+    let (nodes, disks_per_node) = match &cfg.distributed {
+        Some(d) => (d.topology.nodes, d.topology.disks_per_node),
+        None => (1, cfg.disks),
     };
     TraceMeta {
         disks: cfg.disks,
         stride,
         interval_us: cfg.interval().as_micros(),
         cluster_size,
+        nodes,
+        disks_per_node,
     }
 }
 

@@ -100,6 +100,20 @@ pub enum Event {
         /// Catalog id of the evicted object.
         object: u32,
     },
+    /// A display (private, shared join, or VDR cluster start) began
+    /// delivery after waiting `wait_us` simulation microseconds from
+    /// arrival to delivery start — the per-stream startup-latency sample
+    /// the QoS ledger folds into SLO evaluation.
+    Startup {
+        /// Catalog id of the started object.
+        object: u32,
+        /// Interval the start was decided at.
+        interval: u64,
+        /// Arrival-to-delivery-start wait in simulation microseconds.
+        wait_us: u64,
+        /// True when the start falls inside the measurement window.
+        measured: bool,
+    },
 
     // --- data plane: fragment read bookings -------------------------
     /// Fragment `frag` of `object` was booked on virtual disk `vdisk`:
@@ -172,6 +186,10 @@ pub enum Event {
         interval: u64,
         /// Physical disk that was down.
         disk: u32,
+        /// Dependent shared viewers starved alongside the primary (0
+        /// for a private stream): the report charges `1 + viewers`
+        /// hiccup intervals for this loss.
+        viewers: u64,
     },
     /// A display accumulated too many hiccups and was dropped.
     DisplayDrop {
@@ -324,6 +342,20 @@ pub enum Event {
         /// Number of correlated disk failures the outage compiled into.
         disks: u32,
     },
+    /// An interconnect booking committed `fragments_per_interval` link
+    /// fragments on `node`'s ingress over `[from, until)` — the
+    /// per-node link-utilization counter source for the Perfetto
+    /// exporter and health rollups.
+    LinkBook {
+        /// Home node whose ingress link was booked.
+        node: u32,
+        /// First interval of the booked span.
+        from: u64,
+        /// First interval after the booked span.
+        until: u64,
+        /// Link fragments booked per interval across the span.
+        fragments: u64,
+    },
 
     // --- VDR cluster plane -------------------------------------------
     /// A VDR display started on `cluster` (occupying all its disks).
@@ -358,6 +390,25 @@ pub enum Event {
         to_cluster: u32,
     },
 
+    // --- SLO plane -----------------------------------------------------
+    /// The SLO evaluator flagged a breach: objective `slo` exceeded its
+    /// error budget over the window `[from, until)` intervals with the
+    /// given burn rates (hundredths of the budget rate; 100 = burning
+    /// exactly at budget). Appended to the journal by the offline
+    /// evaluator, never by the live models.
+    SloBreach {
+        /// Index of the breached objective in the evaluated spec list.
+        slo: u32,
+        /// First interval of the breaching window.
+        from: u64,
+        /// First interval after the breaching window.
+        until: u64,
+        /// Fast-window burn rate in hundredths (100 = at budget).
+        fast_burn: u64,
+        /// Slow-window burn rate in hundredths (100 = at budget).
+        slow_burn: u64,
+    },
+
     // --- engine -------------------------------------------------------
     /// The simulation loop stopped after handling `events` events.
     EngineStop {
@@ -378,6 +429,7 @@ impl Event {
             Event::SharedJoin { .. } => "shared_join",
             Event::CacheAdmit { .. } => "cache_admit",
             Event::CacheEvict { .. } => "cache_evict",
+            Event::Startup { .. } => "startup",
             Event::ReadSpan { .. } => "read_span",
             Event::ReadMove { .. } => "read_move",
             Event::ParityPlan { .. } => "parity_plan",
@@ -401,6 +453,8 @@ impl Event {
             Event::ScrubRepair { .. } => "scrub_repair",
             Event::RouteAssign { .. } => "route_assign",
             Event::NodeOutageCompiled { .. } => "node_outage_compiled",
+            Event::LinkBook { .. } => "link_book",
+            Event::SloBreach { .. } => "slo_breach",
             Event::ClusterDisplayStart { .. } => "cluster_display_start",
             Event::ClusterCopyStart { .. } => "cluster_copy_start",
             Event::ClusterRescue { .. } => "cluster_rescue",
@@ -462,6 +516,16 @@ impl Event {
                 write!(w, ",\"object\":{object},\"cost\":{cost}")
             }
             Event::CacheEvict { object } => write!(w, ",\"object\":{object}"),
+            Event::Startup {
+                object,
+                interval,
+                wait_us,
+                measured,
+            } => write!(
+                w,
+                ",\"object\":{object},\"interval\":{interval},\"wait_us\":{wait_us},\
+                 \"measured\":{measured}"
+            ),
             Event::ReadSpan {
                 object,
                 frag,
@@ -511,10 +575,11 @@ impl Event {
                 subobject,
                 interval,
                 disk,
+                viewers,
             } => write!(
                 w,
                 ",\"object\":{object},\"frag\":{frag},\"subobject\":{subobject},\
-                 \"interval\":{interval},\"disk\":{disk}"
+                 \"interval\":{interval},\"disk\":{disk},\"viewers\":{viewers}"
             ),
             Event::DisplayDrop {
                 object,
@@ -600,6 +665,27 @@ impl Event {
             Event::NodeOutageCompiled { node, disks } => {
                 write!(w, ",\"node\":{node},\"disks\":{disks}")
             }
+            Event::LinkBook {
+                node,
+                from,
+                until,
+                fragments,
+            } => write!(
+                w,
+                ",\"node\":{node},\"from\":{from},\"until\":{until},\
+                 \"fragments\":{fragments}"
+            ),
+            Event::SloBreach {
+                slo,
+                from,
+                until,
+                fast_burn,
+                slow_burn,
+            } => write!(
+                w,
+                ",\"slo\":{slo},\"from\":{from},\"until\":{until},\
+                 \"fast_burn\":{fast_burn},\"slow_burn\":{slow_burn}"
+            ),
             Event::ClusterDisplayStart {
                 object,
                 cluster,

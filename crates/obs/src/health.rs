@@ -1,0 +1,522 @@
+//! Health rollups and the incident timeline: folds the fault, rebuild,
+//! crash/scrub and node-outage event planes into per-disk and per-node
+//! health spans, then correlates SLO breaches with the fault spans they
+//! overlap — the "breach at interval 4120 <- node 3 outage + rebuild
+//! drain" root-cause attribution the ops dashboard renders.
+
+use crate::event::Event;
+use crate::slo::Alert;
+
+/// A non-ok health state. `Ok` is the implicit absence of any span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HealthState {
+    /// Out of service (disk failure, power loss, or — for a node — a
+    /// full outage of every member disk).
+    Dark,
+    /// In service at reduced quality (slow-disk window, or a node with
+    /// some but not all member disks dark).
+    Degraded,
+    /// Hot-spare rebuild draining onto the spare.
+    Rebuilding,
+    /// Scrub daemon verifying fragments.
+    Scrubbing,
+}
+
+impl HealthState {
+    /// Stable lowercase label for CSV/JSON artifacts.
+    pub fn label(&self) -> &'static str {
+        match self {
+            HealthState::Dark => "dark",
+            HealthState::Degraded => "degraded",
+            HealthState::Rebuilding => "rebuilding",
+            HealthState::Scrubbing => "scrubbing",
+        }
+    }
+}
+
+/// One contiguous non-ok span of a disk or node, in intervals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthSpan {
+    /// The state held over the span.
+    pub state: HealthState,
+    /// First interval of the span.
+    pub from: u64,
+    /// First interval after the span (open spans close at the horizon).
+    pub until: u64,
+}
+
+/// Per-disk health summary: the non-ok spans plus crash-plane counters.
+#[derive(Debug, Clone, Default)]
+pub struct DiskHealth {
+    /// Non-ok spans in open order.
+    pub spans: Vec<HealthSpan>,
+    /// Power-loss events on this disk (striping) or cluster (VDR).
+    pub power_losses: u64,
+    /// Journal recoveries run.
+    pub recoveries: u64,
+    /// Recoveries whose post-recovery invariant held.
+    pub recoveries_clean: u64,
+    /// Latent errors found by the scrub.
+    pub scrub_found: u64,
+    /// Latent errors repaired.
+    pub scrub_repaired: u64,
+}
+
+impl DiskHealth {
+    /// Intervals spent in `state` across all spans.
+    pub fn intervals_in(&self, state: HealthState) -> u64 {
+        self.spans
+            .iter()
+            .filter(|s| s.state == state)
+            .map(|s| s.until - s.from)
+            .sum()
+    }
+}
+
+/// One root-cause candidate for an incident: a fault span overlapping
+/// the breach window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cause {
+    /// True when the span belongs to a node rollup, false for a disk.
+    pub node: bool,
+    /// Disk or node id.
+    pub id: u32,
+    /// The overlapping span.
+    pub span: HealthSpan,
+}
+
+/// An SLO breach correlated with the fault spans overlapping its
+/// window. An empty `causes` list means no fault plane activity
+/// overlapped — the breach is load-induced.
+#[derive(Debug, Clone)]
+pub struct Incident {
+    /// The breach.
+    pub alert: Alert,
+    /// Overlapping fault spans, node rollups first, then disks, each in
+    /// (id, from) order.
+    pub causes: Vec<Cause>,
+}
+
+/// The health board: per-disk and per-node rollups plus the incident
+/// timeline builder.
+#[derive(Debug, Clone)]
+pub struct HealthBoard {
+    /// Per-disk health, indexed by physical disk id.
+    pub disks: Vec<DiskHealth>,
+    /// Per-node dark/degraded rollup spans, indexed by node id. With a
+    /// single node this is one rollup over the whole farm.
+    pub nodes: Vec<Vec<HealthSpan>>,
+    /// Disks per node used for the rollup.
+    pub disks_per_node: u32,
+}
+
+impl HealthBoard {
+    /// Folds a capture into the board. `disks` is the farm width,
+    /// `nodes`/`disks_per_node` the (even-split) topology — pass
+    /// `1`/`disks` for a single-box run. `interval_us` converts ambient
+    /// stamps to intervals; `horizon` closes still-open spans.
+    pub fn from_events(
+        events: &[(u64, Event)],
+        disks: u32,
+        nodes: u32,
+        disks_per_node: u32,
+        interval_us: u64,
+        horizon: u64,
+    ) -> Self {
+        let n = disks as usize;
+        let mut board = vec![DiskHealth::default(); n];
+        // Open span starts per (disk, state): (start interval).
+        let mut open_dark = vec![None::<u64>; n];
+        let mut open_slow = vec![None::<u64>; n];
+        let mut open_rebuild = vec![None::<u64>; n];
+        let iv = |at: u64| at.checked_div(interval_us).unwrap_or(0);
+        let close = |spans: &mut Vec<HealthSpan>, open: &mut Option<u64>, state, until: u64| {
+            if let Some(from) = open.take() {
+                spans.push(HealthSpan {
+                    state,
+                    from,
+                    until: until.max(from),
+                });
+            }
+        };
+        for &(at, ref ev) in events {
+            let t = iv(at);
+            match ev {
+                Event::DiskFail { disk } => {
+                    if let Some(d) = open_dark.get_mut(*disk as usize) {
+                        d.get_or_insert(t);
+                    }
+                }
+                Event::DiskRepair { disk } => {
+                    if let Some(b) = board.get_mut(*disk as usize) {
+                        close(
+                            &mut b.spans,
+                            &mut open_dark[*disk as usize],
+                            HealthState::Dark,
+                            t,
+                        );
+                    }
+                }
+                Event::DiskSlowStart { disk } => {
+                    if let Some(d) = open_slow.get_mut(*disk as usize) {
+                        d.get_or_insert(t);
+                    }
+                }
+                Event::DiskSlowEnd { disk } => {
+                    if let Some(b) = board.get_mut(*disk as usize) {
+                        close(
+                            &mut b.spans,
+                            &mut open_slow[*disk as usize],
+                            HealthState::Degraded,
+                            t,
+                        );
+                    }
+                }
+                Event::RebuildQueued { disk, .. } => {
+                    if let Some(d) = open_rebuild.get_mut(*disk as usize) {
+                        d.get_or_insert(t);
+                    }
+                }
+                Event::RebuildDone { disk, early } => {
+                    if let Some(b) = board.get_mut(*disk as usize) {
+                        close(
+                            &mut b.spans,
+                            &mut open_rebuild[*disk as usize],
+                            HealthState::Rebuilding,
+                            t,
+                        );
+                        // An early rebuild re-admits the disk before its
+                        // scheduled repair: the dark span ends here.
+                        if *early {
+                            close(
+                                &mut b.spans,
+                                &mut open_dark[*disk as usize],
+                                HealthState::Dark,
+                                t,
+                            );
+                        }
+                    }
+                }
+                Event::ScrubChunk {
+                    disk,
+                    fragments: _,
+                    found,
+                } => {
+                    if let Some(b) = board.get_mut(*disk as usize) {
+                        b.scrub_found += found;
+                        // Scrub activity is chunked: each chunk marks its
+                        // interval, merged with an adjacent open span.
+                        match b.spans.last_mut() {
+                            Some(s) if s.state == HealthState::Scrubbing && s.until >= t => {
+                                s.until = s.until.max(t + 1);
+                            }
+                            _ => b.spans.push(HealthSpan {
+                                state: HealthState::Scrubbing,
+                                from: t,
+                                until: t + 1,
+                            }),
+                        }
+                    }
+                }
+                Event::ScrubRepair { disk, .. } => {
+                    if let Some(b) = board.get_mut(*disk as usize) {
+                        b.scrub_repaired += 1;
+                    }
+                }
+                Event::PowerLoss { disk } => {
+                    if let Some(b) = board.get_mut(*disk as usize) {
+                        b.power_losses += 1;
+                    }
+                }
+                Event::CrashRecovery { disk, clean, .. } => {
+                    if let Some(b) = board.get_mut(*disk as usize) {
+                        b.recoveries += 1;
+                        b.recoveries_clean += u64::from(*clean);
+                    }
+                }
+                _ => {}
+            }
+        }
+        for d in 0..n {
+            close(
+                &mut board[d].spans,
+                &mut open_dark[d],
+                HealthState::Dark,
+                horizon,
+            );
+            close(
+                &mut board[d].spans,
+                &mut open_slow[d],
+                HealthState::Degraded,
+                horizon,
+            );
+            close(
+                &mut board[d].spans,
+                &mut open_rebuild[d],
+                HealthState::Rebuilding,
+                horizon,
+            );
+            board[d].spans.sort_by_key(|s| (s.from, s.state));
+        }
+
+        // Node rollup: sweep the member disks' dark spans counting
+        // concurrent darkness; all-dark -> node dark, some-dark ->
+        // node degraded.
+        let dpn = disks_per_node.max(1);
+        let node_count = nodes.max(1) as usize;
+        let mut node_spans: Vec<Vec<HealthSpan>> = vec![Vec::new(); node_count];
+        for (node, spans) in node_spans.iter_mut().enumerate() {
+            let lo = node as u32 * dpn;
+            let hi = (lo + dpn).min(disks);
+            let members = hi.saturating_sub(lo);
+            if members == 0 {
+                continue;
+            }
+            // +1/-1 edges of every member's dark spans.
+            let mut edges: Vec<(u64, i64)> = Vec::new();
+            for d in lo..hi {
+                for s in &board[d as usize].spans {
+                    if s.state == HealthState::Dark && s.until > s.from {
+                        edges.push((s.from, 1));
+                        edges.push((s.until, -1));
+                    }
+                }
+            }
+            edges.sort_unstable();
+            let mut dark = 0i64;
+            let mut open: Option<(u64, HealthState)> = None;
+            let mut i = 0;
+            while i < edges.len() {
+                let t = edges[i].0;
+                while i < edges.len() && edges[i].0 == t {
+                    dark += edges[i].1;
+                    i += 1;
+                }
+                let state = match dark {
+                    0 => None,
+                    d if d as u32 >= members => Some(HealthState::Dark),
+                    _ => Some(HealthState::Degraded),
+                };
+                if open.map(|(_, s)| Some(s)) != Some(state) {
+                    if let Some((from, s)) = open.take() {
+                        if t > from {
+                            spans.push(HealthSpan {
+                                state: s,
+                                from,
+                                until: t,
+                            });
+                        }
+                    }
+                    open = state.map(|s| (t, s));
+                }
+            }
+            if let Some((from, s)) = open {
+                if horizon > from {
+                    spans.push(HealthSpan {
+                        state: s,
+                        from,
+                        until: horizon,
+                    });
+                }
+            }
+        }
+        Self {
+            disks: board,
+            nodes: node_spans,
+            disks_per_node: dpn,
+        }
+    }
+
+    /// Correlates each alert with the fault spans overlapping its
+    /// breach window: node rollups first (the coarser, more actionable
+    /// signal), then per-disk spans, each sorted by (id, from).
+    /// Scrubbing spans are excluded — the scrub is routine background
+    /// work, always somewhere on the farm, so listing its chunks would
+    /// drown the genuine fault-driven causes in noise.
+    pub fn incidents(&self, alerts: &[Alert]) -> Vec<Incident> {
+        alerts
+            .iter()
+            .map(|&alert| {
+                let overlaps = |s: &HealthSpan| {
+                    s.state != HealthState::Scrubbing
+                        && s.from < alert.until
+                        && s.until > alert.from
+                };
+                let mut causes = Vec::new();
+                for (id, spans) in self.nodes.iter().enumerate() {
+                    for s in spans.iter().filter(|s| overlaps(s)) {
+                        causes.push(Cause {
+                            node: true,
+                            id: id as u32,
+                            span: *s,
+                        });
+                    }
+                }
+                for (id, disk) in self.disks.iter().enumerate() {
+                    for s in disk.spans.iter().filter(|s| overlaps(s)) {
+                        causes.push(Cause {
+                            node: false,
+                            id: id as u32,
+                            span: *s,
+                        });
+                    }
+                }
+                Incident { alert, causes }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fail(at: u64, disk: u32) -> (u64, Event) {
+        (at, Event::DiskFail { disk })
+    }
+    fn repair(at: u64, disk: u32) -> (u64, Event) {
+        (at, Event::DiskRepair { disk })
+    }
+
+    #[test]
+    fn disk_spans_open_and_close() {
+        let events = vec![
+            fail(10_000, 0),
+            (12_000, Event::DiskSlowStart { disk: 1 }),
+            repair(30_000, 0),
+            (40_000, Event::DiskSlowEnd { disk: 1 }),
+        ];
+        let b = HealthBoard::from_events(&events, 2, 1, 2, 1_000, 100);
+        assert_eq!(
+            b.disks[0].spans,
+            vec![HealthSpan {
+                state: HealthState::Dark,
+                from: 10,
+                until: 30
+            }]
+        );
+        assert_eq!(b.disks[1].spans[0].state, HealthState::Degraded);
+        assert_eq!(b.disks[0].intervals_in(HealthState::Dark), 20);
+    }
+
+    #[test]
+    fn open_spans_close_at_horizon() {
+        let events = vec![fail(5_000, 0)];
+        let b = HealthBoard::from_events(&events, 1, 1, 1, 1_000, 50);
+        assert_eq!(
+            b.disks[0].spans,
+            vec![HealthSpan {
+                state: HealthState::Dark,
+                from: 5,
+                until: 50
+            }]
+        );
+    }
+
+    #[test]
+    fn node_rollup_distinguishes_dark_from_degraded() {
+        // Node 0 = disks {0,1}: disk 0 dark [10,40), disk 1 dark
+        // [20,30) -> node degraded [10,20), dark [20,30), degraded
+        // [30,40).
+        let events = vec![
+            fail(10_000, 0),
+            fail(20_000, 1),
+            repair(30_000, 1),
+            repair(40_000, 0),
+        ];
+        let b = HealthBoard::from_events(&events, 4, 2, 2, 1_000, 100);
+        assert_eq!(
+            b.nodes[0],
+            vec![
+                HealthSpan {
+                    state: HealthState::Degraded,
+                    from: 10,
+                    until: 20
+                },
+                HealthSpan {
+                    state: HealthState::Dark,
+                    from: 20,
+                    until: 30
+                },
+                HealthSpan {
+                    state: HealthState::Degraded,
+                    from: 30,
+                    until: 40
+                },
+            ]
+        );
+        assert!(b.nodes[1].is_empty());
+    }
+
+    #[test]
+    fn incidents_attribute_overlapping_spans() {
+        let events = vec![
+            fail(10_000, 0),
+            fail(10_000, 1),
+            repair(50_000, 0),
+            repair(50_000, 1),
+        ];
+        let b = HealthBoard::from_events(&events, 2, 1, 2, 1_000, 100);
+        let alert = Alert {
+            slo: 0,
+            from: 20,
+            until: 30,
+            fast_burn: 900,
+            slow_burn: 400,
+        };
+        let incidents = b.incidents(&[alert]);
+        assert_eq!(incidents.len(), 1);
+        // Node rollup (dark: both disks down) first, then the two disks.
+        assert!(incidents[0].causes[0].node);
+        assert_eq!(incidents[0].causes[0].span.state, HealthState::Dark);
+        assert_eq!(incidents[0].causes.len(), 3);
+        // A breach window outside every span attributes nothing.
+        let clear = Alert {
+            from: 60,
+            until: 70,
+            ..alert
+        };
+        assert!(b.incidents(&[clear])[0].causes.is_empty());
+    }
+
+    #[test]
+    fn incidents_ignore_routine_scrub_spans() {
+        let events = vec![
+            (
+                20_000,
+                Event::ScrubChunk {
+                    disk: 0,
+                    fragments: 8,
+                    found: 0,
+                },
+            ),
+            fail(22_000, 1),
+            repair(28_000, 1),
+        ];
+        let b = HealthBoard::from_events(&events, 2, 1, 2, 1_000, 100);
+        assert!(
+            b.disks[0].intervals_in(HealthState::Scrubbing) > 0,
+            "the scrub span itself is still on the board"
+        );
+        let alert = Alert {
+            slo: 0,
+            from: 15,
+            until: 35,
+            fast_burn: 900,
+            slow_burn: 400,
+        };
+        let causes = &b.incidents(&[alert])[0].causes;
+        assert!(
+            causes
+                .iter()
+                .all(|c| c.span.state != HealthState::Scrubbing),
+            "routine scrubbing must not be named a root cause"
+        );
+        assert!(
+            causes
+                .iter()
+                .any(|c| !c.node && c.id == 1 && c.span.state == HealthState::Dark),
+            "the genuine disk outage is"
+        );
+    }
+}

@@ -36,19 +36,34 @@
 //!   per-interval series/heatmap CSVs.
 //! * [`perfetto`] — expansion of the data-plane journal into
 //!   per-(disk, interval) reads and Chrome/Perfetto trace JSON.
+//!
+//! On top of the journal sit three offline analysis layers (nothing the
+//! live models ever call):
+//!
+//! * [`qos`] — the per-display QoS ledger folded from a capture.
+//! * [`slo`] — declarative SLO specs evaluated over deterministic
+//!   sliding windows with fast/slow burn-rate alerting.
+//! * [`health`] — per-disk/per-node health rollups and the incident
+//!   timeline correlating SLO breaches with overlapping fault spans.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod health;
 pub mod perfetto;
+pub mod qos;
 pub mod recorder;
 pub mod registry;
+pub mod slo;
 
 pub use event::Event;
+pub use health::{Cause, DiskHealth, HealthBoard, HealthSpan, HealthState, Incident};
 pub use perfetto::{booked_reads, expand_reads, perfetto_trace, DiskRead, Expansion, TraceMeta};
+pub use qos::{DisplayRecord, QosLedger, QosTotals, StartKind};
 pub use recorder::{JsonlRecorder, NopRecorder, Recorder, RingRecorder, Shared, VecRecorder};
 pub use registry::{FixedHistogram, HistogramSpec, Registry, RegistrySpec};
+pub use slo::{evaluate, Alert, SloKind, SloOutcome, SloReport, SloSpec};
 
 use std::cell::{Cell, RefCell};
 

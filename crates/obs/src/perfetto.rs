@@ -26,6 +26,11 @@ pub struct TraceMeta {
     pub interval_us: u64,
     /// Disks per VDR cluster (0 when not a VDR run).
     pub cluster_size: u32,
+    /// Storage nodes the farm is split into (1 = single box; node
+    /// tracks are rendered only when > 1).
+    pub nodes: u32,
+    /// Disks per node under the even split (ignored when `nodes <= 1`).
+    pub disks_per_node: u32,
 }
 
 /// One expanded read: physical `disk` serves one fragment of `object`
@@ -226,9 +231,25 @@ fn push_process_name(out: &mut String, first: &mut bool, pid: u32, name: &str) {
     .expect("write to String");
 }
 
+/// Appends one counter ("ph":"C") sample.
+fn push_counter(out: &mut String, first: &mut bool, name: &str, ts: u64, pid: u32, value: i64) {
+    use std::fmt::Write;
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    write!(
+        out,
+        "{{\"name\":\"{name}\",\"ph\":\"C\",\"ts\":{ts},\"pid\":{pid},\"tid\":0,\
+         \"args\":{{\"fragments\":{value}}}}}"
+    )
+    .expect("write to String");
+}
+
 const PID_DISKS: u32 = 1;
 const PID_DISPLAYS: u32 = 2;
 const PID_CLUSTERS: u32 = 3;
+const PID_NODES: u32 = 4;
 
 /// Renders the journal as Chrome/Perfetto trace-event JSON
 /// (`{"traceEvents":[...]}`): per-disk read spans (consecutive
@@ -402,6 +423,100 @@ pub fn perfetto_trace(events: &[(u64, Event)], meta: &TraceMeta) -> String {
             );
         }
     }
+
+    // Per-node tracks for multi-node farms: outage spans (async span
+    // while every member disk is down) and interconnect-link
+    // utilization counters accumulated from `LinkBook` bookings.
+    if meta.nodes > 1 {
+        push_process_name(&mut out, &mut first, PID_NODES, "nodes");
+        let dpn = meta.disks_per_node.max(1);
+        let nodes = meta.nodes as usize;
+        let node_of = |disk: u32| ((disk / dpn).min(meta.nodes - 1)) as usize;
+        let members = |n: usize| {
+            let lo = n as u32 * dpn;
+            dpn.min(meta.disks.saturating_sub(lo)).max(1)
+        };
+        let mut down = vec![0u32; nodes];
+        let mut dark = vec![false; nodes];
+        // Per-node link-fragment deltas keyed by timestamp.
+        let mut link: Vec<std::collections::BTreeMap<u64, i64>> =
+            vec![std::collections::BTreeMap::new(); nodes];
+        for (at, ev) in events {
+            match ev {
+                Event::DiskFail { disk } => {
+                    let n = node_of(*disk);
+                    down[n] += 1;
+                    if down[n] >= members(n) && !dark[n] {
+                        dark[n] = true;
+                        push_async(
+                            &mut out,
+                            &mut first,
+                            'b',
+                            &format!("node{n} dark"),
+                            "outage",
+                            n as u64,
+                            *at,
+                            PID_NODES,
+                            n as u64,
+                        );
+                    }
+                }
+                Event::DiskRepair { disk } => {
+                    let n = node_of(*disk);
+                    down[n] = down[n].saturating_sub(1);
+                    if dark[n] && down[n] < members(n) {
+                        dark[n] = false;
+                        push_async(
+                            &mut out,
+                            &mut first,
+                            'e',
+                            &format!("node{n} dark"),
+                            "outage",
+                            n as u64,
+                            *at,
+                            PID_NODES,
+                            n as u64,
+                        );
+                    }
+                }
+                Event::LinkBook {
+                    node,
+                    from,
+                    until,
+                    fragments,
+                } => {
+                    if let Some(m) = link.get_mut(*node as usize) {
+                        *m.entry(from * iv).or_insert(0) += *fragments as i64;
+                        *m.entry(until * iv).or_insert(0) -= *fragments as i64;
+                    }
+                }
+                _ => {}
+            }
+        }
+        for (n, still_dark) in dark.iter().enumerate() {
+            if *still_dark {
+                push_async(
+                    &mut out,
+                    &mut first,
+                    'e',
+                    &format!("node{n} dark"),
+                    "outage",
+                    n as u64,
+                    last_ts,
+                    PID_NODES,
+                    n as u64,
+                );
+            }
+        }
+        for (n, deltas) in link.iter().enumerate() {
+            let name = format!("node{n} link fragments");
+            let mut level = 0i64;
+            for (&ts, &d) in deltas {
+                level += d;
+                push_counter(&mut out, &mut first, &name, ts, PID_NODES, level);
+            }
+        }
+    }
     let _ = write!(out, "],\"displayTimeUnit\":\"ms\"}}");
     out
 }
@@ -416,6 +531,8 @@ mod tests {
             stride: k,
             interval_us: 1_000,
             cluster_size: 0,
+            nodes: 1,
+            disks_per_node: d,
         }
     }
 
@@ -502,5 +619,40 @@ mod tests {
         assert!(trace.contains("\"ph\":\"b\""));
         assert!(trace.contains("\"ph\":\"e\""));
         assert!(trace.contains("disk3 down"));
+    }
+
+    #[test]
+    fn node_tracks_render_outages_and_link_counters() {
+        // 4 disks over 2 nodes: node 1 = disks {2,3}, fully down over
+        // [10, 90); LinkBook spans feed node 0's counter track.
+        let mut m = meta(4, 1);
+        m.nodes = 2;
+        m.disks_per_node = 2;
+        let events = vec![
+            (10, Event::DiskFail { disk: 2 }),
+            (10, Event::DiskFail { disk: 3 }),
+            (
+                20,
+                Event::LinkBook {
+                    node: 0,
+                    from: 1,
+                    until: 3,
+                    fragments: 5,
+                },
+            ),
+            (90, Event::DiskRepair { disk: 2 }),
+            (90, Event::DiskRepair { disk: 3 }),
+        ];
+        let trace = perfetto_trace(&events, &m);
+        assert!(trace.contains("node1 dark"));
+        assert!(trace.contains("\"ph\":\"C\""));
+        assert!(trace.contains("node0 link fragments"));
+        // The counter steps up to 5 at interval 1 and back to 0 at 3.
+        assert!(trace.contains("\"ts\":1000,\"pid\":4,\"tid\":0,\"args\":{\"fragments\":5}"));
+        assert!(trace.contains("\"ts\":3000,\"pid\":4,\"tid\":0,\"args\":{\"fragments\":0}"));
+        // A single-node meta renders no node tracks for the same journal.
+        let single = perfetto_trace(&events, &meta(4, 1));
+        assert!(!single.contains("node1 dark"));
+        assert!(!single.contains("\"ph\":\"C\""));
     }
 }

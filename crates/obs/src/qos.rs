@@ -1,0 +1,402 @@
+//! Per-display QoS ledger: folds a captured journal into one record per
+//! display (private admission, shared join, or VDR cluster start) with
+//! the user-facing quality facts — startup wait, hiccup exposure,
+//! rescue/reconstruction exposure, and drop cause.
+//!
+//! The ledger is built *offline* from a `VecRecorder` capture; the live
+//! models only emit events through the `obs!` path, so a recorder-off
+//! run pays nothing and stays byte-identical to the goldens. Totals are
+//! exact (they are straight event counts); per-record attribution of
+//! hiccups and rescues picks the oldest concurrently-open display of
+//! the same object, which is unambiguous whenever an object has at most
+//! one live display.
+
+use crate::event::Event;
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+/// How a display opened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StartKind {
+    /// A private striping admission (`AdmitAccept`).
+    Private,
+    /// A join onto an in-flight shared stream (`SharedJoin`).
+    SharedJoin,
+    /// A VDR cluster display (`ClusterDisplayStart`).
+    Cluster,
+}
+
+/// One display's QoS record.
+#[derive(Debug, Clone)]
+pub struct DisplayRecord {
+    /// Catalog id of the displayed object.
+    pub object: u32,
+    /// How the display opened.
+    pub start: StartKind,
+    /// Interval the display was opened at.
+    pub opened_at: u64,
+    /// Interval the display closed at (`None` = still open at capture
+    /// end — e.g. a shared viewer folded into its stream).
+    pub closed_at: Option<u64>,
+    /// Arrival-to-delivery-start wait in simulation microseconds, from
+    /// the paired `Startup` event (`None` when the model emitted no
+    /// startup sample for this open, e.g. pre-PR-10 captures).
+    pub wait_us: Option<u64>,
+    /// True when the startup fell inside the measurement window.
+    pub measured: bool,
+    /// Hiccup events attributed to this display.
+    pub hiccups: u64,
+    /// Rescues (striping fragment rescues or VDR cluster relocations)
+    /// attributed to this display.
+    pub rescues: u64,
+    /// Intervals served via parity reconstruction at admission.
+    pub reconstructed: u64,
+    /// Hiccup intervals billed at drop time (`DisplayDrop.hiccups`);
+    /// nonzero only for dropped displays.
+    pub drop_hiccups: u64,
+    /// True when the display was dropped rather than completed.
+    pub dropped: bool,
+}
+
+/// Exact event-count totals over the whole ledger, for reconciliation
+/// against the run report's aggregates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QosTotals {
+    /// Displays opened (private + shared + cluster).
+    pub opened: u64,
+    /// Private striping admissions.
+    pub private_opens: u64,
+    /// Shared-stream joins.
+    pub shared_joins: u64,
+    /// VDR cluster display starts.
+    pub cluster_opens: u64,
+    /// `DisplayEnd` closes inside the measurement window.
+    pub ends_measured: u64,
+    /// All `DisplayEnd` closes.
+    pub ends_total: u64,
+    /// Displays dropped.
+    pub drops: u64,
+    /// Hiccup intervals billed at drop time (VDR's hiccup aggregate).
+    pub drop_hiccup_intervals: u64,
+    /// Individual `Hiccup` events (striping's hiccup aggregate).
+    pub hiccup_events: u64,
+    /// Rescues (striping `Rescue` + VDR `ClusterRescue`).
+    pub rescues: u64,
+    /// Startup samples carrying a wait (measured ones only).
+    pub startup_samples: u64,
+    /// Sum of measured startup waits in microseconds.
+    pub startup_wait_us_sum: u64,
+    /// Largest measured startup wait in microseconds.
+    pub startup_wait_us_max: u64,
+}
+
+/// The per-display QoS ledger. See the module docs.
+#[derive(Debug, Default)]
+pub struct QosLedger {
+    /// All display records, in journal open order.
+    pub displays: Vec<DisplayRecord>,
+}
+
+impl QosLedger {
+    /// Folds a captured journal into the ledger. Events must be in
+    /// capture order (as a `VecRecorder` hands them back).
+    pub fn from_events(events: &[(u64, Event)]) -> Self {
+        let mut displays: Vec<DisplayRecord> = Vec::new();
+        // Open display indices per object, oldest first.
+        let mut open: BTreeMap<u32, VecDeque<usize>> = BTreeMap::new();
+        let push_open = |displays: &mut Vec<DisplayRecord>,
+                         open: &mut BTreeMap<u32, VecDeque<usize>>,
+                         rec: DisplayRecord| {
+            let object = rec.object;
+            displays.push(rec);
+            open.entry(object)
+                .or_default()
+                .push_back(displays.len() - 1);
+        };
+        for (_, ev) in events {
+            match ev {
+                Event::AdmitAccept {
+                    object,
+                    interval,
+                    reconstructed,
+                    ..
+                } => push_open(
+                    &mut displays,
+                    &mut open,
+                    DisplayRecord {
+                        object: *object,
+                        start: StartKind::Private,
+                        opened_at: *interval,
+                        closed_at: None,
+                        wait_us: None,
+                        measured: false,
+                        hiccups: 0,
+                        rescues: 0,
+                        reconstructed: *reconstructed,
+                        drop_hiccups: 0,
+                        dropped: false,
+                    },
+                ),
+                Event::SharedJoin {
+                    object, interval, ..
+                } => push_open(
+                    &mut displays,
+                    &mut open,
+                    DisplayRecord {
+                        object: *object,
+                        start: StartKind::SharedJoin,
+                        opened_at: *interval,
+                        closed_at: None,
+                        wait_us: None,
+                        measured: false,
+                        hiccups: 0,
+                        rescues: 0,
+                        reconstructed: 0,
+                        drop_hiccups: 0,
+                        dropped: false,
+                    },
+                ),
+                Event::ClusterDisplayStart {
+                    object, interval, ..
+                } => push_open(
+                    &mut displays,
+                    &mut open,
+                    DisplayRecord {
+                        object: *object,
+                        start: StartKind::Cluster,
+                        opened_at: *interval,
+                        closed_at: None,
+                        wait_us: None,
+                        measured: false,
+                        hiccups: 0,
+                        rescues: 0,
+                        reconstructed: 0,
+                        drop_hiccups: 0,
+                        dropped: false,
+                    },
+                ),
+                // The models emit `Startup` immediately after the open
+                // event it belongs to, so it attaches to the youngest
+                // open record of the object still missing a sample.
+                Event::Startup {
+                    object,
+                    wait_us,
+                    measured,
+                    ..
+                } => {
+                    if let Some(q) = open.get(object) {
+                        if let Some(&i) = q.iter().rev().find(|&&i| displays[i].wait_us.is_none()) {
+                            displays[i].wait_us = Some(*wait_us);
+                            displays[i].measured = *measured;
+                        }
+                    }
+                }
+                Event::Hiccup { object, .. } => {
+                    if let Some(&i) = open.get(object).and_then(VecDeque::front) {
+                        displays[i].hiccups += 1;
+                    }
+                }
+                Event::Rescue { object, .. } | Event::ClusterRescue { object, .. } => {
+                    if let Some(&i) = open.get(object).and_then(VecDeque::front) {
+                        displays[i].rescues += 1;
+                    }
+                }
+                Event::DisplayEnd {
+                    object, interval, ..
+                } => {
+                    if let Some(i) = open.get_mut(object).and_then(VecDeque::pop_front) {
+                        displays[i].closed_at = Some(*interval);
+                    }
+                }
+                Event::DisplayDrop {
+                    object,
+                    interval,
+                    hiccups,
+                } => {
+                    if let Some(i) = open.get_mut(object).and_then(VecDeque::pop_front) {
+                        displays[i].closed_at = Some(*interval);
+                        displays[i].dropped = true;
+                        displays[i].drop_hiccups = *hiccups;
+                    }
+                }
+                _ => {}
+            }
+        }
+        Self { displays }
+    }
+
+    /// Exact totals: opens, drops and startup samples come from the
+    /// folded records; ends, hiccups and rescues are counted straight
+    /// off the journal so they reconcile even when per-record
+    /// attribution found no open display (a truncated capture).
+    pub fn totals(&self, events: &[(u64, Event)]) -> QosTotals {
+        let mut t = QosTotals::default();
+        for d in &self.displays {
+            t.opened += 1;
+            match d.start {
+                StartKind::Private => t.private_opens += 1,
+                StartKind::SharedJoin => t.shared_joins += 1,
+                StartKind::Cluster => t.cluster_opens += 1,
+            }
+            if d.dropped {
+                t.drops += 1;
+                t.drop_hiccup_intervals += d.drop_hiccups;
+            }
+            if let Some(w) = d.wait_us {
+                if d.measured {
+                    t.startup_samples += 1;
+                    t.startup_wait_us_sum += w;
+                    t.startup_wait_us_max = t.startup_wait_us_max.max(w);
+                }
+            }
+        }
+        // Ends, hiccups and rescues are counted straight off the journal
+        // so the totals reconcile even if attribution found no open
+        // record (a malformed or truncated capture).
+        for (_, ev) in events {
+            match ev {
+                Event::DisplayEnd { measured, .. } => {
+                    t.ends_total += 1;
+                    t.ends_measured += u64::from(*measured);
+                }
+                Event::Hiccup { .. } => t.hiccup_events += 1,
+                Event::Rescue { .. } | Event::ClusterRescue { .. } => t.rescues += 1,
+                _ => {}
+            }
+        }
+        t
+    }
+
+    /// Per-interval active-display deltas: `+1` at each open, `-1` at
+    /// each close, as `(interval, delta)` in no particular order. The
+    /// SLO evaluator prefix-sums these into an active-display series.
+    pub fn active_deltas(&self) -> Vec<(u64, i64)> {
+        let mut out = Vec::with_capacity(self.displays.len() * 2);
+        for d in &self.displays {
+            out.push((d.opened_at, 1));
+            if let Some(c) = d.closed_at {
+                out.push((c.max(d.opened_at), -1));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(ev: Event) -> (u64, Event) {
+        (0, ev)
+    }
+
+    #[test]
+    fn fold_opens_attaches_and_closes() {
+        let events = vec![
+            at(Event::AdmitAccept {
+                object: 3,
+                interval: 10,
+                start_disk: 0,
+                degree: 2,
+                subobjects: 4,
+                delivery_start: 11,
+                end_interval: 15,
+                buffer: 0,
+                reconstructed: 2,
+            }),
+            at(Event::Startup {
+                object: 3,
+                interval: 10,
+                wait_us: 2_000,
+                measured: true,
+            }),
+            at(Event::Hiccup {
+                object: 3,
+                frag: 0,
+                subobject: 1,
+                interval: 12,
+                disk: 0,
+                viewers: 0,
+            }),
+            at(Event::Rescue {
+                object: 3,
+                frag: 1,
+                interval: 12,
+            }),
+            at(Event::DisplayEnd {
+                object: 3,
+                interval: 15,
+                measured: true,
+            }),
+        ];
+        let ledger = QosLedger::from_events(&events);
+        assert_eq!(ledger.displays.len(), 1);
+        let d = &ledger.displays[0];
+        assert_eq!(d.start, StartKind::Private);
+        assert_eq!(d.wait_us, Some(2_000));
+        assert!(d.measured);
+        assert_eq!((d.hiccups, d.rescues, d.reconstructed), (1, 1, 2));
+        assert_eq!(d.closed_at, Some(15));
+        assert!(!d.dropped);
+        let t = ledger.totals(&events);
+        assert_eq!(t.opened, 1);
+        assert_eq!(t.ends_measured, 1);
+        assert_eq!(t.hiccup_events, 1);
+        assert_eq!(t.rescues, 1);
+        assert_eq!(t.startup_samples, 1);
+        assert_eq!(t.startup_wait_us_max, 2_000);
+    }
+
+    #[test]
+    fn drop_closes_with_cause_and_fifo_holds() {
+        let open = |interval: u64| {
+            at(Event::ClusterDisplayStart {
+                object: 7,
+                cluster: 0,
+                interval,
+                end_interval: interval + 5,
+            })
+        };
+        let events = vec![
+            open(1),
+            open(2),
+            at(Event::DisplayDrop {
+                object: 7,
+                interval: 4,
+                hiccups: 3,
+            }),
+            at(Event::DisplayEnd {
+                object: 7,
+                interval: 7,
+                measured: false,
+            }),
+        ];
+        let ledger = QosLedger::from_events(&events);
+        assert_eq!(ledger.displays.len(), 2);
+        // FIFO: the drop closed the older open, the end the younger.
+        assert!(ledger.displays[0].dropped);
+        assert_eq!(ledger.displays[0].drop_hiccups, 3);
+        assert_eq!(ledger.displays[0].closed_at, Some(4));
+        assert!(!ledger.displays[1].dropped);
+        assert_eq!(ledger.displays[1].closed_at, Some(7));
+        let t = ledger.totals(&events);
+        assert_eq!((t.opened, t.cluster_opens), (2, 2));
+        assert_eq!((t.drops, t.drop_hiccup_intervals), (1, 3));
+        assert_eq!((t.ends_total, t.ends_measured), (1, 0));
+    }
+
+    #[test]
+    fn shared_join_without_end_stays_open() {
+        let events = vec![at(Event::SharedJoin {
+            object: 2,
+            interval: 5,
+            lag: 1,
+            buffer: 2,
+        })];
+        let ledger = QosLedger::from_events(&events);
+        assert_eq!(ledger.displays.len(), 1);
+        assert_eq!(ledger.displays[0].start, StartKind::SharedJoin);
+        assert_eq!(ledger.displays[0].closed_at, None);
+        assert_eq!(ledger.totals(&events).shared_joins, 1);
+    }
+}

@@ -110,11 +110,19 @@ impl FixedHistogram {
         }
     }
 
+    /// Upper bound of the last bucket — the largest value the layout
+    /// can resolve; overflow observations clamp here.
+    pub fn top_bound(&self) -> f64 {
+        self.spec.lo + self.spec.width * self.counts.len() as f64
+    }
+
     /// Upper edge of the bucket containing the `q`-quantile
-    /// (`0 <= q <= 1`); under/overflow clamp to the layout's edges.
+    /// (`0 <= q <= 1`); under/overflow clamp to the layout's edges. The
+    /// two edges are pinned: an empty histogram and `q = 1.0` both
+    /// return [`FixedHistogram::top_bound`] — never a value past it.
     pub fn quantile(&self, q: f64) -> f64 {
-        if self.total == 0 {
-            return self.spec.lo;
+        if self.total == 0 || q >= 1.0 {
+            return self.top_bound();
         }
         let target = (q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64;
         let mut seen = self.underflow;
@@ -127,7 +135,7 @@ impl FixedHistogram {
                 return self.spec.lo + self.spec.width * (i as f64 + 1.0);
             }
         }
-        self.spec.lo + self.spec.width * self.counts.len() as f64
+        self.top_bound()
     }
 }
 
@@ -364,6 +372,39 @@ mod tests {
         assert_eq!(h.count(), 6);
         assert_eq!(h.quantile(0.5), 2.0);
         assert!(h.mean() > 0.0);
+    }
+
+    #[test]
+    fn quantile_empty_returns_top_bound() {
+        let h = FixedHistogram::new(HistogramSpec {
+            lo: 2.0,
+            width: 0.5,
+            buckets: 8,
+        });
+        // An empty histogram pins every quantile to the layout's top
+        // bucket bound — never the lower edge, never past the top.
+        assert_eq!(h.top_bound(), 6.0);
+        assert_eq!(h.quantile(0.0), 6.0);
+        assert_eq!(h.quantile(0.5), 6.0);
+        assert_eq!(h.quantile(1.0), 6.0);
+    }
+
+    #[test]
+    fn quantile_one_clamps_to_top_bound() {
+        let mut h = FixedHistogram::new(HistogramSpec {
+            lo: 0.0,
+            width: 1.0,
+            buckets: 4,
+        });
+        // Mass only in the first bucket: q=1.0 still reports the top
+        // bucket bound (4.0), not an interpolation past the data.
+        h.observe(0.25);
+        h.observe(0.75);
+        assert_eq!(h.quantile(1.0), 4.0);
+        // Overflow observations clamp to the same bound.
+        h.observe(99.0);
+        assert_eq!(h.quantile(1.0), 4.0);
+        assert_eq!(h.quantile(0.5), 1.0);
     }
 
     #[test]

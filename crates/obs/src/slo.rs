@@ -1,0 +1,398 @@
+//! Declarative SLO evaluation over a captured journal: each objective
+//! is a good/bad event-fraction budget evaluated over deterministic
+//! sliding windows with Google-style fast/slow burn-rate alerting.
+//!
+//! Everything is integer arithmetic on interval-bucketed counts — the
+//! same capture always evaluates to the same alerts, byte for byte,
+//! which is what lets CI gate on same-seed rerun identity.
+//!
+//! Burn rates are reported in **hundredths of the budget rate**: 100
+//! means the window consumed its error budget exactly at the sustainable
+//! rate; an alert fires when *both* the fast and the slow window burn at
+//! or above the spec's threshold (the two-window rule suppresses both
+//! blips and stale pages).
+
+use crate::event::Event;
+use crate::qos::QosLedger;
+
+/// What an objective measures. Each kind defines the good/bad unit
+/// stream extracted from the journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SloKind {
+    /// Startup wait: one unit per `Startup` sample; bad when the wait
+    /// exceeds `limit_us`. A `budget_ppm` of 10_000 (1%) makes this a
+    /// "p99 startup <= limit" objective.
+    StartupWait {
+        /// Largest acceptable arrival-to-delivery wait, microseconds.
+        limit_us: u64,
+    },
+    /// Hiccup-free delivery: one unit per active display-interval; bad
+    /// units are hiccup intervals (striping `Hiccup` events, or VDR
+    /// `DisplayDrop.hiccups` billed at the drop when the capture holds
+    /// no per-hiccup events).
+    HiccupFree,
+    /// Stream retention: one unit per display close; bad when the close
+    /// was a drop.
+    Retention,
+}
+
+/// One declarative objective.
+#[derive(Debug, Clone, Copy)]
+pub struct SloSpec {
+    /// Stable display name (also the CSV/JSON key).
+    pub name: &'static str,
+    /// What is measured.
+    pub kind: SloKind,
+    /// Allowed bad fraction of total units, in parts per million.
+    pub budget_ppm: u64,
+    /// Fast alert window, intervals (also the evaluation step).
+    pub fast_window: u64,
+    /// Slow alert window, intervals.
+    pub slow_window: u64,
+    /// Alert threshold in hundredths of the budget rate; both windows
+    /// must burn at or above it to page.
+    pub alert_burn: u64,
+}
+
+impl SloSpec {
+    /// The default objective set the paper's contract implies: p99
+    /// startup within two intervals, 99.9% hiccup-free delivery, and
+    /// 95% stream retention.
+    pub fn default_set(interval_us: u64) -> Vec<SloSpec> {
+        vec![
+            SloSpec {
+                name: "startup_p99_le_2_intervals",
+                kind: SloKind::StartupWait {
+                    limit_us: 2 * interval_us,
+                },
+                budget_ppm: 10_000,
+                fast_window: 60,
+                slow_window: 600,
+                alert_burn: 200,
+            },
+            SloSpec {
+                name: "hiccup_free_99_9pct",
+                kind: SloKind::HiccupFree,
+                budget_ppm: 1_000,
+                fast_window: 60,
+                slow_window: 600,
+                alert_burn: 200,
+            },
+            SloSpec {
+                name: "retention_95pct",
+                kind: SloKind::Retention,
+                budget_ppm: 50_000,
+                fast_window: 120,
+                slow_window: 720,
+                alert_burn: 200,
+            },
+        ]
+    }
+}
+
+/// A breach: both windows of `slo` burned at or above threshold at the
+/// evaluation point closing interval `until`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Alert {
+    /// Index of the breached spec in the evaluated list.
+    pub slo: u32,
+    /// First interval of the fast (triggering) window.
+    pub from: u64,
+    /// First interval after the fast window.
+    pub until: u64,
+    /// Fast-window burn in hundredths of the budget rate.
+    pub fast_burn: u64,
+    /// Slow-window burn in hundredths of the budget rate.
+    pub slow_burn: u64,
+}
+
+impl Alert {
+    /// The typed journal event for this alert.
+    pub fn to_event(&self) -> Event {
+        Event::SloBreach {
+            slo: self.slo,
+            from: self.from,
+            until: self.until,
+            fast_burn: self.fast_burn,
+            slow_burn: self.slow_burn,
+        }
+    }
+}
+
+/// End-of-run verdict for one objective.
+#[derive(Debug, Clone)]
+pub struct SloOutcome {
+    /// The evaluated spec.
+    pub spec: SloSpec,
+    /// Good units over the whole run.
+    pub good: u64,
+    /// Bad units over the whole run.
+    pub bad: u64,
+    /// Whole-run burn in hundredths of the budget rate (<= 100 passes).
+    pub overall_burn: u64,
+    /// True when the whole-run bad fraction stayed within budget.
+    pub pass: bool,
+    /// Alerts this objective raised.
+    pub alerts: u64,
+}
+
+/// The full evaluation: one outcome per spec plus the merged alert
+/// stream in (interval, spec) order.
+#[derive(Debug, Clone)]
+pub struct SloReport {
+    /// Per-objective verdicts, in spec order.
+    pub outcomes: Vec<SloOutcome>,
+    /// All alerts, ordered by (until, slo).
+    pub alerts: Vec<Alert>,
+    /// Evaluation horizon: one past the last journal interval.
+    pub horizon: u64,
+}
+
+/// Burn in hundredths of the budget rate: `(bad/total) / (budget_ppm/1e6) * 100`.
+fn burn_hundredths(bad: u64, total: u64, budget_ppm: u64) -> u64 {
+    if total == 0 || budget_ppm == 0 {
+        return 0;
+    }
+    ((bad as u128 * 100_000_000) / (total as u128 * budget_ppm as u128)) as u64
+}
+
+/// Interval-bucketed (bad, total) unit counts for one spec. Kinds read
+/// the events' own interval fields, not the ambient stamp.
+fn bucket_units(
+    spec: &SloSpec,
+    ledger: &QosLedger,
+    events: &[(u64, Event)],
+    horizon: u64,
+) -> (Vec<u64>, Vec<u64>) {
+    let n = horizon as usize;
+    let mut bad = vec![0u64; n];
+    let mut total = vec![0u64; n];
+    let clamp = |t: u64| (t.min(horizon.saturating_sub(1))) as usize;
+    match spec.kind {
+        SloKind::StartupWait { limit_us } => {
+            for (_, ev) in events {
+                if let Event::Startup {
+                    interval, wait_us, ..
+                } = ev
+                {
+                    let i = clamp(*interval);
+                    total[i] += 1;
+                    bad[i] += u64::from(*wait_us > limit_us);
+                }
+            }
+        }
+        SloKind::HiccupFree => {
+            // Total units: active display-intervals, prefix-summed from
+            // the ledger's open/close deltas.
+            let mut delta = vec![0i64; n + 1];
+            for (t, d) in ledger.active_deltas() {
+                delta[clamp(t)] += d;
+            }
+            let mut active = 0i64;
+            for (i, d) in delta[..n].iter().enumerate() {
+                active += d;
+                total[i] += active.max(0) as u64;
+            }
+            // Bad units: per-hiccup events when the capture has them,
+            // else the drop-time hiccup bill (the VDR journal shape).
+            let has_hiccup_events = events
+                .iter()
+                .any(|(_, e)| matches!(e, Event::Hiccup { .. }));
+            for (_, ev) in events {
+                match ev {
+                    // A shared stream's lost read starves the primary
+                    // and every dependent viewer alike.
+                    Event::Hiccup {
+                        interval, viewers, ..
+                    } => bad[clamp(*interval)] += 1 + *viewers,
+                    Event::DisplayDrop {
+                        interval, hiccups, ..
+                    } if !has_hiccup_events => bad[clamp(*interval)] += hiccups,
+                    _ => {}
+                }
+            }
+            // A hiccup interval is also an active display-interval; make
+            // sure the denominator never undercounts the numerator.
+            for i in 0..n {
+                total[i] = total[i].max(bad[i]);
+            }
+        }
+        SloKind::Retention => {
+            for (_, ev) in events {
+                match ev {
+                    Event::DisplayEnd { interval, .. } => total[clamp(*interval)] += 1,
+                    Event::DisplayDrop { interval, .. } => {
+                        let i = clamp(*interval);
+                        total[i] += 1;
+                        bad[i] += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    (bad, total)
+}
+
+/// Evaluates `specs` over a capture. `interval_us` converts the journal's
+/// ambient microsecond stamps into interval indices where a kind needs
+/// it; the horizon is one past the last event's interval stamp.
+pub fn evaluate(
+    specs: &[SloSpec],
+    ledger: &QosLedger,
+    events: &[(u64, Event)],
+    interval_us: u64,
+) -> SloReport {
+    let horizon = events
+        .iter()
+        .map(|&(at, _)| at.checked_div(interval_us).unwrap_or(0))
+        .max()
+        .unwrap_or(0)
+        + 1;
+    let mut outcomes = Vec::with_capacity(specs.len());
+    let mut alerts: Vec<Alert> = Vec::new();
+    for (si, spec) in specs.iter().enumerate() {
+        let (bad, total) = bucket_units(spec, ledger, events, horizon);
+        // Prefix sums make any window an O(1) difference.
+        let mut bad_ps = vec![0u64; bad.len() + 1];
+        let mut tot_ps = vec![0u64; total.len() + 1];
+        for i in 0..bad.len() {
+            bad_ps[i + 1] = bad_ps[i] + bad[i];
+            tot_ps[i + 1] = tot_ps[i] + total[i];
+        }
+        let window = |ps: &[u64], from: u64, until: u64| -> u64 {
+            let from = (from as usize).min(ps.len() - 1);
+            let until = (until as usize).min(ps.len() - 1);
+            ps[until] - ps[from.min(until)]
+        };
+        let step = spec.fast_window.max(1);
+        let mut spec_alerts = 0u64;
+        let mut until = step;
+        while until <= horizon {
+            let fast_from = until.saturating_sub(spec.fast_window);
+            let slow_from = until.saturating_sub(spec.slow_window);
+            let fast_burn = burn_hundredths(
+                window(&bad_ps, fast_from, until),
+                window(&tot_ps, fast_from, until),
+                spec.budget_ppm,
+            );
+            let slow_burn = burn_hundredths(
+                window(&bad_ps, slow_from, until),
+                window(&tot_ps, slow_from, until),
+                spec.budget_ppm,
+            );
+            if fast_burn >= spec.alert_burn && slow_burn >= spec.alert_burn {
+                alerts.push(Alert {
+                    slo: si as u32,
+                    from: fast_from,
+                    until,
+                    fast_burn,
+                    slow_burn,
+                });
+                spec_alerts += 1;
+            }
+            until += step;
+        }
+        let (good_total, bad_total) = (tot_ps[total.len()] - bad_ps[bad.len()], bad_ps[bad.len()]);
+        let overall_burn = burn_hundredths(bad_total, tot_ps[total.len()], spec.budget_ppm);
+        outcomes.push(SloOutcome {
+            spec: *spec,
+            good: good_total,
+            bad: bad_total,
+            overall_burn,
+            pass: overall_burn <= 100,
+            alerts: spec_alerts,
+        });
+    }
+    alerts.sort_by_key(|a| (a.until, a.slo));
+    SloReport {
+        outcomes,
+        alerts,
+        horizon,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn startup(interval: u64, wait_us: u64) -> (u64, Event) {
+        (
+            interval * 1_000,
+            Event::Startup {
+                object: 1,
+                interval,
+                wait_us,
+                measured: true,
+            },
+        )
+    }
+
+    #[test]
+    fn burn_is_budget_relative() {
+        // 1% bad at a 1% budget burns at exactly 100 hundredths.
+        assert_eq!(burn_hundredths(1, 100, 10_000), 100);
+        // 10% bad at a 1% budget burns 10x.
+        assert_eq!(burn_hundredths(10, 100, 10_000), 1_000);
+        assert_eq!(burn_hundredths(0, 100, 10_000), 0);
+        assert_eq!(burn_hundredths(5, 0, 10_000), 0);
+    }
+
+    #[test]
+    fn startup_slo_alerts_on_sustained_slow_starts() {
+        let spec = SloSpec {
+            name: "startup",
+            kind: SloKind::StartupWait { limit_us: 2_000 },
+            budget_ppm: 10_000,
+            fast_window: 4,
+            slow_window: 8,
+            alert_burn: 200,
+        };
+        // Every startup in [0, 8) waits 10x the limit: both windows
+        // burn far past threshold at every evaluation point.
+        let events: Vec<_> = (0..8).map(|t| startup(t, 20_000)).collect();
+        let ledger = QosLedger::from_events(&events);
+        let report = evaluate(&[spec], &ledger, &events, 1_000);
+        assert!(!report.alerts.is_empty());
+        assert!(!report.outcomes[0].pass);
+        assert_eq!(report.outcomes[0].bad, 8);
+        // All-fast starts: no alert, objective passes.
+        let events: Vec<_> = (0..8).map(|t| startup(t, 100)).collect();
+        let ledger = QosLedger::from_events(&events);
+        let report = evaluate(&[spec], &ledger, &events, 1_000);
+        assert!(report.alerts.is_empty());
+        assert!(report.outcomes[0].pass);
+        assert_eq!(report.outcomes[0].overall_burn, 0);
+    }
+
+    #[test]
+    fn two_window_rule_suppresses_blips() {
+        let spec = SloSpec {
+            name: "startup",
+            kind: SloKind::StartupWait { limit_us: 2_000 },
+            budget_ppm: 500_000, // 50% budget: one slow start in a
+            fast_window: 2,      // fast window burns 2x, but the slow
+            slow_window: 64,     // window dilutes it below threshold.
+            alert_burn: 200,
+        };
+        let mut events: Vec<_> = (0..64).map(|t| startup(t, 100)).collect();
+        events[10] = startup(10, 20_000);
+        let ledger = QosLedger::from_events(&events);
+        let report = evaluate(&[spec], &ledger, &events, 1_000);
+        assert!(report.alerts.is_empty());
+        assert!(report.outcomes[0].pass);
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let events: Vec<_> = (0..32)
+            .map(|t| startup(t, if t % 3 == 0 { 9_000 } else { 100 }))
+            .collect();
+        let ledger = QosLedger::from_events(&events);
+        let specs = SloSpec::default_set(1_000);
+        let a = evaluate(&specs, &ledger, &events, 1_000);
+        let b = evaluate(&specs, &ledger, &events, 1_000);
+        assert_eq!(a.alerts, b.alerts);
+        assert_eq!(a.horizon, b.horizon);
+    }
+}

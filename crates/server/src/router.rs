@@ -24,6 +24,34 @@ use crate::config::RouterPolicy;
 use ss_sim::DeterministicRng;
 use ss_types::{NodeId, NodeTopology};
 
+/// Emits one `LinkBook` journal event per maximal run of consecutive
+/// intervals booking the same fragment count on `home`'s ingress.
+/// `spans` is the sorted `(interval, fragments)` buffer a booking just
+/// committed to the interconnect ledger; recorder-off runs return
+/// before touching it, so the disabled path stays free.
+pub fn obs_link_book(home: NodeId, spans: &[(u64, u64)]) {
+    if !ss_obs::enabled() || spans.is_empty() {
+        return;
+    }
+    let mut i = 0;
+    while i < spans.len() {
+        let (from, fragments) = spans[i];
+        let mut until = from + 1;
+        let mut j = i + 1;
+        while j < spans.len() && spans[j] == (until, fragments) {
+            until += 1;
+            j += 1;
+        }
+        ss_obs::record(ss_obs::Event::LinkBook {
+            node: home.0,
+            from,
+            until,
+            fragments,
+        });
+        i = j;
+    }
+}
+
 /// Home-node selection state: per-node live display counts plus the
 /// router's private RNG stream.
 #[derive(Debug)]

@@ -214,6 +214,7 @@ impl DistState {
         if !self.scratch.is_empty() {
             let spans = std::mem::take(&mut self.scratch);
             self.ledger.force_book(home, &spans);
+            crate::router::obs_link_book(home, &spans);
             self.scratch = spans;
         }
     }
@@ -741,6 +742,7 @@ impl StripingModel {
                 free: 0,
             });
         }
+        crate::router::obs_link_book(home, &dist.scratch);
         let extra = dist.latency_intervals * remote_frags;
         dist.latency_buffer_fragments += extra;
         Ok((home, extra))
@@ -1040,6 +1042,12 @@ impl StripingModel {
                             buffer: grant.buffer_fragments,
                             reconstructed: grant.reconstructed_intervals,
                         });
+                        ss_obs::record(ss_obs::Event::Startup {
+                            object: w.object.0,
+                            interval: t,
+                            wait_us: (waited + start.saturating_duration_since(now)).as_micros(),
+                            measured: self.metrics.measuring(),
+                        });
                         ss_obs::with_registry(|r| {
                             r.count("admissions", 1);
                             r.observe(
@@ -1161,6 +1169,12 @@ impl StripingModel {
                 interval: t,
                 lag,
                 buffer: catchup,
+            });
+            ss_obs::record(ss_obs::Event::Startup {
+                object: w.object.0,
+                interval: t,
+                wait_us: (waited + begin.saturating_duration_since(now)).as_micros(),
+                measured: self.metrics.measuring(),
             });
             ss_obs::with_registry(|r| r.count("shared_joins", 1));
         }
@@ -1623,6 +1637,7 @@ impl StripingModel {
                                     subobject: u64::from(lr.subobject),
                                     interval: lr.at,
                                     disk: lr.disk,
+                                    viewers: d.viewers.len() as u64,
                                 });
                             }
                         }

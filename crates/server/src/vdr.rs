@@ -466,6 +466,7 @@ impl VdrModel {
         if !dist.ledger.try_book(home, &dist.scratch) {
             return None;
         }
+        crate::router::obs_link_book(home, &dist.scratch);
         dist.latency_buffer_fragments += dist.latency_intervals * u64::from(degree);
         Some(home)
     }
@@ -491,6 +492,7 @@ impl VdrModel {
             .extend((t0..t1).map(|u| (u, u64::from(degree))));
         let spans = std::mem::take(&mut dist.scratch);
         dist.ledger.force_book(home, &spans);
+        crate::router::obs_link_book(home, &spans);
         dist.scratch = spans;
     }
 
@@ -565,6 +567,12 @@ impl VdrModel {
                         cluster: cluster.0,
                         interval: now.as_micros() / us,
                         end_interval: ends.as_micros() / us,
+                    });
+                    ss_obs::record(ss_obs::Event::Startup {
+                        object: w.object.0,
+                        interval: now.as_micros() / us,
+                        wait_us: waited.as_micros(),
+                        measured: self.metrics.measuring(),
                     });
                     ss_obs::with_registry(|r| r.count("admissions", 1));
                 }
@@ -693,6 +701,12 @@ impl VdrModel {
                 interval: t,
                 lag,
                 buffer: catchup,
+            });
+            ss_obs::record(ss_obs::Event::Startup {
+                object: w.object.0,
+                interval: t,
+                wait_us: waited.as_micros(),
+                measured: self.metrics.measuring(),
             });
             ss_obs::with_registry(|r| r.count("shared_joins", 1));
         }

@@ -22,8 +22,9 @@ echo "==> fault suites (per-suite test counts)"
 # the recorded proptest regression, re-run both via its sidecar and as a
 # directed case), the distributed-tier equivalence sweep, and the
 # crash-consistent storage plane (recovery reconciliation + scrub
-# completeness properties).
-for suite in fault_properties coalesce_properties backoff_properties seed_stability tick_equivalence parallel_equivalence obs_properties sharing_equivalence delivery_properties distributed_equivalence crash_properties; do
+# completeness properties), and the SLO/QoS plane (ledger
+# reconciliation, alert determinism, root-cause attribution).
+for suite in fault_properties coalesce_properties backoff_properties seed_stability tick_equivalence parallel_equivalence obs_properties sharing_equivalence delivery_properties distributed_equivalence crash_properties slo_properties; do
   count=$(cargo test -q --test "$suite" 2>&1 | sed -n 's/^test result: ok\. \([0-9]*\) passed.*/\1/p')
   if [ -z "$count" ] || [ "$count" -eq 0 ]; then
     echo "ci.sh: suite $suite reported no passing tests" >&2
@@ -86,6 +87,25 @@ if ! cmp -s target/ci-trace/trace.jsonl target/ci-trace-rerun/trace.jsonl; then
   exit 1
 fi
 echo "    journal: $(wc -l < target/ci-trace/trace.jsonl) events, byte-identical across reruns"
+
+echo "==> ops_report --quick (SLO/QoS reconciliation + alert-determinism gates)"
+# ops_report replays a faulted multi-node crash+scrub demo config on
+# each scheme, folds the journal into the per-display QoS ledger, and
+# self-checks before writing: ledger totals must equal the run report's
+# aggregates and every alert must describe a valid journal window. Any
+# mismatch exits non-zero (a hard gate — no CI_PERF_STRICT escape).
+cargo run --release -p ss-bench --bin ops_report -- --quick --out target/ci-ops
+cargo run --release -p ss-bench --bin ops_report -- --quick --vdr --out target/ci-ops-vdr
+# Alert determinism: the same seed must render byte-identical dashboard
+# artifacts, alerts and incident attribution included.
+cargo run --release -p ss-bench --bin ops_report -- --quick --out target/ci-ops-rerun
+for f in ops_report.txt ops_slo.csv ops_health.csv ops_incidents.csv ops_report.json ops_trace.jsonl; do
+  if ! cmp -s "target/ci-ops/$f" "target/ci-ops-rerun/$f"; then
+    echo "ci.sh: same-seed ops_report artifacts differ ($f)" >&2
+    exit 1
+  fi
+done
+echo "    $(wc -l < target/ci-ops/ops_trace.jsonl) journal events; 6 artifacts byte-identical across reruns"
 
 echo "==> sharing_capacity --quick (stream-sharing capacity floor)"
 # At high popularity skew, multicast batching + the prefix cache must
@@ -188,6 +208,16 @@ echo "==> perf_baseline --quick (regression + parallel-speedup gates)"
 # runners.
 cargo run --release -p ss-bench --bin perf_baseline -- --quick \
   --check-against BENCH_engine.json --gate-parallel
+
+# CI_FULL=1 additionally refreshes the committed full baseline and
+# appends a dated row to the BENCH_history.jsonl trajectory (grid and
+# quick-grid wall-clocks plus each merged section's headline). Quick
+# runs never append — the trajectory tracks full baselines only.
+if [ "${CI_FULL:-0}" = "1" ]; then
+  echo "==> perf_baseline (full: refresh baseline + append BENCH_history.jsonl row)"
+  cargo run --release -p ss-bench --bin perf_baseline -- \
+    --check-against BENCH_engine.json --gate-parallel --append-history
+fi
 
 echo "==> farm_scale --quick (100k-disk smoke + at-scale equivalence)"
 # Runs the 100,000-disk scenario serial and sharded and asserts the two

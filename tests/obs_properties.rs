@@ -76,6 +76,12 @@ fn count(events: &[(u64, ss_obs::Event)], pred: impl Fn(&ss_obs::Event) -> bool)
     events.iter().filter(|(_, e)| pred(e)).count() as u64
 }
 
+/// Sums a projected field over the journal (events where `f` returns
+/// `None` contribute nothing).
+fn sum(events: &[(u64, ss_obs::Event)], f: impl Fn(&ss_obs::Event) -> Option<u64>) -> u64 {
+    events.iter().filter_map(|(_, e)| f(e)).sum()
+}
+
 /// Asserts that counting journal events recovers the report aggregates.
 fn reconcile(cfg: &ServerConfig, events: &[(u64, ss_obs::Event)], report: &RunReport) {
     use ss_obs::Event;
@@ -114,9 +120,12 @@ fn reconcile(cfg: &ServerConfig, events: &[(u64, ss_obs::Event)], report: &RunRe
             "fragment rescues"
         );
         assert_eq!(
-            count(events, |e| matches!(e, Event::Hiccup { .. })),
+            sum(events, |e| match e {
+                Event::Hiccup { viewers, .. } => Some(1 + viewers),
+                _ => None,
+            }),
             g.hiccup_intervals,
-            "hiccup intervals"
+            "hiccup intervals (each loss charges the primary plus its shared viewers)"
         );
         let h = g.self_heal.unwrap_or_default();
         assert_eq!(
@@ -140,17 +149,185 @@ fn reconcile(cfg: &ServerConfig, events: &[(u64, ss_obs::Event)], report: &RunRe
         assert_eq!(dropped_hiccups, g.hiccup_intervals, "lost intervals");
     }
 
+    // Startup plane: every display open — private admission, shared
+    // join or cluster start — records exactly one startup-wait sample.
+    let opens = count(events, |e| {
+        matches!(
+            e,
+            Event::AdmitAccept { .. }
+                | Event::SharedJoin { .. }
+                | Event::ClusterDisplayStart { .. }
+        )
+    });
+    assert_eq!(
+        count(events, |e| matches!(e, Event::Startup { .. })),
+        opens,
+        "one startup sample per display open"
+    );
+
+    // Sharing plane (section present exactly when sharing was armed).
+    if let Some(s) = &report.sharing {
+        assert_eq!(
+            count(events, |e| matches!(e, Event::SharedJoin { .. })),
+            s.viewers_joined,
+            "shared joins"
+        );
+        assert_eq!(
+            count(events, |e| matches!(e, Event::CacheAdmit { .. })),
+            s.cache_insertions,
+            "prefix-cache insertions"
+        );
+        assert_eq!(
+            count(events, |e| matches!(e, Event::CacheEvict { .. })),
+            s.cache_evictions,
+            "prefix-cache evictions"
+        );
+    } else {
+        assert_eq!(
+            count(events, |e| matches!(
+                e,
+                Event::SharedJoin { .. } | Event::CacheAdmit { .. } | Event::CacheEvict { .. }
+            )),
+            0,
+            "sharing events without a sharing section"
+        );
+    }
+
+    // Distributed plane: routing decisions, compiled node outages and
+    // the interconnect ledger all decompose into journal events.
+    if let Some(d) = &report.distributed {
+        assert_eq!(
+            count(events, |e| matches!(e, Event::RouteAssign { .. })),
+            d.displays_routed.iter().sum::<u64>(),
+            "routed displays"
+        );
+        assert_eq!(
+            count(events, |e| matches!(e, Event::NodeOutageCompiled { .. })),
+            u64::from(d.node_outages),
+            "compiled node outages"
+        );
+        assert_eq!(
+            sum(events, |e| match e {
+                Event::LinkBook {
+                    from,
+                    until,
+                    fragments,
+                    ..
+                } => Some(fragments * (until - from)),
+                _ => None,
+            }),
+            d.remote_fragment_intervals,
+            "link-booked fragment intervals"
+        );
+    } else {
+        assert_eq!(
+            count(events, |e| matches!(
+                e,
+                Event::RouteAssign { .. }
+                    | Event::NodeOutageCompiled { .. }
+                    | Event::LinkBook { .. }
+            )),
+            0,
+            "distributed events without a distributed section"
+        );
+    }
+
+    // Crash/scrub plane: injected events, recovery passes and the scrub
+    // daemon's findings all count straight off the journal.
+    if let Some(c) = &report.crash {
+        assert_eq!(
+            count(events, |e| matches!(e, Event::PowerLoss { .. })),
+            c.power_loss_events,
+            "power losses"
+        );
+        assert_eq!(
+            count(events, |e| matches!(e, Event::TornWrite { .. })),
+            c.torn_write_events,
+            "torn writes"
+        );
+        assert_eq!(
+            count(events, |e| matches!(e, Event::CrashRecovery { .. })),
+            c.recoveries,
+            "recovery passes"
+        );
+        assert_eq!(
+            count(events, |e| matches!(
+                e,
+                Event::CrashRecovery { clean: true, .. }
+            )),
+            c.recoveries_clean,
+            "clean recoveries"
+        );
+        // The stat counts chunks as *issued* while the event records a
+        // chunk's completed scan, so the run's final in-flight chunk
+        // (if any) is counted but never journaled.
+        let chunks_scanned = count(events, |e| matches!(e, Event::ScrubChunk { .. }));
+        assert!(
+            c.scrub_chunks - chunks_scanned <= 1,
+            "at most the in-flight scrub chunk goes unscanned \
+             ({} issued, {} scanned)",
+            c.scrub_chunks,
+            chunks_scanned
+        );
+        let fragments_scanned = sum(events, |e| match e {
+            Event::ScrubChunk { fragments, .. } => Some(*fragments),
+            _ => None,
+        });
+        assert!(
+            fragments_scanned <= c.scrub_fragment_intervals,
+            "scanned fragments cannot exceed issued fragments"
+        );
+        if chunks_scanned == c.scrub_chunks {
+            assert_eq!(
+                fragments_scanned, c.scrub_fragment_intervals,
+                "scrubbed fragment intervals"
+            );
+        }
+        assert_eq!(
+            sum(events, |e| match e {
+                Event::ScrubChunk { found, .. } => Some(*found),
+                _ => None,
+            }),
+            c.latent_found,
+            "latent errors found by scrub chunks"
+        );
+        assert_eq!(
+            count(events, |e| matches!(e, Event::ScrubRepair { .. })),
+            c.latent_repaired,
+            "latent repairs"
+        );
+    } else {
+        assert_eq!(
+            count(events, |e| matches!(
+                e,
+                Event::PowerLoss { .. }
+                    | Event::TornWrite { .. }
+                    | Event::CrashRecovery { .. }
+                    | Event::ScrubChunk { .. }
+                    | Event::ScrubRepair { .. }
+            )),
+            0,
+            "crash events without a crash section"
+        );
+    }
+
     // The event-sourced read timeline: splitting handovers preserves
     // span length, so expansion must recover exactly the booked reads.
     let (stride, cluster_size) = match &cfg.scheme {
         Scheme::Striping { stride, .. } => (*stride, 0),
         Scheme::Vdr { .. } => (0, cfg.degree()),
     };
+    let (nodes, disks_per_node) = match &cfg.distributed {
+        Some(d) => (d.topology.nodes, d.topology.disks_per_node),
+        None => (1, cfg.disks),
+    };
     let meta = ss_obs::TraceMeta {
         disks: cfg.disks,
         stride,
         interval_us: cfg.interval().as_micros(),
         cluster_size,
+        nodes,
+        disks_per_node,
     };
     let expansion = ss_obs::expand_reads(events, &meta);
     assert_eq!(expansion.unmatched_moves, 0, "every handover splits a span");
@@ -245,4 +422,77 @@ fn vdr_journal_planes_are_populated() {
     reconcile(&cfg, &events, &report);
     assert!(count(&events, |e| matches!(e, Event::ClusterDisplayStart { .. })) > 0);
     assert!(count(&events, |e| matches!(e, Event::DiskFail { .. })) > 0);
+}
+
+/// `obs_config` with every post-PR-5 plane armed on top: stream
+/// sharing, a two-node distributed farm with one node outage, and the
+/// crash/scrub plane (stochastic power losses + torn writes).
+fn fully_armed_config(striping: bool) -> ServerConfig {
+    let mut cfg = obs_config(striping, 12, 1994, 1, striping);
+    cfg.verify_delivery = false;
+    cfg.sharing = Some(SharingConfig::window(16));
+    let mut dist = DistributedConfig::even(2, cfg.disks);
+    let warmup = cfg.warmup.as_micros();
+    let measure = cfg.measure.as_micros();
+    dist.node_outages = vec![NodeOutage {
+        node: 1,
+        fail_at: SimTime::from_micros(warmup + measure / 3),
+        repair_at: SimTime::from_micros(warmup + measure / 2),
+    }];
+    cfg.distributed = Some(dist);
+    cfg.faults.crash = Some(CrashFaults {
+        power_loss_mtbf: Some(SimDuration::from_secs(240)),
+        torn_write_mtbf: Some(SimDuration::from_secs(180)),
+        ..Default::default()
+    });
+    cfg.scrub = Some(ScrubConfig::rate(4));
+    cfg
+}
+
+/// Pinned striping run with every plane armed at once: the sharing,
+/// distributed and crash/scrub sections of `reconcile` must all fire
+/// non-vacuously and still decompose the report exactly.
+#[test]
+fn all_planes_reconcile_on_striping() {
+    use ss_obs::Event;
+    let cfg = fully_armed_config(true);
+    let (report, events, _) = run_with_journal(&cfg);
+    reconcile(&cfg, &events, &report);
+    assert!(report.sharing.is_some(), "sharing section present");
+    assert!(report.distributed.is_some(), "distributed section present");
+    assert!(report.crash.is_some(), "crash section present");
+    assert!(count(&events, |e| matches!(e, Event::SharedJoin { .. })) > 0);
+    assert!(count(&events, |e| matches!(e, Event::CacheAdmit { .. })) > 0);
+    assert!(count(&events, |e| matches!(e, Event::RouteAssign { .. })) > 0);
+    assert!(count(&events, |e| matches!(e, Event::LinkBook { .. })) > 0);
+    assert_eq!(
+        count(&events, |e| matches!(e, Event::NodeOutageCompiled { .. })),
+        1
+    );
+    assert!(count(&events, |e| matches!(e, Event::PowerLoss { .. })) > 0);
+    assert!(count(&events, |e| matches!(e, Event::CrashRecovery { .. })) > 0);
+    assert!(count(&events, |e| matches!(e, Event::ScrubChunk { .. })) > 0);
+    assert!(count(&events, |e| matches!(e, Event::Startup { .. })) > 0);
+}
+
+/// The same fully-armed pin on the VDR baseline.
+#[test]
+fn all_planes_reconcile_on_vdr() {
+    use ss_obs::Event;
+    let cfg = fully_armed_config(false);
+    let (report, events, _) = run_with_journal(&cfg);
+    reconcile(&cfg, &events, &report);
+    assert!(report.sharing.is_some(), "sharing section present");
+    assert!(report.distributed.is_some(), "distributed section present");
+    assert!(report.crash.is_some(), "crash section present");
+    assert!(count(&events, |e| matches!(e, Event::SharedJoin { .. })) > 0);
+    assert!(count(&events, |e| matches!(e, Event::RouteAssign { .. })) > 0);
+    assert_eq!(
+        count(&events, |e| matches!(e, Event::NodeOutageCompiled { .. })),
+        1
+    );
+    assert!(count(&events, |e| matches!(e, Event::PowerLoss { .. })) > 0);
+    assert!(count(&events, |e| matches!(e, Event::CrashRecovery { .. })) > 0);
+    assert!(count(&events, |e| matches!(e, Event::ScrubChunk { .. })) > 0);
+    assert!(count(&events, |e| matches!(e, Event::Startup { .. })) > 0);
 }

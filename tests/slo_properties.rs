@@ -1,0 +1,282 @@
+//! Property tests for the SLO/QoS plane (`ss-obs`'s `qos`/`slo`/`health`
+//! modules) over real server runs:
+//!
+//! * **Ledger ⇄ report reconciliation** — folding the journal into the
+//!   per-display QoS ledger recovers the run report's aggregates
+//!   exactly (completions, drops, rescues, the hiccup bill, shared
+//!   joins), on both schemes, faulted or not.
+//! * **Alert determinism** — the same seed produces the same alerts,
+//!   the same outcomes and the same incident attribution, run to run.
+//! * **Alert well-formedness** — every page names a real SLO, covers a
+//!   non-empty window inside the journal horizon, and is hot on both
+//!   burn windows (the two-window rule).
+//! * **Root-cause attribution** — the `node_grid` 1-node-outage cell
+//!   produces at least one SLO breach during the outage, and the
+//!   incident timeline attributes it to the dark node (pinned).
+
+use proptest::prelude::*;
+use staggered_striping::prelude::*;
+
+/// A small config of either scheme, optionally with a disk outage over
+/// the middle half of the measurement window.
+fn slo_config(striping: bool, stations: u32, seed: u64, failures: u32) -> ServerConfig {
+    let mut cfg = if striping {
+        ServerConfig::small_test(stations, seed)
+    } else {
+        ServerConfig::small_vdr_test(stations, seed)
+    };
+    let warmup = cfg.warmup.as_micros();
+    let measure = cfg.measure.as_micros();
+    let fail_at = SimTime::from_micros(warmup + measure / 4);
+    let repair_at = SimTime::from_micros(warmup + 3 * measure / 4);
+    let mut plan = FaultPlan::none();
+    for f in 0..failures {
+        let disk = f * (cfg.disks / 2);
+        plan.events
+            .extend(FaultPlan::fail_window(disk, fail_at, repair_at).events);
+    }
+    cfg.faults = plan;
+    cfg
+}
+
+/// Runs `cfg` with a journal recorder installed, returning the report
+/// and the captured journal.
+fn run_with_journal(cfg: &ServerConfig) -> (RunReport, Vec<(u64, ss_obs::Event)>) {
+    let recorder = ss_obs::VecRecorder::new();
+    let handle = recorder.handle();
+    ss_obs::install(
+        Box::new(recorder),
+        ss_obs::Registry::new(ss_obs::RegistrySpec {
+            disks: cfg.disks,
+            interval_us: cfg.interval().as_micros(),
+            ..Default::default()
+        }),
+    );
+    let report = staggered_striping::server::run(cfg).expect("valid config");
+    let _ = ss_obs::uninstall().expect("installed above");
+    let events = handle.lock().expect("run finished").clone();
+    (report, events)
+}
+
+/// The QoS ledger's totals must recover the report's aggregates — the
+/// same check `ops_report` hard-gates before writing its dashboard.
+fn reconcile_ledger(
+    cfg: &ServerConfig,
+    events: &[(u64, ss_obs::Event)],
+    report: &RunReport,
+    ledger: &ss_obs::QosLedger,
+) {
+    use ss_obs::Event;
+    let t = ledger.totals(events);
+    assert_eq!(t.ends_measured, report.displays_completed, "measured ends");
+    let g = report.degraded.clone().unwrap_or_default();
+    assert_eq!(t.drops, g.streams_dropped, "drops");
+    assert_eq!(t.rescues, g.rescues, "rescues");
+    let hiccup_intervals: u64 = events
+        .iter()
+        .map(|(_, e)| match e {
+            Event::Hiccup { viewers, .. } => 1 + viewers,
+            _ => 0,
+        })
+        .sum();
+    let billed = if matches!(cfg.scheme, Scheme::Striping { .. }) {
+        hiccup_intervals
+    } else {
+        t.drop_hiccup_intervals
+    };
+    assert_eq!(billed, g.hiccup_intervals, "hiccup bill");
+    if let Some(s) = &report.sharing {
+        assert_eq!(t.shared_joins, s.viewers_joined, "shared joins");
+    }
+    let opens = events
+        .iter()
+        .filter(|(_, e)| {
+            matches!(
+                e,
+                Event::AdmitAccept { .. }
+                    | Event::SharedJoin { .. }
+                    | Event::ClusterDisplayStart { .. }
+            )
+        })
+        .count() as u64;
+    assert_eq!(t.opened, opens, "display opens");
+    assert!(t.startup_samples <= t.opened, "startup samples bound opens");
+}
+
+/// Every alert must describe a valid journal window, hot on both burn
+/// windows of a real SLO.
+fn check_alerts(slo: &ss_obs::SloReport, specs: &[ss_obs::SloSpec]) {
+    for a in &slo.alerts {
+        assert!(a.from < a.until, "alert window non-empty");
+        assert!(a.until <= slo.horizon, "alert inside the horizon");
+        let spec = &specs[a.slo as usize];
+        assert!(
+            a.fast_burn >= spec.alert_burn && a.slow_burn >= spec.alert_burn,
+            "two-window rule: both burns at or above {} ({} / {})",
+            spec.alert_burn,
+            a.fast_burn,
+            a.slow_burn
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Ledger reconciliation, alert determinism and well-formedness,
+    /// swept over both schemes and fault counts.
+    #[test]
+    fn slo_plane_reconciles_and_is_deterministic(
+        seed in 0u64..1_000_000,
+        stations in 4u32..=8,
+        striping in proptest::bool::ANY,
+        failures in 0u32..=2,
+    ) {
+        let cfg = slo_config(striping, stations, seed, failures);
+        let interval_us = cfg.interval().as_micros();
+        let specs = ss_obs::SloSpec::default_set(interval_us);
+
+        let (report, events_a) = run_with_journal(&cfg);
+        let (_, events_b) = run_with_journal(&cfg);
+
+        let ledger = ss_obs::QosLedger::from_events(&events_a);
+        reconcile_ledger(&cfg, &events_a, &report, &ledger);
+
+        let slo_a = ss_obs::evaluate(&specs, &ledger, &events_a, interval_us);
+        check_alerts(&slo_a, &specs);
+
+        // Same seed, same verdicts: the second capture evaluates to the
+        // same alerts, outcomes and incident attribution.
+        let ledger_b = ss_obs::QosLedger::from_events(&events_b);
+        prop_assert_eq!(ledger.totals(&events_a), ledger_b.totals(&events_b));
+        let slo_b = ss_obs::evaluate(&specs, &ledger_b, &events_b, interval_us);
+        prop_assert_eq!(&slo_a.alerts, &slo_b.alerts);
+        prop_assert_eq!(slo_a.horizon, slo_b.horizon);
+        for (oa, ob) in slo_a.outcomes.iter().zip(&slo_b.outcomes) {
+            prop_assert_eq!(oa.good, ob.good);
+            prop_assert_eq!(oa.bad, ob.bad);
+            prop_assert_eq!(oa.overall_burn, ob.overall_burn);
+            prop_assert_eq!(oa.pass, ob.pass);
+            prop_assert_eq!(oa.alerts, ob.alerts);
+        }
+        let (nodes, dpn) = match &cfg.distributed {
+            Some(d) => (d.topology.nodes, d.topology.disks_per_node),
+            None => (1, cfg.disks),
+        };
+        let board_a = ss_obs::HealthBoard::from_events(
+            &events_a, cfg.disks, nodes, dpn, interval_us, slo_a.horizon,
+        );
+        let board_b = ss_obs::HealthBoard::from_events(
+            &events_b, cfg.disks, nodes, dpn, interval_us, slo_b.horizon,
+        );
+        let render = |incidents: &[ss_obs::Incident]| -> Vec<(u64, u64, bool, u32, u64, u64)> {
+            incidents
+                .iter()
+                .flat_map(|i| {
+                    i.causes.iter().map(move |c| {
+                        (i.alert.from, i.alert.until, c.node, c.id, c.span.from, c.span.until)
+                    })
+                })
+                .collect()
+        };
+        prop_assert_eq!(
+            render(&board_a.incidents(&slo_a.alerts)),
+            render(&board_b.incidents(&slo_b.alerts))
+        );
+
+        // Each breach round-trips through its typed journal event.
+        for a in &slo_a.alerts {
+            let mut line = String::new();
+            a.to_event().write_jsonl(a.until * interval_us, &mut line);
+            let v: serde_json::Value = serde_json::from_str(&line).expect("valid JSON");
+            let serde_json::Value::Map(m) = v else { panic!("object") };
+            assert!(m.iter().any(|(k, val)| k == "k"
+                && matches!(val, serde_json::Value::Str(s) if s == "slo_breach")));
+        }
+    }
+}
+
+/// The `node_grid` 1-node-outage cell, pinned: darking node 1 of 3 for
+/// the middle half of the measurement window must breach at least one
+/// SLO *during the outage*, and the incident timeline must attribute
+/// that breach to the dark node (root cause), not leave it dangling.
+#[test]
+fn node_outage_breach_is_attributed_to_the_dark_node() {
+    let mut cfg = ServerConfig::small_test(6, 1994);
+    cfg.disks = 24;
+    cfg.verify_delivery = false;
+    cfg.warmup = SimDuration::from_secs(300);
+    cfg.measure = SimDuration::from_secs(1200);
+    cfg.parity = Some(ParityConfig::group(6));
+    cfg.rebuild = Some(RebuildConfig::rate(8));
+    let mut d = DistributedConfig::even(3, cfg.disks);
+    let fail_at = SimTime::from_secs(300 + 1200 / 4);
+    let repair_at = SimTime::from_secs(300 + 3 * 1200 / 4);
+    d.node_outages = vec![NodeOutage {
+        node: 1,
+        fail_at,
+        repair_at,
+    }];
+    cfg.distributed = Some(d);
+
+    let interval_us = cfg.interval().as_micros();
+    let (report, events) = run_with_journal(&cfg);
+    let ledger = ss_obs::QosLedger::from_events(&events);
+    reconcile_ledger(&cfg, &events, &report, &ledger);
+
+    let specs = ss_obs::SloSpec::default_set(interval_us);
+    let slo = ss_obs::evaluate(&specs, &ledger, &events, interval_us);
+    check_alerts(&slo, &specs);
+    let board = ss_obs::HealthBoard::from_events(&events, 24, 3, 8, interval_us, slo.horizon);
+    let incidents = board.incidents(&slo.alerts);
+
+    // The compiled outage darks node 1 at `fail_at`; the hot-spare
+    // rebuild then resurrects member disks early, so the rollup shows a
+    // dark span opening at the outage (not spanning it — early repair
+    // is the self-healing plane doing its job).
+    let outage_from = fail_at.as_micros() / interval_us;
+    let outage_until = repair_at.as_micros() / interval_us;
+    let dark = board.nodes[1]
+        .iter()
+        .find(|s| s.state == ss_obs::HealthState::Dark)
+        .copied()
+        .expect("node 1's rollup carries a dark span");
+    assert!(
+        dark.from >= outage_from && dark.from <= outage_from + 2 && dark.until <= outage_until,
+        "the dark span opens at the compiled outage: [{}, {}) vs outage [{outage_from}, {outage_until})",
+        dark.from,
+        dark.until
+    );
+
+    // Root-cause attribution, the pinned acceptance check: at least one
+    // SLO breach overlaps the dark span, and every such breach names
+    // the dark node as a cause.
+    let during_dark: Vec<_> = incidents
+        .iter()
+        .filter(|i| i.alert.from < dark.until && i.alert.until > dark.from)
+        .collect();
+    assert!(
+        !during_dark.is_empty(),
+        "darking 8 of 24 disks must page at least one SLO \
+         (got {} alerts total, none over [{}, {}))",
+        slo.alerts.len(),
+        dark.from,
+        dark.until
+    );
+    assert!(
+        during_dark.iter().all(|i| i
+            .causes
+            .iter()
+            .any(|c| c.node && c.id == 1 && c.span.state == ss_obs::HealthState::Dark)),
+        "every breach overlapping the dark span names node 1 dark as a cause"
+    );
+    // And the hiccup-free SLO specifically pages during the outage —
+    // losing a third of the farm shreds delivery for the affected
+    // streams.
+    assert!(
+        slo.alerts
+            .iter()
+            .any(|a| a.slo == 1 && a.from < outage_until && a.until > outage_from),
+        "the hiccup-free SLO pages during the outage"
+    );
+}
